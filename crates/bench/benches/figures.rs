@@ -1,0 +1,78 @@
+//! One benchmark per reproduced paper figure (reduced scenario).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use fadewich_experiments::experiment::{Experiment, SensorRun};
+use fadewich_experiments::figures;
+use fadewich_experiments::pipeline::learning_curve;
+use fadewich_experiments::tables;
+
+fn experiment() -> &'static Experiment {
+    static EXP: OnceLock<Experiment> = OnceLock::new();
+    EXP.get_or_init(|| Experiment::small(0xF19).expect("experiment"))
+}
+
+fn runs() -> &'static Vec<SensorRun> {
+    static RUNS: OnceLock<Vec<SensorRun>> = OnceLock::new();
+    RUNS.get_or_init(|| experiment().sweep(&[3, 9], 3).expect("sweep"))
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_st_distributions", |b| {
+        b.iter(|| black_box(figures::fig2(experiment(), &runs()[1]).threshold))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let t_deltas: Vec<f64> = (4..=16).map(|i| i as f64 * 0.5).collect();
+    c.bench_function("fig7_t_delta_sweep", |b| {
+        b.iter(|| black_box(figures::fig7(experiment(), runs(), &t_deltas).len()))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_learning_curve_9_sensors", |b| {
+        b.iter(|| {
+            black_box(learning_curve(&runs()[1].samples, &[10, 20, 30], 3, 2, 1).len())
+        })
+    });
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    let pts: Vec<f64> = (0..=20).map(|i| i as f64 * 0.5).collect();
+    c.bench_function("fig9_deauth_curves", |b| {
+        b.iter(|| black_box(figures::fig9(experiment(), runs(), &pts).len()))
+    });
+    c.bench_function("fig10_attack_opportunities", |b| {
+        b.iter(|| black_box(figures::fig10(experiment(), runs()).len()))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_correlation_matrix_72x72", |b| {
+        b.iter(|| black_box(figures::fig11(experiment(), &runs()[1]).mean_abs_shared))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12_rmi_heatmap", |b| {
+        b.iter(|| black_box(figures::fig12(experiment(), &runs()[1]).grid.max_value()))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let (cost_rows, _) = tables::table4(experiment(), runs(), 3);
+    c.bench_function("fig13_vulnerable_vs_cost", |b| {
+        b.iter(|| black_box(figures::fig13(experiment(), runs(), &cost_rows).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2, bench_fig7, bench_fig8, bench_fig9_fig10, bench_fig11,
+              bench_fig12, bench_fig13
+}
+criterion_main!(benches);

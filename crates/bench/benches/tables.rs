@@ -1,0 +1,76 @@
+//! One benchmark per reproduced paper table: times the pipeline that
+//! regenerates it on a reduced (1-day) scenario. The full 5-day
+//! regeneration is the `reproduce` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use fadewich_core::usability::UsabilityParams;
+use fadewich_experiments::experiment::{Experiment, SensorRun};
+use fadewich_experiments::tables;
+
+fn experiment() -> &'static Experiment {
+    static EXP: OnceLock<Experiment> = OnceLock::new();
+    EXP.get_or_init(|| Experiment::small(0xBE9C).expect("experiment"))
+}
+
+fn runs() -> &'static Vec<SensorRun> {
+    static RUNS: OnceLock<Vec<SensorRun>> = OnceLock::new();
+    RUNS.get_or_init(|| experiment().sweep(&[3, 9], 3).expect("sweep"))
+}
+
+/// Table II: scenario generation (behaviour only, no RF).
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_scenario_generation", |b| {
+        b.iter(|| {
+            let scenario = fadewich_officesim::Scenario::generate(
+                fadewich_officesim::ScenarioConfig::small(),
+            )
+            .unwrap();
+            black_box(scenario.events().len())
+        })
+    });
+    // Rendering from a prepared experiment.
+    c.bench_function("table2_render", |b| {
+        b.iter(|| black_box(tables::table2(experiment()).render().len()))
+    });
+}
+
+/// Table III: the MD detection pipeline at 9 sensors.
+fn bench_table3(c: &mut Criterion) {
+    let exp = experiment();
+    c.bench_function("table3_md_detection_9_sensors", |b| {
+        b.iter(|| black_box(exp.run_for_sensors(9, 3).unwrap().stage.detection.counts))
+    });
+    c.bench_function("table3_md_detection_3_sensors", |b| {
+        b.iter(|| black_box(exp.run_for_sensors(3, 3).unwrap().stage.detection.counts))
+    });
+}
+
+/// Table IV: the usability replay over input draws.
+fn bench_table4(c: &mut Criterion) {
+    let exp = experiment();
+    let run = &runs()[1];
+    c.bench_function("table4_usability_5_draws", |b| {
+        b.iter(|| {
+            black_box(tables::usability_row(exp, run, 5, &UsabilityParams::default()))
+        })
+    });
+}
+
+/// Table V: RMI feature ranking (432 features x ~40 samples).
+fn bench_table5(c: &mut Criterion) {
+    let exp = experiment();
+    let run = &runs()[1];
+    c.bench_function("table5_rmi_ranking", |b| {
+        b.iter(|| black_box(tables::table5(exp, run, 15).0.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2, bench_table3, bench_table4, bench_table5
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Criterion benchmarks and the reproduce binary (see `src/bin/reproduce.rs`).
+//!
+//! This crate has no library API; everything lives in the binary and
+//! the `benches/` targets.
+

@@ -1,0 +1,170 @@
+//! FADEWICH system parameters.
+
+/// All tunables of the FADEWICH pipeline, with the paper's §VII values
+/// as defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FadewichParams {
+    /// Sliding-window length `d` for per-stream standard deviations (s).
+    pub std_window_s: f64,
+    /// Length of the initial normal-profile collection phase (s); the
+    /// paper collects an installation-time profile with nobody moving.
+    pub profile_init_s: f64,
+    /// Anomaly percentile parameter α: `s_t` above the `(100 − α)`-th
+    /// percentile of the profile CDF is anomalous (paper Fig. 2 marks
+    /// the 99th percentile, i.e. α = 1).
+    pub alpha: f64,
+    /// Profile-update batch size `b` (in ticks / `s_t` values).
+    pub batch_size: usize,
+    /// Maximum fraction τ of anomalous values allowed in an update
+    /// batch.
+    pub tau: f64,
+    /// Maximum number of `s_t` values retained in the normal profile.
+    pub profile_capacity: usize,
+    /// Variation-window duration threshold `t∆` (s); paper uses 4.5.
+    pub t_delta_s: f64,
+    /// Length of the window-initial segment RE extracts features from
+    /// (s). The paper uses the first `t∆` seconds because "initial
+    /// segments of users' paths are naturally less likely to overlap";
+    /// in our 6 × 3 m office the paths merge onto the shared corridor
+    /// sooner, so a slightly shorter segment keeps the signature
+    /// workstation-specific. Must be ≤ `t∆` (classification happens at
+    /// `t1 + t∆`, so the samples are available).
+    pub feature_window_s: f64,
+    /// Hangover: a window closes after this many seconds of continuous
+    /// normal readings (bridges momentary dips below the threshold
+    /// during one movement).
+    pub window_hangover_s: f64,
+    /// Alert-state screen-saver delay `t_ID` (s).
+    pub t_id_s: f64,
+    /// Screen-saver-to-deauthentication delay `t_ss` (s).
+    pub t_ss_s: f64,
+    /// Baseline inactivity timeout `T` (s); paper compares against 300.
+    pub timeout_s: f64,
+    /// Half-width δ of the ground-truth *true window* when matching MD
+    /// windows to events (s).
+    pub true_window_delta_s: f64,
+    /// Histogram bins for the per-stream entropy feature.
+    pub entropy_bins: usize,
+    /// Autocorrelation lags averaged into the `ac` feature.
+    pub acf_max_lag: usize,
+    /// Idle threshold for Rule 2's `S(1)` query (s).
+    pub alert_idle_s: f64,
+    /// Robustness extension beyond Algorithm 1: after this many
+    /// *consecutive* rejected update batches the profile is
+    /// re-initialized from the most recent batch. Algorithm 1 as
+    /// printed deadlocks if the radio environment shifts abruptly —
+    /// every batch stays > τ anomalous against the stale profile
+    /// forever. Set very high to disable.
+    pub max_rejected_batches: usize,
+}
+
+impl Default for FadewichParams {
+    fn default() -> Self {
+        FadewichParams {
+            std_window_s: 2.0,
+            profile_init_s: 60.0,
+            alpha: 1.0,
+            batch_size: 100,
+            tau: 0.1,
+            profile_capacity: 1500,
+            t_delta_s: 4.5,
+            feature_window_s: 3.0,
+            window_hangover_s: 0.6,
+            t_id_s: 5.0,
+            t_ss_s: 3.0,
+            timeout_s: 300.0,
+            true_window_delta_s: 3.0,
+            entropy_bins: 16,
+            acf_max_lag: 5,
+            alert_idle_s: 1.0,
+            max_rejected_batches: 15,
+        }
+    }
+}
+
+impl FadewichParams {
+    /// Validates parameter consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha > 0.0 && self.alpha < 100.0) {
+            return Err(format!("alpha {} must be in (0, 100)", self.alpha));
+        }
+        if !(0.0..=1.0).contains(&self.tau) {
+            return Err(format!("tau {} must be in [0, 1]", self.tau));
+        }
+        if self.batch_size == 0 || self.profile_capacity < self.batch_size {
+            return Err("profile capacity must be >= batch size > 0".to_string());
+        }
+        if self.t_delta_s <= 0.0 || self.std_window_s <= 0.0 {
+            return Err("time parameters must be positive".to_string());
+        }
+        if !(self.feature_window_s > 0.0) || self.feature_window_s > self.t_delta_s {
+            return Err("feature window must be in (0, t_delta]".to_string());
+        }
+        if self.timeout_s < self.t_id_s + self.t_ss_s {
+            return Err("timeout must exceed the alert path".to_string());
+        }
+        if self.entropy_bins == 0 || self.acf_max_lag == 0 {
+            return Err("feature parameters must be positive".to_string());
+        }
+        if self.max_rejected_batches == 0 {
+            return Err("max_rejected_batches must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    /// `t∆` in ticks at the given rate.
+    pub fn t_delta_ticks(&self, tick_hz: f64) -> usize {
+        (self.t_delta_s * tick_hz).round().max(1.0) as usize
+    }
+
+    /// The std window length in ticks.
+    pub fn std_window_ticks(&self, tick_hz: f64) -> usize {
+        (self.std_window_s * tick_hz).round().max(2.0) as usize
+    }
+
+    /// The RE feature window length in ticks.
+    pub fn feature_window_ticks(&self, tick_hz: f64) -> usize {
+        (self.feature_window_s * tick_hz).round().max(2.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_valid_and_match_paper() {
+        let p = FadewichParams::default();
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.t_delta_s, 4.5);
+        assert_eq!(p.t_id_s, 5.0);
+        assert_eq!(p.t_ss_s, 3.0);
+        assert_eq!(p.timeout_s, 300.0);
+        assert_eq!(p.alpha, 1.0);
+    }
+
+    #[test]
+    fn tick_conversions() {
+        let p = FadewichParams::default();
+        assert_eq!(p.t_delta_ticks(5.0), 23); // 4.5 s * 5 Hz = 22.5 -> 23
+        assert_eq!(p.std_window_ticks(5.0), 10);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = FadewichParams { alpha: 0.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = FadewichParams { tau: 1.5, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = FadewichParams { batch_size: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = FadewichParams { timeout_s: 5.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = FadewichParams { feature_window_s: 9.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,487 @@
+//! The FADEWICH control automaton (paper §IV-F/G, Fig. 4, Table I).
+//!
+//! Two states drive the system. In **Quiet**, the controller waits for
+//! the current variation window to reach `t∆`; at that instant it
+//! applies **Rule 1**: query RE for the window's label `c_i` and
+//! deauthenticate workstation `c_i` if it has been idle for the whole
+//! window (`c_i ∈ S(t∆)` — the paper's table prints `∉`, an evident
+//! typo, since deauthenticating a workstation whose user is actively
+//! typing contradicts both the usability goal and the case-B analysis).
+//! The controller then moves to **Noisy**, where — as long as the
+//! window persists — **Rule 2** puts every workstation idle for ≥ 1 s
+//! into *alert state*: a screen saver starts after `t_ID` seconds of
+//! idleness and the session is deauthenticated `t_ss` seconds later
+//! unless input arrives. When MD reports the window over, the system
+//! returns to Quiet.
+//!
+//! A plain inactivity timeout `T` runs underneath, exactly as in the
+//! paper's baseline comparison.
+
+use fadewich_stats::rolling::HistoryBuffer;
+
+use crate::config::FadewichParams;
+use crate::features::extract_features_from_histories;
+use crate::kma::Kma;
+use crate::md::MovementDetector;
+use crate::re::RadioEnvironment;
+
+/// The controller's top-level state (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemState {
+    /// No significant variation window in progress.
+    Quiet,
+    /// A window of ≥ `t∆` is in progress; Rule 2 applies.
+    Noisy,
+}
+
+/// Something the controller did to a workstation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Action {
+    /// When it happened (seconds from day start).
+    pub t: f64,
+    /// What happened.
+    pub kind: ActionKind,
+}
+
+/// The kinds of controller actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Rule 1 deauthenticated the workstation (case A/B head).
+    DeauthenticateRule1 {
+        /// The workstation deauthenticated.
+        workstation: usize,
+    },
+    /// The alert path deauthenticated the workstation (`t_ID + t_ss`).
+    DeauthenticateAlert {
+        /// The workstation deauthenticated.
+        workstation: usize,
+    },
+    /// The baseline timeout `T` deauthenticated the workstation.
+    DeauthenticateTimeout {
+        /// The workstation deauthenticated.
+        workstation: usize,
+    },
+    /// A workstation entered alert state (Rule 2).
+    AlertEntered {
+        /// The workstation now in alert state.
+        workstation: usize,
+    },
+    /// The screen saver started on an alerted workstation.
+    ScreenSaverOn {
+        /// The workstation whose screen saver started.
+        workstation: usize,
+    },
+    /// Input cancelled an alert/screen saver.
+    AlertCancelled {
+        /// The workstation whose alert ended.
+        workstation: usize,
+    },
+    /// Input after a deauthentication: the user re-authenticated.
+    Reauthenticated {
+        /// The workstation that logged back in.
+        workstation: usize,
+    },
+}
+
+impl ActionKind {
+    /// The workstation this action concerns.
+    pub fn workstation(&self) -> usize {
+        match *self {
+            ActionKind::DeauthenticateRule1 { workstation }
+            | ActionKind::DeauthenticateAlert { workstation }
+            | ActionKind::DeauthenticateTimeout { workstation }
+            | ActionKind::AlertEntered { workstation }
+            | ActionKind::ScreenSaverOn { workstation }
+            | ActionKind::AlertCancelled { workstation }
+            | ActionKind::Reauthenticated { workstation } => workstation,
+        }
+    }
+
+    /// Whether this is any flavor of deauthentication.
+    pub fn is_deauth(&self) -> bool {
+        matches!(
+            self,
+            ActionKind::DeauthenticateRule1 { .. }
+                | ActionKind::DeauthenticateAlert { .. }
+                | ActionKind::DeauthenticateTimeout { .. }
+        )
+    }
+}
+
+/// Per-workstation session bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct WsSession {
+    logged_in: bool,
+    in_alert: bool,
+    screensaver_on: bool,
+}
+
+impl WsSession {
+    /// Day-start state: nobody is logged in overnight; the first input
+    /// of the day authenticates the user.
+    fn fresh() -> WsSession {
+        WsSession { logged_in: false, in_alert: false, screensaver_on: false }
+    }
+}
+
+/// The online FADEWICH controller for one day of operation.
+#[derive(Debug)]
+pub struct Controller<'a> {
+    params: FadewichParams,
+    tick_hz: f64,
+    md: MovementDetector,
+    re: &'a RadioEnvironment,
+    kma: Kma<'a>,
+    state: SystemState,
+    sessions: Vec<WsSession>,
+    histories: Vec<HistoryBuffer>,
+    /// Rule 1 fires once per window.
+    rule1_done: bool,
+    actions: Vec<Action>,
+    prev_t: f64,
+}
+
+impl<'a> Controller<'a> {
+    /// Builds a controller over `n_streams` RSSI streams, a trained RE
+    /// classifier, and the day's KMA source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MD construction errors (invalid params or stream
+    /// count).
+    pub fn new(
+        n_streams: usize,
+        tick_hz: f64,
+        params: FadewichParams,
+        re: &'a RadioEnvironment,
+        kma: Kma<'a>,
+    ) -> Result<Controller<'a>, String> {
+        let md = MovementDetector::new(n_streams, tick_hz, params)?;
+        let history_len = ((params.t_delta_s + params.window_hangover_s + 4.0) * tick_hz) as usize;
+        Ok(Controller {
+            params,
+            tick_hz,
+            md,
+            re,
+            sessions: vec![WsSession::fresh(); kma.n_workstations()],
+            kma,
+            state: SystemState::Quiet,
+            histories: vec![HistoryBuffer::new(history_len.max(8)); n_streams],
+            rule1_done: false,
+            actions: Vec::new(),
+            prev_t: 0.0,
+        })
+    }
+
+    /// The controller's current top-level state.
+    pub fn state(&self) -> SystemState {
+        self.state
+    }
+
+    /// Whether the session at `ws` is currently authenticated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` is out of range.
+    pub fn is_logged_in(&self, ws: usize) -> bool {
+        self.sessions[ws].logged_in
+    }
+
+    /// Everything the controller has done so far.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Feeds one tick of RSSI samples; returns how many actions were
+    /// emitted this tick (they are appended to [`Controller::actions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the stream count.
+    pub fn step(&mut self, tick: usize, row: &[f64]) -> usize {
+        let before = self.actions.len();
+        let t = tick as f64 / self.tick_hz;
+        for (h, &x) in self.histories.iter_mut().zip(row) {
+            h.push(x);
+        }
+        self.md.step(tick, row);
+        let t_delta_ticks = self.params.t_delta_ticks(self.tick_hz);
+        let dwt = self.md.open_duration_ticks(tick);
+
+        match self.state {
+            SystemState::Quiet => {
+                if dwt >= t_delta_ticks && !self.rule1_done {
+                    self.apply_rule1(tick, t);
+                    self.rule1_done = true;
+                    self.state = SystemState::Noisy;
+                }
+            }
+            SystemState::Noisy => {
+                if dwt == 0 {
+                    self.state = SystemState::Quiet;
+                    self.rule1_done = false;
+                } else if dwt > t_delta_ticks {
+                    self.apply_rule2(t);
+                }
+            }
+        }
+
+        self.housekeeping(t);
+        self.prev_t = t;
+        self.actions.len() - before
+    }
+
+    /// Rule 1: classify the window's first `t∆` seconds and
+    /// deauthenticate the predicted workstation if it is idle.
+    fn apply_rule1(&mut self, tick: usize, t: f64) {
+        let start = self.md.open_window_start().unwrap_or(tick.saturating_sub(1));
+        let label = match extract_features_from_histories(
+            &self.histories,
+            start as u64,
+            self.tick_hz,
+            &self.params,
+        ) {
+            Some(features) => self.re.classify(&features),
+            None => return, // history evicted (cannot happen in practice)
+        };
+        if label == 0 {
+            return; // w0: someone entered; nobody to deauthenticate.
+        }
+        let ws = label - 1;
+        if ws < self.sessions.len()
+            && self.sessions[ws].logged_in
+            && self.kma.is_idle(ws, self.params.t_delta_s, t)
+        {
+            self.sessions[ws].logged_in = false;
+            self.sessions[ws].in_alert = false;
+            self.sessions[ws].screensaver_on = false;
+            self.actions.push(Action {
+                t,
+                kind: ActionKind::DeauthenticateRule1 { workstation: ws },
+            });
+        }
+    }
+
+    /// Rule 2: every workstation idle ≥ 1 s enters alert state while
+    /// the window persists.
+    fn apply_rule2(&mut self, t: f64) {
+        for ws in self.kma.idle_set(self.params.alert_idle_s, t) {
+            let session = &mut self.sessions[ws];
+            if session.logged_in && !session.in_alert {
+                session.in_alert = true;
+                self.actions.push(Action { t, kind: ActionKind::AlertEntered { workstation: ws } });
+            }
+        }
+    }
+
+    /// Per-tick session housekeeping: input cancellation, alert
+    /// escalation, baseline timeout, re-authentication.
+    fn housekeeping(&mut self, t: f64) {
+        for ws in 0..self.sessions.len() {
+            let had_input = self.kma.any_input_in(ws, self.prev_t, t + 1e-9);
+            let session = &mut self.sessions[ws];
+            if session.logged_in {
+                if had_input && session.in_alert {
+                    session.in_alert = false;
+                    session.screensaver_on = false;
+                    self.actions
+                        .push(Action { t, kind: ActionKind::AlertCancelled { workstation: ws } });
+                }
+                let idle = self.kma.idle_time(ws, t);
+                let session = &mut self.sessions[ws];
+                if session.in_alert {
+                    if !session.screensaver_on && idle >= self.params.t_id_s {
+                        session.screensaver_on = true;
+                        self.actions
+                            .push(Action { t, kind: ActionKind::ScreenSaverOn { workstation: ws } });
+                    }
+                    if session.screensaver_on && idle >= self.params.t_id_s + self.params.t_ss_s {
+                        session.logged_in = false;
+                        session.in_alert = false;
+                        session.screensaver_on = false;
+                        self.actions.push(Action {
+                            t,
+                            kind: ActionKind::DeauthenticateAlert { workstation: ws },
+                        });
+                        continue;
+                    }
+                }
+                let session = &mut self.sessions[ws];
+                if session.logged_in && idle >= self.params.timeout_s {
+                    session.logged_in = false;
+                    session.in_alert = false;
+                    session.screensaver_on = false;
+                    self.actions.push(Action {
+                        t,
+                        kind: ActionKind::DeauthenticateTimeout { workstation: ws },
+                    });
+                }
+            } else if had_input {
+                session.logged_in = true;
+                self.actions
+                    .push(Action { t, kind: ActionKind::Reauthenticated { workstation: ws } });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::TrainingSample;
+    use fadewich_officesim::InputTrace;
+    use fadewich_stats::rng::Rng;
+
+    /// A classifier trained on features drawn from the same synthetic
+    /// distributions the controller tests generate: quiet windows
+    /// (noise sd 0.6) are class 0 ("entered"), burst windows (sd 4.0)
+    /// are class 1 ("left w1"). Training from the true generating
+    /// process makes Rule 1's prediction deterministic in these tests.
+    fn fixed_re(n_streams: usize) -> RadioEnvironment {
+        use crate::features::extract_features;
+        use fadewich_officesim::DayTrace;
+        let mut rng = Rng::seed_from_u64(1);
+        let params = FadewichParams::default();
+        let mut samples = Vec::new();
+        for i in 0..30 {
+            let hot = i % 2 == 1;
+            let sd = if hot { 4.0 } else { 0.6 };
+            let mut day = DayTrace::with_capacity(n_streams, 30);
+            for _ in 0..30 {
+                let row: Vec<f64> =
+                    (0..n_streams).map(|_| -50.0 + rng.normal() * sd).collect();
+                day.push_row(&row);
+            }
+            let streams: Vec<usize> = (0..n_streams).collect();
+            let features = extract_features(&day, &streams, 0, 5.0, &params);
+            samples.push(TrainingSample { features, label: usize::from(hot) });
+        }
+        RadioEnvironment::train(&samples, None, &mut rng).unwrap()
+    }
+
+    /// Runs the controller over synthetic streams: quiet noise, then a
+    /// strong fluctuation burst on every stream starting at `burst_at`.
+    fn run_controller(
+        inputs: &InputTrace,
+        burst: Option<(usize, usize)>,
+        n_ticks: usize,
+    ) -> Vec<Action> {
+        let n_streams = 4;
+        let re = fixed_re(n_streams);
+        let kma = Kma::new(inputs);
+        let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+        let mut ctl = Controller::new(n_streams, 5.0, params, &re, kma).unwrap();
+        let mut rng = Rng::seed_from_u64(7);
+        for tick in 0..n_ticks {
+            let noisy = burst.is_some_and(|(a, b)| tick >= a && tick < b);
+            let sd = if noisy { 4.0 } else { 0.6 };
+            let row: Vec<f64> = (0..n_streams).map(|_| -50.0 + rng.normal() * sd).collect();
+            ctl.step(tick, &row);
+        }
+        ctl.actions().to_vec()
+    }
+
+    /// Input trace: w1's user types until 120 s then leaves; w2 and w3
+    /// keep typing all day.
+    fn departure_inputs(n_seconds: usize) -> InputTrace {
+        let busy: Vec<f64> = (0..n_seconds).step_by(3).map(|s| s as f64).collect();
+        let w1: Vec<f64> = busy.iter().copied().filter(|&s| s <= 120.0).collect();
+        InputTrace::from_times(vec![w1, busy.clone(), busy])
+    }
+
+    #[test]
+    fn departing_user_deauthenticated_by_rule1() {
+        let inputs = departure_inputs(400);
+        // Burst starts at tick 600 (t = 120 s, the departure moment).
+        let actions = run_controller(&inputs, Some((600, 640)), 1200);
+        let deauth: Vec<&Action> = actions
+            .iter()
+            .filter(|a| matches!(a.kind, ActionKind::DeauthenticateRule1 { workstation: 0 }))
+            .collect();
+        assert_eq!(deauth.len(), 1, "actions: {actions:?}");
+        // Rule 1 fires when the window reaches t_delta (~4.6 s after 120).
+        let dt = deauth[0].t - 120.0;
+        assert!((3.0..=7.0).contains(&dt), "deauth after {dt} s");
+    }
+
+    #[test]
+    fn quiet_day_no_deauth_of_active_users() {
+        let inputs = departure_inputs(400);
+        let actions = run_controller(&inputs, None, 1200);
+        // w2/w3 type constantly: never deauthenticated.
+        assert!(
+            !actions.iter().any(|a| a.kind.is_deauth() && a.kind.workstation() != 0),
+            "actions: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn idle_user_hits_baseline_timeout() {
+        // w1 stops typing at 120 s; without any detected window the
+        // timeout T = 300 s must fire at ~420 s.
+        let inputs = departure_inputs(3000);
+        let actions = run_controller(&inputs, None, 2400);
+        let timeout: Vec<&Action> = actions
+            .iter()
+            .filter(|a| matches!(a.kind, ActionKind::DeauthenticateTimeout { workstation: 0 }))
+            .collect();
+        assert_eq!(timeout.len(), 1);
+        assert!((timeout[0].t - 420.0).abs() < 2.0, "timeout at {}", timeout[0].t);
+    }
+
+    #[test]
+    fn reauthentication_on_return() {
+        // w1 leaves at 120, returns and types at 300.
+        let mut w1: Vec<f64> = (0..=120).step_by(3).map(f64::from).collect();
+        w1.push(300.0);
+        w1.push(303.0);
+        let busy: Vec<f64> = (0..500).step_by(3).map(|s| s as f64).collect();
+        let inputs = InputTrace::from_times(vec![w1, busy.clone(), busy]);
+        let actions = run_controller(&inputs, Some((600, 640)), 1600);
+        // Skip the day-start login (sessions begin logged out); the
+        // return from the break is the reauth of interest.
+        let reauth = actions
+            .iter()
+            .find(|a| {
+                matches!(a.kind, ActionKind::Reauthenticated { workstation: 0 }) && a.t > 150.0
+            });
+        let reauth = reauth.expect("user should re-authenticate on return");
+        assert!((reauth.t - 300.0).abs() < 1.0, "reauth at {}", reauth.t);
+    }
+
+    #[test]
+    fn rule2_alerts_idle_workstations_in_long_windows() {
+        // Long burst (12 s): the departed w1 is already handled by
+        // Rule 1; the *other* workstations pass through alert whenever
+        // their users' typing pauses exceed 1 s, and are released by
+        // the next input without ever being deauthenticated.
+        let inputs = departure_inputs(400);
+        let actions = run_controller(&inputs, Some((600, 660)), 1200);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a.kind, ActionKind::AlertEntered { workstation: 1 | 2 })),
+            "actions: {actions:?}"
+        );
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a.kind, ActionKind::AlertCancelled { workstation: 1 | 2 })),
+            "actions: {actions:?}"
+        );
+        assert!(!actions.iter().any(|a| a.kind.is_deauth() && a.kind.workstation() != 0));
+    }
+
+    #[test]
+    fn active_user_not_deauthenticated_even_when_misclassified() {
+        // Everyone keeps typing; even with a detected burst, Rule 1's
+        // S(t_delta) check protects the active workstations.
+        let busy: Vec<f64> = (0..400).step_by(3).map(|s| s as f64).collect();
+        let inputs = InputTrace::from_times(vec![busy.clone(), busy.clone(), busy]);
+        let actions = run_controller(&inputs, Some((600, 640)), 1200);
+        assert!(
+            !actions.iter().any(|a| a.kind.is_deauth()),
+            "no one left; no deauth should occur: {actions:?}"
+        );
+    }
+}

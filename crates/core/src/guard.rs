@@ -1,0 +1,224 @@
+//! Channel-integrity guard — operationalizing the paper's §V-C claim.
+//!
+//! MD's anomaly test is one-sided: it fires when the summed variance
+//! *rises*. A saturation jammer (see `fadewich-rfchannel::jamming`)
+//! attacks the other side: it pins nearby receivers to a constant
+//! reading, collapsing per-stream variance to (near) zero, which can
+//! mask a departure on the affected links. The paper asserts such
+//! manipulation "is detectable" because one transmission is heard by
+//! many devices; this guard is the detector that makes the assertion
+//! concrete: it learns each stream's normal variance floor and raises
+//! an integrity alarm when any stream goes *implausibly quiet* for a
+//! sustained period.
+
+use fadewich_stats::rolling::RollingStd;
+
+/// Guard parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardParams {
+    /// Rolling window for per-stream std (s).
+    pub window_s: f64,
+    /// Ticks of calibration used to learn each stream's noise floor.
+    pub learn_ticks: usize,
+    /// A stream is "silent" while its rolling std is below this
+    /// fraction of its learned floor.
+    pub floor_fraction: f64,
+    /// Consecutive silent seconds before the alarm fires.
+    pub alarm_after_s: f64,
+}
+
+impl Default for GuardParams {
+    fn default() -> Self {
+        GuardParams {
+            window_s: 2.0,
+            learn_ticks: 300,
+            floor_fraction: 0.25,
+            alarm_after_s: 3.0,
+        }
+    }
+}
+
+/// An integrity alarm: a stream went implausibly quiet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegrityAlarm {
+    /// The offending stream index.
+    pub stream: usize,
+    /// When the alarm fired (tick).
+    pub tick: usize,
+    /// The stream's learned floor.
+    pub floor: f64,
+    /// Its rolling std at alarm time.
+    pub observed: f64,
+}
+
+/// The online integrity guard.
+#[derive(Debug, Clone)]
+pub struct IntegrityGuard {
+    params: GuardParams,
+    tick_hz: f64,
+    windows: Vec<RollingStd>,
+    /// Learned per-stream variance floors (mean rolling std during
+    /// calibration).
+    floors: Vec<f64>,
+    floor_sums: Vec<f64>,
+    floor_counts: usize,
+    learned: bool,
+    silent_runs: Vec<usize>,
+    alarms: Vec<IntegrityAlarm>,
+}
+
+impl IntegrityGuard {
+    /// Creates a guard over `n_streams` streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_streams == 0` or `tick_hz <= 0`.
+    pub fn new(n_streams: usize, tick_hz: f64, params: GuardParams) -> IntegrityGuard {
+        assert!(n_streams > 0, "guard needs streams");
+        assert!(tick_hz > 0.0, "tick rate must be positive");
+        let window = (params.window_s * tick_hz).round().max(2.0) as usize;
+        IntegrityGuard {
+            params,
+            tick_hz,
+            windows: vec![RollingStd::new(window); n_streams],
+            floors: vec![0.0; n_streams],
+            floor_sums: vec![0.0; n_streams],
+            floor_counts: 0,
+            learned: false,
+            silent_runs: vec![0; n_streams],
+            alarms: Vec::new(),
+        }
+    }
+
+    /// Whether the noise floors have been learned.
+    pub fn is_learned(&self) -> bool {
+        self.learned
+    }
+
+    /// Alarms raised so far.
+    pub fn alarms(&self) -> &[IntegrityAlarm] {
+        &self.alarms
+    }
+
+    /// Feeds one tick; returns any alarms fired at this tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the stream count.
+    pub fn step(&mut self, tick: usize, row: &[f64]) -> Vec<IntegrityAlarm> {
+        assert_eq!(row.len(), self.windows.len(), "stream count mismatch");
+        for (w, &x) in self.windows.iter_mut().zip(row) {
+            w.push(x);
+        }
+        let warmup = self.windows[0].len() < 2;
+        if warmup {
+            return Vec::new();
+        }
+        if !self.learned {
+            for (s, w) in self.windows.iter().enumerate() {
+                self.floor_sums[s] += w.std_dev();
+            }
+            self.floor_counts += 1;
+            if self.floor_counts >= self.params.learn_ticks {
+                for (f, &sum) in self.floors.iter_mut().zip(&self.floor_sums) {
+                    *f = sum / self.floor_counts as f64;
+                }
+                self.learned = true;
+            }
+            return Vec::new();
+        }
+        let alarm_ticks = (self.params.alarm_after_s * self.tick_hz).round().max(1.0) as usize;
+        let mut fired = Vec::new();
+        for (s, w) in self.windows.iter().enumerate() {
+            let observed = w.std_dev();
+            if observed < self.params.floor_fraction * self.floors[s] {
+                self.silent_runs[s] += 1;
+                if self.silent_runs[s] == alarm_ticks {
+                    let alarm = IntegrityAlarm { stream: s, tick, floor: self.floors[s], observed };
+                    self.alarms.push(alarm);
+                    fired.push(alarm);
+                }
+            } else {
+                self.silent_runs[s] = 0;
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadewich_stats::rng::Rng;
+
+    fn run_guard(silence_from: Option<usize>, streams: usize) -> Vec<IntegrityAlarm> {
+        let mut guard = IntegrityGuard::new(streams, 5.0, GuardParams::default());
+        let mut rng = Rng::seed_from_u64(4);
+        for tick in 0..2_000 {
+            let row: Vec<f64> = (0..streams)
+                .map(|s| {
+                    if s == 0 && silence_from.is_some_and(|from| tick >= from) {
+                        -35.0 // pinned
+                    } else {
+                        -50.0 + rng.normal()
+                    }
+                })
+                .collect();
+            guard.step(tick, &row);
+        }
+        guard.alarms().to_vec()
+    }
+
+    #[test]
+    fn healthy_channel_no_alarms() {
+        assert!(run_guard(None, 6).is_empty());
+    }
+
+    #[test]
+    fn saturated_stream_raises_alarm_quickly() {
+        let alarms = run_guard(Some(1_000), 6);
+        assert_eq!(alarms.len(), 1, "{alarms:?}");
+        let a = alarms[0];
+        assert_eq!(a.stream, 0);
+        // Window drains (~10 ticks) + alarm_after (15 ticks).
+        assert!(
+            (1_010..=1_060).contains(&a.tick),
+            "alarm at tick {} (expected shortly after 1000)",
+            a.tick
+        );
+        assert!(a.observed < a.floor);
+    }
+
+    #[test]
+    fn brief_quiet_spell_tolerated() {
+        // 5 quiet ticks (1 s) < alarm_after (3 s): no alarm.
+        let mut guard = IntegrityGuard::new(2, 5.0, GuardParams::default());
+        let mut rng = Rng::seed_from_u64(5);
+        for tick in 0..1_500 {
+            let quiet = (1_000..1_005).contains(&tick);
+            let row: Vec<f64> = (0..2)
+                .map(|s| {
+                    if s == 0 && quiet {
+                        -35.0
+                    } else {
+                        -50.0 + rng.normal()
+                    }
+                })
+                .collect();
+            guard.step(tick, &row);
+        }
+        assert!(guard.alarms().is_empty(), "{:?}", guard.alarms());
+    }
+
+    #[test]
+    fn learning_completes() {
+        let mut guard = IntegrityGuard::new(3, 5.0, GuardParams::default());
+        let mut rng = Rng::seed_from_u64(6);
+        assert!(!guard.is_learned());
+        for tick in 0..400 {
+            let row: Vec<f64> = (0..3).map(|_| -50.0 + rng.normal()).collect();
+            guard.step(tick, &row);
+        }
+        assert!(guard.is_learned());
+    }
+}

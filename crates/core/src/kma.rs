@@ -1,0 +1,106 @@
+//! Keyboard/Mouse Activity module (paper §IV-B).
+//!
+//! Each workstation reports its input events to the central station;
+//! KMA answers the query `S(s)_t` — which workstations have been idle
+//! for the whole interval `[t − s, t]`.
+
+use fadewich_officesim::InputTrace;
+
+/// The KMA module: a thin query layer over per-workstation input
+/// timestamps.
+#[derive(Debug, Clone)]
+pub struct Kma<'a> {
+    inputs: &'a InputTrace,
+}
+
+impl<'a> Kma<'a> {
+    /// Wraps an input trace for one day.
+    pub fn new(inputs: &'a InputTrace) -> Kma<'a> {
+        Kma { inputs }
+    }
+
+    /// Number of monitored workstations.
+    pub fn n_workstations(&self) -> usize {
+        self.inputs.n_workstations()
+    }
+
+    /// Idle time of workstation `ws` at time `t` (seconds since its
+    /// last input, or since day start if it has produced none).
+    pub fn idle_time(&self, ws: usize, t: f64) -> f64 {
+        self.inputs.idle_time(ws, t)
+    }
+
+    /// The paper's `S(s)_t`: workstations with no input during
+    /// `[t − s, t]`.
+    pub fn idle_set(&self, s: f64, t: f64) -> Vec<usize> {
+        (0..self.n_workstations())
+            .filter(|&ws| self.idle_time(ws, t) >= s)
+            .collect()
+    }
+
+    /// Whether `ws ∈ S(s)_t`.
+    pub fn is_idle(&self, ws: usize, s: f64, t: f64) -> bool {
+        self.idle_time(ws, t) >= s
+    }
+
+    /// The most recent input at or before `t`, if any.
+    pub fn last_input_before(&self, ws: usize, t: f64) -> Option<f64> {
+        self.inputs.last_input_before(ws, t)
+    }
+
+    /// Whether `ws` produced any input strictly inside `(from, to)`.
+    pub fn any_input_in(&self, ws: usize, from: f64, to: f64) -> bool {
+        self.inputs.any_input_in(ws, from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kma_fixture() -> InputTrace {
+        InputTrace::from_times(vec![
+            vec![10.0, 20.0, 100.0], // w1
+            vec![95.0, 99.0, 103.0], // w2
+            vec![],                  // w3: never present
+        ])
+    }
+
+    #[test]
+    fn idle_set_matches_definition() {
+        let inputs = kma_fixture();
+        let kma = Kma::new(&inputs);
+        // At t = 105 with s = 4: w1 idle 5 s (>=4), w2 idle 2 s, w3 idle 105 s.
+        assert_eq!(kma.idle_set(4.0, 105.0), vec![0, 2]);
+        // With s = 1: w2 still active 2 s ago -> not in S(1)? idle 2 >= 1, so in.
+        assert_eq!(kma.idle_set(1.0, 105.0), vec![0, 1, 2]);
+        assert_eq!(kma.idle_set(1.0, 103.5), vec![0, 2]);
+    }
+
+    #[test]
+    fn idle_time_counts_from_day_start_without_input() {
+        let inputs = kma_fixture();
+        let kma = Kma::new(&inputs);
+        assert_eq!(kma.idle_time(2, 50.0), 50.0);
+        assert!(kma.is_idle(2, 45.0, 50.0));
+    }
+
+    #[test]
+    fn input_resets_idle() {
+        let inputs = kma_fixture();
+        let kma = Kma::new(&inputs);
+        assert_eq!(kma.idle_time(0, 100.0), 0.0);
+        assert_eq!(kma.idle_time(0, 101.5), 1.5);
+        assert!(!kma.is_idle(0, 2.0, 101.5));
+    }
+
+    #[test]
+    fn pass_through_queries() {
+        let inputs = kma_fixture();
+        let kma = Kma::new(&inputs);
+        assert_eq!(kma.n_workstations(), 3);
+        assert_eq!(kma.last_input_before(0, 15.0), Some(10.0));
+        assert!(kma.any_input_in(1, 96.0, 100.0));
+        assert!(!kma.any_input_in(2, 0.0, 1000.0));
+    }
+}

@@ -1,0 +1,429 @@
+//! Movement Detection module (paper §IV-C, Algorithm 1).
+//!
+//! MD maintains, per monitored stream, a rolling standard deviation of
+//! the last `d` seconds; their sum `s_t` is compared each tick against
+//! the `(100 − α)`-th percentile of a KDE-smoothed *normal profile* of
+//! past `s_t` values. Batches of recent values refresh the profile when
+//! they are sufficiently calm (fraction of anomalous values < τ), which
+//! keeps the threshold tracking the slowly changing radio environment
+//! — the paper is explicit that a static calibration is impossible in a
+//! busy office.
+
+use std::collections::VecDeque;
+
+use fadewich_officesim::DayTrace;
+use fadewich_stats::kde::GaussianKde;
+use fadewich_stats::rolling::RollingStd;
+
+use crate::config::FadewichParams;
+use crate::windows::{VariationWindow, WindowTracker};
+
+/// MD's per-tick output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdVerdict {
+    /// Whether the environment is anomalous (Algorithm 1's return).
+    pub anomalous: bool,
+    /// The summed standard deviation `s_t`.
+    pub st: f64,
+    /// A variation window that closed at this tick, if any.
+    pub closed_window: Option<VariationWindow>,
+}
+
+/// The online movement detector.
+#[derive(Debug, Clone)]
+pub struct MovementDetector {
+    params: FadewichParams,
+    tick_hz: f64,
+    stream_stds: Vec<RollingStd>,
+    profile: VecDeque<f64>,
+    threshold: Option<f64>,
+    init_ticks: usize,
+    warmup_ticks: usize,
+    ticks_seen: usize,
+    queue: Vec<f64>,
+    queue_anomalous: usize,
+    /// Consecutive rejected batches (see
+    /// [`FadewichParams::max_rejected_batches`]).
+    rejected_streak: usize,
+    tracker: WindowTracker,
+}
+
+impl MovementDetector {
+    /// Creates a detector over `n_streams` streams sampled at
+    /// `tick_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parameter-validation message if `params` are
+    /// inconsistent, or an error for `n_streams == 0`.
+    pub fn new(
+        n_streams: usize,
+        tick_hz: f64,
+        params: FadewichParams,
+    ) -> Result<MovementDetector, String> {
+        params.validate()?;
+        if n_streams == 0 {
+            return Err("movement detection needs at least one stream".to_string());
+        }
+        if !(tick_hz > 0.0) {
+            return Err("tick rate must be positive".to_string());
+        }
+        let window_ticks = params.std_window_ticks(tick_hz);
+        let hangover = (params.window_hangover_s * tick_hz).round().max(1.0) as usize;
+        Ok(MovementDetector {
+            params,
+            tick_hz,
+            stream_stds: vec![RollingStd::new(window_ticks); n_streams],
+            profile: VecDeque::with_capacity(params.profile_capacity),
+            threshold: None,
+            init_ticks: (params.profile_init_s * tick_hz).round() as usize,
+            warmup_ticks: window_ticks,
+            ticks_seen: 0,
+            queue: Vec::with_capacity(params.batch_size),
+            queue_anomalous: 0,
+            rejected_streak: 0,
+            tracker: WindowTracker::new(hangover),
+        })
+    }
+
+    /// Number of monitored streams.
+    pub fn n_streams(&self) -> usize {
+        self.stream_stds.len()
+    }
+
+    /// The current anomaly threshold `ub`, once initialized.
+    pub fn threshold(&self) -> Option<f64> {
+        self.threshold
+    }
+
+    /// The current normal-profile values (for Fig. 2).
+    pub fn profile_values(&self) -> Vec<f64> {
+        self.profile.iter().copied().collect()
+    }
+
+    /// `dW_t`: duration (ticks) of the open variation window at `tick`.
+    pub fn open_duration_ticks(&self, tick: usize) -> usize {
+        self.tracker.open_duration_ticks(tick)
+    }
+
+    /// Start tick of the open variation window, if one is open.
+    pub fn open_window_start(&self) -> Option<usize> {
+        self.tracker.open_start()
+    }
+
+    /// Feeds one tick of samples (one per stream, same order as at
+    /// construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != n_streams()`.
+    pub fn step(&mut self, tick: usize, row: &[f64]) -> MdVerdict {
+        assert_eq!(row.len(), self.stream_stds.len(), "stream count mismatch");
+        for (w, &x) in self.stream_stds.iter_mut().zip(row) {
+            w.push(x);
+        }
+        self.ticks_seen += 1;
+        let st: f64 = self.stream_stds.iter().map(RollingStd::std_dev).sum();
+
+        // Warmup: rolling windows not yet representative.
+        if self.ticks_seen <= self.warmup_ticks {
+            return MdVerdict { anomalous: false, st, closed_window: None };
+        }
+        // Installation-time profile collection (no adversary assumed).
+        if self.threshold.is_none() {
+            self.profile.push_back(st);
+            if self.ticks_seen >= self.init_ticks.max(self.warmup_ticks + 8) {
+                self.refit();
+            }
+            return MdVerdict { anomalous: false, st, closed_window: None };
+        }
+
+        let ub = self.threshold.expect("initialized above");
+        let anomalous = st >= ub;
+
+        // Algorithm 1's batch update.
+        self.queue.push(st);
+        if anomalous {
+            self.queue_anomalous += 1;
+        }
+        if self.queue.len() >= self.params.batch_size {
+            let frac = self.queue_anomalous as f64 / self.queue.len() as f64;
+            if frac < self.params.tau {
+                for &v in &self.queue {
+                    self.profile.push_back(v);
+                }
+                while self.profile.len() > self.params.profile_capacity {
+                    self.profile.pop_front();
+                }
+                self.refit();
+                self.rejected_streak = 0;
+            } else {
+                self.rejected_streak += 1;
+                if self.rejected_streak >= self.params.max_rejected_batches {
+                    // The environment has shifted so far that Algorithm 1
+                    // would never accept a batch again; re-learn the
+                    // profile from the most recent data.
+                    self.profile.clear();
+                    self.profile.extend(self.queue.iter().copied());
+                    self.refit();
+                    self.rejected_streak = 0;
+                }
+            }
+            self.queue.clear();
+            self.queue_anomalous = 0;
+        }
+
+        let closed_window = self.tracker.push(tick, anomalous);
+        MdVerdict { anomalous, st, closed_window }
+    }
+
+    /// Flushes the open variation window at the end of a stream.
+    pub fn finish(&mut self, last_tick: usize) -> Option<VariationWindow> {
+        self.tracker.finish(last_tick)
+    }
+
+    fn refit(&mut self) {
+        let values: Vec<f64> = self.profile.iter().copied().collect();
+        if let Ok(kde) = GaussianKde::fit(&values) {
+            self.threshold = Some(kde.quantile(1.0 - self.params.alpha / 100.0));
+        }
+    }
+
+    /// The sampling rate this detector was built for.
+    pub fn tick_hz(&self) -> f64 {
+        self.tick_hz
+    }
+}
+
+/// The result of running MD offline over one recorded day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdRun {
+    /// All closed variation windows, in order (unfiltered by `t∆`).
+    pub windows: Vec<VariationWindow>,
+    /// The `s_t` series, one value per tick.
+    pub st_series: Vec<f64>,
+    /// The threshold series (NaN before initialization).
+    pub threshold_series: Vec<f64>,
+}
+
+impl MdRun {
+    /// Windows meeting the `t∆` significance threshold.
+    pub fn significant_windows(&self, t_delta_ticks: usize) -> Vec<VariationWindow> {
+        crate::windows::significant_windows(&self.windows, t_delta_ticks)
+    }
+}
+
+/// Runs MD over one day of a recorded trace, monitoring only
+/// `streams` (indices into the trace's stream list).
+///
+/// # Errors
+///
+/// Propagates [`MovementDetector::new`] errors.
+pub fn run_md_over_day(
+    day: &DayTrace,
+    streams: &[usize],
+    tick_hz: f64,
+    params: FadewichParams,
+) -> Result<MdRun, String> {
+    let mut md = MovementDetector::new(streams.len(), tick_hz, params)?;
+    let mut st_series = Vec::with_capacity(day.n_ticks());
+    let mut threshold_series = Vec::with_capacity(day.n_ticks());
+    let mut windows = Vec::new();
+    let mut row = vec![0.0f64; streams.len()];
+    for tick in 0..day.n_ticks() {
+        let full_row = day.row(tick);
+        for (dst, &s) in row.iter_mut().zip(streams) {
+            *dst = full_row[s] as f64;
+        }
+        let verdict = md.step(tick, &row);
+        st_series.push(verdict.st);
+        threshold_series.push(md.threshold().unwrap_or(f64::NAN));
+        if let Some(w) = verdict.closed_window {
+            windows.push(w);
+        }
+    }
+    if let Some(w) = md.finish(day.n_ticks().saturating_sub(1)) {
+        windows.push(w);
+    }
+    Ok(MdRun { windows, st_series, threshold_series })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadewich_stats::rng::Rng;
+
+    /// Synthesizes a quiet multi-stream day with one burst of high
+    /// variance in the middle.
+    fn synthetic_day(
+        n_streams: usize,
+        n_ticks: usize,
+        burst: Option<(usize, usize, f64)>,
+        seed: u64,
+    ) -> DayTrace {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut day = DayTrace::with_capacity(n_streams, n_ticks);
+        let mut row = vec![0.0f64; n_streams];
+        for t in 0..n_ticks {
+            let sd = match burst {
+                Some((from, to, boost)) if t >= from && t < to => 1.0 + boost,
+                _ => 1.0,
+            };
+            for r in row.iter_mut() {
+                *r = -50.0 + rng.normal() * sd;
+            }
+            day.push_row(&row);
+        }
+        day
+    }
+
+    fn fast_params() -> FadewichParams {
+        FadewichParams { profile_init_s: 30.0, ..Default::default() }
+    }
+
+    #[test]
+    fn quiet_day_yields_few_significant_windows() {
+        let day = synthetic_day(8, 3000, None, 1);
+        let run = run_md_over_day(&day, &(0..8).collect::<Vec<_>>(), 5.0, fast_params()).unwrap();
+        let sig = run.significant_windows(fast_params().t_delta_ticks(5.0));
+        assert!(sig.is_empty(), "false windows: {sig:?}");
+    }
+
+    #[test]
+    fn variance_burst_detected_with_accurate_timing() {
+        // Burst of 3x noise from tick 1500 to 1540 (8 s at 5 Hz).
+        let day = synthetic_day(8, 3000, Some((1500, 1540, 2.0)), 2);
+        let run = run_md_over_day(&day, &(0..8).collect::<Vec<_>>(), 5.0, fast_params()).unwrap();
+        let sig = run.significant_windows(fast_params().t_delta_ticks(5.0));
+        assert_eq!(sig.len(), 1, "windows: {:?}", run.windows);
+        let w = sig[0];
+        assert!(
+            (1495..=1510).contains(&w.start_tick),
+            "start {} should be near 1500",
+            w.start_tick
+        );
+        // Rolling window keeps std high for ~window length after.
+        assert!(
+            (1538..=1560).contains(&w.end_tick),
+            "end {} should be near 1540 (+rolling lag)",
+            w.end_tick
+        );
+    }
+
+    #[test]
+    fn short_blip_ignored_by_t_delta() {
+        // 1.2 s burst: a window forms but fails the significance test.
+        let day = synthetic_day(8, 3000, Some((1500, 1506, 2.5)), 3);
+        let run = run_md_over_day(&day, &(0..8).collect::<Vec<_>>(), 5.0, fast_params()).unwrap();
+        let sig = run.significant_windows(fast_params().t_delta_ticks(5.0));
+        assert!(sig.is_empty(), "blip wrongly significant: {sig:?}");
+    }
+
+    #[test]
+    fn st_scales_with_stream_count() {
+        let day = synthetic_day(8, 600, None, 4);
+        let run8 = run_md_over_day(&day, &(0..8).collect::<Vec<_>>(), 5.0, fast_params()).unwrap();
+        let run2 = run_md_over_day(&day, &[0, 1], 5.0, fast_params()).unwrap();
+        let mean8 = fadewich_stats::descriptive::mean(&run8.st_series[200..].to_vec());
+        let mean2 = fadewich_stats::descriptive::mean(&run2.st_series[200..].to_vec());
+        assert!(
+            (mean8 / mean2 - 4.0).abs() < 0.5,
+            "sum of stds should scale ~4x: {mean8} vs {mean2}"
+        );
+    }
+
+    #[test]
+    fn profile_updates_follow_slow_drift() {
+        // Noise sd ramps slowly from 1.0 to 1.6 over the day; the
+        // adaptive profile must avoid a permanent anomaly state.
+        let mut rng = Rng::seed_from_u64(5);
+        let n_ticks = 20_000;
+        let mut day = DayTrace::with_capacity(4, n_ticks);
+        let mut row = vec![0.0f64; 4];
+        for t in 0..n_ticks {
+            let sd = 1.0 + 0.6 * t as f64 / n_ticks as f64;
+            for r in row.iter_mut() {
+                *r = -50.0 + rng.normal() * sd;
+            }
+            day.push_row(&row);
+        }
+        let run = run_md_over_day(&day, &[0, 1, 2, 3], 5.0, fast_params()).unwrap();
+        let anomalous_late = run.st_series[15_000..]
+            .iter()
+            .zip(&run.threshold_series[15_000..])
+            .filter(|(st, ub)| st >= ub)
+            .count();
+        let frac = anomalous_late as f64 / 5000.0;
+        assert!(frac < 0.1, "drift not absorbed: {frac} anomalous late");
+    }
+
+    #[test]
+    fn threshold_is_above_profile_bulk() {
+        let day = synthetic_day(4, 1000, None, 6);
+        let run = run_md_over_day(&day, &[0, 1, 2, 3], 5.0, fast_params()).unwrap();
+        let ub = *run.threshold_series.last().unwrap();
+        let bulk: Vec<f64> = run.st_series[200..].to_vec();
+        let above = bulk.iter().filter(|&&s| s >= ub).count() as f64 / bulk.len() as f64;
+        assert!(above < 0.05, "fraction above threshold = {above}");
+    }
+
+    #[test]
+    fn online_and_offline_agree() {
+        let day = synthetic_day(4, 800, Some((400, 430, 2.0)), 7);
+        let streams = [0usize, 1, 2, 3];
+        let offline = run_md_over_day(&day, &streams, 5.0, fast_params()).unwrap();
+        let mut md = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        let mut windows = Vec::new();
+        for tick in 0..day.n_ticks() {
+            let row: Vec<f64> = streams.iter().map(|&s| day.sample(tick, s)).collect();
+            if let Some(w) = md.step(tick, &row).closed_window {
+                windows.push(w);
+            }
+        }
+        if let Some(w) = md.finish(day.n_ticks() - 1) {
+            windows.push(w);
+        }
+        assert_eq!(windows, offline.windows);
+    }
+
+    #[test]
+    fn profile_recovers_from_step_change() {
+        // Noise sd jumps 0.3 -> 3.0 at mid-day: Algorithm 1 alone would
+        // flag everything anomalous forever; the rejected-batch escape
+        // hatch re-learns the profile.
+        let mut rng = Rng::seed_from_u64(11);
+        let n_ticks = 20_000;
+        let mut day = DayTrace::with_capacity(4, n_ticks);
+        let mut row = vec![0.0f64; 4];
+        for t in 0..n_ticks {
+            let sd = if t < 8_000 { 0.3 } else { 3.0 };
+            for r in row.iter_mut() {
+                *r = -50.0 + rng.normal() * sd;
+            }
+            day.push_row(&row);
+        }
+        let run = run_md_over_day(&day, &[0, 1, 2, 3], 5.0, fast_params()).unwrap();
+        let late_anomalous = run.st_series[16_000..]
+            .iter()
+            .zip(&run.threshold_series[16_000..])
+            .filter(|(s, ub)| s >= ub)
+            .count();
+        let frac = late_anomalous as f64 / 4000.0;
+        assert!(frac < 0.2, "step change not absorbed: {frac} anomalous late");
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(MovementDetector::new(0, 5.0, FadewichParams::default()).is_err());
+        assert!(MovementDetector::new(4, 0.0, FadewichParams::default()).is_err());
+        let bad = FadewichParams { tau: 2.0, ..Default::default() };
+        assert!(MovementDetector::new(4, 5.0, bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "stream count mismatch")]
+    fn wrong_row_width_panics() {
+        let mut md = MovementDetector::new(4, 5.0, FadewichParams::default()).unwrap();
+        md.step(0, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Radio Environment module (paper §IV-D).
+//!
+//! RE owns the trained classifier. During training, variation-window
+//! samples are labeled *automatically* by correlating them with KMA
+//! idle times — a workstation that went idle exactly when the window
+//! started, and stayed idle, is the departure; a long-idle workstation
+//! that comes alive right after is an arrival (`w0`). Ambiguous windows
+//! are discarded, exactly as §IV-D3 prescribes.
+
+use fadewich_stats::rng::Rng;
+use fadewich_svm::{Kernel, MultiClassSvm, SmoParams, TrainError};
+
+use crate::features::TrainingSample;
+use crate::kma::Kma;
+
+/// Parameters of the automatic labeling heuristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoLabelParams {
+    /// A departure candidate's last input must fall within
+    /// `[t1 − slack_before, t1 + slack_after]`.
+    pub slack_before_s: f64,
+    /// See `slack_before_s`.
+    pub slack_after_s: f64,
+    /// The departure candidate must then stay idle until
+    /// `t1 + departure_probe_s`.
+    pub departure_probe_s: f64,
+    /// An arrival candidate must have been idle at least this long at
+    /// `t1`...
+    pub arrival_min_idle_s: f64,
+    /// ...and produce input within `t1 + arrival_probe_s`.
+    pub arrival_probe_s: f64,
+}
+
+impl Default for AutoLabelParams {
+    fn default() -> Self {
+        AutoLabelParams {
+            slack_before_s: 3.0,
+            slack_after_s: 2.0,
+            departure_probe_s: 15.0,
+            arrival_min_idle_s: 60.0,
+            arrival_probe_s: 25.0,
+        }
+    }
+}
+
+/// Automatically labels the variation window starting at `t1` (seconds
+/// from day start), or `None` when the evidence is ambiguous.
+///
+/// Returns the paper's label convention: `0` for `w0` (arrival),
+/// `ws + 1` for a departure from `ws`.
+pub fn auto_label(kma: &Kma<'_>, t1: f64, params: &AutoLabelParams) -> Option<usize> {
+    let mut departures = Vec::new();
+    let mut arrivals = Vec::new();
+    for ws in 0..kma.n_workstations() {
+        let probe_t = t1 + params.departure_probe_s;
+        match kma.last_input_before(ws, probe_t) {
+            Some(last)
+                if last >= t1 - params.slack_before_s && last <= t1 + params.slack_after_s =>
+            {
+                // Went idle right at the window start and stayed idle.
+                departures.push(ws);
+            }
+            _ => {}
+        }
+        let was_long_idle = kma.idle_time(ws, t1) >= params.arrival_min_idle_s;
+        if was_long_idle && kma.any_input_in(ws, t1, t1 + params.arrival_probe_s) {
+            arrivals.push(ws);
+        }
+    }
+    match (departures.len(), arrivals.len()) {
+        (1, 0) => Some(departures[0] + 1),
+        (0, n) if n >= 1 => Some(0),
+        _ => None,
+    }
+}
+
+/// The trained Radio Environment classifier.
+#[derive(Debug, Clone)]
+pub struct RadioEnvironment {
+    svm: MultiClassSvm,
+}
+
+impl RadioEnvironment {
+    /// Trains on labeled samples with the given kernel. `None` selects
+    /// the default: a linear kernel, which handles RE's
+    /// high-dimensional, small-sample feature matrices markedly better
+    /// than RBF (the classifier ablation bench quantifies this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVM training errors (empty set, single class, ragged
+    /// feature rows).
+    pub fn train(
+        samples: &[TrainingSample],
+        kernel: Option<Kernel>,
+        rng: &mut Rng,
+    ) -> Result<RadioEnvironment, TrainError> {
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| s.features.clone()).collect();
+        let ys: Vec<usize> = samples.iter().map(|s| s.label).collect();
+        let kernel = kernel.unwrap_or(Kernel::Linear);
+        let svm = MultiClassSvm::train(&xs, &ys, kernel, SmoParams::default(), rng)?;
+        Ok(RadioEnvironment { svm })
+    }
+
+    /// Classifies one sample's features into a label.
+    pub fn classify(&self, features: &[f64]) -> usize {
+        self.svm.predict(features)
+    }
+
+    /// Classes seen at training time.
+    pub fn classes(&self) -> &[usize] {
+        self.svm.classes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadewich_officesim::InputTrace;
+
+    fn label_with(inputs: InputTrace, t1: f64) -> Option<usize> {
+        let kma = Kma::new(&inputs);
+        auto_label(&kma, t1, &AutoLabelParams::default())
+    }
+
+    #[test]
+    fn clean_departure_labeled() {
+        // w2's user types until t = 100, then silence; others keep typing.
+        let inputs = InputTrace::from_times(vec![
+            (0..30).map(|i| 4.0 * i as f64).collect(),     // w1 active
+            vec![90.0, 95.0, 100.0],                       // w2 departs at 100
+            (0..30).map(|i| 1.0 + 4.0 * i as f64).collect(), // w3 active
+        ]);
+        assert_eq!(label_with(inputs, 100.5), Some(2));
+    }
+
+    #[test]
+    fn arrival_labeled_w0() {
+        // w3 idle since day start, first input at 106 (sat down after
+        // entering at ~100); others active.
+        let inputs = InputTrace::from_times(vec![
+            (0..40).map(|i| 3.0 * i as f64).collect(),
+            (0..40).map(|i| 1.0 + 3.0 * i as f64).collect(),
+            vec![106.0, 109.0, 114.0],
+        ]);
+        assert_eq!(label_with(inputs, 100.0), Some(0));
+    }
+
+    #[test]
+    fn ambiguous_double_departure_discarded() {
+        // Two workstations go idle at the window start.
+        let inputs = InputTrace::from_times(vec![
+            vec![98.0, 100.0],
+            vec![99.5],
+            (0..40).map(|i| 3.0 * i as f64).collect(),
+        ]);
+        assert_eq!(label_with(inputs, 100.5), None);
+    }
+
+    #[test]
+    fn burst_with_no_activity_change_discarded() {
+        // Everyone keeps typing through the window: nothing to label.
+        let inputs = InputTrace::from_times(vec![
+            (0..60).map(|i| 3.0 * i as f64).collect(),
+            (0..60).map(|i| 1.0 + 3.0 * i as f64).collect(),
+            (0..60).map(|i| 2.0 + 3.0 * i as f64).collect(),
+        ]);
+        assert_eq!(label_with(inputs, 100.0), None);
+    }
+
+    #[test]
+    fn departure_candidate_must_stay_idle() {
+        // w1 stops at 100 but types again at 108 (< probe 15): a pause,
+        // not a departure. No other signals -> discard.
+        let inputs = InputTrace::from_times(vec![
+            vec![96.0, 100.0, 108.0],
+            (0..60).map(|i| 3.0 * i as f64).collect(),
+            (0..60).map(|i| 1.5 + 3.0 * i as f64).collect(),
+        ]);
+        assert_eq!(label_with(inputs, 100.5), None);
+    }
+
+    #[test]
+    fn training_and_classification_roundtrip() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut samples = Vec::new();
+        for i in 0..40 {
+            let label = i % 3;
+            let mut features = vec![0.0; 6];
+            features[label * 2] = 5.0 + rng.normal() * 0.3;
+            features[label * 2 + 1] = 3.0 + rng.normal() * 0.3;
+            samples.push(TrainingSample { features, label });
+        }
+        let re = RadioEnvironment::train(&samples, None, &mut rng).unwrap();
+        assert_eq!(re.classes(), &[0, 1, 2]);
+        let mut correct = 0;
+        for s in &samples {
+            if re.classify(&s.features) == s.label {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 36, "correct = {correct}/40");
+    }
+
+    #[test]
+    fn training_errors_propagate() {
+        let mut rng = Rng::seed_from_u64(1);
+        assert_eq!(
+            RadioEnvironment::train(&[], None, &mut rng).unwrap_err(),
+            TrainError::Empty
+        );
+        let one_class = vec![
+            TrainingSample { features: vec![1.0], label: 1 },
+            TrainingSample { features: vec![2.0], label: 1 },
+        ];
+        assert_eq!(
+            RadioEnvironment::train(&one_class, None, &mut rng).unwrap_err(),
+            TrainError::BadLabels
+        );
+    }
+}

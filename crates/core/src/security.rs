@@ -1,0 +1,447 @@
+//! Security modeling (paper §V, Figs. 5, 9, 10, 13).
+//!
+//! The paper scores MD decisions by overlap with ground-truth *true
+//! windows* and follows the decision tree of Fig. 5 to a
+//! deauthentication time for every departure:
+//!
+//! - **case A** — MD detected the movement and RE classified it
+//!   correctly: deauthenticated at `t1 + t∆`;
+//! - **case B** — detected but misclassified: the alert path
+//!   deauthenticates at `t + t_ID + t_ss` (last input at `t`);
+//! - **case C** — missed by MD: the baseline timeout fires at `t + T`.
+
+use fadewich_officesim::{EventLog, MovementEvent};
+use fadewich_stats::DetectionCounts;
+
+use crate::config::FadewichParams;
+use crate::windows::VariationWindow;
+
+/// The outcome of matching one day's significant variation windows
+/// against the whole experiment's ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionOutcome {
+    /// TP/FP/FN counts in the paper's §V-A sense.
+    pub counts: DetectionCounts,
+    /// For each event (indexed as in the [`EventLog`]): the first
+    /// significant window overlapping its true window, if any.
+    pub matched: Vec<Option<(usize, VariationWindow)>>,
+    /// Significant windows overlapping no true window, with their day.
+    pub false_positives: Vec<(usize, VariationWindow)>,
+}
+
+/// Matches per-day significant windows to ground-truth events.
+///
+/// `windows_by_day[d]` must contain only windows already filtered by
+/// `t∆`, in chronological order.
+///
+/// # Panics
+///
+/// Panics if `windows_by_day` has fewer days than the log references.
+pub fn evaluate_detection(
+    windows_by_day: &[Vec<VariationWindow>],
+    events: &EventLog,
+    tick_hz: f64,
+    params: &FadewichParams,
+) -> DetectionOutcome {
+    let delta = params.true_window_delta_s;
+    let mut matched: Vec<Option<(usize, VariationWindow)>> = vec![None; events.len()];
+    let mut window_used: Vec<Vec<bool>> =
+        windows_by_day.iter().map(|ws| vec![false; ws.len()]).collect();
+
+    for (ei, event) in events.events().iter().enumerate() {
+        assert!(event.day < windows_by_day.len(), "event day out of range");
+        let (lo, hi) = event.true_window(delta);
+        for (wi, w) in windows_by_day[event.day].iter().enumerate() {
+            if w.overlaps_interval(lo, hi, tick_hz) {
+                window_used[event.day][wi] = true;
+                if matched[ei].is_none() {
+                    matched[ei] = Some((event.day, *w));
+                }
+            }
+        }
+    }
+
+    let mut false_positives = Vec::new();
+    for (day, ws) in windows_by_day.iter().enumerate() {
+        for (wi, w) in ws.iter().enumerate() {
+            if !window_used[day][wi] {
+                false_positives.push((day, *w));
+            }
+        }
+    }
+
+    let tp = matched.iter().filter(|m| m.is_some()).count();
+    let fn_ = matched.len() - tp;
+    let counts = DetectionCounts::new(tp, false_positives.len(), fn_);
+    DetectionOutcome { counts, matched, false_positives }
+}
+
+/// Which leaf of the Fig. 5 decision tree a departure landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeauthCase {
+    /// True positive, correct classification → `t1 + t∆`.
+    CorrectClassification,
+    /// True positive, misclassified → `t + t_ID + t_ss`.
+    Misclassified,
+    /// False negative → timeout `t + T`.
+    MissedByMd,
+}
+
+/// The deauthentication outcome of one departure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeauthOutcome {
+    /// Index of the departure in the event log.
+    pub event_index: usize,
+    /// Decision-tree leaf.
+    pub case: DeauthCase,
+    /// Absolute deauthentication time (seconds from day start).
+    pub deauth_time: f64,
+    /// Seconds between the user leaving the workstation's vicinity
+    /// (`t_proximity` — the paper's reference `t`, which under its
+    /// worst-case assumption is also the last-input time) and
+    /// deauthentication.
+    pub elapsed: f64,
+}
+
+/// Applies the Fig. 5 decision tree to every departure.
+///
+/// `predictions[i]` is RE's label for event `i`'s matched window
+/// (ignored for unmatched events); entries may be `None` for events
+/// outside the evaluation fold.
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != events.len()`.
+pub fn deauth_outcomes(
+    detection: &DetectionOutcome,
+    predictions: &[Option<usize>],
+    events: &EventLog,
+    params: &FadewichParams,
+    tick_hz: f64,
+) -> Vec<DeauthOutcome> {
+    assert_eq!(predictions.len(), events.len(), "one prediction slot per event");
+    let mut outcomes = Vec::new();
+    for (ei, event) in events.events().iter().enumerate() {
+        if !event.is_leave() {
+            continue;
+        }
+        let outcome = match (&detection.matched[ei], predictions[ei]) {
+            (Some((_, w)), Some(pred)) if pred == event.label() => {
+                let deauth = w.start_s(tick_hz) + params.t_delta_s;
+                DeauthOutcome {
+                    event_index: ei,
+                    case: DeauthCase::CorrectClassification,
+                    deauth_time: deauth,
+                    elapsed: deauth - event.t_proximity,
+                }
+            }
+            (Some(_), _) => DeauthOutcome {
+                event_index: ei,
+                case: DeauthCase::Misclassified,
+                deauth_time: event.t_proximity + params.t_id_s + params.t_ss_s,
+                elapsed: params.t_id_s + params.t_ss_s,
+            },
+            (None, _) => DeauthOutcome {
+                event_index: ei,
+                case: DeauthCase::MissedByMd,
+                deauth_time: event.t_proximity + params.timeout_s,
+                elapsed: params.timeout_s,
+            },
+        };
+        outcomes.push(outcome);
+    }
+    outcomes
+}
+
+/// The Fig. 9 curve: for each elapsed-time point, the percentage of
+/// departures deauthenticated by then.
+pub fn deauth_proportion_curve(
+    outcomes: &[DeauthOutcome],
+    time_points: &[f64],
+) -> Vec<(f64, f64)> {
+    time_points
+        .iter()
+        .map(|&t| {
+            let done = outcomes.iter().filter(|o| o.elapsed <= t).count();
+            let pct = if outcomes.is_empty() {
+                0.0
+            } else {
+                100.0 * done as f64 / outcomes.len() as f64
+            };
+            (t, pct)
+        })
+        .collect()
+}
+
+/// Attack-opportunity counts (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackAnalysis {
+    /// Total office exits considered.
+    pub n_exits: usize,
+    /// Exits where the *insider* (reaches the workstation
+    /// `insider_delay` after the victim passes the door) finds it still
+    /// authenticated.
+    pub insider_opportunities: usize,
+    /// Same for the *co-worker* (zero delay).
+    pub coworker_opportunities: usize,
+}
+
+impl AttackAnalysis {
+    /// Insider opportunities as a percentage of exits.
+    pub fn insider_pct(&self) -> f64 {
+        percentage(self.insider_opportunities, self.n_exits)
+    }
+
+    /// Co-worker opportunities as a percentage of exits.
+    pub fn coworker_pct(&self) -> f64 {
+        percentage(self.coworker_opportunities, self.n_exits)
+    }
+}
+
+fn percentage(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Default seconds an insider needs to reach the workstation from
+/// outside the office (paper §VII-C).
+pub const INSIDER_DELAY_S: f64 = 4.0;
+
+/// Counts attack opportunities per Fig. 10: an adversary who reaches
+/// the workstation before its deauthentication has an opportunity.
+pub fn attack_opportunities(
+    outcomes: &[DeauthOutcome],
+    events: &EventLog,
+    insider_delay: f64,
+) -> AttackAnalysis {
+    let mut insider = 0;
+    let mut coworker = 0;
+    for o in outcomes {
+        let event = &events.events()[o.event_index];
+        // The victim is through the door at t_door; a co-worker can be
+        // at the workstation immediately, the insider `delay` later.
+        if o.deauth_time > event.t_door {
+            coworker += 1;
+        }
+        if o.deauth_time > event.t_door + insider_delay {
+            insider += 1;
+        }
+    }
+    AttackAnalysis {
+        n_exits: outcomes.len(),
+        insider_opportunities: insider,
+        coworker_opportunities: coworker,
+    }
+}
+
+/// Vulnerable time of one departure: the workstation is exposed from
+/// the user leaving until deauthentication or the user's return,
+/// whichever comes first.
+pub fn vulnerable_seconds(outcome: &DeauthOutcome, event: &MovementEvent, return_time: Option<f64>) -> f64 {
+    let end = match return_time {
+        Some(r) => outcome.deauth_time.min(r),
+        None => outcome.deauth_time,
+    };
+    (end - event.t_proximity).max(0.0)
+}
+
+/// Total vulnerable minutes across departures (the Fig. 13 security
+/// axis). `return_times[i]` is when event `i`'s user next re-entered
+/// (same-day), if ever.
+///
+/// # Panics
+///
+/// Panics if `return_times.len() != outcomes.len()`.
+pub fn total_vulnerable_minutes(
+    outcomes: &[DeauthOutcome],
+    events: &EventLog,
+    return_times: &[Option<f64>],
+) -> f64 {
+    assert_eq!(return_times.len(), outcomes.len(), "one return slot per outcome");
+    outcomes
+        .iter()
+        .zip(return_times)
+        .map(|(o, &r)| vulnerable_seconds(o, &events.events()[o.event_index], r))
+        .sum::<f64>()
+        / 60.0
+}
+
+/// For each departure outcome, the same-day time its workstation's
+/// user next re-entered the office, if any.
+pub fn return_times(outcomes: &[DeauthOutcome], events: &EventLog) -> Vec<Option<f64>> {
+    outcomes
+        .iter()
+        .map(|o| {
+            let leave = &events.events()[o.event_index];
+            events
+                .events()
+                .iter()
+                .filter(|e| {
+                    e.day == leave.day
+                        && !e.is_leave()
+                        && e.t_start > leave.t_start
+                        && same_workstation(e, leave)
+                })
+                .map(|e| e.t_end)
+                .next()
+        })
+        .collect()
+}
+
+fn same_workstation(a: &MovementEvent, b: &MovementEvent) -> bool {
+    workstation_of(a) == workstation_of(b)
+}
+
+fn workstation_of(e: &MovementEvent) -> usize {
+    match e.kind {
+        fadewich_officesim::EventKind::Enter { workstation }
+        | fadewich_officesim::EventKind::Leave { workstation } => workstation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadewich_officesim::EventKind;
+
+    fn leave(day: usize, ws: usize, t: f64) -> MovementEvent {
+        MovementEvent {
+            kind: EventKind::Leave { workstation: ws },
+            day,
+            t_start: t,
+            t_proximity: t + 1.8,
+            t_door: t + 5.5,
+            t_end: t + 5.5,
+        }
+    }
+
+    fn enter(day: usize, ws: usize, t: f64) -> MovementEvent {
+        MovementEvent {
+            kind: EventKind::Enter { workstation: ws },
+            day,
+            t_start: t,
+            t_proximity: t,
+            t_door: t,
+            t_end: t + 5.0,
+        }
+    }
+
+    fn win(t1_s: f64, t2_s: f64) -> VariationWindow {
+        VariationWindow {
+            start_tick: (t1_s * 5.0) as usize,
+            end_tick: (t2_s * 5.0) as usize,
+        }
+    }
+
+    fn params() -> FadewichParams {
+        FadewichParams::default()
+    }
+
+    #[test]
+    fn detection_matching_counts() {
+        let events: EventLog =
+            vec![leave(0, 0, 100.0), leave(0, 1, 300.0), enter(0, 0, 500.0)].into_iter().collect();
+        // One window matches the first leave, one is far from anything,
+        // the enter is missed.
+        let windows = vec![vec![win(100.5, 106.0), win(200.0, 206.0)]];
+        let out = evaluate_detection(&windows, &events, 5.0, &params());
+        assert_eq!(out.counts, DetectionCounts::new(1, 1, 2));
+        assert!(out.matched[0].is_some());
+        assert!(out.matched[1].is_none());
+        assert_eq!(out.false_positives.len(), 1);
+        assert_eq!(out.false_positives[0].1, win(200.0, 206.0));
+    }
+
+    #[test]
+    fn two_windows_on_one_event_not_double_counted() {
+        let events: EventLog = vec![leave(0, 0, 100.0)].into_iter().collect();
+        let windows = vec![vec![win(99.0, 102.0), win(103.0, 107.0)]];
+        let out = evaluate_detection(&windows, &events, 5.0, &params());
+        assert_eq!(out.counts, DetectionCounts::new(1, 0, 0));
+    }
+
+    #[test]
+    fn decision_tree_cases() {
+        let events: EventLog =
+            vec![leave(0, 0, 100.0), leave(0, 1, 300.0), leave(0, 2, 500.0)].into_iter().collect();
+        let windows = vec![vec![win(100.4, 106.0), win(300.4, 306.0)]];
+        let det = evaluate_detection(&windows, &events, 5.0, &params());
+        // Event 0 correctly classified (label 1), event 1 misclassified,
+        // event 2 missed.
+        let preds = vec![Some(1), Some(3), None];
+        let outcomes = deauth_outcomes(&det, &preds, &events, &params(), 5.0);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].case, DeauthCase::CorrectClassification);
+        // t1 = 100.4, deauth at t1 + 4.5 = 104.9; proximity left at
+        // 101.8 -> elapsed 3.1.
+        assert!((outcomes[0].elapsed - 3.1).abs() < 0.21);
+        assert_eq!(outcomes[1].case, DeauthCase::Misclassified);
+        assert!((outcomes[1].elapsed - 8.0).abs() < 1e-9);
+        assert_eq!(outcomes[2].case, DeauthCase::MissedByMd);
+        assert!((outcomes[2].elapsed - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportion_curve_monotone() {
+        let events: EventLog = vec![leave(0, 0, 100.0), leave(0, 1, 300.0)].into_iter().collect();
+        let windows = vec![vec![win(100.4, 106.0)]];
+        let det = evaluate_detection(&windows, &events, 5.0, &params());
+        let outcomes =
+            deauth_outcomes(&det, &[Some(1), None], &events, &params(), 5.0);
+        let curve = deauth_proportion_curve(&outcomes, &[0.0, 5.0, 10.0, 400.0]);
+        assert_eq!(curve[0].1, 0.0);
+        assert_eq!(curve[1].1, 50.0); // case A done by 5 s
+        assert_eq!(curve[2].1, 50.0); // case C still pending
+        assert_eq!(curve[3].1, 100.0);
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn attack_opportunity_accounting() {
+        let events: EventLog = vec![leave(0, 0, 100.0), leave(0, 1, 300.0)].into_iter().collect();
+        let windows = vec![vec![win(100.4, 106.0)]];
+        let det = evaluate_detection(&windows, &events, 5.0, &params());
+        let outcomes = deauth_outcomes(&det, &[Some(1), None], &events, &params(), 5.0);
+        let attacks = attack_opportunities(&outcomes, &events, INSIDER_DELAY_S);
+        // Case A: deauth at 104.9 < door time 105 -> no opportunity.
+        // Case C: deauth at 600 >> door 305 -> both adversaries.
+        assert_eq!(attacks.n_exits, 2);
+        assert_eq!(attacks.coworker_opportunities, 1);
+        assert_eq!(attacks.insider_opportunities, 1);
+        assert_eq!(attacks.coworker_pct(), 50.0);
+    }
+
+    #[test]
+    fn timeout_baseline_always_vulnerable() {
+        let events: EventLog = vec![leave(0, 0, 100.0)].into_iter().collect();
+        let det = evaluate_detection(&[vec![]], &events, 5.0, &params());
+        let outcomes = deauth_outcomes(&det, &[None], &events, &params(), 5.0);
+        let attacks = attack_opportunities(&outcomes, &events, INSIDER_DELAY_S);
+        assert_eq!(attacks.coworker_pct(), 100.0);
+        assert_eq!(attacks.insider_pct(), 100.0);
+    }
+
+    #[test]
+    fn vulnerable_time_capped_by_return() {
+        let events: EventLog =
+            vec![leave(0, 0, 100.0), enter(0, 0, 220.0)].into_iter().collect();
+        let det = evaluate_detection(&[vec![]], &events, 5.0, &params());
+        let outcomes = deauth_outcomes(&det, &[None, None], &events, &params(), 5.0);
+        let returns = return_times(&outcomes, &events);
+        // Timeout would fire at ~400, but the user is back at 225;
+        // vulnerability started when proximity was left at 101.8.
+        assert_eq!(returns, vec![Some(225.0)]);
+        let minutes = total_vulnerable_minutes(&outcomes, &events, &returns);
+        assert!((minutes - 123.2 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn case_a_faster_than_case_b_faster_than_case_c() {
+        let p = params();
+        assert!(p.t_delta_s + 1.0 < p.t_id_s + p.t_ss_s);
+        assert!(p.t_id_s + p.t_ss_s < p.timeout_s);
+    }
+}

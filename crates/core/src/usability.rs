@@ -1,0 +1,319 @@
+//! Usability cost simulation (paper §VI-A, §VII-D, Table IV).
+//!
+//! The system's errors cost present users time: a screen saver that
+//! starts while the user is at the desk must be cancelled (3 s), a
+//! wrongful deauthentication forces a re-login (13 s). The paper
+//! simulates keyboard/mouse input (78% of 5-s slots), replays the
+//! detected windows and classifier outputs through Rules 1–2, counts
+//! the errors, and averages over 100 input draws.
+
+use fadewich_officesim::InputTrace;
+use fadewich_stats::rng::Rng;
+
+use crate::config::FadewichParams;
+use crate::windows::VariationWindow;
+
+/// Cost model constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsabilityParams {
+    /// Seconds a user spends cancelling a spurious screen saver.
+    pub screensaver_cost_s: f64,
+    /// Seconds a user spends re-authenticating after a wrongful
+    /// deauthentication.
+    pub relogin_cost_s: f64,
+    /// Bounds on how quickly a present user reacts to a screen saver
+    /// (must stay under `t_ss` or the session locks).
+    pub reaction_bounds_s: (f64, f64),
+}
+
+impl Default for UsabilityParams {
+    fn default() -> Self {
+        UsabilityParams {
+            screensaver_cost_s: 3.0,
+            relogin_cost_s: 13.0,
+            reaction_bounds_s: (0.5, 2.5),
+        }
+    }
+}
+
+/// Error counts of one simulated day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DayUsability {
+    /// Screen savers that started while the user was present.
+    pub error_screensavers: usize,
+    /// Deauthentications that hit a present user.
+    pub error_deauths: usize,
+}
+
+impl DayUsability {
+    /// Total user cost in seconds under the given cost model.
+    pub fn cost_seconds(&self, params: &UsabilityParams) -> f64 {
+        self.error_screensavers as f64 * params.screensaver_cost_s
+            + self.error_deauths as f64 * params.relogin_cost_s
+    }
+}
+
+/// Whether workstation `ws`'s user is seated at `t`, given per-
+/// workstation seated intervals.
+fn seated_at(seated: &[Vec<(f64, f64)>], ws: usize, t: f64) -> bool {
+    seated[ws].iter().any(|&(a, b)| t >= a && t < b)
+}
+
+/// Replays one day's detected windows and predictions through
+/// Rules 1–2 against one realization of the input process, counting
+/// user-facing errors.
+///
+/// - `windows` must be the significant (≥ `t∆`) windows of the day, in
+///   order, with `predictions[i]` the classifier label of window `i`;
+/// - `seated[ws]` are the ground-truth seated intervals of the user of
+///   workstation `ws` (used only to decide whether an action hit a
+///   present user);
+/// - `rng` draws the users' screen-saver reaction times.
+///
+/// # Panics
+///
+/// Panics if `windows` and `predictions` lengths differ.
+pub fn simulate_day(
+    windows: &[VariationWindow],
+    predictions: &[usize],
+    inputs: &InputTrace,
+    seated: &[Vec<(f64, f64)>],
+    params: &FadewichParams,
+    usability: &UsabilityParams,
+    tick_hz: f64,
+    rng: &mut Rng,
+) -> DayUsability {
+    assert_eq!(windows.len(), predictions.len(), "one prediction per window");
+    let n_ws = inputs.n_workstations();
+    let mut result = DayUsability::default();
+    // Alerts already being escalated, to avoid double counting.
+    let mut pending_until = vec![0.0f64; n_ws];
+    // Cancelling a screen saver is itself an input (a nudge of the
+    // mouse); the input trace doesn't contain it, so track it here.
+    let mut virtual_input = vec![f64::NEG_INFINITY; n_ws];
+    let effective_idle = |virtual_input: &[f64], ws: usize, t: f64| -> f64 {
+        (t - virtual_input[ws]).min(inputs.idle_time(ws, t))
+    };
+
+    for (w, &pred) in windows.iter().zip(predictions) {
+        let t1 = w.start_s(tick_hz);
+        let t_rule1 = t1 + params.t_delta_s;
+        let t2 = w.end_s(tick_hz);
+
+        // Rule 1: deauthenticate the predicted workstation if idle for
+        // the whole window.
+        if pred > 0 {
+            let ws = pred - 1;
+            if ws < n_ws && inputs.idle_time(ws, t_rule1) >= params.t_delta_s {
+                if seated_at(seated, ws, t_rule1) {
+                    result.error_deauths += 1;
+                }
+                // Absent user: the correct case-A deauth; no user cost.
+            }
+        }
+
+        // Rule 2: while the window persists past t∆, idle workstations
+        // enter alert state. We scan the tail at tick resolution.
+        let step = 1.0 / tick_hz;
+        let mut t = t_rule1;
+        while t <= t2 + 1e-9 {
+            for ws in 0..n_ws {
+                if t < pending_until[ws] {
+                    continue;
+                }
+                if effective_idle(&virtual_input, ws, t) < params.alert_idle_s {
+                    continue;
+                }
+                // Alert entered at time t; escalate from the effective
+                // last input (real or screen-saver cancellation).
+                let last = inputs
+                    .last_input_before(ws, t)
+                    .unwrap_or(0.0)
+                    .max(virtual_input[ws]);
+                let ss_on = (last + params.t_id_s).max(t);
+                match inputs.next_input_after(ws, t) {
+                    Some(next) if next < ss_on => {
+                        // Input cancels the alert silently.
+                        pending_until[ws] = next;
+                    }
+                    _ => {
+                        if seated_at(seated, ws, ss_on) {
+                            // Screen saver on a present user: cancelled
+                            // after the reaction time, costing 3 s.
+                            result.error_screensavers += 1;
+                            let reaction = rng
+                                .range_f64(usability.reaction_bounds_s.0, usability.reaction_bounds_s.1);
+                            virtual_input[ws] = ss_on + reaction;
+                            pending_until[ws] = ss_on + reaction;
+                        } else {
+                            // Absent: alert path deauthenticates at
+                            // last + t_ID + t_ss (case-B handling, not
+                            // a user-facing error).
+                            pending_until[ws] = last + params.t_id_s + params.t_ss_s;
+                        }
+                    }
+                }
+            }
+            t += step;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> FadewichParams {
+        FadewichParams::default()
+    }
+
+    fn win(t1_s: f64, t2_s: f64) -> VariationWindow {
+        VariationWindow {
+            start_tick: (t1_s * 5.0) as usize,
+            end_tick: (t2_s * 5.0) as usize,
+        }
+    }
+
+    /// Inputs: w1 typing steadily except for a 12 s pause around the
+    /// window; w2 typing steadily; w3 absent all day.
+    fn fixture_inputs() -> InputTrace {
+        let mut w1: Vec<f64> = (0..200).map(|i| i as f64 * 3.0).collect();
+        w1.retain(|&t| !(100.0..112.0).contains(&t));
+        let w2: Vec<f64> = (0..200).map(|i| 1.5 + i as f64 * 3.0).collect();
+        InputTrace::from_times(vec![w1, w2, vec![]])
+    }
+
+    fn seated_fixture() -> Vec<Vec<(f64, f64)>> {
+        vec![vec![(0.0, 600.0)], vec![(0.0, 600.0)], vec![]]
+    }
+
+    #[test]
+    fn idle_present_user_gets_screensaver_error() {
+        // Window spans 100..110 s while w1's user is pausing: the alert
+        // escalates to a screen saver on a present user.
+        let windows = vec![win(100.0, 110.0)];
+        let predictions = vec![0]; // w0 -> no rule-1 deauth
+        let inputs = fixture_inputs();
+        let mut rng = Rng::seed_from_u64(1);
+        let day = simulate_day(
+            &windows,
+            &predictions,
+            &inputs,
+            &seated_fixture(),
+            &params(),
+            &UsabilityParams::default(),
+            5.0,
+            &mut rng,
+        );
+        // The 12-s pause earns the initial screen saver plus one
+        // re-alert while the window is still open (Rule 2 re-applies
+        // after the cancellation input).
+        assert_eq!(day.error_screensavers, 2, "{day:?}");
+        assert_eq!(day.error_deauths, 0);
+        assert!((day.cost_seconds(&UsabilityParams::default()) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misclassification_deauths_present_idle_user() {
+        // Prediction says "w1's user left"; w1's user is present but in
+        // an idle spell of >= t_delta: rule 1 wrongly deauthenticates.
+        let windows = vec![win(104.6, 110.0)];
+        let predictions = vec![1];
+        let inputs = fixture_inputs();
+        let mut rng = Rng::seed_from_u64(2);
+        let day = simulate_day(
+            &windows,
+            &predictions,
+            &inputs,
+            &seated_fixture(),
+            &params(),
+            &UsabilityParams::default(),
+            5.0,
+            &mut rng,
+        );
+        assert_eq!(day.error_deauths, 1, "{day:?}");
+        assert!(day.cost_seconds(&UsabilityParams::default()) >= 13.0);
+    }
+
+    #[test]
+    fn active_user_immune() {
+        // w2's user never pauses: predictions against w2 do nothing.
+        let windows = vec![win(100.0, 110.0)];
+        let predictions = vec![2];
+        let inputs = fixture_inputs();
+        let mut rng = Rng::seed_from_u64(3);
+        let day = simulate_day(
+            &windows,
+            &predictions,
+            &inputs,
+            &seated_fixture(),
+            &params(),
+            &UsabilityParams::default(),
+            5.0,
+            &mut rng,
+        );
+        assert_eq!(day.error_deauths, 0);
+    }
+
+    #[test]
+    fn absent_workstation_incurs_no_cost() {
+        // w3 is absent; its alert path runs to deauth without errors.
+        let windows = vec![win(100.0, 110.0)];
+        let predictions = vec![3];
+        let inputs = fixture_inputs();
+        let mut rng = Rng::seed_from_u64(4);
+        let day = simulate_day(
+            &windows,
+            &predictions,
+            &inputs,
+            &seated_fixture(),
+            &params(),
+            &UsabilityParams::default(),
+            5.0,
+            &mut rng,
+        );
+        // w1 pausing still earns its screensaver; but no deauth errors.
+        assert_eq!(day.error_deauths, 0);
+    }
+
+    #[test]
+    fn no_windows_no_cost() {
+        let inputs = fixture_inputs();
+        let mut rng = Rng::seed_from_u64(5);
+        let day = simulate_day(
+            &[],
+            &[],
+            &inputs,
+            &seated_fixture(),
+            &params(),
+            &UsabilityParams::default(),
+            5.0,
+            &mut rng,
+        );
+        assert_eq!(day, DayUsability::default());
+        assert_eq!(day.cost_seconds(&UsabilityParams::default()), 0.0);
+    }
+
+    #[test]
+    fn alert_not_charged_unboundedly() {
+        // A longer window must not keep charging the same pause beyond
+        // the cancellation/re-alert cycle: exactly two screen savers
+        // fit in the 12-s pause regardless of window length.
+        let windows = vec![win(100.0, 115.0)];
+        let predictions = vec![0];
+        let inputs = fixture_inputs();
+        let mut rng = Rng::seed_from_u64(6);
+        let day = simulate_day(
+            &windows,
+            &predictions,
+            &inputs,
+            &seated_fixture(),
+            &params(),
+            &UsabilityParams::default(),
+            5.0,
+            &mut rng,
+        );
+        assert_eq!(day.error_screensavers, 2, "{day:?}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Variation windows (paper §IV-C4).
+//!
+//! A variation window `[t1, t2]` is a maximal interval during which MD
+//! reports anomalous fluctuations. Windows shorter than `t∆` are
+//! ignored; longer ones trigger system decisions. The tracker applies a
+//! short *hangover* so that a movement whose `s_t` momentarily dips
+//! below the threshold still forms one window.
+
+/// A closed variation window, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariationWindow {
+    /// First anomalous tick.
+    pub start_tick: usize,
+    /// Last anomalous tick (inclusive).
+    pub end_tick: usize,
+}
+
+impl VariationWindow {
+    /// Window duration in ticks (inclusive of both ends).
+    pub fn duration_ticks(&self) -> usize {
+        self.end_tick - self.start_tick + 1
+    }
+
+    /// Duration in seconds at the given rate.
+    pub fn duration_s(&self, tick_hz: f64) -> f64 {
+        self.duration_ticks() as f64 / tick_hz
+    }
+
+    /// Start time in seconds.
+    pub fn start_s(&self, tick_hz: f64) -> f64 {
+        self.start_tick as f64 / tick_hz
+    }
+
+    /// End time in seconds.
+    pub fn end_s(&self, tick_hz: f64) -> f64 {
+        self.end_tick as f64 / tick_hz
+    }
+
+    /// Whether `[a, b]` (seconds) overlaps this window.
+    pub fn overlaps_interval(&self, a: f64, b: f64, tick_hz: f64) -> bool {
+        self.start_s(tick_hz) <= b && self.end_s(tick_hz) >= a
+    }
+}
+
+/// Online tracker turning a per-tick anomalous/normal stream into
+/// variation windows.
+#[derive(Debug, Clone)]
+pub struct WindowTracker {
+    hangover_ticks: usize,
+    /// Open window start, if any.
+    open_start: Option<usize>,
+    /// Last anomalous tick of the open window.
+    last_anomalous: usize,
+    /// Normal ticks seen since the last anomalous one.
+    quiet_run: usize,
+    closed: Vec<VariationWindow>,
+}
+
+impl WindowTracker {
+    /// Creates a tracker; the window closes after `hangover_ticks`
+    /// consecutive normal ticks.
+    pub fn new(hangover_ticks: usize) -> WindowTracker {
+        WindowTracker {
+            hangover_ticks: hangover_ticks.max(1),
+            open_start: None,
+            last_anomalous: 0,
+            quiet_run: 0,
+            closed: Vec::new(),
+        }
+    }
+
+    /// Feeds one tick's MD verdict; returns a window when one closes.
+    pub fn push(&mut self, tick: usize, anomalous: bool) -> Option<VariationWindow> {
+        if anomalous {
+            if self.open_start.is_none() {
+                self.open_start = Some(tick);
+            }
+            self.last_anomalous = tick;
+            self.quiet_run = 0;
+            None
+        } else if let Some(start) = self.open_start {
+            self.quiet_run += 1;
+            if self.quiet_run >= self.hangover_ticks {
+                let w = VariationWindow { start_tick: start, end_tick: self.last_anomalous };
+                self.open_start = None;
+                self.quiet_run = 0;
+                self.closed.push(w);
+                Some(w)
+            } else {
+                None
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Duration (ticks) of the currently open window as of `tick`:
+    /// `dW_t` in the paper's state machine; 0 when no window is open.
+    pub fn open_duration_ticks(&self, tick: usize) -> usize {
+        match self.open_start {
+            Some(start) => tick.saturating_sub(start) + 1,
+            None => 0,
+        }
+    }
+
+    /// The currently open window's start tick.
+    pub fn open_start(&self) -> Option<usize> {
+        self.open_start
+    }
+
+    /// Flushes any open window at end of stream.
+    pub fn finish(&mut self, last_tick: usize) -> Option<VariationWindow> {
+        let _ = last_tick;
+        if let Some(start) = self.open_start.take() {
+            let w = VariationWindow { start_tick: start, end_tick: self.last_anomalous };
+            self.closed.push(w);
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    /// All windows closed so far, in order.
+    pub fn closed_windows(&self) -> &[VariationWindow] {
+        &self.closed
+    }
+}
+
+/// Filters windows by the `t∆` duration threshold (paper: shorter
+/// windows are ignored as non-movements).
+pub fn significant_windows(
+    windows: &[VariationWindow],
+    t_delta_ticks: usize,
+) -> Vec<VariationWindow> {
+    windows
+        .iter()
+        .copied()
+        .filter(|w| w.duration_ticks() >= t_delta_ticks)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tracker: &mut WindowTracker, pattern: &[bool]) -> Vec<VariationWindow> {
+        let mut out = Vec::new();
+        for (tick, &a) in pattern.iter().enumerate() {
+            if let Some(w) = tracker.push(tick, a) {
+                out.push(w);
+            }
+        }
+        if let Some(w) = tracker.finish(pattern.len().saturating_sub(1)) {
+            out.push(w);
+        }
+        out
+    }
+
+    #[test]
+    fn simple_window() {
+        let mut t = WindowTracker::new(2);
+        let ws = run(&mut t, &[false, true, true, true, false, false, false]);
+        assert_eq!(ws, vec![VariationWindow { start_tick: 1, end_tick: 3 }]);
+        assert_eq!(ws[0].duration_ticks(), 3);
+    }
+
+    #[test]
+    fn hangover_bridges_short_dips() {
+        let mut t = WindowTracker::new(3);
+        // Dip of 2 normal ticks inside a movement: still one window.
+        let ws = run(&mut t, &[true, true, false, false, true, true, false, false, false]);
+        assert_eq!(ws, vec![VariationWindow { start_tick: 0, end_tick: 5 }]);
+    }
+
+    #[test]
+    fn long_gap_splits_windows() {
+        let mut t = WindowTracker::new(2);
+        let ws = run(&mut t, &[true, false, false, false, true, true, false, false]);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0], VariationWindow { start_tick: 0, end_tick: 0 });
+        assert_eq!(ws[1], VariationWindow { start_tick: 4, end_tick: 5 });
+    }
+
+    #[test]
+    fn open_duration_tracks_dwt() {
+        let mut t = WindowTracker::new(2);
+        assert_eq!(t.open_duration_ticks(5), 0);
+        t.push(10, true);
+        t.push(11, true);
+        assert_eq!(t.open_duration_ticks(11), 2);
+        assert_eq!(t.open_start(), Some(10));
+        // One quiet tick: still open (hangover).
+        t.push(12, false);
+        assert_eq!(t.open_duration_ticks(12), 3);
+    }
+
+    #[test]
+    fn finish_flushes_open_window() {
+        let mut t = WindowTracker::new(2);
+        t.push(0, true);
+        t.push(1, true);
+        let w = t.finish(1).unwrap();
+        assert_eq!(w, VariationWindow { start_tick: 0, end_tick: 1 });
+        assert!(t.finish(2).is_none());
+    }
+
+    #[test]
+    fn windows_are_disjoint_and_ordered() {
+        // Property-style check over a pseudo-random pattern.
+        let mut rng = fadewich_stats::rng::Rng::seed_from_u64(3);
+        let pattern: Vec<bool> = (0..2000).map(|_| rng.bernoulli(0.2)).collect();
+        let mut t = WindowTracker::new(3);
+        let ws = run(&mut t, &pattern);
+        for pair in ws.windows(2) {
+            assert!(pair[0].end_tick < pair[1].start_tick, "windows overlap or disordered");
+        }
+        for w in &ws {
+            assert!(pattern[w.start_tick] && pattern[w.end_tick], "ends must be anomalous");
+        }
+    }
+
+    #[test]
+    fn significance_filter() {
+        let ws = vec![
+            VariationWindow { start_tick: 0, end_tick: 3 },
+            VariationWindow { start_tick: 10, end_tick: 30 },
+        ];
+        let sig = significant_windows(&ws, 10);
+        assert_eq!(sig.len(), 1);
+        assert_eq!(sig[0].start_tick, 10);
+    }
+
+    #[test]
+    fn seconds_conversions_and_overlap() {
+        let w = VariationWindow { start_tick: 10, end_tick: 19 };
+        assert_eq!(w.duration_s(5.0), 2.0);
+        assert_eq!(w.start_s(5.0), 2.0);
+        assert!((w.end_s(5.0) - 3.8).abs() < 1e-12);
+        assert!(w.overlaps_interval(3.0, 10.0, 5.0));
+        assert!(!w.overlaps_interval(4.0, 10.0, 5.0));
+        assert!(w.overlaps_interval(0.0, 2.0, 5.0));
+    }
+}

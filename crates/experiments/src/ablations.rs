@@ -1,0 +1,217 @@
+//! Ablation studies beyond the paper's headline results.
+//!
+//! The paper's §VIII-A lists open questions — different sensor
+//! placements, other parameters — that our simulator can answer
+//! cheaply. Each ablation regenerates a table the `reproduce` binary
+//! prints alongside the paper's own.
+
+use fadewich_core::security::evaluate_detection;
+use fadewich_stats::rng::Rng;
+use fadewich_svm::{cv, Kernel, NearestCentroid, SmoParams};
+
+use crate::experiment::Experiment;
+use crate::pipeline::cross_validated_predictions;
+use crate::report::TextTable;
+
+/// Placement ablation: detection recall of the documented greedy
+/// order vs a random order vs a wall-clustered (worst-practice) order,
+/// for growing sensor counts.
+pub fn placement_ablation(experiment: &Experiment, ns: &[usize]) -> Result<TextTable, String> {
+    let greedy = fadewich_officesim::layout::SUBSET_ORDER;
+    let mut random = greedy;
+    Rng::seed_from_u64(0xAB1A).shuffle(&mut random);
+    // All sensors from the north wall first, then clockwise: links hug
+    // the walls instead of crossing the room.
+    let clustered: [usize; 9] = [1, 2, 3, 4, 0, 5, 6, 7, 8];
+    let mut t = TextTable::new(
+        "Ablation: sensor placement order vs MD recall",
+        &["sensors", "greedy", "random", "wall-clustered"],
+    );
+    for &n in ns {
+        let mut cells = vec![n.to_string()];
+        for order in [&greedy, &random, &clustered] {
+            let mut subset = order[..n].to_vec();
+            subset.sort_unstable();
+            let run = experiment.run_for_subset(&subset, 5)?;
+            cells.push(format!("{:.2}", run.stage.detection.counts.recall()));
+        }
+        t.add_row(cells);
+    }
+    Ok(t)
+}
+
+/// MD parameter ablation: α, batch size and τ against TP/FP/FN at a
+/// fixed deployment.
+pub fn md_param_ablation(experiment: &Experiment, n_sensors: usize) -> Result<TextTable, String> {
+    let mut t = TextTable::new(
+        format!("Ablation: MD parameters at {n_sensors} sensors"),
+        &["alpha", "batch b", "tau", "TP", "FP", "FN"],
+    );
+    let base = experiment.params;
+    let variants = [
+        (0.5, base.batch_size, base.tau),
+        (1.0, base.batch_size, base.tau),
+        (2.0, base.batch_size, base.tau),
+        (5.0, base.batch_size, base.tau),
+        (1.0, 50, base.tau),
+        (1.0, 200, base.tau),
+        (1.0, base.batch_size, 0.02),
+        (1.0, base.batch_size, 0.3),
+    ];
+    let subset = experiment.scenario.layout().sensor_subset(n_sensors);
+    let streams = experiment.trace.stream_indices_for_subset(&subset);
+    for (alpha, batch, tau) in variants {
+        let params = fadewich_core::FadewichParams { alpha, batch_size: batch, tau, ..base };
+        let mut significant = Vec::new();
+        for day in experiment.trace.days() {
+            let run = fadewich_core::md::run_md_over_day(
+                day,
+                &streams,
+                experiment.trace.tick_hz(),
+                params,
+            )?;
+            significant
+                .push(run.significant_windows(params.t_delta_ticks(experiment.trace.tick_hz())));
+        }
+        let detection = evaluate_detection(
+            &significant,
+            experiment.scenario.events(),
+            experiment.trace.tick_hz(),
+            &params,
+        );
+        let c = detection.counts;
+        t.add_row(vec![
+            format!("{alpha}"),
+            batch.to_string(),
+            format!("{tau}"),
+            c.true_positives.to_string(),
+            c.false_positives.to_string(),
+            c.false_negatives.to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Classifier ablation: linear SVM (the default) vs RBF vs a
+/// nearest-centroid baseline, cross-validated on the same samples.
+pub fn classifier_ablation(experiment: &Experiment, n_sensors: usize) -> Result<TextTable, String> {
+    let run = experiment.run_for_sensors(n_sensors, 5)?;
+    let (_, linear) = cross_validated_predictions(&run.samples, 5, Some(Kernel::Linear), 1);
+    let matched: Vec<&fadewich_core::TrainingSample> =
+        run.samples.per_event.iter().flatten().collect();
+    let xs: Vec<Vec<f64>> = matched.iter().map(|s| s.features.clone()).collect();
+    let rbf_kernel = Kernel::rbf_scale(&xs);
+    let (_, rbf) = cross_validated_predictions(&run.samples, 5, Some(rbf_kernel), 1);
+    // Nearest-centroid with the same folds.
+    let labels: Vec<usize> = matched.iter().map(|s| s.label).collect();
+    let mut rng = Rng::seed_from_u64(1);
+    let folds = cv::stratified_k_fold(&labels, 5, &mut rng);
+    let mut correct = 0usize;
+    for fold in &folds {
+        let train_xs: Vec<Vec<f64>> = fold.train.iter().map(|&i| xs[i].clone()).collect();
+        let train_ys: Vec<usize> = fold.train.iter().map(|&i| labels[i]).collect();
+        if let Ok(nc) = NearestCentroid::train(&train_xs, &train_ys) {
+            correct += fold
+                .test
+                .iter()
+                .filter(|&&i| nc.predict(&xs[i]) == labels[i])
+                .count();
+        }
+    }
+    let centroid = correct as f64 / matched.len() as f64;
+    let _ = SmoParams::default();
+    let mut t = TextTable::new(
+        format!("Ablation: RE classifier at {n_sensors} sensors (5-fold CV accuracy)"),
+        &["classifier", "accuracy"],
+    );
+    t.add_row(vec!["linear SVM (default)".into(), format!("{linear:.3}")]);
+    t.add_row(vec!["RBF SVM (gamma=scale)".into(), format!("{rbf:.3}")]);
+    t.add_row(vec!["nearest centroid".into(), format!("{centroid:.3}")]);
+    Ok(t)
+}
+
+/// Overlap stress: regenerate the scenario *without* movement
+/// de-confliction and report how detection degrades — the situation
+/// §IV-E declares out of the classifier's scope, handled only by the
+/// conservative Noisy-state rules.
+pub fn overlap_stress(seed: u64) -> Result<TextTable, String> {
+    use fadewich_officesim::{ScenarioConfig, ScheduleParams};
+    let mut config = ScenarioConfig {
+        seed,
+        ..ScenarioConfig::small()
+    };
+    config.schedule = ScheduleParams { min_event_separation_s: 0.0, ..config.schedule };
+    let overlap_exp =
+        Experiment::from_config(config, fadewich_core::FadewichParams::default())?;
+    let clean_exp = Experiment::small(seed)?;
+    let mut t = TextTable::new(
+        "Ablation: overlap stress (no movement de-confliction)",
+        &["scenario", "events", "min gap (s)", "TP", "FP", "FN", "RE acc"],
+    );
+    for (name, exp) in [("clean", &clean_exp), ("overlapping", &overlap_exp)] {
+        let run = exp.run_for_sensors(9, 3)?;
+        let c = run.stage.detection.counts;
+        t.add_row(vec![
+            name.to_string(),
+            exp.scenario.events().len().to_string(),
+            exp.scenario
+                .events()
+                .min_event_gap()
+                .map_or("-".to_string(), |g| format!("{g:.1}")),
+            c.true_positives.to_string(),
+            c.false_positives.to_string(),
+            c.false_negatives.to_string(),
+            format!("{:.2}", run.accuracy),
+        ]);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static Experiment {
+        static FIX: OnceLock<Experiment> = OnceLock::new();
+        FIX.get_or_init(|| Experiment::small(123).unwrap())
+    }
+
+    #[test]
+    fn placement_table_shape() {
+        let t = placement_ablation(fixture(), &[3, 5]).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        // Recall cells parse as fractions.
+        for r in 0..2 {
+            for c in 1..4 {
+                let v: f64 = t.cell(r, c).parse().unwrap();
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn md_params_affect_detection() {
+        let t = md_param_ablation(fixture(), 9).unwrap();
+        assert_eq!(t.n_rows(), 8);
+        // A looser alpha (5.0) must not produce fewer FPs than the
+        // tightest (0.5) — more of the distribution counts as anomalous.
+        let fp_tight: usize = t.cell(0, 4).parse().unwrap();
+        let fp_loose: usize = t.cell(3, 4).parse().unwrap();
+        assert!(fp_loose >= fp_tight, "alpha=5 FPs {fp_loose} < alpha=0.5 FPs {fp_tight}");
+    }
+
+    #[test]
+    fn classifier_comparison_runs() {
+        let t = classifier_ablation(fixture(), 9).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        let linear: f64 = t.cell(0, 1).parse().unwrap();
+        assert!(linear > 0.3);
+    }
+
+    #[test]
+    fn overlap_stress_runs() {
+        let t = overlap_stress(55).unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Wireless physical attacks, measured (paper §V-C).
+//!
+//! Three conditions over the *same* recorded day: no attack, a noise
+//! jammer, and a saturation jammer, each timed to cover one victim's
+//! departure. For every condition we report whether MD still detected
+//! the departure and whether the channel-integrity guard raised an
+//! alarm — turning §V-C's "we believe such attacks are ineffective /
+//! detectable" into numbers.
+
+use fadewich_core::guard::{GuardParams, IntegrityGuard};
+use fadewich_core::md::run_md_over_day;
+use fadewich_geometry::Point;
+use fadewich_officesim::{DayTrace, MovementEvent};
+use fadewich_rfchannel::{Jammer, JammerKind};
+use fadewich_stats::rng::Rng;
+
+use crate::experiment::Experiment;
+use crate::report::TextTable;
+
+/// Result of one attack condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackConditionResult {
+    /// Condition name.
+    pub name: String,
+    /// Was the victim's departure detected by MD?
+    pub departure_detected: bool,
+    /// Significant windows during the attack interval (noise jamming
+    /// floods this).
+    pub windows_during_attack: usize,
+    /// Did the integrity guard alarm during the attack?
+    pub guard_alarmed: bool,
+    /// Alarm latency from attack start (s), if alarmed.
+    pub alarm_latency_s: Option<f64>,
+}
+
+/// Applies a jammer to a copy of a recorded day.
+fn jam_day(
+    day: &DayTrace,
+    experiment: &Experiment,
+    jammer: &Jammer,
+    seed: u64,
+) -> DayTrace {
+    let affected = jammer.affected_links(experiment.trace.link_segments());
+    let hz = experiment.trace.tick_hz();
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut out = DayTrace::with_capacity(day.n_streams(), day.n_ticks());
+    let mut row = vec![0.0f64; day.n_streams()];
+    for tick in 0..day.n_ticks() {
+        for (dst, &v) in row.iter_mut().zip(day.row(tick)) {
+            *dst = v as f64;
+        }
+        jammer.apply(tick as f64 / hz, &affected, &mut row, &mut rng);
+        out.push_row(&row);
+    }
+    out
+}
+
+/// Evaluates one condition.
+fn evaluate_condition(
+    name: &str,
+    day: &DayTrace,
+    experiment: &Experiment,
+    victim: &MovementEvent,
+    attack_from: f64,
+    attack_to: f64,
+) -> Result<AttackConditionResult, String> {
+    let hz = experiment.trace.tick_hz();
+    let params = experiment.params;
+    let streams: Vec<usize> = (0..day.n_streams()).collect();
+    let run = run_md_over_day(day, &streams, hz, params)?;
+    let significant = run.significant_windows(params.t_delta_ticks(hz));
+    let (lo, hi) = victim.true_window(params.true_window_delta_s);
+    let departure_detected = significant.iter().any(|w| w.overlaps_interval(lo, hi, hz));
+    let windows_during_attack = significant
+        .iter()
+        .filter(|w| w.overlaps_interval(attack_from, attack_to, hz))
+        .count();
+
+    let mut guard = IntegrityGuard::new(streams.len(), hz, GuardParams::default());
+    let mut first_alarm: Option<f64> = None;
+    let mut row = vec![0.0f64; streams.len()];
+    for tick in 0..day.n_ticks() {
+        for (dst, &v) in row.iter_mut().zip(day.row(tick)) {
+            *dst = v as f64;
+        }
+        for alarm in guard.step(tick, &row) {
+            let t = alarm.tick as f64 / hz;
+            if t >= attack_from && first_alarm.is_none() {
+                first_alarm = Some(t);
+            }
+        }
+    }
+    Ok(AttackConditionResult {
+        name: name.to_string(),
+        departure_detected,
+        windows_during_attack,
+        guard_alarmed: first_alarm.is_some(),
+        alarm_latency_s: first_alarm.map(|t| (t - attack_from).max(0.0)),
+    })
+}
+
+/// Runs the three attack conditions against the first departure of the
+/// experiment's first day.
+///
+/// # Errors
+///
+/// Fails if the day contains no departure or MD cannot run.
+pub fn jamming_study(experiment: &Experiment) -> Result<(Vec<AttackConditionResult>, TextTable), String> {
+    let victim = *experiment
+        .scenario
+        .events()
+        .leaves()
+        .find(|e| e.day == 0)
+        .ok_or("no departure on day 0")?;
+    let attack_from = victim.t_start - 10.0;
+    let attack_to = victim.t_end + 10.0;
+    let room = experiment.scenario.layout().room();
+    let centre = Point::new(room.center().x, room.center().y);
+    let day = &experiment.trace.days()[0];
+
+    let noise = Jammer {
+        position: centre,
+        radius_m: 4.0,
+        kind: JammerKind::Noise { sd_db: 5.0 },
+        active_from_s: attack_from,
+        active_to_s: attack_to,
+    };
+    let saturate = Jammer {
+        position: centre,
+        radius_m: 4.0,
+        kind: JammerKind::Saturate { level_dbm: -35.0 },
+        active_from_s: attack_from,
+        active_to_s: attack_to,
+    };
+
+    let results = vec![
+        evaluate_condition("no attack", day, experiment, &victim, attack_from, attack_to)?,
+        evaluate_condition(
+            "noise jammer",
+            &jam_day(day, experiment, &noise, 0xA77AC0),
+            experiment,
+            &victim,
+            attack_from,
+            attack_to,
+        )?,
+        evaluate_condition(
+            "saturation jammer",
+            &jam_day(day, experiment, &saturate, 0xA77AC1),
+            experiment,
+            &victim,
+            attack_from,
+            attack_to,
+        )?,
+    ];
+    let mut t = TextTable::new(
+        "Extension: wireless physical attacks during a departure (paper SS V-C)",
+        &["condition", "departure detected", "windows in attack", "integrity alarm", "alarm latency (s)"],
+    );
+    for r in &results {
+        t.add_row(vec![
+            r.name.clone(),
+            if r.departure_detected { "yes" } else { "MASKED" }.to_string(),
+            r.windows_during_attack.to_string(),
+            if r.guard_alarmed { "yes" } else { "no" }.to_string(),
+            r.alarm_latency_s.map_or("-".to_string(), |l| format!("{l:.1}")),
+        ]);
+    }
+    Ok((results, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static Experiment {
+        static FIX: OnceLock<Experiment> = OnceLock::new();
+        FIX.get_or_init(|| Experiment::small(0x7A3).unwrap())
+    }
+
+    #[test]
+    fn jamming_study_matches_the_papers_claims() {
+        let (results, table) = jamming_study(fixture()).unwrap();
+        assert_eq!(results.len(), 3);
+        let (clean, noise, saturate) = (&results[0], &results[1], &results[2]);
+        // Clean channel: departure detected, guard quiet.
+        assert!(clean.departure_detected, "{clean:?}");
+        assert!(!clean.guard_alarmed, "{clean:?}");
+        // Noise jamming cannot hide the departure silently: the window
+        // count during the attack stays >= 1 (MD keeps firing).
+        assert!(noise.windows_during_attack >= 1, "{noise:?}");
+        // Saturation jamming is the dangerous one: it can mask the
+        // departure...
+        assert!(
+            !saturate.departure_detected || saturate.guard_alarmed,
+            "saturation must be masked-but-alarmed or detected: {saturate:?}"
+        );
+        // ...but the integrity guard catches the silenced streams fast.
+        assert!(saturate.guard_alarmed, "{saturate:?}");
+        assert!(
+            saturate.alarm_latency_s.unwrap() < 10.0,
+            "alarm too slow: {saturate:?}"
+        );
+        assert_eq!(table.n_rows(), 3);
+    }
+}

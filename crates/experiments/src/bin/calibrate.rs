@@ -1,0 +1,141 @@
+//! Calibration diagnostics: prints per-event MD behaviour so channel
+//! and detector parameters can be tuned against the paper's shapes.
+
+use fadewich_core::config::FadewichParams;
+use fadewich_experiments::pipeline::run_md_stage;
+use fadewich_officesim::{Scenario, ScenarioConfig};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(77);
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full {
+        ScenarioConfig { seed, ..ScenarioConfig::default() }
+    } else {
+        ScenarioConfig { seed, ..ScenarioConfig::small() }
+    };
+    let scenario = Scenario::generate(config).unwrap();
+    let trace = scenario.simulate().unwrap();
+    let params = FadewichParams::default();
+    let hz = trace.tick_hz();
+    let streams: Vec<usize> = (0..trace.n_streams()).collect();
+    let stage = run_md_stage(&trace, &streams, scenario.events(), &params).unwrap();
+
+    println!("events: {} (labels {:?})", scenario.events().len(), scenario.events().label_counts(3));
+    println!("counts: {:?}", stage.detection.counts);
+
+    // Per-sensor-count detection + CV accuracy, the Table III / Fig 8
+    // headline shapes.
+    let layout = scenario.layout().clone();
+    // Confusion matrix at 9 sensors.
+    {
+        let streams: Vec<usize> = (0..trace.n_streams()).collect();
+        let samples = fadewich_experiments::pipeline::build_samples(
+            &trace, &stage, scenario.events(), &streams, &params);
+        let (preds, acc) =
+            fadewich_experiments::pipeline::cross_validated_predictions(&samples, 5, None, 99);
+        let mut cm = fadewich_stats::ConfusionMatrix::new(4);
+        for (ei, p) in preds.iter().enumerate() {
+            if let Some(p) = p {
+                cm.record(scenario.events().events()[ei].label(), (*p).min(3));
+            }
+        }
+        println!("9-sensor cv acc={acc:.2} per-class recall: {:?}",
+            cm.per_class_recall().iter().map(|r| r.map(|x| (x * 100.0).round())).collect::<Vec<_>>());
+        for a in 0..4 {
+            println!("  actual {a}: {:?}", (0..4).map(|p| cm.count(a, p)).collect::<Vec<_>>());
+        }
+    }
+    if std::env::args().any(|a| a == "--orders") {
+        // Sweep candidate subset orders for the Table III shape.
+        let orders: Vec<(&str, [usize; 9])> = vec![
+            ("A d1,d5,d8,d3,d7,d2,d6,d4,d9", [0, 4, 7, 2, 6, 1, 5, 3, 8]),
+            ("E d1,d5,d8,d7,d6,d2,d3,d9,d4", [0, 4, 7, 6, 5, 1, 2, 8, 3]),
+            ("F d1,d5,d8,d7,d2,d6,d9,d3,d4", [0, 4, 7, 6, 1, 5, 8, 2, 3]),
+            ("G d1,d5,d8,d7,d2,d6,d3,d9,d4", [0, 4, 7, 6, 1, 5, 2, 8, 3]),
+        ];
+        for (name, order) in orders {
+            let mut recalls = Vec::new();
+            for n in 3..=9usize {
+                let mut subset = order[..n].to_vec();
+                subset.sort_unstable();
+                let sub_streams = trace.stream_indices_for_subset(&subset);
+                let s = run_md_stage(&trace, &sub_streams, scenario.events(), &params).unwrap();
+                recalls.push(format!(
+                    "{n}:{:.2}/fp{}",
+                    s.detection.counts.recall(),
+                    s.detection.counts.false_positives
+                ));
+            }
+            println!("order {name}: {}", recalls.join(" "));
+        }
+        return;
+    }
+    for n in [3usize, 4, 5, 6, 7, 8, 9] {
+        let subset = layout.sensor_subset(n);
+        let sub_streams = trace.stream_indices_for_subset(&subset);
+        let sub_stage = run_md_stage(&trace, &sub_streams, scenario.events(), &params).unwrap();
+        let samples = fadewich_experiments::pipeline::build_samples(
+            &trace, &sub_stage, scenario.events(), &sub_streams, &params);
+        let n_matched = samples.per_event.iter().flatten().count();
+        let (acc_rbf, acc_lin) = if n_matched >= 10 {
+            let (_, a) = fadewich_experiments::pipeline::cross_validated_predictions(
+                &samples, 5, None, 99);
+            let (_, b) = fadewich_experiments::pipeline::cross_validated_predictions(
+                &samples, 5, Some(fadewich_svm::Kernel::Linear), 99);
+            (a, b)
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        println!(
+            "sensors={n}: {:?} recall={:.2} cv_rbf={acc_rbf:.2} cv_linear={acc_lin:.2}",
+            sub_stage.detection.counts,
+            sub_stage.detection.counts.recall(),
+        );
+    }
+    println!("all windows (unfiltered): {}", stage.runs[0].windows.len());
+    println!("significant: {}", stage.significant[0].len());
+
+    // Threshold stats.
+    let run = &stage.runs[0];
+    let valid: Vec<f64> =
+        run.threshold_series.iter().copied().filter(|x| x.is_finite()).collect();
+    println!(
+        "threshold: first={:.1} last={:.1}",
+        valid.first().unwrap_or(&f64::NAN),
+        valid.last().unwrap_or(&f64::NAN)
+    );
+    let quiet_st: Vec<f64> = run.st_series[500..3000].to_vec();
+    println!("quiet st: {}", fadewich_stats::descriptive::Summary::of(&quiet_st));
+
+    for (ei, event) in scenario.events().events().iter().enumerate() {
+        let erun = &stage.runs[event.day];
+        let t0 = trace.tick_of(event.t_start);
+        let t1 = trace.tick_of(event.t_end);
+        let around: Vec<f64> =
+            erun.st_series[t0.saturating_sub(10)..(t1 + 10).min(erun.st_series.len())].to_vec();
+        let ub = erun.threshold_series[t0];
+        let peak = fadewich_stats::descriptive::max(&around).unwrap();
+        let matched = stage.detection.matched[ei].is_some();
+        // Duration above threshold within the movement.
+        let above = around.iter().filter(|&&s| s >= ub).count() as f64 / hz;
+        if !matched || !full {
+            println!(
+                "event {ei:3} day={} label={} t={:7.1}..{:7.1} peak_st={peak:6.1} ub={ub:6.1} above={above:4.1}s {}",
+                event.day,
+                event.label(),
+                event.t_start,
+                event.t_end,
+                if matched { "TP" } else { "FN" },
+            );
+        }
+    }
+    println!("-- false positive windows --");
+    for (day, w) in &stage.detection.false_positives {
+        println!(
+            "  day={day} [{:8.1}, {:8.1}] dur={:4.1}s",
+            w.start_s(hz),
+            w.end_s(hz),
+            w.duration_s(hz),
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! RSSI vs CSI comparison — answering the paper's closing question
+//! (§VIII-A): does finer-grained channel state information improve the
+//! system?
+//!
+//! We replay the *same* user behaviour through both channel frontends:
+//! the RSSI simulator (one stream per link) and the CSI simulator
+//! (several subcarrier amplitudes per link), then run the identical
+//! MD + RE pipeline on each and compare detection and classification.
+
+use fadewich_core::config::FadewichParams;
+use fadewich_core::features::TrainingSample;
+use fadewich_core::md::run_md_over_day;
+use fadewich_core::security::evaluate_detection;
+use fadewich_officesim::{DayTrace, Scenario};
+use fadewich_rfchannel::{Body, CsiChannelSim};
+use fadewich_stats::rng::Rng;
+
+use crate::experiment::Experiment;
+use crate::pipeline::{cross_validated_predictions, SampleSet};
+use crate::report::TextTable;
+
+/// The head-to-head result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsiComparison {
+    /// Subcarriers simulated per link.
+    pub n_subcarriers: usize,
+    /// MD recall on the RSSI frontend.
+    pub rssi_recall: f64,
+    /// MD recall on the CSI frontend.
+    pub csi_recall: f64,
+    /// Cross-validated RE accuracy on RSSI features.
+    pub rssi_accuracy: f64,
+    /// Cross-validated RE accuracy on CSI features.
+    pub csi_accuracy: f64,
+}
+
+impl CsiComparison {
+    /// Renders the comparison.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!(
+                "Extension: RSSI vs CSI ({} subcarriers/link), same behaviour, same pipeline",
+                self.n_subcarriers
+            ),
+            &["frontend", "MD recall", "RE accuracy"],
+        );
+        t.add_row(vec![
+            "RSSI (1 stream/link)".into(),
+            format!("{:.2}", self.rssi_recall),
+            format!("{:.2}", self.rssi_accuracy),
+        ]);
+        t.add_row(vec![
+            format!("CSI ({} streams/link)", self.n_subcarriers),
+            format!("{:.2}", self.csi_recall),
+            format!("{:.2}", self.csi_accuracy),
+        ]);
+        t
+    }
+}
+
+/// Simulates the CSI frontend over the scenario's behaviour.
+fn simulate_csi_days(
+    scenario: &Scenario,
+    n_subcarriers: usize,
+) -> Result<Vec<DayTrace>, String> {
+    let layout = scenario.layout();
+    let seed = Rng::seed_from_u64(scenario.config().seed).fork(42).next_u64();
+    let mut sim = CsiChannelSim::new(
+        layout.sensors(),
+        layout.room(),
+        scenario.config().tick_hz,
+        scenario.config().channel,
+        n_subcarriers,
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+    let n_ticks =
+        (scenario.config().schedule.day_seconds * scenario.config().tick_hz).round() as usize;
+    let mut days = Vec::new();
+    let mut bodies: Vec<Body> = Vec::new();
+    for schedule in scenario.day_schedules() {
+        let mut day = DayTrace::with_capacity(sim.n_streams(), n_ticks);
+        for tick in 0..n_ticks {
+            let t = tick as f64 / scenario.config().tick_hz;
+            bodies.clear();
+            bodies.extend(schedule.timelines.iter().filter_map(|tl| tl.body_at(t)));
+            day.push_row(sim.step(&bodies));
+        }
+        days.push(day);
+    }
+    Ok(days)
+}
+
+/// Runs MD + RE on a set of recorded days and returns
+/// `(recall, cv_accuracy)`.
+fn evaluate_days(
+    days: &[DayTrace],
+    scenario: &Scenario,
+    tick_hz: f64,
+    params: &FadewichParams,
+    cv_folds: usize,
+) -> Result<(f64, f64), String> {
+    let streams: Vec<usize> = (0..days[0].n_streams()).collect();
+    let mut significant = Vec::new();
+    for day in days {
+        let run = run_md_over_day(day, &streams, tick_hz, *params)?;
+        significant.push(run.significant_windows(params.t_delta_ticks(tick_hz)));
+    }
+    let detection = evaluate_detection(&significant, scenario.events(), tick_hz, params);
+    let per_event: Vec<Option<TrainingSample>> = scenario
+        .events()
+        .events()
+        .iter()
+        .enumerate()
+        .map(|(ei, event)| {
+            detection.matched[ei].map(|(day, w)| TrainingSample {
+                features: fadewich_core::features::extract_features(
+                    &days[day],
+                    &streams,
+                    w.start_tick,
+                    tick_hz,
+                    params,
+                ),
+                label: event.label(),
+            })
+        })
+        .collect();
+    let n_matched = per_event.iter().flatten().count();
+    let samples = SampleSet { per_event, false_positive_features: Vec::new() };
+    let accuracy = if n_matched >= cv_folds {
+        cross_validated_predictions(&samples, cv_folds, None, 0xC51).1
+    } else {
+        0.0
+    };
+    Ok((detection.counts.recall(), accuracy))
+}
+
+/// Runs the full RSSI vs CSI comparison on an experiment's scenario.
+///
+/// # Errors
+///
+/// Propagates simulation and pipeline errors.
+pub fn csi_comparison(
+    experiment: &Experiment,
+    n_subcarriers: usize,
+    cv_folds: usize,
+) -> Result<CsiComparison, String> {
+    let tick_hz = experiment.trace.tick_hz();
+    // RSSI side: reuse the experiment's already-simulated trace.
+    let rssi_days: Vec<DayTrace> = experiment.trace.days().to_vec();
+    let (rssi_recall, rssi_accuracy) = evaluate_days(
+        &rssi_days,
+        &experiment.scenario,
+        tick_hz,
+        &experiment.params,
+        cv_folds,
+    )?;
+    // CSI side: same behaviour, richer frontend.
+    let csi_days = simulate_csi_days(&experiment.scenario, n_subcarriers)?;
+    let (csi_recall, csi_accuracy) = evaluate_days(
+        &csi_days,
+        &experiment.scenario,
+        tick_hz,
+        &experiment.params,
+        cv_folds,
+    )?;
+    Ok(CsiComparison { n_subcarriers, rssi_recall, csi_recall, rssi_accuracy, csi_accuracy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csi_matches_or_beats_rssi() {
+        let exp = Experiment::small(0xC0C5).unwrap();
+        let cmp = csi_comparison(&exp, 4, 3).unwrap();
+        // CSI carries strictly more information; detection must not
+        // get worse, and classification should hold up or improve.
+        assert!(
+            cmp.csi_recall + 0.1 >= cmp.rssi_recall,
+            "CSI recall regressed: {cmp:?}"
+        );
+        assert!(
+            cmp.csi_accuracy + 0.1 >= cmp.rssi_accuracy,
+            "CSI accuracy regressed: {cmp:?}"
+        );
+        assert_eq!(cmp.render().n_rows(), 2);
+    }
+}

@@ -1,0 +1,334 @@
+//! The realistic deployment workflow (paper §IV-D3/D4).
+//!
+//! The paper's headline evaluation uses offline cross-validation, but
+//! the system it *describes* is deployed differently: during a
+//! training phase, variation windows are labeled **automatically** by
+//! correlating them with KMA idle times (ambiguous windows discarded);
+//! the resulting samples train RE once; then the online phase runs the
+//! Quiet/Noisy controller against live data. This module runs exactly
+//! that — train on the first days, drive the online [`Controller`]
+//! over the remaining ones — and scores the outcome against ground
+//! truth.
+
+use fadewich_core::controller::{ActionKind, Controller};
+use fadewich_core::features::{extract_features, TrainingSample};
+use fadewich_core::md::run_md_over_day;
+use fadewich_core::re::{auto_label, AutoLabelParams, RadioEnvironment};
+use fadewich_core::Kma;
+use fadewich_stats::rng::Rng;
+
+use crate::experiment::Experiment;
+use crate::report::TextTable;
+
+/// What the training phase produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingPhaseStats {
+    /// Days used for training.
+    pub days: usize,
+    /// Significant windows observed.
+    pub windows: usize,
+    /// Windows the automatic labeling accepted.
+    pub labeled: usize,
+    /// Accepted labels that match ground truth (measurable only in
+    /// simulation; the deployed system never knows).
+    pub labels_correct: usize,
+}
+
+/// Per-departure result of the online phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineDeparture {
+    /// Event index in the scenario's log.
+    pub event_index: usize,
+    /// Seconds from leaving the workstation's vicinity to the
+    /// controller's deauthentication, if it happened the same day.
+    pub deauth_latency: Option<f64>,
+    /// Which mechanism fired.
+    pub mechanism: Option<DeauthMechanism>,
+}
+
+/// How a departure's workstation ended up locked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeauthMechanism {
+    /// Rule 1 (classified variation window).
+    Rule1,
+    /// The alert-state screen-saver path.
+    Alert,
+    /// The baseline inactivity timeout.
+    Timeout,
+}
+
+/// The full deployment outcome.
+#[derive(Debug, Clone)]
+pub struct DeploymentOutcome {
+    /// Training-phase statistics.
+    pub training: TrainingPhaseStats,
+    /// One entry per departure in the online days.
+    pub departures: Vec<OnlineDeparture>,
+    /// Deauthentications of *present* users during online days
+    /// (usability errors).
+    pub wrongful_deauths: usize,
+}
+
+impl DeploymentOutcome {
+    /// Fraction of online departures deauthenticated within `secs` of
+    /// the user leaving the vicinity.
+    pub fn fraction_within(&self, secs: f64) -> f64 {
+        if self.departures.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .departures
+            .iter()
+            .filter(|d| d.deauth_latency.is_some_and(|l| l <= secs))
+            .count();
+        n as f64 / self.departures.len() as f64
+    }
+
+    /// Renders a summary table.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Deployment: auto-labeled training days, then the online controller",
+            &["metric", "value"],
+        );
+        t.add_row(vec!["training days".into(), self.training.days.to_string()]);
+        t.add_row(vec![
+            "training windows (labeled / total)".into(),
+            format!("{} / {}", self.training.labeled, self.training.windows),
+        ]);
+        t.add_row(vec![
+            "auto-label agreement with ground truth".into(),
+            format!(
+                "{:.0}%",
+                100.0 * self.training.labels_correct as f64 / self.training.labeled.max(1) as f64
+            ),
+        ]);
+        t.add_row(vec![
+            "online departures".into(),
+            self.departures.len().to_string(),
+        ]);
+        t.add_row(vec![
+            "deauthenticated within 6 s".into(),
+            format!("{:.0}%", 100.0 * self.fraction_within(6.0)),
+        ]);
+        t.add_row(vec![
+            "deauthenticated within 10 s".into(),
+            format!("{:.0}%", 100.0 * self.fraction_within(10.0)),
+        ]);
+        t.add_row(vec![
+            "fell through to the timeout".into(),
+            self.departures
+                .iter()
+                .filter(|d| matches!(d.mechanism, Some(DeauthMechanism::Timeout) | None))
+                .count()
+                .to_string(),
+        ]);
+        t.add_row(vec![
+            "wrongful deauths of present users".into(),
+            self.wrongful_deauths.to_string(),
+        ]);
+        t
+    }
+}
+
+/// Runs the deployment workflow: auto-labeled training on the first
+/// `train_days`, online controller on the rest.
+///
+/// # Errors
+///
+/// Returns a message if the scenario has too few days, training yields
+/// no usable classifier, or MD construction fails.
+pub fn run_deployment(
+    experiment: &Experiment,
+    train_days: usize,
+    n_sensors: usize,
+) -> Result<DeploymentOutcome, String> {
+    let n_days = experiment.trace.days().len();
+    if train_days == 0 || train_days >= n_days {
+        return Err(format!(
+            "need 1..{} training days, got {train_days}",
+            n_days - 1
+        ));
+    }
+    let subset = experiment.scenario.layout().sensor_subset(n_sensors);
+    let streams = experiment.trace.stream_indices_for_subset(&subset);
+    let params = experiment.params;
+    let hz = experiment.trace.tick_hz();
+    let label_params = AutoLabelParams::default();
+
+    // --- Training phase: MD + automatic labeling. ---
+    let mut samples: Vec<TrainingSample> = Vec::new();
+    let mut stats = TrainingPhaseStats { days: train_days, windows: 0, labeled: 0, labels_correct: 0 };
+    for day in 0..train_days {
+        let run = run_md_over_day(&experiment.trace.days()[day], &streams, hz, params)?;
+        let significant = run.significant_windows(params.t_delta_ticks(hz));
+        stats.windows += significant.len();
+        let inputs = experiment.scenario.input_trace(day, 0);
+        let kma = Kma::new(&inputs);
+        for w in significant {
+            let Some(label) = auto_label(&kma, w.start_s(hz), &label_params) else {
+                continue;
+            };
+            stats.labeled += 1;
+            // Ground-truth check (simulation-only bookkeeping).
+            let truth = experiment
+                .scenario
+                .events()
+                .events_on_day(day)
+                .find(|e| {
+                    let (lo, hi) = e.true_window(params.true_window_delta_s);
+                    w.overlaps_interval(lo, hi, hz)
+                })
+                .map(fadewich_officesim::MovementEvent::label);
+            if truth == Some(label) {
+                stats.labels_correct += 1;
+            }
+            samples.push(TrainingSample {
+                features: extract_features(
+                    &experiment.trace.days()[day],
+                    &streams,
+                    w.start_tick,
+                    hz,
+                    &params,
+                ),
+                label,
+            });
+        }
+    }
+    let mut rng = Rng::seed_from_u64(0xDE9107);
+    let re = RadioEnvironment::train(&samples, None, &mut rng)
+        .map_err(|e| format!("training phase failed: {e}"))?;
+
+    // --- Online phase: the controller, day by day. ---
+    let mut departures = Vec::new();
+    let mut wrongful = 0usize;
+    for day in train_days..n_days {
+        let inputs = experiment.scenario.input_trace(day, 0);
+        let kma = Kma::new(&inputs);
+        let mut controller = Controller::new(streams.len(), hz, params, &re, kma)?;
+        let day_trace = &experiment.trace.days()[day];
+        let mut row = vec![0.0f64; streams.len()];
+        for tick in 0..day_trace.n_ticks() {
+            let full = day_trace.row(tick);
+            for (dst, &s) in row.iter_mut().zip(&streams) {
+                *dst = full[s] as f64;
+            }
+            controller.step(tick, &row);
+        }
+        // Score departures of this day against the action log.
+        let seated: Vec<Vec<(f64, f64)>> = experiment.scenario.day_schedules()[day]
+            .timelines
+            .iter()
+            .map(|tl| tl.seated_intervals())
+            .collect();
+        for (ei, event) in experiment.scenario.events().events().iter().enumerate() {
+            if event.day != day || !event.is_leave() {
+                continue;
+            }
+            let ws = event.label() - 1;
+            // First deauth of this workstation at/after the departure,
+            // before the user's same-day return (if any).
+            let return_t = experiment
+                .scenario
+                .events()
+                .events_on_day(day)
+                .find(|e| !e.is_leave() && e.label() == 0 && e.t_start > event.t_start
+                    && workstation_of(e) == ws)
+                .map_or(f64::INFINITY, |e| e.t_end);
+            let hit = controller
+                .actions()
+                .iter()
+                .find(|a| {
+                    a.kind.is_deauth()
+                        && a.kind.workstation() == ws
+                        && a.t >= event.t_start
+                        && a.t < return_t
+                });
+            departures.push(OnlineDeparture {
+                event_index: ei,
+                deauth_latency: hit.map(|a| a.t - event.t_proximity),
+                mechanism: hit.map(|a| match a.kind {
+                    ActionKind::DeauthenticateRule1 { .. } => DeauthMechanism::Rule1,
+                    ActionKind::DeauthenticateAlert { .. } => DeauthMechanism::Alert,
+                    _ => DeauthMechanism::Timeout,
+                }),
+            });
+        }
+        // Wrongful deauths: a deauth while that workstation's user is
+        // seated.
+        for a in controller.actions() {
+            if a.kind.is_deauth() {
+                let ws = a.kind.workstation();
+                if seated[ws].iter().any(|&(s, u)| a.t >= s && a.t < u) {
+                    wrongful += 1;
+                }
+            }
+        }
+    }
+    Ok(DeploymentOutcome { training: stats, departures, wrongful_deauths: wrongful })
+}
+
+fn workstation_of(e: &fadewich_officesim::MovementEvent) -> usize {
+    match e.kind {
+        fadewich_officesim::EventKind::Enter { workstation }
+        | fadewich_officesim::EventKind::Leave { workstation } => workstation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadewich_officesim::{ScenarioConfig, ScheduleParams};
+    use std::sync::OnceLock;
+
+    /// A 2-day small scenario: day 0 trains, day 1 runs online.
+    fn fixture() -> &'static Experiment {
+        static FIX: OnceLock<Experiment> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let config = ScenarioConfig {
+                seed: 0xD3B,
+                days: 2,
+                schedule: ScheduleParams {
+                    day_seconds: 2.0 * 3600.0,
+                    departures_choices: [3, 3, 4, 4],
+                    min_seated_s: 400.0,
+                    absence_bounds_s: (90.0, 300.0),
+                    ..ScheduleParams::default()
+                },
+                ..ScenarioConfig::default()
+            };
+            Experiment::from_config(config, fadewich_core::FadewichParams::default()).unwrap()
+        })
+    }
+
+    #[test]
+    fn deployment_trains_and_deauthenticates_online() {
+        let out = run_deployment(fixture(), 1, 9).unwrap();
+        assert!(out.training.labeled >= 4, "training produced {:?}", out.training);
+        // Auto labels are mostly right.
+        assert!(
+            out.training.labels_correct * 10 >= out.training.labeled * 8,
+            "{:?}",
+            out.training
+        );
+        assert!(!out.departures.is_empty());
+        // Most online departures get locked well before the timeout.
+        let within_30 = out
+            .departures
+            .iter()
+            .filter(|d| d.deauth_latency.is_some_and(|l| l <= 30.0))
+            .count();
+        assert!(
+            within_30 * 10 >= out.departures.len() * 6,
+            "only {within_30}/{} within 30 s: {:?}",
+            out.departures.len(),
+            out.departures
+        );
+        assert!(!out.render().render().is_empty());
+    }
+
+    #[test]
+    fn invalid_split_rejected() {
+        assert!(run_deployment(fixture(), 0, 9).is_err());
+        assert!(run_deployment(fixture(), 2, 9).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The shared experiment context.
+//!
+//! Generating the behaviour and simulating the RF channel dominate the
+//! cost of every table and figure, so [`Experiment`] does both once and
+//! [`Experiment::sweep`] caches the per-sensor-count MD + RE pipeline
+//! outputs that almost every reproduction consumes.
+
+use fadewich_core::config::FadewichParams;
+use fadewich_officesim::{Scenario, ScenarioConfig, Trace};
+
+use crate::pipeline::{
+    build_samples, cross_validated_predictions, run_md_stage, MdStage, SampleSet,
+};
+
+/// A generated scenario plus its simulated trace and system parameters.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The behaviour scenario (ground truth included).
+    pub scenario: Scenario,
+    /// The recorded RSSI streams.
+    pub trace: Trace,
+    /// FADEWICH parameters used throughout.
+    pub params: FadewichParams,
+}
+
+/// The sensor counts the paper evaluates.
+pub const SENSOR_COUNTS: [usize; 7] = [3, 4, 5, 6, 7, 8, 9];
+
+/// Everything the pipeline produces for one sensor count.
+#[derive(Debug, Clone)]
+pub struct SensorRun {
+    /// Number of deployed sensors.
+    pub n_sensors: usize,
+    /// Stream indices (into the trace) of this deployment.
+    pub streams: Vec<usize>,
+    /// MD outputs and ground-truth matching.
+    pub stage: MdStage,
+    /// Per-event samples and FP features.
+    pub samples: SampleSet,
+    /// Cross-validated RE predictions per event.
+    pub predictions: Vec<Option<usize>>,
+    /// Cross-validated RE accuracy over matched events.
+    pub accuracy: f64,
+}
+
+impl Experiment {
+    /// Builds an experiment from a scenario configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario generation/simulation errors as strings.
+    pub fn from_config(config: ScenarioConfig, params: FadewichParams) -> Result<Experiment, String> {
+        let scenario = Scenario::generate(config).map_err(|e| e.to_string())?;
+        let trace = scenario.simulate().map_err(|e| e.to_string())?;
+        Ok(Experiment { scenario, trace, params })
+    }
+
+    /// The paper-scale experiment: 5 days × 8 h, 3 users, 9 sensors.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::from_config`].
+    pub fn paper_scale(seed: u64) -> Result<Experiment, String> {
+        Experiment::from_config(
+            ScenarioConfig { seed, ..ScenarioConfig::default() },
+            FadewichParams::default(),
+        )
+    }
+
+    /// A reduced experiment (1 day × 2 h) for tests and quick benches.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::from_config`].
+    pub fn small(seed: u64) -> Result<Experiment, String> {
+        Experiment::from_config(
+            ScenarioConfig { seed, ..ScenarioConfig::small() },
+            FadewichParams::default(),
+        )
+    }
+
+    /// Runs the full pipeline for one sensor count (using the layout's
+    /// documented subset order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MD construction errors.
+    pub fn run_for_sensors(&self, n_sensors: usize, cv_folds: usize) -> Result<SensorRun, String> {
+        let subset = self.scenario.layout().sensor_subset(n_sensors);
+        self.run_for_subset(&subset, cv_folds)
+    }
+
+    /// Runs the full pipeline for an explicit sensor subset (placement
+    /// ablations use this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MD construction errors.
+    pub fn run_for_subset(&self, subset: &[usize], cv_folds: usize) -> Result<SensorRun, String> {
+        let n_sensors = subset.len();
+        let streams = self.trace.stream_indices_for_subset(subset);
+        let stage = run_md_stage(&self.trace, &streams, self.scenario.events(), &self.params)?;
+        let samples = build_samples(&self.trace, &stage, self.scenario.events(), &streams, &self.params);
+        let n_matched = samples.per_event.iter().flatten().count();
+        let (predictions, accuracy) = if n_matched >= cv_folds {
+            cross_validated_predictions(&samples, cv_folds, None, 0xC0FFEE ^ n_sensors as u64)
+        } else {
+            (vec![None; samples.per_event.len()], 0.0)
+        };
+        Ok(SensorRun { n_sensors, streams, stage, samples, predictions, accuracy })
+    }
+
+    /// Runs the pipeline for every sensor count in `ns`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run.
+    pub fn sweep(&self, ns: &[usize], cv_folds: usize) -> Result<Vec<SensorRun>, String> {
+        ns.iter().map(|&n| self.run_for_sensors(n, cv_folds)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    pub(crate) fn small_experiment() -> &'static Experiment {
+        static EXP: OnceLock<Experiment> = OnceLock::new();
+        EXP.get_or_init(|| Experiment::small(123).unwrap())
+    }
+
+    #[test]
+    fn sensor_run_consistency() {
+        let exp = small_experiment();
+        let run = exp.run_for_sensors(9, 3).unwrap();
+        assert_eq!(run.n_sensors, 9);
+        assert_eq!(run.streams.len(), 72);
+        assert_eq!(run.predictions.len(), exp.scenario.events().len());
+        assert!((0.0..=1.0).contains(&run.accuracy));
+    }
+
+    #[test]
+    fn fewer_sensors_fewer_streams() {
+        let exp = small_experiment();
+        let r3 = exp.run_for_sensors(3, 3).unwrap();
+        let r9 = exp.run_for_sensors(9, 3).unwrap();
+        assert_eq!(r3.streams.len(), 6);
+        assert!(r3.stage.detection.counts.recall() <= r9.stage.detection.counts.recall());
+    }
+
+    #[test]
+    fn sweep_covers_requested_counts() {
+        let exp = small_experiment();
+        let runs = exp.sweep(&[3, 9], 3).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].n_sensors, 3);
+        assert_eq!(runs[1].n_sensors, 9);
+    }
+}

@@ -1,0 +1,538 @@
+//! Reproduction of the paper's data figures.
+//!
+//! Every function returns structured series (asserted on by benches
+//! and integration tests) plus helpers to render them as text.
+
+use fadewich_core::security::{
+    attack_opportunities, deauth_outcomes, deauth_proportion_curve, return_times,
+    total_vulnerable_minutes, AttackAnalysis, DeauthOutcome, INSIDER_DELAY_S,
+};
+use fadewich_geometry::FloorGrid;
+use fadewich_stats::corr::CorrelationMatrix;
+use fadewich_stats::histogram::Histogram;
+use fadewich_stats::kde::GaussianKde;
+use fadewich_stats::rmi::{rank_features, PAPER_BINS};
+
+use crate::experiment::{Experiment, SensorRun};
+use crate::pipeline::{learning_curve, LearningPoint};
+use crate::report::TextTable;
+
+/// Fig. 2 — the distribution of the summed window standard deviation
+/// `s_t`, split into "nobody moving" and "user walking" regimes.
+#[derive(Debug, Clone)]
+pub struct Fig2Data {
+    /// `s_t` samples while nobody moves.
+    pub normal: Vec<f64>,
+    /// `s_t` samples during ground-truth movements.
+    pub walking: Vec<f64>,
+    /// The 99th percentile of the KDE-smoothed normal distribution.
+    pub threshold: f64,
+}
+
+/// Computes Fig. 2 from the first day of a run.
+pub fn fig2(experiment: &Experiment, run: &SensorRun) -> Fig2Data {
+    let st = &run.stage.runs[0].st_series;
+    let hz = experiment.trace.tick_hz();
+    let day_events: Vec<(usize, usize)> = experiment
+        .scenario
+        .events()
+        .events_on_day(0)
+        .map(|e| {
+            (
+                experiment.trace.tick_of(e.t_start),
+                experiment.trace.tick_of(e.t_end),
+            )
+        })
+        .collect();
+    let warmup = (experiment.params.profile_init_s * hz) as usize + 50;
+    let mut normal = Vec::new();
+    let mut walking = Vec::new();
+    for (tick, &s) in st.iter().enumerate().skip(warmup) {
+        if day_events.iter().any(|&(a, b)| tick >= a && tick <= b) {
+            walking.push(s);
+        } else {
+            normal.push(s);
+        }
+    }
+    let threshold = GaussianKde::fit(&normal)
+        .map(|kde| kde.quantile(1.0 - experiment.params.alpha / 100.0))
+        .unwrap_or(f64::NAN);
+    Fig2Data { normal, walking, threshold }
+}
+
+impl Fig2Data {
+    /// Renders the two distributions as a shared-axis ASCII histogram.
+    pub fn render(&self) -> String {
+        let lo = fadewich_stats::descriptive::min(&self.normal).unwrap_or(0.0);
+        let hi = fadewich_stats::descriptive::max(&self.walking)
+            .unwrap_or(1.0)
+            .max(fadewich_stats::descriptive::max(&self.normal).unwrap_or(1.0));
+        let bins = 30;
+        let mut h_normal = Histogram::new(lo, hi + 1e-9, bins);
+        let mut h_walk = Histogram::new(lo, hi + 1e-9, bins);
+        for &x in &self.normal {
+            h_normal.add(x);
+        }
+        for &x in &self.walking {
+            h_walk.add(x);
+        }
+        let pn = h_normal.probabilities();
+        let pw = h_walk.probabilities();
+        let pmax = pn.iter().chain(&pw).copied().fold(0.0, f64::max);
+        let mut out = String::from(
+            "== Fig 2: distribution of the summed std-dev (normal '.' vs walking '#') ==\n",
+        );
+        out.push_str(&format!("99th-percentile threshold = {:.1}\n", self.threshold));
+        for i in 0..bins {
+            let bar = |p: f64, c: char| -> String {
+                let len = if pmax > 0.0 { (p / pmax * 40.0).round() as usize } else { 0 };
+                std::iter::repeat(c).take(len).collect()
+            };
+            out.push_str(&format!(
+                "{:7.1}  {:<40}  {:<40}\n",
+                h_normal.bin_center(i),
+                bar(pn[i], '.'),
+                bar(pw[i], '#'),
+            ));
+        }
+        out
+    }
+}
+
+/// Fig. 7 — MD F-measure as a function of `t∆`, per sensor count.
+///
+/// Windows do not depend on `t∆` (only the significance filter does),
+/// so the sweep reuses each run's raw windows.
+pub fn fig7(
+    experiment: &Experiment,
+    runs: &[SensorRun],
+    t_deltas: &[f64],
+) -> Vec<(usize, Vec<(f64, f64)>)> {
+    let hz = experiment.trace.tick_hz();
+    runs.iter()
+        .map(|run| {
+            let series = t_deltas
+                .iter()
+                .map(|&td| {
+                    let ticks = (td * hz).round().max(1.0) as usize;
+                    let significant: Vec<Vec<_>> = run
+                        .stage
+                        .runs
+                        .iter()
+                        .map(|r| r.significant_windows(ticks))
+                        .collect();
+                    let detection = fadewich_core::security::evaluate_detection(
+                        &significant,
+                        experiment.scenario.events(),
+                        hz,
+                        &experiment.params,
+                    );
+                    (td, detection.counts.f_measure())
+                })
+                .collect();
+            (run.n_sensors, series)
+        })
+        .collect()
+}
+
+/// Fig. 8 — RE classification accuracy vs training-set size, per
+/// sensor count.
+pub fn fig8(
+    runs: &[SensorRun],
+    train_sizes: &[usize],
+    repeats: usize,
+) -> Vec<(usize, Vec<LearningPoint>)> {
+    runs.iter()
+        .map(|run| {
+            (
+                run.n_sensors,
+                learning_curve(&run.samples, train_sizes, 5, repeats, 0xF16_8 ^ run.n_sensors as u64),
+            )
+        })
+        .collect()
+}
+
+/// Per-departure outcomes of one run under the Fig. 5 decision tree.
+pub fn outcomes_for_run(experiment: &Experiment, run: &SensorRun) -> Vec<DeauthOutcome> {
+    deauth_outcomes(
+        &run.stage.detection,
+        &run.predictions,
+        experiment.scenario.events(),
+        &experiment.params,
+        experiment.trace.tick_hz(),
+    )
+}
+
+/// The all-timeout baseline outcomes (no FADEWICH, only `T`).
+pub fn timeout_outcomes(experiment: &Experiment) -> Vec<DeauthOutcome> {
+    let events = experiment.scenario.events();
+    let n_days = experiment.trace.days().len();
+    let empty: Vec<Vec<fadewich_core::VariationWindow>> = vec![Vec::new(); n_days];
+    let detection = fadewich_core::security::evaluate_detection(
+        &empty,
+        events,
+        experiment.trace.tick_hz(),
+        &experiment.params,
+    );
+    let none = vec![None; events.len()];
+    deauth_outcomes(&detection, &none, events, &experiment.params, experiment.trace.tick_hz())
+}
+
+/// Fig. 9 — percentage of departures deauthenticated within each
+/// elapsed time, per sensor count.
+pub fn fig9(
+    experiment: &Experiment,
+    runs: &[SensorRun],
+    time_points: &[f64],
+) -> Vec<(usize, Vec<(f64, f64)>)> {
+    runs.iter()
+        .map(|run| {
+            let outcomes = outcomes_for_run(experiment, run);
+            (run.n_sensors, deauth_proportion_curve(&outcomes, time_points))
+        })
+        .collect()
+}
+
+/// One Fig. 10 bar: opportunities for both adversaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig10Row {
+    /// `None` is the timeout baseline row.
+    pub n_sensors: Option<usize>,
+    /// The analysis counts.
+    pub attacks: AttackAnalysis,
+}
+
+/// Fig. 10 — attack opportunities per sensor count, plus the timeout
+/// baseline.
+pub fn fig10(experiment: &Experiment, runs: &[SensorRun]) -> Vec<Fig10Row> {
+    let events = experiment.scenario.events();
+    let mut rows = vec![Fig10Row {
+        n_sensors: None,
+        attacks: attack_opportunities(&timeout_outcomes(experiment), events, INSIDER_DELAY_S),
+    }];
+    for run in runs {
+        let outcomes = outcomes_for_run(experiment, run);
+        rows.push(Fig10Row {
+            n_sensors: Some(run.n_sensors),
+            attacks: attack_opportunities(&outcomes, events, INSIDER_DELAY_S),
+        });
+    }
+    rows
+}
+
+/// Renders Fig. 10 as a table.
+pub fn fig10_table(rows: &[Fig10Row]) -> TextTable {
+    let mut t = TextTable::new(
+        "Fig 10: attack opportunities (% of office exits)",
+        &["deployment", "insider %", "co-worker %", "exits"],
+    );
+    for r in rows {
+        t.add_row(vec![
+            r.n_sensors.map_or("timeout".to_string(), |n| format!("{n} sensors")),
+            format!("{:.1}", r.attacks.insider_pct()),
+            format!("{:.1}", r.attacks.coworker_pct()),
+            r.attacks.n_exits.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fig. 11 — correlation matrix of the per-stream variance features
+/// across samples, with the paper's qualitative check: streams
+/// anchored at a common sensor correlate more than disjoint ones.
+#[derive(Debug, Clone)]
+pub struct Fig11Data {
+    /// The full correlation matrix (one row/column per stream).
+    pub matrix: CorrelationMatrix,
+    /// Mean |r| over stream pairs sharing a sensor.
+    pub mean_abs_shared: f64,
+    /// Mean |r| over stream pairs with four distinct sensors.
+    pub mean_abs_disjoint: f64,
+}
+
+/// Computes Fig. 11 from a run's matched samples.
+pub fn fig11(experiment: &Experiment, run: &SensorRun) -> Fig11Data {
+    let matched: Vec<&fadewich_core::TrainingSample> =
+        run.samples.per_event.iter().flatten().collect();
+    let link_ids = experiment.trace.link_ids();
+    let names: Vec<String> =
+        run.streams.iter().map(|&s| link_ids[s].stream_name()).collect();
+    // Variance feature is index 0 of each stream's triple.
+    let columns: Vec<Vec<f64>> = (0..run.streams.len())
+        .map(|j| matched.iter().map(|s| s.features[j * 3]).collect())
+        .collect();
+    let matrix = CorrelationMatrix::compute(&names, &columns);
+    let mut shared = Vec::new();
+    let mut disjoint = Vec::new();
+    for i in 0..run.streams.len() {
+        for j in (i + 1)..run.streams.len() {
+            let a = link_ids[run.streams[i]];
+            let b = link_ids[run.streams[j]];
+            let r = matrix.get(i, j).abs();
+            if a.tx == b.tx || a.tx == b.rx || a.rx == b.tx || a.rx == b.rx {
+                shared.push(r);
+            } else {
+                disjoint.push(r);
+            }
+        }
+    }
+    Fig11Data {
+        matrix,
+        mean_abs_shared: fadewich_stats::descriptive::mean(&shared),
+        mean_abs_disjoint: fadewich_stats::descriptive::mean(&disjoint),
+    }
+}
+
+impl Fig11Data {
+    /// Renders the summary plus the strongest pairs.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Fig 11: correlations between stream variances ==\n");
+        out.push_str(&format!(
+            "mean |r|: streams sharing a sensor = {:.3}, disjoint streams = {:.3}\n",
+            self.mean_abs_shared, self.mean_abs_disjoint
+        ));
+        out.push_str("strongest off-diagonal pairs:\n");
+        for (i, j, r) in self.matrix.strongest_pairs(10) {
+            out.push_str(&format!(
+                "  {} ~ {}  r = {:+.3}\n",
+                self.matrix.names()[i],
+                self.matrix.names()[j],
+                r
+            ));
+        }
+        out
+    }
+}
+
+/// Fig. 12 — stream importance (RMI) painted onto the floor plan.
+#[derive(Debug, Clone)]
+pub struct Fig12Data {
+    /// Accumulated importance per floor cell.
+    pub grid: FloorGrid,
+    /// Per-stream RMI (max over the stream's three features).
+    pub stream_rmi: Vec<(String, f64)>,
+}
+
+/// Computes Fig. 12 from a run's matched samples.
+pub fn fig12(experiment: &Experiment, run: &SensorRun) -> Fig12Data {
+    let matched: Vec<&fadewich_core::TrainingSample> =
+        run.samples.per_event.iter().flatten().collect();
+    let labels: Vec<usize> = matched.iter().map(|s| s.label).collect();
+    let names = fadewich_core::features::feature_names(experiment.trace.link_ids(), &run.streams);
+    let columns: Vec<Vec<f64>> = (0..names.len())
+        .map(|j| matched.iter().map(|s| s.features[j]).collect())
+        .collect();
+    let ranked = rank_features(&names, &columns, &labels, PAPER_BINS);
+    let rmi_by_name: std::collections::HashMap<&str, f64> =
+        ranked.iter().map(|f| (f.name.as_str(), f.rmi)).collect();
+    let link_ids = experiment.trace.link_ids();
+    let mut grid = FloorGrid::new(experiment.scenario.layout().room(), 60, 24);
+    let mut stream_rmi = Vec::new();
+    for (idx, &s) in run.streams.iter().enumerate() {
+        let stream = link_ids[s].stream_name();
+        let rmi = fadewich_core::features::FEATURE_SUFFIXES
+            .iter()
+            .filter_map(|suffix| rmi_by_name.get(format!("{stream}-{suffix}").as_str()))
+            .copied()
+            .fold(0.0f64, f64::max);
+        grid.deposit_segment(&experiment.trace.link_segments()[run.streams[idx]], rmi);
+        stream_rmi.push((stream, rmi));
+    }
+    stream_rmi.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite RMI"));
+    Fig12Data { grid, stream_rmi }
+}
+
+impl Fig12Data {
+    /// Renders the heatmap and the most/least informative streams.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "== Fig 12: stream importance (RMI) on the office floor plan ==\n",
+        );
+        out.push_str(&self.grid.render_ascii());
+        out.push_str("most informative streams:\n");
+        for (name, rmi) in self.stream_rmi.iter().take(5) {
+            out.push_str(&format!("  {name}: {rmi:.3}\n"));
+        }
+        out.push_str("least informative streams:\n");
+        for (name, rmi) in self.stream_rmi.iter().rev().take(5) {
+            out.push_str(&format!("  {name}: {rmi:.3}\n"));
+        }
+        out
+    }
+}
+
+/// One Fig. 13 point: security (vulnerable minutes) vs usability cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig13Row {
+    /// `None` is the timeout baseline.
+    pub n_sensors: Option<usize>,
+    /// Total minutes workstations sat unattended-and-authenticated.
+    pub vulnerable_minutes: f64,
+    /// Total user cost in minutes over the monitored period.
+    pub cost_minutes: f64,
+}
+
+/// Fig. 13 — vulnerable time vs total user cost, timeout baseline
+/// included. `cost_rows` come from [`crate::tables::table4`].
+pub fn fig13(
+    experiment: &Experiment,
+    runs: &[SensorRun],
+    cost_rows: &[crate::tables::UsabilityRow],
+) -> Vec<Fig13Row> {
+    let events = experiment.scenario.events();
+    let n_days = experiment.trace.days().len() as f64;
+    let baseline = timeout_outcomes(experiment);
+    let returns = return_times(&baseline, events);
+    let mut rows = vec![Fig13Row {
+        n_sensors: None,
+        vulnerable_minutes: total_vulnerable_minutes(&baseline, events, &returns),
+        cost_minutes: 0.0,
+    }];
+    for run in runs {
+        let outcomes = outcomes_for_run(experiment, run);
+        let returns = return_times(&outcomes, events);
+        let cost = cost_rows
+            .iter()
+            .find(|r| r.n_sensors == run.n_sensors)
+            .map_or(0.0, |r| r.cost_s_per_day * n_days / 60.0);
+        rows.push(Fig13Row {
+            n_sensors: Some(run.n_sensors),
+            vulnerable_minutes: total_vulnerable_minutes(&outcomes, events, &returns),
+            cost_minutes: cost,
+        });
+    }
+    rows
+}
+
+/// Renders Fig. 13 as a table.
+pub fn fig13_table(rows: &[Fig13Row]) -> TextTable {
+    let mut t = TextTable::new(
+        "Fig 13: vulnerable time vs total user cost (whole monitored period)",
+        &["deployment", "vulnerable (min)", "cost (min)"],
+    );
+    for r in rows {
+        t.add_row(vec![
+            r.n_sensors.map_or("timeout".to_string(), |n| format!("{n} sensors")),
+            format!("{:.2}", r.vulnerable_minutes),
+            format!("{:.2}", r.cost_minutes),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static (Experiment, Vec<SensorRun>) {
+        static FIX: OnceLock<(Experiment, Vec<SensorRun>)> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let exp = Experiment::small(123).unwrap();
+            let runs = exp.sweep(&[3, 9], 3).unwrap();
+            (exp, runs)
+        })
+    }
+
+    #[test]
+    fn fig2_separates_regimes() {
+        let (exp, runs) = fixture();
+        let data = fig2(exp, &runs[1]);
+        assert!(!data.normal.is_empty() && !data.walking.is_empty());
+        let mn = fadewich_stats::descriptive::mean(&data.normal);
+        let mw = fadewich_stats::descriptive::mean(&data.walking);
+        assert!(mw > 1.3 * mn, "walking {mw} should dominate normal {mn}");
+        assert!(data.threshold > mn);
+        assert!(!data.render().is_empty());
+    }
+
+    #[test]
+    fn fig7_f_measure_peaks_in_plausible_range() {
+        let (exp, runs) = fixture();
+        let t_deltas: Vec<f64> = (4..=16).map(|i| i as f64 * 0.5).collect();
+        let series = fig7(exp, runs, &t_deltas);
+        assert_eq!(series.len(), 2);
+        let nine = &series[1].1;
+        let best = nine
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(
+            (3.0..=6.5).contains(&best.0),
+            "9-sensor F-measure should peak near the walk duration, got t_delta = {}",
+            best.0
+        );
+        // F at the peak is meaningfully high.
+        assert!(best.1 > 0.7, "peak F = {}", best.1);
+    }
+
+    #[test]
+    fn fig9_curves_monotone_and_bounded() {
+        let (exp, runs) = fixture();
+        let pts: Vec<f64> = (0..=20).map(|i| i as f64 * 0.5).collect();
+        for (_, curve) in fig9(exp, runs, &pts) {
+            for pair in curve.windows(2) {
+                assert!(pair[0].1 <= pair[1].1);
+            }
+            for (_, pct) in &curve {
+                assert!((0.0..=100.0).contains(pct));
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_timeout_is_always_vulnerable() {
+        let (exp, runs) = fixture();
+        let rows = fig10(exp, runs);
+        assert_eq!(rows[0].n_sensors, None);
+        assert_eq!(rows[0].attacks.coworker_pct(), 100.0);
+        assert_eq!(rows[0].attacks.insider_pct(), 100.0);
+        // More sensors -> no more opportunities than the baseline.
+        for r in &rows[1..] {
+            assert!(r.attacks.coworker_opportunities <= rows[0].attacks.coworker_opportunities);
+            // The insider is never better off than the co-worker.
+            assert!(r.attacks.insider_opportunities <= r.attacks.coworker_opportunities);
+        }
+        assert!(fig10_table(&rows).n_rows() == rows.len());
+    }
+
+    #[test]
+    fn fig11_shared_streams_correlate_more() {
+        let (exp, runs) = fixture();
+        let data = fig11(exp, &runs[1]);
+        assert_eq!(data.matrix.len(), 72);
+        assert!(
+            data.mean_abs_shared > data.mean_abs_disjoint,
+            "shared {} vs disjoint {}",
+            data.mean_abs_shared,
+            data.mean_abs_disjoint
+        );
+        assert!(!data.render().is_empty());
+    }
+
+    #[test]
+    fn fig12_grid_has_structure() {
+        let (exp, runs) = fixture();
+        let data = fig12(exp, &runs[1]);
+        assert!(data.grid.max_value() > 0.0);
+        assert_eq!(data.stream_rmi.len(), 72);
+        // Sorted descending.
+        for pair in data.stream_rmi.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        assert!(data.render().contains("Fig 12"));
+    }
+
+    #[test]
+    fn fig13_more_sensors_less_vulnerable() {
+        let (exp, runs) = fixture();
+        let (cost_rows, _) = crate::tables::table4(exp, runs, 3);
+        let rows = fig13(exp, runs, &cost_rows);
+        assert_eq!(rows.len(), 3);
+        let timeout = rows[0].vulnerable_minutes;
+        let nine = rows[2].vulnerable_minutes;
+        assert!(nine < timeout, "9 sensors {nine} should beat timeout {timeout}");
+        assert_eq!(rows[0].cost_minutes, 0.0);
+        assert!(fig13_table(&rows).n_rows() == 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness reproducing the FADEWICH evaluation.
+//!
+//! - [`experiment`] — the shared scenario + trace context and the
+//!   per-sensor-count pipeline sweep;
+//! - [`pipeline`] — MD stage, sample building, cross-validated
+//!   predictions, learning curves;
+//! - [`tables`]/[`figures`] — one function per paper table/figure;
+//! - [`ablations`] — placement / parameter / classifier / overlap studies;
+//! - [`deployment`] — the realistic train-then-run-online workflow;
+//! - [`csi`] — the RSSI-vs-CSI future-work comparison;
+//! - [`baseline`] — FADEWICH vs the RTI departure-detection baseline;
+//! - [`offices`] — generalization across office setups and ad-hoc devices;
+//! - [`attacks`] — jamming attacks and the integrity-guard response;
+//! - [`report`] — ASCII/CSV rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod attacks;
+pub mod baseline;
+pub mod csi;
+pub mod deployment;
+pub mod experiment;
+pub mod figures;
+pub mod offices;
+pub mod pipeline;
+pub mod report;
+pub mod tables;
+
+pub use experiment::{Experiment, SensorRun, SENSOR_COUNTS};

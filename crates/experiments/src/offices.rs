@@ -1,0 +1,204 @@
+//! Generalization across office setups — the paper's first
+//! future-work question (§VIII-A): "investigate the performance of the
+//! system in different setups (other offices, with different
+//! dimensions and users)", and whether "the wireless devices currently
+//! present in a common office (e.g., desktop computers, Internet of
+//! Things devices) are sufficient".
+
+use fadewich_core::FadewichParams;
+use fadewich_geometry::{Point, Rect};
+use fadewich_officesim::{OfficeLayout, ScenarioConfig, ScheduleParams};
+
+use crate::experiment::Experiment;
+use crate::report::TextTable;
+
+/// One evaluated setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfficeResult {
+    /// Human-readable setup name.
+    pub name: String,
+    /// Room area (m²).
+    pub area_m2: f64,
+    /// Number of users/workstations.
+    pub users: usize,
+    /// Number of sensors.
+    pub sensors: usize,
+    /// Ground-truth events generated.
+    pub events: usize,
+    /// MD detection recall.
+    pub recall: f64,
+    /// Cross-validated RE accuracy.
+    pub accuracy: f64,
+}
+
+/// The named setups of the sweep.
+///
+/// Includes the paper office, a smaller and a larger room, and an
+/// "existing devices" deployment where the radios are the machines an
+/// office already owns: one per desk, a router in a corner, a printer
+/// and a smart display — no dedicated wall sensors at all.
+pub fn office_setups() -> Vec<(String, OfficeLayout)> {
+    let mut setups = Vec::new();
+    setups.push(("paper office 6x3, 3 users, 9 wall sensors".to_string(), OfficeLayout::paper_office()));
+
+    let small = Rect::with_size(4.0, 3.0);
+    setups.push((
+        "small office 4x3, 2 users, 6 wall sensors".to_string(),
+        OfficeLayout::custom(
+            small,
+            OfficeLayout::wall_sensors(small, 6),
+            vec![Point::new(1.0, 2.3), Point::new(1.0, 0.8)],
+            Point::new(3.8, 0.2),
+        )
+        .expect("small office geometry"),
+    ));
+
+    let large = Rect::with_size(8.0, 4.0);
+    setups.push((
+        "large office 8x4, 4 users, 9 wall sensors".to_string(),
+        OfficeLayout::custom(
+            large,
+            OfficeLayout::wall_sensors(large, 9),
+            vec![
+                Point::new(1.5, 3.2),
+                Point::new(4.0, 3.4),
+                Point::new(6.5, 3.2),
+                Point::new(1.5, 1.0),
+            ],
+            Point::new(7.6, 0.2),
+        )
+        .expect("large office geometry"),
+    ));
+
+    // Existing devices: the desks' own machines plus ambient gadgets.
+    let room = Rect::with_size(6.0, 3.0);
+    let desks = vec![Point::new(2.0, 2.4), Point::new(3.6, 2.6), Point::new(1.2, 0.9)];
+    let devices = vec![
+        Point::new(2.0, 2.5), // desktop at w1
+        Point::new(3.6, 2.7), // desktop at w2
+        Point::new(1.2, 1.0), // desktop at w3
+        Point::new(0.2, 0.2), // WiFi router in the corner
+        Point::new(5.5, 2.7), // network printer
+        Point::new(3.0, 0.2), // smart display on the south wall
+    ];
+    setups.push((
+        "existing devices 6x3, 3 users, 6 ad-hoc radios".to_string(),
+        OfficeLayout::custom(room, devices, desks, Point::new(5.7, 0.1))
+            .expect("existing-devices geometry"),
+    ));
+    setups
+}
+
+/// Runs the sweep: each setup gets its own simulated day(s) and the
+/// full MD + RE pipeline at its full sensor count.
+///
+/// # Errors
+///
+/// Propagates scenario/pipeline failures.
+pub fn office_sweep(
+    seed: u64,
+    schedule: ScheduleParams,
+    days: usize,
+) -> Result<(Vec<OfficeResult>, TextTable), String> {
+    let mut results = Vec::new();
+    for (i, (name, layout)) in office_setups().into_iter().enumerate() {
+        let n_sensors = layout.sensors().len();
+        let users = layout.n_workstations();
+        let area = layout.room().width() * layout.room().height();
+        let config = ScenarioConfig {
+            seed: seed ^ (i as u64) << 16,
+            days,
+            layout,
+            schedule: schedule.clone(),
+            ..ScenarioConfig::default()
+        };
+        let experiment = Experiment::from_config(config, FadewichParams::default())?;
+        let run = experiment.run_for_sensors(n_sensors, 3)?;
+        results.push(OfficeResult {
+            name,
+            area_m2: area,
+            users,
+            sensors: n_sensors,
+            events: experiment.scenario.events().len(),
+            recall: run.stage.detection.counts.recall(),
+            accuracy: run.accuracy,
+        });
+    }
+    let mut t = TextTable::new(
+        "Extension: FADEWICH across office setups",
+        &["setup", "area m2", "users", "sensors", "events", "MD recall", "RE accuracy"],
+    );
+    for r in &results {
+        t.add_row(vec![
+            r.name.clone(),
+            format!("{:.0}", r.area_m2),
+            r.users.to_string(),
+            r.sensors.to_string(),
+            r.events.to_string(),
+            format!("{:.2}", r.recall),
+            format!("{:.2}", r.accuracy),
+        ]);
+    }
+    Ok((results, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_schedule() -> ScheduleParams {
+        ScheduleParams {
+            day_seconds: 2.0 * 3600.0,
+            departures_choices: [2, 2, 3, 3],
+            min_seated_s: 400.0,
+            absence_bounds_s: (90.0, 300.0),
+            ..ScheduleParams::default()
+        }
+    }
+
+    #[test]
+    fn setups_are_valid_geometry() {
+        for (name, layout) in office_setups() {
+            assert!(layout.sensors().len() >= 2, "{name}");
+            for ws in 0..layout.n_workstations() {
+                let path = layout.path_to_door(ws);
+                assert!(path.length() > 1.0, "{name}: w{} path too short", ws + 1);
+                // Path stays inside the room.
+                let mut s = 0.0;
+                while s <= path.length() {
+                    assert!(
+                        layout.room().contains(path.point_at(s)),
+                        "{name}: path leaves the room"
+                    );
+                    s += 0.1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_runs_all_setups() {
+        let (results, table) = office_sweep(0x0FF1, quick_schedule(), 1).unwrap();
+        assert_eq!(results.len(), 4);
+        assert_eq!(table.n_rows(), 4);
+        for r in &results {
+            assert!(r.events > 0, "{}: no events", r.name);
+            assert!(
+                r.recall > 0.4,
+                "{}: recall collapsed to {}",
+                r.name,
+                r.recall
+            );
+        }
+        // The paper office with 9 dedicated sensors should beat the
+        // ad-hoc existing-devices deployment on detection.
+        let paper = &results[0];
+        let adhoc = &results[3];
+        assert!(
+            paper.recall >= adhoc.recall - 0.05,
+            "paper {} vs ad-hoc {}",
+            paper.recall,
+            adhoc.recall
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Plain-text rendering of tables and figure data.
+//!
+//! The `reproduce` binary prints every regenerated table and figure as
+//! aligned ASCII; the same structures can be dumped as CSV for
+//! plotting.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Cell accessor (row-major), for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Renders the aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (quoted only when needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Renders an XY series as a crude ASCII line chart (one row per
+/// point), for the `reproduce` binary's figure output.
+pub fn render_series(title: &str, series: &[(String, Vec<(f64, f64)>)], y_width: usize) -> String {
+    let mut out = format!("== {title} ==\n");
+    let max_y = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(_, y)| y))
+        .fold(f64::NEG_INFINITY, f64::max);
+    for (name, pts) in series {
+        out.push_str(&format!("-- {name} --\n"));
+        for &(x, y) in pts {
+            let bar_len = if max_y > 0.0 {
+                ((y / max_y) * y_width as f64).round().max(0.0) as usize
+            } else {
+                0
+            };
+            out.push_str(&format!("{x:8.2}  {y:10.4}  {}\n", "#".repeat(bar_len)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> TextTable {
+        let mut t = TextTable::new("Demo", &["n", "value"]);
+        t.add_row(vec!["3".into(), "0.47".into()]);
+        t.add_row(vec!["9".into(), "0.95".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample_table().render();
+        assert!(r.contains("== Demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("n") && lines[1].contains("value"));
+        assert!(lines[3].trim_start().starts_with('3'));
+    }
+
+    #[test]
+    fn csv_roundtrip_basics() {
+        let csv = sample_table().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "n,value");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new("x", &["a"]);
+        t.add_row(vec!["1,5".into()]);
+        assert!(t.to_csv().contains("\"1,5\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        sample_table().add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = render_series(
+            "F-measure",
+            &[("3 sensors".into(), vec![(2.0, 0.5), (4.5, 0.9)])],
+            20,
+        );
+        assert!(s.contains("F-measure"));
+        assert!(s.contains("3 sensors"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample_table();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.title(), "Demo");
+        assert_eq!(t.cell(1, 1), "0.95");
+        assert!(!format!("{t}").is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Reproduction of the paper's tables.
+//!
+//! Each function returns both the structured numbers and a rendered
+//! [`TextTable`], so benches can assert on the data and the
+//! `reproduce` binary can print it.
+
+use fadewich_core::features::feature_names;
+use fadewich_core::usability::{simulate_day, DayUsability, UsabilityParams};
+use fadewich_stats::rmi::{rank_features, RankedFeature, PAPER_BINS};
+use fadewich_stats::rng::Rng;
+
+use crate::experiment::{Experiment, SensorRun};
+use crate::pipeline::windows_with_predictions;
+use crate::report::TextTable;
+
+/// Table II — number of labeled events per class.
+pub fn table2(experiment: &Experiment) -> TextTable {
+    let counts = experiment
+        .scenario
+        .events()
+        .label_counts(experiment.scenario.layout().n_workstations());
+    let mut t = TextTable::new(
+        "Table II: labeled events collected during the experiment",
+        &["label", "events"],
+    );
+    for (label, &count) in counts.iter().enumerate() {
+        t.add_row(vec![format!("w{label}"), count.to_string()]);
+    }
+    t.add_row(vec!["total".into(), counts.iter().sum::<usize>().to_string()]);
+    t
+}
+
+/// Table III — MD detection performance per sensor count at `t∆`.
+pub fn table3(experiment: &Experiment, runs: &[SensorRun]) -> TextTable {
+    let n_events = experiment.scenario.events().len() as f64;
+    let mut t = TextTable::new(
+        "Table III: MD performance (TP / FP / FN) per number of sensors",
+        &["sensors", "TP", "FP", "FN", "TP frac", "FP frac", "FN frac"],
+    );
+    for run in runs {
+        let c = run.stage.detection.counts;
+        t.add_row(vec![
+            run.n_sensors.to_string(),
+            c.true_positives.to_string(),
+            c.false_positives.to_string(),
+            c.false_negatives.to_string(),
+            format!("{:.2}", c.true_positives as f64 / n_events),
+            format!("{:.2}", c.false_positives as f64 / n_events),
+            format!("{:.2}", c.false_negatives as f64 / n_events),
+        ]);
+    }
+    t
+}
+
+/// The numbers behind one Table IV row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsabilityRow {
+    /// Number of sensors.
+    pub n_sensors: usize,
+    /// Mean spurious screen savers per day.
+    pub screensavers_per_day: f64,
+    /// Standard deviation over the input draws.
+    pub screensavers_sd: f64,
+    /// Mean wrongful deauthentications per day.
+    pub deauths_per_day: f64,
+    /// Standard deviation over the input draws.
+    pub deauths_sd: f64,
+    /// Mean total user cost per day (seconds).
+    pub cost_s_per_day: f64,
+}
+
+/// Computes one Table IV row: replay the detected windows against
+/// `draws` independent input realizations and average the error
+/// counts.
+pub fn usability_row(
+    experiment: &Experiment,
+    run: &SensorRun,
+    draws: usize,
+    usability: &UsabilityParams,
+) -> UsabilityRow {
+    let windows_by_day = windows_with_predictions(
+        &experiment.trace,
+        &run.stage,
+        &run.samples,
+        &run.predictions,
+        &run.streams,
+        &experiment.params,
+        0xBEEF ^ run.n_sensors as u64,
+    );
+    let n_days = experiment.trace.days().len();
+    let seated: Vec<Vec<Vec<(f64, f64)>>> = (0..n_days)
+        .map(|d| {
+            experiment.scenario.day_schedules()[d]
+                .timelines
+                .iter()
+                .map(|tl| tl.seated_intervals())
+                .collect()
+        })
+        .collect();
+    let mut per_day_ss = Vec::new();
+    let mut per_day_deauth = Vec::new();
+    for draw in 0..draws {
+        let mut total = DayUsability::default();
+        for day in 0..n_days {
+            let inputs = experiment.scenario.input_trace(day, draw as u64);
+            let mut rng = Rng::seed_from_u64(0xCAFE ^ (draw as u64) << 8 ^ day as u64);
+            let windows: Vec<_> = windows_by_day[day].iter().map(|(w, _)| *w).collect();
+            let preds: Vec<usize> = windows_by_day[day].iter().map(|(_, p)| *p).collect();
+            let d = simulate_day(
+                &windows,
+                &preds,
+                &inputs,
+                &seated[day],
+                &experiment.params,
+                usability,
+                experiment.trace.tick_hz(),
+                &mut rng,
+            );
+            total.error_screensavers += d.error_screensavers;
+            total.error_deauths += d.error_deauths;
+        }
+        per_day_ss.push(total.error_screensavers as f64 / n_days as f64);
+        per_day_deauth.push(total.error_deauths as f64 / n_days as f64);
+    }
+    let ss = fadewich_stats::metrics::MeanCi::of(&per_day_ss);
+    let de = fadewich_stats::metrics::MeanCi::of(&per_day_deauth);
+    let ss_sd = fadewich_stats::descriptive::sample_variance(&per_day_ss).sqrt();
+    let de_sd = fadewich_stats::descriptive::sample_variance(&per_day_deauth).sqrt();
+    UsabilityRow {
+        n_sensors: run.n_sensors,
+        screensavers_per_day: ss.mean,
+        screensavers_sd: ss_sd,
+        deauths_per_day: de.mean,
+        deauths_sd: de_sd,
+        cost_s_per_day: ss.mean * usability.screensaver_cost_s + de.mean * usability.relogin_cost_s,
+    }
+}
+
+/// Table IV — usability cost per day, per sensor count.
+pub fn table4(
+    experiment: &Experiment,
+    runs: &[SensorRun],
+    draws: usize,
+) -> (Vec<UsabilityRow>, TextTable) {
+    let usability = UsabilityParams::default();
+    let rows: Vec<UsabilityRow> =
+        runs.iter().map(|run| usability_row(experiment, run, draws, &usability)).collect();
+    let mut t = TextTable::new(
+        format!("Table IV: usability errors and cost per 8h day ({draws} input draws)"),
+        &["sensors", "screen savers/day", "deauths/day", "cost (s)/day"],
+    );
+    for r in &rows {
+        t.add_row(vec![
+            r.n_sensors.to_string(),
+            format!("{:.3} ({:.2})", r.screensavers_per_day, r.screensavers_sd),
+            format!("{:.3} ({:.2})", r.deauths_per_day, r.deauths_sd),
+            format!("{:.2}", r.cost_s_per_day),
+        ]);
+    }
+    (rows, t)
+}
+
+/// Table V — the top features by relative mutual information.
+pub fn table5(experiment: &Experiment, run: &SensorRun, top: usize) -> (Vec<RankedFeature>, TextTable) {
+    let matched: Vec<&fadewich_core::TrainingSample> =
+        run.samples.per_event.iter().flatten().collect();
+    let labels: Vec<usize> = matched.iter().map(|s| s.label).collect();
+    let names = feature_names(experiment.trace.link_ids(), &run.streams);
+    let n_features = names.len();
+    let columns: Vec<Vec<f64>> = (0..n_features)
+        .map(|j| matched.iter().map(|s| s.features[j]).collect())
+        .collect();
+    let ranked = rank_features(&names, &columns, &labels, PAPER_BINS);
+    let mut t = TextTable::new(
+        format!("Table V: top {top} features by relative mutual information"),
+        &["rank", "feature", "RMI"],
+    );
+    for (i, f) in ranked.iter().take(top).enumerate() {
+        t.add_row(vec![(i + 1).to_string(), f.name.clone(), format!("{:.4}", f.rmi)]);
+    }
+    (ranked, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static (Experiment, Vec<SensorRun>) {
+        static FIX: OnceLock<(Experiment, Vec<SensorRun>)> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let exp = Experiment::small(123).unwrap();
+            let runs = exp.sweep(&[3, 9], 3).unwrap();
+            (exp, runs)
+        })
+    }
+
+    #[test]
+    fn table2_totals_match_events() {
+        let (exp, _) = fixture();
+        let t = table2(exp);
+        assert_eq!(t.n_rows(), 5); // w0..w3 + total
+        let total: usize = t.cell(4, 1).parse().unwrap();
+        assert_eq!(total, exp.scenario.events().len());
+    }
+
+    #[test]
+    fn table3_rows_per_sensor_count() {
+        let (exp, runs) = fixture();
+        let t = table3(exp, runs);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.cell(0, 0), "3");
+        assert_eq!(t.cell(1, 0), "9");
+        // TP + FN = number of events for each row.
+        let events = exp.scenario.events().len();
+        for r in 0..2 {
+            let tp: usize = t.cell(r, 1).parse().unwrap();
+            let fn_: usize = t.cell(r, 3).parse().unwrap();
+            assert_eq!(tp + fn_, events);
+        }
+    }
+
+    #[test]
+    fn table4_costs_are_consistent() {
+        let (exp, runs) = fixture();
+        let (rows, t) = table4(exp, &runs[1..], 5);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(t.n_rows(), 1);
+        let r = &rows[0];
+        let expected = r.screensavers_per_day * 3.0 + r.deauths_per_day * 13.0;
+        assert!((r.cost_s_per_day - expected).abs() < 1e-9);
+        assert!(r.screensavers_per_day >= 0.0 && r.deauths_per_day >= 0.0);
+    }
+
+    #[test]
+    fn table5_ranked_descending() {
+        let (exp, runs) = fixture();
+        let (ranked, t) = table5(exp, &runs[1], 15);
+        assert_eq!(t.n_rows(), 15);
+        assert_eq!(ranked.len(), 72 * 3);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].rmi >= pair[1].rmi);
+        }
+        // The top feature should carry real information.
+        assert!(ranked[0].rmi > 0.05, "top RMI = {}", ranked[0].rmi);
+    }
+}

@@ -1,0 +1,188 @@
+//! Rasterization of the floor plan for heatmap figures.
+//!
+//! Fig. 12 of the paper paints stream importance (RMI) onto the office
+//! planimetry: every link segment deposits its weight into the cells it
+//! passes through, and the accumulated grid is rendered as a heatmap.
+//! [`FloorGrid`] implements exactly that accumulation plus an ASCII
+//! renderer used by the `reproduce` binary.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::segment::Segment;
+
+/// A uniform grid of accumulation cells over a rectangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorGrid {
+    bounds: Rect,
+    cols: usize,
+    rows: usize,
+    cells: Vec<f64>,
+}
+
+impl FloorGrid {
+    /// Creates an all-zero grid of `cols × rows` cells over `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the bounds are degenerate.
+    pub fn new(bounds: Rect, cols: usize, rows: usize) -> FloorGrid {
+        assert!(cols > 0 && rows > 0, "grid needs at least one cell");
+        assert!(bounds.width() > 0.0 && bounds.height() > 0.0, "degenerate grid bounds");
+        FloorGrid { bounds, cols, rows, cells: vec![0.0; cols * rows] }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The grid's bounding rectangle.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Value of cell `(col, row)`, row 0 at the south edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, col: usize, row: usize) -> f64 {
+        assert!(col < self.cols && row < self.rows, "cell out of range");
+        self.cells[row * self.cols + col]
+    }
+
+    /// Cell index containing `p` (clamped to the grid).
+    pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        let tx = (p.x - self.bounds.min().x) / self.bounds.width();
+        let ty = (p.y - self.bounds.min().y) / self.bounds.height();
+        let col = ((tx * self.cols as f64).floor() as i64).clamp(0, self.cols as i64 - 1);
+        let row = ((ty * self.rows as f64).floor() as i64).clamp(0, self.rows as i64 - 1);
+        (col as usize, row as usize)
+    }
+
+    /// Adds `weight` to the cell containing `p`.
+    pub fn deposit_point(&mut self, p: Point, weight: f64) {
+        let (c, r) = self.cell_of(p);
+        self.cells[r * self.cols + c] += weight;
+    }
+
+    /// Deposits `weight` uniformly along a segment by sampling it at
+    /// sub-cell resolution; the total deposited mass is `weight`
+    /// regardless of segment length.
+    pub fn deposit_segment(&mut self, seg: &Segment, weight: f64) {
+        let cell_diag = (self.bounds.width() / self.cols as f64)
+            .min(self.bounds.height() / self.rows as f64);
+        let steps = ((seg.length() / (cell_diag * 0.5)).ceil() as usize).max(1);
+        let w = weight / (steps + 1) as f64;
+        for i in 0..=steps {
+            self.deposit_point(seg.point_at(i as f64 / steps as f64), w);
+        }
+    }
+
+    /// Maximum cell value (0 for an untouched grid).
+    pub fn max_value(&self) -> f64 {
+        self.cells.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Renders the grid as ASCII art, north row first, using a ramp of
+    /// shade characters scaled to the maximum cell.
+    pub fn render_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let max = self.max_value();
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for row in (0..self.rows).rev() {
+            for col in 0..self.cols {
+                let v = self.get(col, row);
+                let idx = if max > 0.0 {
+                    ((v / max) * (RAMP.len() - 1) as f64).round() as usize
+                } else {
+                    0
+                };
+                out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> FloorGrid {
+        FloorGrid::new(Rect::with_size(6.0, 3.0), 12, 6)
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let g = grid();
+        assert_eq!(g.cell_of(Point::new(0.1, 0.1)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(5.9, 2.9)), (11, 5));
+        assert_eq!(g.cell_of(Point::new(3.0, 1.5)), (6, 3));
+        // Clamped outside.
+        assert_eq!(g.cell_of(Point::new(-1.0, 9.0)), (0, 5));
+    }
+
+    #[test]
+    fn point_deposit() {
+        let mut g = grid();
+        g.deposit_point(Point::new(1.0, 1.0), 2.5);
+        assert_eq!(g.get(2, 2), 2.5);
+        assert_eq!(g.max_value(), 2.5);
+    }
+
+    #[test]
+    fn segment_deposit_conserves_mass() {
+        let mut g = grid();
+        g.deposit_segment(
+            &Segment::new(Point::new(0.2, 0.2), Point::new(5.8, 2.8)),
+            3.0,
+        );
+        let total: f64 = (0..12)
+            .flat_map(|c| (0..6).map(move |r| (c, r)))
+            .map(|(c, r)| g.get(c, r))
+            .sum();
+        assert!((total - 3.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn segment_deposit_touches_both_end_cells() {
+        let mut g = grid();
+        g.deposit_segment(
+            &Segment::new(Point::new(0.2, 0.2), Point::new(5.8, 0.2)),
+            1.0,
+        );
+        assert!(g.get(0, 0) > 0.0);
+        assert!(g.get(11, 0) > 0.0);
+        assert_eq!(g.get(5, 5), 0.0);
+    }
+
+    #[test]
+    fn ascii_rendering_shape() {
+        let mut g = grid();
+        g.deposit_point(Point::new(3.0, 1.5), 1.0);
+        let art = g.render_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines.iter().all(|l| l.chars().count() == 12));
+        assert!(art.contains('@'));
+    }
+
+    #[test]
+    fn empty_grid_renders_blank() {
+        let art = grid().render_ascii();
+        assert!(art.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        FloorGrid::new(Rect::with_size(1.0, 1.0), 0, 4);
+    }
+}

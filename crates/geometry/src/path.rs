@@ -1,0 +1,161 @@
+//! Waypoint paths and arclength interpolation.
+//!
+//! A user leaving a workstation walks a polyline: stand up, round the
+//! desk, head for the door. The trajectory model needs the walker's
+//! position as a function of distance covered, which [`Path`] provides
+//! via arclength parameterization.
+
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// A polyline through an ordered list of waypoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    waypoints: Vec<Point>,
+    /// Cumulative arclength at each waypoint; `cum[0] = 0`.
+    cum: Vec<f64>,
+}
+
+impl Path {
+    /// Builds a path through `waypoints`.
+    ///
+    /// Consecutive duplicate waypoints are tolerated (they contribute
+    /// zero length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one waypoint is given or any coordinate is
+    /// non-finite.
+    pub fn new(waypoints: Vec<Point>) -> Path {
+        assert!(!waypoints.is_empty(), "a path needs at least one waypoint");
+        assert!(waypoints.iter().all(|p| p.is_finite()), "non-finite waypoint");
+        let mut cum = Vec::with_capacity(waypoints.len());
+        cum.push(0.0);
+        for w in waypoints.windows(2) {
+            let last = *cum.last().expect("cum starts non-empty");
+            cum.push(last + w[0].distance_to(w[1]));
+        }
+        Path { waypoints, cum }
+    }
+
+    /// Total arclength in metres.
+    pub fn length(&self) -> f64 {
+        *self.cum.last().expect("cum is non-empty")
+    }
+
+    /// The waypoints the path passes through.
+    pub fn waypoints(&self) -> &[Point] {
+        &self.waypoints
+    }
+
+    /// Position after covering `s` metres from the start.
+    ///
+    /// `s` is clamped to `[0, length]`, so callers can advance a walker
+    /// past the end and get the final waypoint.
+    pub fn point_at(&self, s: f64) -> Point {
+        let s = s.clamp(0.0, self.length());
+        // Binary search for the containing segment.
+        let idx = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arclength"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        if idx + 1 >= self.waypoints.len() {
+            return *self.waypoints.last().expect("non-empty");
+        }
+        let seg_len = self.cum[idx + 1] - self.cum[idx];
+        if seg_len <= 0.0 {
+            return self.waypoints[idx];
+        }
+        let t = (s - self.cum[idx]) / seg_len;
+        self.waypoints[idx].lerp(self.waypoints[idx + 1], t)
+    }
+
+    /// The path's segments in order (empty for a single waypoint).
+    pub fn segments(&self) -> Vec<Segment> {
+        self.waypoints
+            .windows(2)
+            .map(|w| Segment::new(w[0], w[1]))
+            .collect()
+    }
+
+    /// The reversed path (used for "enter office" = reverse of "leave").
+    pub fn reversed(&self) -> Path {
+        let mut wp = self.waypoints.clone();
+        wp.reverse();
+        Path::new(wp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn length_of_l_shape() {
+        let path = Path::new(vec![p(0.0, 0.0), p(3.0, 0.0), p(3.0, 4.0)]);
+        assert_eq!(path.length(), 7.0);
+    }
+
+    #[test]
+    fn interpolation_within_segments() {
+        let path = Path::new(vec![p(0.0, 0.0), p(3.0, 0.0), p(3.0, 4.0)]);
+        assert_eq!(path.point_at(0.0), p(0.0, 0.0));
+        assert_eq!(path.point_at(1.5), p(1.5, 0.0));
+        assert_eq!(path.point_at(3.0), p(3.0, 0.0));
+        assert_eq!(path.point_at(5.0), p(3.0, 2.0));
+        assert_eq!(path.point_at(7.0), p(3.0, 4.0));
+    }
+
+    #[test]
+    fn clamping_beyond_ends() {
+        let path = Path::new(vec![p(0.0, 0.0), p(2.0, 0.0)]);
+        assert_eq!(path.point_at(-1.0), p(0.0, 0.0));
+        assert_eq!(path.point_at(99.0), p(2.0, 0.0));
+    }
+
+    #[test]
+    fn single_waypoint_path() {
+        let path = Path::new(vec![p(1.0, 1.0)]);
+        assert_eq!(path.length(), 0.0);
+        assert_eq!(path.point_at(0.0), p(1.0, 1.0));
+        assert_eq!(path.point_at(5.0), p(1.0, 1.0));
+        assert!(path.segments().is_empty());
+    }
+
+    #[test]
+    fn duplicate_waypoints_tolerated() {
+        let path = Path::new(vec![p(0.0, 0.0), p(0.0, 0.0), p(1.0, 0.0)]);
+        assert_eq!(path.length(), 1.0);
+        assert_eq!(path.point_at(0.5), p(0.5, 0.0));
+    }
+
+    #[test]
+    fn reversal() {
+        let path = Path::new(vec![p(0.0, 0.0), p(3.0, 0.0), p(3.0, 4.0)]);
+        let rev = path.reversed();
+        assert_eq!(rev.length(), path.length());
+        assert_eq!(rev.point_at(0.0), p(3.0, 4.0));
+        assert_eq!(rev.point_at(7.0), p(0.0, 0.0));
+    }
+
+    #[test]
+    fn segments_cover_waypoints() {
+        let path = Path::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0)]);
+        let segs = path.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].b, segs[1].a);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one waypoint")]
+    fn empty_path_panics() {
+        Path::new(vec![]);
+    }
+}

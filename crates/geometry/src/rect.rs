@@ -1,0 +1,124 @@
+//! Axis-aligned rectangles — rooms and zones.
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle `[x0, x1] × [y0, y1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (any order).
+    pub fn from_corners(a: Point, b: Point) -> Rect {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle anchored at the origin with the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is negative or non-finite.
+    pub fn with_size(width: f64, height: f64) -> Rect {
+        assert!(
+            width.is_finite() && height.is_finite() && width >= 0.0 && height >= 0.0,
+            "invalid rectangle size {width} x {height}"
+        );
+        Rect { min: Point::ORIGIN, max: Point::new(width, height) }
+    }
+
+    /// South-west corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// North-east corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width (east-west extent).
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (north-south extent).
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        self.min.lerp(self.max, 0.5)
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps a point into the rectangle.
+    pub fn clamp_point(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// Shrinks the rectangle by `margin` on every side (empty at the
+    /// center if the margin exceeds half the extent).
+    pub fn shrunk(&self, margin: f64) -> Rect {
+        let c = self.center();
+        Rect {
+            min: Point::new((self.min.x + margin).min(c.x), (self.min.y + margin).min(c.y)),
+            max: Point::new((self.max.x - margin).max(c.x), (self.max.y - margin).max(c.y)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_normalize() {
+        let r = Rect::from_corners(Point::new(4.0, 1.0), Point::new(0.0, 3.0));
+        assert_eq!(r.min(), Point::new(0.0, 1.0));
+        assert_eq!(r.max(), Point::new(4.0, 3.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+    }
+
+    #[test]
+    fn office_size() {
+        let r = Rect::with_size(6.0, 3.0);
+        assert_eq!(r.center(), Point::new(3.0, 1.5));
+        assert!(r.contains(Point::new(6.0, 3.0)));
+        assert!(!r.contains(Point::new(6.01, 3.0)));
+        assert!(!r.contains(Point::new(-0.01, 1.0)));
+    }
+
+    #[test]
+    fn clamping() {
+        let r = Rect::with_size(6.0, 3.0);
+        assert_eq!(r.clamp_point(Point::new(9.0, -1.0)), Point::new(6.0, 0.0));
+        assert_eq!(r.clamp_point(Point::new(2.0, 2.0)), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn shrink() {
+        let r = Rect::with_size(6.0, 3.0).shrunk(0.5);
+        assert_eq!(r.min(), Point::new(0.5, 0.5));
+        assert_eq!(r.max(), Point::new(5.5, 2.5));
+        // Over-shrinking collapses to the center instead of inverting.
+        let tiny = Rect::with_size(1.0, 1.0).shrunk(10.0);
+        assert!(tiny.width() >= 0.0 && tiny.height() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rectangle size")]
+    fn negative_size_panics() {
+        Rect::with_size(-1.0, 2.0);
+    }
+}

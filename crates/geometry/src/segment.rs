@@ -1,0 +1,182 @@
+//! Line segments — the geometry of a radio link.
+//!
+//! Each directed RSSI stream `d_i → d_j` corresponds to the segment
+//! between the two sensor positions. The body-shadowing model needs,
+//! per tick and per body, the distance from the body to that segment;
+//! [`Segment::distance_to_point`] is the single hottest geometric
+//! routine in the simulator.
+
+use crate::point::Point;
+
+/// A line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from endpoints.
+    pub const fn new(a: Point, b: Point) -> Segment {
+        Segment { a, b }
+    }
+
+    /// Segment length in metres.
+    pub fn length(&self) -> f64 {
+        self.a.distance_to(self.b)
+    }
+
+    /// The parameter `t ∈ [0, 1]` of the point on the segment closest
+    /// to `p` (0 at `a`, 1 at `b`). A degenerate segment returns 0.
+    pub fn closest_param(&self, p: Point) -> f64 {
+        let ab = self.b - self.a;
+        let denom = ab.norm_sq();
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        ((p - self.a).dot(ab) / denom).clamp(0.0, 1.0)
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        self.a.lerp(self.b, self.closest_param(p))
+    }
+
+    /// Shortest distance from `p` to the segment.
+    ///
+    /// ```
+    /// use fadewich_geometry::{Point, Segment};
+    /// let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+    /// assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
+    /// assert_eq!(s.distance_to_point(Point::new(-4.0, 3.0)), 5.0); // clamped to endpoint
+    /// ```
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).distance_to(p)
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.a.lerp(self.b, 0.5)
+    }
+
+    /// Whether `p` lies within `radius` of the segment — i.e. whether a
+    /// body of that effective radius obstructs the link at all.
+    pub fn is_obstructed_by(&self, p: Point, radius: f64) -> bool {
+        self.distance_to_point(p) <= radius
+    }
+
+    /// Whether two segments properly intersect (shared endpoints count).
+    ///
+    /// Used by the trajectory planner to keep walking paths from
+    /// crossing walls, and by the Fig. 12 renderer to rasterize streams
+    /// onto the floor-plan grid.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        fn orient(a: Point, b: Point, c: Point) -> f64 {
+            (b - a).cross(c - a)
+        }
+        fn on_segment(a: Point, b: Point, c: Point) -> bool {
+            // c collinear with a-b: is it within the bounding box?
+            c.x >= a.x.min(b.x) - 1e-12
+                && c.x <= a.x.max(b.x) + 1e-12
+                && c.y >= a.y.min(b.y) - 1e-12
+                && c.y <= a.y.max(b.y) + 1e-12
+        }
+        let d1 = orient(other.a, other.b, self.a);
+        let d2 = orient(other.a, other.b, self.b);
+        let d3 = orient(self.a, self.b, other.a);
+        let d4 = orient(self.a, self.b, other.b);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1 == 0.0 && on_segment(other.a, other.b, self.a))
+            || (d2 == 0.0 && on_segment(other.a, other.b, self.b))
+            || (d3 == 0.0 && on_segment(self.a, self.b, other.a))
+            || (d4 == 0.0 && on_segment(self.a, self.b, other.b))
+    }
+
+    /// Point at fraction `t` along the segment (not clamped).
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = seg(0.0, 0.0, 6.0, 8.0);
+        assert_eq!(s.length(), 10.0);
+        assert_eq!(s.midpoint(), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn distance_perpendicular_and_clamped() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.distance_to_point(Point::new(5.0, 2.0)), 2.0);
+        // Beyond the b endpoint.
+        assert!((s.distance_to_point(Point::new(13.0, 4.0)) - 5.0).abs() < 1e-12);
+        // On the segment.
+        assert_eq!(s.distance_to_point(Point::new(7.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn closest_param_bounds() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_param(Point::new(-5.0, 1.0)), 0.0);
+        assert_eq!(s.closest_param(Point::new(15.0, 1.0)), 1.0);
+        assert!((s.closest_param(Point::new(2.5, 3.0)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.closest_param(Point::new(5.0, 5.0)), 0.0);
+        assert!((s.distance_to_point(Point::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obstruction_radius() {
+        let s = seg(0.0, 0.0, 4.0, 0.0);
+        assert!(s.is_obstructed_by(Point::new(2.0, 0.3), 0.35));
+        assert!(!s.is_obstructed_by(Point::new(2.0, 0.5), 0.35));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let a = seg(0.0, 0.0, 4.0, 4.0);
+        let b = seg(0.0, 4.0, 4.0, 0.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let a = seg(0.0, 0.0, 4.0, 0.0);
+        let b = seg(0.0, 1.0, 4.0, 1.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn touching_endpoint_counts() {
+        let a = seg(0.0, 0.0, 2.0, 2.0);
+        let b = seg(2.0, 2.0, 4.0, 0.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn collinear_disjoint_do_not_intersect() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(2.0, 0.0, 3.0, 0.0);
+        assert!(!a.intersects(&b));
+    }
+}

@@ -1,0 +1,222 @@
+//! Ground-truth movement events.
+//!
+//! In the paper a human supervisor noted when users stepped away from
+//! their workstations and when they entered/exited the office; those
+//! notes are the ground truth behind Tables II–III and Figs. 7–10. The
+//! behaviour simulator emits the same information as an [`EventLog`].
+
+use crate::layout::WorkstationId;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A user entered the office and sat down at their workstation.
+    Enter {
+        /// The workstation the user sat down at.
+        workstation: WorkstationId,
+    },
+    /// A user left their workstation and exited the office.
+    Leave {
+        /// The workstation the user departed from.
+        workstation: WorkstationId,
+    },
+}
+
+/// One ground-truth movement event with its timing, all in seconds
+/// from the start of its day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovementEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Which day of the experiment (0-based).
+    pub day: usize,
+    /// When the movement begins: stand-up start for a leave, door
+    /// crossing for an enter. For a leave this is also the moment of
+    /// the user's last input (the paper's worst-case assumption).
+    pub t_start: f64,
+    /// When the user has left the workstation's vicinity — the paper's
+    /// reference time `t` for the security analysis (end of stand-up
+    /// for leaves; equals `t_start` for enters).
+    pub t_proximity: f64,
+    /// When the user crosses the door: exit time for a leave, entry
+    /// time for an enter (equal to `t_start` for enters).
+    pub t_door: f64,
+    /// When the movement ends: out of the office (leave) or seated
+    /// (enter).
+    pub t_end: f64,
+}
+
+impl MovementEvent {
+    /// The paper's class label: `0` for `w0` ("entered office"),
+    /// `workstation + 1` for "left workstation i".
+    pub fn label(&self) -> usize {
+        match self.kind {
+            EventKind::Enter { .. } => 0,
+            EventKind::Leave { workstation } => workstation + 1,
+        }
+    }
+
+    /// The *true window* `U = [t_start − δ, t_end + δ]` within which MD
+    /// should observe a variation window (§V-A).
+    pub fn true_window(&self, delta: f64) -> (f64, f64) {
+        (self.t_start - delta, self.t_end + delta)
+    }
+
+    /// Whether this is a departure (the security-relevant direction).
+    pub fn is_leave(&self) -> bool {
+        matches!(self.kind, EventKind::Leave { .. })
+    }
+}
+
+/// The full ground-truth log of an experiment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventLog {
+    events: Vec<MovementEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Appends an event (kept sorted by day, then start time).
+    pub fn push(&mut self, event: MovementEvent) {
+        self.events.push(event);
+        self.events.sort_by(|a, b| {
+            (a.day, a.t_start)
+                .partial_cmp(&(b.day, b.t_start))
+                .expect("event times are finite")
+        });
+    }
+
+    /// All events in chronological order.
+    pub fn events(&self) -> &[MovementEvent] {
+        &self.events
+    }
+
+    /// Events of one day, in order.
+    pub fn events_on_day(&self, day: usize) -> impl Iterator<Item = &MovementEvent> {
+        self.events.iter().filter(move |e| e.day == day)
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of events per label `w0..wk` — the paper's Table II.
+    pub fn label_counts(&self, n_workstations: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_workstations + 1];
+        for e in &self.events {
+            counts[e.label()] += 1;
+        }
+        counts
+    }
+
+    /// All departures (the events that create attack opportunities).
+    pub fn leaves(&self) -> impl Iterator<Item = &MovementEvent> {
+        self.events.iter().filter(|e| e.is_leave())
+    }
+
+    /// Smallest gap (seconds) between the movement intervals of any two
+    /// consecutive events on the same day; `None` with fewer than two
+    /// events. Used to verify the no-overlap property of generated
+    /// scenarios (§IV-E).
+    pub fn min_event_gap(&self) -> Option<f64> {
+        let mut min_gap: Option<f64> = None;
+        for pair in self.events.windows(2) {
+            if pair[0].day != pair[1].day {
+                continue;
+            }
+            let gap = pair[1].t_start - pair[0].t_end;
+            min_gap = Some(min_gap.map_or(gap, |g: f64| g.min(gap)));
+        }
+        min_gap
+    }
+}
+
+impl FromIterator<MovementEvent> for EventLog {
+    fn from_iter<I: IntoIterator<Item = MovementEvent>>(iter: I) -> EventLog {
+        let mut log = EventLog::new();
+        for e in iter {
+            log.push(e);
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leave(day: usize, ws: usize, t: f64) -> MovementEvent {
+        MovementEvent {
+            kind: EventKind::Leave { workstation: ws },
+            day,
+            t_start: t,
+            t_proximity: t + 1.8,
+            t_door: t + 5.0,
+            t_end: t + 5.0,
+        }
+    }
+
+    fn enter(day: usize, ws: usize, t: f64) -> MovementEvent {
+        MovementEvent {
+            kind: EventKind::Enter { workstation: ws },
+            day,
+            t_start: t,
+            t_proximity: t,
+            t_door: t,
+            t_end: t + 5.0,
+        }
+    }
+
+    #[test]
+    fn labels_follow_paper_convention() {
+        assert_eq!(enter(0, 2, 10.0).label(), 0);
+        assert_eq!(leave(0, 0, 10.0).label(), 1);
+        assert_eq!(leave(0, 2, 10.0).label(), 3);
+    }
+
+    #[test]
+    fn true_window_brackets_movement() {
+        let e = leave(0, 0, 100.0);
+        let (lo, hi) = e.true_window(2.0);
+        assert_eq!(lo, 98.0);
+        assert_eq!(hi, 107.0);
+    }
+
+    #[test]
+    fn log_sorts_and_counts() {
+        let log: EventLog = vec![
+            leave(1, 0, 50.0),
+            enter(0, 1, 200.0),
+            leave(0, 1, 400.0),
+            enter(0, 0, 100.0),
+        ]
+        .into_iter()
+        .collect();
+        let times: Vec<(usize, f64)> = log.events().iter().map(|e| (e.day, e.t_start)).collect();
+        assert_eq!(times, vec![(0, 100.0), (0, 200.0), (0, 400.0), (1, 50.0)]);
+        assert_eq!(log.label_counts(3), vec![2, 1, 1, 0]);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.leaves().count(), 2);
+        assert_eq!(log.events_on_day(0).count(), 3);
+    }
+
+    #[test]
+    fn min_gap_same_day_only() {
+        let log: EventLog = vec![enter(0, 0, 100.0), leave(0, 0, 200.0), enter(1, 0, 0.0)]
+            .into_iter()
+            .collect();
+        // Gap = 200 - 105 = 95; the cross-day pair is ignored.
+        assert_eq!(log.min_event_gap(), Some(95.0));
+        assert_eq!(EventLog::new().min_event_gap(), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! Keyboard/mouse input simulation.
+//!
+//! The paper simulates workstation input rather than recording it
+//! (§VI-A, §VII-D), citing Mikkelsen et al.: office users generate
+//! keyboard/mouse activity in 78% of 5-second intervals. We do the
+//! same: while a user is seated, each 5-s slot independently contains
+//! an input with probability `activity_probability`, placed uniformly
+//! inside the slot; additionally the last input of every presence
+//! interval falls exactly at the departure time — the paper's
+//! worst-case assumption for the security analysis (§V-B).
+
+use fadewich_stats::rng::Rng;
+
+use crate::person::PersonTimeline;
+
+/// Mikkelsen et al.'s activity probability per 5-second interval.
+pub const PAPER_ACTIVITY_PROBABILITY: f64 = 0.78;
+
+/// Length of the activity slots (s).
+pub const SLOT_SECONDS: f64 = 5.0;
+
+/// Input events generated inside an *active* slot. Mikkelsen et al.
+/// report whether the keyboard/mouse was used *at all* during a slot;
+/// actual use is a burst of keystrokes, not a single event, so an
+/// active slot gets several timestamps. With one event per slot a
+/// seated user would look idle for multiple seconds between
+/// keystrokes and trip the alert path constantly.
+pub const INPUTS_PER_ACTIVE_SLOT: usize = 5;
+
+/// Simulated input timestamps for every workstation over one day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputTrace {
+    /// Per workstation: sorted input times (seconds from day start).
+    inputs: Vec<Vec<f64>>,
+}
+
+impl InputTrace {
+    /// Draws one realization of the input process for a day.
+    ///
+    /// `timelines[u]` is assumed to sit at workstation `u`.
+    pub fn generate(timelines: &[PersonTimeline], activity_probability: f64, rng: &mut Rng) -> InputTrace {
+        let inputs = timelines
+            .iter()
+            .map(|tl| {
+                let mut times = Vec::new();
+                for (start, until) in tl.seated_intervals() {
+                    let mut slot = start;
+                    while slot < until {
+                        let slot_end = (slot + SLOT_SECONDS).min(until);
+                        if rng.bernoulli(activity_probability) {
+                            for _ in 0..INPUTS_PER_ACTIVE_SLOT {
+                                times.push(rng.range_f64(slot, slot_end));
+                            }
+                        }
+                        slot = slot_end;
+                    }
+                    // Worst-case: the user's very last action coincides
+                    // with standing up.
+                    times.push(until);
+                }
+                times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                times
+            })
+            .collect();
+        InputTrace { inputs }
+    }
+
+    /// Builds a trace from explicit input times (for tests and custom
+    /// scenarios). Times are sorted internally.
+    pub fn from_times(mut inputs: Vec<Vec<f64>>) -> InputTrace {
+        for times in &mut inputs {
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        }
+        InputTrace { inputs }
+    }
+
+    /// Number of workstations covered.
+    pub fn n_workstations(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The most recent input at `ws` at or before time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` is out of range.
+    pub fn last_input_before(&self, ws: usize, t: f64) -> Option<f64> {
+        let times = &self.inputs[ws];
+        match times.binary_search_by(|x| x.partial_cmp(&t).expect("finite times")) {
+            Ok(i) => Some(times[i]),
+            Err(0) => None,
+            Err(i) => Some(times[i - 1]),
+        }
+    }
+
+    /// Idle time of `ws` at time `t`: seconds since the last input, or
+    /// since day start when there has been none.
+    pub fn idle_time(&self, ws: usize, t: f64) -> f64 {
+        match self.last_input_before(ws, t) {
+            Some(last) => t - last,
+            None => t,
+        }
+    }
+
+    /// The first input at `ws` strictly after time `t`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` is out of range.
+    pub fn next_input_after(&self, ws: usize, t: f64) -> Option<f64> {
+        let times = &self.inputs[ws];
+        let i = match times.binary_search_by(|x| x.partial_cmp(&t).expect("finite times")) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        times.get(i).copied()
+    }
+
+    /// Whether `ws` produced any input strictly inside `(from, to)`.
+    pub fn any_input_in(&self, ws: usize, from: f64, to: f64) -> bool {
+        let times = &self.inputs[ws];
+        let i = match times.binary_search_by(|x| x.partial_cmp(&from).expect("finite")) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        times.get(i).is_some_and(|&x| x < to)
+    }
+
+    /// All input times of one workstation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` is out of range.
+    pub fn times(&self, ws: usize) -> &[f64] {
+        &self.inputs[ws]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::OfficeLayout;
+
+    fn trace(seed: u64) -> (InputTrace, Vec<(f64, f64)>) {
+        let layout = OfficeLayout::paper_office();
+        let mut rng = Rng::seed_from_u64(seed);
+        let tl = PersonTimeline::build(&layout, 0, &[(100.0, 2000.0)], 3000.0, &mut rng);
+        let seated = tl.seated_intervals();
+        (InputTrace::generate(&[tl], PAPER_ACTIVITY_PROBABILITY, &mut rng), seated)
+    }
+
+    #[test]
+    fn activity_rate_near_78_percent() {
+        let (trace, seated) = trace(1);
+        let (start, until) = seated[0];
+        let n_slots = ((until - start) / SLOT_SECONDS).floor();
+        let n_inputs = trace.times(0).len() as f64 - 1.0; // minus the final forced input
+        let rate = n_inputs / n_slots / INPUTS_PER_ACTIVE_SLOT as f64;
+        assert!((0.68..=0.88).contains(&rate), "activity rate = {rate}");
+    }
+
+    #[test]
+    fn last_input_exactly_at_departure() {
+        let (trace, seated) = trace(2);
+        let (_, until) = seated[0];
+        assert_eq!(*trace.times(0).last().unwrap(), until);
+        assert_eq!(trace.idle_time(0, until + 10.0), 10.0);
+    }
+
+    #[test]
+    fn idle_before_arrival_counts_from_day_start() {
+        let (trace, _) = trace(3);
+        assert_eq!(trace.idle_time(0, 50.0), 50.0);
+        assert_eq!(trace.last_input_before(0, 50.0), None);
+    }
+
+    #[test]
+    fn seated_user_rarely_idle_long() {
+        let (trace, seated) = trace(4);
+        let (start, until) = seated[0];
+        // Sample idle time while seated; it should be under 20 s at
+        // least 95% of the time (P(idle>15s) = 0.22^3 ≈ 1%).
+        let mut long_idles = 0;
+        let mut total = 0;
+        let mut t = start + 30.0;
+        while t < until {
+            total += 1;
+            if trace.idle_time(0, t) > 20.0 {
+                long_idles += 1;
+            }
+            t += 1.0;
+        }
+        assert!(
+            (long_idles as f64) < 0.05 * total as f64,
+            "{long_idles}/{total} long idles"
+        );
+    }
+
+    #[test]
+    fn any_input_in_interval() {
+        let trace = InputTrace::from_times(vec![vec![10.0, 20.0, 30.0]]);
+        assert!(trace.any_input_in(0, 15.0, 25.0));
+        assert!(!trace.any_input_in(0, 21.0, 29.0));
+        // Exclusive bounds.
+        assert!(!trace.any_input_in(0, 20.0, 20.0));
+        assert!(!trace.any_input_in(0, 30.0, 40.0));
+    }
+
+    #[test]
+    fn from_times_sorts() {
+        let trace = InputTrace::from_times(vec![vec![30.0, 10.0, 20.0]]);
+        assert_eq!(trace.times(0), &[10.0, 20.0, 30.0]);
+        assert_eq!(trace.last_input_before(0, 25.0), Some(20.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = trace(10);
+        let (b, _) = trace(11);
+        assert_ne!(a.times(0), b.times(0));
+    }
+}

@@ -1,0 +1,369 @@
+//! The office floor plan of the paper's Fig. 6.
+//!
+//! A 6 m × 3 m room with nine wall-mounted sensors (`d1..d9`, about
+//! 1 m above the floor — slightly above desk height, which is why a 2-D
+//! model suffices), three workstations (`w1..w3`) and a single door.
+//! The exact coordinates are not published; the ones here follow the
+//! figure's arrangement: `d2..d5` along the north wall, `d1` on the
+//! west wall, `d6` on the east wall, `d7..d9` along the south wall,
+//! `w1`/`w2` against the north side, `w3` in the south-west, and the
+//! door in the south-east corner.
+
+use fadewich_geometry::{Path, Point, Rect};
+
+/// Number of sensors in the full deployment.
+pub const N_SENSORS: usize = 9;
+
+/// Number of workstations (and users).
+pub const N_WORKSTATIONS: usize = 3;
+
+/// The fixed order in which sensors are added when evaluating
+/// deployments of `n = 3..9` sensors (greedy max-coverage over the
+/// floor plan: each added sensor maximizes the area within one body
+/// radius of some link). `sensor_subset(n)` takes the first `n`.
+pub const SUBSET_ORDER: [usize; N_SENSORS] = [0, 4, 7, 6, 5, 1, 2, 8, 3];
+
+/// A workstation identifier (`0` = the paper's `w1`).
+pub type WorkstationId = usize;
+
+/// The complete static geometry of the experiment office.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfficeLayout {
+    room: Rect,
+    sensors: Vec<Point>,
+    workstations: Vec<Point>,
+    door: Point,
+    /// Waypoints of each workstation's walk to the door (desk first,
+    /// door last).
+    exit_waypoints: Vec<Vec<Point>>,
+}
+
+/// Error building a custom office.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildOfficeError {
+    /// Fewer than two sensors were given.
+    TooFewSensors,
+    /// No workstations were given.
+    NoWorkstations,
+    /// A sensor, workstation or the door lies outside the room.
+    OutsideRoom,
+}
+
+impl std::fmt::Display for BuildOfficeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildOfficeError::TooFewSensors => write!(f, "an office needs at least two sensors"),
+            BuildOfficeError::NoWorkstations => write!(f, "an office needs a workstation"),
+            BuildOfficeError::OutsideRoom => write!(f, "geometry outside the room"),
+        }
+    }
+}
+
+impl std::error::Error for BuildOfficeError {}
+
+impl OfficeLayout {
+    /// The paper's Fig. 6 office.
+    pub fn paper_office() -> OfficeLayout {
+        // Hand-tuned exit paths: all merge at a corridor point near the
+        // door — the shared final approach the paper describes — but
+        // leave the desks in distinct directions. Walk lengths are
+        // ~4-5 m, the paper's "4-meter distance" at 1.4 m/s ≈ 3 s.
+        let corridor = Point::new(4.7, 1.0);
+        let door = Point::new(5.7, 0.1);
+        let workstations = vec![
+            Point::new(2.0, 2.4), // w1
+            Point::new(3.6, 2.6), // w2
+            Point::new(1.2, 0.9), // w3
+        ];
+        let exit_waypoints = vec![
+            vec![workstations[0], Point::new(2.0, 1.4), corridor, door],
+            vec![workstations[1], Point::new(3.3, 1.4), corridor, door],
+            vec![workstations[2], Point::new(2.3, 1.1), corridor, door],
+        ];
+        OfficeLayout {
+            room: Rect::with_size(6.0, 3.0),
+            sensors: vec![
+                Point::new(0.0, 2.0), // d1, west wall
+                Point::new(1.2, 3.0), // d2, north wall
+                Point::new(2.4, 3.0), // d3
+                Point::new(3.6, 3.0), // d4
+                Point::new(4.8, 3.0), // d5
+                Point::new(6.0, 1.5), // d6, east wall
+                Point::new(4.5, 0.0), // d7, south wall
+                Point::new(3.0, 0.0), // d8
+                Point::new(1.5, 0.0), // d9
+            ],
+            workstations,
+            door,
+            exit_waypoints,
+        }
+    }
+
+    /// Builds a custom office: any room size, explicit sensor and
+    /// workstation positions, one door. Exit paths are generated
+    /// automatically (desk → step-out toward the room centre →
+    /// corridor point near the door → door), reproducing the paper's
+    /// distinct-initial-segment / shared-final-approach structure.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildOfficeError`].
+    pub fn custom(
+        room: Rect,
+        sensors: Vec<Point>,
+        workstations: Vec<Point>,
+        door: Point,
+    ) -> Result<OfficeLayout, BuildOfficeError> {
+        if sensors.len() < 2 {
+            return Err(BuildOfficeError::TooFewSensors);
+        }
+        if workstations.is_empty() {
+            return Err(BuildOfficeError::NoWorkstations);
+        }
+        let all_inside = sensors
+            .iter()
+            .chain(&workstations)
+            .chain(std::iter::once(&door))
+            .all(|&p| room.contains(p));
+        if !all_inside {
+            return Err(BuildOfficeError::OutsideRoom);
+        }
+        let centre = room.center();
+        let inner = room.shrunk(0.3);
+        // Corridor point: ~1.2 m inward from the door.
+        let corridor = inner.clamp_point(door.lerp(centre, (1.2 / door.distance_to(centre).max(1.2)).min(1.0)));
+        let exit_waypoints = workstations
+            .iter()
+            .map(|&desk| {
+                // Step out ~0.9 m from the desk toward the room centre.
+                let step = inner.clamp_point(
+                    desk.lerp(centre, (0.9 / desk.distance_to(centre).max(0.9)).min(1.0)),
+                );
+                vec![desk, step, corridor, door]
+            })
+            .collect();
+        Ok(OfficeLayout { room, sensors, workstations, door, exit_waypoints })
+    }
+
+    /// Auto-places `n` sensors evenly around the room's walls —
+    /// the generic counterpart of the paper's wall-mounted deployment.
+    pub fn wall_sensors(room: Rect, n: usize) -> Vec<Point> {
+        let w = room.width();
+        let h = room.height();
+        let perimeter = 2.0 * (w + h);
+        (0..n)
+            .map(|i| {
+                let mut s = (i as f64 + 0.5) / n as f64 * perimeter;
+                let min = room.min();
+                if s < w {
+                    return Point::new(min.x + s, min.y);
+                }
+                s -= w;
+                if s < h {
+                    return Point::new(min.x + w, min.y + s);
+                }
+                s -= h;
+                if s < w {
+                    return Point::new(min.x + w - s, min.y + h);
+                }
+                s -= w;
+                Point::new(min.x, min.y + h - s)
+            })
+            .collect()
+    }
+
+    /// The room rectangle.
+    pub fn room(&self) -> Rect {
+        self.room
+    }
+
+    /// Sensor positions, `d1` first.
+    pub fn sensors(&self) -> &[Point] {
+        &self.sensors
+    }
+
+    /// Workstation (chair) positions, `w1` first.
+    pub fn workstations(&self) -> &[Point] {
+        &self.workstations
+    }
+
+    /// Number of workstations.
+    pub fn n_workstations(&self) -> usize {
+        self.workstations.len()
+    }
+
+    /// The single entrance.
+    pub fn door(&self) -> Point {
+        self.door
+    }
+
+    /// The deployment used for an "n sensors" experiment: the first
+    /// `n` sensors of [`SUBSET_ORDER`] for the paper office, or simply
+    /// the first `n` sensors for custom layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= n <= sensors.len()`.
+    pub fn sensor_subset(&self, n: usize) -> Vec<usize> {
+        assert!(
+            (2..=self.sensors.len()).contains(&n),
+            "sensor subset size {n} out of range"
+        );
+        if self.sensors.len() == N_SENSORS {
+            let mut subset = SUBSET_ORDER[..n].to_vec();
+            subset.sort_unstable();
+            subset
+        } else {
+            (0..n).collect()
+        }
+    }
+
+    /// The walking path from a workstation to the door.
+    ///
+    /// Users step away from the desk into the open middle of the room,
+    /// then head for the door; this matches the paper's observation
+    /// that path *initial segments* are workstation-specific while the
+    /// final approach to the door is shared (§IV-D1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` is out of range.
+    pub fn path_to_door(&self, ws: WorkstationId) -> Path {
+        assert!(ws < self.workstations.len(), "workstation {ws} out of range");
+        Path::new(self.exit_waypoints[ws].clone())
+    }
+
+    /// The walking path from the door to a workstation (the reverse of
+    /// [`OfficeLayout::path_to_door`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` is out of range.
+    pub fn path_from_door(&self, ws: WorkstationId) -> Path {
+        self.path_to_door(ws).reversed()
+    }
+
+    /// Human-readable workstation name in the paper's notation
+    /// (`w1`-based).
+    pub fn workstation_name(ws: WorkstationId) -> String {
+        format!("w{}", ws + 1)
+    }
+}
+
+impl Default for OfficeLayout {
+    fn default() -> Self {
+        OfficeLayout::paper_office()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_match_figure_6() {
+        let office = OfficeLayout::paper_office();
+        assert_eq!(office.room().width(), 6.0);
+        assert_eq!(office.room().height(), 3.0);
+        assert_eq!(office.sensors().len(), N_SENSORS);
+        assert_eq!(office.workstations().len(), N_WORKSTATIONS);
+    }
+
+    #[test]
+    fn everything_inside_the_room() {
+        let office = OfficeLayout::paper_office();
+        for &s in office.sensors() {
+            assert!(office.room().contains(s), "sensor {s} outside room");
+        }
+        for &w in office.workstations() {
+            assert!(office.room().contains(w), "workstation {w} outside room");
+        }
+        assert!(office.room().contains(office.door()));
+    }
+
+    #[test]
+    fn sensors_on_the_walls() {
+        let office = OfficeLayout::paper_office();
+        for &s in office.sensors() {
+            let on_wall = s.x == 0.0 || s.x == 6.0 || s.y == 0.0 || s.y == 3.0;
+            assert!(on_wall, "sensor {s} is not wall-mounted");
+        }
+    }
+
+    #[test]
+    fn subset_order_is_a_permutation() {
+        let mut order = SUBSET_ORDER;
+        order.sort_unstable();
+        assert_eq!(order, [0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn subsets_nest() {
+        let office = OfficeLayout::paper_office();
+        for n in 3..=9 {
+            let smaller = office.sensor_subset(n - 1);
+            let larger = office.sensor_subset(n);
+            assert_eq!(larger.len(), n);
+            assert!(smaller.iter().all(|s| larger.contains(s)), "subsets must nest");
+        }
+    }
+
+    #[test]
+    fn paths_start_at_desk_and_end_at_door() {
+        let office = OfficeLayout::paper_office();
+        for ws in 0..N_WORKSTATIONS {
+            let path = office.path_to_door(ws);
+            assert_eq!(path.point_at(0.0), office.workstations()[ws]);
+            assert_eq!(path.point_at(path.length()), office.door());
+            // Walk distance must be in the ~4-6 m range the paper cites
+            // (5 s at 1.4 m/s).
+            assert!(
+                path.length() > 3.0 && path.length() < 8.0,
+                "w{} path length {}",
+                ws + 1,
+                path.length()
+            );
+            // Reverse path is consistent.
+            let rev = office.path_from_door(ws);
+            assert_eq!(rev.point_at(0.0), office.door());
+        }
+    }
+
+    #[test]
+    fn paths_stay_inside_the_room() {
+        let office = OfficeLayout::paper_office();
+        for ws in 0..N_WORKSTATIONS {
+            let path = office.path_to_door(ws);
+            let mut s = 0.0;
+            while s <= path.length() {
+                assert!(office.room().contains(path.point_at(s)));
+                s += 0.1;
+            }
+        }
+    }
+
+    #[test]
+    fn initial_path_segments_differ_between_workstations() {
+        // The RE classifier depends on departure signatures being
+        // workstation-specific at the start of the path.
+        let office = OfficeLayout::paper_office();
+        let p0 = office.path_to_door(0).point_at(0.5);
+        let p1 = office.path_to_door(1).point_at(0.5);
+        let p2 = office.path_to_door(2).point_at(0.5);
+        assert!(p0.distance_to(p1) > 0.5);
+        assert!(p0.distance_to(p2) > 0.5);
+        assert!(p1.distance_to(p2) > 0.5);
+    }
+
+    #[test]
+    fn workstation_names() {
+        assert_eq!(OfficeLayout::workstation_name(0), "w1");
+        assert_eq!(OfficeLayout::workstation_name(2), "w3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subset_too_small_panics() {
+        OfficeLayout::paper_office().sensor_subset(1);
+    }
+}

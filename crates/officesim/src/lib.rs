@@ -1,0 +1,50 @@
+//! Office behaviour simulator — the human substitution.
+//!
+//! The paper's data came from three real users going about their day in
+//! an instrumented office while a supervisor noted ground truth. This
+//! crate replaces them with a behaviour model:
+//!
+//! - [`layout`] — the Fig. 6 floor plan (room, sensors, workstations,
+//!   door, walking paths, sensor-subset order);
+//! - [`schedule`] — per-day presence generation with the paper's
+//!   no-overlap property (and an overlap stress mode);
+//! - [`person`] — per-user trajectory timelines: enter, sit (with
+//!   fidgets), stand up, walk out at ~1.4 m/s;
+//! - [`input`] — Mikkelsen-style keyboard/mouse activity (78% of 5-s
+//!   slots), redrawable for the usability analysis;
+//! - [`events`] — the ground-truth event log ("supervisor's notebook");
+//! - [`scenario`]/[`trace`] — tying behaviour to the RF channel to
+//!   produce the multi-day RSSI recording FADEWICH consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use fadewich_officesim::{Scenario, ScenarioConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::generate(ScenarioConfig::small())?;
+//! println!("ground truth: {} events", scenario.events().len());
+//! let trace = scenario.simulate()?;            // the RSSI recording
+//! assert_eq!(trace.n_streams(), 9 * 8);        // m(m-1) streams
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod input;
+pub mod layout;
+pub mod person;
+pub mod schedule;
+pub mod scenario;
+pub mod trace;
+
+pub use events::{EventKind, EventLog, MovementEvent};
+pub use input::InputTrace;
+pub use layout::{OfficeLayout, WorkstationId, N_SENSORS, N_WORKSTATIONS};
+pub use person::PersonTimeline;
+pub use scenario::{Scenario, ScenarioConfig, ScenarioError};
+pub use schedule::{ScheduleError, ScheduleParams};
+pub use trace::{DayTrace, Trace};

@@ -1,0 +1,419 @@
+//! Per-user trajectory timelines.
+//!
+//! A [`PersonTimeline`] is the fully materialized movement of one user
+//! over one day: alternating outside / entering / seated / leaving
+//! phases, with precomputed fidget episodes while seated and a
+//! per-movement walking speed. Queries are pure (`body_at(t)`), so the
+//! channel simulator can sample any tick without mutating the person.
+
+use fadewich_geometry::{Path, Point};
+use fadewich_rfchannel::Body;
+use fadewich_stats::rng::Rng;
+
+use crate::layout::{OfficeLayout, WorkstationId};
+
+/// How long standing up from the chair takes — pushing the chair
+/// back, turning (s).
+pub const STAND_UP_S: f64 = 1.8;
+/// How long opening/closing the door takes (s).
+pub const DOOR_PAUSE_S: f64 = 1.2;
+/// Time to lower into the chair after reaching the desk (s).
+pub const SIT_DOWN_S: f64 = 1.5;
+/// Nominal walking speed (m/s) — the paper assumes 1.4 m/s.
+pub const WALK_SPEED_MPS: f64 = 1.4;
+
+/// Motion intensity while actively walking.
+const MOTION_WALK: f64 = 1.0;
+/// Motion intensity while standing up / sitting down / at the door.
+const MOTION_TRANSITION: f64 = 0.7;
+
+/// A fidget episode while seated: brief torso/limb movement that
+/// perturbs the channel but must *not* deauthenticate anyone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Fidget {
+    /// Offset from the start of the seated phase (s).
+    start: f64,
+    duration: f64,
+    intensity: f64,
+    /// Small positional offset while fidgeting (chair shift).
+    offset: Point,
+}
+
+/// One phase of the day.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Out of the office until `until`.
+    Outside { until: f64 },
+    /// Walking door → desk starting at `start`; `speed` in m/s.
+    Entering { start: f64, path: Path, speed: f64 },
+    /// At the desk until `until`, with precomputed fidgets.
+    Seated { start: f64, until: f64, fidgets: Vec<Fidget> },
+    /// Stand-up + walk desk → door + door pause, starting at `start`.
+    Leaving { start: f64, path: Path, speed: f64 },
+}
+
+/// Direction of a movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MovementKind {
+    /// Door → desk.
+    Enter,
+    /// Desk → door.
+    Leave,
+}
+
+/// One enter/leave movement with its exact timings (seconds from day
+/// start).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Movement {
+    /// Enter or leave.
+    pub kind: MovementKind,
+    /// The workstation involved.
+    pub workstation: WorkstationId,
+    /// Movement start (door crossing for enter, stand-up start for
+    /// leave). For a leave this is also the last-input time under the
+    /// paper's worst-case assumption.
+    pub t_start: f64,
+    /// When the user has left the workstation's vicinity: end of the
+    /// stand-up for a leave, door crossing for an enter. The paper's
+    /// security analysis measures elapsed time from this moment.
+    pub t_proximity: f64,
+    /// When the user is through the door: for a leave this is the end
+    /// of the door pause (the victim can witness the room until the
+    /// door closes), for an enter the movement start.
+    pub t_door: f64,
+    /// Movement end (seated / outside).
+    pub t_end: f64,
+}
+
+/// A user's fully materialized day.
+#[derive(Debug, Clone)]
+pub struct PersonTimeline {
+    workstation: WorkstationId,
+    chair: Point,
+    phases: Vec<Phase>,
+}
+
+/// Duration of an entering movement (door pause + walk + sit-down).
+pub fn enter_duration(path_len: f64, speed: f64) -> f64 {
+    DOOR_PAUSE_S + path_len / speed + SIT_DOWN_S
+}
+
+/// Duration of a leaving movement (stand-up + walk + door pause).
+pub fn leave_duration(path_len: f64, speed: f64) -> f64 {
+    STAND_UP_S + path_len / speed + DOOR_PAUSE_S
+}
+
+impl PersonTimeline {
+    /// Builds a timeline for the user of `workstation` who is present
+    /// during each `[enter, leave]` interval of `presence` (times in
+    /// seconds from day start; must be sorted, non-overlapping, and
+    /// wide enough for the enter/leave movements themselves).
+    ///
+    /// `rng` drives fidget generation and walking-speed variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if intervals are unsorted/overlapping or out of
+    /// `[0, day_len]`.
+    pub fn build(
+        layout: &OfficeLayout,
+        workstation: WorkstationId,
+        presence: &[(f64, f64)],
+        day_len: f64,
+        rng: &mut Rng,
+    ) -> PersonTimeline {
+        let chair = layout.workstations()[workstation];
+        let mut phases = Vec::new();
+        let mut cursor = 0.0f64;
+        for &(enter_t, leave_t) in presence {
+            assert!(
+                enter_t >= cursor && leave_t > enter_t && leave_t <= day_len,
+                "presence interval [{enter_t}, {leave_t}] invalid at cursor {cursor}"
+            );
+            let in_speed = WALK_SPEED_MPS * rng.range_f64(0.9, 1.1);
+            let out_speed = WALK_SPEED_MPS * rng.range_f64(0.9, 1.1);
+            let in_path = layout.path_from_door(workstation);
+            let out_path = layout.path_to_door(workstation);
+            let seat_start = enter_t + enter_duration(in_path.length(), in_speed);
+            assert!(
+                seat_start < leave_t,
+                "presence interval too short for the enter movement"
+            );
+            phases.push(Phase::Outside { until: enter_t });
+            phases.push(Phase::Entering { start: enter_t, path: in_path, speed: in_speed });
+            let fidgets = generate_fidgets(seat_start, leave_t, rng);
+            phases.push(Phase::Seated { start: seat_start, until: leave_t, fidgets });
+            phases.push(Phase::Leaving { start: leave_t, path: out_path, speed: out_speed });
+            cursor = leave_t + leave_duration(out_path_len(layout, workstation), out_speed);
+        }
+        phases.push(Phase::Outside { until: f64::INFINITY });
+        PersonTimeline { workstation, chair, phases }
+    }
+
+    /// The workstation this user is assigned to.
+    pub fn workstation(&self) -> WorkstationId {
+        self.workstation
+    }
+
+    /// The user's body as the channel sees it at time `t`, or `None`
+    /// while outside the office.
+    pub fn body_at(&self, t: f64) -> Option<Body> {
+        for phase in &self.phases {
+            match phase {
+                Phase::Outside { until } => {
+                    if t < *until {
+                        return None;
+                    }
+                }
+                Phase::Entering { start, path, speed } => {
+                    let dur = enter_duration(path.length(), *speed);
+                    if t < start + dur {
+                        let dt = t - start;
+                        return Some(if dt < DOOR_PAUSE_S {
+                            Body::new(path.point_at(0.0), MOTION_TRANSITION)
+                        } else if dt < DOOR_PAUSE_S + path.length() / speed {
+                            Body::new(path.point_at((dt - DOOR_PAUSE_S) * speed), MOTION_WALK)
+                        } else {
+                            Body::new(self.chair, MOTION_TRANSITION)
+                        });
+                    }
+                }
+                Phase::Seated { start, until, fidgets } => {
+                    if t < *until {
+                        let dt = t - start;
+                        for f in fidgets {
+                            if dt >= f.start && dt < f.start + f.duration {
+                                return Some(Body::new(self.chair + f.offset, f.intensity));
+                            }
+                        }
+                        return Some(Body::still(self.chair));
+                    }
+                }
+                Phase::Leaving { start, path, speed } => {
+                    let dur = leave_duration(path.length(), *speed);
+                    if t < start + dur {
+                        let dt = t - start;
+                        return Some(if dt < STAND_UP_S {
+                            Body::new(path.point_at(0.0), MOTION_TRANSITION)
+                        } else if dt < STAND_UP_S + path.length() / speed {
+                            Body::new(path.point_at((dt - STAND_UP_S) * speed), MOTION_WALK)
+                        } else {
+                            Body::new(path.point_at(path.length()), MOTION_TRANSITION)
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the user is seated at time `t`.
+    pub fn is_seated(&self, t: f64) -> bool {
+        self.phases.iter().any(|p| match p {
+            Phase::Seated { start, until, .. } => t >= *start && t < *until,
+            _ => false,
+        })
+    }
+
+    /// The movement intervals of this day, in order: for each presence
+    /// interval one `Enter` (door pause + walk + sit) and one `Leave`
+    /// (stand + walk + door pause), with the exact timings implied by
+    /// the per-movement walking speeds.
+    pub fn movements(&self) -> Vec<Movement> {
+        let mut out = Vec::new();
+        for phase in &self.phases {
+            match phase {
+                Phase::Entering { start, path, speed } => out.push(Movement {
+                    kind: MovementKind::Enter,
+                    workstation: self.workstation,
+                    t_start: *start,
+                    t_proximity: *start,
+                    t_door: *start,
+                    t_end: *start + enter_duration(path.length(), *speed),
+                }),
+                Phase::Leaving { start, path, speed } => out.push(Movement {
+                    kind: MovementKind::Leave,
+                    workstation: self.workstation,
+                    t_start: *start,
+                    t_proximity: *start + STAND_UP_S,
+                    t_door: *start + leave_duration(path.length(), *speed),
+                    t_end: *start + leave_duration(path.length(), *speed),
+                }),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The seated intervals `[start, until)` of this day.
+    pub fn seated_intervals(&self) -> Vec<(f64, f64)> {
+        self.phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Seated { start, until, .. } => Some((*start, *until)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn out_path_len(layout: &OfficeLayout, ws: WorkstationId) -> f64 {
+    layout.path_to_door(ws).length()
+}
+
+/// Draws fidget episodes over a seated interval: small movements every
+/// ~45 s on average, occasionally a longer chair shift. All are much
+/// shorter than `t∆`, so MD should ignore them (that is the point of
+/// the `t∆` duration threshold).
+fn generate_fidgets(start: f64, until: f64, rng: &mut Rng) -> Vec<Fidget> {
+    let mut fidgets = Vec::new();
+    let mut t = rng.exponential(1.0 / 60.0);
+    let span = until - start;
+    while t < span {
+        let big = rng.bernoulli(0.07);
+        // Even the longest fidget, plus the rolling-window tail, must
+        // stay under t_delta = 4.5 s, or seated users would register as
+        // departures (the paper's duration threshold exists for this).
+        let duration = if big { rng.range_f64(1.5, 2.0) } else { rng.range_f64(0.3, 1.2) };
+        let intensity = if big { rng.range_f64(0.3, 0.45) } else { rng.range_f64(0.1, 0.25) };
+        let offset = Point::new(rng.range_f64(-0.08, 0.08), rng.range_f64(-0.08, 0.08));
+        if t + duration < span {
+            fidgets.push(Fidget { start: t, duration, intensity, offset });
+        }
+        t += duration + rng.exponential(1.0 / 60.0);
+    }
+    fidgets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> PersonTimeline {
+        let layout = OfficeLayout::paper_office();
+        let mut rng = Rng::seed_from_u64(1);
+        PersonTimeline::build(&layout, 0, &[(100.0, 400.0), (600.0, 900.0)], 1000.0, &mut rng)
+    }
+
+    #[test]
+    fn outside_before_arrival() {
+        let tl = timeline();
+        assert_eq!(tl.body_at(0.0), None);
+        assert_eq!(tl.body_at(99.9), None);
+    }
+
+    #[test]
+    fn at_door_when_entering() {
+        let tl = timeline();
+        let body = tl.body_at(100.1).expect("entering");
+        let layout = OfficeLayout::paper_office();
+        assert!(body.position.distance_to(layout.door()) < 0.01);
+        assert!(body.motion > 0.0);
+    }
+
+    #[test]
+    fn seated_at_desk_mid_interval() {
+        let tl = timeline();
+        let layout = OfficeLayout::paper_office();
+        let body = tl.body_at(250.0).expect("seated");
+        assert!(body.position.distance_to(layout.workstations()[0]) < 0.3);
+        assert!(tl.is_seated(250.0));
+    }
+
+    #[test]
+    fn walking_out_after_leave_time() {
+        let tl = timeline();
+        // Mid-walk: 1.2 s stand + ~1 s into the walk.
+        let body = tl.body_at(402.5).expect("leaving");
+        assert_eq!(body.motion, 1.0);
+        let layout = OfficeLayout::paper_office();
+        assert!(body.position.distance_to(layout.workstations()[0]) > 0.5);
+    }
+
+    #[test]
+    fn outside_between_presences_and_after() {
+        let tl = timeline();
+        // Leave at 400 takes ~6 s; by 450 the user is out.
+        assert_eq!(tl.body_at(450.0), None);
+        assert!(tl.body_at(650.0).is_some());
+        assert_eq!(tl.body_at(990.0), None);
+    }
+
+    #[test]
+    fn movement_is_continuous() {
+        // No teleporting: consecutive samples at 5 Hz move < 0.5 m.
+        let tl = timeline();
+        let mut prev: Option<Point> = None;
+        let mut t = 99.0;
+        while t < 420.0 {
+            if let Some(body) = tl.body_at(t) {
+                if let Some(p) = prev {
+                    let d = p.distance_to(body.position);
+                    assert!(d < 0.5, "jump of {d} m at t = {t}");
+                }
+                prev = Some(body.position);
+            } else {
+                prev = None;
+            }
+            t += 0.2;
+        }
+    }
+
+    #[test]
+    fn seated_intervals_reported() {
+        let tl = timeline();
+        let ivs = tl.seated_intervals();
+        assert_eq!(ivs.len(), 2);
+        assert!(ivs[0].0 > 100.0 && ivs[0].1 == 400.0);
+        assert!(ivs[1].0 > 600.0 && ivs[1].1 == 900.0);
+    }
+
+    #[test]
+    fn fidgets_present_but_bounded() {
+        let layout = OfficeLayout::paper_office();
+        let mut rng = Rng::seed_from_u64(9);
+        let tl =
+            PersonTimeline::build(&layout, 1, &[(50.0, 3650.0)], 4000.0, &mut rng);
+        // Over an hour seated, some moments should show fidget motion.
+        let mut moving = 0usize;
+        let mut total = 0usize;
+        let mut t = 100.0;
+        while t < 3600.0 {
+            if let Some(b) = tl.body_at(t) {
+                total += 1;
+                if b.motion > 0.0 {
+                    moving += 1;
+                }
+            }
+            t += 0.2;
+        }
+        let frac = moving as f64 / total as f64;
+        assert!(frac > 0.005 && frac < 0.2, "fidget fraction = {frac}");
+    }
+
+    #[test]
+    fn durations_match_helpers() {
+        assert!((enter_duration(5.0, 1.25) - (1.2 + 4.0 + 1.5)).abs() < 1e-12);
+        assert!((leave_duration(5.0, 1.25) - (1.8 + 4.0 + 1.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn movements_exceed_t_delta() {
+        // Every workstation's leave movement must last longer than the
+        // paper's t_delta = 4.5 s, as their ~5 s walk estimate implies.
+        let layout = OfficeLayout::paper_office();
+        for ws in 0..3 {
+            let len = layout.path_to_door(ws).length();
+            let dur = leave_duration(len, WALK_SPEED_MPS * 1.1); // fastest walker
+            assert!(dur > 4.8, "w{} leave lasts only {dur:.2} s", ws + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn overlapping_presence_panics() {
+        let layout = OfficeLayout::paper_office();
+        let mut rng = Rng::seed_from_u64(2);
+        PersonTimeline::build(&layout, 0, &[(100.0, 400.0), (300.0, 500.0)], 1000.0, &mut rng);
+    }
+}

@@ -1,0 +1,330 @@
+//! End-to-end scenario generation: behaviour + channel → trace.
+//!
+//! A [`Scenario`] materializes the paper's experiment: five working
+//! days, three users, nine sensors, everything seeded. Generating the
+//! behaviour is cheap; [`Scenario::simulate`] then runs the RF channel
+//! over every tick to produce the [`Trace`] the FADEWICH pipeline
+//! consumes.
+
+use fadewich_rfchannel::{Body, BuildChannelError, ChannelParams, ChannelSim};
+use fadewich_stats::rng::Rng;
+
+use crate::events::{EventKind, EventLog, MovementEvent};
+use crate::input::InputTrace;
+use crate::layout::OfficeLayout;
+use crate::person::MovementKind;
+use crate::schedule::{generate_day, DaySchedule, ScheduleError, ScheduleParams};
+use crate::trace::{DayTrace, Trace};
+
+/// Everything that defines an experiment run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Number of working days (paper: 5).
+    pub days: usize,
+    /// Sampling rate of the sensors (Hz).
+    pub tick_hz: f64,
+    /// Master seed; every derived stream forks from it.
+    pub seed: u64,
+    /// Radio channel parameters.
+    pub channel: ChannelParams,
+    /// Behaviour generator parameters.
+    pub schedule: ScheduleParams,
+    /// Input activity probability per 5-s slot (paper: 0.78).
+    pub activity_probability: f64,
+    /// The office geometry (defaults to the paper's Fig. 6 office;
+    /// build others with [`OfficeLayout::custom`]).
+    pub layout: OfficeLayout,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            days: 5,
+            tick_hz: 5.0,
+            seed: 0xFADE,
+            channel: ChannelParams::default(),
+            schedule: ScheduleParams::default(),
+            activity_probability: crate::input::PAPER_ACTIVITY_PROBABILITY,
+            layout: OfficeLayout::paper_office(),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A reduced configuration (1 day, lower rate) for tests and
+    /// quick benches.
+    pub fn small() -> ScenarioConfig {
+        ScenarioConfig {
+            days: 1,
+            schedule: ScheduleParams {
+                day_seconds: 2.0 * 3600.0,
+                departures_choices: [2, 2, 3, 3],
+                min_seated_s: 400.0,
+                absence_bounds_s: (90.0, 300.0),
+                ..ScheduleParams::default()
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// Error generating or simulating a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The behaviour generator failed.
+    Schedule(ScheduleError),
+    /// The channel could not be constructed.
+    Channel(BuildChannelError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Schedule(e) => write!(f, "schedule generation failed: {e}"),
+            ScenarioError::Channel(e) => write!(f, "channel construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ScheduleError> for ScenarioError {
+    fn from(e: ScheduleError) -> Self {
+        ScenarioError::Schedule(e)
+    }
+}
+
+impl From<BuildChannelError> for ScenarioError {
+    fn from(e: BuildChannelError) -> Self {
+        ScenarioError::Channel(e)
+    }
+}
+
+/// A generated multi-day experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    config: ScenarioConfig,
+    layout: OfficeLayout,
+    days: Vec<DaySchedule>,
+    events: EventLog,
+}
+
+impl Scenario {
+    /// Generates user behaviour for every day (no RF simulation yet).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] from the behaviour generator.
+    pub fn generate(config: ScenarioConfig) -> Result<Scenario, ScenarioError> {
+        let layout = config.layout.clone();
+        let root = Rng::seed_from_u64(config.seed);
+        let mut days = Vec::with_capacity(config.days);
+        let mut events = EventLog::new();
+        for day in 0..config.days {
+            let mut day_rng = root.fork(1000 + day as u64);
+            let schedule = generate_day(&layout, &config.schedule, &mut day_rng)?;
+            for tl in &schedule.timelines {
+                for m in tl.movements() {
+                    events.push(MovementEvent {
+                        kind: match m.kind {
+                            MovementKind::Enter => EventKind::Enter { workstation: m.workstation },
+                            MovementKind::Leave => EventKind::Leave { workstation: m.workstation },
+                        },
+                        day,
+                        t_start: m.t_start,
+                        t_proximity: m.t_proximity,
+                        t_door: m.t_door,
+                        t_end: m.t_end,
+                    });
+                }
+            }
+            days.push(schedule);
+        }
+        Ok(Scenario { config, layout, days, events })
+    }
+
+    /// The configuration this scenario was generated from.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The office geometry.
+    pub fn layout(&self) -> &OfficeLayout {
+        &self.layout
+    }
+
+    /// Ground-truth event log (the "supervisor's notebook").
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Per-day schedules.
+    pub fn day_schedules(&self) -> &[DaySchedule] {
+        &self.days
+    }
+
+    /// Draws one realization of the keyboard/mouse input process for
+    /// `day`. Different `draw` values give independent realizations
+    /// (Table IV averages 100 of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day` is out of range.
+    pub fn input_trace(&self, day: usize, draw: u64) -> InputTrace {
+        let root = Rng::seed_from_u64(self.config.seed);
+        let mut rng = root.fork(2000 + day as u64 * 101 + draw * 13_331);
+        InputTrace::generate(
+            &self.days[day].timelines,
+            self.config.activity_probability,
+            &mut rng,
+        )
+    }
+
+    /// Runs the RF channel over every day and returns the recording.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildChannelError`] (only possible with invalid
+    /// channel parameters).
+    pub fn simulate(&self) -> Result<Trace, ScenarioError> {
+        let channel_seed = Rng::seed_from_u64(self.config.seed).fork(42).next_u64();
+        let mut sim = ChannelSim::new(
+            self.layout.sensors(),
+            self.layout.room(),
+            self.config.tick_hz,
+            self.config.channel,
+            channel_seed,
+        )?;
+        let n_ticks = (self.config.schedule.day_seconds * self.config.tick_hz).round() as usize;
+        let mut day_traces = Vec::with_capacity(self.days.len());
+        let mut bodies: Vec<Body> = Vec::with_capacity(self.layout.n_workstations());
+        for schedule in &self.days {
+            let mut day = DayTrace::with_capacity(sim.n_links(), n_ticks);
+            for tick in 0..n_ticks {
+                let t = tick as f64 / self.config.tick_hz;
+                bodies.clear();
+                bodies.extend(schedule.timelines.iter().filter_map(|tl| tl.body_at(t)));
+                day.push_row(sim.step(&bodies));
+            }
+            day_traces.push(day);
+        }
+        let link_ids = sim.link_ids().to_vec();
+        let link_segments = (0..sim.n_links()).map(|i| sim.link_segment(i)).collect();
+        Ok(Trace::new(self.config.tick_hz, day_traces, link_ids, link_segments))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario(seed: u64) -> Scenario {
+        let config = ScenarioConfig { seed, ..ScenarioConfig::small() };
+        Scenario::generate(config).unwrap()
+    }
+
+    #[test]
+    fn generation_produces_events() {
+        let s = small_scenario(1);
+        assert!(!s.events().is_empty());
+        // Every leave has a matching enter for the same workstation
+        // earlier in the same day.
+        for e in s.events().leaves() {
+            let has_enter = s
+                .events()
+                .events_on_day(e.day)
+                .any(|o| !o.is_leave() && o.label() == 0 && o.t_start < e.t_start);
+            assert!(has_enter, "leave without a preceding enter: {e:?}");
+        }
+    }
+
+    #[test]
+    fn event_counts_balanced() {
+        let s = small_scenario(2);
+        let counts = s.events().label_counts(3);
+        let enters = counts[0];
+        let leaves: usize = counts[1..].iter().sum();
+        assert_eq!(enters, leaves, "each presence interval has one enter and one leave");
+    }
+
+    #[test]
+    fn simulation_shape() {
+        let s = small_scenario(3);
+        let trace = s.simulate().unwrap();
+        assert_eq!(trace.n_streams(), 72);
+        assert_eq!(trace.days().len(), 1);
+        assert_eq!(
+            trace.days()[0].n_ticks(),
+            (2.0 * 3600.0 * 5.0) as usize
+        );
+        // Values are plausible RSSI.
+        let v = trace.days()[0].sample(1000, 10);
+        assert!((-95.0..-30.0).contains(&v), "rssi = {v}");
+    }
+
+    #[test]
+    fn simulation_deterministic() {
+        let a = small_scenario(4).simulate().unwrap();
+        let b = small_scenario(4).simulate().unwrap();
+        assert_eq!(a.days()[0].row(5000), b.days()[0].row(5000));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_scenario(5).simulate().unwrap();
+        let b = small_scenario(6).simulate().unwrap();
+        assert_ne!(a.days()[0].row(5000), b.days()[0].row(5000));
+    }
+
+    #[test]
+    fn input_draws_are_independent_but_reproducible() {
+        let s = small_scenario(7);
+        let a = s.input_trace(0, 0);
+        let b = s.input_trace(0, 0);
+        let c = s.input_trace(0, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn custom_layout_scenario() {
+        use fadewich_geometry::{Point, Rect};
+        // A wider office with four workstations and six wall sensors.
+        let room = Rect::with_size(8.0, 4.0);
+        let layout = OfficeLayout::custom(
+            room,
+            OfficeLayout::wall_sensors(room, 6),
+            vec![
+                Point::new(1.5, 3.0),
+                Point::new(4.0, 3.2),
+                Point::new(6.5, 3.0),
+                Point::new(1.5, 1.0),
+            ],
+            Point::new(7.6, 0.2),
+        )
+        .unwrap();
+        let config = ScenarioConfig { seed: 21, layout, ..ScenarioConfig::small() };
+        let s = Scenario::generate(config).unwrap();
+        assert_eq!(s.layout().n_workstations(), 4);
+        let counts = s.events().label_counts(4);
+        assert_eq!(counts.len(), 5);
+        assert!(counts[4] > 0, "w4 must produce events too");
+        let trace = s.simulate().unwrap();
+        assert_eq!(trace.n_streams(), 6 * 5);
+    }
+
+    #[test]
+    fn paper_scale_five_days() {
+        // Behaviour generation at full scale is cheap; check the event
+        // budget tracks the paper (order 100-150 events over 5 days).
+        let s = Scenario::generate(ScenarioConfig { seed: 9, ..ScenarioConfig::default() })
+            .unwrap();
+        let total = s.events().len();
+        assert!((90..=180).contains(&total), "events = {total}");
+        let counts = s.events().label_counts(3);
+        // Leaves spread over the three workstations.
+        for ws in 1..=3 {
+            assert!(counts[ws] >= 10, "w{ws} leaves = {}", counts[ws]);
+        }
+    }
+}

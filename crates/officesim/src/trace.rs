@@ -1,0 +1,211 @@
+//! Recorded RSSI traces.
+//!
+//! A [`Trace`] is the synthetic counterpart of the paper's five days of
+//! logged sensor data: per day, a dense `[tick × stream]` matrix of
+//! quantized RSSI samples (stored as `f32` — a 40-hour, 72-stream trace
+//! is ~200 MB), together with the link identities needed to map streams
+//! back onto the floor plan.
+
+use fadewich_geometry::Segment;
+use fadewich_rfchannel::LinkId;
+
+/// One day of recorded streams, row-major: `data[tick * n_streams + s]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayTrace {
+    n_streams: usize,
+    n_ticks: usize,
+    data: Vec<f32>,
+}
+
+impl DayTrace {
+    /// Creates an empty day to be filled tick by tick.
+    pub fn with_capacity(n_streams: usize, n_ticks_hint: usize) -> DayTrace {
+        DayTrace {
+            n_streams,
+            n_ticks: 0,
+            data: Vec::with_capacity(n_streams * n_ticks_hint),
+        }
+    }
+
+    /// Appends one tick's samples (one per stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != n_streams`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.n_streams, "row width mismatch");
+        self.data.extend(row.iter().map(|&x| x as f32));
+        self.n_ticks += 1;
+    }
+
+    /// Number of streams.
+    pub fn n_streams(&self) -> usize {
+        self.n_streams
+    }
+
+    /// Number of recorded ticks.
+    pub fn n_ticks(&self) -> usize {
+        self.n_ticks
+    }
+
+    /// Sample of `stream` at `tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn sample(&self, tick: usize, stream: usize) -> f64 {
+        assert!(tick < self.n_ticks && stream < self.n_streams, "index out of range");
+        self.data[tick * self.n_streams + stream] as f64
+    }
+
+    /// All samples of one tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is out of range.
+    pub fn row(&self, tick: usize) -> &[f32] {
+        assert!(tick < self.n_ticks, "tick out of range");
+        &self.data[tick * self.n_streams..(tick + 1) * self.n_streams]
+    }
+
+    /// Copies the window `[t0, t1)` of one stream as `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid or out of bounds.
+    pub fn window(&self, stream: usize, t0: usize, t1: usize) -> Vec<f64> {
+        assert!(stream < self.n_streams && t0 <= t1 && t1 <= self.n_ticks, "bad window");
+        (t0..t1).map(|t| self.data[t * self.n_streams + stream] as f64).collect()
+    }
+}
+
+/// A complete multi-day recording plus the static link metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    tick_hz: f64,
+    days: Vec<DayTrace>,
+    link_ids: Vec<LinkId>,
+    link_segments: Vec<Segment>,
+}
+
+impl Trace {
+    /// Assembles a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if metadata lengths disagree with the day matrices.
+    pub fn new(
+        tick_hz: f64,
+        days: Vec<DayTrace>,
+        link_ids: Vec<LinkId>,
+        link_segments: Vec<Segment>,
+    ) -> Trace {
+        assert_eq!(link_ids.len(), link_segments.len(), "link metadata mismatch");
+        for d in &days {
+            assert_eq!(d.n_streams(), link_ids.len(), "stream count mismatch");
+        }
+        assert!(tick_hz > 0.0, "tick rate must be positive");
+        Trace { tick_hz, days, link_ids, link_segments }
+    }
+
+    /// Sampling rate in Hz.
+    pub fn tick_hz(&self) -> f64 {
+        self.tick_hz
+    }
+
+    /// Converts seconds (from day start) to a tick index.
+    pub fn tick_of(&self, seconds: f64) -> usize {
+        (seconds * self.tick_hz).round().max(0.0) as usize
+    }
+
+    /// Converts a tick index to seconds from day start.
+    pub fn seconds_of(&self, tick: usize) -> f64 {
+        tick as f64 / self.tick_hz
+    }
+
+    /// The recorded days.
+    pub fn days(&self) -> &[DayTrace] {
+        &self.days
+    }
+
+    /// Total number of streams.
+    pub fn n_streams(&self) -> usize {
+        self.link_ids.len()
+    }
+
+    /// Stream identities (tx/rx sensor indices).
+    pub fn link_ids(&self) -> &[LinkId] {
+        &self.link_ids
+    }
+
+    /// Stream geometry (for the Fig. 12 heatmap).
+    pub fn link_segments(&self) -> &[Segment] {
+        &self.link_segments
+    }
+
+    /// Indices of streams entirely within a sensor subset.
+    pub fn stream_indices_for_subset(&self, sensor_subset: &[usize]) -> Vec<usize> {
+        self.link_ids
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| sensor_subset.contains(&id.tx) && sensor_subset.contains(&id.rx))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadewich_geometry::Point;
+
+    fn tiny_trace() -> Trace {
+        let ids = vec![LinkId { tx: 0, rx: 1 }, LinkId { tx: 1, rx: 0 }];
+        let segs = vec![
+            Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            Segment::new(Point::new(1.0, 0.0), Point::new(0.0, 0.0)),
+        ];
+        let mut day = DayTrace::with_capacity(2, 4);
+        day.push_row(&[-50.0, -55.0]);
+        day.push_row(&[-51.0, -54.0]);
+        day.push_row(&[-52.0, -53.0]);
+        Trace::new(5.0, vec![day], ids, segs)
+    }
+
+    #[test]
+    fn roundtrip_samples() {
+        let t = tiny_trace();
+        assert_eq!(t.days()[0].sample(0, 0), -50.0);
+        assert_eq!(t.days()[0].sample(2, 1), -53.0);
+        assert_eq!(t.days()[0].row(1), &[-51.0f32, -54.0]);
+        assert_eq!(t.days()[0].window(1, 0, 2), vec![-55.0, -54.0]);
+    }
+
+    #[test]
+    fn tick_conversions() {
+        let t = tiny_trace();
+        assert_eq!(t.tick_of(2.0), 10);
+        assert_eq!(t.seconds_of(10), 2.0);
+        assert_eq!(t.tick_of(-1.0), 0);
+    }
+
+    #[test]
+    fn subset_streams() {
+        let t = tiny_trace();
+        assert_eq!(t.stream_indices_for_subset(&[0, 1]), vec![0, 1]);
+        assert!(t.stream_indices_for_subset(&[0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_row_width_panics() {
+        let mut day = DayTrace::with_capacity(2, 1);
+        day.push_row(&[-50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad window")]
+    fn bad_window_panics() {
+        tiny_trace().days()[0].window(0, 2, 9);
+    }
+}

@@ -1,0 +1,161 @@
+//! The human-body obstruction model.
+//!
+//! A torso near the straight line between transmitter and receiver
+//! scatters and absorbs signal energy. We model the mean attenuation as
+//! a Gaussian profile of the body's distance `x` from the link segment,
+//! `B(x) = A · exp(−(x/λ)²)`, which matches the bell-shaped RSSI dips
+//! reported when a person walks through a link (RADAR; Patwari–Wilson).
+//! Motion additionally *jitters* the attenuation tick-to-tick — the
+//! limbs sweep through Fresnel zones — which is precisely the variance
+//! signal FADEWICH's MD module detects.
+
+use fadewich_geometry::{Point, Segment};
+use fadewich_stats::rng::Rng;
+
+use crate::params::ChannelParams;
+
+/// A human body as the channel sees it: a position and a motion
+/// intensity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Torso position on the floor plan.
+    pub position: Point,
+    /// Motion intensity in `[0, 1]`: 0 = perfectly still, ~0.15 =
+    /// seated fidgeting, ~0.8 = standing up, 1.0 = walking.
+    pub motion: f64,
+}
+
+impl Body {
+    /// Creates a body, clamping motion into `[0, 1]`.
+    pub fn new(position: Point, motion: f64) -> Body {
+        Body { position, motion: motion.clamp(0.0, 1.0) }
+    }
+
+    /// A stationary body.
+    pub fn still(position: Point) -> Body {
+        Body::new(position, 0.0)
+    }
+}
+
+/// Mean attenuation (dB, ≥ 0) a body at distance `dist` from the link
+/// inflicts, before motion jitter.
+pub fn mean_attenuation_db(params: &ChannelParams, dist: f64) -> f64 {
+    let x = dist / params.body_radius_m;
+    // Beyond ~3 radii the profile is < 1e-4 of the peak; skip the exp.
+    if x > 3.5 {
+        return 0.0;
+    }
+    params.body_attenuation_db * (-x * x).exp()
+}
+
+/// Total attenuation of one link by a set of bodies at one tick,
+/// including per-tick motion jitter (hence `rng`).
+///
+/// Multiple bodies attenuate additively in dB — an approximation, but
+/// overlapping obstructions are rare in the scenarios and the paper
+/// itself declares overlapping movements out of the classifier's scope
+/// (§IV-E).
+pub fn link_attenuation_db(
+    params: &ChannelParams,
+    link: &Segment,
+    bodies: &[Body],
+    rng: &mut Rng,
+) -> f64 {
+    let mut total = 0.0;
+    for body in bodies {
+        let dist = link.distance_to_point(body.position);
+        let mean = mean_attenuation_db(params, dist);
+        if mean <= 0.0 {
+            continue;
+        }
+        let jitter = if body.motion > 0.0 {
+            mean * params.motion_jitter * body.motion * rng.normal()
+        } else {
+            0.0
+        };
+        // Attenuation cannot amplify the signal.
+        total += (mean + jitter).max(0.0);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Segment {
+        Segment::new(Point::new(0.0, 0.0), Point::new(6.0, 0.0))
+    }
+
+    #[test]
+    fn peak_on_the_line() {
+        let p = ChannelParams::default();
+        assert_eq!(mean_attenuation_db(&p, 0.0), p.body_attenuation_db);
+    }
+
+    #[test]
+    fn decays_with_distance() {
+        let p = ChannelParams::default();
+        let near = mean_attenuation_db(&p, 0.1);
+        let mid = mean_attenuation_db(&p, 0.35);
+        let far = mean_attenuation_db(&p, 1.0);
+        assert!(near > mid && mid > far);
+        // At one body radius the profile is e^-1 of the peak.
+        assert!((mid - p.body_attenuation_db / std::f64::consts::E).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cut_off_beyond_reach() {
+        let p = ChannelParams::default();
+        assert_eq!(mean_attenuation_db(&p, 2.0), 0.0);
+    }
+
+    #[test]
+    fn still_body_attenuates_deterministically() {
+        let p = ChannelParams::default();
+        let body = Body::still(Point::new(3.0, 0.0));
+        let mut r1 = Rng::seed_from_u64(1);
+        let mut r2 = Rng::seed_from_u64(999);
+        let a = link_attenuation_db(&p, &link(), &[body], &mut r1);
+        let b = link_attenuation_db(&p, &link(), &[body], &mut r2);
+        assert_eq!(a, b, "a still body must not consume randomness");
+        assert_eq!(a, p.body_attenuation_db);
+    }
+
+    #[test]
+    fn moving_body_jitters() {
+        let p = ChannelParams::default();
+        let body = Body::new(Point::new(3.0, 0.0), 1.0);
+        let mut rng = Rng::seed_from_u64(2);
+        let samples: Vec<f64> =
+            (0..200).map(|_| link_attenuation_db(&p, &link(), &[body], &mut rng)).collect();
+        let sd = fadewich_stats::descriptive::std_dev(&samples);
+        assert!(sd > 1.0, "walking body should jitter strongly, sd = {sd}");
+        assert!(samples.iter().all(|&a| a >= 0.0), "attenuation must never amplify");
+    }
+
+    #[test]
+    fn distant_body_invisible() {
+        let p = ChannelParams::default();
+        let body = Body::new(Point::new(3.0, 2.5), 1.0);
+        let mut rng = Rng::seed_from_u64(3);
+        assert_eq!(link_attenuation_db(&p, &link(), &[body], &mut rng), 0.0);
+    }
+
+    #[test]
+    fn bodies_add_up() {
+        let p = ChannelParams::default();
+        let bodies = [Body::still(Point::new(2.0, 0.0)), Body::still(Point::new(4.0, 0.0))];
+        let mut rng = Rng::seed_from_u64(4);
+        let a = link_attenuation_db(&p, &link(), &bodies, &mut rng);
+        assert_eq!(a, 2.0 * p.body_attenuation_db);
+    }
+
+    #[test]
+    fn motion_clamped() {
+        let b = Body::new(Point::ORIGIN, 7.0);
+        assert_eq!(b.motion, 1.0);
+        let b = Body::new(Point::ORIGIN, -1.0);
+        assert_eq!(b.motion, 0.0);
+    }
+}

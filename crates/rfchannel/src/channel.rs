@@ -1,0 +1,447 @@
+//! The RSSI stream simulator.
+//!
+//! [`ChannelSim`] owns the `m × (m − 1)` directed links between sensor
+//! positions and produces, per tick, one RSSI sample per link:
+//!
+//! ```text
+//! rssi = P_tx − PL(‖d_i − d_j‖) + offset_ij        (static geometry)
+//!        + drift(t) + fading_ij(t) + spike          (environment)
+//!        − Σ_bodies B(body, link, t)                (obstruction)
+//!        + burst noise (if a burst covers the link)
+//!        + ε, then quantized
+//! ```
+//!
+//! Everything is deterministic under the construction seed.
+
+use fadewich_geometry::{Point, Rect, Segment};
+use fadewich_stats::rng::Rng;
+
+use crate::body::{link_attenuation_db, Body};
+use crate::params::ChannelParams;
+use crate::pathloss::mean_rssi_dbm;
+
+/// One directed link's static and dynamic state.
+#[derive(Debug, Clone)]
+struct LinkState {
+    segment: Segment,
+    /// `P_tx − PL + static offset`, fixed at construction.
+    base_rssi: f64,
+    /// AR(1) multipath fading state.
+    fading: f64,
+}
+
+/// An in-progress interference burst.
+#[derive(Debug, Clone)]
+struct ActiveBurst {
+    ticks_left: u64,
+    /// Pre-computed per-link affectedness.
+    affected: Vec<bool>,
+}
+
+/// Identity of a directed link (`tx → rx`, indices into the sensor
+/// list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId {
+    /// Transmitting sensor index.
+    pub tx: usize,
+    /// Receiving sensor index.
+    pub rx: usize,
+}
+
+impl LinkId {
+    /// The paper's stream naming: `d<i>-d<j>` with 1-based indices.
+    pub fn stream_name(&self) -> String {
+        format!("d{}-d{}", self.tx + 1, self.rx + 1)
+    }
+}
+
+/// Error constructing a [`ChannelSim`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildChannelError {
+    /// Fewer than two sensors.
+    TooFewSensors,
+    /// A parameter failed validation (message from
+    /// [`ChannelParams::validate`]).
+    InvalidParams(String),
+    /// The tick rate is not positive and finite.
+    InvalidTickRate,
+}
+
+impl std::fmt::Display for BuildChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildChannelError::TooFewSensors => {
+                write!(f, "a channel needs at least two sensors")
+            }
+            BuildChannelError::InvalidParams(msg) => write!(f, "invalid channel params: {msg}"),
+            BuildChannelError::InvalidTickRate => write!(f, "tick rate must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BuildChannelError {}
+
+/// Simulates RSSI streams for all directed sensor pairs.
+#[derive(Debug, Clone)]
+pub struct ChannelSim {
+    params: ChannelParams,
+    tick_hz: f64,
+    bounds: Rect,
+    links: Vec<LinkState>,
+    link_ids: Vec<LinkId>,
+    drift_db: f64,
+    burst: Option<ActiveBurst>,
+    rng: Rng,
+    out: Vec<f64>,
+}
+
+impl ChannelSim {
+    /// Builds a channel over `sensors` inside `bounds` ticking at
+    /// `tick_hz`.
+    ///
+    /// Per-link static offsets are drawn once here from `seed`, so two
+    /// channels with the same seed have identical hardware spread.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildChannelError`].
+    pub fn new(
+        sensors: &[Point],
+        bounds: Rect,
+        tick_hz: f64,
+        params: ChannelParams,
+        seed: u64,
+    ) -> Result<ChannelSim, BuildChannelError> {
+        if sensors.len() < 2 {
+            return Err(BuildChannelError::TooFewSensors);
+        }
+        params.validate().map_err(BuildChannelError::InvalidParams)?;
+        if !(tick_hz > 0.0) || !tick_hz.is_finite() {
+            return Err(BuildChannelError::InvalidTickRate);
+        }
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut links = Vec::new();
+        let mut link_ids = Vec::new();
+        for tx in 0..sensors.len() {
+            for rx in 0..sensors.len() {
+                if tx == rx {
+                    continue;
+                }
+                let segment = Segment::new(sensors[tx], sensors[rx]);
+                let base = mean_rssi_dbm(&params, segment.length())
+                    + rng.normal() * params.static_offset_sd_db;
+                links.push(LinkState { segment, base_rssi: base, fading: 0.0 });
+                link_ids.push(LinkId { tx, rx });
+            }
+        }
+        let n = links.len();
+        Ok(ChannelSim {
+            params,
+            tick_hz,
+            bounds,
+            links,
+            link_ids,
+            drift_db: 0.0,
+            burst: None,
+            rng,
+            out: vec![0.0; n],
+        })
+    }
+
+    /// Number of directed links (`m · (m − 1)`).
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The tick rate in Hz.
+    pub fn tick_hz(&self) -> f64 {
+        self.tick_hz
+    }
+
+    /// Identities of all links, in stream order.
+    pub fn link_ids(&self) -> &[LinkId] {
+        &self.link_ids
+    }
+
+    /// The segment of stream `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn link_segment(&self, i: usize) -> Segment {
+        self.links[i].segment
+    }
+
+    /// Indices (into the full stream list) of the streams whose both
+    /// endpoints belong to `sensor_subset` — how experiments with fewer
+    /// sensors are carved out of a 9-sensor trace.
+    pub fn stream_indices_for_subset(&self, sensor_subset: &[usize]) -> Vec<usize> {
+        self.link_ids
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| sensor_subset.contains(&id.tx) && sensor_subset.contains(&id.rx))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Advances one tick and returns the RSSI sample of every stream.
+    ///
+    /// The returned slice is owned by the simulator and overwritten by
+    /// the next call; copy it out if you need to keep it.
+    pub fn step(&mut self, bodies: &[Body]) -> &[f64] {
+        let p = self.params;
+        // Environmental drift: bounded random walk common to all links.
+        self.drift_db = (self.drift_db + self.rng.normal() * p.drift_step_sd_db)
+            .clamp(-p.drift_bound_db, p.drift_bound_db);
+
+        // Burst lifecycle.
+        if let Some(burst) = &mut self.burst {
+            burst.ticks_left -= 1;
+            if burst.ticks_left == 0 {
+                self.burst = None;
+            }
+        } else {
+            let arrival_p = p.burst_rate_per_hour / 3600.0 / self.tick_hz;
+            if self.rng.bernoulli(arrival_p) {
+                let epicentre = Point::new(
+                    self.rng.range_f64(self.bounds.min().x, self.bounds.max().x),
+                    self.rng.range_f64(self.bounds.min().y, self.bounds.max().y),
+                );
+                let duration_s =
+                    self.rng.range_f64(p.burst_min_duration_s, p.burst_max_duration_s);
+                let affected = self
+                    .links
+                    .iter()
+                    .map(|l| l.segment.distance_to_point(epicentre) <= p.burst_radius_m)
+                    .collect();
+                self.burst = Some(ActiveBurst {
+                    ticks_left: (duration_s * self.tick_hz).round().max(1.0) as u64,
+                    affected,
+                });
+            }
+        }
+
+        let fading_innov_sd = p.fading_sd_db * (1.0 - p.fading_rho * p.fading_rho).sqrt();
+        for (i, link) in self.links.iter_mut().enumerate() {
+            link.fading = p.fading_rho * link.fading + fading_innov_sd * self.rng.normal();
+            let mut rssi = link.base_rssi + self.drift_db + link.fading;
+            rssi -= link_attenuation_db(&p, &link.segment, bodies, &mut self.rng);
+            rssi += self.rng.normal() * p.measurement_noise_sd_db;
+            if self.rng.bernoulli(p.spike_probability) {
+                rssi += self.rng.skew_laplace(p.spike_scale_neg_db, p.spike_scale_pos_db);
+            }
+            if let Some(burst) = &self.burst {
+                if burst.affected[i] {
+                    rssi += self.rng.normal() * p.burst_noise_sd_db;
+                }
+            }
+            self.out[i] = quantize(rssi, p.quantization_db);
+        }
+        &self.out
+    }
+
+    /// Whether an interference burst is currently active (exposed for
+    /// tests and failure-injection experiments).
+    pub fn burst_active(&self) -> bool {
+        self.burst.is_some()
+    }
+}
+
+fn quantize(x: f64, step: f64) -> f64 {
+    if step > 0.0 {
+        (x / step).round() * step
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadewich_stats::descriptive::{mean, std_dev};
+
+    fn sensors() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(6.0, 3.0),
+            Point::new(0.0, 3.0),
+        ]
+    }
+
+    fn sim(seed: u64) -> ChannelSim {
+        ChannelSim::new(
+            &sensors(),
+            Rect::with_size(6.0, 3.0),
+            5.0,
+            ChannelParams::default(),
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn link_count_is_m_times_m_minus_1() {
+        assert_eq!(sim(1).n_links(), 12);
+    }
+
+    #[test]
+    fn stream_names() {
+        let s = sim(1);
+        assert_eq!(s.link_ids()[0].stream_name(), "d1-d2");
+        let last = s.link_ids().last().unwrap();
+        assert_eq!(last.stream_name(), "d4-d3");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = sim(42);
+        let mut b = sim(42);
+        for _ in 0..50 {
+            assert_eq!(a.step(&[]), b.step(&[]));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = sim(1);
+        let mut b = sim(2);
+        assert_ne!(a.step(&[]), b.step(&[]));
+    }
+
+    #[test]
+    fn rssi_in_plausible_range() {
+        let mut s = sim(3);
+        for _ in 0..200 {
+            for &r in s.step(&[]) {
+                assert!((-90.0..=-30.0).contains(&r), "rssi = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_grid() {
+        let mut s = sim(4);
+        for _ in 0..20 {
+            for &r in s.step(&[]) {
+                let q = (r / 0.5).round() * 0.5;
+                assert!((r - q).abs() < 1e-9, "rssi {r} not on 0.5 dB grid");
+            }
+        }
+    }
+
+    #[test]
+    fn obstructing_body_lowers_mean_rssi() {
+        // Body parked on the midpoint of the d1-d2 link (stream 0).
+        let mut with = sim(5);
+        let mut without = sim(5);
+        let body = Body::still(Point::new(3.0, 0.0));
+        let mut sum_with = 0.0;
+        let mut sum_without = 0.0;
+        for _ in 0..400 {
+            sum_with += with.step(&[body])[0];
+            sum_without += without.step(&[])[0];
+        }
+        let diff = sum_without / 400.0 - sum_with / 400.0;
+        assert!(
+            (diff - ChannelParams::default().body_attenuation_db).abs() < 1.0,
+            "mean attenuation = {diff}"
+        );
+    }
+
+    #[test]
+    fn walking_body_raises_stream_std() {
+        let mut s = sim(6);
+        // Baseline std of stream 0 with an empty room.
+        let quiet: Vec<f64> = (0..300).map(|_| s.step(&[])[0]).collect();
+        // Walker crossing back and forth over the link.
+        let mut walking = Vec::new();
+        for i in 0..300 {
+            let y = ((i as f64) * 0.1).sin() * 0.6; // oscillates across the link
+            let body = Body::new(Point::new(3.0, y), 1.0);
+            walking.push(s.step(&[body])[0]);
+        }
+        let (q, w) = (std_dev(&quiet), std_dev(&walking));
+        assert!(w > 2.0 * q, "walking std {w} should dominate quiet std {q}");
+    }
+
+    #[test]
+    fn subset_stream_selection() {
+        let s = sim(7);
+        let idx = s.stream_indices_for_subset(&[0, 2]);
+        assert_eq!(idx.len(), 2);
+        for i in idx {
+            let id = s.link_ids()[i];
+            assert!(matches!((id.tx, id.rx), (0, 2) | (2, 0)));
+        }
+        // Full subset selects everything.
+        assert_eq!(s.stream_indices_for_subset(&[0, 1, 2, 3]).len(), 12);
+        // Singleton has no streams.
+        assert!(s.stream_indices_for_subset(&[1]).is_empty());
+    }
+
+    #[test]
+    fn drift_stays_bounded() {
+        let mut s = sim(8);
+        let mut means = Vec::new();
+        for _ in 0..5_000 {
+            means.push(mean(s.step(&[])));
+        }
+        let spread =
+            fadewich_stats::descriptive::max(&means).unwrap() - fadewich_stats::descriptive::min(&means).unwrap();
+        // Drift bound is ±3 dB; total spread must stay within ~2 bounds
+        // plus noise headroom.
+        assert!(spread < 8.0, "spread = {spread}");
+    }
+
+    #[test]
+    fn bursts_eventually_happen_and_end() {
+        let params = ChannelParams {
+            burst_rate_per_hour: 3600.0, // one per second on average
+            ..ChannelParams::default()
+        };
+        let mut s = ChannelSim::new(
+            &sensors(),
+            Rect::with_size(6.0, 3.0),
+            5.0,
+            params,
+            9,
+        )
+        .unwrap();
+        let mut saw_active = false;
+        let mut saw_inactive_after = false;
+        for _ in 0..2_000 {
+            s.step(&[]);
+            if s.burst_active() {
+                saw_active = true;
+            } else if saw_active {
+                saw_inactive_after = true;
+            }
+        }
+        assert!(saw_active, "burst never started");
+        assert!(saw_inactive_after, "burst never ended");
+    }
+
+    #[test]
+    fn build_errors() {
+        let r = ChannelSim::new(
+            &[Point::ORIGIN],
+            Rect::with_size(1.0, 1.0),
+            5.0,
+            ChannelParams::default(),
+            0,
+        );
+        assert_eq!(r.unwrap_err(), BuildChannelError::TooFewSensors);
+        let r = ChannelSim::new(
+            &sensors(),
+            Rect::with_size(6.0, 3.0),
+            0.0,
+            ChannelParams::default(),
+            0,
+        );
+        assert_eq!(r.unwrap_err(), BuildChannelError::InvalidTickRate);
+        let bad = ChannelParams { fading_rho: 2.0, ..ChannelParams::default() };
+        let r = ChannelSim::new(&sensors(), Rect::with_size(6.0, 3.0), 5.0, bad, 0);
+        assert!(matches!(r.unwrap_err(), BuildChannelError::InvalidParams(_)));
+    }
+}

@@ -1,0 +1,278 @@
+//! Channel State Information (CSI) simulation — the paper's future
+//! work (§VIII-A): "whether more fine grained information that can be
+//! provided by the wireless channel (such as channel state
+//! information) can improve the system performance".
+//!
+//! Where RSSI is one aggregate power value per link, CSI reports the
+//! complex response of every OFDM subcarrier. We simulate per-
+//! subcarrier *amplitudes* (phase is notoriously unusable on cheap
+//! hardware): each subcarrier sees the same geometry but its own
+//! multipath realization, so a body crossing a link imprints slightly
+//! different dips on each — more information per link for the
+//! classifier, exactly the hypothesis the paper poses.
+
+use fadewich_geometry::{Point, Rect, Segment};
+use fadewich_stats::rng::Rng;
+
+use crate::body::{link_attenuation_db, Body};
+use crate::channel::{BuildChannelError, LinkId};
+use crate::params::ChannelParams;
+use crate::pathloss::mean_rssi_dbm;
+
+/// Per-(link, subcarrier) state.
+#[derive(Debug, Clone)]
+struct SubcarrierState {
+    /// Static frequency-selective offset (dB).
+    base: f64,
+    /// AR(1) fading state.
+    fading: f64,
+    /// How strongly this subcarrier reacts to body obstruction
+    /// relative to the wideband mean (frequency-selective shadowing).
+    body_gain: f64,
+}
+
+/// Simulates per-subcarrier amplitude streams for all directed sensor
+/// pairs.
+///
+/// Stream layout: `link * n_subcarriers + subcarrier`, links in the
+/// same order as [`crate::ChannelSim`].
+#[derive(Debug, Clone)]
+pub struct CsiChannelSim {
+    params: ChannelParams,
+    n_subcarriers: usize,
+    tick_hz: f64,
+    link_ids: Vec<LinkId>,
+    segments: Vec<Segment>,
+    subcarriers: Vec<SubcarrierState>,
+    drift_db: f64,
+    rng: Rng,
+    out: Vec<f64>,
+}
+
+impl CsiChannelSim {
+    /// Builds a CSI channel with `n_subcarriers` per link.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`crate::ChannelSim::new`], plus rejects
+    /// `n_subcarriers == 0`.
+    pub fn new(
+        sensors: &[Point],
+        _bounds: Rect,
+        tick_hz: f64,
+        params: ChannelParams,
+        n_subcarriers: usize,
+        seed: u64,
+    ) -> Result<CsiChannelSim, BuildChannelError> {
+        if sensors.len() < 2 {
+            return Err(BuildChannelError::TooFewSensors);
+        }
+        params.validate().map_err(BuildChannelError::InvalidParams)?;
+        if !(tick_hz > 0.0) || !tick_hz.is_finite() {
+            return Err(BuildChannelError::InvalidTickRate);
+        }
+        if n_subcarriers == 0 {
+            return Err(BuildChannelError::InvalidParams(
+                "need at least one subcarrier".to_string(),
+            ));
+        }
+        let mut rng = Rng::seed_from_u64(seed ^ 0xC51);
+        let mut link_ids = Vec::new();
+        let mut segments = Vec::new();
+        let mut subcarriers = Vec::new();
+        for tx in 0..sensors.len() {
+            for rx in 0..sensors.len() {
+                if tx == rx {
+                    continue;
+                }
+                let segment = Segment::new(sensors[tx], sensors[rx]);
+                let wideband = mean_rssi_dbm(&params, segment.length())
+                    + rng.normal() * params.static_offset_sd_db;
+                for _ in 0..n_subcarriers {
+                    subcarriers.push(SubcarrierState {
+                        // Frequency-selective ripple of a few dB.
+                        base: wideband + rng.normal() * 1.5,
+                        fading: 0.0,
+                        // Obstruction response varies ±35% across
+                        // subcarriers (different Fresnel geometry per
+                        // wavelength).
+                        body_gain: (1.0 + 0.35 * rng.normal()).clamp(0.3, 1.9),
+                    });
+                }
+                link_ids.push(LinkId { tx, rx });
+                segments.push(segment);
+            }
+        }
+        let n = subcarriers.len();
+        Ok(CsiChannelSim {
+            params,
+            n_subcarriers,
+            tick_hz,
+            link_ids,
+            segments,
+            subcarriers,
+            drift_db: 0.0,
+            rng,
+            out: vec![0.0; n],
+        })
+    }
+
+    /// Total number of streams (`links × subcarriers`).
+    pub fn n_streams(&self) -> usize {
+        self.subcarriers.len()
+    }
+
+    /// Number of links.
+    pub fn n_links(&self) -> usize {
+        self.link_ids.len()
+    }
+
+    /// Subcarriers per link.
+    pub fn n_subcarriers(&self) -> usize {
+        self.n_subcarriers
+    }
+
+    /// Link identities, one per link (not per stream).
+    pub fn link_ids(&self) -> &[LinkId] {
+        &self.link_ids
+    }
+
+    /// The sampling rate.
+    pub fn tick_hz(&self) -> f64 {
+        self.tick_hz
+    }
+
+    /// Advances one tick; returns one amplitude (dB) per stream in
+    /// `link-major` order.
+    pub fn step(&mut self, bodies: &[Body]) -> &[f64] {
+        let p = self.params;
+        self.drift_db = (self.drift_db + self.rng.normal() * p.drift_step_sd_db)
+            .clamp(-p.drift_bound_db, p.drift_bound_db);
+        let innov = p.fading_sd_db * (1.0 - p.fading_rho * p.fading_rho).sqrt();
+        for (li, segment) in self.segments.iter().enumerate() {
+            // Wideband body attenuation shared by the link's
+            // subcarriers; each scales it by its own gain.
+            let atten = link_attenuation_db(&p, segment, bodies, &mut self.rng);
+            for s in 0..self.n_subcarriers {
+                let idx = li * self.n_subcarriers + s;
+                let sc = &mut self.subcarriers[idx];
+                sc.fading = p.fading_rho * sc.fading + innov * self.rng.normal();
+                let mut v = sc.base + self.drift_db + sc.fading - atten * sc.body_gain;
+                v += self.rng.normal() * p.measurement_noise_sd_db;
+                self.out[idx] = if p.quantization_db > 0.0 {
+                    // CSI amplitude resolution is finer than RSSI's.
+                    let q = p.quantization_db * 0.25;
+                    (v / q).round() * q
+                } else {
+                    v
+                };
+            }
+        }
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensors() -> Vec<Point> {
+        vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0), Point::new(3.0, 3.0)]
+    }
+
+    fn sim(seed: u64, subcarriers: usize) -> CsiChannelSim {
+        CsiChannelSim::new(
+            &sensors(),
+            Rect::with_size(6.0, 3.0),
+            5.0,
+            ChannelParams::default(),
+            subcarriers,
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stream_layout() {
+        let s = sim(1, 4);
+        assert_eq!(s.n_links(), 6);
+        assert_eq!(s.n_subcarriers(), 4);
+        assert_eq!(s.n_streams(), 24);
+        assert_eq!(s.link_ids().len(), 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = sim(3, 4);
+        let mut b = sim(3, 4);
+        for _ in 0..20 {
+            assert_eq!(a.step(&[]), b.step(&[]));
+        }
+    }
+
+    #[test]
+    fn subcarriers_of_one_link_differ_but_correlate() {
+        let mut s = sim(5, 4);
+        let mut streams: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        let body = Body::new(Point::new(3.0, 0.0), 1.0);
+        for i in 0..400 {
+            // Body crosses link 0 periodically.
+            let y = ((i as f64) * 0.08).sin() * 0.5;
+            let out = s.step(&[Body::new(Point::new(3.0, y), body.motion)]);
+            for (k, stream) in streams.iter_mut().enumerate() {
+                stream.push(out[k]);
+            }
+        }
+        // Different static offsets.
+        let means: Vec<f64> =
+            streams.iter().map(|x| fadewich_stats::descriptive::mean(x)).collect();
+        assert!(means.windows(2).any(|w| (w[0] - w[1]).abs() > 0.1));
+        // But the shared obstruction correlates them.
+        let r = fadewich_stats::corr::pearson(&streams[0], &streams[1]);
+        assert!(r > 0.3, "subcarriers of one link should co-vary, r = {r}");
+    }
+
+    #[test]
+    fn body_attenuates_all_subcarriers_on_the_link() {
+        let mut with = sim(7, 4);
+        let mut without = sim(7, 4);
+        let body = Body::still(Point::new(3.0, 0.0)); // on link 0 (d1-d2)
+        let mut diff = vec![0.0f64; 4];
+        for _ in 0..300 {
+            let a = with.step(&[body]).to_vec();
+            let b = without.step(&[]).to_vec();
+            for k in 0..4 {
+                diff[k] += b[k] - a[k];
+            }
+        }
+        for (k, d) in diff.iter().enumerate() {
+            let mean_atten = d / 300.0;
+            assert!(
+                mean_atten > 1.5,
+                "subcarrier {k} should see obstruction, got {mean_atten} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn build_errors() {
+        let r = CsiChannelSim::new(
+            &sensors(),
+            Rect::with_size(6.0, 3.0),
+            5.0,
+            ChannelParams::default(),
+            0,
+            1,
+        );
+        assert!(matches!(r.unwrap_err(), BuildChannelError::InvalidParams(_)));
+        let r = CsiChannelSim::new(
+            &[Point::ORIGIN],
+            Rect::with_size(1.0, 1.0),
+            5.0,
+            ChannelParams::default(),
+            4,
+            1,
+        );
+        assert_eq!(r.unwrap_err(), BuildChannelError::TooFewSensors);
+    }
+}

@@ -1,0 +1,174 @@
+//! Wireless physical attacks (paper §V-C).
+//!
+//! The paper argues an adversary cannot defeat FADEWICH by
+//! manipulating the channel: *raising* signal variance only triggers
+//! MD, and *suppressing* it requires controlling what specific sensors
+//! measure at specific times — and because a transmission from one
+//! position is heard by many devices, "such attacks are detectable".
+//! This module makes the argument testable by implementing the two
+//! canonical attempts:
+//!
+//! - a **noise jammer**, which adds wideband noise around its position
+//!   (raises variance → MD fires constantly → loud, not stealthy);
+//! - a **saturation jammer**, a strong carrier that pins nearby
+//!   receivers at a constant reading (variance collapses → can mask a
+//!   departure on the affected links — the dangerous direction).
+//!
+//! The corresponding detector lives in `fadewich-core::guard`.
+
+use fadewich_geometry::{Point, Segment};
+use fadewich_stats::rng::Rng;
+
+/// What the jammer emits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JammerKind {
+    /// Wideband noise of the given standard deviation (dB).
+    Noise {
+        /// Added noise σ on affected links (dB).
+        sd_db: f64,
+    },
+    /// A carrier strong enough to saturate nearby receivers: affected
+    /// links read a constant level (plus quantization).
+    Saturate {
+        /// The pinned reading (dBm).
+        level_dbm: f64,
+    },
+}
+
+/// An adversarial transmitter somewhere in (or just outside) the
+/// office.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jammer {
+    /// Transmitter position.
+    pub position: Point,
+    /// Links whose *receiver-side path* passes within this distance of
+    /// the jammer are affected (m).
+    pub radius_m: f64,
+    /// Emission type.
+    pub kind: JammerKind,
+    /// Active interval (seconds from day start).
+    pub active_from_s: f64,
+    /// End of the active interval.
+    pub active_to_s: f64,
+}
+
+impl Jammer {
+    /// Precomputes which links the jammer reaches.
+    pub fn affected_links(&self, segments: &[Segment]) -> Vec<bool> {
+        segments
+            .iter()
+            .map(|s| s.distance_to_point(self.position) <= self.radius_m)
+            .collect()
+    }
+
+    /// Whether the jammer transmits at time `t`.
+    pub fn is_active(&self, t: f64) -> bool {
+        t >= self.active_from_s && t < self.active_to_s
+    }
+
+    /// Applies the jammer to one tick's RSSI row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `affected.len() != row.len()`.
+    pub fn apply(&self, t: f64, affected: &[bool], row: &mut [f64], rng: &mut Rng) {
+        assert_eq!(affected.len(), row.len(), "affected mask mismatch");
+        if !self.is_active(t) {
+            return;
+        }
+        match self.kind {
+            JammerKind::Noise { sd_db } => {
+                for (v, &hit) in row.iter_mut().zip(affected) {
+                    if hit {
+                        *v += rng.normal() * sd_db;
+                    }
+                }
+            }
+            JammerKind::Saturate { level_dbm } => {
+                for (v, &hit) in row.iter_mut().zip(affected) {
+                    if hit {
+                        // The strong carrier dominates; the reading pins
+                        // to the saturation level with only quantizer
+                        // wobble left.
+                        *v = level_dbm + rng.range_f64(-0.25, 0.25).round() * 0.5;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segments() -> Vec<Segment> {
+        vec![
+            Segment::new(Point::new(0.0, 0.0), Point::new(6.0, 0.0)),
+            Segment::new(Point::new(0.0, 3.0), Point::new(6.0, 3.0)),
+        ]
+    }
+
+    fn jammer(kind: JammerKind) -> Jammer {
+        Jammer {
+            position: Point::new(3.0, 0.5),
+            radius_m: 1.0,
+            kind,
+            active_from_s: 10.0,
+            active_to_s: 20.0,
+        }
+    }
+
+    #[test]
+    fn reach_is_geometric() {
+        let j = jammer(JammerKind::Noise { sd_db: 4.0 });
+        let affected = j.affected_links(&segments());
+        assert_eq!(affected, vec![true, false]);
+    }
+
+    #[test]
+    fn inactive_outside_interval() {
+        let j = jammer(JammerKind::Noise { sd_db: 4.0 });
+        let affected = j.affected_links(&segments());
+        let mut row = vec![-50.0, -60.0];
+        let mut rng = Rng::seed_from_u64(1);
+        j.apply(5.0, &affected, &mut row, &mut rng);
+        assert_eq!(row, vec![-50.0, -60.0]);
+        j.apply(25.0, &affected, &mut row, &mut rng);
+        assert_eq!(row, vec![-50.0, -60.0]);
+    }
+
+    #[test]
+    fn noise_jammer_raises_variance_on_affected_links_only() {
+        let j = jammer(JammerKind::Noise { sd_db: 4.0 });
+        let affected = j.affected_links(&segments());
+        let mut rng = Rng::seed_from_u64(2);
+        let mut hit = Vec::new();
+        let mut spared = Vec::new();
+        for _ in 0..500 {
+            let mut row = vec![-50.0, -60.0];
+            j.apply(15.0, &affected, &mut row, &mut rng);
+            hit.push(row[0]);
+            spared.push(row[1]);
+        }
+        assert!(fadewich_stats::descriptive::std_dev(&hit) > 3.0);
+        assert_eq!(fadewich_stats::descriptive::std_dev(&spared), 0.0);
+    }
+
+    #[test]
+    fn saturation_pins_readings() {
+        let j = jammer(JammerKind::Saturate { level_dbm: -35.0 });
+        let affected = j.affected_links(&segments());
+        let mut rng = Rng::seed_from_u64(3);
+        let mut readings = Vec::new();
+        for _ in 0..200 {
+            let mut row = vec![-50.0 + rng.normal(), -60.0];
+            j.apply(15.0, &affected, &mut row, &mut rng);
+            readings.push(row[0]);
+        }
+        let sd = fadewich_stats::descriptive::std_dev(&readings);
+        assert!(sd < 0.5, "saturated link must go near-silent, sd = {sd}");
+        let mean = fadewich_stats::descriptive::mean(&readings);
+        assert!((mean + 35.0).abs() < 0.5, "mean = {mean}");
+    }
+}

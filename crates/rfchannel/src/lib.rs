@@ -1,0 +1,49 @@
+//! Indoor RSSI channel simulator — the hardware substitution.
+//!
+//! The FADEWICH paper collected RSSI from nine physical 2.4 GHz sensor
+//! nodes. This crate replaces that hardware with a channel model that
+//! reproduces the phenomena the system depends on:
+//!
+//! 1. **Path loss** — log-distance mean RSSI per link ([`pathloss`]);
+//! 2. **Body shadowing** — a Gaussian obstruction profile around each
+//!    link plus motion jitter ([`body`]), the signal MD detects;
+//! 3. **Environment noise** — white measurement noise, AR(1) multipath
+//!    fading with skew-Laplace spikes, slow drift, and localized
+//!    interference bursts ([`channel`]), the nuisances MD must survive.
+//!
+//! [`csi`] additionally simulates per-subcarrier Channel State
+//! Information amplitudes — the finer-grained signal the paper's
+//! future-work section asks about.
+//!
+//! # Examples
+//!
+//! ```
+//! use fadewich_geometry::{Point, Rect};
+//! use fadewich_rfchannel::{Body, ChannelParams, ChannelSim};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sensors = [Point::new(0.0, 0.0), Point::new(6.0, 0.0), Point::new(3.0, 3.0)];
+//! let mut sim = ChannelSim::new(&sensors, Rect::with_size(6.0, 3.0), 5.0,
+//!                               ChannelParams::default(), 42)?;
+//! let walker = Body::new(Point::new(3.0, 0.0), 1.0);
+//! let rssi = sim.step(&[walker]);
+//! assert_eq!(rssi.len(), 6); // m(m-1) directed streams
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod body;
+pub mod channel;
+pub mod csi;
+pub mod jamming;
+pub mod params;
+pub mod pathloss;
+
+pub use body::Body;
+pub use channel::{BuildChannelError, ChannelSim, LinkId};
+pub use csi::CsiChannelSim;
+pub use jamming::{Jammer, JammerKind};
+pub use params::ChannelParams;

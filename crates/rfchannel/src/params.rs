@@ -1,0 +1,167 @@
+//! Channel model parameters.
+//!
+//! Defaults are calibrated so that the synthetic streams show the three
+//! phenomena FADEWICH depends on, with magnitudes taken from the
+//! device-free-localization literature the paper builds on:
+//!
+//! - a walking body crossing a link's line of sight attenuates it by
+//!   several dB (RADAR reports 5–10 dB; we default to 8 dB peak);
+//! - motion adds variance, static bodies mostly shift the mean;
+//! - the environment itself is noisy: measurement noise, temporally
+//!   correlated multipath fading with heavy-tailed spikes
+//!   (Patwari–Wilson skew-Laplace), slow drift, and occasional
+//!   localized interference bursts.
+
+/// All tunables of the RSSI channel simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelParams {
+    /// Transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Path loss at the reference distance (dB).
+    pub path_loss_at_ref_db: f64,
+    /// Reference distance for the path-loss model (m).
+    pub ref_distance_m: f64,
+    /// Path-loss exponent (≈ 2.2 indoors with strong multipath).
+    pub path_loss_exponent: f64,
+    /// Standard deviation of the fixed per-directed-link offset (dB):
+    /// antenna orientation, hardware gain spread.
+    pub static_offset_sd_db: f64,
+    /// Per-sample white measurement noise σ (dB).
+    pub measurement_noise_sd_db: f64,
+    /// AR(1) multipath fading: one-tick autocorrelation ρ.
+    pub fading_rho: f64,
+    /// AR(1) multipath fading: stationary σ (dB).
+    pub fading_sd_db: f64,
+    /// Probability per tick per link of a heavy-tailed fade spike.
+    pub spike_probability: f64,
+    /// Scale of the negative (deep fade) side of the spike (dB).
+    pub spike_scale_neg_db: f64,
+    /// Scale of the positive side of the spike (dB).
+    pub spike_scale_pos_db: f64,
+    /// Slow environmental drift: random-walk step σ per tick (dB).
+    pub drift_step_sd_db: f64,
+    /// Drift is clamped to ± this bound (dB).
+    pub drift_bound_db: f64,
+    /// Peak line-of-sight body attenuation (dB).
+    pub body_attenuation_db: f64,
+    /// Effective body radius λ in the Gaussian obstruction profile (m).
+    pub body_radius_m: f64,
+    /// Relative motion jitter: a moving body's attenuation fluctuates
+    /// by `N(0, (jitter · motion · B)²)` per tick.
+    pub motion_jitter: f64,
+    /// Interference bursts per hour (Poisson arrivals).
+    pub burst_rate_per_hour: f64,
+    /// Minimum burst duration (s).
+    pub burst_min_duration_s: f64,
+    /// Maximum burst duration (s).
+    pub burst_max_duration_s: f64,
+    /// A burst disturbs links passing within this distance of its
+    /// epicentre (m).
+    pub burst_radius_m: f64,
+    /// Extra noise σ a burst adds to affected links (dB).
+    pub burst_noise_sd_db: f64,
+    /// RSSI quantization step (dB); cheap radios report 0.5 or 1 dB.
+    pub quantization_db: f64,
+}
+
+impl Default for ChannelParams {
+    fn default() -> Self {
+        ChannelParams {
+            tx_power_dbm: -10.0,
+            path_loss_at_ref_db: 40.0,
+            ref_distance_m: 1.0,
+            path_loss_exponent: 2.2,
+            static_offset_sd_db: 2.0,
+            measurement_noise_sd_db: 0.7,
+            fading_rho: 0.8,
+            fading_sd_db: 0.5,
+            spike_probability: 0.002,
+            spike_scale_neg_db: 2.5,
+            spike_scale_pos_db: 1.0,
+            drift_step_sd_db: 0.004,
+            drift_bound_db: 3.0,
+            body_attenuation_db: 8.0,
+            body_radius_m: 0.35,
+            motion_jitter: 0.55,
+            burst_rate_per_hour: 0.25,
+            burst_min_duration_s: 2.0,
+            burst_max_duration_s: 7.0,
+            burst_radius_m: 1.8,
+            burst_noise_sd_db: 2.5,
+            quantization_db: 0.5,
+        }
+    }
+}
+
+impl ChannelParams {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.fading_rho) {
+            return Err(format!("fading_rho {} must be in [0,1)", self.fading_rho));
+        }
+        if self.ref_distance_m <= 0.0 {
+            return Err("ref_distance_m must be positive".to_string());
+        }
+        if self.body_radius_m <= 0.0 {
+            return Err("body_radius_m must be positive".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.spike_probability) {
+            return Err("spike_probability must be a probability".to_string());
+        }
+        if self.burst_min_duration_s > self.burst_max_duration_s {
+            return Err("burst duration bounds are inverted".to_string());
+        }
+        if self.quantization_db < 0.0 {
+            return Err("quantization_db must be non-negative".to_string());
+        }
+        for (name, v) in [
+            ("measurement_noise_sd_db", self.measurement_noise_sd_db),
+            ("fading_sd_db", self.fading_sd_db),
+            ("static_offset_sd_db", self.static_offset_sd_db),
+            ("body_attenuation_db", self.body_attenuation_db),
+            ("burst_noise_sd_db", self.burst_noise_sd_db),
+        ] {
+            if v < 0.0 || !v.is_finite() {
+                return Err(format!("{name} must be finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert_eq!(ChannelParams::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_rho_rejected() {
+        let p = ChannelParams { fading_rho: 1.5, ..ChannelParams::default() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn inverted_burst_bounds_rejected() {
+        let p = ChannelParams {
+            burst_min_duration_s: 9.0,
+            burst_max_duration_s: 2.0,
+            ..ChannelParams::default()
+        };
+        assert!(p.validate().unwrap_err().contains("inverted"));
+    }
+
+    #[test]
+    fn negative_noise_rejected() {
+        let p = ChannelParams { measurement_noise_sd_db: -1.0, ..ChannelParams::default() };
+        assert!(p.validate().is_err());
+    }
+}

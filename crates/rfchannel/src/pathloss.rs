@@ -1,0 +1,55 @@
+//! Log-distance path loss.
+
+use crate::params::ChannelParams;
+
+/// Path loss in dB at distance `d` metres under the log-distance model
+/// `PL(d) = PL₀ + 10·n·log₁₀(d / d₀)`.
+///
+/// Distances below the reference distance are clamped to it — the
+/// near-field of a 2.4 GHz antenna is not meaningfully described by the
+/// far-field model, and sensors in the office are never that close.
+pub fn path_loss_db(params: &ChannelParams, d: f64) -> f64 {
+    let d = d.max(params.ref_distance_m);
+    params.path_loss_at_ref_db
+        + 10.0 * params.path_loss_exponent * (d / params.ref_distance_m).log10()
+}
+
+/// Mean (noise-free, unobstructed) RSSI of a link of length `d`.
+pub fn mean_rssi_dbm(params: &ChannelParams, d: f64) -> f64 {
+    params.tx_power_dbm - path_loss_db(params, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_grows_with_distance() {
+        let p = ChannelParams::default();
+        assert!(path_loss_db(&p, 2.0) < path_loss_db(&p, 4.0));
+        // Doubling distance adds 10·n·log10(2) ≈ 6.62 dB at n = 2.2.
+        let delta = path_loss_db(&p, 4.0) - path_loss_db(&p, 2.0);
+        assert!((delta - 10.0 * 2.2 * 2.0f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_distance_loss() {
+        let p = ChannelParams::default();
+        assert_eq!(path_loss_db(&p, 1.0), p.path_loss_at_ref_db);
+    }
+
+    #[test]
+    fn near_field_clamped() {
+        let p = ChannelParams::default();
+        assert_eq!(path_loss_db(&p, 0.1), path_loss_db(&p, 1.0));
+        assert_eq!(path_loss_db(&p, 0.0), path_loss_db(&p, 1.0));
+    }
+
+    #[test]
+    fn rssi_plausible_for_office_scale() {
+        let p = ChannelParams::default();
+        // A 6 m office diagonal link should sit in a plausible dBm range.
+        let rssi = mean_rssi_dbm(&p, 6.7);
+        assert!(rssi < -55.0 && rssi > -80.0, "rssi = {rssi}");
+    }
+}

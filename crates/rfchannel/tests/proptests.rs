@@ -1,0 +1,77 @@
+//! Property-based tests of the channel simulator.
+
+use fadewich_geometry::{Point, Rect};
+use fadewich_rfchannel::{body, Body, ChannelParams, ChannelSim};
+use fadewich_stats::rng::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn attenuation_monotone_in_distance(d1 in 0.0f64..3.0, d2 in 0.0f64..3.0) {
+        let p = ChannelParams::default();
+        let (near, far) = (d1.min(d2), d1.max(d2));
+        prop_assert!(
+            body::mean_attenuation_db(&p, near) + 1e-12 >= body::mean_attenuation_db(&p, far)
+        );
+        prop_assert!(body::mean_attenuation_db(&p, d1) >= 0.0);
+        prop_assert!(body::mean_attenuation_db(&p, d1) <= p.body_attenuation_db);
+    }
+
+    #[test]
+    fn channel_output_is_finite_and_plausible(
+        seed in 0u64..200,
+        n_bodies in 0usize..4,
+        ticks in 1usize..80,
+    ) {
+        let sensors = [
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(6.0, 3.0),
+            Point::new(0.0, 3.0),
+        ];
+        let mut sim = ChannelSim::new(
+            &sensors,
+            Rect::with_size(6.0, 3.0),
+            5.0,
+            ChannelParams::default(),
+            seed,
+        ).unwrap();
+        let mut rng = Rng::seed_from_u64(seed ^ 0xB0D1);
+        for _ in 0..ticks {
+            let bodies: Vec<Body> = (0..n_bodies)
+                .map(|_| Body::new(
+                    Point::new(rng.range_f64(0.0, 6.0), rng.range_f64(0.0, 3.0)),
+                    rng.f64(),
+                ))
+                .collect();
+            for &r in sim.step(&bodies) {
+                prop_assert!(r.is_finite());
+                prop_assert!((-120.0..=-20.0).contains(&r), "rssi = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_streams_are_consistent(seed in 0u64..50) {
+        let sensors: Vec<Point> = (0..5)
+            .map(|i| Point::new(i as f64, (i % 2) as f64 * 3.0))
+            .collect();
+        let sim = ChannelSim::new(
+            &sensors,
+            Rect::with_size(6.0, 3.0),
+            5.0,
+            ChannelParams::default(),
+            seed,
+        ).unwrap();
+        // Every stream index returned by a subset has both endpoints in it.
+        let subset = vec![0usize, 2, 4];
+        for i in sim.stream_indices_for_subset(&subset) {
+            let id = sim.link_ids()[i];
+            prop_assert!(subset.contains(&id.tx) && subset.contains(&id.rx));
+        }
+        // Subset of size k covers k(k-1) streams.
+        prop_assert_eq!(sim.stream_indices_for_subset(&subset).len(), 6);
+    }
+}

@@ -1,0 +1,286 @@
+//! An RTI-based departure detector — the baseline FADEWICH is argued
+//! against.
+//!
+//! The natural way to build deauthentication on top of RTI is: image
+//! the room continuously, call a workstation *occupied* while the
+//! reconstructed attenuation mass near its desk exceeds a threshold,
+//! and flag a departure when an occupied desk goes empty for a few
+//! consecutive ticks. Its Achilles heel is the calibration baseline:
+//! RTI is calibrated once against an empty room, so seated bodies,
+//! environmental drift and multi-person motion all corrupt the image —
+//! precisely the paper's §II-A argument for not using RTI in a busy
+//! office.
+
+use fadewich_geometry::{Point, Rect, Segment};
+
+use crate::imaging::{RtiImage, RtiImager, RtiParams};
+
+/// Parameters of the departure detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtiDetectorParams {
+    /// The underlying imaging parameters.
+    pub imaging: RtiParams,
+    /// Radius of a workstation's occupancy zone (m).
+    pub zone_radius_m: f64,
+    /// Image mass within the zone above which the desk is occupied.
+    pub presence_threshold: f64,
+    /// Consecutive below-threshold ticks before a departure fires.
+    pub absence_ticks: usize,
+    /// Ticks of the (assumed empty) calibration window.
+    pub calibration_ticks: usize,
+}
+
+impl Default for RtiDetectorParams {
+    fn default() -> Self {
+        RtiDetectorParams {
+            imaging: RtiParams::default(),
+            zone_radius_m: 0.9,
+            presence_threshold: 1.0,
+            absence_ticks: 10,
+            calibration_ticks: 300,
+        }
+    }
+}
+
+/// A fired departure: workstation and the tick it was declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtiDeparture {
+    /// The workstation whose zone emptied.
+    pub workstation: usize,
+    /// Tick at which the absence counter expired.
+    pub tick: usize,
+}
+
+/// Sums the positive image mass within `radius` of `center`.
+pub fn zone_mass(image: &RtiImage, bounds: Rect, cols: usize, rows: usize, center: Point, radius: f64) -> f64 {
+    let cw = bounds.width() / cols as f64;
+    let ch = bounds.height() / rows as f64;
+    let mut mass = 0.0;
+    for row in 0..rows {
+        for col in 0..cols {
+            let p = Point::new(
+                bounds.min().x + (col as f64 + 0.5) * cw,
+                bounds.min().y + (row as f64 + 0.5) * ch,
+            );
+            if p.distance_to(center) <= radius {
+                mass += image.get(col, row).max(0.0);
+            }
+        }
+    }
+    mass
+}
+
+/// The online RTI departure detector.
+#[derive(Debug, Clone)]
+pub struct RtiDepartureDetector {
+    params: RtiDetectorParams,
+    bounds: Rect,
+    imager: RtiImager,
+    workstations: Vec<Point>,
+    /// Accumulated calibration rows.
+    calib_sum: Vec<f64>,
+    calib_count: usize,
+    calibrated: bool,
+    occupied: Vec<bool>,
+    absent_run: Vec<usize>,
+}
+
+impl RtiDepartureDetector {
+    /// Builds the detector for a deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RtiImager::new`] errors.
+    pub fn new(
+        links: &[Segment],
+        bounds: Rect,
+        workstations: &[Point],
+        params: RtiDetectorParams,
+    ) -> Result<RtiDepartureDetector, String> {
+        let imager = RtiImager::new(links, bounds, params.imaging)?;
+        Ok(RtiDepartureDetector {
+            params,
+            bounds,
+            imager,
+            workstations: workstations.to_vec(),
+            calib_sum: vec![0.0; links.len()],
+            calib_count: 0,
+            calibrated: false,
+            occupied: vec![false; workstations.len()],
+            absent_run: vec![0; workstations.len()],
+        })
+    }
+
+    /// Whether calibration has completed.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    /// Current occupancy flags.
+    pub fn occupied(&self) -> &[bool] {
+        &self.occupied
+    }
+
+    /// Feeds one tick of per-link RSSI; returns departures fired at
+    /// this tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rssi.len()` differs from the link count.
+    pub fn step(&mut self, tick: usize, rssi: &[f64]) -> Vec<RtiDeparture> {
+        assert_eq!(rssi.len(), self.calib_sum.len(), "rssi length mismatch");
+        if !self.calibrated {
+            for (s, &r) in self.calib_sum.iter_mut().zip(rssi) {
+                *s += r;
+            }
+            self.calib_count += 1;
+            if self.calib_count >= self.params.calibration_ticks {
+                let n = self.calib_count as f64;
+                let baseline: Vec<f64> = self.calib_sum.iter().map(|s| s / n).collect();
+                self.imager.calibrate(&baseline);
+                self.calibrated = true;
+            }
+            return Vec::new();
+        }
+        let image = self.imager.image(rssi);
+        let mut fired = Vec::new();
+        for (ws, &desk) in self.workstations.iter().enumerate() {
+            let mass = zone_mass(
+                &image,
+                self.bounds,
+                self.params.imaging.cols,
+                self.params.imaging.rows,
+                desk,
+                self.params.zone_radius_m,
+            );
+            if mass >= self.params.presence_threshold {
+                self.occupied[ws] = true;
+                self.absent_run[ws] = 0;
+            } else if self.occupied[ws] {
+                self.absent_run[ws] += 1;
+                if self.absent_run[ws] >= self.params.absence_ticks {
+                    self.occupied[ws] = false;
+                    self.absent_run[ws] = 0;
+                    fired.push(RtiDeparture { workstation: ws, tick });
+                }
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deployment() -> (Vec<Segment>, Rect, Vec<Point>) {
+        let bounds = Rect::with_size(6.0, 3.0);
+        let sensors = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(6.0, 3.0),
+            Point::new(3.0, 3.0),
+            Point::new(0.0, 3.0),
+        ];
+        let mut links = Vec::new();
+        for i in 0..sensors.len() {
+            for j in (i + 1)..sensors.len() {
+                links.push(Segment::new(sensors[i], sensors[j]));
+            }
+        }
+        let desks = vec![Point::new(1.5, 1.5), Point::new(4.5, 1.5)];
+        (links, bounds, desks)
+    }
+
+    fn rssi_with_bodies(links: &[Segment], bodies: &[Point]) -> Vec<f64> {
+        links
+            .iter()
+            .map(|l| {
+                let atten: f64 = bodies
+                    .iter()
+                    .map(|&p| {
+                        let d = l.distance_to_point(p);
+                        8.0 * (-(d / 0.35) * (d / 0.35)).exp()
+                    })
+                    .sum();
+                -55.0 - atten
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_a_clean_departure() {
+        let (links, bounds, desks) = deployment();
+        let params = RtiDetectorParams { calibration_ticks: 20, ..Default::default() };
+        let mut det = RtiDepartureDetector::new(&links, bounds, &desks, params).unwrap();
+        let empty = rssi_with_bodies(&links, &[]);
+        let seated = rssi_with_bodies(&links, &[desks[0]]);
+        let mut tick = 0;
+        for _ in 0..20 {
+            assert!(det.step(tick, &empty).is_empty());
+            tick += 1;
+        }
+        assert!(det.is_calibrated());
+        // Person sits at desk 0 for a while.
+        for _ in 0..50 {
+            let fired = det.step(tick, &seated);
+            assert!(fired.is_empty(), "no departure while seated");
+            tick += 1;
+        }
+        assert!(det.occupied()[0]);
+        assert!(!det.occupied()[1]);
+        // Person leaves; the detector fires after the absence run.
+        let mut fired_at = None;
+        for _ in 0..40 {
+            if let Some(f) = det.step(tick, &empty).first() {
+                fired_at = Some((f.workstation, f.tick));
+                break;
+            }
+            tick += 1;
+        }
+        let (ws, t) = fired_at.expect("departure must fire");
+        assert_eq!(ws, 0);
+        assert!(t >= 70 && t <= 90, "fired at tick {t}");
+    }
+
+    #[test]
+    fn two_desks_tracked_independently() {
+        let (links, bounds, desks) = deployment();
+        let params = RtiDetectorParams { calibration_ticks: 10, ..Default::default() };
+        let mut det = RtiDepartureDetector::new(&links, bounds, &desks, params).unwrap();
+        let empty = rssi_with_bodies(&links, &[]);
+        let both = rssi_with_bodies(&links, &[desks[0], desks[1]]);
+        let only_second = rssi_with_bodies(&links, &[desks[1]]);
+        let mut tick = 0;
+        for _ in 0..10 {
+            det.step(tick, &empty);
+            tick += 1;
+        }
+        for _ in 0..30 {
+            det.step(tick, &both);
+            tick += 1;
+        }
+        assert_eq!(det.occupied(), &[true, true]);
+        let mut fired = Vec::new();
+        for _ in 0..40 {
+            fired.extend(det.step(tick, &only_second));
+            tick += 1;
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].workstation, 0);
+        assert!(det.occupied()[1], "the remaining user must stay occupied");
+    }
+
+    #[test]
+    fn no_departures_before_calibration() {
+        let (links, bounds, desks) = deployment();
+        let params = RtiDetectorParams { calibration_ticks: 50, ..Default::default() };
+        let mut det = RtiDepartureDetector::new(&links, bounds, &desks, params).unwrap();
+        let seated = rssi_with_bodies(&links, &[desks[0]]);
+        for tick in 0..49 {
+            assert!(det.step(tick, &seated).is_empty());
+            assert!(!det.is_calibrated());
+        }
+    }
+}

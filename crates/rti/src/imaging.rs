@@ -1,0 +1,311 @@
+//! Radio tomographic imaging (Wilson & Patwari, TMC 2010).
+//!
+//! RTI models the attenuation measured on each link as a line integral
+//! of a spatial loss field: `y = W·x + noise`, where `y` is the per-
+//! link RSSI *deficit* relative to a calibration (empty-room) baseline,
+//! `x` the unknown per-cell attenuation image, and `W` an ellipse
+//! weight model (a cell contributes to a link if it lies within a
+//! tolerance of the link's straight line, weighted by 1/√d). The image
+//! is recovered with Tikhonov-regularized least squares whose
+//! projection matrix is precomputed once.
+//!
+//! The FADEWICH paper argues (§II-A) that this machinery — designed for
+//! intrusion detection in *empty* monitored areas — breaks down in a
+//! busy office because the calibration assumes a static background.
+//! This crate exists to test exactly that claim.
+
+use fadewich_geometry::{Point, Rect, Segment};
+
+use crate::linalg::Matrix;
+
+/// RTI model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtiParams {
+    /// Grid resolution: cells along x.
+    pub cols: usize,
+    /// Grid resolution: cells along y.
+    pub rows: usize,
+    /// Ellipse tolerance: a cell within this distance of a link's
+    /// segment contributes to it (m).
+    pub ellipse_width_m: f64,
+    /// Tikhonov regularization strength.
+    pub regularization: f64,
+}
+
+impl Default for RtiParams {
+    fn default() -> Self {
+        RtiParams { cols: 18, rows: 9, ellipse_width_m: 0.5, regularization: 3.0 }
+    }
+}
+
+/// A reconstructed attenuation image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtiImage {
+    cols: usize,
+    rows: usize,
+    bounds: Rect,
+    values: Vec<f64>,
+}
+
+impl RtiImage {
+    /// Cell value at `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, col: usize, row: usize) -> f64 {
+        assert!(col < self.cols && row < self.rows, "cell out of range");
+        self.values[row * self.cols + col]
+    }
+
+    /// The maximum cell value (0 for an all-negative image).
+    pub fn peak(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The centroid of the image's *strong* mass (cells at ≥ 50 % of
+    /// the peak), or `None` when no cell is positive — RTI's location
+    /// estimate. Thresholding suppresses the reconstruction smear that
+    /// the regularized inverse spreads along every attenuated link.
+    pub fn centroid(&self) -> Option<Point> {
+        let cutoff = 0.5 * self.peak();
+        let mut mass = 0.0;
+        let mut mx = 0.0;
+        let mut my = 0.0;
+        let cw = self.bounds.width() / self.cols as f64;
+        let ch = self.bounds.height() / self.rows as f64;
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let v = self.get(col, row).max(0.0);
+                if v > 0.0 && v >= cutoff {
+                    let cx = self.bounds.min().x + (col as f64 + 0.5) * cw;
+                    let cy = self.bounds.min().y + (row as f64 + 0.5) * ch;
+                    mass += v;
+                    mx += v * cx;
+                    my += v * cy;
+                }
+            }
+        }
+        if mass > 0.0 {
+            Some(Point::new(mx / mass, my / mass))
+        } else {
+            None
+        }
+    }
+}
+
+/// The precomputed RTI reconstruction operator for a fixed deployment.
+#[derive(Debug, Clone)]
+pub struct RtiImager {
+    params: RtiParams,
+    bounds: Rect,
+    /// `projection · y` gives the image (cells × links).
+    projection: Matrix,
+    /// Calibration baseline per link (dBm).
+    baseline: Vec<f64>,
+}
+
+impl RtiImager {
+    /// Builds the imager for the given links and precomputes the
+    /// regularized inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are no links or the normal equations
+    /// are not solvable (regularization ≤ 0).
+    pub fn new(links: &[Segment], bounds: Rect, params: RtiParams) -> Result<RtiImager, String> {
+        if links.is_empty() {
+            return Err("RTI needs at least one link".to_string());
+        }
+        if params.regularization <= 0.0 {
+            return Err("regularization must be positive".to_string());
+        }
+        let n_cells = params.cols * params.rows;
+        let cw = bounds.width() / params.cols as f64;
+        let ch = bounds.height() / params.rows as f64;
+        // Weight matrix W: links × cells.
+        let mut w = Matrix::zeros(links.len(), n_cells);
+        for (li, link) in links.iter().enumerate() {
+            let norm = 1.0 / link.length().max(0.5).sqrt();
+            for row in 0..params.rows {
+                for col in 0..params.cols {
+                    let center = Point::new(
+                        bounds.min().x + (col as f64 + 0.5) * cw,
+                        bounds.min().y + (row as f64 + 0.5) * ch,
+                    );
+                    if link.distance_to_point(center) <= params.ellipse_width_m {
+                        w[(li, row * params.cols + col)] = norm;
+                    }
+                }
+            }
+        }
+        // Projection P = (WᵀW + λI)⁻¹ Wᵀ, column by column.
+        let wt = w.transpose();
+        let mut normal = wt.mul(&w);
+        normal.add_diagonal(params.regularization);
+        // Solve for each link column of Wᵀ.
+        let mut projection = Matrix::zeros(n_cells, links.len());
+        for li in 0..links.len() {
+            let rhs: Vec<f64> = (0..n_cells).map(|c| wt[(c, li)]).collect();
+            let col = normal.solve_spd(&rhs)?;
+            for (c, v) in col.into_iter().enumerate() {
+                projection[(c, li)] = v;
+            }
+        }
+        Ok(RtiImager {
+            params,
+            bounds,
+            projection,
+            baseline: vec![0.0; links.len()],
+        })
+    }
+
+    /// Sets the empty-room calibration baseline (mean RSSI per link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the link count.
+    pub fn calibrate(&mut self, baseline: &[f64]) {
+        assert_eq!(baseline.len(), self.baseline.len(), "baseline length mismatch");
+        self.baseline.copy_from_slice(baseline);
+    }
+
+    /// Reconstructs the attenuation image from one tick's RSSI values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the link count.
+    pub fn image(&self, rssi: &[f64]) -> RtiImage {
+        assert_eq!(rssi.len(), self.baseline.len(), "rssi length mismatch");
+        // Positive deficit = attenuation relative to calibration.
+        let y: Vec<f64> = self
+            .baseline
+            .iter()
+            .zip(rssi)
+            .map(|(b, r)| b - r)
+            .collect();
+        RtiImage {
+            cols: self.params.cols,
+            rows: self.params.rows,
+            bounds: self.bounds,
+            values: self.projection.mul_vec(&y),
+        }
+    }
+
+    /// Number of links this imager expects.
+    pub fn n_links(&self) -> usize {
+        self.baseline.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring of 8 sensors around a 6x3 room with all pairwise links.
+    fn ring_links() -> (Vec<Segment>, Rect) {
+        let bounds = Rect::with_size(6.0, 3.0);
+        let sensors = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(6.0, 1.5),
+            Point::new(6.0, 3.0),
+            Point::new(3.0, 3.0),
+            Point::new(0.0, 3.0),
+            Point::new(0.0, 1.5),
+        ];
+        let mut links = Vec::new();
+        for i in 0..sensors.len() {
+            for j in (i + 1)..sensors.len() {
+                links.push(Segment::new(sensors[i], sensors[j]));
+            }
+        }
+        (links, bounds)
+    }
+
+    /// Synthesizes the RSSI deficit a body at `p` would create.
+    fn synthetic_rssi(links: &[Segment], baseline: &[f64], p: Point) -> Vec<f64> {
+        links
+            .iter()
+            .zip(baseline)
+            .map(|(l, b)| {
+                let d = l.distance_to_point(p);
+                b - 8.0 * (-(d / 0.35) * (d / 0.35)).exp()
+            })
+            .collect()
+    }
+
+    fn imager() -> (RtiImager, Vec<Segment>, Vec<f64>) {
+        let (links, bounds) = ring_links();
+        let baseline: Vec<f64> = (0..links.len()).map(|i| -50.0 - (i % 7) as f64).collect();
+        let mut imager = RtiImager::new(&links, bounds, RtiParams::default()).unwrap();
+        imager.calibrate(&baseline);
+        (imager, links, baseline)
+    }
+
+    #[test]
+    fn empty_room_images_nothing() {
+        let (imager, _, baseline) = imager();
+        let img = imager.image(&baseline);
+        assert!(img.peak() < 1e-9, "peak = {}", img.peak());
+        assert_eq!(img.centroid(), None);
+    }
+
+    #[test]
+    fn single_body_localized() {
+        let (imager, links, baseline) = imager();
+        let truth = Point::new(2.0, 1.5);
+        let img = imager.image(&synthetic_rssi(&links, &baseline, truth));
+        assert!(img.peak() > 0.0);
+        let est = img.centroid().expect("some positive mass");
+        assert!(
+            est.distance_to(truth) < 1.2,
+            "estimate {est} too far from {truth}"
+        );
+    }
+
+    #[test]
+    fn localization_tracks_movement() {
+        let (imager, links, baseline) = imager();
+        let left = imager
+            .image(&synthetic_rssi(&links, &baseline, Point::new(1.0, 1.5)))
+            .centroid()
+            .unwrap();
+        let right = imager
+            .image(&synthetic_rssi(&links, &baseline, Point::new(5.0, 1.5)))
+            .centroid()
+            .unwrap();
+        assert!(right.x - left.x > 2.0, "left {left}, right {right}");
+    }
+
+    #[test]
+    fn stale_calibration_biases_the_image() {
+        // The FADEWICH critique: calibrate with a person in the room,
+        // and their later absence shows up as phantom (negative) mass
+        // while a second person's image is distorted.
+        let (mut imager, links, baseline) = imager();
+        let seated = Point::new(1.0, 1.0);
+        let polluted = synthetic_rssi(&links, &baseline, seated);
+        imager.calibrate(&polluted);
+        // Now the seated person leaves: the image should be ~empty but
+        // is not, because the baseline was wrong.
+        let img = imager.image(&baseline);
+        let spurious = img.centroid();
+        // Any positive mass here is a calibration artifact.
+        assert!(
+            img.values.iter().any(|&v| v < -1e-6),
+            "stale calibration must leave negative residue"
+        );
+        let _ = spurious;
+    }
+
+    #[test]
+    fn build_errors() {
+        let (_, bounds) = ring_links();
+        assert!(RtiImager::new(&[], bounds, RtiParams::default()).is_err());
+        let (links, bounds) = ring_links();
+        let bad = RtiParams { regularization: 0.0, ..RtiParams::default() };
+        assert!(RtiImager::new(&links, bounds, bad).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Radio Tomographic Imaging — the baseline FADEWICH is compared
+//! against.
+//!
+//! The FADEWICH paper's related work (§II-A) discusses RTI-style
+//! device-free localization (Wilson & Patwari) and argues it is
+//! unsuitable for a dynamic, cluttered office: RTI depends on a static
+//! empty-room calibration and degrades when bodies sit in the room,
+//! when the environment drifts, and when several people move. This
+//! crate implements a faithful small RTI stack — ellipse weight model,
+//! Tikhonov-regularized image reconstruction, occupancy tracking, a
+//! departure detector — so the claim can be tested head-to-head (see
+//! `fadewich-experiments::baseline`).
+//!
+//! # Examples
+//!
+//! ```
+//! use fadewich_geometry::{Point, Rect, Segment};
+//! use fadewich_rti::{RtiImager, RtiParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let links = vec![
+//!     Segment::new(Point::new(0.0, 0.0), Point::new(6.0, 3.0)),
+//!     Segment::new(Point::new(0.0, 3.0), Point::new(6.0, 0.0)),
+//!     Segment::new(Point::new(0.0, 1.5), Point::new(6.0, 1.5)),
+//! ];
+//! let mut imager = RtiImager::new(&links, Rect::with_size(6.0, 3.0), RtiParams::default())?;
+//! imager.calibrate(&[-55.0, -55.0, -55.0]);
+//! // A body on all three link crossings attenuates them; the image
+//! // lights up in the middle of the room.
+//! let image = imager.image(&[-61.0, -61.0, -61.0]);
+//! assert!(image.peak() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod imaging;
+pub mod linalg;
+
+pub use detector::{RtiDepartureDetector, RtiDetectorParams, RtiDeparture};
+pub use imaging::{RtiImage, RtiImager, RtiParams};
+pub use linalg::Matrix;

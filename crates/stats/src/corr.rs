@@ -1,0 +1,211 @@
+//! Pearson correlation and correlation matrices.
+//!
+//! Reproduces the appendix analysis of Fig. 11: the correlation between
+//! the per-stream variances across all labeled samples, which shows
+//! that streams anchored at nearby devices react similarly to a moving
+//! body.
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns `0.0` when either series is constant (undefined correlation
+/// is treated as "no linear relationship", matching how the appendix
+/// drops uninformative features).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation requires equal lengths");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = crate::descriptive::mean(xs);
+    let my = crate::descriptive::mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// A symmetric correlation matrix over a set of named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationMatrix {
+    names: Vec<String>,
+    /// Row-major `n × n` values.
+    values: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// Computes pairwise Pearson correlations between `columns`, where
+    /// each column is one variable observed across the same samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len() != columns.len()` or the columns have
+    /// unequal lengths.
+    pub fn compute(names: &[String], columns: &[Vec<f64>]) -> Self {
+        assert_eq!(names.len(), columns.len(), "one name per column");
+        let n = columns.len();
+        if let Some(first) = columns.first() {
+            for c in columns {
+                assert_eq!(c.len(), first.len(), "columns must have equal lengths");
+            }
+        }
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            values[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let r = pearson(&columns[i], &columns[j]);
+                values[i * n + j] = r;
+                values[j * n + i] = r;
+            }
+        }
+        CorrelationMatrix { names: names.to_vec(), values }
+    }
+
+    /// Matrix dimension.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Correlation between columns `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let n = self.len();
+        assert!(i < n && j < n, "index out of range");
+        self.values[i * n + j]
+    }
+
+    /// The `k` most correlated off-diagonal pairs (by absolute value),
+    /// strongest first.
+    pub fn strongest_pairs(&self, k: usize) -> Vec<(usize, usize, f64)> {
+        let n = self.len();
+        let mut pairs: Vec<(usize, usize, f64)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| (i, j, self.get(i, j)))
+            .collect();
+        pairs.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).expect("finite correlations"));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Mean absolute off-diagonal correlation — a scalar summary used
+    /// to check the Fig. 11 block structure in tests.
+    pub fn mean_abs_off_diagonal(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                sum += self.get(i, j).abs();
+                cnt += 1;
+            }
+        }
+        sum / cnt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn independent_noise_near_zero() {
+        let mut rng = Rng::seed_from_u64(10);
+        let xs: Vec<f64> = (0..5000).map(|_| rng.normal()).collect();
+        let ys: Vec<f64> = (0..5000).map(|_| rng.normal()).collect();
+        assert!(pearson(&xs, &ys).abs() < 0.05);
+    }
+
+    #[test]
+    fn matrix_diagonal_and_symmetry() {
+        let names: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let cols = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+            vec![1.0, 1.0, 2.0, 2.0],
+        ];
+        let m = CorrelationMatrix::compute(&names, &cols);
+        assert_eq!(m.len(), 3);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        assert!((m.get(0, 1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strongest_pairs_sorted() {
+        let names: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let cols = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.1, 2.2, 2.9, 4.2],
+            vec![0.0, 5.0, 1.0, 2.0],
+        ];
+        let m = CorrelationMatrix::compute(&names, &cols);
+        let top = m.strongest_pairs(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].2.abs() >= top[1].2.abs());
+        assert_eq!((top[0].0, top[0].1), (0, 1));
+    }
+
+    #[test]
+    fn mean_abs_off_diagonal_bounds() {
+        let names: Vec<String> = ["p", "q"].iter().map(|s| s.to_string()).collect();
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.1]];
+        let m = CorrelationMatrix::compute(&names, &cols);
+        let v = m.mean_abs_off_diagonal();
+        assert!((0.0..=1.0).contains(&v));
+        assert!(v > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn unequal_lengths_panic() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Fixed-bin histograms and entropy.
+//!
+//! RE's per-stream *entropy* feature is the Shannon entropy of the
+//! frequency-distribution histogram of a window (paper §IV-D1), and the
+//! RMI feature-importance analysis (paper appendix) quantizes features
+//! into 256 linearly spaced bins. Both share [`Histogram`].
+
+/// A histogram with `bins` equal-width bins spanning `[lo, hi]`.
+///
+/// Values below `lo` land in the first bin, values above `hi` in the
+/// last one — streams occasionally spike outside the calibration range
+/// and must not be dropped silently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[lo, hi]` with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or the interval is empty/not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid interval [{lo}, {hi}]");
+        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Builds a histogram spanning exactly the data range of `xs`.
+    ///
+    /// Degenerate (constant) data yields a single fully-loaded bin, so
+    /// the entropy of a constant window is 0 — exactly what the RE
+    /// feature needs.
+    pub fn of_data(xs: &[f64], bins: usize) -> Self {
+        let lo = crate::descriptive::min(xs).unwrap_or(0.0);
+        let hi = crate::descriptive::max(xs).unwrap_or(1.0);
+        let (lo, hi) = if lo < hi { (lo, hi) } else { (lo - 0.5, lo + 0.5) };
+        let mut h = Histogram::new(lo, hi, bins);
+        for &x in xs {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Adds one observation. NaNs are ignored.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        let idx = self.bin_index(x);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Index of the bin a value falls into (clamped to the edges).
+    pub fn bin_index(&self, x: f64) -> usize {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Normalized bin probabilities (empty histogram yields all-zero).
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Shannon entropy of the bin distribution, in bits.
+    ///
+    /// `H = −Σ p_i log2 p_i`; empty bins contribute nothing. For an
+    /// empty histogram this is `0.0`.
+    pub fn entropy_bits(&self) -> f64 {
+        entropy_bits(&self.probabilities())
+    }
+}
+
+/// Shannon entropy in bits of a probability vector.
+///
+/// Probabilities that are zero (or negative, which would be a caller
+/// bug but must not produce NaN) are skipped. The vector does not have
+/// to be normalized perfectly; it is treated as-is.
+pub fn entropy_bits(ps: &[f64]) -> f64 {
+    -ps.iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.log2())
+        .sum::<f64>()
+}
+
+/// Shannon entropy in bits of the *empirical* distribution of discrete
+/// symbols (e.g. quantized feature values).
+pub fn entropy_of_counts(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    entropy_bits(
+        &counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_assignment() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.5);
+        h.add(9.5);
+        h.add(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-100.0);
+        h.add(100.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn upper_edge_goes_to_last_bin() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.bin_index(1.0), 3);
+    }
+
+    #[test]
+    fn nan_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn uniform_entropy_is_log2_bins() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 2.5, 3.5] {
+            h.add(x);
+        }
+        assert!((h.entropy_bits() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_data_entropy_zero() {
+        let h = Histogram::of_data(&[5.0; 30], 16);
+        assert_eq!(h.entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn of_data_spans_range() {
+        let h = Histogram::of_data(&[2.0, 8.0], 3);
+        assert_eq!(h.bin_index(2.0), 0);
+        assert_eq!(h.bin_index(8.0), 2);
+    }
+
+    #[test]
+    fn empty_histogram_entropy_zero() {
+        let h = Histogram::new(0.0, 1.0, 8);
+        assert_eq!(h.entropy_bits(), 0.0);
+        assert_eq!(h.probabilities(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn bin_center_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_counts_basic() {
+        assert_eq!(entropy_of_counts(&[0, 0]), 0.0);
+        assert!((entropy_of_counts(&[1, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy_of_counts(&[3, 1]) - 0.8112781244591328).abs() < 1e-12);
+    }
+}

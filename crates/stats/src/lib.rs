@@ -1,0 +1,57 @@
+//! Statistics substrate for the FADEWICH reproduction.
+//!
+//! FADEWICH's Movement Detection module is, at heart, statistics over
+//! RSSI streams: rolling standard deviations, a kernel-density-
+//! estimated anomaly threshold, and window features (variance, entropy,
+//! autocorrelation). Its appendix analysis adds Pearson correlation and
+//! relative mutual information. This crate implements all of it —
+//! deterministically, with its own seedable PRNG so that every
+//! experiment in the repository is exactly reproducible.
+//!
+//! # Modules
+//!
+//! - [`rng`] — seedable xoshiro256++ generator and distribution samplers
+//! - [`descriptive`] — batch mean/variance/percentiles
+//! - [`rolling`] — O(1) rolling-window statistics and history buffers
+//! - [`histogram`] — fixed-bin histograms and Shannon entropy
+//! - [`kde`] — Gaussian kernel density estimation with exact CDF/quantile
+//! - [`autocorr`] — autocorrelation features
+//! - [`corr`] — Pearson correlation matrices (paper Fig. 11)
+//! - [`rmi`] — relative mutual information ranking (paper Table V, Fig. 12)
+//! - [`metrics`] — detection counts, F-measure, confusion matrices
+//!
+//! # Examples
+//!
+//! Computing the MD anomaly threshold from a profile of summed
+//! standard deviations:
+//!
+//! ```
+//! use fadewich_stats::{kde::GaussianKde, rng::Rng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng::seed_from_u64(1);
+//! let profile: Vec<f64> = (0..500).map(|_| rng.normal_with(40.0, 6.0)).collect();
+//! let kde = GaussianKde::fit(&profile)?;
+//! let threshold = kde.quantile(0.99); // the (100 - alpha)-th percentile
+//! assert!(threshold > 50.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autocorr;
+pub mod corr;
+pub mod descriptive;
+pub mod histogram;
+pub mod kde;
+pub mod metrics;
+pub mod rmi;
+pub mod rolling;
+pub mod rng;
+
+pub use kde::GaussianKde;
+pub use metrics::{ConfusionMatrix, DetectionCounts};
+pub use rng::Rng;
+pub use rolling::{HistoryBuffer, RollingStd};

@@ -1,0 +1,245 @@
+//! Classification and detection metrics.
+//!
+//! MD's evaluation (Table III, Fig. 7) counts true positives, false
+//! positives and false negatives of *event detection*; RE's evaluation
+//! (Fig. 8) is multi-class accuracy. Both live here.
+
+/// Binary detection counts, in the paper's §V-A sense: a TP is a
+/// variation window overlapping a true window, an FP is a variation
+/// window overlapping none, an FN is a true window missed entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DetectionCounts {
+    /// Variation windows overlapping a true window.
+    pub true_positives: usize,
+    /// Variation windows overlapping no true window.
+    pub false_positives: usize,
+    /// True windows overlapped by no variation window.
+    pub false_negatives: usize,
+}
+
+impl DetectionCounts {
+    /// Creates counts from raw numbers.
+    pub fn new(tp: usize, fp: usize, fn_: usize) -> Self {
+        DetectionCounts { true_positives: tp, false_positives: fp, false_negatives: fn_ }
+    }
+
+    /// Precision `TP / (TP + FP)`; `0.0` when undefined.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`; `0.0` when undefined.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F-measure `2·P·R / (P + R)`; `0.0` when undefined.
+    pub fn f_measure(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// A multi-class confusion matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    /// `counts[actual * n + predicted]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        ConfusionMatrix { n_classes, counts: vec![0; n_classes * n_classes] }
+    }
+
+    /// Records one prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.n_classes && predicted < self.n_classes, "label out of range");
+        self.counts[actual * self.n_classes + predicted] += 1;
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Count of samples with the given actual/predicted pair.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.n_classes + predicted]
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; `0.0` when no samples are recorded.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n_classes).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (diagonal over row sum); `None` for classes
+    /// never observed.
+    pub fn per_class_recall(&self) -> Vec<Option<f64>> {
+        (0..self.n_classes)
+            .map(|i| {
+                let row: u64 = (0..self.n_classes).map(|j| self.count(i, j)).sum();
+                if row == 0 {
+                    None
+                } else {
+                    Some(self.count(i, i) as f64 / row as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Merges another matrix into this one (e.g. across CV folds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n_classes, other.n_classes, "class count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Mean and two-sided 95% confidence half-width of a set of repeated
+/// measurements (Fig. 8's error bars over the 10 CV re-splits).
+///
+/// Uses the normal approximation `1.96 · s / √n`; with n = 10 repeats
+/// this slightly understates the t-interval, as most plotting scripts
+/// (including, in all likelihood, the paper's) do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval.
+    pub half_width: f64,
+}
+
+impl MeanCi {
+    /// Computes the interval; an empty slice yields zeros, a singleton
+    /// a zero half-width.
+    pub fn of(xs: &[f64]) -> MeanCi {
+        if xs.is_empty() {
+            return MeanCi { mean: 0.0, half_width: 0.0 };
+        }
+        let mean = crate::descriptive::mean(xs);
+        if xs.len() < 2 {
+            return MeanCi { mean, half_width: 0.0 };
+        }
+        let s = crate::descriptive::sample_variance(xs).sqrt();
+        MeanCi { mean, half_width: 1.96 * s / (xs.len() as f64).sqrt() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_metrics_known() {
+        let c = DetectionCounts::new(8, 2, 2);
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 0.8).abs() < 1e-12);
+        assert!((c.f_measure() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_degenerate() {
+        let c = DetectionCounts::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f_measure(), 0.0);
+    }
+
+    #[test]
+    fn f_measure_harmonic() {
+        // P = 1.0, R = 0.5 -> F = 2/3.
+        let c = DetectionCounts::new(5, 0, 5);
+        assert!((c.f_measure() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_accuracy() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(1, 1);
+        m.record(2, 0);
+        m.record(2, 2);
+        assert_eq!(m.total(), 4);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(m.count(2, 0), 1);
+    }
+
+    #[test]
+    fn per_class_recall_handles_missing_class() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(0, 1);
+        let recalls = m.per_class_recall();
+        assert_eq!(recalls[0], Some(0.5));
+        assert_eq!(recalls[1], None);
+        assert_eq!(recalls[2], None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record(0, 0);
+        let mut b = ConfusionMatrix::new(2);
+        b.record(1, 0);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.count(1, 0), 1);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_zero() {
+        assert_eq!(ConfusionMatrix::new(2).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn mean_ci_shrinks_with_n() {
+        let few = MeanCi::of(&[0.8, 0.9, 1.0, 0.7]);
+        let many: Vec<f64> = (0..100).map(|i| 0.85 + 0.1 * ((i % 4) as f64 - 1.5) / 1.5).collect();
+        let wide = MeanCi::of(&many);
+        assert!(wide.half_width < few.half_width);
+        assert_eq!(MeanCi::of(&[]).mean, 0.0);
+        assert_eq!(MeanCi::of(&[0.5]).half_width, 0.0);
+    }
+}

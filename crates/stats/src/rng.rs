@@ -1,0 +1,375 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component of the FADEWICH reproduction (channel
+//! fading, user behaviour, input activity, cross-validation splits)
+//! draws from [`Rng`], a seedable xoshiro256++ generator. Using our own
+//! generator instead of the `rand` crate keeps experiment outputs
+//! bit-identical across platforms and toolchain upgrades, which matters
+//! because EXPERIMENTS.md records concrete numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use fadewich_stats::rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let x = rng.f64();
+//! assert!((0.0..1.0).contains(&x));
+//! // Same seed, same stream.
+//! assert_eq!(Rng::seed_from_u64(42).next_u64(), Rng::seed_from_u64(42).next_u64());
+//! ```
+
+use std::f64::consts::PI;
+
+/// SplitMix64 step, used to expand a 64-bit seed into xoshiro state.
+///
+/// This is the initialization procedure recommended by the xoshiro
+/// authors: it guarantees that even low-entropy seeds (0, 1, 2, ...)
+/// produce well-distributed initial states.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ pseudo-random number generator.
+///
+/// Not cryptographically secure — it drives simulations, not key
+/// material. Cloning an `Rng` clones its stream position, which is
+/// occasionally useful in tests; use [`Rng::fork`] to derive an
+/// independent sub-stream instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    gauss_cache: Option<u64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s, gauss_cache: None }
+    }
+
+    /// Derives an independent generator for a named sub-component.
+    ///
+    /// Forking by `label` (rather than drawing a fresh seed from
+    /// `self`) keeps a component's stream stable even when unrelated
+    /// components are added or draw in a different order.
+    pub fn fork(&self, label: u64) -> Self {
+        // Mix the current state with the label through SplitMix64 so
+        // forks with different labels are decorrelated.
+        let mut sm = self
+            .s
+            .iter()
+            .fold(label ^ 0xA076_1D64_78BD_642F, |acc, &w| {
+                acc.rotate_left(17) ^ w.wrapping_mul(0xE703_7ED1_A0B4_28DB)
+            });
+        Rng::seed_from_u64(splitmix64(&mut sm))
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        // Take the top 53 bits; division by 2^53 is exact.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi})");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Returns a uniform `usize` in `[0, n)` using rejection sampling
+    /// (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        let n = n as u64;
+        // Lemire-style rejection: zone is the largest multiple of n.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples a standard normal via the Box–Muller transform.
+    ///
+    /// The second value of each Box–Muller pair is cached, so
+    /// consecutive calls alternate between one and zero raw draws.
+    pub fn normal(&mut self) -> f64 {
+        if let Some(bits) = self.gauss_cache.take() {
+            return f64::from_bits(bits);
+        }
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (2.0 * PI * u2).sin_cos();
+        self.gauss_cache = Some((r * s).to_bits());
+        r * c
+    }
+
+    /// Samples `N(mu, sigma²)`.
+    pub fn normal_with(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.normal()
+    }
+
+    /// Samples an exponential with rate `lambda` (mean `1/lambda`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0`.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "exponential rate must be positive");
+        let u = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / lambda
+    }
+
+    /// Samples a zero-mean Laplace distribution with scale `b`.
+    pub fn laplace(&mut self, b: f64) -> f64 {
+        let u = self.f64() - 0.5;
+        -b * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Samples a skewed Laplace: negative deviations have scale
+    /// `b_neg`, positive ones `b_pos`.
+    ///
+    /// Patwari & Wilson model fade-level RSSI deviations as
+    /// skew-Laplace; deep fades (negative side) have heavier tails.
+    pub fn skew_laplace(&mut self, b_neg: f64, b_pos: f64) -> f64 {
+        // Probability mass on the positive side proportional to b_pos.
+        let p_pos = b_pos / (b_pos + b_neg);
+        let mag = self.exponential(1.0);
+        if self.bernoulli(p_pos) {
+            mag * b_pos
+        } else {
+            -mag * b_neg
+        }
+    }
+
+    /// Samples a Poisson count with mean `lambda` (Knuth's method; fine
+    /// for the small rates used here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda.is_finite() && lambda >= 0.0, "invalid poisson rate");
+        if lambda == 0.0 {
+            return 0;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Numerical guard for absurd rates.
+            if k > 10_000_000 {
+                return k;
+            }
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len())])
+        }
+    }
+}
+
+impl Default for Rng {
+    fn default() -> Self {
+        Rng::seed_from_u64(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            Rng::seed_from_u64(1).next_u64(),
+            Rng::seed_from_u64(2).next_u64()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.below(5)] += 1;
+        }
+        for &c in &counts {
+            // Expect 10_000 each; allow 5% deviation.
+            assert!((9_500..=10_500).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(5);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = rng.normal();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn skew_laplace_is_skewed() {
+        let mut rng = Rng::seed_from_u64(13);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.skew_laplace(3.0, 1.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        // Heavier negative tail pulls the mean below zero.
+        assert!(mean < -0.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut rng = Rng::seed_from_u64(17);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.poisson(3.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn fork_streams_are_decorrelated() {
+        let root = Rng::seed_from_u64(21);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let equal = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn fork_is_stable() {
+        let root = Rng::seed_from_u64(21);
+        assert_eq!(root.fork(9).next_u64(), root.fork(9).next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(23);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = Rng::seed_from_u64(1);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Rng::seed_from_u64(0).below(0);
+    }
+}

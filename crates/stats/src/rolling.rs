@@ -1,0 +1,337 @@
+//! Streaming (rolling-window) statistics.
+//!
+//! MD computes, at every tick, the standard deviation of the last `d`
+//! seconds of every RSSI stream. With 72 streams at 5 Hz that is far
+//! too hot a loop for recomputing from scratch, so [`RollingStd`]
+//! maintains running first and second moments over a ring buffer in
+//! O(1) per sample.
+//!
+//! Floating-point drift is kept in check by recomputing the running
+//! sums from the buffer every `RECOMPUTE_EVERY` updates; a property
+//! test asserts agreement with the batch formula.
+
+/// How many pushes between full recomputations of the running sums.
+const RECOMPUTE_EVERY: u64 = 4096;
+
+/// Fixed-capacity rolling window maintaining mean/variance/std in O(1).
+///
+/// Until the window has been filled, statistics are computed over the
+/// samples seen so far ([`RollingStd::is_full`] tells which regime
+/// applies).
+///
+/// # Examples
+///
+/// ```
+/// use fadewich_stats::rolling::RollingStd;
+///
+/// let mut w = RollingStd::new(3);
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// // Window now holds [2, 3, 4]; population std of that is sqrt(2/3).
+/// assert!((w.std_dev() - (2.0f64 / 3.0).sqrt()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollingStd {
+    buf: Vec<f64>,
+    capacity: usize,
+    head: usize,
+    len: usize,
+    /// Offset subtracted from samples before accumulating, refreshed at
+    /// every recompute. Keeping the accumulated values near zero avoids
+    /// the catastrophic cancellation of `E[x²] − E[x]²` for streams with
+    /// a large DC component (RSSI sits around −50 dBm; synthetic tests
+    /// go much further).
+    offset: f64,
+    sum: f64,
+    sum_sq: f64,
+    pushes: u64,
+}
+
+impl RollingStd {
+    /// Creates a window of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "rolling window capacity must be positive");
+        RollingStd {
+            buf: vec![0.0; capacity],
+            capacity,
+            head: 0,
+            len: 0,
+            offset: 0.0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            pushes: 0,
+        }
+    }
+
+    /// Pushes a sample, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.len == 0 {
+            self.offset = x;
+        }
+        if self.len == self.capacity {
+            let old = self.buf[self.head] - self.offset;
+            self.sum -= old;
+            self.sum_sq -= old * old;
+        } else {
+            self.len += 1;
+        }
+        self.buf[self.head] = x;
+        self.head = (self.head + 1) % self.capacity;
+        let d = x - self.offset;
+        self.sum += d;
+        self.sum_sq += d * d;
+        self.pushes += 1;
+        if self.pushes % RECOMPUTE_EVERY == 0 {
+            self.recompute();
+        }
+    }
+
+    fn recompute(&mut self) {
+        // Re-center on the current mean, then rebuild the sums exactly.
+        self.offset += if self.len > 0 { self.sum / self.len as f64 } else { 0.0 };
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+        for i in 0..self.len {
+            let d = self.buf[(self.head + self.capacity - 1 - i) % self.capacity] - self.offset;
+            self.sum += d;
+            self.sum_sq += d * d;
+        }
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the window has reached its capacity.
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Mean of the samples in the window (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.offset + self.sum / self.len as f64
+        }
+    }
+
+    /// Population variance of the window (`0.0` when empty).
+    ///
+    /// Clamped at zero: catastrophic cancellation can otherwise yield
+    /// tiny negative values for near-constant inputs.
+    pub fn variance(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let n = self.len as f64;
+        let m = self.sum / n;
+        (self.sum_sq / n - m * m).max(0.0)
+    }
+
+    /// Population standard deviation of the window.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Copies the window contents, oldest first.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(self.head + self.capacity - self.len + i) % self.capacity]);
+        }
+        out
+    }
+
+    /// Clears the window without deallocating.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        self.offset = 0.0;
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+    }
+}
+
+/// A ring buffer that keeps the most recent `capacity` samples and can
+/// hand out arbitrary recent slices by age.
+///
+/// RE needs, when a variation window is confirmed, the RSSI samples of
+/// `[t1, t1 + t∆]` — i.e. a slice *into the past* of each stream. The
+/// online pipeline keeps one `HistoryBuffer` per stream instead of the
+/// whole trace.
+#[derive(Debug, Clone)]
+pub struct HistoryBuffer {
+    buf: Vec<f64>,
+    capacity: usize,
+    head: usize,
+    len: usize,
+    /// Total number of samples ever pushed; the index of the next push.
+    total: u64,
+}
+
+impl HistoryBuffer {
+    /// Creates a buffer remembering the last `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history capacity must be positive");
+        HistoryBuffer { buf: vec![0.0; capacity], capacity, head: 0, len: 0, total: 0 }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, x: f64) {
+        self.buf[self.head] = x;
+        self.head = (self.head + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+        self.total += 1;
+    }
+
+    /// Total number of samples ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns samples with absolute indices `[start, end)` (indices
+    /// count from the first push ever), or `None` when the range has
+    /// already been evicted or not yet been produced.
+    pub fn range(&self, start: u64, end: u64) -> Option<Vec<f64>> {
+        if start >= end || end > self.total {
+            return None;
+        }
+        let oldest = self.total - self.len as u64;
+        if start < oldest {
+            return None;
+        }
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for abs in start..end {
+            let age = (self.total - 1 - abs) as usize; // 0 = newest
+            let idx = (self.head + self.capacity - 1 - age) % self.capacity;
+            out.push(self.buf[idx]);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive;
+    use crate::rng::Rng;
+
+    #[test]
+    fn matches_batch_std() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut w = RollingStd::new(20);
+        let mut all = Vec::new();
+        for _ in 0..500 {
+            let x = rng.normal_with(-48.0, 2.5);
+            w.push(x);
+            all.push(x);
+            let tail: Vec<f64> = all.iter().rev().take(20).rev().copied().collect();
+            assert!(
+                (w.std_dev() - descriptive::std_dev(&tail)).abs() < 1e-9,
+                "rolling and batch std diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_window() {
+        let mut w = RollingStd::new(10);
+        w.push(1.0);
+        w.push(3.0);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_full());
+        assert_eq!(w.mean(), 2.0);
+        assert!((w.std_dev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_stream_zero_std() {
+        let mut w = RollingStd::new(8);
+        for _ in 0..100 {
+            w.push(-55.5);
+        }
+        assert_eq!(w.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn to_vec_preserves_order() {
+        let mut w = RollingStd::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.push(x);
+        }
+        assert_eq!(w.to_vec(), vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = RollingStd::new(4);
+        w.push(9.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+    }
+
+    #[test]
+    fn long_run_numerical_stability() {
+        // Large offset + long run exercises the periodic recompute.
+        let mut rng = Rng::seed_from_u64(2);
+        let mut w = RollingStd::new(64);
+        for _ in 0..20_000 {
+            w.push(1.0e6 + rng.normal());
+        }
+        let batch = descriptive::std_dev(&w.to_vec());
+        assert!((w.std_dev() - batch).abs() < 1e-6, "{} vs {batch}", w.std_dev());
+    }
+
+    #[test]
+    fn history_range_basic() {
+        let mut h = HistoryBuffer::new(5);
+        for i in 0..10 {
+            h.push(i as f64);
+        }
+        // Retains samples 5..10.
+        assert_eq!(h.range(5, 8), Some(vec![5.0, 6.0, 7.0]));
+        assert_eq!(h.range(9, 10), Some(vec![9.0]));
+        // Evicted.
+        assert_eq!(h.range(4, 6), None);
+        // Not yet produced.
+        assert_eq!(h.range(9, 11), None);
+        // Degenerate.
+        assert_eq!(h.range(7, 7), None);
+    }
+
+    #[test]
+    fn history_exact_capacity() {
+        let mut h = HistoryBuffer::new(3);
+        h.push(1.0);
+        h.push(2.0);
+        h.push(3.0);
+        assert_eq!(h.range(0, 3), Some(vec![1.0, 2.0, 3.0]));
+    }
+}

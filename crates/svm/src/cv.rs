@@ -1,0 +1,159 @@
+//! Cross-validation splitters.
+//!
+//! The paper evaluates RE with 5-fold cross-validation repeated over
+//! 10 random splits (Fig. 8's error bars). [`stratified_k_fold`] keeps
+//! the per-class proportions of the full set in every fold, which
+//! matters because the event mix is skewed (67 `w0` vs ~20 each of
+//! `w1..w3`).
+
+use fadewich_stats::rng::Rng;
+
+/// One train/test split: indices into the original dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of held-out test samples.
+    pub test: Vec<usize>,
+}
+
+/// Plain k-fold splitting after a seeded shuffle.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `n < k`.
+pub fn k_fold(n: usize, k: usize, rng: &mut Rng) -> Vec<Fold> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(n >= k, "need at least one sample per fold");
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    chunks_to_folds(&order, k, n)
+}
+
+/// Stratified k-fold: each class's samples are spread round-robin over
+/// the folds, so every fold approximates the global label mix.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `labels.len() < k`.
+pub fn stratified_k_fold(labels: &[usize], k: usize, rng: &mut Rng) -> Vec<Fold> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    let n = labels.len();
+    assert!(n >= k, "need at least one sample per fold");
+    // Group indices by class, shuffle within class, then deal them out.
+    let mut classes: Vec<usize> = labels.to_vec();
+    classes.sort_unstable();
+    classes.dedup();
+    let mut fold_of = vec![0usize; n];
+    let mut next_fold = 0usize;
+    for class in classes {
+        let mut members: Vec<usize> =
+            (0..n).filter(|&i| labels[i] == class).collect();
+        rng.shuffle(&mut members);
+        for idx in members {
+            fold_of[idx] = next_fold;
+            next_fold = (next_fold + 1) % k;
+        }
+    }
+    (0..k)
+        .map(|f| Fold {
+            train: (0..n).filter(|&i| fold_of[i] != f).collect(),
+            test: (0..n).filter(|&i| fold_of[i] == f).collect(),
+        })
+        .collect()
+}
+
+fn chunks_to_folds(order: &[usize], k: usize, n: usize) -> Vec<Fold> {
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let test: Vec<usize> = order[start..start + size].to_vec();
+        let train: Vec<usize> = order[..start]
+            .iter()
+            .chain(&order[start + size..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, test });
+        start += size;
+    }
+    folds
+}
+
+/// Selects the rows/labels of a dataset at `indices`.
+pub fn subset<T: Clone>(data: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| data[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_fold_partitions() {
+        let mut rng = Rng::seed_from_u64(2);
+        let folds = k_fold(23, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 23);
+            // No overlap.
+            assert!(f.train.iter().all(|i| !f.test.contains(i)));
+            // Sizes within one of each other.
+            assert!(f.test.len() == 4 || f.test.len() == 5);
+        }
+    }
+
+    #[test]
+    fn stratified_preserves_mix() {
+        // 40 of class 0, 10 of class 1.
+        let labels: Vec<usize> = (0..50).map(|i| usize::from(i >= 40)).collect();
+        let mut rng = Rng::seed_from_u64(3);
+        let folds = stratified_k_fold(&labels, 5, &mut rng);
+        for f in &folds {
+            let c1 = f.test.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(c1, 2, "each fold should hold 2 of the 10 minority samples");
+            assert_eq!(f.test.len(), 10);
+        }
+    }
+
+    #[test]
+    fn stratified_partitions_everything() {
+        let labels: Vec<usize> = (0..31).map(|i| i % 3).collect();
+        let mut rng = Rng::seed_from_u64(4);
+        let folds = stratified_k_fold(&labels, 4, &mut rng);
+        let mut all: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..31).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seeds_different_splits() {
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let a = stratified_k_fold(&labels, 5, &mut Rng::seed_from_u64(1));
+        let b = stratified_k_fold(&labels, 5, &mut Rng::seed_from_u64(2));
+        assert_ne!(a[0].test, b[0].test);
+    }
+
+    #[test]
+    fn subset_selects() {
+        let data = vec!["a", "b", "c", "d"];
+        assert_eq!(subset(&data, &[3, 0]), vec!["d", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_one_panics() {
+        k_fold(10, 1, &mut Rng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one sample per fold")]
+    fn too_few_samples_panics() {
+        stratified_k_fold(&[0, 1], 3, &mut Rng::seed_from_u64(0));
+    }
+}

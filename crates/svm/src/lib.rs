@@ -1,0 +1,42 @@
+//! Support vector machine substrate for the FADEWICH reproduction.
+//!
+//! The paper's Radio Environment module classifies variation-window
+//! samples with an SVM (§IV-D3). This crate implements that classifier
+//! from scratch: a soft-margin binary SVM trained with simplified SMO,
+//! lifted to multi-class by one-vs-one voting, with per-feature
+//! standardization and stratified k-fold cross-validation utilities.
+//! A nearest-centroid baseline supports the classifier ablation bench.
+//!
+//! # Examples
+//!
+//! ```
+//! use fadewich_svm::{Kernel, MultiClassSvm, SmoParams};
+//! use fadewich_stats::rng::Rng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let xs = vec![
+//!     vec![0.0, 0.0], vec![0.2, 0.1],  // class 0
+//!     vec![4.0, 4.0], vec![4.1, 3.9],  // class 1
+//! ];
+//! let ys = vec![0, 0, 1, 1];
+//! let mut rng = Rng::seed_from_u64(1);
+//! let svm = MultiClassSvm::train(&xs, &ys, Kernel::Linear, SmoParams::default(), &mut rng)?;
+//! assert_eq!(svm.predict(&[3.8, 4.2]), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod kernel;
+pub mod multiclass;
+pub mod scaler;
+pub mod smo;
+
+pub use cv::{k_fold, stratified_k_fold, Fold};
+pub use kernel::Kernel;
+pub use multiclass::{MultiClassSvm, NearestCentroid};
+pub use scaler::StandardScaler;
+pub use smo::{BinarySvm, SmoParams, TrainError};

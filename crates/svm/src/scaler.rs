@@ -1,0 +1,158 @@
+//! Feature standardization.
+//!
+//! RE's feature vector mixes variances (dB², order 1–100), entropies
+//! (bits, order 1) and autocorrelations (order 0.1–1); without
+//! per-feature standardization the RBF kernel would be dominated by the
+//! variance features. [`StandardScaler`] is the usual
+//! `(x − µ) / σ` transform fitted on the training fold only.
+
+/// Per-feature standardization to zero mean and unit variance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+/// Error fitting a scaler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitScalerError {
+    /// No rows were provided.
+    Empty,
+    /// Rows have inconsistent dimensions.
+    RaggedRows,
+}
+
+impl std::fmt::Display for FitScalerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitScalerError::Empty => write!(f, "cannot fit a scaler to an empty dataset"),
+            FitScalerError::RaggedRows => write!(f, "feature rows have inconsistent dimensions"),
+        }
+    }
+}
+
+impl std::error::Error for FitScalerError {}
+
+impl StandardScaler {
+    /// Fits per-feature mean and standard deviation.
+    ///
+    /// Features with zero variance get σ = 1 so they transform to a
+    /// constant 0 instead of NaN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitScalerError::Empty`] when `xs` has no rows and
+    /// [`FitScalerError::RaggedRows`] when rows disagree in length.
+    pub fn fit(xs: &[Vec<f64>]) -> Result<StandardScaler, FitScalerError> {
+        let first = xs.first().ok_or(FitScalerError::Empty)?;
+        let d = first.len();
+        if xs.iter().any(|row| row.len() != d) {
+            return Err(FitScalerError::RaggedRows);
+        }
+        let n = xs.len() as f64;
+        let mut means = vec![0.0; d];
+        for row in xs {
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; d];
+        for row in xs {
+            for ((s, &x), &m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Number of features the scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transforms one row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row dimension differs from the fitted dimension.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Returns a transformed copy of a dataset.
+    pub fn transform(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter()
+            .map(|row| {
+                let mut r = row.clone();
+                self.transform_row(&mut r);
+                r
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_columns() {
+        let xs = vec![vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 500.0]];
+        let scaler = StandardScaler::fit(&xs).unwrap();
+        let t = scaler.transform(&xs);
+        for j in 0..2 {
+            let col: Vec<f64> = t.iter().map(|r| r[j]).collect();
+            assert!(fadewich_stats::descriptive::mean(&col).abs() < 1e-12);
+            assert!((fadewich_stats::descriptive::std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let xs = vec![vec![7.0, 1.0], vec![7.0, 2.0]];
+        let scaler = StandardScaler::fit(&xs).unwrap();
+        let t = scaler.transform(&xs);
+        assert_eq!(t[0][0], 0.0);
+        assert_eq!(t[1][0], 0.0);
+        assert!(t[0][1].is_finite());
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(StandardScaler::fit(&[]).unwrap_err(), FitScalerError::Empty);
+        assert_eq!(
+            StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err(),
+            FitScalerError::RaggedRows
+        );
+        assert!(!format!("{}", FitScalerError::Empty).is_empty());
+    }
+
+    #[test]
+    fn transform_unseen_row() {
+        let xs = vec![vec![0.0], vec![2.0]];
+        let scaler = StandardScaler::fit(&xs).unwrap();
+        let mut row = vec![4.0];
+        scaler.transform_row(&mut row);
+        // mean 1, std 1 -> (4-1)/1 = 3.
+        assert!((row[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_panics() {
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]).unwrap();
+        scaler.transform_row(&mut [1.0]);
+    }
+}

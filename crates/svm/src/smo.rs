@@ -1,0 +1,358 @@
+//! Binary soft-margin SVM trained with simplified SMO.
+//!
+//! The solver follows Platt's Sequential Minimal Optimization in the
+//! simplified form (random second multiplier, closed-form pairwise
+//! update, separate b₁/b₂ bias rules). The RE training sets are tiny by
+//! SVM standards — on the order of a hundred samples with a couple of
+//! hundred features — so the full Gram matrix is precomputed.
+
+use crate::kernel::Kernel;
+use fadewich_stats::rng::Rng;
+
+/// Hyper-parameters of the SMO solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoParams {
+    /// Soft-margin penalty `C` (> 0).
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Number of consecutive no-progress sweeps before stopping.
+    pub max_passes: usize,
+    /// Hard cap on total sweeps (guards pathological inputs).
+    pub max_sweeps: usize,
+}
+
+impl Default for SmoParams {
+    fn default() -> Self {
+        SmoParams { c: 1.0, tol: 1e-3, max_passes: 5, max_sweeps: 200 }
+    }
+}
+
+/// A trained binary SVM: `f(x) = Σ αᵢ yᵢ K(xᵢ, x) + b`, predicting the
+/// sign of `f`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinarySvm {
+    kernel: Kernel,
+    /// Support vectors (rows with α > 0).
+    support_vectors: Vec<Vec<f64>>,
+    /// `αᵢ yᵢ` for each support vector.
+    coefficients: Vec<f64>,
+    bias: f64,
+}
+
+/// Error training an SVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainError {
+    /// The training set is empty.
+    Empty,
+    /// Labels are not all in `{−1, +1}` (binary) / fewer than two
+    /// classes are present (multi-class).
+    BadLabels,
+    /// Feature rows have inconsistent dimensions.
+    RaggedRows,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Empty => write!(f, "training set is empty"),
+            TrainError::BadLabels => write!(f, "training labels do not form a valid problem"),
+            TrainError::RaggedRows => write!(f, "feature rows have inconsistent dimensions"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl BinarySvm {
+    /// Trains on rows `xs` with labels `ys ∈ {−1.0, +1.0}`.
+    ///
+    /// Deterministic given the `rng` seed (SMO picks its second
+    /// multiplier at random).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Empty`] for an empty set, [`TrainError::BadLabels`]
+    /// if any label is not ±1 or only one class is present,
+    /// [`TrainError::RaggedRows`] on inconsistent dimensions.
+    pub fn train(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        kernel: Kernel,
+        params: SmoParams,
+        rng: &mut Rng,
+    ) -> Result<BinarySvm, TrainError> {
+        let n = xs.len();
+        if n == 0 {
+            return Err(TrainError::Empty);
+        }
+        if ys.len() != n || ys.iter().any(|&y| y != 1.0 && y != -1.0) {
+            return Err(TrainError::BadLabels);
+        }
+        if !(ys.iter().any(|&y| y > 0.0) && ys.iter().any(|&y| y < 0.0)) {
+            return Err(TrainError::BadLabels);
+        }
+        let d = xs[0].len();
+        if xs.iter().any(|r| r.len() != d) {
+            return Err(TrainError::RaggedRows);
+        }
+
+        // Precomputed Gram matrix; n is small (~130) in all our uses.
+        let mut gram = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let k = kernel.eval(&xs[i], &xs[j]);
+                gram[i * n + j] = k;
+                gram[j * n + i] = k;
+            }
+        }
+
+        let mut alphas = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let f = |alphas: &[f64], b: f64, i: usize| -> f64 {
+            let mut s = b;
+            for (j, &a) in alphas.iter().enumerate() {
+                if a > 0.0 {
+                    s += a * ys[j] * gram[j * n + i];
+                }
+            }
+            s
+        };
+
+        let mut passes = 0usize;
+        let mut sweeps = 0usize;
+        while passes < params.max_passes && sweeps < params.max_sweeps {
+            sweeps += 1;
+            let mut num_changed = 0usize;
+            for i in 0..n {
+                let e_i = f(&alphas, b, i) - ys[i];
+                let r = ys[i] * e_i;
+                if (r < -params.tol && alphas[i] < params.c)
+                    || (r > params.tol && alphas[i] > 0.0)
+                {
+                    // Random j != i.
+                    let mut j = rng.below(n - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    let e_j = f(&alphas, b, j) - ys[j];
+                    let (a_i_old, a_j_old) = (alphas[i], alphas[j]);
+                    let (lo, hi) = if ys[i] != ys[j] {
+                        ((a_j_old - a_i_old).max(0.0), (params.c + a_j_old - a_i_old).min(params.c))
+                    } else {
+                        ((a_i_old + a_j_old - params.c).max(0.0), (a_i_old + a_j_old).min(params.c))
+                    };
+                    if lo >= hi {
+                        continue;
+                    }
+                    let eta = 2.0 * gram[i * n + j] - gram[i * n + i] - gram[j * n + j];
+                    if eta >= 0.0 {
+                        continue;
+                    }
+                    let mut a_j = a_j_old - ys[j] * (e_i - e_j) / eta;
+                    a_j = a_j.clamp(lo, hi);
+                    if (a_j - a_j_old).abs() < 1e-5 {
+                        continue;
+                    }
+                    let a_i = a_i_old + ys[i] * ys[j] * (a_j_old - a_j);
+                    let b1 = b
+                        - e_i
+                        - ys[i] * (a_i - a_i_old) * gram[i * n + i]
+                        - ys[j] * (a_j - a_j_old) * gram[i * n + j];
+                    let b2 = b
+                        - e_j
+                        - ys[i] * (a_i - a_i_old) * gram[i * n + j]
+                        - ys[j] * (a_j - a_j_old) * gram[j * n + j];
+                    b = if a_i > 0.0 && a_i < params.c {
+                        b1
+                    } else if a_j > 0.0 && a_j < params.c {
+                        b2
+                    } else {
+                        0.5 * (b1 + b2)
+                    };
+                    alphas[i] = a_i;
+                    alphas[j] = a_j;
+                    num_changed += 1;
+                }
+            }
+            if num_changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        // Keep only support vectors.
+        let mut support_vectors = Vec::new();
+        let mut coefficients = Vec::new();
+        for i in 0..n {
+            if alphas[i] > 1e-9 {
+                support_vectors.push(xs[i].clone());
+                coefficients.push(alphas[i] * ys[i]);
+            }
+        }
+        Ok(BinarySvm { kernel, support_vectors, coefficients, bias: b })
+    }
+
+    /// The decision value `f(x)`; positive means class `+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        self.coefficients
+            .iter()
+            .zip(&self.support_vectors)
+            .map(|(&c, sv)| c * self.kernel.eval(sv, x))
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// Predicted label in `{−1.0, +1.0}` (zero decision counts as +1).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.decision(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Number of support vectors retained.
+    pub fn n_support_vectors(&self) -> usize {
+        self.support_vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        kernel: Kernel,
+    ) -> BinarySvm {
+        let mut rng = Rng::seed_from_u64(7);
+        BinarySvm::train(xs, ys, kernel, SmoParams::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn linearly_separable() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.2],
+            vec![0.1, 0.6],
+            vec![3.0, 3.0],
+            vec![2.8, 3.3],
+            vec![3.5, 2.7],
+        ];
+        let ys = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
+        let svm = train(&xs, &ys, Kernel::Linear);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(svm.predict(x), y);
+        }
+        assert_eq!(svm.predict(&[-1.0, -1.0]), -1.0);
+        assert_eq!(svm.predict(&[5.0, 5.0]), 1.0);
+        assert!(svm.n_support_vectors() >= 2);
+    }
+
+    #[test]
+    fn xor_needs_rbf() {
+        // XOR is not linearly separable; RBF solves it.
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ];
+        let ys = vec![-1.0, -1.0, 1.0, 1.0];
+        let svm = train(&xs, &ys, Kernel::Rbf { gamma: 2.0 });
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(svm.predict(x), y, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn noisy_overlap_trains_without_divergence() {
+        let mut rng = Rng::seed_from_u64(31);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..60 {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            xs.push(vec![y * 0.5 + rng.normal(), rng.normal()]);
+            ys.push(y);
+        }
+        let mut train_rng = Rng::seed_from_u64(8);
+        let svm = BinarySvm::train(
+            &xs,
+            &ys,
+            Kernel::Rbf { gamma: 0.5 },
+            SmoParams { c: 1.0, ..SmoParams::default() },
+            &mut train_rng,
+        )
+        .unwrap();
+        // Better than chance on the training data despite the overlap.
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| svm.predict(x) == y)
+            .count();
+        assert!(correct > 35, "correct = {correct}/60");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![-1.0, -1.0, 1.0, 1.0];
+        let mut r1 = Rng::seed_from_u64(5);
+        let mut r2 = Rng::seed_from_u64(5);
+        let a = BinarySvm::train(&xs, &ys, Kernel::Linear, SmoParams::default(), &mut r1).unwrap();
+        let b = BinarySvm::train(&xs, &ys, Kernel::Linear, SmoParams::default(), &mut r2).unwrap();
+        assert_eq!(a.decision(&[1.5]), b.decision(&[1.5]));
+    }
+
+    #[test]
+    fn train_errors() {
+        let mut rng = Rng::seed_from_u64(1);
+        assert_eq!(
+            BinarySvm::train(&[], &[], Kernel::Linear, SmoParams::default(), &mut rng).unwrap_err(),
+            TrainError::Empty
+        );
+        assert_eq!(
+            BinarySvm::train(
+                &[vec![1.0], vec![2.0]],
+                &[1.0, 2.0],
+                Kernel::Linear,
+                SmoParams::default(),
+                &mut rng
+            )
+            .unwrap_err(),
+            TrainError::BadLabels
+        );
+        // Single class.
+        assert_eq!(
+            BinarySvm::train(
+                &[vec![1.0], vec![2.0]],
+                &[1.0, 1.0],
+                Kernel::Linear,
+                SmoParams::default(),
+                &mut rng
+            )
+            .unwrap_err(),
+            TrainError::BadLabels
+        );
+        // Ragged rows.
+        assert_eq!(
+            BinarySvm::train(
+                &[vec![1.0], vec![2.0, 3.0]],
+                &[1.0, -1.0],
+                Kernel::Linear,
+                SmoParams::default(),
+                &mut rng
+            )
+            .unwrap_err(),
+            TrainError::RaggedRows
+        );
+        assert!(!format!("{}", TrainError::Empty).is_empty());
+    }
+}

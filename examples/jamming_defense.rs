@@ -1,0 +1,33 @@
+//! Wireless-attack demo (paper §V-C): a saturation jammer tries to
+//! mask a victim's departure; the channel-integrity guard catches it.
+//!
+//! ```text
+//! cargo run --release --example jamming_defense
+//! ```
+
+use fadewich::experiments::attacks::jamming_study;
+use fadewich::experiments::Experiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("simulating a 1-day office and three attack conditions...");
+    let experiment = Experiment::small(0x7A3)?;
+    let (results, table) = jamming_study(&experiment)?;
+    println!("{table}");
+
+    let saturate = results.last().expect("saturation condition");
+    if !saturate.departure_detected {
+        println!(
+            "the saturation jammer DID mask the departure from Movement Detection —"
+        );
+    }
+    if saturate.guard_alarmed {
+        println!(
+            "but the integrity guard flagged the silenced streams {:.1} s into the attack,",
+            saturate.alarm_latency_s.unwrap_or(f64::NAN),
+        );
+        println!(
+            "confirming the paper's argument: an attacker cannot suppress the channel quietly."
+        );
+    }
+    Ok(())
+}

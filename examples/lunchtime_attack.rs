@@ -1,0 +1,157 @@
+//! The lunchtime attack, defeated: runs the *online* FADEWICH
+//! controller against a scripted attack scenario.
+//!
+//! A victim works at w1 and steps out for lunch. A co-worker adversary
+//! walks up to the victim's workstation. With the controller running,
+//! the session is deauthenticated before the adversary arrives; with
+//! only the inactivity timeout, the adversary has minutes of access.
+//!
+//! ```text
+//! cargo run --release --example lunchtime_attack
+//! ```
+
+use fadewich::core::config::FadewichParams;
+use fadewich::core::controller::Controller;
+use fadewich::core::features::{extract_features, TrainingSample};
+use fadewich::core::{Kma, RadioEnvironment};
+use fadewich::officesim::{InputTrace, OfficeLayout, PersonTimeline};
+use fadewich::rfchannel::{Body, ChannelParams, ChannelSim};
+use fadewich::stats::Rng;
+use fadewich::officesim::DayTrace;
+
+const TICK_HZ: f64 = 5.0;
+/// The victim stands up at this moment (seconds from scenario start).
+const DEPARTURE_S: f64 = 600.0;
+/// The adversary reaches the workstation this long after the victim
+/// passes the door (a co-worker already inside the office).
+const ADVERSARY_DELAY_S: f64 = 1.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layout = OfficeLayout::paper_office();
+    let mut rng = Rng::seed_from_u64(2024);
+
+    // --- Train the Radio Environment on a few scripted departures. ---
+    let re = train_re(&layout, &mut rng)?;
+
+    // --- The attack day: victim at w1 present from t=30, leaves at
+    //     DEPARTURE_S and does not return. Two colleagues keep working.
+    let day_len = 1200.0;
+    let victim =
+        PersonTimeline::build(&layout, 0, &[(30.0, DEPARTURE_S)], day_len, &mut rng);
+    let colleague1 =
+        PersonTimeline::build(&layout, 1, &[(35.0 + 60.0, 1100.0)], day_len, &mut rng);
+    let colleague2 =
+        PersonTimeline::build(&layout, 2, &[(35.0 + 160.0, 1100.0)], day_len, &mut rng);
+    let people = [victim, colleague1, colleague2];
+    let exit_time = people[0].movements().last().expect("victim leaves").t_door;
+
+    // Keyboard/mouse inputs for the day (the victim's last input is at
+    // the departure, the worst case).
+    let inputs = InputTrace::generate(&people, 0.78, &mut rng);
+    let kma = Kma::new(&inputs);
+
+    // --- Run the online controller over the simulated channel. ---
+    let mut sim = ChannelSim::new(
+        layout.sensors(),
+        layout.room(),
+        TICK_HZ,
+        ChannelParams::default(),
+        99,
+    )?;
+    let params = FadewichParams::default();
+    let mut controller = Controller::new(sim.n_links(), TICK_HZ, params, &re, kma)?;
+    let n_ticks = (day_len * TICK_HZ) as usize;
+    for tick in 0..n_ticks {
+        let t = tick as f64 / TICK_HZ;
+        let bodies: Vec<Body> = people.iter().filter_map(|p| p.body_at(t)).collect();
+        let row = sim.step(&bodies).to_vec();
+        controller.step(tick, &row);
+    }
+
+    // --- Verdict. ---
+    let deauth = controller
+        .actions()
+        .iter()
+        .find(|a| a.kind.is_deauth() && a.kind.workstation() == 0);
+    let adversary_arrival = exit_time + ADVERSARY_DELAY_S;
+    println!("victim stands up at        {DEPARTURE_S:7.1} s");
+    println!("victim through the door at {exit_time:7.1} s");
+    println!("adversary at workstation   {adversary_arrival:7.1} s");
+    match deauth {
+        Some(a) => {
+            println!(
+                "FADEWICH deauthenticated w1 at {:7.1} s ({:?})",
+                a.t, a.kind
+            );
+            if a.t <= adversary_arrival {
+                println!("\nlunchtime attack DEFEATED: the session was locked first.");
+            } else {
+                println!(
+                    "\nlunchtime attack SUCCEEDED with a {:.1} s window.",
+                    a.t - adversary_arrival
+                );
+            }
+        }
+        None => println!("w1 was never deauthenticated — attack succeeds trivially."),
+    }
+    let timeout_lock = DEPARTURE_S + params.timeout_s;
+    println!(
+        "for comparison, the {}-second inactivity timeout would have locked at {timeout_lock:.0} s — {:.0} s of exposure.",
+        params.timeout_s,
+        timeout_lock - adversary_arrival,
+    );
+    Ok(())
+}
+
+/// Trains RE on scripted single-user departures/arrivals (a miniature
+/// version of the paper's installation-time training phase).
+fn train_re(
+    layout: &OfficeLayout,
+    rng: &mut Rng,
+) -> Result<RadioEnvironment, Box<dyn std::error::Error>> {
+    let params = FadewichParams::default();
+    let mut sim = ChannelSim::new(
+        layout.sensors(),
+        layout.room(),
+        TICK_HZ,
+        ChannelParams::default(),
+        7,
+    )?;
+    let mut samples: Vec<TrainingSample> = Vec::new();
+    // For each workstation, record several leave and enter movements.
+    for ws in 0..layout.n_workstations() {
+        for rep in 0..6 {
+            let leave_t = 60.0;
+            let person = PersonTimeline::build(
+                layout,
+                ws,
+                &[(20.0, leave_t)],
+                200.0,
+                &mut rng.fork((ws * 31 + rep) as u64),
+            );
+            let movements = person.movements();
+            let n_ticks = (120.0 * TICK_HZ) as usize;
+            let mut day = DayTrace::with_capacity(sim.n_links(), n_ticks);
+            for tick in 0..n_ticks {
+                let t = tick as f64 / TICK_HZ;
+                let bodies: Vec<Body> = person.body_at(t).into_iter().collect();
+                day.push_row(sim.step(&bodies));
+            }
+            let streams: Vec<usize> = (0..sim.n_links()).collect();
+            // The leave window starts at the stand-up.
+            let leave_tick = (movements[1].t_start * TICK_HZ) as usize;
+            samples.push(TrainingSample {
+                features: extract_features(&day, &streams, leave_tick, TICK_HZ, &params),
+                label: ws + 1,
+            });
+            // The enter window starts at the door.
+            let enter_tick = (movements[0].t_start * TICK_HZ) as usize;
+            samples.push(TrainingSample {
+                features: extract_features(&day, &streams, enter_tick, TICK_HZ, &params),
+                label: 0,
+            });
+        }
+    }
+    println!("trained RE on {} scripted samples", samples.len());
+    Ok(RadioEnvironment::train(&samples, None, rng)?)
+}

@@ -1,0 +1,88 @@
+//! Quickstart: simulate a small office, train FADEWICH, and watch it
+//! deauthenticate a departing user.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fadewich::core::config::FadewichParams;
+use fadewich::core::md::run_md_over_day;
+use fadewich::core::security::{deauth_outcomes, evaluate_detection};
+use fadewich::experiments::pipeline::{build_samples, cross_validated_predictions, run_md_stage};
+use fadewich::officesim::{Scenario, ScenarioConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a 2-hour office day: 3 users, 9 wall sensors, ground
+    //    truth included ("the supervisor's notebook").
+    let scenario = Scenario::generate(ScenarioConfig::small())?;
+    println!(
+        "scenario: {} ground-truth events (labels w0..w3 = {:?})",
+        scenario.events().len(),
+        scenario.events().label_counts(3),
+    );
+
+    // 2. Simulate the radio channel: every directed sensor pair is an
+    //    RSSI stream the bodies of the users perturb.
+    let trace = scenario.simulate()?;
+    println!(
+        "trace: {} streams x {} ticks at {} Hz",
+        trace.n_streams(),
+        trace.days()[0].n_ticks(),
+        trace.tick_hz(),
+    );
+
+    // 3. Movement Detection: rolling std-dev profile + KDE threshold.
+    let params = FadewichParams::default();
+    let streams: Vec<usize> = (0..trace.n_streams()).collect();
+    let md = run_md_over_day(&trace.days()[0], &streams, trace.tick_hz(), params)?;
+    let significant = md.significant_windows(params.t_delta_ticks(trace.tick_hz()));
+    println!(
+        "MD: {} variation windows, {} significant (>= t_delta = {} s)",
+        md.windows.len(),
+        significant.len(),
+        params.t_delta_s,
+    );
+
+    // 4. Full pipeline: match windows to ground truth, build samples,
+    //    cross-validate the Radio Environment classifier.
+    let stage = run_md_stage(&trace, &streams, scenario.events(), &params)?;
+    println!(
+        "detection: {} TP / {} FP / {} FN",
+        stage.detection.counts.true_positives,
+        stage.detection.counts.false_positives,
+        stage.detection.counts.false_negatives,
+    );
+    let samples = build_samples(&trace, &stage, scenario.events(), &streams, &params);
+    let (predictions, accuracy) = cross_validated_predictions(&samples, 3, None, 7);
+    println!("RE classifier: {:.0}% cross-validated accuracy", accuracy * 100.0);
+
+    // 5. Security outcome per departure (the paper's Fig. 5 decision
+    //    tree): how long was each workstation exposed?
+    let detection = evaluate_detection(
+        &stage.significant,
+        scenario.events(),
+        trace.tick_hz(),
+        &params,
+    );
+    let outcomes =
+        deauth_outcomes(&detection, &predictions, scenario.events(), &params, trace.tick_hz());
+    println!("\ndepartures:");
+    for o in &outcomes {
+        let event = &scenario.events().events()[o.event_index];
+        println!(
+            "  day {} t={:7.1}s  label w{}  {:?}  deauthenticated after {:.1} s",
+            event.day,
+            event.t_start,
+            event.label(),
+            o.case,
+            o.elapsed,
+        );
+    }
+    let within_6 = outcomes.iter().filter(|o| o.elapsed <= 6.0).count();
+    println!(
+        "\n{}/{} departures deauthenticated within 6 seconds",
+        within_6,
+        outcomes.len(),
+    );
+    Ok(())
+}

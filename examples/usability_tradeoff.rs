@@ -1,0 +1,46 @@
+//! The security/usability trade-off: vulnerable time vs user cost.
+//!
+//! Reproduces the paper's Fig. 13 analysis on a 1-day scenario:
+//! a plain inactivity timeout costs users nothing but leaves
+//! workstations exposed for minutes; FADEWICH inverts the trade —
+//! seconds of user cost buy an orders-of-magnitude drop in exposure.
+//!
+//! ```text
+//! cargo run --release --example usability_tradeoff
+//! ```
+
+use fadewich::experiments::figures::{fig13, fig13_table};
+use fadewich::experiments::tables::table4;
+use fadewich::experiments::Experiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("simulating a 1-day office...");
+    let experiment = Experiment::small(0xCAFE)?;
+    let runs = experiment.sweep(&[3, 5, 7, 9], 3)?;
+
+    // Table IV: error counts over repeated keyboard/mouse draws.
+    let (cost_rows, table) = table4(&experiment, &runs, 25);
+    println!("{table}");
+
+    // Fig. 13: exposure vs cost, timeout baseline included.
+    let rows = fig13(&experiment, &runs, &cost_rows);
+    println!("{}", fig13_table(&rows));
+
+    let timeout = rows.first().expect("baseline row");
+    let best = rows.last().expect("9-sensor row");
+    if best.vulnerable_minutes > 0.0 {
+        println!(
+            "9 sensors cut vulnerable time {:.0}x (from {:.1} to {:.1} minutes) at a cost of {:.1} user-minutes.",
+            timeout.vulnerable_minutes / best.vulnerable_minutes,
+            timeout.vulnerable_minutes,
+            best.vulnerable_minutes,
+            best.cost_minutes,
+        );
+    } else {
+        println!(
+            "9 sensors eliminated all {:.1} minutes of exposure at a cost of {:.1} user-minutes.",
+            timeout.vulnerable_minutes, best.cost_minutes,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Facade crate for the FADEWICH reproduction.
+//!
+//! Re-exports every workspace crate under one roof so downstream users
+//! can depend on a single crate:
+//!
+//! ```
+//! use fadewich::stats::Rng;
+//! let mut rng = Rng::seed_from_u64(1);
+//! let _ = rng.f64();
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use fadewich_core as core;
+pub use fadewich_experiments as experiments;
+pub use fadewich_geometry as geometry;
+pub use fadewich_officesim as officesim;
+pub use fadewich_rfchannel as rfchannel;
+pub use fadewich_stats as stats;
+pub use fadewich_svm as svm;

@@ -1,0 +1,166 @@
+//! Failure injection: the pipeline must degrade gracefully — never
+//! panic, and fall back to the timeout (case C) rather than miss
+//! silently — when sensors die, saturate, or the environment goes
+//! haywire.
+
+use fadewich::core::config::FadewichParams;
+use fadewich::core::md::run_md_over_day;
+use fadewich::core::security::evaluate_detection;
+use fadewich::officesim::{DayTrace, Scenario, ScenarioConfig};
+use fadewich::rfchannel::ChannelParams;
+use fadewich::stats::Rng;
+
+/// Copies a recorded day, replacing the given streams with a dead
+/// constant (sensor unplugged: its radio reports a floor value).
+fn kill_streams(day: &DayTrace, dead: &[usize]) -> DayTrace {
+    let mut out = DayTrace::with_capacity(day.n_streams(), day.n_ticks());
+    let mut row = vec![0.0f64; day.n_streams()];
+    for t in 0..day.n_ticks() {
+        for s in 0..day.n_streams() {
+            row[s] = if dead.contains(&s) { -95.0 } else { day.sample(t, s) };
+        }
+        out.push_row(&row);
+    }
+    out
+}
+
+/// Copies a recorded day with all values clipped (saturated frontend).
+fn saturate(day: &DayTrace, floor: f64, ceil: f64) -> DayTrace {
+    let mut out = DayTrace::with_capacity(day.n_streams(), day.n_ticks());
+    let mut row = vec![0.0f64; day.n_streams()];
+    for t in 0..day.n_ticks() {
+        for s in 0..day.n_streams() {
+            row[s] = day.sample(t, s).clamp(floor, ceil);
+        }
+        out.push_row(&row);
+    }
+    out
+}
+
+fn small_trace(seed: u64) -> (Scenario, fadewich::officesim::Trace) {
+    let scenario =
+        Scenario::generate(ScenarioConfig { seed, ..ScenarioConfig::small() }).expect("scenario");
+    let trace = scenario.simulate().expect("simulate");
+    (scenario, trace)
+}
+
+#[test]
+fn dead_streams_do_not_panic_and_detection_survives() {
+    let (scenario, trace) = small_trace(0xDEAD);
+    let params = FadewichParams::default();
+    // Kill every stream touching sensor d1 (index 0).
+    let dead: Vec<usize> = trace
+        .link_ids()
+        .iter()
+        .enumerate()
+        .filter(|(_, id)| id.tx == 0 || id.rx == 0)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(dead.len(), 16);
+    let crippled = kill_streams(&trace.days()[0], &dead);
+    let streams: Vec<usize> = (0..trace.n_streams()).collect();
+    let run = run_md_over_day(&crippled, &streams, trace.tick_hz(), params).expect("md");
+    let significant = vec![run.significant_windows(params.t_delta_ticks(trace.tick_hz()))];
+    let detection = evaluate_detection(&significant, scenario.events(), trace.tick_hz(), &params);
+    // 8 healthy sensors remain: detection should still catch most
+    // events (the paper's Table III says 8 sensors catch them all).
+    assert!(
+        detection.counts.recall() > 0.6,
+        "recall with a dead sensor = {} ({:?})",
+        detection.counts.recall(),
+        detection.counts
+    );
+}
+
+#[test]
+fn all_streams_dead_yields_no_windows_everything_times_out() {
+    let (scenario, trace) = small_trace(0xDEAD);
+    let params = FadewichParams::default();
+    let all: Vec<usize> = (0..trace.n_streams()).collect();
+    let flat = kill_streams(&trace.days()[0], &all);
+    let run = run_md_over_day(&flat, &all, trace.tick_hz(), params).expect("md");
+    let significant = vec![run.significant_windows(params.t_delta_ticks(trace.tick_hz()))];
+    assert!(significant[0].is_empty(), "dead channel produced windows");
+    let detection = evaluate_detection(&significant, scenario.events(), trace.tick_hz(), &params);
+    // Every event becomes a false negative -> case C (timeout) covers
+    // them; nothing panics, nothing is silently "detected".
+    assert_eq!(detection.counts.true_positives, 0);
+    assert_eq!(detection.counts.false_negatives, scenario.events().len());
+}
+
+#[test]
+fn saturated_frontend_does_not_panic() {
+    let (_, trace) = small_trace(0x5A7);
+    let params = FadewichParams::default();
+    let clipped = saturate(&trace.days()[0], -60.0, -50.0);
+    let streams: Vec<usize> = (0..trace.n_streams()).collect();
+    // Just must not panic; detection quality is allowed to collapse.
+    let run = run_md_over_day(&clipped, &streams, trace.tick_hz(), params).expect("md");
+    assert_eq!(run.st_series.len(), clipped.n_ticks());
+}
+
+#[test]
+fn disturbance_storm_costs_precision_not_crashes() {
+    // Crank interference far beyond calibration: bursts every few
+    // minutes, wide and loud.
+    let mut config = ScenarioConfig { seed: 0x570F, ..ScenarioConfig::small() };
+    config.channel = ChannelParams {
+        burst_rate_per_hour: 30.0,
+        burst_radius_m: 5.0,
+        burst_noise_sd_db: 4.0,
+        ..ChannelParams::default()
+    };
+    let scenario = Scenario::generate(config).expect("scenario");
+    let trace = scenario.simulate().expect("simulate");
+    let params = FadewichParams::default();
+    let streams: Vec<usize> = (0..trace.n_streams()).collect();
+    let run = run_md_over_day(&trace.days()[0], &streams, trace.tick_hz(), params).expect("md");
+    let significant = vec![run.significant_windows(params.t_delta_ticks(trace.tick_hz()))];
+    let detection = evaluate_detection(&significant, scenario.events(), trace.tick_hz(), &params);
+    // Precision degrades under the storm, but the events themselves
+    // are still mostly seen (bursts ADD variance, they don't mask it).
+    assert!(
+        detection.counts.recall() > 0.5,
+        "storm recall = {}",
+        detection.counts.recall()
+    );
+    assert!(
+        detection.counts.false_positives > 0,
+        "a storm this violent should cost some precision"
+    );
+}
+
+#[test]
+fn profile_survives_pathological_first_minute() {
+    // A trace whose first minute (the profile-init phase) is pure
+    // silence followed by sudden normal noise: MD must adapt via the
+    // batch updates instead of flagging the whole day anomalous.
+    let mut rng = Rng::seed_from_u64(9);
+    let n_streams = 8;
+    let n_ticks = 6000;
+    let mut day = DayTrace::with_capacity(n_streams, n_ticks);
+    let mut row = vec![0.0f64; n_streams];
+    for t in 0..n_ticks {
+        let sd = if t < 400 { 0.01 } else { 1.0 };
+        for r in row.iter_mut() {
+            *r = -50.0 + rng.normal() * sd;
+        }
+        day.push_row(&row);
+    }
+    let params = FadewichParams::default();
+    let streams: Vec<usize> = (0..n_streams).collect();
+    let run = run_md_over_day(&day, &streams, 5.0, params).expect("md");
+    // The last quarter of the day must be mostly normal again.
+    let tail = &run.st_series[4500..];
+    let ub_tail = &run.threshold_series[4500..];
+    let anomalous = tail
+        .iter()
+        .zip(ub_tail)
+        .filter(|(s, ub)| s >= ub)
+        .count();
+    assert!(
+        (anomalous as f64) < 0.2 * tail.len() as f64,
+        "profile never adapted: {anomalous}/{} anomalous at day end",
+        tail.len()
+    );
+}

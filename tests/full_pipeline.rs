@@ -1,0 +1,134 @@
+//! End-to-end integration tests: scenario → channel → MD → RE →
+//! security analysis, across all workspace crates.
+
+use std::sync::OnceLock;
+
+use fadewich::core::config::FadewichParams;
+use fadewich::core::security::{attack_opportunities, INSIDER_DELAY_S};
+use fadewich::core::{auto_label, AutoLabelParams, DeauthCase, Kma};
+use fadewich::experiments::figures::{outcomes_for_run, timeout_outcomes};
+use fadewich::experiments::{Experiment, SensorRun};
+
+fn fixture() -> &'static (Experiment, SensorRun) {
+    static FIX: OnceLock<(Experiment, SensorRun)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let exp = Experiment::small(0xD0E5).expect("experiment");
+        let run = exp.run_for_sensors(9, 3).expect("pipeline");
+        (exp, run)
+    })
+}
+
+#[test]
+fn nine_sensors_detect_most_events() {
+    let (_, run) = fixture();
+    let recall = run.stage.detection.counts.recall();
+    assert!(recall >= 0.8, "recall = {recall} ({:?})", run.stage.detection.counts);
+}
+
+#[test]
+fn false_positives_are_rare() {
+    let (exp, run) = fixture();
+    let fp = run.stage.detection.counts.false_positives;
+    // The paper sees ~7 FPs in 40 hours; a 2-hour scenario should see
+    // at most a handful.
+    assert!(fp <= 4, "false positives = {fp}");
+    let _ = exp;
+}
+
+#[test]
+fn departures_deauthenticate_before_the_timeout() {
+    let (exp, run) = fixture();
+    let outcomes = outcomes_for_run(exp, run);
+    assert!(!outcomes.is_empty());
+    let fast = outcomes
+        .iter()
+        .filter(|o| o.case != DeauthCase::MissedByMd)
+        .count();
+    assert!(
+        fast * 10 >= outcomes.len() * 8,
+        "at least 80% of departures should beat the timeout: {fast}/{}",
+        outcomes.len()
+    );
+    for o in &outcomes {
+        if o.case == DeauthCase::CorrectClassification {
+            assert!(
+                o.elapsed < 6.5,
+                "case-A deauth should be fast, got {} s",
+                o.elapsed
+            );
+        }
+    }
+}
+
+#[test]
+fn fadewich_strictly_beats_the_timeout_baseline() {
+    let (exp, run) = fixture();
+    let events = exp.scenario.events();
+    let ours = attack_opportunities(&outcomes_for_run(exp, run), events, INSIDER_DELAY_S);
+    let baseline = attack_opportunities(&timeout_outcomes(exp), events, INSIDER_DELAY_S);
+    assert_eq!(baseline.coworker_pct(), 100.0);
+    assert!(ours.coworker_opportunities < baseline.coworker_opportunities);
+    assert!(ours.insider_opportunities < baseline.insider_opportunities);
+}
+
+#[test]
+fn no_user_present_is_never_case_a_deauthenticated_while_typing() {
+    // Rule 1's S(t_delta) guard: by construction the decision-tree
+    // model only deauthenticates the workstation whose user's last
+    // input was at the departure. Verify the matched windows start
+    // near a real departure for case-A outcomes.
+    let (exp, run) = fixture();
+    let hz = exp.trace.tick_hz();
+    for o in outcomes_for_run(exp, run) {
+        if o.case == DeauthCase::CorrectClassification {
+            let event = &exp.scenario.events().events()[o.event_index];
+            let (day, w) = run.stage.detection.matched[o.event_index].expect("case A is matched");
+            assert_eq!(day, event.day);
+            let dt = (w.start_s(hz) - event.t_start).abs();
+            assert!(dt < 4.0, "window starts {dt} s from the departure");
+        }
+    }
+}
+
+#[test]
+fn automatic_labels_agree_with_ground_truth() {
+    // The paper trains RE on KMA-derived labels; our simulator lets us
+    // check them against ground truth directly.
+    let (exp, run) = fixture();
+    let hz = exp.trace.tick_hz();
+    let label_params = AutoLabelParams::default();
+    let mut labeled = 0usize;
+    let mut agree = 0usize;
+    for (ei, event) in exp.scenario.events().events().iter().enumerate() {
+        let Some((day, w)) = run.stage.detection.matched[ei] else { continue };
+        let inputs = exp.scenario.input_trace(day, 0);
+        let kma = Kma::new(&inputs);
+        if let Some(label) = auto_label(&kma, w.start_s(hz), &label_params) {
+            labeled += 1;
+            if label == event.label() {
+                agree += 1;
+            }
+        }
+    }
+    assert!(labeled > 0, "auto-labeling produced nothing");
+    assert!(
+        agree * 10 >= labeled * 9,
+        "auto labels should be >=90% correct: {agree}/{labeled}"
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let exp_a = Experiment::small(0xABCD).expect("a");
+    let exp_b = Experiment::small(0xABCD).expect("b");
+    let run_a = exp_a.run_for_sensors(5, 3).expect("a run");
+    let run_b = exp_b.run_for_sensors(5, 3).expect("b run");
+    assert_eq!(run_a.stage.detection.counts, run_b.stage.detection.counts);
+    assert_eq!(run_a.predictions, run_b.predictions);
+    assert_eq!(run_a.accuracy, run_b.accuracy);
+}
+
+#[test]
+fn parameters_validate() {
+    assert!(FadewichParams::default().validate().is_ok());
+}
