@@ -1,6 +1,6 @@
 //! One benchmark per reproduced paper figure (reduced scenario).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fadewich_testkit::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::OnceLock;
 

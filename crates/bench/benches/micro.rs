@@ -1,7 +1,7 @@
 //! Microbenchmarks of the hot primitives: the per-tick work that a
 //! real deployment would run continuously.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fadewich_testkit::bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use fadewich_core::config::FadewichParams;

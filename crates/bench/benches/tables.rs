@@ -2,7 +2,7 @@
 //! regenerates it on a reduced (1-day) scenario. The full 5-day
 //! regeneration is the `reproduce` binary.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fadewich_testkit::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::OnceLock;
 

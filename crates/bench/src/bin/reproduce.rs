@@ -8,10 +8,19 @@
 //! fig11 fig12 fig13 ablations deployment csi baseline attacks
 //! offices` (default: all). `--quick` runs a 1-day scenario instead of
 //! the paper's 5 days.
+//!
+//! The selected targets run as independent jobs on the
+//! [`par`](fadewich_experiments::par) worker pool (`FADEWICH_THREADS`
+//! overrides the pool size). Every job draws randomness only from
+//! seeds fixed at build time, and all stdout is emitted on the main
+//! thread in a fixed job order — so the report is **byte-identical
+//! for every thread count**. Progress and per-stage wall-clock
+//! timings go to stderr.
 
 use std::collections::HashSet;
 
 use fadewich_experiments::experiment::{Experiment, SensorRun, SENSOR_COUNTS};
+use fadewich_experiments::par::{self, timing};
 use fadewich_experiments::report::{render_series, TextTable};
 use fadewich_experiments::{ablations, figures, tables};
 
@@ -54,30 +63,46 @@ fn wanted(opts: &Options, target: &str) -> bool {
     opts.targets.is_empty() || opts.targets.contains(target)
 }
 
-fn emit_table(opts: &Options, name: &str, table: &TextTable) {
-    println!("{table}");
-    if let Some(dir) = &opts.csv_dir {
-        let _ = std::fs::create_dir_all(dir);
-        let path = format!("{dir}/{name}.csv");
-        if let Err(e) = std::fs::write(&path, table.to_csv()) {
-            eprintln!("warning: could not write {path}: {e}");
-        }
+/// One unit of job output: text for stdout plus an optional CSV
+/// (name, content) pair. Jobs *return* emissions instead of printing
+/// so workers never interleave and stdout stays deterministic.
+struct Emission {
+    stdout: String,
+    csv: Option<(String, String)>,
+}
+
+fn table_emission(name: &str, table: &TextTable) -> Emission {
+    Emission {
+        stdout: format!("{table}\n"),
+        csv: Some((name.to_string(), table.to_csv())),
     }
 }
+
+fn text_emission(stdout: String) -> Emission {
+    Emission { stdout, csv: None }
+}
+
+type Job<'a> = Box<dyn Fn() -> Vec<Emission> + Sync + 'a>;
 
 fn main() {
     let opts = parse_args();
     let t0 = std::time::Instant::now();
     eprintln!(
+        "threads: {} (override with FADEWICH_THREADS)",
+        par::thread_count()
+    );
+    eprintln!(
         "generating {} scenario (seed {})...",
         if opts.quick { "quick 1-day" } else { "paper-scale 5-day" },
         opts.seed
     );
-    let experiment = if opts.quick {
-        Experiment::small(opts.seed)
-    } else {
-        Experiment::paper_scale(opts.seed)
-    }
+    let experiment = timing::time_stage("reproduce::scenario", || {
+        if opts.quick {
+            Experiment::small(opts.seed)
+        } else {
+            Experiment::paper_scale(opts.seed)
+        }
+    })
     .expect("scenario generation");
     eprintln!(
         "trace: {} days x {} streams ({:.1} s)",
@@ -92,162 +117,294 @@ fn main() {
     let nine = runs.last().expect("at least one run");
     eprintln!("pipeline done ({:.1} s)", t0.elapsed().as_secs_f64());
 
+    // Build the selected jobs in a fixed order; each job returns its
+    // emissions, which the main thread prints in that same order.
+    // Shadow the shared inputs with references so `move` closures
+    // capture the borrow, not the value.
+    let experiment = &experiment;
+    let runs = &runs;
+    let mut jobs: Vec<(&str, Job)> = Vec::new();
     if wanted(&opts, "table2") {
-        emit_table(&opts, "table2", &tables::table2(&experiment));
+        jobs.push((
+            "table2",
+            Box::new(|| vec![table_emission("table2", &tables::table2(&experiment))]),
+        ));
     }
     if wanted(&opts, "table3") {
-        emit_table(&opts, "table3", &tables::table3(&experiment, &runs));
+        jobs.push((
+            "table3",
+            Box::new(|| vec![table_emission("table3", &tables::table3(&experiment, &runs))]),
+        ));
     }
     if wanted(&opts, "fig2") {
-        println!("{}", figures::fig2(&experiment, nine).render());
+        jobs.push((
+            "fig2",
+            Box::new(|| {
+                vec![text_emission(format!(
+                    "{}\n",
+                    figures::fig2(&experiment, nine).render()
+                ))]
+            }),
+        ));
     }
     if wanted(&opts, "fig7") {
-        let t_deltas: Vec<f64> = (4..=16).map(|i| i as f64 * 0.5).collect();
-        let quads: Vec<SensorRun> = runs
-            .iter()
-            .filter(|r| [3, 5, 7, 9].contains(&r.n_sensors))
-            .cloned()
-            .collect();
-        let series = figures::fig7(&experiment, &quads, &t_deltas);
-        let named: Vec<(String, Vec<(f64, f64)>)> = series
-            .into_iter()
-            .map(|(n, pts)| (format!("{n} sensors"), pts))
-            .collect();
-        println!(
-            "{}",
-            render_series("Fig 7: MD F-measure vs t_delta", &named, 40)
-        );
+        jobs.push((
+            "fig7",
+            Box::new(|| {
+                let t_deltas: Vec<f64> = (4..=16).map(|i| i as f64 * 0.5).collect();
+                let quads: Vec<SensorRun> = runs
+                    .iter()
+                    .filter(|r| [3, 5, 7, 9].contains(&r.n_sensors))
+                    .cloned()
+                    .collect();
+                let series = figures::fig7(&experiment, &quads, &t_deltas);
+                let named: Vec<(String, Vec<(f64, f64)>)> = series
+                    .into_iter()
+                    .map(|(n, pts)| (format!("{n} sensors"), pts))
+                    .collect();
+                vec![text_emission(format!(
+                    "{}\n",
+                    render_series("Fig 7: MD F-measure vs t_delta", &named, 40)
+                ))]
+            }),
+        ));
     }
     if wanted(&opts, "fig8") {
-        let sizes: Vec<usize> = (1..=10).map(|i| i * 10).collect();
-        let quads: Vec<SensorRun> = runs
-            .iter()
-            .filter(|r| [3, 5, 7, 9].contains(&r.n_sensors))
-            .cloned()
-            .collect();
         let repeats = if opts.quick { 3 } else { 10 };
-        let curves = figures::fig8(&quads, &sizes, repeats);
-        let mut t = TextTable::new(
-            "Fig 8: RE accuracy vs number of training samples (mean, 95% CI)",
-            &["sensors", "train size", "accuracy", "ci"],
-        );
-        for (n, pts) in &curves {
-            for p in pts {
-                t.add_row(vec![
-                    n.to_string(),
-                    p.train_size.to_string(),
-                    format!("{:.3}", p.mean_accuracy),
-                    format!("{:.3}", p.ci_half_width),
-                ]);
-            }
-        }
-        emit_table(&opts, "fig8", &t);
+        jobs.push((
+            "fig8",
+            Box::new(move || {
+                let sizes: Vec<usize> = (1..=10).map(|i| i * 10).collect();
+                let quads: Vec<SensorRun> = runs
+                    .iter()
+                    .filter(|r| [3, 5, 7, 9].contains(&r.n_sensors))
+                    .cloned()
+                    .collect();
+                let curves = figures::fig8(&quads, &sizes, repeats);
+                let mut t = TextTable::new(
+                    "Fig 8: RE accuracy vs number of training samples (mean, 95% CI)",
+                    &["sensors", "train size", "accuracy", "ci"],
+                );
+                for (n, pts) in &curves {
+                    for p in pts {
+                        t.add_row(vec![
+                            n.to_string(),
+                            p.train_size.to_string(),
+                            format!("{:.3}", p.mean_accuracy),
+                            format!("{:.3}", p.ci_half_width),
+                        ]);
+                    }
+                }
+                vec![table_emission("fig8", &t)]
+            }),
+        ));
     }
     if wanted(&opts, "fig9") {
-        let pts: Vec<f64> = (0..=20).map(|i| i as f64 * 0.5).collect();
-        let series = figures::fig9(&experiment, &runs, &pts);
-        let mut t = TextTable::new(
-            "Fig 9: % of departures deauthenticated within t seconds",
-            &["sensors", "t (s)", "% deauthenticated"],
-        );
-        for (n, curve) in &series {
-            for (x, y) in curve {
-                t.add_row(vec![n.to_string(), format!("{x:.1}"), format!("{y:.1}")]);
-            }
-        }
-        emit_table(&opts, "fig9", &t);
-        // Headline numbers.
-        if let Some((_, curve)) = series.iter().find(|(n, _)| *n == 9) {
-            let at = |t: f64| {
-                curve
-                    .iter()
-                    .find(|(x, _)| (*x - t).abs() < 1e-9)
-                    .map_or(f64::NAN, |(_, y)| *y)
-            };
-            println!(
-                "headline (9 sensors): {:.0}% deauthenticated within 4 s, {:.0}% within 6 s\n",
-                at(4.0),
-                at(6.0)
-            );
-        }
+        jobs.push((
+            "fig9",
+            Box::new(|| {
+                let pts: Vec<f64> = (0..=20).map(|i| i as f64 * 0.5).collect();
+                let series = figures::fig9(&experiment, &runs, &pts);
+                let mut t = TextTable::new(
+                    "Fig 9: % of departures deauthenticated within t seconds",
+                    &["sensors", "t (s)", "% deauthenticated"],
+                );
+                for (n, curve) in &series {
+                    for (x, y) in curve {
+                        t.add_row(vec![n.to_string(), format!("{x:.1}"), format!("{y:.1}")]);
+                    }
+                }
+                let mut out = vec![table_emission("fig9", &t)];
+                // Headline numbers.
+                if let Some((_, curve)) = series.iter().find(|(n, _)| *n == 9) {
+                    let at = |t: f64| {
+                        curve
+                            .iter()
+                            .find(|(x, _)| (*x - t).abs() < 1e-9)
+                            .map_or(f64::NAN, |(_, y)| *y)
+                    };
+                    out.push(text_emission(format!(
+                        "headline (9 sensors): {:.0}% deauthenticated within 4 s, {:.0}% within 6 s\n\n",
+                        at(4.0),
+                        at(6.0)
+                    )));
+                }
+                out
+            }),
+        ));
     }
     if wanted(&opts, "fig10") {
-        emit_table(&opts, "fig10", &figures::fig10_table(&figures::fig10(&experiment, &runs)));
+        jobs.push((
+            "fig10",
+            Box::new(|| {
+                vec![table_emission(
+                    "fig10",
+                    &figures::fig10_table(&figures::fig10(&experiment, &runs)),
+                )]
+            }),
+        ));
     }
     if wanted(&opts, "table4") || wanted(&opts, "fig13") {
+        // table4's usability replay also feeds fig13, so they share a
+        // job rather than recomputing the draws.
         let draws = if opts.quick { 10 } else { 100 };
-        let (rows, t4) = tables::table4(&experiment, &runs, draws);
-        if wanted(&opts, "table4") {
-            emit_table(&opts, "table4", &t4);
-        }
-        if wanted(&opts, "fig13") {
-            let rows13 = figures::fig13(&experiment, &runs, &rows);
-            emit_table(&opts, "fig13", &figures::fig13_table(&rows13));
-        }
+        let emit4 = wanted(&opts, "table4");
+        let emit13 = wanted(&opts, "fig13");
+        jobs.push((
+            "table4+fig13",
+            Box::new(move || {
+                let (rows, t4) = tables::table4(&experiment, &runs, draws);
+                let mut out = Vec::new();
+                if emit4 {
+                    out.push(table_emission("table4", &t4));
+                }
+                if emit13 {
+                    let rows13 = figures::fig13(&experiment, &runs, &rows);
+                    out.push(table_emission("fig13", &figures::fig13_table(&rows13)));
+                }
+                out
+            }),
+        ));
     }
     if wanted(&opts, "table5") {
-        let (_, t5) = tables::table5(&experiment, nine, 15);
-        emit_table(&opts, "table5", &t5);
+        jobs.push((
+            "table5",
+            Box::new(|| {
+                let (_, t5) = tables::table5(&experiment, nine, 15);
+                vec![table_emission("table5", &t5)]
+            }),
+        ));
     }
     if wanted(&opts, "fig11") {
-        println!("{}", figures::fig11(&experiment, nine).render());
+        jobs.push((
+            "fig11",
+            Box::new(|| {
+                vec![text_emission(format!(
+                    "{}\n",
+                    figures::fig11(&experiment, nine).render()
+                ))]
+            }),
+        ));
     }
     if wanted(&opts, "fig12") {
-        println!("{}", figures::fig12(&experiment, nine).render());
+        jobs.push((
+            "fig12",
+            Box::new(|| {
+                vec![text_emission(format!(
+                    "{}\n",
+                    figures::fig12(&experiment, nine).render()
+                ))]
+            }),
+        ));
     }
     if wanted(&opts, "ablations") {
-        for table in [
-            ablations::placement_ablation(&experiment, &[3, 4, 5, 6]).expect("placement"),
-            ablations::md_param_ablation(&experiment, 9).expect("md params"),
-            ablations::classifier_ablation(&experiment, 9).expect("classifier"),
-            ablations::overlap_stress(opts.seed ^ 1).expect("overlap"),
-        ] {
-            println!("{table}");
-        }
+        let seed = opts.seed;
+        jobs.push((
+            "ablations",
+            Box::new(move || {
+                [
+                    ablations::placement_ablation(&experiment, &[3, 4, 5, 6]).expect("placement"),
+                    ablations::md_param_ablation(&experiment, 9).expect("md params"),
+                    ablations::classifier_ablation(&experiment, 9).expect("classifier"),
+                    ablations::overlap_stress(seed ^ 1).expect("overlap"),
+                ]
+                .iter()
+                .map(|table| text_emission(format!("{table}\n")))
+                .collect()
+            }),
+        ));
     }
     if wanted(&opts, "deployment") {
         // Train on the first 2 days (first 1 in quick mode), run the
         // online controller over the rest.
         let train_days = if experiment.trace.days().len() > 2 { 2 } else { 1 };
         if experiment.trace.days().len() > train_days {
-            let out = fadewich_experiments::deployment::run_deployment(
-                &experiment,
-                train_days,
-                9,
-            )
-            .expect("deployment");
-            emit_table(&opts, "deployment", &out.render());
+            jobs.push((
+                "deployment",
+                Box::new(move || {
+                    let out = fadewich_experiments::deployment::run_deployment(
+                        &experiment,
+                        train_days,
+                        9,
+                    )
+                    .expect("deployment");
+                    vec![table_emission("deployment", &out.render())]
+                }),
+            ));
         } else {
             eprintln!("deployment target needs >= 2 days (skipped in this configuration)");
         }
     }
     if wanted(&opts, "baseline") {
-        let cmp = fadewich_experiments::baseline::baseline_comparison(
-            &experiment,
-            fadewich_rti::RtiDetectorParams::default(),
-        )
-        .expect("baseline comparison");
-        emit_table(&opts, "baseline", &cmp.render());
+        jobs.push((
+            "baseline",
+            Box::new(|| {
+                let cmp = fadewich_experiments::baseline::baseline_comparison(
+                    &experiment,
+                    fadewich_rti::RtiDetectorParams::default(),
+                )
+                .expect("baseline comparison");
+                vec![table_emission("baseline", &cmp.render())]
+            }),
+        ));
     }
     if wanted(&opts, "attacks") {
-        let (_, table) =
-            fadewich_experiments::attacks::jamming_study(&experiment).expect("jamming study");
-        emit_table(&opts, "attacks", &table);
+        jobs.push((
+            "attacks",
+            Box::new(|| {
+                let (_, table) = fadewich_experiments::attacks::jamming_study(&experiment)
+                    .expect("jamming study");
+                vec![table_emission("attacks", &table)]
+            }),
+        ));
     }
     if wanted(&opts, "offices") {
         let schedule = experiment.scenario.config().schedule.clone();
         let days = if opts.quick { 1 } else { 2 };
-        let (_, table) =
-            fadewich_experiments::offices::office_sweep(opts.seed ^ 0xFF1CE, schedule, days)
-                .expect("office sweep");
-        emit_table(&opts, "offices", &table);
+        let seed = opts.seed;
+        jobs.push((
+            "offices",
+            Box::new(move || {
+                let (_, table) =
+                    fadewich_experiments::offices::office_sweep(seed ^ 0xFF1CE, schedule.clone(), days)
+                        .expect("office sweep");
+                vec![table_emission("offices", &table)]
+            }),
+        ));
     }
     if wanted(&opts, "csi") {
-        // CSI costs n_subcarriers x the RSSI simulation; run it on one
-        // day's worth of behaviour in quick mode only or on demand.
-        let cmp = fadewich_experiments::csi::csi_comparison(&experiment, 4, 5)
-            .expect("csi comparison");
-        emit_table(&opts, "csi", &cmp.render());
+        jobs.push((
+            "csi",
+            Box::new(|| {
+                // CSI costs n_subcarriers x the RSSI simulation; run it on one
+                // day's worth of behaviour in quick mode only or on demand.
+                let cmp = fadewich_experiments::csi::csi_comparison(&experiment, 4, 5)
+                    .expect("csi comparison");
+                vec![table_emission("csi", &cmp.render())]
+            }),
+        ));
     }
+
+    eprintln!("running {} jobs...", jobs.len());
+    let results: Vec<Vec<Emission>> = par::par_map(&jobs, |_, (name, job)| {
+        timing::time_stage(&format!("job::{name}"), job)
+    });
+
+    // All output happens here, in fixed job order, on one thread.
+    for emissions in &results {
+        for e in emissions {
+            print!("{}", e.stdout);
+            if let (Some(dir), Some((name, csv))) = (&opts.csv_dir, &e.csv) {
+                let _ = std::fs::create_dir_all(dir);
+                let path = format!("{dir}/{name}.csv");
+                if let Err(err) = std::fs::write(&path, csv) {
+                    eprintln!("warning: could not write {path}: {err}");
+                }
+            }
+        }
+    }
+
+    eprintln!("--- stage timings (wall clock; stages overlap across workers) ---");
+    eprintln!("{}", timing::report());
     eprintln!("total: {:.1} s", t0.elapsed().as_secs_f64());
 }

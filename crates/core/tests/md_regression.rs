@@ -1,0 +1,213 @@
+//! Regression tests pinning Movement Detection to Algorithm 1 of the
+//! paper (§IV-C):
+//!
+//! - the anomaly threshold `ub` is the `(100 − α)`-th percentile of the
+//!   KDE-smoothed normal profile — not of the raw samples, and not a
+//!   mean-plus-k-sigma rule;
+//! - a batch refreshes the profile only when its anomalous fraction is
+//!   below `τ` (with the documented `max_rejected_batches` escape for
+//!   abrupt environment shifts);
+//! - variation windows shorter than `t∆` are suppressed, with the
+//!   boundary (exactly `t∆` ticks) included.
+
+use fadewich_core::config::FadewichParams;
+use fadewich_core::md::{run_md_over_day, MdRun, MovementDetector};
+use fadewich_core::windows::{significant_windows, VariationWindow};
+use fadewich_officesim::DayTrace;
+use fadewich_stats::kde::GaussianKde;
+use fadewich_stats::rng::Rng;
+
+const TICK_HZ: f64 = 5.0;
+
+fn quiet_row(rng: &mut Rng, n: usize, sd: f64) -> Vec<f64> {
+    (0..n).map(|_| -50.0 + rng.normal() * sd).collect()
+}
+
+/// Steps `md` through `ticks` rows of noise at `sd`, continuing the
+/// tick counter from `start`.
+fn feed(md: &mut MovementDetector, rng: &mut Rng, start: usize, ticks: usize, sd: f64) -> usize {
+    for tick in start..start + ticks {
+        let row = quiet_row(rng, md.n_streams(), sd);
+        md.step(tick, &row);
+    }
+    start + ticks
+}
+
+#[test]
+fn threshold_is_kde_percentile_of_profile() {
+    // After initialization the detector's threshold must equal the
+    // (100 − α)-th percentile of the KDE fitted over its own profile.
+    let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+    let mut md = MovementDetector::new(4, TICK_HZ, params).unwrap();
+    let mut rng = Rng::seed_from_u64(21);
+    feed(&mut md, &mut rng, 0, 400, 1.0);
+    let ub = md.threshold().expect("threshold initialized after profile collection");
+    let kde = GaussianKde::fit(&md.profile_values()).unwrap();
+    let expected = kde.quantile(1.0 - params.alpha / 100.0);
+    assert!(
+        (ub - expected).abs() < 1e-9,
+        "threshold {ub} != KDE {}th percentile {expected}",
+        100.0 - params.alpha
+    );
+}
+
+#[test]
+fn looser_alpha_lowers_the_threshold() {
+    // α is the percentage of the normal profile treated as anomalous:
+    // α = 5 cuts at the 95th percentile, α = 0.5 at the 99.5th, so the
+    // same data must yield ub(α=5) < ub(α=0.5).
+    let mut ubs = Vec::new();
+    for alpha in [5.0, 0.5] {
+        let params =
+            FadewichParams { alpha, profile_init_s: 30.0, ..Default::default() };
+        let mut md = MovementDetector::new(4, TICK_HZ, params).unwrap();
+        let mut rng = Rng::seed_from_u64(22);
+        feed(&mut md, &mut rng, 0, 400, 1.0);
+        ubs.push(md.threshold().unwrap());
+    }
+    assert!(ubs[0] < ubs[1], "ub(alpha=5)={} must be < ub(alpha=0.5)={}", ubs[0], ubs[1]);
+}
+
+#[test]
+fn profile_refreshes_only_from_calm_batches() {
+    // Algorithm 1 queues every s_t and, at each full batch, keeps it
+    // only if the anomalous fraction is < τ. A movement burst must
+    // therefore leave the profile untouched, while quiet periods keep
+    // feeding it.
+    let params = FadewichParams {
+        profile_init_s: 30.0,
+        batch_size: 20,
+        max_rejected_batches: 10_000, // isolate the τ rule from the escape hatch
+        ..Default::default()
+    };
+    let mut md = MovementDetector::new(4, TICK_HZ, params).unwrap();
+    let mut rng = Rng::seed_from_u64(23);
+
+    // Quiet phase A: initialize and accept at least one batch.
+    let mut tick = feed(&mut md, &mut rng, 0, 400, 1.0);
+    assert!(md.threshold().is_some());
+    let profile_after_quiet = md.profile_values();
+
+    // Burst phase B: strongly anomalous. Skip the first two batches
+    // (they may straddle the phase boundary / rolling-std ramp); after
+    // that every batch is ≥ τ anomalous and must be rejected.
+    tick = feed(&mut md, &mut rng, tick, 2 * params.batch_size, 6.0);
+    let profile_at_burst_interior = md.profile_values();
+    tick = feed(&mut md, &mut rng, tick, 4 * params.batch_size, 6.0);
+    assert_eq!(
+        md.profile_values(),
+        profile_at_burst_interior,
+        "anomalous batches must not refresh the profile"
+    );
+
+    // Quiet phase C: once the rolling stds decay, batches are calm
+    // again and the profile resumes updating.
+    feed(&mut md, &mut rng, tick, 400, 1.0);
+    assert_ne!(
+        md.profile_values(),
+        profile_at_burst_interior,
+        "calm batches must refresh the profile again"
+    );
+    // ... and the burst never contaminated it: every profile value
+    // stays in the quiet regime's range.
+    let quiet_max = profile_after_quiet.iter().cloned().fold(f64::MIN, f64::max);
+    let new_max = md.profile_values().iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        new_max < quiet_max * 2.0,
+        "burst-level s_t leaked into the profile: {new_max} vs quiet max {quiet_max}"
+    );
+}
+
+#[test]
+fn rejected_streak_escape_relearns_the_profile() {
+    // A permanent environment shift makes every batch ≥ τ anomalous
+    // against the stale profile: plain Algorithm 1 would deadlock in
+    // the anomalous state. The max_rejected_batches escape re-learns
+    // the profile from recent data; with the escape disabled the
+    // deadlock is observable.
+    let run_shift = |max_rejected: usize| -> f64 {
+        let params = FadewichParams {
+            profile_init_s: 30.0,
+            batch_size: 20,
+            max_rejected_batches: max_rejected,
+            ..Default::default()
+        };
+        let mut rng = Rng::seed_from_u64(24);
+        let n_ticks = 4000;
+        let mut day = DayTrace::with_capacity(4, n_ticks);
+        for t in 0..n_ticks {
+            let sd = if t < 1000 { 0.3 } else { 3.0 };
+            day.push_row(&quiet_row(&mut rng, 4, sd));
+        }
+        let run = run_md_over_day(&day, &[0, 1, 2, 3], TICK_HZ, params).unwrap();
+        let late: Vec<bool> = run.st_series[3000..]
+            .iter()
+            .zip(&run.threshold_series[3000..])
+            .map(|(s, ub)| s >= ub)
+            .collect();
+        late.iter().filter(|&&a| a).count() as f64 / late.len() as f64
+    };
+
+    let with_escape = run_shift(3);
+    let without_escape = run_shift(10_000);
+    assert!(
+        with_escape < 0.2,
+        "escape hatch failed to absorb the shift: {with_escape} anomalous late"
+    );
+    assert!(
+        without_escape > 0.8,
+        "without the escape the stale profile should stay anomalous: {without_escape}"
+    );
+}
+
+#[test]
+fn windows_shorter_than_t_delta_are_suppressed() {
+    let params = FadewichParams::default();
+    let t_delta = params.t_delta_ticks(TICK_HZ);
+    assert!(t_delta > 2, "test requires a multi-tick t_delta");
+
+    let short = VariationWindow { start_tick: 100, end_tick: 100 + t_delta - 2 };
+    let boundary = VariationWindow { start_tick: 500, end_tick: 500 + t_delta - 1 };
+    let long = VariationWindow { start_tick: 900, end_tick: 900 + 2 * t_delta };
+    assert_eq!(short.duration_ticks(), t_delta - 1);
+    assert_eq!(boundary.duration_ticks(), t_delta);
+
+    let kept = significant_windows(&[short, boundary, long], t_delta);
+    assert_eq!(
+        kept,
+        vec![boundary, long],
+        "exactly-t∆ windows are significant; shorter ones are not"
+    );
+
+    // Same rule through MdRun's accessor.
+    let run = MdRun {
+        windows: vec![short, boundary, long],
+        st_series: Vec::new(),
+        threshold_series: Vec::new(),
+    };
+    assert_eq!(run.significant_windows(t_delta), vec![boundary, long]);
+}
+
+#[test]
+fn short_blips_never_reach_significance_end_to_end() {
+    // A 1 s burst (5 ticks < t∆ = 23 ticks) may open a window, but the
+    // t∆ filter must drop it; a 8 s burst must survive.
+    let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+    let t_delta = params.t_delta_ticks(TICK_HZ);
+    for (burst_ticks, expect_sig) in [(5usize, false), (40usize, true)] {
+        let mut rng = Rng::seed_from_u64(25);
+        let n_ticks = 3000;
+        let mut day = DayTrace::with_capacity(8, n_ticks);
+        for t in 0..n_ticks {
+            let sd = if (1500..1500 + burst_ticks).contains(&t) { 3.5 } else { 1.0 };
+            day.push_row(&quiet_row(&mut rng, 8, sd));
+        }
+        let run = run_md_over_day(&day, &(0..8).collect::<Vec<_>>(), TICK_HZ, params).unwrap();
+        let sig = run.significant_windows(t_delta);
+        assert_eq!(
+            !sig.is_empty(),
+            expect_sig,
+            "{burst_ticks}-tick burst: significant windows {sig:?}"
+        );
+    }
+}

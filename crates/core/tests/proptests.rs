@@ -5,13 +5,12 @@ use fadewich_core::config::FadewichParams;
 use fadewich_core::security::evaluate_detection;
 use fadewich_core::windows::{significant_windows, VariationWindow, WindowTracker};
 use fadewich_officesim::{EventKind, EventLog, MovementEvent};
-use proptest::prelude::*;
+use fadewich_testkit::prop::{bools, f64s, usizes, vecs};
 
-proptest! {
-    #[test]
+fadewich_testkit::property! {
     fn windows_are_disjoint_ordered_and_anchored(
-        pattern in prop::collection::vec(prop::bool::weighted(0.25), 10..600),
-        hangover in 1usize..6,
+        pattern in vecs(bools(0.25), 10..600),
+        hangover in usizes(1..6),
     ) {
         let mut tracker = WindowTracker::new(hangover);
         let mut windows = Vec::new();
@@ -24,19 +23,19 @@ proptest! {
             windows.push(w);
         }
         for w in &windows {
-            prop_assert!(pattern[w.start_tick], "window must start anomalous");
-            prop_assert!(pattern[w.end_tick], "window must end anomalous");
-            prop_assert!(w.start_tick <= w.end_tick);
+            assert!(pattern[w.start_tick], "window must start anomalous");
+            assert!(pattern[w.end_tick], "window must end anomalous");
+            assert!(w.start_tick <= w.end_tick);
         }
         for pair in windows.windows(2) {
-            prop_assert!(pair[0].end_tick < pair[1].start_tick);
+            assert!(pair[0].end_tick < pair[1].start_tick);
             // Gaps between windows exceed the hangover.
-            prop_assert!(pair[1].start_tick - pair[0].end_tick > hangover);
+            assert!(pair[1].start_tick - pair[0].end_tick > hangover);
         }
         // Every anomalous tick is covered by some window.
         for (tick, &a) in pattern.iter().enumerate() {
             if a {
-                prop_assert!(
+                assert!(
                     windows.iter().any(|w| w.start_tick <= tick && tick <= w.end_tick),
                     "anomalous tick {tick} not covered"
                 );
@@ -44,10 +43,9 @@ proptest! {
         }
     }
 
-    #[test]
     fn significance_filter_is_a_filter(
-        raw in prop::collection::vec((0usize..1000, 0usize..50), 0..30),
-        threshold in 1usize..40,
+        raw in vecs((usizes(0..1000), usizes(0..50)), 0..30),
+        threshold in usizes(1..40),
     ) {
         // Build disjoint ordered windows from raw (start, extra) pairs.
         let mut tick = 0usize;
@@ -59,22 +57,21 @@ proptest! {
             tick = end + 1;
         }
         let sig = significant_windows(&windows, threshold);
-        prop_assert!(sig.len() <= windows.len());
+        assert!(sig.len() <= windows.len());
         for w in &sig {
-            prop_assert!(w.duration_ticks() >= threshold);
-            prop_assert!(windows.contains(w));
+            assert!(w.duration_ticks() >= threshold);
+            assert!(windows.contains(w));
         }
         for w in &windows {
             if w.duration_ticks() >= threshold {
-                prop_assert!(sig.contains(w));
+                assert!(sig.contains(w));
             }
         }
     }
 
-    #[test]
     fn detection_counts_are_conserved(
-        event_starts in prop::collection::vec(20.0f64..28_000.0, 1..20),
-        window_starts in prop::collection::vec(20.0f64..28_000.0, 0..25),
+        event_starts in vecs(f64s(20.0..28_000.0), 1..20),
+        window_starts in vecs(f64s(20.0..28_000.0), 0..25),
     ) {
         let events: EventLog = event_starts
             .iter()
@@ -99,18 +96,18 @@ proptest! {
         let params = FadewichParams::default();
         let out = evaluate_detection(&[windows.clone()], &events, 5.0, &params);
         // TP + FN = events; FP <= windows.
-        prop_assert_eq!(
+        assert_eq!(
             out.counts.true_positives + out.counts.false_negatives,
             events.len()
         );
-        prop_assert!(out.counts.false_positives <= windows.len());
+        assert!(out.counts.false_positives <= windows.len());
         // Matched events really overlap their window's true window.
         for (ei, m) in out.matched.iter().enumerate() {
             if let Some((day, w)) = m {
-                prop_assert_eq!(*day, 0usize);
+                assert_eq!(*day, 0usize);
                 let e = &events.events()[ei];
                 let (lo, hi) = e.true_window(params.true_window_delta_s);
-                prop_assert!(w.overlaps_interval(lo, hi, 5.0));
+                assert!(w.overlaps_interval(lo, hi, 5.0));
             }
         }
     }

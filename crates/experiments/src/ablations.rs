@@ -10,6 +10,7 @@ use fadewich_stats::rng::Rng;
 use fadewich_svm::{cv, Kernel, NearestCentroid, SmoParams};
 
 use crate::experiment::Experiment;
+use crate::par::{self, timing};
 use crate::pipeline::cross_validated_predictions;
 use crate::report::TextTable;
 
@@ -27,15 +28,27 @@ pub fn placement_ablation(experiment: &Experiment, ns: &[usize]) -> Result<TextT
         "Ablation: sensor placement order vs MD recall",
         &["sensors", "greedy", "random", "wall-clustered"],
     );
-    for &n in ns {
-        let mut cells = vec![n.to_string()];
-        for order in [&greedy, &random, &clustered] {
-            let mut subset = order[..n].to_vec();
+    // One task per (sensor count, placement order) cell of the grid.
+    let orders = [&greedy, &random, &clustered];
+    let cells: Vec<(usize, usize)> = ns
+        .iter()
+        .flat_map(|&n| (0..orders.len()).map(move |oi| (n, oi)))
+        .collect();
+    let recalls = timing::time_stage("ablations::placement", || {
+        par::par_map(&cells, |_, &(n, oi)| -> Result<f64, String> {
+            let mut subset = orders[oi][..n].to_vec();
             subset.sort_unstable();
             let run = experiment.run_for_subset(&subset, 5)?;
-            cells.push(format!("{:.2}", run.stage.detection.counts.recall()));
+            Ok(run.stage.detection.counts.recall())
+        })
+    });
+    let mut recalls = recalls.into_iter();
+    for &n in ns {
+        let mut row = vec![n.to_string()];
+        for _ in &orders {
+            row.push(format!("{:.2}", recalls.next().expect("cell per task")?));
         }
-        t.add_row(cells);
+        t.add_row(row);
     }
     Ok(t)
 }
@@ -60,34 +73,43 @@ pub fn md_param_ablation(experiment: &Experiment, n_sensors: usize) -> Result<Te
     ];
     let subset = experiment.scenario.layout().sensor_subset(n_sensors);
     let streams = experiment.trace.stream_indices_for_subset(&subset);
-    for (alpha, batch, tau) in variants {
-        let params = fadewich_core::FadewichParams { alpha, batch_size: batch, tau, ..base };
-        let mut significant = Vec::new();
-        for day in experiment.trace.days() {
-            let run = fadewich_core::md::run_md_over_day(
-                day,
-                &streams,
+    // Each parameter variant reruns MD over every day; fan the
+    // variants out and keep the table rows in declaration order.
+    let rows = timing::time_stage("ablations::md_params", || {
+        par::par_map(&variants, |_, &(alpha, batch, tau)| -> Result<_, String> {
+            let params = fadewich_core::FadewichParams { alpha, batch_size: batch, tau, ..base };
+            let significant = par::par_map(experiment.trace.days(), |_, day| {
+                fadewich_core::md::run_md_over_day(
+                    day,
+                    &streams,
+                    experiment.trace.tick_hz(),
+                    params,
+                )
+                .map(|run| {
+                    run.significant_windows(params.t_delta_ticks(experiment.trace.tick_hz()))
+                })
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+            let detection = evaluate_detection(
+                &significant,
+                experiment.scenario.events(),
                 experiment.trace.tick_hz(),
-                params,
-            )?;
-            significant
-                .push(run.significant_windows(params.t_delta_ticks(experiment.trace.tick_hz())));
-        }
-        let detection = evaluate_detection(
-            &significant,
-            experiment.scenario.events(),
-            experiment.trace.tick_hz(),
-            &params,
-        );
-        let c = detection.counts;
-        t.add_row(vec![
-            format!("{alpha}"),
-            batch.to_string(),
-            format!("{tau}"),
-            c.true_positives.to_string(),
-            c.false_positives.to_string(),
-            c.false_negatives.to_string(),
-        ]);
+                &params,
+            );
+            let c = detection.counts;
+            Ok(vec![
+                format!("{alpha}"),
+                batch.to_string(),
+                format!("{tau}"),
+                c.true_positives.to_string(),
+                c.false_positives.to_string(),
+                c.false_negatives.to_string(),
+            ])
+        })
+    });
+    for row in rows {
+        t.add_row(row?);
     }
     Ok(t)
 }
@@ -141,9 +163,19 @@ pub fn overlap_stress(seed: u64) -> Result<TextTable, String> {
         ..ScenarioConfig::small()
     };
     config.schedule = ScheduleParams { min_event_separation_s: 0.0, ..config.schedule };
-    let overlap_exp =
-        Experiment::from_config(config, fadewich_core::FadewichParams::default())?;
-    let clean_exp = Experiment::small(seed)?;
+    // Generating + simulating a scenario dominates; build both
+    // experiments concurrently.
+    let mut experiments = timing::time_stage("ablations::overlap_stress", || {
+        par::par_map_indices(2, |i| {
+            if i == 0 {
+                Experiment::from_config(config.clone(), fadewich_core::FadewichParams::default())
+            } else {
+                Experiment::small(seed)
+            }
+        })
+    });
+    let clean_exp = experiments.pop().expect("two experiments built")?;
+    let overlap_exp = experiments.pop().expect("two experiments built")?;
     let mut t = TextTable::new(
         "Ablation: overlap stress (no movement de-confliction)",
         &["scenario", "events", "min gap (s)", "TP", "FP", "FN", "RE acc"],

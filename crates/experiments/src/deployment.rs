@@ -18,6 +18,7 @@ use fadewich_core::Kma;
 use fadewich_stats::rng::Rng;
 
 use crate::experiment::Experiment;
+use crate::par::{self, timing};
 use crate::report::TextTable;
 
 /// What the training phase produced.
@@ -155,61 +156,103 @@ pub fn run_deployment(
     let hz = experiment.trace.tick_hz();
     let label_params = AutoLabelParams::default();
 
-    // --- Training phase: MD + automatic labeling. ---
+    // --- Training phase: MD + automatic labeling, one worker per
+    // day. Results merge in day order, so the sample list matches a
+    // serial run exactly.
+    let day_results = timing::time_stage("deployment::train", || {
+        par::par_map_indices(train_days, |day| -> Result<_, String> {
+            let run = run_md_over_day(&experiment.trace.days()[day], &streams, hz, params)?;
+            let significant = run.significant_windows(params.t_delta_ticks(hz));
+            let n_windows = significant.len();
+            let inputs = experiment.scenario.input_trace(day, 0);
+            let kma = Kma::new(&inputs);
+            let mut labeled = 0usize;
+            let mut labels_correct = 0usize;
+            let mut day_samples: Vec<TrainingSample> = Vec::new();
+            for w in significant {
+                let Some(label) = auto_label(&kma, w.start_s(hz), &label_params) else {
+                    continue;
+                };
+                labeled += 1;
+                // Ground-truth check (simulation-only bookkeeping).
+                let truth = experiment
+                    .scenario
+                    .events()
+                    .events_on_day(day)
+                    .find(|e| {
+                        let (lo, hi) = e.true_window(params.true_window_delta_s);
+                        w.overlaps_interval(lo, hi, hz)
+                    })
+                    .map(fadewich_officesim::MovementEvent::label);
+                if truth == Some(label) {
+                    labels_correct += 1;
+                }
+                day_samples.push(TrainingSample {
+                    features: extract_features(
+                        &experiment.trace.days()[day],
+                        &streams,
+                        w.start_tick,
+                        hz,
+                        &params,
+                    ),
+                    label,
+                });
+            }
+            Ok((n_windows, labeled, labels_correct, day_samples))
+        })
+    });
     let mut samples: Vec<TrainingSample> = Vec::new();
     let mut stats = TrainingPhaseStats { days: train_days, windows: 0, labeled: 0, labels_correct: 0 };
-    for day in 0..train_days {
-        let run = run_md_over_day(&experiment.trace.days()[day], &streams, hz, params)?;
-        let significant = run.significant_windows(params.t_delta_ticks(hz));
-        stats.windows += significant.len();
-        let inputs = experiment.scenario.input_trace(day, 0);
-        let kma = Kma::new(&inputs);
-        for w in significant {
-            let Some(label) = auto_label(&kma, w.start_s(hz), &label_params) else {
-                continue;
-            };
-            stats.labeled += 1;
-            // Ground-truth check (simulation-only bookkeeping).
-            let truth = experiment
-                .scenario
-                .events()
-                .events_on_day(day)
-                .find(|e| {
-                    let (lo, hi) = e.true_window(params.true_window_delta_s);
-                    w.overlaps_interval(lo, hi, hz)
-                })
-                .map(fadewich_officesim::MovementEvent::label);
-            if truth == Some(label) {
-                stats.labels_correct += 1;
-            }
-            samples.push(TrainingSample {
-                features: extract_features(
-                    &experiment.trace.days()[day],
-                    &streams,
-                    w.start_tick,
-                    hz,
-                    &params,
-                ),
-                label,
-            });
-        }
+    for r in day_results {
+        let (n_windows, labeled, labels_correct, day_samples) = r?;
+        stats.windows += n_windows;
+        stats.labeled += labeled;
+        stats.labels_correct += labels_correct;
+        samples.extend(day_samples);
     }
     let mut rng = Rng::seed_from_u64(0xDE9107);
     let re = RadioEnvironment::train(&samples, None, &mut rng)
         .map_err(|e| format!("training phase failed: {e}"))?;
 
-    // --- Online phase: the controller, day by day. ---
+    // --- Online phase: one controller per online day, each day on
+    // its own worker. Per-day results merge in day order.
+    let online_results = timing::time_stage("deployment::online", || {
+        par::par_map_indices(n_days - train_days, |i| -> Result<_, String> {
+            let day = train_days + i;
+            run_online_day(experiment, day, &streams, &re)
+        })
+    });
     let mut departures = Vec::new();
     let mut wrongful = 0usize;
-    for day in train_days..n_days {
+    for r in online_results {
+        let (day_departures, day_wrongful) = r?;
+        departures.extend(day_departures);
+        wrongful += day_wrongful;
+    }
+    Ok(DeploymentOutcome { training: stats, departures, wrongful_deauths: wrongful })
+}
+
+/// Drives the controller over one online day and scores it against
+/// that day's ground truth, returning `(departures, wrongful deauths)`.
+fn run_online_day(
+    experiment: &Experiment,
+    day: usize,
+    streams: &[usize],
+    re: &RadioEnvironment,
+) -> Result<(Vec<OnlineDeparture>, usize), String> {
+    let params = experiment.params;
+    let hz = experiment.trace.tick_hz();
+    let mut departures = Vec::new();
+    let mut wrongful = 0usize;
+    {
         let inputs = experiment.scenario.input_trace(day, 0);
         let kma = Kma::new(&inputs);
-        let mut controller = Controller::new(streams.len(), hz, params, &re, kma)?;
+        let mut controller = Controller::new(streams.len(), hz, params, re, kma)?;
         let day_trace = &experiment.trace.days()[day];
         let mut row = vec![0.0f64; streams.len()];
         for tick in 0..day_trace.n_ticks() {
             let full = day_trace.row(tick);
-            for (dst, &s) in row.iter_mut().zip(&streams) {
+            for (dst, &s) in row.iter_mut().zip(streams) {
                 *dst = full[s] as f64;
             }
             controller.step(tick, &row);
@@ -264,7 +307,7 @@ pub fn run_deployment(
             }
         }
     }
-    Ok(DeploymentOutcome { training: stats, departures, wrongful_deauths: wrongful })
+    Ok((departures, wrongful))
 }
 
 fn workstation_of(e: &fadewich_officesim::MovementEvent) -> usize {

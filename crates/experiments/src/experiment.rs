@@ -8,6 +8,7 @@
 use fadewich_core::config::FadewichParams;
 use fadewich_officesim::{Scenario, ScenarioConfig, Trace};
 
+use crate::par::{self, timing};
 use crate::pipeline::{
     build_samples, cross_validated_predictions, run_md_stage, MdStage, SampleSet,
 };
@@ -110,13 +111,19 @@ impl Experiment {
         Ok(SensorRun { n_sensors, streams, stage, samples, predictions, accuracy })
     }
 
-    /// Runs the pipeline for every sensor count in `ns`.
+    /// Runs the pipeline for every sensor count in `ns`, one worker
+    /// per count. Each run's CV seed depends only on the sensor count,
+    /// so the sweep order and pool size never change the results.
     ///
     /// # Errors
     ///
     /// Propagates the first failing run.
     pub fn sweep(&self, ns: &[usize], cv_folds: usize) -> Result<Vec<SensorRun>, String> {
-        ns.iter().map(|&n| self.run_for_sensors(n, cv_folds)).collect()
+        timing::time_stage("experiment::sweep", || {
+            par::par_map(ns, |_, &n| self.run_for_sensors(n, cv_folds))
+                .into_iter()
+                .collect()
+        })
     }
 }
 

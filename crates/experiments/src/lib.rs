@@ -11,6 +11,7 @@
 //! - [`baseline`] — FADEWICH vs the RTI departure-detection baseline;
 //! - [`offices`] — generalization across office setups and ad-hoc devices;
 //! - [`attacks`] — jamming attacks and the integrity-guard response;
+//! - [`par`] — the deterministic parallel task pool driving all sweeps;
 //! - [`report`] — ASCII/CSV rendering.
 
 #![forbid(unsafe_code)]
@@ -24,6 +25,7 @@ pub mod deployment;
 pub mod experiment;
 pub mod figures;
 pub mod offices;
+pub mod par;
 pub mod pipeline;
 pub mod report;
 pub mod tables;

@@ -10,6 +10,7 @@ use fadewich_geometry::{Point, Rect};
 use fadewich_officesim::{OfficeLayout, ScenarioConfig, ScheduleParams};
 
 use crate::experiment::Experiment;
+use crate::par::{self, timing};
 use crate::report::TextTable;
 
 /// One evaluated setup.
@@ -100,30 +101,36 @@ pub fn office_sweep(
     schedule: ScheduleParams,
     days: usize,
 ) -> Result<(Vec<OfficeResult>, TextTable), String> {
-    let mut results = Vec::new();
-    for (i, (name, layout)) in office_setups().into_iter().enumerate() {
-        let n_sensors = layout.sensors().len();
-        let users = layout.n_workstations();
-        let area = layout.room().width() * layout.room().height();
-        let config = ScenarioConfig {
-            seed: seed ^ (i as u64) << 16,
-            days,
-            layout,
-            schedule: schedule.clone(),
-            ..ScenarioConfig::default()
-        };
-        let experiment = Experiment::from_config(config, FadewichParams::default())?;
-        let run = experiment.run_for_sensors(n_sensors, 3)?;
-        results.push(OfficeResult {
-            name,
-            area_m2: area,
-            users,
-            sensors: n_sensors,
-            events: experiment.scenario.events().len(),
-            recall: run.stage.detection.counts.recall(),
-            accuracy: run.accuracy,
-        });
-    }
+    // One worker per setup; each setup's scenario seed depends only
+    // on its index, so the sweep is order- and pool-size-independent.
+    let setups = office_setups();
+    let results = timing::time_stage("offices::sweep", || {
+        par::par_map(&setups, |i, (name, layout)| -> Result<_, String> {
+            let n_sensors = layout.sensors().len();
+            let users = layout.n_workstations();
+            let area = layout.room().width() * layout.room().height();
+            let config = ScenarioConfig {
+                seed: seed ^ (i as u64) << 16,
+                days,
+                layout: layout.clone(),
+                schedule: schedule.clone(),
+                ..ScenarioConfig::default()
+            };
+            let experiment = Experiment::from_config(config, FadewichParams::default())?;
+            let run = experiment.run_for_sensors(n_sensors, 3)?;
+            Ok(OfficeResult {
+                name: name.clone(),
+                area_m2: area,
+                users,
+                sensors: n_sensors,
+                events: experiment.scenario.events().len(),
+                recall: run.stage.detection.counts.recall(),
+                accuracy: run.accuracy,
+            })
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     let mut t = TextTable::new(
         "Extension: FADEWICH across office setups",
         &["setup", "area m2", "users", "sensors", "events", "MD recall", "RE accuracy"],

@@ -16,6 +16,8 @@ use fadewich_officesim::{EventLog, Trace};
 use fadewich_stats::rng::Rng;
 use fadewich_svm::{cv, Kernel};
 
+use crate::par::{self, timing};
+
 /// MD outputs for every day plus the ground-truth match.
 #[derive(Debug, Clone)]
 pub struct MdStage {
@@ -38,10 +40,13 @@ pub fn run_md_stage(
     events: &EventLog,
     params: &FadewichParams,
 ) -> Result<MdStage, String> {
-    let mut runs = Vec::with_capacity(trace.days().len());
-    for day in trace.days() {
-        runs.push(run_md_over_day(day, streams, trace.tick_hz(), *params)?);
-    }
+    let runs: Vec<MdRun> = timing::time_stage("pipeline::md", || {
+        par::par_map(trace.days(), |_, day| {
+            run_md_over_day(day, streams, trace.tick_hz(), *params)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()
+    })?;
     let t_delta_ticks = params.t_delta_ticks(trace.tick_hz());
     let significant: Vec<Vec<VariationWindow>> =
         runs.iter().map(|r| r.significant_windows(t_delta_ticks)).collect();
@@ -69,11 +74,8 @@ pub fn build_samples(
     streams: &[usize],
     params: &FadewichParams,
 ) -> SampleSet {
-    let per_event = events
-        .events()
-        .iter()
-        .enumerate()
-        .map(|(ei, event)| {
+    timing::time_stage("pipeline::features", || {
+        let per_event = par::par_map(events.events(), |ei, event| {
             stage.detection.matched[ei].map(|(day, w)| TrainingSample {
                 features: extract_features(
                     &trace.days()[day],
@@ -84,19 +86,20 @@ pub fn build_samples(
                 ),
                 label: event.label(),
             })
-        })
-        .collect();
-    let false_positive_features = stage
-        .detection
-        .false_positives
-        .iter()
-        .map(|&(day, w)| {
-            let features =
-                extract_features(&trace.days()[day], streams, w.start_tick, trace.tick_hz(), params);
-            (day, w, features)
-        })
-        .collect();
-    SampleSet { per_event, false_positive_features }
+        });
+        let false_positive_features =
+            par::par_map(&stage.detection.false_positives, |_, &(day, w)| {
+                let features = extract_features(
+                    &trace.days()[day],
+                    streams,
+                    w.start_tick,
+                    trace.tick_hz(),
+                    params,
+                );
+                (day, w, features)
+            });
+        SampleSet { per_event, false_positive_features }
+    })
 }
 
 /// Per-event cross-validated predictions: each matched event's sample
@@ -122,23 +125,38 @@ pub fn cross_validated_predictions(
         .collect();
     assert!(matched.len() >= k, "need at least one sample per fold");
     let labels: Vec<usize> = matched.iter().map(|(_, s)| s.label).collect();
-    let mut rng = Rng::seed_from_u64(seed);
-    let folds = cv::stratified_k_fold(&labels, k, &mut rng);
+    // Stream 0 splits the folds; stream 1 + fi trains fold fi. Every
+    // stream depends only on (seed, index), so the folds can train in
+    // parallel with output identical to a serial run.
+    let mut split_rng = Rng::task_stream(seed, 0);
+    let folds = cv::stratified_k_fold(&labels, k, &mut split_rng);
+    let fold_results = timing::time_stage("pipeline::cv", || {
+        par::par_map(&folds, |fi, fold| {
+            let train: Vec<TrainingSample> =
+                fold.train.iter().map(|&i| matched[i].1.clone()).collect();
+            let mut rng = Rng::task_stream(seed, 1 + fi as u64);
+            let re = match RadioEnvironment::train(&train, kernel, &mut rng) {
+                Ok(re) => re,
+                Err(_) => return (Vec::new(), 0), // degenerate fold (single class): skip
+            };
+            let mut fold_preds = Vec::with_capacity(fold.test.len());
+            let mut correct = 0usize;
+            for &i in &fold.test {
+                let (ei, sample) = (matched[i].0, matched[i].1);
+                let pred = re.classify(&sample.features);
+                if pred == sample.label {
+                    correct += 1;
+                }
+                fold_preds.push((ei, pred));
+            }
+            (fold_preds, correct)
+        })
+    });
     let mut predictions: Vec<Option<usize>> = vec![None; samples.per_event.len()];
     let mut correct = 0usize;
-    for fold in folds {
-        let train: Vec<TrainingSample> =
-            fold.train.iter().map(|&i| matched[i].1.clone()).collect();
-        let re = match RadioEnvironment::train(&train, kernel, &mut rng) {
-            Ok(re) => re,
-            Err(_) => continue, // degenerate fold (single class): skip
-        };
-        for &i in &fold.test {
-            let (ei, sample) = (matched[i].0, matched[i].1);
-            let pred = re.classify(&sample.features);
-            if pred == sample.label {
-                correct += 1;
-            }
+    for (fold_preds, fold_correct) in fold_results {
+        correct += fold_correct;
+        for (ei, pred) in fold_preds {
             predictions[ei] = Some(pred);
         }
     }
@@ -191,30 +209,25 @@ pub fn windows_with_predictions(
     let train: Vec<TrainingSample> = samples.per_event.iter().flatten().cloned().collect();
     let mut rng = Rng::seed_from_u64(seed);
     let full_model = RadioEnvironment::train(&train, None, &mut rng).ok();
-    stage
-        .significant
-        .iter()
-        .enumerate()
-        .map(|(day, windows)| {
-            windows
-                .iter()
-                .map(|w| {
-                    let pred = by_window.get(&(day, w.start_tick)).copied().or_else(|| {
-                        full_model.as_ref().map(|m| {
-                            m.classify(&extract_features(
-                                &trace.days()[day],
-                                streams,
-                                w.start_tick,
-                                trace.tick_hz(),
-                                params,
-                            ))
-                        })
-                    });
-                    (*w, pred.unwrap_or(0))
-                })
-                .collect()
-        })
-        .collect()
+    par::par_map(&stage.significant, |day, windows| {
+        windows
+            .iter()
+            .map(|w| {
+                let pred = by_window.get(&(day, w.start_tick)).copied().or_else(|| {
+                    full_model.as_ref().map(|m| {
+                        m.classify(&extract_features(
+                            &trace.days()[day],
+                            streams,
+                            w.start_tick,
+                            trace.tick_hz(),
+                            params,
+                        ))
+                    })
+                });
+                (*w, pred.unwrap_or(0))
+            })
+            .collect()
+    })
 }
 
 /// One point of the Fig. 8 learning curve: mean accuracy and 95% CI
@@ -242,42 +255,59 @@ pub fn learning_curve(
     let matched: Vec<&TrainingSample> =
         samples.per_event.iter().flatten().collect();
     let labels: Vec<usize> = matched.iter().map(|s| s.label).collect();
-    let mut points = Vec::new();
-    for &size in train_sizes {
-        let mut accuracies = Vec::new();
-        for rep in 0..repeats {
-            let mut rng = Rng::seed_from_u64(seed ^ (rep as u64).wrapping_mul(0x9E37_79B9));
-            if matched.len() < k {
-                continue;
-            }
-            let folds = cv::stratified_k_fold(&labels, k, &mut rng);
-            let mut fold_accs = Vec::new();
-            for fold in &folds {
-                if fold.train.len() < size || size < 2 {
-                    continue;
+    // One task per (size, repeat) cell, each on its own RNG stream
+    // keyed by the cell coordinates, so the grid parallelizes without
+    // changing any cell's split or training draws.
+    let cells: Vec<(usize, usize)> = (0..train_sizes.len())
+        .flat_map(|si| (0..repeats).map(move |rep| (si, rep)))
+        .collect();
+    let cell_accs: Vec<(usize, Option<f64>)> =
+        timing::time_stage("pipeline::learning_curve", || {
+            par::par_map(&cells, |_, &(si, rep)| {
+                let size = train_sizes[si];
+                if matched.len() < k {
+                    return (si, None);
                 }
-                // Random subset of the training fold, stratification
-                // preserved approximately by shuffling.
-                let mut train_idx = fold.train.clone();
-                rng.shuffle(&mut train_idx);
-                train_idx.truncate(size);
-                let train: Vec<TrainingSample> =
-                    train_idx.iter().map(|&i| matched[i].clone()).collect();
-                let re = match RadioEnvironment::train(&train, None, &mut rng) {
-                    Ok(re) => re,
-                    Err(_) => continue,
-                };
-                let correct = fold
-                    .test
-                    .iter()
-                    .filter(|&&i| re.classify(&matched[i].features) == matched[i].label)
-                    .count();
-                fold_accs.push(correct as f64 / fold.test.len() as f64);
-            }
-            if !fold_accs.is_empty() {
-                accuracies.push(fadewich_stats::descriptive::mean(&fold_accs));
-            }
-        }
+                let mut rng =
+                    Rng::task_stream(seed, ((si as u64) << 32) | rep as u64);
+                let folds = cv::stratified_k_fold(&labels, k, &mut rng);
+                let mut fold_accs = Vec::new();
+                for fold in &folds {
+                    if fold.train.len() < size || size < 2 {
+                        continue;
+                    }
+                    // Random subset of the training fold, stratification
+                    // preserved approximately by shuffling.
+                    let mut train_idx = fold.train.clone();
+                    rng.shuffle(&mut train_idx);
+                    train_idx.truncate(size);
+                    let train: Vec<TrainingSample> =
+                        train_idx.iter().map(|&i| matched[i].clone()).collect();
+                    let re = match RadioEnvironment::train(&train, None, &mut rng) {
+                        Ok(re) => re,
+                        Err(_) => continue,
+                    };
+                    let correct = fold
+                        .test
+                        .iter()
+                        .filter(|&&i| re.classify(&matched[i].features) == matched[i].label)
+                        .count();
+                    fold_accs.push(correct as f64 / fold.test.len() as f64);
+                }
+                if fold_accs.is_empty() {
+                    (si, None)
+                } else {
+                    (si, Some(fadewich_stats::descriptive::mean(&fold_accs)))
+                }
+            })
+        });
+    let mut points = Vec::new();
+    for (si, &size) in train_sizes.iter().enumerate() {
+        let accuracies: Vec<f64> = cell_accs
+            .iter()
+            .filter(|(cell_si, _)| *cell_si == si)
+            .filter_map(|(_, acc)| *acc)
+            .collect();
         if accuracies.is_empty() {
             continue;
         }

@@ -1,0 +1,72 @@
+//! Serial-vs-parallel determinism: the full experiment pipeline must
+//! produce **bit-identical** results regardless of worker-pool size.
+//!
+//! The parallel runner guarantees this by construction — `par_map`
+//! merges results in item order and every task draws randomness from
+//! `Rng::task_stream(seed, index)`, which depends only on the task's
+//! position, never on which worker ran it or when. These tests pin the
+//! guarantee end-to-end: MD windows, extracted features, SVM
+//! predictions and the online controller's deauthentication decisions
+//! all compare equal between a 1-thread and an 8-thread run.
+
+use fadewich_experiments::deployment;
+use fadewich_experiments::par;
+use fadewich_experiments::Experiment;
+
+/// Runs the whole pipeline under a fixed pool size and serializes
+/// everything comparable: Debug formatting of floats in Rust is
+/// shortest-roundtrip, so equal strings mean bit-equal values.
+fn pipeline_fingerprint(threads: usize) -> String {
+    par::with_threads(threads, || {
+        let exp = Experiment::small(0xD17E).expect("scenario");
+        let run = exp.run_for_sensors(9, 3).expect("pipeline");
+        let sweep = exp.sweep(&[3, 9], 3).expect("sweep");
+        format!(
+            "windows={:?}\nfeatures={:?}\nfp_features={:?}\npredictions={:?}\naccuracy={:?}\nsweep_acc={:?}",
+            run.stage.significant,
+            run.samples.per_event,
+            run.samples.false_positive_features,
+            run.predictions,
+            run.accuracy.to_bits(),
+            sweep.iter().map(|r| r.accuracy.to_bits()).collect::<Vec<_>>(),
+        )
+    })
+}
+
+#[test]
+fn pipeline_is_thread_count_invariant() {
+    let serial = pipeline_fingerprint(1);
+    let parallel = pipeline_fingerprint(8);
+    assert!(
+        serial == parallel,
+        "pipeline output depends on the thread count:\n--- 1 thread ---\n{serial}\n--- 8 threads ---\n{parallel}"
+    );
+    // And re-running with the same pool size is reproducible at all.
+    assert_eq!(parallel, pipeline_fingerprint(8));
+}
+
+#[test]
+fn online_deployment_is_thread_count_invariant() {
+    // The deployment experiment exercises the remaining parallel
+    // stages: per-day training fan-out and the per-day online
+    // controller, whose deauthentication decisions are the system's
+    // final output.
+    let fingerprint = |threads: usize| -> String {
+        par::with_threads(threads, || {
+            let exp = {
+                use fadewich_officesim::ScenarioConfig;
+                let config = ScenarioConfig { seed: 0xDE9, days: 2, ..ScenarioConfig::small() };
+                Experiment::from_config(config, fadewich_core::FadewichParams::default())
+                    .expect("scenario")
+            };
+            let out = deployment::run_deployment(&exp, 1, 9).expect("deployment");
+            format!("{}\n{:?}", out.render(), out)
+        })
+    };
+    let serial = fingerprint(1);
+    let parallel = fingerprint(8);
+    assert!(
+        serial == parallel,
+        "deployment output depends on the thread count:\n--- 1 thread ---\n{serial}\n--- 8 threads ---\n{parallel}"
+    );
+}

@@ -1,69 +1,63 @@
 //! Property-based tests of the geometry substrate.
 
 use fadewich_geometry::{Path, Point, Rect, Segment};
-use proptest::prelude::*;
+use fadewich_testkit::prop::{f64s, map, vecs, Strategy};
 
 fn pt() -> impl Strategy<Value = Point> {
-    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+    map((f64s(-100.0..100.0), f64s(-100.0..100.0)), |(x, y)| Point::new(x, y))
 }
 
-proptest! {
-    #[test]
+fadewich_testkit::property! {
     fn distance_is_symmetric_and_triangular(a in pt(), b in pt(), c in pt()) {
-        prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-9);
-        prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
-        prop_assert!(a.distance_to(a) == 0.0);
+        assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-9);
+        assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+        assert!(a.distance_to(a) == 0.0);
     }
 
-    #[test]
     fn segment_distance_below_endpoint_distances(p in pt(), a in pt(), b in pt()) {
         let seg = Segment::new(a, b);
         let d = seg.distance_to_point(p);
-        prop_assert!(d <= p.distance_to(a) + 1e-9);
-        prop_assert!(d <= p.distance_to(b) + 1e-9);
-        prop_assert!(d >= 0.0);
+        assert!(d <= p.distance_to(a) + 1e-9);
+        assert!(d <= p.distance_to(b) + 1e-9);
+        assert!(d >= 0.0);
         // The closest point is on the segment.
         let cp = seg.closest_point(p);
-        prop_assert!((cp.distance_to(p) - d).abs() < 1e-9);
+        assert!((cp.distance_to(p) - d).abs() < 1e-9);
     }
 
-    #[test]
-    fn point_on_segment_has_zero_distance(a in pt(), b in pt(), t in 0.0f64..1.0) {
+    fn point_on_segment_has_zero_distance(a in pt(), b in pt(), t in f64s(0.0..1.0)) {
         let seg = Segment::new(a, b);
         let on = seg.point_at(t);
-        prop_assert!(seg.distance_to_point(on) < 1e-7);
+        assert!(seg.distance_to_point(on) < 1e-7);
     }
 
-    #[test]
     fn path_point_at_is_continuous(
-        waypoints in prop::collection::vec(pt(), 1..8),
-        s in 0.0f64..500.0,
+        waypoints in vecs(pt(), 1..8),
+        s in f64s(0.0..500.0),
     ) {
         let path = Path::new(waypoints);
         let p1 = path.point_at(s);
         let p2 = path.point_at(s + 0.01);
         // Moving 1 cm of arclength moves at most 1 cm in space.
-        prop_assert!(p1.distance_to(p2) <= 0.01 + 1e-9);
+        assert!(p1.distance_to(p2) <= 0.01 + 1e-9);
     }
 
-    #[test]
-    fn path_length_at_least_endpoint_distance(waypoints in prop::collection::vec(pt(), 2..8)) {
+    fn path_length_at_least_endpoint_distance(waypoints in vecs(pt(), 2..8)) {
         let first = waypoints[0];
         let last = *waypoints.last().unwrap();
         let path = Path::new(waypoints);
-        prop_assert!(path.length() + 1e-9 >= first.distance_to(last));
+        assert!(path.length() + 1e-9 >= first.distance_to(last));
         // Reversal preserves length.
-        prop_assert!((path.reversed().length() - path.length()).abs() < 1e-9);
+        assert!((path.reversed().length() - path.length()).abs() < 1e-9);
     }
 
-    #[test]
     fn rect_clamp_is_inside_and_idempotent(p in pt(), a in pt(), b in pt()) {
         let r = Rect::from_corners(a, b);
         let c = r.clamp_point(p);
-        prop_assert!(r.contains(c));
-        prop_assert_eq!(r.clamp_point(c), c);
+        assert!(r.contains(c));
+        assert_eq!(r.clamp_point(c), c);
         if r.contains(p) {
-            prop_assert_eq!(c, p);
+            assert_eq!(c, p);
         }
     }
 }

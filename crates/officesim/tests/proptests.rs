@@ -2,13 +2,11 @@
 
 use fadewich_officesim::{InputTrace, OfficeLayout, PersonTimeline};
 use fadewich_stats::rng::Rng;
-use proptest::prelude::*;
+use fadewich_testkit::prop::{f64s, u64s, usizes, vecs};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn trajectories_respect_walls_and_speed(seed in 0u64..200, ws in 0usize..3) {
+fadewich_testkit::property! {
+    #[cases(24)]
+    fn trajectories_respect_walls_and_speed(seed in u64s(0..200), ws in usizes(0..3)) {
         let layout = OfficeLayout::paper_office();
         let mut rng = Rng::seed_from_u64(seed);
         let tl = PersonTimeline::build(&layout, ws, &[(50.0, 400.0)], 600.0, &mut rng);
@@ -16,13 +14,13 @@ proptest! {
         let mut t = 45.0;
         while t < 420.0 {
             if let Some(b) = tl.body_at(t) {
-                prop_assert!(layout.room().contains(b.position),
+                assert!(layout.room().contains(b.position),
                     "body at {} outside the room", b.position);
-                prop_assert!((0.0..=1.0).contains(&b.motion));
+                assert!((0.0..=1.0).contains(&b.motion));
                 if let Some(p) = prev {
                     // max walking speed ~1.6 m/s; at 5 Hz that is 0.32 m
                     // per tick, plus fidget offsets.
-                    prop_assert!(p.position.distance_to(b.position) < 0.6);
+                    assert!(p.position.distance_to(b.position) < 0.6);
                 }
                 prev = Some(b);
             } else {
@@ -32,46 +30,46 @@ proptest! {
         }
     }
 
-    #[test]
-    fn movements_bracket_presence(seed in 0u64..200, ws in 0usize..3) {
+    #[cases(24)]
+    fn movements_bracket_presence(seed in u64s(0..200), ws in usizes(0..3)) {
         let layout = OfficeLayout::paper_office();
         let mut rng = Rng::seed_from_u64(seed);
         let tl = PersonTimeline::build(&layout, ws, &[(50.0, 400.0)], 600.0, &mut rng);
         let movements = tl.movements();
-        prop_assert_eq!(movements.len(), 2);
+        assert_eq!(movements.len(), 2);
         let (enter, leave) = (&movements[0], &movements[1]);
-        prop_assert_eq!(enter.t_start, 50.0);
-        prop_assert_eq!(leave.t_start, 400.0);
-        prop_assert!(enter.t_end < leave.t_start);
-        prop_assert!(enter.t_end - enter.t_start > 4.5,
+        assert_eq!(enter.t_start, 50.0);
+        assert_eq!(leave.t_start, 400.0);
+        assert!(enter.t_end < leave.t_start);
+        assert!(enter.t_end - enter.t_start > 4.5,
             "enter lasts {}", enter.t_end - enter.t_start);
-        prop_assert!(leave.t_end - leave.t_start > 4.5);
-        prop_assert!(leave.t_proximity > leave.t_start);
-        prop_assert!(leave.t_door <= leave.t_end);
+        assert!(leave.t_end - leave.t_start > 4.5);
+        assert!(leave.t_proximity > leave.t_start);
+        assert!(leave.t_door <= leave.t_end);
     }
 
-    #[test]
+    #[cases(24)]
     fn input_trace_queries_are_consistent(
-        times in prop::collection::vec(0.0f64..1000.0, 0..50),
-        t in 0.0f64..1100.0,
+        times in vecs(f64s(0.0..1000.0), 0..50),
+        t in f64s(0.0..1100.0),
     ) {
         let trace = InputTrace::from_times(vec![times.clone()]);
         let last = trace.last_input_before(0, t);
         let next = trace.next_input_after(0, t);
         if let Some(l) = last {
-            prop_assert!(l <= t);
-            prop_assert!(times.contains(&l));
-            prop_assert!((trace.idle_time(0, t) - (t - l)).abs() < 1e-12);
+            assert!(l <= t);
+            assert!(times.contains(&l));
+            assert!((trace.idle_time(0, t) - (t - l)).abs() < 1e-12);
         } else {
-            prop_assert!((trace.idle_time(0, t) - t).abs() < 1e-12);
+            assert!((trace.idle_time(0, t) - t).abs() < 1e-12);
         }
         if let Some(n) = next {
-            prop_assert!(n > t);
-            prop_assert!(times.contains(&n));
+            assert!(n > t);
+            assert!(times.contains(&n));
         }
         // last and next are adjacent in sorted order.
         if let (Some(l), Some(n)) = (last, next) {
-            prop_assert!(!times.iter().any(|&x| x > l && x < n && x > t));
+            assert!(!times.iter().any(|&x| x > l && x < n && x > t));
         }
     }
 }

@@ -3,27 +3,25 @@
 use fadewich_geometry::{Point, Rect};
 use fadewich_rfchannel::{body, Body, ChannelParams, ChannelSim};
 use fadewich_stats::rng::Rng;
-use proptest::prelude::*;
+use fadewich_testkit::prop::{f64s, u64s, usizes};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn attenuation_monotone_in_distance(d1 in 0.0f64..3.0, d2 in 0.0f64..3.0) {
+fadewich_testkit::property! {
+    #[cases(24)]
+    fn attenuation_monotone_in_distance(d1 in f64s(0.0..3.0), d2 in f64s(0.0..3.0)) {
         let p = ChannelParams::default();
         let (near, far) = (d1.min(d2), d1.max(d2));
-        prop_assert!(
+        assert!(
             body::mean_attenuation_db(&p, near) + 1e-12 >= body::mean_attenuation_db(&p, far)
         );
-        prop_assert!(body::mean_attenuation_db(&p, d1) >= 0.0);
-        prop_assert!(body::mean_attenuation_db(&p, d1) <= p.body_attenuation_db);
+        assert!(body::mean_attenuation_db(&p, d1) >= 0.0);
+        assert!(body::mean_attenuation_db(&p, d1) <= p.body_attenuation_db);
     }
 
-    #[test]
+    #[cases(24)]
     fn channel_output_is_finite_and_plausible(
-        seed in 0u64..200,
-        n_bodies in 0usize..4,
-        ticks in 1usize..80,
+        seed in u64s(0..200),
+        n_bodies in usizes(0..4),
+        ticks in usizes(1..80),
     ) {
         let sensors = [
             Point::new(0.0, 0.0),
@@ -47,14 +45,14 @@ proptest! {
                 ))
                 .collect();
             for &r in sim.step(&bodies) {
-                prop_assert!(r.is_finite());
-                prop_assert!((-120.0..=-20.0).contains(&r), "rssi = {r}");
+                assert!(r.is_finite());
+                assert!((-120.0..=-20.0).contains(&r), "rssi = {r}");
             }
         }
     }
 
-    #[test]
-    fn subset_streams_are_consistent(seed in 0u64..50) {
+    #[cases(24)]
+    fn subset_streams_are_consistent(seed in u64s(0..50)) {
         let sensors: Vec<Point> = (0..5)
             .map(|i| Point::new(i as f64, (i % 2) as f64 * 3.0))
             .collect();
@@ -69,9 +67,9 @@ proptest! {
         let subset = vec![0usize, 2, 4];
         for i in sim.stream_indices_for_subset(&subset) {
             let id = sim.link_ids()[i];
-            prop_assert!(subset.contains(&id.tx) && subset.contains(&id.rx));
+            assert!(subset.contains(&id.tx) && subset.contains(&id.rx));
         }
         // Subset of size k covers k(k-1) streams.
-        prop_assert_eq!(sim.stream_indices_for_subset(&subset).len(), 6);
+        assert_eq!(sim.stream_indices_for_subset(&subset).len(), 6);
     }
 }

@@ -6,100 +6,105 @@ use fadewich_stats::kde::GaussianKde;
 use fadewich_stats::metrics::DetectionCounts;
 use fadewich_stats::rmi::relative_mutual_information;
 use fadewich_stats::rolling::{HistoryBuffer, RollingStd};
-use proptest::prelude::*;
+use fadewich_testkit::prop::{f64s, u32s, u64s, usizes, vecs, F64Range, VecStrategy};
 
-fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e4f64..1e4, 1..max_len)
+fn finite_vec(max_len: usize) -> VecStrategy<F64Range> {
+    vecs(f64s(-1e4..1e4), 1..max_len)
 }
 
-proptest! {
-    #[test]
-    fn rolling_std_matches_batch(xs in finite_vec(200), cap in 2usize..40) {
+fadewich_testkit::property! {
+    fn rolling_std_matches_batch(xs in finite_vec(200), cap in usizes(2..40)) {
         let mut w = RollingStd::new(cap);
         for &x in &xs {
             w.push(x);
         }
         let tail: Vec<f64> = xs.iter().rev().take(cap).rev().copied().collect();
         let batch = descriptive::std_dev(&tail);
-        prop_assert!((w.std_dev() - batch).abs() < 1e-6,
+        assert!((w.std_dev() - batch).abs() < 1e-6,
             "rolling {} vs batch {}", w.std_dev(), batch);
     }
 
-    #[test]
-    fn rolling_mean_matches_batch(xs in finite_vec(200), cap in 2usize..40) {
+    fn rolling_mean_matches_batch(xs in finite_vec(200), cap in usizes(2..40)) {
         let mut w = RollingStd::new(cap);
         for &x in &xs {
             w.push(x);
         }
         let tail: Vec<f64> = xs.iter().rev().take(cap).rev().copied().collect();
-        prop_assert!((w.mean() - descriptive::mean(&tail)).abs() < 1e-6);
+        assert!((w.mean() - descriptive::mean(&tail)).abs() < 1e-6);
     }
 
-    #[test]
-    fn percentile_is_monotone_and_bounded(xs in finite_vec(100), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+    fn percentile_is_monotone_and_bounded(
+        xs in finite_vec(100),
+        p1 in f64s(0.0..100.0),
+        p2 in f64s(0.0..100.0),
+    ) {
         let (lo, hi) = (p1.min(p2), p1.max(p2));
         let a = descriptive::percentile(&xs, lo);
         let b = descriptive::percentile(&xs, hi);
-        prop_assert!(a <= b + 1e-12);
-        prop_assert!(a >= descriptive::min(&xs).unwrap() - 1e-12);
-        prop_assert!(b <= descriptive::max(&xs).unwrap() + 1e-12);
+        assert!(a <= b + 1e-12);
+        assert!(a >= descriptive::min(&xs).unwrap() - 1e-12);
+        assert!(b <= descriptive::max(&xs).unwrap() + 1e-12);
     }
 
-    #[test]
-    fn variance_is_non_negative_and_shift_invariant(xs in finite_vec(100), shift in -1e3f64..1e3) {
+    fn variance_is_non_negative_and_shift_invariant(
+        xs in finite_vec(100),
+        shift in f64s(-1e3..1e3),
+    ) {
         let v = descriptive::variance(&xs);
-        prop_assert!(v >= 0.0);
+        assert!(v >= 0.0);
         let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
-        prop_assert!((descriptive::variance(&shifted) - v).abs() < 1e-4 * (1.0 + v));
+        assert!((descriptive::variance(&shifted) - v).abs() < 1e-4 * (1.0 + v));
     }
 
-    #[test]
-    fn entropy_bounded_by_log2_bins(xs in finite_vec(200), bins in 1usize..64) {
+    fn entropy_bounded_by_log2_bins(xs in finite_vec(200), bins in usizes(1..64)) {
         let h = Histogram::of_data(&xs, bins).entropy_bits();
-        prop_assert!(h >= 0.0);
-        prop_assert!(h <= (bins as f64).log2() + 1e-9, "H = {h} bins = {bins}");
+        assert!(h >= 0.0);
+        assert!(h <= (bins as f64).log2() + 1e-9, "H = {h} bins = {bins}");
     }
 
-    #[test]
-    fn kde_cdf_monotone_in_x(xs in finite_vec(50), a in -1e4f64..1e4, b in -1e4f64..1e4) {
+    fn kde_cdf_monotone_in_x(
+        xs in finite_vec(50),
+        a in f64s(-1e4..1e4),
+        b in f64s(-1e4..1e4),
+    ) {
         let kde = GaussianKde::fit(&xs).unwrap();
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(kde.cdf(lo) <= kde.cdf(hi) + 1e-12);
+        assert!(kde.cdf(lo) <= kde.cdf(hi) + 1e-12);
         let c = kde.cdf(a);
-        prop_assert!((0.0..=1.0).contains(&c));
+        assert!((0.0..=1.0).contains(&c));
     }
 
-    #[test]
-    fn kde_quantile_round_trip(xs in finite_vec(50), q in 0.01f64..0.99) {
+    fn kde_quantile_round_trip(xs in finite_vec(50), q in f64s(0.01..0.99)) {
         let kde = GaussianKde::fit(&xs).unwrap();
         let x = kde.quantile(q);
-        prop_assert!((kde.cdf(x) - q).abs() < 1e-6);
+        assert!((kde.cdf(x) - q).abs() < 1e-6);
     }
 
-    #[test]
     fn rmi_in_unit_interval(
         xs in finite_vec(150),
-        labels in prop::collection::vec(0usize..4, 1..150),
+        labels in vecs(usizes(0..4), 1..150),
     ) {
         let n = xs.len().min(labels.len());
         let rmi = relative_mutual_information(&xs[..n], &labels[..n], 32);
-        prop_assert!((0.0..=1.0).contains(&rmi));
+        assert!((0.0..=1.0).contains(&rmi));
     }
 
-    #[test]
-    fn f_measure_bounded(tp in 0usize..1000, fp in 0usize..1000, fn_ in 0usize..1000) {
+    fn f_measure_bounded(
+        tp in usizes(0..1000),
+        fp in usizes(0..1000),
+        fn_ in usizes(0..1000),
+    ) {
         let c = DetectionCounts::new(tp, fp, fn_);
         let f = c.f_measure();
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f));
         // The harmonic mean never exceeds either component.
-        prop_assert!(f <= c.precision().max(c.recall()) + 1e-12);
-        prop_assert!(f <= 2.0 * c.precision().min(c.recall()) + 1e-12);
+        assert!(f <= c.precision().max(c.recall()) + 1e-12);
+        assert!(f <= 2.0 * c.precision().min(c.recall()) + 1e-12);
     }
 
-    #[test]
     fn history_buffer_range_returns_pushed_values(
-        xs in prop::collection::vec(-100.0f64..100.0, 1..100),
-        cap in 1usize..50,
+        xs in vecs(f64s(-100.0..100.0), 1..100),
+        cap in usizes(1..50),
     ) {
         let mut h = HistoryBuffer::new(cap);
         for &x in &xs {
@@ -109,15 +114,14 @@ proptest! {
         let retained = cap.min(xs.len()) as u64;
         let start = total - retained;
         let got = h.range(start, total).expect("retained range");
-        prop_assert_eq!(got, xs[start as usize..].to_vec());
+        assert_eq!(got, xs[start as usize..].to_vec());
         // Anything older is unavailable.
         if start > 0 {
-            prop_assert!(h.range(start - 1, total).is_none());
+            assert!(h.range(start - 1, total).is_none());
         }
     }
 
-    #[test]
-    fn shuffle_preserves_elements(xs in prop::collection::vec(0u32..1000, 0..100), seed in 0u64..1000) {
+    fn shuffle_preserves_elements(xs in vecs(u32s(0..1000), 0..100), seed in u64s(0..1000)) {
         let mut rng = fadewich_stats::rng::Rng::seed_from_u64(seed);
         let mut shuffled = xs.clone();
         rng.shuffle(&mut shuffled);
@@ -125,6 +129,6 @@ proptest! {
         let mut b = shuffled;
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

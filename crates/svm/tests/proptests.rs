@@ -2,30 +2,28 @@
 
 use fadewich_stats::rng::Rng;
 use fadewich_svm::{cv, Kernel, MultiClassSvm, SmoParams, StandardScaler};
-use proptest::prelude::*;
+use fadewich_testkit::prop::{f64s, u64s, usizes, vecs};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
+fadewich_testkit::property! {
+    #[cases(32)]
     fn kernels_are_symmetric_and_rbf_bounded(
-        x in prop::collection::vec(-10.0f64..10.0, 1..8),
-        y in prop::collection::vec(-10.0f64..10.0, 1..8),
-        gamma in 0.01f64..5.0,
+        x in vecs(f64s(-10.0..10.0), 1..8),
+        y in vecs(f64s(-10.0..10.0), 1..8),
+        gamma in f64s(0.01..5.0),
     ) {
         let n = x.len().min(y.len());
         let (x, y) = (&x[..n], &y[..n]);
         let k = Kernel::Rbf { gamma };
-        prop_assert!((k.eval(x, y) - k.eval(y, x)).abs() < 1e-12);
+        assert!((k.eval(x, y) - k.eval(y, x)).abs() < 1e-12);
         let v = k.eval(x, y);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
-        prop_assert!((k.eval(x, x) - 1.0).abs() < 1e-12);
-        prop_assert!((Kernel::Linear.eval(x, y) - Kernel::Linear.eval(y, x)).abs() < 1e-9);
+        assert!((0.0..=1.0 + 1e-12).contains(&v));
+        assert!((k.eval(x, x) - 1.0).abs() < 1e-12);
+        assert!((Kernel::Linear.eval(x, y) - Kernel::Linear.eval(y, x)).abs() < 1e-9);
     }
 
-    #[test]
+    #[cases(32)]
     fn scaler_output_is_standardized(
-        rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 2..30),
+        rows in vecs(vecs(f64s(-100.0..100.0), 3..4), 2..30),
     ) {
         let scaler = StandardScaler::fit(&rows).unwrap();
         let t = scaler.transform(&rows);
@@ -33,14 +31,14 @@ proptest! {
             let col: Vec<f64> = t.iter().map(|r| r[j]).collect();
             let mean = fadewich_stats::descriptive::mean(&col);
             let sd = fadewich_stats::descriptive::std_dev(&col);
-            prop_assert!(mean.abs() < 1e-6, "mean = {mean}");
+            assert!(mean.abs() < 1e-6, "mean = {mean}");
             // Either unit variance or a constant column mapped to 0.
-            prop_assert!((sd - 1.0).abs() < 1e-6 || sd < 1e-9, "sd = {sd}");
+            assert!((sd - 1.0).abs() < 1e-6 || sd < 1e-9, "sd = {sd}");
         }
     }
 
-    #[test]
-    fn separable_blobs_are_classified(seed in 0u64..500, sep in 3.0f64..10.0) {
+    #[cases(32)]
+    fn separable_blobs_are_classified(seed in u64s(0..500), sep in f64s(3.0..10.0)) {
         let mut rng = Rng::seed_from_u64(seed);
         let mut xs = Vec::new();
         let mut ys = Vec::new();
@@ -54,40 +52,39 @@ proptest! {
         }
         let svm = MultiClassSvm::train(&xs, &ys, Kernel::Linear, SmoParams::default(), &mut rng)
             .unwrap();
-        prop_assert!(svm.accuracy(&xs, &ys) >= 0.95);
+        assert!(svm.accuracy(&xs, &ys) >= 0.95);
     }
 
-    #[test]
-    fn kfold_is_a_partition(n in 4usize..100, k in 2usize..4, seed in 0u64..100) {
-        prop_assume!(n >= k);
+    #[cases(32)]
+    fn kfold_is_a_partition(n in usizes(4..100), k in usizes(2..4), seed in u64s(0..100)) {
+        fadewich_testkit::assume!(n >= k);
         let mut rng = Rng::seed_from_u64(seed);
         let folds = cv::k_fold(n, k, &mut rng);
         let mut seen = vec![false; n];
         for f in &folds {
             for &i in &f.test {
-                prop_assert!(!seen[i], "index {i} in two test folds");
+                assert!(!seen[i], "index {i} in two test folds");
                 seen[i] = true;
             }
             for &i in &f.train {
-                prop_assert!(!f.test.contains(&i));
+                assert!(!f.test.contains(&i));
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
     }
 
-    #[test]
+    #[cases(32)]
     fn stratified_folds_cover_all_and_balance(
-        labels in prop::collection::vec(0usize..3, 6..60),
-        seed in 0u64..100,
+        labels in vecs(usizes(0..3), 6..60),
+        seed in u64s(0..100),
     ) {
         let mut rng = Rng::seed_from_u64(seed);
         let folds = cv::stratified_k_fold(&labels, 3, &mut rng);
         let mut count = 0usize;
         for f in &folds {
             count += f.test.len();
-            // Per-class counts differ by at most 1 across folds.
         }
-        prop_assert_eq!(count, labels.len());
+        assert_eq!(count, labels.len());
         for class in 0..3 {
             let per_fold: Vec<usize> = folds
                 .iter()
@@ -95,7 +92,7 @@ proptest! {
                 .collect();
             let max = per_fold.iter().max().unwrap();
             let min = per_fold.iter().min().unwrap();
-            prop_assert!(max - min <= 1, "class {class}: {per_fold:?}");
+            assert!(max - min <= 1, "class {class}: {per_fold:?}");
         }
     }
 }

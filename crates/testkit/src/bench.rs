@@ -1,0 +1,283 @@
+//! A micro-benchmark timer with a `criterion`-shaped surface.
+//!
+//! The workspace's bench targets (`harness = false`) were written
+//! against `criterion`'s API. This module vendors the minimal subset
+//! they use — [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`criterion_group!`] /
+//! [`criterion_main!`] — so the port is a one-line `use` change.
+//!
+//! Two run modes, chosen from the process arguments:
+//!
+//! - **measure** (`cargo bench` — cargo passes `--bench` to
+//!   `harness = false` targets): warm up, calibrate iterations per
+//!   sample to a minimum sample duration, take `sample_size` samples,
+//!   and report min / median / max ns per iteration;
+//! - **smoke** (anything else, e.g. a stray `cargo test` run of the
+//!   target): execute each routine exactly once to prove it still
+//!   runs, without burning CPU time in tier-1 verification.
+//!
+//! Any non-flag command-line argument is treated as a substring
+//! filter on benchmark names, mirroring `cargo bench <filter>`.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Per-sample batching hint, mirroring `criterion::BatchSize`.
+///
+/// Only the variants the workspace uses are provided; the timer treats
+/// them identically (each batch is one setup + one routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; batches may be large.
+    SmallInput,
+    /// Setup output is large; keep batches small.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Benchmark driver: collects and reports timings for named routines.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measure: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let measure = args.iter().any(|a| a == "--bench");
+        let filters = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .cloned()
+            .collect();
+        Criterion { sample_size: 20, measure, filters }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder-style).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark if it passes the name filter.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| name.contains(p.as_str())) {
+            return self;
+        }
+        let mut b = Bencher {
+            measure: self.measure,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+/// Minimum wall-clock time per timed sample; iterations per sample are
+/// calibrated upward until one sample takes at least this long.
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+impl Bencher {
+    /// Times `routine` repeatedly; the returned value is black-boxed.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        // Warm-up + calibration: grow iterations until a sample is
+        // long enough for the clock to resolve it meaningfully.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= MIN_SAMPLE || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        if !self.measure {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if !self.measure {
+            println!("{name:<40} smoke ok (pass --bench to measure)");
+            return;
+        }
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} no samples collected");
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = self.samples_ns[0];
+        let max = *self.samples_ns.last().expect("non-empty");
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        println!(
+            "{name:<40} median {} (min {}, max {}, {} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            self.samples_ns.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+// Re-export the macros under `bench::` so ported call sites can write
+// `use fadewich_testkit::bench::{criterion_group, criterion_main, ...}`
+// exactly as they previously imported from `criterion`.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_routine_once() {
+        let mut count = 0usize;
+        let mut b = Bencher { measure: false, sample_size: 10, samples_ns: Vec::new() };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.samples_ns.is_empty());
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut b = Bencher { measure: true, sample_size: 5, samples_ns: Vec::new() };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_in_smoke() {
+        let mut setups = 0usize;
+        let mut runs = 0usize;
+        let mut b = Bencher { measure: false, sample_size: 10, samples_ns: Vec::new() };
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| {
+                runs += 1;
+                v.len()
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!((setups, runs), (1, 1));
+    }
+
+    #[test]
+    fn name_filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measure: false,
+            filters: vec!["matching".to_string()],
+        };
+        let mut ran = Vec::new();
+        c.bench_function("matching_one", |b| {
+            b.iter(|| ());
+            ran.push("matching_one");
+        });
+        c.bench_function("other", |b| {
+            b.iter(|| ());
+            ran.push("other");
+        });
+        assert_eq!(ran, vec!["matching_one"]);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

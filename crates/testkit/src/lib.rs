@@ -1,0 +1,39 @@
+//! Offline test/bench harness for the FADEWICH workspace.
+//!
+//! The container this repository builds in has **no network access**,
+//! so external dev-dependencies (`proptest`, `criterion`) can never be
+//! resolved. This crate vendors the two capabilities the workspace
+//! actually uses, with zero dependencies beyond the in-repo
+//! [`fadewich_stats::rng::Rng`]:
+//!
+//! - [`prop`] — a property-testing harness: seeded case generation,
+//!   composable strategies, and greedy shrinking of failing inputs,
+//!   driven by the [`property!`] macro;
+//! - [`bench`] — a micro-benchmark timer with a `criterion`-shaped
+//!   surface (`Criterion`, `Bencher::iter`, `criterion_group!`,
+//!   `criterion_main!`) so the bench files port with minimal diffs.
+//!   Bench binaries run a one-iteration smoke pass under `cargo test`
+//!   and measure for real only under `cargo bench`.
+//!
+//! # Examples
+//!
+//! ```
+//! use fadewich_testkit::prop::{usizes, vecs};
+//!
+//! fadewich_testkit::property! {
+//!     #[cases(64)]
+//!     fn reverse_twice_is_identity(xs in vecs(usizes(0..100), 0..20)) {
+//!         let mut ys = xs.clone();
+//!         ys.reverse();
+//!         ys.reverse();
+//!         assert_eq!(xs, ys);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;

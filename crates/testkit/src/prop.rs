@@ -1,0 +1,577 @@
+//! A minimal property-testing harness with shrinking.
+//!
+//! A [`Strategy`] generates random values from the in-repo
+//! deterministic [`Rng`] and proposes *simpler* variants of a failing
+//! value ([`Strategy::shrink`]). The [`check`] runner generates
+//! `cases` inputs, runs the property under `catch_unwind`, and on the
+//! first failure greedily shrinks the input before reporting, so the
+//! panic message shows a minimal counterexample plus the seed needed
+//! to replay it (`TESTKIT_SEED=<seed> cargo test <name>`).
+//!
+//! The [`crate::property!`] macro wires this into `#[test]` functions
+//! with a `proptest!`-like binding syntax, which keeps the ported
+//! call sites close to their upstream originals.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fadewich_stats::rng::Rng;
+
+/// Cases per property when no `#[cases(N)]` attribute is given.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Hard cap on shrink-candidate evaluations per failure.
+const SHRINK_BUDGET: usize = 800;
+
+/// Payload type used by [`crate::assume!`] to discard a case without
+/// failing the property.
+#[derive(Debug, Clone, Copy)]
+pub struct Discard;
+
+/// A generator of random test inputs that knows how to simplify them.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Proposes strictly simpler candidates for a failing value.
+    ///
+    /// Returning an empty vector disables shrinking for this
+    /// strategy; the runner's budget bounds the search regardless.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// --- Scalar strategies -------------------------------------------------
+
+/// Uniform `f64` in `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` in the given half-open range.
+///
+/// # Panics
+///
+/// Panics if the range is empty or not finite.
+pub fn f64s(range: std::ops::Range<f64>) -> F64Range {
+    assert!(
+        range.start.is_finite() && range.end.is_finite() && range.start < range.end,
+        "invalid f64 range {range:?}"
+    );
+    F64Range { lo: range.start, hi: range.end }
+}
+
+impl Strategy for F64Range {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut push = |c: f64| {
+            if c >= self.lo && c < self.hi && (c - value).abs() > 1e-9 * (1.0 + value.abs()) {
+                out.push(c);
+            }
+        };
+        push(0.0);
+        push(self.lo);
+        push(self.lo + (value - self.lo) / 2.0);
+        out
+    }
+}
+
+macro_rules! int_strategy {
+    ($(#[$doc:meta])* $name:ident, $ctor:ident, $ty:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy)]
+        pub struct $name {
+            lo: $ty,
+            hi: $ty,
+        }
+
+        /// Uniform integer in the given half-open range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        pub fn $ctor(range: std::ops::Range<$ty>) -> $name {
+            assert!(range.start < range.end, "invalid integer range");
+            $name { lo: range.start, hi: range.end }
+        }
+
+        impl Strategy for $name {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut Rng) -> $ty {
+                self.lo + rng.below((self.hi - self.lo) as usize) as $ty
+            }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let mut out = Vec::new();
+                let mut push = |c: $ty| {
+                    if c >= self.lo && c < self.hi && c != *value && !out.contains(&c) {
+                        out.push(c);
+                    }
+                };
+                push(self.lo);
+                // Halving-distance candidates converge on the failure
+                // boundary in O(log range) greedy steps.
+                let mut d = (*value - self.lo) / 2;
+                while d > 0 {
+                    push(*value - d);
+                    d /= 2;
+                }
+                if *value > self.lo {
+                    push(*value - 1);
+                }
+                out
+            }
+        }
+    };
+}
+
+int_strategy!(
+    /// Uniform `usize` range strategy.
+    UsizeRange, usizes, usize
+);
+int_strategy!(
+    /// Uniform `u64` range strategy.
+    U64Range, u64s, u64
+);
+int_strategy!(
+    /// Uniform `u32` range strategy.
+    U32Range, u32s, u32
+);
+
+/// Biased boolean: `true` with probability `p`; shrinks toward `false`.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedBool {
+    p: f64,
+}
+
+/// `true` with probability `p` (clamped to `[0, 1]`).
+pub fn bools(p: f64) -> WeightedBool {
+    WeightedBool { p }
+}
+
+impl Strategy for WeightedBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.bernoulli(self.p)
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value { vec![false] } else { Vec::new() }
+    }
+}
+
+// --- Combinators -------------------------------------------------------
+
+/// Vector of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len_lo: usize,
+    len_hi: usize,
+}
+
+/// A vector whose length is uniform in `len` and whose elements come
+/// from `elem`. Shrinks by dropping elements (respecting the minimum
+/// length) and by shrinking individual elements.
+///
+/// # Panics
+///
+/// Panics if the length range is empty.
+pub fn vecs<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "invalid length range");
+    VecStrategy { elem, len_lo: len.start, len_hi: len.end }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let len = self.len_lo + rng.below(self.len_hi - self.len_lo);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first: halve, then drop single elements.
+        if value.len() / 2 >= self.len_lo && value.len() > 1 {
+            out.push(value[..value.len() / 2].to_vec());
+            out.push(value[value.len() / 2..].to_vec());
+        }
+        if value.len() > self.len_lo {
+            for i in (0..value.len()).take(8) {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Element-wise shrinks (bounded to the leading elements).
+        for i in (0..value.len()).take(8) {
+            for cand in self.elem.shrink(&value[i]) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// A strategy transformed by a pure function (no shrinking through
+/// the map — shrink the source strategy instead where it matters).
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+/// Maps a strategy's output through `f`.
+pub fn map<S, F, T>(source: S, f: F) -> Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+    T: Clone + Debug,
+{
+    Map { source, f }
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+    T: Clone + Debug,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!(A/0);
+tuple_strategy!(A/0, B/1);
+tuple_strategy!(A/0, B/1, C/2);
+tuple_strategy!(A/0, B/1, C/2, D/3);
+
+// --- Runner ------------------------------------------------------------
+
+enum CaseOutcome {
+    Pass,
+    Discard,
+    Fail(String),
+}
+
+fn run_case<V: Clone>(test: &dyn Fn(V), value: V) -> CaseOutcome {
+    quiet_panics(|| match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(()) => CaseOutcome::Pass,
+        Err(payload) => {
+            if payload.downcast_ref::<Discard>().is_some() {
+                CaseOutcome::Discard
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                CaseOutcome::Fail((*s).to_string())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                CaseOutcome::Fail(s.clone())
+            } else {
+                CaseOutcome::Fail("property panicked with a non-string payload".to_string())
+            }
+        }
+    })
+}
+
+/// Deterministic 64-bit hash of a test name (FNV-1a), so each property
+/// gets its own stable stream without sharing state across tests.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The base seed: `TESTKIT_SEED` env override, else 0.
+fn base_seed() -> u64 {
+    std::env::var("TESTKIT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    test: &dyn Fn(S::Value),
+    mut value: S::Value,
+    mut message: String,
+) -> (S::Value, String, usize) {
+    let mut budget = SHRINK_BUDGET;
+    let mut steps = 0usize;
+    'outer: loop {
+        for cand in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let CaseOutcome::Fail(m) = run_case(test, cand.clone()) {
+                value = cand;
+                message = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, message, steps)
+}
+
+/// Runs a property: `cases` generated inputs, shrinking on failure.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when the property fails
+/// for some input, or when too many cases are discarded via
+/// [`crate::assume!`].
+pub fn check<S: Strategy>(name: &str, cases: usize, strategy: S, test: impl Fn(S::Value)) {
+    let seed = base_seed() ^ name_hash(name);
+    let root = Rng::seed_from_u64(seed);
+    let mut tested = 0usize;
+    let mut discarded = 0usize;
+    let mut case_index = 0u64;
+    while tested < cases {
+        let mut rng = root.fork(case_index);
+        case_index += 1;
+        let value = strategy.generate(&mut rng);
+        match run_case(&test, value.clone()) {
+            CaseOutcome::Pass => tested += 1,
+            CaseOutcome::Discard => {
+                discarded += 1;
+                assert!(
+                    discarded <= cases.saturating_mul(16),
+                    "property '{name}': too many discarded cases ({discarded}); \
+                     weaken the assume! precondition"
+                );
+            }
+            CaseOutcome::Fail(message) => {
+                let (minimal, message, steps) =
+                    shrink_failure(&strategy, &test, value, message);
+                panic!(
+                    "property '{name}' failed (case {tested}, {steps} shrink steps)\n\
+                     minimal input: {minimal:?}\n\
+                     assertion: {message}\n\
+                     replay with: TESTKIT_SEED={}",
+                    base_seed()
+                );
+            }
+        }
+    }
+}
+
+// --- Panic-noise suppression ------------------------------------------
+
+thread_local! {
+    static QUIET: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with the default panic hook silenced on this thread, so
+/// the generate/shrink loop does not spam "thread panicked" lines for
+/// every candidate it probes. The final report is a plain `panic!`
+/// raised outside this scope.
+fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(std::cell::Cell::get) {
+                default_hook(info);
+            }
+        }));
+    });
+    let was = QUIET.with(|q| q.replace(true));
+    let r = f();
+    QUIET.with(|q| q.set(was));
+    r
+}
+
+/// Discards the current case unless `cond` holds (the analogue of
+/// `prop_assume!`): the runner generates a replacement case instead of
+/// counting a failure.
+#[macro_export]
+macro_rules! assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::prop::Discard);
+        }
+    };
+}
+
+/// Declares property-based `#[test]` functions.
+///
+/// ```ignore
+/// fadewich_testkit::property! {
+///     #[cases(128)]
+///     fn sum_commutes(a in f64s(-1e3..1e3), b in f64s(-1e3..1e3)) {
+///         assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each binding draws from its strategy; the body runs once per case
+/// and fails the property by panicking (plain `assert!` works). The
+/// optional `#[cases(N)]` attribute overrides
+/// [`prop::DEFAULT_CASES`](crate::prop::DEFAULT_CASES).
+#[macro_export]
+macro_rules! property {
+    () => {};
+    (
+        $(#[cases($cases:expr)])?
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            #[allow(unused_mut, unused_assignments)]
+            let mut cases = $crate::prop::DEFAULT_CASES;
+            $(cases = $cases;)?
+            $crate::prop::check(
+                concat!(module_path!(), "::", stringify!($name)),
+                cases,
+                ($($strat,)+),
+                |($($arg,)+)| $body,
+            );
+        }
+        $crate::property! { $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_generation_in_range() {
+        let mut rng = Rng::seed_from_u64(1);
+        let s = f64s(-3.0..7.0);
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!((-3.0..7.0).contains(&v));
+        }
+        let u = usizes(2..9);
+        for _ in 0..1000 {
+            let v = u.generate(&mut rng);
+            assert!((2..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = vecs(u64s(0..1000), 1..20);
+        let a = s.generate(&mut Rng::seed_from_u64(9));
+        let b = s.generate(&mut Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrink_candidates_stay_in_range() {
+        let s = usizes(3..50);
+        for cand in s.shrink(&40) {
+            assert!((3..50).contains(&cand));
+            assert_ne!(cand, 40);
+        }
+        let f = f64s(1.0..10.0);
+        for cand in f.shrink(&8.0) {
+            assert!((1.0..10.0).contains(&cand));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len() {
+        let s = vecs(usizes(0..10), 3..20);
+        let v = s.generate(&mut Rng::seed_from_u64(4));
+        for cand in s.shrink(&v) {
+            assert!(cand.len() >= 3, "shrunk below min length: {cand:?}");
+        }
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_vec() {
+        // Property "no vector contains an element >= 50" fails; the
+        // shrunk counterexample should be a single offending element.
+        let strategy = vecs(usizes(0..100), 0..30);
+        let test = |v: Vec<usize>| assert!(v.iter().all(|&x| x < 50));
+        let mut rng = Rng::seed_from_u64(7);
+        let failing = loop {
+            let v = strategy.generate(&mut rng);
+            if v.iter().any(|&x| x >= 50) {
+                break v;
+            }
+        };
+        let (minimal, _, _) =
+            shrink_failure(&strategy, &test, failing, String::new());
+        assert_eq!(minimal.len(), 1, "minimal counterexample: {minimal:?}");
+        assert_eq!(minimal[0], 50, "element should shrink to the boundary");
+    }
+
+    #[test]
+    fn discard_outcome_is_not_a_failure() {
+        let outcome = run_case(
+            &|x: usize| {
+                crate::assume!(x > 100);
+            },
+            5usize,
+        );
+        assert!(matches!(outcome, CaseOutcome::Discard));
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal input")]
+    fn check_reports_failures() {
+        check("testkit::self_test", 64, usizes(0..1000), |x| {
+            assert!(x < 900, "found a large value");
+        });
+    }
+
+    property! {
+        fn macro_smoke(xs in vecs(f64s(-10.0..10.0), 1..10), k in usizes(1..4)) {
+            assert!(xs.len() >= 1 && k >= 1);
+        }
+
+        #[cases(16)]
+        fn macro_with_cases_and_assume(n in usizes(0..50)) {
+            crate::assume!(n % 2 == 0);
+            assert_eq!(n % 2, 0);
+        }
+    }
+}

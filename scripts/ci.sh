@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Offline CI gate.
+#
+# The whole harness is vendored (no proptest, no criterion, no
+# registry crates at all), so this must succeed on a machine with zero
+# network access. Warnings are promoted to errors.
+#
+# `--workspace` matters: the root manifest is both the workspace and
+# the `fadewich` facade package, so a bare `cargo test` would cover
+# only the facade.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-D warnings"
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
