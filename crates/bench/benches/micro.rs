@@ -8,8 +8,10 @@ use fadewich_core::config::FadewichParams;
 use fadewich_core::features::extract_features;
 use fadewich_core::md::MovementDetector;
 use fadewich_geometry::{Point, Rect, Segment};
-use fadewich_officesim::DayTrace;
+use fadewich_core::kma::Kma;
+use fadewich_officesim::{DayTrace, InputTrace};
 use fadewich_rfchannel::{Body, ChannelParams, ChannelSim};
+use fadewich_runtime::Frame;
 use fadewich_stats::kde::GaussianKde;
 use fadewich_stats::rng::Rng;
 use fadewich_stats::rolling::RollingStd;
@@ -116,6 +118,85 @@ fn bench_feature_extraction(c: &mut Criterion) {
     });
 }
 
+/// A busy 8-workstation day: the KMA query load Rule 2 generates on
+/// every alert tick.
+fn kma_input_fixture() -> InputTrace {
+    let mut rng = Rng::seed_from_u64(8);
+    let times: Vec<Vec<f64>> = (0..8)
+        .map(|_| {
+            let mut t = 0.0;
+            let mut events = Vec::new();
+            while t < 7200.0 {
+                t += 1.0 + 30.0 * rng.f64();
+                events.push(t);
+            }
+            events
+        })
+        .collect();
+    InputTrace::from_times(times)
+}
+
+fn bench_kma_idle_set(c: &mut Criterion) {
+    // What Rule 2 used to do on every alert tick: materialize the
+    // idle set, then membership-test each session against it.
+    let inputs = kma_input_fixture();
+    let kma = Kma::new(&inputs);
+    c.bench_function("kma_rule2_via_idle_set_8ws", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..100 {
+                let s = black_box(10.0);
+                let t = black_box(60.0 + i as f64 * 70.0);
+                let set = kma.idle_set(s, t);
+                for ws in 0..kma.n_workstations() {
+                    hits += usize::from(set.contains(&ws));
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_kma_is_idle_scan(c: &mut Criterion) {
+    // The allocation-free path the controller's Rule 2 hot loop uses
+    // now: one is_idle query per session, no Vec.
+    let inputs = kma_input_fixture();
+    let kma = Kma::new(&inputs);
+    c.bench_function("kma_rule2_via_is_idle_8ws", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..100 {
+                let s = black_box(10.0);
+                let t = black_box(60.0 + i as f64 * 70.0);
+                for ws in 0..kma.n_workstations() {
+                    hits += usize::from(kma.is_idle(ws, s, t));
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let frame = Frame {
+        sensor: 3,
+        seq: 12_345,
+        tick: 9_999,
+        values: (0..8).map(|i| -50.0 - i as f32).collect(),
+    };
+    let bytes = frame.encode();
+    c.bench_function("wire_encode_decode_8_values", |b| {
+        b.iter(|| {
+            let enc = black_box(&frame).encode();
+            let (dec, _) = Frame::decode(black_box(&enc)).unwrap();
+            black_box(dec.tick)
+        })
+    });
+    c.bench_function("wire_decode_8_values", |b| {
+        b.iter(|| black_box(Frame::decode(black_box(&bytes)).unwrap().0.seq))
+    });
+}
+
 fn bench_smo_training(c: &mut Criterion) {
     let mut rng = Rng::seed_from_u64(6);
     let mut xs = Vec::new();
@@ -143,6 +224,8 @@ criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20);
     targets = bench_rolling_std, bench_kde, bench_channel_step, bench_md_step,
-              bench_body_attenuation, bench_feature_extraction, bench_smo_training
+              bench_body_attenuation, bench_feature_extraction,
+              bench_kma_idle_set, bench_kma_is_idle_scan, bench_wire_codec,
+              bench_smo_training
 }
 criterion_main!(micro);

@@ -5,9 +5,9 @@
 //! ```
 //!
 //! Targets: `table2 table3 table4 table5 fig2 fig7 fig8 fig9 fig10
-//! fig11 fig12 fig13 ablations deployment csi baseline attacks
-//! offices` (default: all). `--quick` runs a 1-day scenario instead of
-//! the paper's 5 days.
+//! fig11 fig12 fig13 ablations deployment streaming csi baseline
+//! attacks offices` (default: all). `--quick` runs a 1-day scenario
+//! instead of the paper's 5 days.
 //!
 //! The selected targets run as independent jobs on the
 //! [`par`](fadewich_experiments::par) worker pool (`FADEWICH_THREADS`
@@ -333,6 +333,32 @@ fn main() {
             ));
         } else {
             eprintln!("deployment target needs >= 2 days (skipped in this configuration)");
+        }
+    }
+    if wanted(&opts, "streaming") {
+        // Streaming-vs-batch parity and lossy degradation over the
+        // online days. Deterministic fields only — the latency
+        // histograms stay out of this table so stdout remains
+        // byte-identical across thread counts.
+        let train_days = if experiment.trace.days().len() > 2 { 2 } else { 1 };
+        if experiment.trace.days().len() > train_days {
+            jobs.push((
+                "streaming",
+                Box::new(move || {
+                    let rows = fadewich_experiments::streaming::streaming_comparison(
+                        &experiment,
+                        train_days,
+                        9,
+                    )
+                    .expect("streaming comparison");
+                    vec![table_emission(
+                        "streaming",
+                        &fadewich_experiments::streaming::streaming_table(&rows),
+                    )]
+                }),
+            ));
+        } else {
+            eprintln!("streaming target needs >= 2 days (skipped in this configuration)");
         }
     }
     if wanted(&opts, "baseline") {

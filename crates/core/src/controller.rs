@@ -199,19 +199,41 @@ impl<'a> Controller<'a> {
     ///
     /// Panics if `row.len()` differs from the stream count.
     pub fn step(&mut self, tick: usize, row: &[f64]) -> usize {
+        self.step_inner(tick, row, None)
+    }
+
+    /// Feeds one tick in which some streams are masked out (see
+    /// [`MovementDetector::step_masked`]). Histories still receive the
+    /// supplied row for every stream — the caller (e.g. the streaming
+    /// runtime) passes gap-filled values there — but MD excludes the
+    /// masked streams from `s_t`. With an all-`false` mask this is
+    /// exactly [`Controller::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` or `mask.len()` differs from the stream
+    /// count.
+    pub fn step_masked(&mut self, tick: usize, row: &[f64], mask: &[bool]) -> usize {
+        self.step_inner(tick, row, Some(mask))
+    }
+
+    fn step_inner(&mut self, tick: usize, row: &[f64], mask: Option<&[bool]>) -> usize {
         let before = self.actions.len();
         let t = tick as f64 / self.tick_hz;
         for (h, &x) in self.histories.iter_mut().zip(row) {
             h.push(x);
         }
-        self.md.step(tick, row);
+        match mask {
+            None => self.md.step(tick, row),
+            Some(m) => self.md.step_masked(tick, row, m),
+        };
         let t_delta_ticks = self.params.t_delta_ticks(self.tick_hz);
         let dwt = self.md.open_duration_ticks(tick);
 
         match self.state {
             SystemState::Quiet => {
                 if dwt >= t_delta_ticks && !self.rule1_done {
-                    self.apply_rule1(tick, t);
+                    self.apply_rule1(tick, dwt, t);
                     self.rule1_done = true;
                     self.state = SystemState::Noisy;
                 }
@@ -231,10 +253,22 @@ impl<'a> Controller<'a> {
         self.actions.len() - before
     }
 
+    /// The start tick Rule 1 should classify from. Normally MD still
+    /// reports the open window; if it does not (the window closed on the
+    /// very tick `dW_t` crossed `t∆`, e.g. when a watermark-driven
+    /// runtime advances a tick late), the start is reconstructed from
+    /// the watermark tick and the window duration instead of silently
+    /// assuming the previous tick — `tick - 1` would hand RE a
+    /// `t∆`-second feature window shifted almost entirely past the
+    /// actual variation.
+    fn rule1_window_start(open_start: Option<usize>, tick: usize, dwt: usize) -> usize {
+        open_start.unwrap_or_else(|| (tick + 1).saturating_sub(dwt.max(1)))
+    }
+
     /// Rule 1: classify the window's first `t∆` seconds and
     /// deauthenticate the predicted workstation if it is idle.
-    fn apply_rule1(&mut self, tick: usize, t: f64) {
-        let start = self.md.open_window_start().unwrap_or(tick.saturating_sub(1));
+    fn apply_rule1(&mut self, tick: usize, dwt: usize, t: f64) {
+        let start = Self::rule1_window_start(self.md.open_window_start(), tick, dwt);
         let label = match extract_features_from_histories(
             &self.histories,
             start as u64,
@@ -264,8 +298,16 @@ impl<'a> Controller<'a> {
 
     /// Rule 2: every workstation idle ≥ 1 s enters alert state while
     /// the window persists.
+    ///
+    /// Runs every tick while a long window persists, so it queries
+    /// [`Kma::is_idle`] per workstation instead of materializing
+    /// [`Kma::idle_set`]'s `Vec` (which remains available for
+    /// reporting); `benches/micro.rs` quantifies the difference.
     fn apply_rule2(&mut self, t: f64) {
-        for ws in self.kma.idle_set(self.params.alert_idle_s, t) {
+        for ws in 0..self.sessions.len() {
+            if !self.kma.is_idle(ws, self.params.alert_idle_s, t) {
+                continue;
+            }
             let session = &mut self.sessions[ws];
             if session.logged_in && !session.in_alert {
                 session.in_alert = true;
@@ -470,6 +512,40 @@ mod tests {
             "actions: {actions:?}"
         );
         assert!(!actions.iter().any(|a| a.kind.is_deauth() && a.kind.workstation() != 0));
+    }
+
+    #[test]
+    fn rule1_fallback_uses_window_duration_not_previous_tick() {
+        // MD reports the open window: use it verbatim.
+        assert_eq!(Controller::rule1_window_start(Some(500), 523, 23), 500);
+        // No open window: reconstruct the start from the watermark tick
+        // and dW_t. The window covering ticks [501, 523] has dwt = 23.
+        assert_eq!(Controller::rule1_window_start(None, 523, 23), 501);
+        // The old fallback assumed `tick - 1` regardless of duration.
+        assert_ne!(Controller::rule1_window_start(None, 523, 23), 522);
+        // Degenerate durations stay in range.
+        assert_eq!(Controller::rule1_window_start(None, 10, 0), 10);
+        assert_eq!(Controller::rule1_window_start(None, 0, 50), 0);
+    }
+
+    #[test]
+    fn masked_step_with_all_false_mask_matches_step() {
+        let inputs = departure_inputs(400);
+        let n_streams = 4;
+        let re = fixed_re(n_streams);
+        let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+        let mut plain = Controller::new(n_streams, 5.0, params, &re, Kma::new(&inputs)).unwrap();
+        let mut masked = Controller::new(n_streams, 5.0, params, &re, Kma::new(&inputs)).unwrap();
+        let mask = vec![false; n_streams];
+        let mut rng = Rng::seed_from_u64(7);
+        for tick in 0..1200 {
+            let noisy = (600..640).contains(&tick);
+            let sd = if noisy { 4.0 } else { 0.6 };
+            let row: Vec<f64> = (0..n_streams).map(|_| -50.0 + rng.normal() * sd).collect();
+            plain.step(tick, &row);
+            masked.step_masked(tick, &row, &mask);
+        }
+        assert_eq!(plain.actions(), masked.actions());
     }
 
     #[test]

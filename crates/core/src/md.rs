@@ -119,11 +119,70 @@ impl MovementDetector {
     /// Panics if `row.len() != n_streams()`.
     pub fn step(&mut self, tick: usize, row: &[f64]) -> MdVerdict {
         assert_eq!(row.len(), self.stream_stds.len(), "stream count mismatch");
-        for (w, &x) in self.stream_stds.iter_mut().zip(row) {
-            w.push(x);
+        self.step_inner(tick, row, None)
+    }
+
+    /// Feeds one tick in which some streams are unavailable (sensor
+    /// quarantined, sample too stale to gap-fill). `mask[i] == true`
+    /// excludes stream `i`: its rolling window is not advanced and its
+    /// std-dev is left out of `s_t`, which is rescaled by
+    /// `n_streams / n_active` so the threshold learned on the full
+    /// deployment stays comparable. A fully-masked tick is treated as
+    /// non-anomalous and does not feed the normal profile.
+    ///
+    /// With an all-`false` mask this is exactly [`MovementDetector::step`]
+    /// (bit-identical arithmetic), which the streaming/batch parity test
+    /// relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != n_streams()` or `mask.len() != n_streams()`.
+    pub fn step_masked(&mut self, tick: usize, row: &[f64], mask: &[bool]) -> MdVerdict {
+        assert_eq!(row.len(), self.stream_stds.len(), "stream count mismatch");
+        assert_eq!(mask.len(), self.stream_stds.len(), "mask length mismatch");
+        if mask.iter().any(|&m| m) {
+            self.step_inner(tick, row, Some(mask))
+        } else {
+            self.step_inner(tick, row, None)
+        }
+    }
+
+    fn step_inner(&mut self, tick: usize, row: &[f64], mask: Option<&[bool]>) -> MdVerdict {
+        match mask {
+            None => {
+                for (w, &x) in self.stream_stds.iter_mut().zip(row) {
+                    w.push(x);
+                }
+            }
+            Some(m) => {
+                for ((w, &x), &skip) in self.stream_stds.iter_mut().zip(row).zip(m) {
+                    if !skip {
+                        w.push(x);
+                    }
+                }
+            }
         }
         self.ticks_seen += 1;
-        let st: f64 = self.stream_stds.iter().map(RollingStd::std_dev).sum();
+        let st: f64 = match mask {
+            None => self.stream_stds.iter().map(RollingStd::std_dev).sum(),
+            Some(m) => {
+                let mut sum = 0.0;
+                let mut active = 0usize;
+                for (w, &skip) in self.stream_stds.iter().zip(m) {
+                    if !skip {
+                        sum += w.std_dev();
+                        active += 1;
+                    }
+                }
+                if active == 0 {
+                    // Nothing measured this tick: no verdict either way,
+                    // and the profile must not learn a fabricated zero.
+                    let closed_window = self.tracker.push(tick, false);
+                    return MdVerdict { anomalous: false, st: 0.0, closed_window };
+                }
+                sum * self.stream_stds.len() as f64 / active as f64
+            }
+        };
 
         // Warmup: rolling windows not yet representative.
         if self.ticks_seen <= self.warmup_ticks {
@@ -410,6 +469,55 @@ mod tests {
             .count();
         let frac = late_anomalous as f64 / 4000.0;
         assert!(frac < 0.2, "step change not absorbed: {frac} anomalous late");
+    }
+
+    #[test]
+    fn all_false_mask_is_bit_identical_to_step() {
+        let day = synthetic_day(4, 800, Some((400, 430, 2.0)), 8);
+        let mut plain = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        let mut masked = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        let mask = vec![false; 4];
+        for tick in 0..day.n_ticks() {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            let a = plain.step(tick, &row);
+            let b = masked.step_masked(tick, &row, &mask);
+            assert_eq!(a, b, "diverged at tick {tick}");
+        }
+    }
+
+    #[test]
+    fn masked_streams_rescale_st() {
+        // On i.i.d. streams, masking half of them should leave the
+        // rescaled s_t near the unmasked value, not halve it.
+        let day = synthetic_day(4, 600, None, 9);
+        let mut md = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        for tick in 0..599 {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            md.step(tick, &row);
+        }
+        let row: Vec<f64> = (0..4).map(|s| day.sample(599, s)).collect();
+        let mut fork = md.clone();
+        let full = md.step(599, &row).st;
+        let partial = fork.step_masked(599, &row, &[false, true, false, true]).st;
+        assert!(
+            (partial / full - 1.0).abs() < 0.25,
+            "rescaled st {partial} should be near unmasked {full}"
+        );
+    }
+
+    #[test]
+    fn fully_masked_tick_is_quiet_and_skips_profile() {
+        let day = synthetic_day(2, 600, None, 10);
+        let mut md = MovementDetector::new(2, 5.0, fast_params()).unwrap();
+        for tick in 0..600 {
+            let row: Vec<f64> = (0..2).map(|s| day.sample(tick, s)).collect();
+            md.step(tick, &row);
+        }
+        let before = md.profile_values().len();
+        let v = md.step_masked(600, &[0.0, 0.0], &[true, true]);
+        assert!(!v.anomalous);
+        assert_eq!(v.st, 0.0);
+        assert_eq!(md.profile_values().len(), before, "masked tick fed the profile");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! - [`baseline`] — FADEWICH vs the RTI departure-detection baseline;
 //! - [`offices`] — generalization across office setups and ad-hoc devices;
 //! - [`attacks`] — jamming attacks and the integrity-guard response;
+//! - [`streaming`] — the live runtime replayed against the batch
+//!   controller, lossless (parity) and lossy (degradation);
 //! - [`par`] — the deterministic parallel task pool driving all sweeps;
 //! - [`report`] — ASCII/CSV rendering.
 
@@ -28,6 +30,7 @@ pub mod offices;
 pub mod par;
 pub mod pipeline;
 pub mod report;
+pub mod streaming;
 pub mod tables;
 
 pub use experiment::{Experiment, SensorRun, SENSOR_COUNTS};

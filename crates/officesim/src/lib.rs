@@ -47,4 +47,4 @@ pub use layout::{OfficeLayout, WorkstationId, N_SENSORS, N_WORKSTATIONS};
 pub use person::PersonTimeline;
 pub use scenario::{Scenario, ScenarioConfig, ScenarioError};
 pub use schedule::{ScheduleError, ScheduleParams};
-pub use trace::{DayTrace, Trace};
+pub use trace::{DayTrace, SensorReport, Trace};

@@ -152,6 +152,68 @@ impl Trace {
             .map(|(i, _)| i)
             .collect()
     }
+
+    /// Groups the monitored streams by their *receiving* sensor — the
+    /// physical node that measures (and would transmit over the wire)
+    /// those RSSI values. Returns `(sensor id, positions into
+    /// `streams`)` pairs, sensors ascending and positions ascending
+    /// within each group. This is the frame layout contract for
+    /// [`Trace::sensor_reports`]: each report carries one group's
+    /// samples in exactly this order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream index is out of range.
+    pub fn receiver_groups(&self, streams: &[usize]) -> Vec<(u16, Vec<usize>)> {
+        let mut groups: Vec<(u16, Vec<usize>)> = Vec::new();
+        for (pos, &s) in streams.iter().enumerate() {
+            let rx = self.link_ids[s].rx as u16;
+            match groups.binary_search_by_key(&rx, |g| g.0) {
+                Ok(i) => groups[i].1.push(pos),
+                Err(i) => groups.insert(i, (rx, vec![pos])),
+            }
+        }
+        groups
+    }
+
+    /// Flattens one recorded day into per-sensor, per-tick reports —
+    /// the send-order frame stream a live deployment's receivers would
+    /// emit. Reports are ordered tick-major, then by sensor id; each
+    /// carries the samples of that sensor's received streams in
+    /// [`Trace::receiver_groups`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day` or a stream index is out of range.
+    pub fn sensor_reports(&self, day: usize, streams: &[usize]) -> Vec<SensorReport> {
+        let groups = self.receiver_groups(streams);
+        let day = &self.days[day];
+        let mut out = Vec::with_capacity(day.n_ticks() * groups.len());
+        for tick in 0..day.n_ticks() {
+            let row = day.row(tick);
+            for (sensor, positions) in &groups {
+                out.push(SensorReport {
+                    sensor: *sensor,
+                    tick: tick as u64,
+                    values: positions.iter().map(|&p| row[streams[p]]).collect(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One receiving sensor's measurements for one tick, ready to be
+/// framed onto the wire (see `fadewich-runtime`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorReport {
+    /// The reporting (receiving) sensor.
+    pub sensor: u16,
+    /// Tick the samples belong to (day-local).
+    pub tick: u64,
+    /// Samples for the sensor's received streams, in
+    /// [`Trace::receiver_groups`] order.
+    pub values: Vec<f32>,
 }
 
 #[cfg(test)]
@@ -194,6 +256,30 @@ mod tests {
         let t = tiny_trace();
         assert_eq!(t.stream_indices_for_subset(&[0, 1]), vec![0, 1]);
         assert!(t.stream_indices_for_subset(&[0]).is_empty());
+    }
+
+    #[test]
+    fn receiver_groups_partition_streams() {
+        let t = tiny_trace();
+        // Stream 0 is received by sensor 1, stream 1 by sensor 0.
+        assert_eq!(t.receiver_groups(&[0, 1]), vec![(0u16, vec![1]), (1u16, vec![0])]);
+        // Positions index into the monitored subset, not the full trace.
+        assert_eq!(t.receiver_groups(&[1]), vec![(0u16, vec![0])]);
+    }
+
+    #[test]
+    fn sensor_reports_cover_every_tick_and_sample() {
+        let t = tiny_trace();
+        let reports = t.sensor_reports(0, &[0, 1]);
+        assert_eq!(reports.len(), 3 * 2);
+        // Tick-major, sensor ascending.
+        assert_eq!(reports[0].sensor, 0);
+        assert_eq!(reports[0].tick, 0);
+        assert_eq!(reports[0].values, vec![-55.0f32]); // stream 1 (rx 0)
+        assert_eq!(reports[1].sensor, 1);
+        assert_eq!(reports[1].values, vec![-50.0f32]); // stream 0 (rx 1)
+        assert_eq!(reports[5].tick, 2);
+        assert_eq!(reports[5].values, vec![-52.0f32]);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! `fadewichd` — replay an officesim scenario through the streaming
+//! runtime, optionally over a lossy link.
+//!
+//! ```text
+//! fadewichd [--days N] [--seed HEX] [--sensors N] [--train-days N]
+//!           [--drop P] [--dup P] [--corrupt P] [--jitter TICKS]
+//!           [--link-seed N] [--json]
+//! ```
+//!
+//! Trains RE on the first `--train-days` days (KMA auto-labeling),
+//! then streams each remaining day's sensor frames through the link
+//! model into the engine. Prints per-day decisions, the runtime
+//! counter summary and — with `--json` — the counters as JSON.
+//! Decisions and counters are seed-deterministic; only the latency
+//! histograms are wall-clock.
+
+use fadewich_core::config::FadewichParams;
+use fadewich_officesim::{Scenario, ScenarioConfig, ScheduleParams};
+use fadewich_runtime::engine::{EngineConfig, EngineEvent};
+use fadewich_runtime::link::LinkModel;
+use fadewich_runtime::replay;
+
+struct Args {
+    days: usize,
+    seed: u64,
+    sensors: usize,
+    train_days: usize,
+    link: LinkModel,
+    link_seed: u64,
+    json: bool,
+}
+
+impl Args {
+    fn default_args() -> Args {
+        Args {
+            days: 2,
+            seed: 0xD3B,
+            sensors: 9,
+            train_days: 1,
+            link: LinkModel::lossless(),
+            link_seed: 0xF10D,
+            json: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: fadewichd [--days N] [--seed N] [--sensors N] [--train-days N] \
+[--drop P] [--dup P] [--corrupt P] [--jitter TICKS] [--link-seed N] [--json]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default_args();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--days" => args.days = parse(&value("--days")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--sensors" => args.sensors = parse(&value("--sensors")?)?,
+            "--train-days" => args.train_days = parse(&value("--train-days")?)?,
+            "--drop" => args.link.drop_p = parse(&value("--drop")?)?,
+            "--dup" => args.link.dup_p = parse(&value("--dup")?)?,
+            "--corrupt" => args.link.corrupt_p = parse(&value("--corrupt")?)?,
+            "--jitter" => args.link.jitter_ticks = parse(&value("--jitter")?)?,
+            "--link-seed" => args.link_seed = parse(&value("--link-seed")?)?,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad value {s:?}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let config = ScenarioConfig {
+        seed: args.seed,
+        days: args.days,
+        schedule: ScheduleParams {
+            day_seconds: 2.0 * 3600.0,
+            departures_choices: [3, 3, 4, 4],
+            min_seated_s: 400.0,
+            absence_bounds_s: (90.0, 300.0),
+            ..ScheduleParams::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    let scenario = Scenario::generate(config).map_err(|e| format!("scenario: {e:?}"))?;
+    let trace = scenario.simulate().map_err(|e| format!("simulate: {e:?}"))?;
+    let subset = scenario.layout().sensor_subset(args.sensors);
+    let streams = trace.stream_indices_for_subset(&subset);
+    let params = FadewichParams::default();
+
+    eprintln!(
+        "fadewichd: {} day(s), {} sensors / {} streams, train {} day(s), link {:?}",
+        args.days,
+        args.sensors,
+        streams.len(),
+        args.train_days,
+        args.link
+    );
+    let re = replay::train_re(&scenario, &trace, &streams, args.train_days, &params)?;
+
+    let cfg = EngineConfig::new(trace.tick_hz(), params);
+    for day in args.train_days..trace.days().len() {
+        let out = replay::stream_day(
+            &scenario, &trace, &streams, &re, day, cfg, &args.link, args.link_seed,
+        )?;
+        println!("== day {day} ==");
+        for ev in &out.events {
+            match ev {
+                EngineEvent::Decision { tick, action } => {
+                    println!("tick {tick:>6}  t {:>8.1}s  {:?}", action.t, action.kind);
+                }
+                EngineEvent::SensorQuarantined { sensor, tick } => {
+                    println!("tick {tick:>6}  sensor {sensor} QUARANTINED");
+                }
+                EngineEvent::SensorRecovered { sensor, tick } => {
+                    println!("tick {tick:>6}  sensor {sensor} recovered");
+                }
+            }
+        }
+        println!("{}", out.counters.summary());
+        if args.json {
+            println!("{}", out.counters.to_json());
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("fadewichd: {e}");
+        std::process::exit(1);
+    }
+}

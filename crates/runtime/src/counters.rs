@@ -1,0 +1,217 @@
+//! Runtime observability: counters and per-stage latency histograms.
+//!
+//! Everything the engine does to keep running under loss is counted
+//! here, printable as a human summary ([`RuntimeCounters::summary`])
+//! and dumpable as JSON ([`RuntimeCounters::to_json`] — hand-rolled,
+//! the workspace has no serde). Latencies are wall-clock and therefore
+//! the one non-deterministic output of a replay; decisions and all
+//! other counters are seed-reproducible.
+
+use std::time::Instant;
+
+/// Log₂-bucketed latency histogram (bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds; bucket 0 also takes sub-µs samples).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHisto {
+    buckets: [u64; 20],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl LatencyHisto {
+    /// Records one duration in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        let us = ns / 1000;
+        let idx = if us == 0 { 0 } else { (63 - us.leading_zeros()) as usize };
+        self.buckets[idx.min(self.buckets.len() - 1)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Times `f` and records the elapsed wall-clock.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record_ns(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        out
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 { 0 } else { (self.sum_ns / self.count as u128) as u64 }
+    }
+
+    /// Largest recorded sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bucket bound (µs) below which `q` of samples fall —
+    /// a conservative percentile read off the histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << self.buckets.len()
+    }
+
+    fn json(&self) -> String {
+        let buckets: Vec<String> = self.buckets.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"count\":{},\"mean_ns\":{},\"max_ns\":{},\"p50_us\":{},\"p99_us\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.mean_ns(),
+            self.max_ns,
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            buckets.join(",")
+        )
+    }
+}
+
+/// Everything a replay/live run counts. Fields are public so the
+/// engine (and tests) can add to them directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeCounters {
+    /// Frames successfully decoded and offered to the reorder buffer.
+    pub frames_in: u64,
+    /// Raw bytes ingested (including rejected frames).
+    pub bytes_in: u64,
+    /// Byte buffers rejected by the wire codec (checksum/magic/length).
+    pub frames_corrupt: u64,
+    /// Frames for a (sensor, tick) slot that was already filled.
+    pub frames_duplicate: u64,
+    /// Frames that arrived after their tick had been emitted.
+    pub frames_late: u64,
+    /// Sequence-number regressions observed (out-of-order delivery).
+    pub frames_reordered: u64,
+    /// Ticks advanced through MD → RE → Controller.
+    pub ticks_processed: u64,
+    /// Missing samples patched by hold-last-value.
+    pub gap_fills: u64,
+    /// Stream-ticks masked out of `s_t` (stale or quarantined).
+    pub masked_stream_ticks: u64,
+    /// Sensors quarantined for silence.
+    pub quarantines: u64,
+    /// Quarantined sensors that came back.
+    pub recoveries: u64,
+    /// Largest observed distance between ingest frontier and emission.
+    pub watermark_lag_max: u64,
+    /// Wire-decode stage latency.
+    pub decode: LatencyHisto,
+    /// Per-tick pipeline (MD → RE → Controller) latency.
+    pub step: LatencyHisto,
+}
+
+impl RuntimeCounters {
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "frames      in {}  corrupt {}  duplicate {}  late {}  reordered {}\n",
+            self.frames_in,
+            self.frames_corrupt,
+            self.frames_duplicate,
+            self.frames_late,
+            self.frames_reordered
+        ));
+        s.push_str(&format!(
+            "ticks       processed {}  gap-fills {}  masked stream-ticks {}\n",
+            self.ticks_processed, self.gap_fills, self.masked_stream_ticks
+        ));
+        s.push_str(&format!(
+            "sensors     quarantines {}  recoveries {}  watermark lag max {} ticks\n",
+            self.quarantines, self.recoveries, self.watermark_lag_max
+        ));
+        s.push_str(&format!(
+            "latency     decode mean {} ns (p99 < {} us)  step mean {} ns (p99 < {} us, max {} us)",
+            self.decode.mean_ns(),
+            self.decode.quantile_us(0.99),
+            self.step.mean_ns(),
+            self.step.quantile_us(0.99),
+            self.step.max_ns() / 1000
+        ));
+        s
+    }
+
+    /// JSON object with every counter and both histograms.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"frames_in\":{},\"bytes_in\":{},\"frames_corrupt\":{},\"frames_duplicate\":{},\
+             \"frames_late\":{},\"frames_reordered\":{},\"ticks_processed\":{},\"gap_fills\":{},\
+             \"masked_stream_ticks\":{},\"quarantines\":{},\"recoveries\":{},\
+             \"watermark_lag_max\":{},\"decode\":{},\"step\":{}}}",
+            self.frames_in,
+            self.bytes_in,
+            self.frames_corrupt,
+            self.frames_duplicate,
+            self.frames_late,
+            self.frames_reordered,
+            self.ticks_processed,
+            self.gap_fills,
+            self.masked_stream_ticks,
+            self.quarantines,
+            self.recoveries,
+            self.watermark_lag_max,
+            self.decode.json(),
+            self.step.json()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHisto::default();
+        for _ in 0..99 {
+            h.record_ns(1_500); // 1.5 µs → bucket 0
+        }
+        h.record_ns(2_000_000); // 2 ms → a high bucket
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), 2);
+        assert!(h.quantile_us(1.0) >= 2048);
+        assert_eq!(h.max_ns(), 2_000_000);
+        assert!(h.mean_ns() > 1_500);
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let mut c = RuntimeCounters::default();
+        c.frames_in = 7;
+        c.step.record_ns(10_000);
+        let j = c.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"frames_in\":7"));
+        assert!(j.contains("\"step\":{\"count\":1"));
+        // Balanced braces, no trailing commas.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains(",}") && !j.contains(",]"));
+    }
+
+    #[test]
+    fn summary_mentions_every_headline_counter() {
+        let c = RuntimeCounters::default();
+        let s = c.summary();
+        for needle in ["frames", "ticks", "sensors", "latency", "watermark lag"] {
+            assert!(s.contains(needle), "summary missing {needle}: {s}");
+        }
+    }
+}

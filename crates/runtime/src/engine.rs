@@ -1,0 +1,476 @@
+//! The live deauthentication engine.
+//!
+//! [`StreamingEngine`] is the station-side loop: bytes in, decisions
+//! out. It decodes wire frames, reassembles them through the
+//! [`ReorderBuffer`](crate::reorder::ReorderBuffer), and — as the
+//! watermark closes each tick — rebuilds a full per-stream sample row
+//! to advance MD → RE → Controller by exactly one tick:
+//!
+//! - a stream whose sample is missing this tick is **gap-filled** with
+//!   its last seen value, for at most `staleness_cap_ticks` ticks;
+//! - past the cap (or before a stream's first sample) the stream is
+//!   **masked** out of `s_t` via the core's masked-step API, so a dead
+//!   sensor degrades detection sensitivity instead of poisoning it;
+//! - sensor quarantine/recovery transitions and every controller
+//!   action surface as structured [`EngineEvent`]s, with totals in
+//!   [`RuntimeCounters`].
+//!
+//! With a lossless transport the rebuilt rows equal the recorded trace
+//! bit-for-bit and every tick closes unmasked, so decisions match the
+//! batch pipeline exactly — the parity test in `tests/parity.rs` holds
+//! the two byte-identical.
+
+use fadewich_core::config::FadewichParams;
+use fadewich_core::controller::{Action, Controller};
+use fadewich_core::kma::Kma;
+use fadewich_core::re::RadioEnvironment;
+
+use crate::counters::RuntimeCounters;
+use crate::reorder::{ReorderBuffer, ReorderConfig, SenderEvent};
+use crate::wire::Frame;
+
+/// Streaming-engine knobs on top of the core pipeline parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Sampling rate of the sensor deployment.
+    pub tick_hz: f64,
+    /// Core pipeline parameters (MD/RE/controller).
+    pub params: FadewichParams,
+    /// Reordering bound the transport guarantees (see
+    /// [`ReorderConfig::jitter_ticks`]).
+    pub jitter_ticks: u64,
+    /// Silence (in ticks behind the global frontier) after which a
+    /// sensor is quarantined.
+    pub quarantine_after_ticks: u64,
+    /// How long a missing sample may be gap-filled before the stream
+    /// is masked instead.
+    pub staleness_cap_ticks: u64,
+}
+
+impl EngineConfig {
+    /// Defaults tuned for the paper's 5 Hz deployment: absorb up to
+    /// 4 ticks of reorder, gap-fill up to 2 s, quarantine after 5 s of
+    /// silence.
+    pub fn new(tick_hz: f64, params: FadewichParams) -> EngineConfig {
+        EngineConfig {
+            tick_hz,
+            params,
+            jitter_ticks: 4,
+            quarantine_after_ticks: (5.0 * tick_hz).round() as u64,
+            staleness_cap_ticks: (2.0 * tick_hz).round() as u64,
+        }
+    }
+}
+
+/// A structured record of something the engine observed or decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// The controller acted (deauth, alert, …) at a tick.
+    Decision {
+        /// Watermark tick the action was taken at.
+        tick: u64,
+        /// The controller action.
+        action: Action,
+    },
+    /// A sensor went silent past the deadline; its streams are masked.
+    SensorQuarantined {
+        /// The sensor id.
+        sensor: u16,
+        /// Watermark tick of the decision.
+        tick: u64,
+    },
+    /// A quarantined sensor resumed delivering frames.
+    SensorRecovered {
+        /// The sensor id.
+        sensor: u16,
+        /// Tick of the frame that revived it.
+        tick: u64,
+    },
+}
+
+/// The station-side streaming engine. See the module docs.
+#[derive(Debug)]
+pub struct StreamingEngine<'a> {
+    cfg: EngineConfig,
+    controller: Controller<'a>,
+    reorder: ReorderBuffer,
+    /// `(sensor id, positions into the monitored stream set)` — the
+    /// frame layout contract from `Trace::receiver_groups`.
+    groups: Vec<(u16, Vec<usize>)>,
+    n_streams: usize,
+    last_value: Vec<f64>,
+    last_seen: Vec<Option<u64>>,
+    row: Vec<f64>,
+    mask: Vec<bool>,
+    counters: RuntimeCounters,
+    events: Vec<EngineEvent>,
+}
+
+impl<'a> StreamingEngine<'a> {
+    /// Builds an engine for a deployment described by `groups` (the
+    /// per-sensor stream layout, e.g. from `Trace::receiver_groups`),
+    /// a trained RE classifier and the day's KMA source.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty/inconsistent layout and propagates controller
+    /// construction errors.
+    pub fn new(
+        cfg: EngineConfig,
+        groups: Vec<(u16, Vec<usize>)>,
+        re: &'a RadioEnvironment,
+        kma: Kma<'a>,
+    ) -> Result<StreamingEngine<'a>, String> {
+        let n_streams: usize = groups.iter().map(|(_, p)| p.len()).sum();
+        let mut seen = vec![false; n_streams];
+        for &p in groups.iter().flat_map(|(_, ps)| ps) {
+            if p >= n_streams || seen[p] {
+                return Err("receiver groups must partition the stream set".to_string());
+            }
+            seen[p] = true;
+        }
+        if n_streams == 0 {
+            return Err("engine needs at least one stream".to_string());
+        }
+        let controller = Controller::new(n_streams, cfg.tick_hz, cfg.params, re, kma)?;
+        let reorder = ReorderBuffer::new(ReorderConfig {
+            n_senders: groups.len(),
+            jitter_ticks: cfg.jitter_ticks,
+            quarantine_after_ticks: cfg.quarantine_after_ticks,
+        });
+        Ok(StreamingEngine {
+            cfg,
+            controller,
+            reorder,
+            n_streams,
+            last_value: vec![0.0; n_streams],
+            last_seen: vec![None; n_streams],
+            row: vec![0.0; n_streams],
+            mask: vec![false; n_streams],
+            counters: RuntimeCounters::default(),
+            events: Vec::new(),
+            groups,
+        })
+    }
+
+    /// Number of monitored streams.
+    pub fn n_streams(&self) -> usize {
+        self.n_streams
+    }
+
+    /// Feeds raw wire bytes (one or more concatenated frames). Frames
+    /// for unknown sensors are counted as corrupt and skipped; a
+    /// decode error abandons the rest of the buffer (framing is lost).
+    pub fn ingest_bytes(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            self.counters.bytes_in += bytes.len() as u64;
+            let decoded = self.counters.decode.time(|| Frame::decode(bytes));
+            match decoded {
+                Ok((frame, used)) => {
+                    self.counters.bytes_in -= (bytes.len() - used) as u64;
+                    bytes = &bytes[used..];
+                    self.ingest_frame(frame);
+                }
+                Err(_) => {
+                    self.counters.frames_corrupt += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Feeds one already-decoded frame.
+    pub fn ingest_frame(&mut self, frame: Frame) {
+        let Some(sender) = self.groups.iter().position(|(s, _)| *s == frame.sensor) else {
+            self.counters.frames_corrupt += 1;
+            return;
+        };
+        if frame.values.len() != self.groups[sender].1.len() {
+            self.counters.frames_corrupt += 1;
+            return;
+        }
+        self.counters.frames_in += 1;
+        self.reorder.push(sender, frame.seq, frame.tick, frame.values);
+        let bundles = self.reorder.poll();
+        self.absorb_reorder_events();
+        for b in bundles {
+            self.process_tick(b.tick, &b.reports);
+        }
+    }
+
+    /// End-of-stream: drains the reorder buffer and, if the day is
+    /// known to run to `expected_ticks`, advances the pipeline through
+    /// any fully-lost tail ticks so tick indexing matches the batch
+    /// run.
+    pub fn finish(&mut self, expected_ticks: u64) {
+        let bundles = self.reorder.flush();
+        self.absorb_reorder_events();
+        for b in bundles {
+            self.process_tick(b.tick, &b.reports);
+        }
+        let empty: Vec<Option<Vec<f32>>> = vec![None; self.groups.len()];
+        while self.counters.ticks_processed < expected_ticks {
+            let tick = self.counters.ticks_processed;
+            self.process_tick(tick, &empty);
+        }
+    }
+
+    fn absorb_reorder_events(&mut self) {
+        let (duplicates, late, reordered) = self.reorder.counters();
+        self.counters.frames_duplicate = duplicates;
+        self.counters.frames_late = late;
+        self.counters.frames_reordered = reordered;
+        for ev in self.reorder.take_events() {
+            match ev {
+                SenderEvent::Quarantined { sender, at_tick } => {
+                    self.counters.quarantines += 1;
+                    self.events.push(EngineEvent::SensorQuarantined {
+                        sensor: self.groups[sender].0,
+                        tick: at_tick,
+                    });
+                }
+                SenderEvent::Recovered { sender, at_tick } => {
+                    self.counters.recoveries += 1;
+                    self.events.push(EngineEvent::SensorRecovered {
+                        sensor: self.groups[sender].0,
+                        tick: at_tick,
+                    });
+                }
+            }
+        }
+    }
+
+    fn process_tick(&mut self, tick: u64, reports: &[Option<Vec<f32>>]) {
+        let mut any_masked = false;
+        for (sender, (_, positions)) in self.groups.iter().enumerate() {
+            match &reports[sender] {
+                Some(values) => {
+                    for (&pos, &v) in positions.iter().zip(values) {
+                        self.row[pos] = v as f64;
+                        self.mask[pos] = false;
+                        self.last_value[pos] = v as f64;
+                        self.last_seen[pos] = Some(tick);
+                    }
+                }
+                None => {
+                    for &pos in positions {
+                        let age = self.last_seen[pos].map(|seen| tick.saturating_sub(seen));
+                        match age {
+                            Some(age) if age <= self.cfg.staleness_cap_ticks => {
+                                self.row[pos] = self.last_value[pos];
+                                self.mask[pos] = false;
+                                self.counters.gap_fills += 1;
+                            }
+                            _ => {
+                                self.row[pos] = self.last_value[pos];
+                                self.mask[pos] = true;
+                                any_masked = true;
+                                self.counters.masked_stream_ticks += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let controller = &mut self.controller;
+        let (row, mask) = (&self.row, &self.mask);
+        let n_new = self.counters.step.time(|| {
+            if any_masked {
+                controller.step_masked(tick as usize, row, mask)
+            } else {
+                controller.step(tick as usize, row)
+            }
+        });
+        self.counters.ticks_processed += 1;
+        self.counters.watermark_lag_max =
+            self.counters.watermark_lag_max.max(self.reorder.max_watermark_lag());
+        let actions = self.controller.actions();
+        for action in &actions[actions.len() - n_new..] {
+            self.events.push(EngineEvent::Decision { tick, action: *action });
+        }
+    }
+
+    /// Everything the controller has done so far.
+    pub fn actions(&self) -> &[Action] {
+        self.controller.actions()
+    }
+
+    /// The structured event log, in occurrence order.
+    pub fn events(&self) -> &[EngineEvent] {
+        &self.events
+    }
+
+    /// The runtime counters so far.
+    pub fn counters(&self) -> &RuntimeCounters {
+        &self.counters
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadewich_core::features::TrainingSample;
+    use fadewich_officesim::InputTrace;
+    use fadewich_stats::rng::Rng;
+
+    /// A tiny trained classifier (the engine only needs *a* valid RE).
+    fn tiny_re(n_streams: usize) -> RadioEnvironment {
+        use fadewich_core::features::extract_features;
+        use fadewich_officesim::DayTrace;
+        let mut rng = Rng::seed_from_u64(1);
+        let params = FadewichParams::default();
+        let mut samples = Vec::new();
+        for i in 0..20 {
+            let sd = if i % 2 == 1 { 4.0 } else { 0.6 };
+            let mut day = DayTrace::with_capacity(n_streams, 30);
+            for _ in 0..30 {
+                let row: Vec<f64> = (0..n_streams).map(|_| -50.0 + rng.normal() * sd).collect();
+                day.push_row(&row);
+            }
+            let streams: Vec<usize> = (0..n_streams).collect();
+            let features = extract_features(&day, &streams, 0, 5.0, &params);
+            samples.push(TrainingSample { features, label: i % 2 });
+        }
+        RadioEnvironment::train(&samples, None, &mut rng).unwrap()
+    }
+
+    fn quiet_inputs() -> InputTrace {
+        let busy: Vec<f64> = (0..600).step_by(3).map(|s| s as f64).collect();
+        InputTrace::from_times(vec![busy.clone(), busy])
+    }
+
+    /// Two sensors × two streams each.
+    fn groups() -> Vec<(u16, Vec<usize>)> {
+        vec![(0u16, vec![0, 1]), (1u16, vec![2, 3])]
+    }
+
+    fn engine_cfg() -> EngineConfig {
+        let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+        let mut cfg = EngineConfig::new(5.0, params);
+        cfg.jitter_ticks = 2;
+        cfg.quarantine_after_ticks = 10;
+        cfg.staleness_cap_ticks = 3;
+        cfg
+    }
+
+    fn feed_tick(engine: &mut StreamingEngine<'_>, tick: u64, skip_sensor: Option<u16>) {
+        let mut rng = Rng::task_stream(99, tick);
+        for (sensor, positions) in groups() {
+            if Some(sensor) == skip_sensor {
+                continue;
+            }
+            let values: Vec<f32> =
+                positions.iter().map(|_| -50.0 + rng.normal() as f32 * 0.6).collect();
+            engine.ingest_frame(Frame { sensor, seq: tick as u32, tick, values });
+        }
+    }
+
+    #[test]
+    fn rejects_bad_layouts() {
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let bad = vec![(0u16, vec![0, 1]), (1u16, vec![1, 2])];
+        assert!(StreamingEngine::new(engine_cfg(), bad, &re, Kma::new(&inputs)).is_err());
+        assert!(StreamingEngine::new(engine_cfg(), vec![], &re, Kma::new(&inputs)).is_err());
+    }
+
+    #[test]
+    fn corrupt_bytes_are_counted_not_fatal() {
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        let mut bytes =
+            Frame { sensor: 0, seq: 0, tick: 0, values: vec![-50.0, -50.0] }.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        e.ingest_bytes(&bytes);
+        assert_eq!(e.counters().frames_corrupt, 1);
+        assert_eq!(e.counters().frames_in, 0);
+    }
+
+    #[test]
+    fn short_gap_is_filled_long_gap_is_masked() {
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        // 20 clean ticks, then sensor 1 goes silent for good.
+        for t in 0..20 {
+            feed_tick(&mut e, t, None);
+        }
+        for t in 20..40 {
+            feed_tick(&mut e, t, Some(1));
+        }
+        e.finish(40);
+        let c = e.counters();
+        assert_eq!(c.ticks_processed, 40);
+        // First `staleness_cap` missing ticks gap-fill, the rest mask.
+        assert!(c.gap_fills >= 2 * 3, "gap fills: {}", c.gap_fills);
+        assert!(c.masked_stream_ticks > 0, "nothing was masked");
+        assert_eq!(c.quarantines, 1);
+        assert!(e
+            .events()
+            .iter()
+            .any(|ev| matches!(ev, EngineEvent::SensorQuarantined { sensor: 1, .. })));
+    }
+
+    #[test]
+    fn quarantined_sensor_recovers() {
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        for t in 0..15 {
+            feed_tick(&mut e, t, None);
+        }
+        for t in 15..30 {
+            feed_tick(&mut e, t, Some(1));
+        }
+        for t in 30..45 {
+            feed_tick(&mut e, t, None);
+        }
+        e.finish(45);
+        assert_eq!(e.counters().quarantines, 1);
+        assert_eq!(e.counters().recoveries, 1);
+        assert!(e
+            .events()
+            .iter()
+            .any(|ev| matches!(ev, EngineEvent::SensorRecovered { sensor: 1, .. })));
+    }
+
+    #[test]
+    fn out_of_order_within_jitter_is_transparent() {
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let mut a = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        let mut b = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        // Engine a: in order. Engine b: each sensor's frames swapped in
+        // pairs (displacement 1 ≤ jitter 2).
+        let mut frames = Vec::new();
+        for t in 0..30u64 {
+            let mut rng = Rng::task_stream(5, t);
+            for (sensor, positions) in groups() {
+                let values: Vec<f32> =
+                    positions.iter().map(|_| -50.0 + rng.normal() as f32 * 0.6).collect();
+                frames.push(Frame { sensor, seq: t as u32, tick: t, values });
+            }
+        }
+        for f in &frames {
+            a.ingest_frame(f.clone());
+        }
+        for pair in frames.chunks(4) {
+            for f in pair.iter().rev() {
+                b.ingest_frame(f.clone());
+            }
+        }
+        a.finish(30);
+        b.finish(30);
+        assert_eq!(a.actions(), b.actions());
+        assert_eq!(a.counters().gap_fills, 0);
+        assert_eq!(b.counters().gap_fills, 0);
+        assert!(b.counters().frames_reordered > 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Watermark-based stream reassembly.
+//!
+//! Frames arrive out of order, duplicated, late or not at all. The
+//! [`ReorderBuffer`] turns that mess back into a strictly in-order
+//! sequence of per-tick bundles, using per-sender *frontiers* (highest
+//! tick seen from each sender) and a configurable jitter bound:
+//!
+//! - tick `T` **closes** once every live sender has either delivered
+//!   its frame for `T` or advanced its frontier to `T + jitter_ticks`
+//!   (the transport's reordering guarantee: a frame can be at most
+//!   `jitter_ticks` behind the sender's newest);
+//! - a sender whose frontier lags the global frontier by more than
+//!   `quarantine_after_ticks` is **quarantined**: the buffer stops
+//!   waiting for it, so one dead sensor cannot stall the watermark. A
+//!   fresh frame from a quarantined sender recovers it.
+//!
+//! The buffer reports duplicates, late frames and sequence-number
+//! regressions, plus the current watermark lag — everything the engine
+//! surfaces in its runtime counters.
+
+use std::collections::BTreeMap;
+
+/// Reassembly parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ReorderConfig {
+    /// Number of senders (sensors) feeding the buffer.
+    pub n_senders: usize,
+    /// Maximum reordering the transport may introduce, in ticks: a
+    /// frame for tick `T` arrives before any frame with tick
+    /// `≥ T + jitter_ticks` from the same sender.
+    pub jitter_ticks: u64,
+    /// A sender lagging the global frontier by more than this many
+    /// ticks is quarantined.
+    pub quarantine_after_ticks: u64,
+}
+
+/// One closed tick: per-sender payloads, `None` where a sender's frame
+/// never arrived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickBundle {
+    /// The tick that closed.
+    pub tick: u64,
+    /// Payloads indexed by sender.
+    pub reports: Vec<Option<Vec<f32>>>,
+}
+
+/// What [`ReorderBuffer::push`] did with a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Accepted and buffered.
+    Buffered,
+    /// A frame for this (sender, tick) was already buffered or emitted.
+    Duplicate,
+    /// The tick has already been emitted; the frame is dropped.
+    Late,
+}
+
+/// Sender liveness transitions, in occurrence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderEvent {
+    /// The sender went silent past the deadline.
+    Quarantined {
+        /// The affected sender.
+        sender: usize,
+        /// Global frontier when the decision was made.
+        at_tick: u64,
+    },
+    /// A quarantined sender delivered a fresh frame.
+    Recovered {
+        /// The affected sender.
+        sender: usize,
+        /// The fresh frame's tick.
+        at_tick: u64,
+    },
+}
+
+/// The reorder buffer. See the module docs for the watermark rules.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    cfg: ReorderConfig,
+    /// Buffered payloads per tick (sparse; only ticks ≥ `next_emit`).
+    pending: BTreeMap<u64, Vec<Option<Vec<f32>>>>,
+    /// Next tick to emit.
+    next_emit: u64,
+    /// Highest tick seen per sender (`None` before its first frame).
+    frontier: Vec<Option<u64>>,
+    /// Highest sequence number seen per sender.
+    max_seq: Vec<Option<u32>>,
+    quarantined: Vec<bool>,
+    events: Vec<SenderEvent>,
+    duplicates: u64,
+    late: u64,
+    reordered: u64,
+    max_lag: u64,
+}
+
+impl ReorderBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_senders == 0`.
+    pub fn new(cfg: ReorderConfig) -> ReorderBuffer {
+        assert!(cfg.n_senders > 0, "need at least one sender");
+        ReorderBuffer {
+            pending: BTreeMap::new(),
+            next_emit: 0,
+            frontier: vec![None; cfg.n_senders],
+            max_seq: vec![None; cfg.n_senders],
+            quarantined: vec![false; cfg.n_senders],
+            events: Vec::new(),
+            duplicates: 0,
+            late: 0,
+            reordered: 0,
+            max_lag: 0,
+            cfg,
+        }
+    }
+
+    /// Offers one decoded frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range.
+    pub fn push(&mut self, sender: usize, seq: u32, tick: u64, values: Vec<f32>) -> PushOutcome {
+        assert!(sender < self.cfg.n_senders, "sender out of range");
+        match self.max_seq[sender] {
+            Some(m) if seq < m => self.reordered += 1,
+            _ => self.max_seq[sender] = Some(seq.max(self.max_seq[sender].unwrap_or(0))),
+        }
+        if self.frontier[sender].map_or(true, |f| tick > f) {
+            self.frontier[sender] = Some(tick);
+        }
+        if self.quarantined[sender] {
+            self.quarantined[sender] = false;
+            self.events.push(SenderEvent::Recovered { sender, at_tick: tick });
+        }
+        if tick < self.next_emit {
+            self.late += 1;
+            return PushOutcome::Late;
+        }
+        let slot = &mut self
+            .pending
+            .entry(tick)
+            .or_insert_with(|| vec![None; self.cfg.n_senders])[sender];
+        if slot.is_some() {
+            self.duplicates += 1;
+            return PushOutcome::Duplicate;
+        }
+        *slot = Some(values);
+        PushOutcome::Buffered
+    }
+
+    /// Highest tick seen from any sender.
+    pub fn global_frontier(&self) -> Option<u64> {
+        self.frontier.iter().flatten().copied().max()
+    }
+
+    /// Ticks between the global frontier and the next emission — how
+    /// far reassembly trails ingestion right now.
+    pub fn watermark_lag(&self) -> u64 {
+        self.global_frontier().map_or(0, |g| (g + 1).saturating_sub(self.next_emit))
+    }
+
+    /// Largest watermark lag ever observed by [`ReorderBuffer::poll`].
+    pub fn max_watermark_lag(&self) -> u64 {
+        self.max_lag
+    }
+
+    fn refresh_quarantine(&mut self) {
+        let Some(global) = self.global_frontier() else { return };
+        for sender in 0..self.cfg.n_senders {
+            if self.quarantined[sender] {
+                continue;
+            }
+            let lag = match self.frontier[sender] {
+                Some(f) => global.saturating_sub(f),
+                // Never heard from: lag measured from the stream start.
+                None => global + 1,
+            };
+            if lag > self.cfg.quarantine_after_ticks {
+                self.quarantined[sender] = true;
+                self.events.push(SenderEvent::Quarantined { sender, at_tick: global });
+            }
+        }
+    }
+
+    /// Whether `sender` is currently quarantined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range.
+    pub fn is_quarantined(&self, sender: usize) -> bool {
+        self.quarantined[sender]
+    }
+
+    /// Drains liveness transitions recorded since the last call.
+    pub fn take_events(&mut self) -> Vec<SenderEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Cumulative (duplicates, late frames, sequence regressions).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.duplicates, self.late, self.reordered)
+    }
+
+    fn closeable(&self, tick: u64) -> bool {
+        let bundle = self.pending.get(&tick);
+        (0..self.cfg.n_senders).all(|s| {
+            self.quarantined[s]
+                || bundle.is_some_and(|b| b[s].is_some())
+                || self.frontier[s].is_some_and(|f| f >= tick + self.cfg.jitter_ticks)
+        })
+    }
+
+    /// Emits every tick the watermark has closed, in order.
+    pub fn poll(&mut self) -> Vec<TickBundle> {
+        self.refresh_quarantine();
+        self.max_lag = self.max_lag.max(self.watermark_lag());
+        let mut out = Vec::new();
+        let Some(global) = self.global_frontier() else { return out };
+        while self.next_emit <= global && self.closeable(self.next_emit) {
+            let reports = self
+                .pending
+                .remove(&self.next_emit)
+                .unwrap_or_else(|| vec![None; self.cfg.n_senders]);
+            out.push(TickBundle { tick: self.next_emit, reports });
+            self.next_emit += 1;
+        }
+        out
+    }
+
+    /// End-of-stream: emits everything still buffered, in order, with
+    /// `None` for frames that never arrived.
+    pub fn flush(&mut self) -> Vec<TickBundle> {
+        let mut out = self.poll();
+        let Some(last) = self.pending.keys().next_back().copied().or(self.global_frontier())
+        else {
+            return out;
+        };
+        while self.next_emit <= last {
+            let reports = self
+                .pending
+                .remove(&self.next_emit)
+                .unwrap_or_else(|| vec![None; self.cfg.n_senders]);
+            out.push(TickBundle { tick: self.next_emit, reports });
+            self.next_emit += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, jitter: u64) -> ReorderConfig {
+        ReorderConfig { n_senders: n, jitter_ticks: jitter, quarantine_after_ticks: 1000 }
+    }
+
+    fn payload(x: f32) -> Vec<f32> {
+        vec![x]
+    }
+
+    #[test]
+    fn in_order_frames_emit_with_zero_jitter() {
+        let mut rb = ReorderBuffer::new(cfg(2, 0));
+        assert_eq!(rb.push(0, 0, 0, payload(1.0)), PushOutcome::Buffered);
+        assert!(rb.poll().is_empty(), "tick 0 must wait for sender 1");
+        rb.push(1, 0, 0, payload(2.0));
+        let out = rb.poll();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tick, 0);
+        assert_eq!(out[0].reports, vec![Some(payload(1.0)), Some(payload(2.0))]);
+    }
+
+    #[test]
+    fn jitter_bound_closes_missing_slots() {
+        // Sender 1 skips tick 0 entirely; once its frontier reaches
+        // jitter past 0, tick 0 closes with a hole.
+        let mut rb = ReorderBuffer::new(cfg(2, 2));
+        rb.push(0, 0, 0, payload(1.0));
+        rb.push(1, 0, 1, payload(9.0));
+        assert!(rb.poll().is_empty(), "frontier 1 < 0 + jitter");
+        rb.push(1, 1, 2, payload(8.0));
+        let out = rb.poll();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].reports, vec![Some(payload(1.0)), None]);
+    }
+
+    #[test]
+    fn duplicates_and_late_frames_counted() {
+        let mut rb = ReorderBuffer::new(cfg(1, 0));
+        rb.push(0, 0, 0, payload(1.0));
+        assert_eq!(rb.push(0, 1, 0, payload(1.0)), PushOutcome::Duplicate);
+        assert_eq!(rb.poll().len(), 1);
+        assert_eq!(rb.push(0, 2, 0, payload(1.0)), PushOutcome::Late);
+        assert_eq!(rb.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn sequence_regression_counted_as_reordered() {
+        let mut rb = ReorderBuffer::new(cfg(1, 4));
+        rb.push(0, 5, 5, payload(1.0));
+        rb.push(0, 3, 3, payload(1.0));
+        assert_eq!(rb.counters(), (0, 0, 1));
+    }
+
+    #[test]
+    fn silent_sender_quarantined_then_recovers() {
+        let mut rb = ReorderBuffer::new(ReorderConfig {
+            n_senders: 2,
+            jitter_ticks: 0,
+            quarantine_after_ticks: 3,
+        });
+        for t in 0..6 {
+            rb.push(0, t as u32, t, payload(1.0));
+        }
+        let out = rb.poll();
+        // Sender 1 was quarantined (lag 6 > 3), unblocking everything.
+        assert_eq!(out.len(), 6);
+        assert!(rb.is_quarantined(1));
+        assert_eq!(
+            rb.take_events(),
+            vec![SenderEvent::Quarantined { sender: 1, at_tick: 5 }]
+        );
+        rb.push(1, 0, 6, payload(2.0));
+        assert!(!rb.is_quarantined(1));
+        assert_eq!(rb.take_events(), vec![SenderEvent::Recovered { sender: 1, at_tick: 6 }]);
+    }
+
+    #[test]
+    fn flush_drains_everything_in_order() {
+        let mut rb = ReorderBuffer::new(cfg(2, 5));
+        rb.push(0, 0, 2, payload(1.0));
+        rb.push(1, 0, 4, payload(2.0));
+        let out = rb.flush();
+        assert_eq!(out.iter().map(|b| b.tick).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(out[2].reports[0], Some(payload(1.0)));
+        assert_eq!(out[4].reports[1], Some(payload(2.0)));
+        // Idempotent once drained.
+        assert!(rb.flush().is_empty());
+    }
+
+    #[test]
+    fn watermark_lag_tracks_frontier_distance() {
+        let mut rb = ReorderBuffer::new(cfg(2, 0));
+        rb.push(0, 0, 9, payload(1.0));
+        assert_eq!(rb.watermark_lag(), 10);
+        rb.poll();
+        assert_eq!(rb.max_watermark_lag(), 10);
+    }
+}

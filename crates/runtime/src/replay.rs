@@ -1,0 +1,163 @@
+//! Scenario-driven replay: the glue between `officesim` recordings and
+//! the streaming engine.
+//!
+//! A replay reproduces the deployed workflow end to end: train RE on
+//! the first days with KMA auto-labeling (exactly as the batch
+//! deployment experiment does, same ordering and seed), then stream
+//! each remaining day's sensor reports through a [`LinkModel`] into a
+//! [`StreamingEngine`]. The batch reference
+//! ([`batch_day_actions`]) steps a plain [`Controller`] over the same
+//! recorded matrix, so a lossless replay must produce byte-identical
+//! decisions — the invariant `tests/parity.rs` enforces.
+
+use fadewich_core::config::FadewichParams;
+use fadewich_core::controller::{Action, Controller};
+use fadewich_core::features::{extract_features, TrainingSample};
+use fadewich_core::kma::Kma;
+use fadewich_core::md::run_md_over_day;
+use fadewich_core::re::{auto_label, AutoLabelParams, RadioEnvironment};
+use fadewich_officesim::{Scenario, Trace};
+use fadewich_stats::rng::Rng;
+
+use crate::counters::RuntimeCounters;
+use crate::engine::{EngineConfig, EngineEvent, StreamingEngine};
+use crate::link::LinkModel;
+use crate::wire::Frame;
+
+/// RE training seed — shared with the batch deployment experiment so
+/// both pipelines compare like for like.
+pub const TRAIN_SEED: u64 = 0xDE9107;
+
+/// Everything one streamed day produced.
+#[derive(Debug, Clone)]
+pub struct DayReplay {
+    /// Which recorded day was streamed.
+    pub day: usize,
+    /// The controller's action log.
+    pub actions: Vec<Action>,
+    /// Structured events (decisions, quarantines, recoveries).
+    pub events: Vec<EngineEvent>,
+    /// Runtime counters for the day.
+    pub counters: RuntimeCounters,
+}
+
+/// Trains RE on the first `train_days` of a scenario with KMA
+/// auto-labeling (the deployment workflow's training phase).
+///
+/// # Errors
+///
+/// Returns a message for an invalid split, MD failures, or a training
+/// set too small to fit a classifier.
+pub fn train_re(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    train_days: usize,
+    params: &FadewichParams,
+) -> Result<RadioEnvironment, String> {
+    let n_days = trace.days().len();
+    if train_days == 0 || train_days >= n_days {
+        return Err(format!("need 1..{} training days, got {train_days}", n_days - 1));
+    }
+    let hz = trace.tick_hz();
+    let label_params = AutoLabelParams::default();
+    let mut samples: Vec<TrainingSample> = Vec::new();
+    for day in 0..train_days {
+        let run = run_md_over_day(&trace.days()[day], streams, hz, *params)?;
+        let inputs = scenario.input_trace(day, 0);
+        let kma = Kma::new(&inputs);
+        for w in run.significant_windows(params.t_delta_ticks(hz)) {
+            let Some(label) = auto_label(&kma, w.start_s(hz), &label_params) else {
+                continue;
+            };
+            samples.push(TrainingSample {
+                features: extract_features(&trace.days()[day], streams, w.start_tick, hz, params),
+                label,
+            });
+        }
+    }
+    let mut rng = Rng::seed_from_u64(TRAIN_SEED);
+    RadioEnvironment::train(&samples, None, &mut rng)
+        .map_err(|e| format!("training phase failed: {e}"))
+}
+
+/// The batch reference: drives a plain [`Controller`] over the
+/// recorded day matrix and returns its action log.
+///
+/// # Errors
+///
+/// Propagates controller construction errors.
+pub fn batch_day_actions(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    day: usize,
+    params: &FadewichParams,
+) -> Result<Vec<Action>, String> {
+    let hz = trace.tick_hz();
+    let inputs = scenario.input_trace(day, 0);
+    let kma = Kma::new(&inputs);
+    let mut controller = Controller::new(streams.len(), hz, *params, re, kma)?;
+    let day_trace = &trace.days()[day];
+    let mut row = vec![0.0f64; streams.len()];
+    for tick in 0..day_trace.n_ticks() {
+        let full = day_trace.row(tick);
+        for (dst, &s) in row.iter_mut().zip(streams) {
+            *dst = full[s] as f64;
+        }
+        controller.step(tick, &row);
+    }
+    Ok(controller.actions().to_vec())
+}
+
+/// Streams one recorded day through `link` into a fresh engine.
+///
+/// Sensor reports are framed in send order with per-sensor sequence
+/// numbers; the link's randomness comes from
+/// `Rng::task_stream(link_seed, day)` so replays are deterministic and
+/// per-day independent.
+///
+/// # Errors
+///
+/// Propagates engine construction errors.
+pub fn stream_day(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    day: usize,
+    cfg: EngineConfig,
+    link: &LinkModel,
+    link_seed: u64,
+) -> Result<DayReplay, String> {
+    let groups = trace.receiver_groups(streams);
+    let inputs = scenario.input_trace(day, 0);
+    let kma = Kma::new(&inputs);
+    let mut engine = StreamingEngine::new(cfg, groups.clone(), re, kma)?;
+
+    let mut seq = vec![0u32; groups.len()];
+    let reports = trace.sensor_reports(day, streams);
+    let mut frames: Vec<(u64, Vec<u8>)> = Vec::with_capacity(reports.len());
+    for r in reports {
+        let sender = groups
+            .iter()
+            .position(|(s, _)| *s == r.sensor)
+            .expect("sensor_reports and receiver_groups share the layout");
+        let frame = Frame { sensor: r.sensor, seq: seq[sender], tick: r.tick, values: r.values };
+        seq[sender] = seq[sender].wrapping_add(1);
+        frames.push((r.tick, frame.encode()));
+    }
+    let mut rng = Rng::task_stream(link_seed, day as u64);
+    for bytes in link.deliver(&frames, &mut rng) {
+        engine.ingest_bytes(&bytes);
+    }
+    engine.finish(trace.days()[day].n_ticks() as u64);
+
+    Ok(DayReplay {
+        day,
+        actions: engine.actions().to_vec(),
+        events: engine.events().to_vec(),
+        counters: engine.counters().clone(),
+    })
+}

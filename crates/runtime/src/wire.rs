@@ -1,0 +1,258 @@
+//! The sensor wire codec.
+//!
+//! A live deployment's receiving sensors push their per-tick RSSI
+//! measurements to the central station over an unreliable transport
+//! (the paper's nodes used raw 2.4 GHz packets). Each report travels as
+//! one self-delimiting binary [`Frame`]:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic        0xFADE, little-endian
+//! 2       2     sensor       receiving sensor id
+//! 4       4     seq          per-sensor send sequence number
+//! 8       8     tick         day-local tick timestamp
+//! 16      2     len          number of f32 samples (≤ MAX_PAYLOAD)
+//! 18      4·len payload      samples, f32 little-endian
+//! …       4     crc32        IEEE CRC-32 of all preceding bytes
+//! ```
+//!
+//! Everything is little-endian. The checksum lets the station reject
+//! corrupted frames instead of feeding garbage RSSI into MD — the
+//! reorder buffer then treats the tick as missing, which downstream
+//! gap-fill handles gracefully.
+
+/// Frame preamble, chosen to make byte-aligned garbage unlikely to
+/// parse.
+pub const FRAME_MAGIC: u16 = 0xFADE;
+
+/// Bytes before the payload.
+pub const HEADER_LEN: usize = 18;
+
+/// Hard cap on samples per frame (a 9-sensor office has at most 8
+/// streams per receiver; the cap only bounds hostile input).
+pub const MAX_PAYLOAD: usize = 4096;
+
+/// One sensor report on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Receiving sensor id.
+    pub sensor: u16,
+    /// Per-sensor send sequence number (monotone at the sender).
+    pub seq: u32,
+    /// Day-local tick the samples belong to.
+    pub tick: u64,
+    /// RSSI samples in the sensor's `receiver_groups` order.
+    pub values: Vec<f32>,
+}
+
+/// Why a byte buffer failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the declared (or minimum) frame length.
+    Truncated,
+    /// The first two bytes are not [`FRAME_MAGIC`].
+    BadMagic,
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    BadLength(usize),
+    /// The trailing CRC-32 does not match the frame contents.
+    BadChecksum {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC carried by the frame.
+        carried: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadLength(n) => write!(f, "declared payload of {n} samples exceeds cap"),
+            WireError::BadChecksum { computed, carried } => {
+                write!(f, "checksum mismatch: computed {computed:#010x}, carried {carried:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 (the zlib/Ethernet polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+impl Frame {
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + 4 * self.values.len() + 4
+    }
+
+    /// Appends the encoded frame to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`] samples.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        assert!(self.values.len() <= MAX_PAYLOAD, "payload too large");
+        let start = out.len();
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.sensor.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.tick.to_le_bytes());
+        out.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let crc = crc32(&out[start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Encodes the frame into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one frame from the start of `bytes`, returning it and
+    /// the number of bytes consumed (so frames can be streamed from a
+    /// concatenated buffer).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; the buffer is never consumed on error.
+    pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), WireError> {
+        if bytes.len() < HEADER_LEN + 4 {
+            return Err(WireError::Truncated);
+        }
+        let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+        if magic != FRAME_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let sensor = u16::from_le_bytes([bytes[2], bytes[3]]);
+        let seq = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let tick = u64::from_le_bytes([
+            bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15],
+        ]);
+        let len = u16::from_le_bytes([bytes[16], bytes[17]]) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(WireError::BadLength(len));
+        }
+        let total = HEADER_LEN + 4 * len + 4;
+        if bytes.len() < total {
+            return Err(WireError::Truncated);
+        }
+        let computed = crc32(&bytes[..total - 4]);
+        let carried = u32::from_le_bytes([
+            bytes[total - 4],
+            bytes[total - 3],
+            bytes[total - 2],
+            bytes[total - 1],
+        ]);
+        if computed != carried {
+            return Err(WireError::BadChecksum { computed, carried });
+        }
+        let mut values = Vec::with_capacity(len);
+        for i in 0..len {
+            let o = HEADER_LEN + 4 * i;
+            values.push(f32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]));
+        }
+        Ok((Frame { sensor, seq, tick, values }, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let f = Frame { sensor: 3, seq: 41, tick: 123_456, values: vec![-50.25, -61.5, 0.0] };
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.encoded_len());
+        let (back, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn streams_from_concatenated_buffer() {
+        let a = Frame { sensor: 0, seq: 0, tick: 0, values: vec![1.0] };
+        let b = Frame { sensor: 1, seq: 0, tick: 0, values: vec![2.0, 3.0] };
+        let mut buf = a.encode();
+        b.encode_into(&mut buf);
+        let (fa, na) = Frame::decode(&buf).unwrap();
+        let (fb, nb) = Frame::decode(&buf[na..]).unwrap();
+        assert_eq!((fa, fb), (a, b));
+        assert_eq!(na + nb, buf.len());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let f = Frame { sensor: 7, seq: 9, tick: 77, values: vec![-48.0, -52.5] };
+        let clean = f.encode();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut dirty = clean.clone();
+                dirty[byte] ^= 1 << bit;
+                match Frame::decode(&dirty) {
+                    Err(_) => {}
+                    // A flip in the `len` field can only make the frame
+                    // longer (or oversize), never decode cleanly.
+                    Ok((g, _)) => panic!("flip {byte}:{bit} decoded as {g:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_magic_errors() {
+        let f = Frame { sensor: 1, seq: 2, tick: 3, values: vec![4.0] };
+        let bytes = f.encode();
+        assert_eq!(Frame::decode(&bytes[..10]), Err(WireError::Truncated));
+        assert_eq!(Frame::decode(&bytes[..bytes.len() - 1]), Err(WireError::Truncated));
+        let mut bad = bytes.clone();
+        bad[0] = 0x00;
+        assert_eq!(Frame::decode(&bad), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn oversize_length_rejected_before_allocation() {
+        let f = Frame { sensor: 1, seq: 2, tick: 3, values: vec![4.0] };
+        let mut bytes = f.encode();
+        let huge = (MAX_PAYLOAD as u16 + 1).to_le_bytes();
+        bytes[16] = huge[0];
+        bytes[17] = huge[1];
+        assert_eq!(Frame::decode(&bytes), Err(WireError::BadLength(MAX_PAYLOAD + 1)));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -46,6 +46,7 @@ pub struct RollingStd {
     sum: f64,
     sum_sq: f64,
     pushes: u64,
+    non_finite: u64,
 }
 
 impl RollingStd {
@@ -65,11 +66,29 @@ impl RollingStd {
             sum: 0.0,
             sum_sq: 0.0,
             pushes: 0,
+            non_finite: 0,
         }
     }
 
     /// Pushes a sample, evicting the oldest when full.
+    ///
+    /// Non-finite samples (NaN, ±∞) are replaced by the most recent
+    /// finite sample (or `0.0` on an empty window) and counted in
+    /// [`RollingStd::non_finite_count`]. A NaN fed into the running
+    /// sums would otherwise poison `sum`/`sum_sq` — and therefore every
+    /// `std_dev` — until the next periodic recompute evicted it.
     pub fn push(&mut self, x: f64) {
+        let x = if x.is_finite() {
+            x
+        } else {
+            self.non_finite += 1;
+            if self.len == 0 {
+                0.0
+            } else {
+                // Hold the last value: the newest retained sample.
+                self.buf[(self.head + self.capacity - 1) % self.capacity]
+            }
+        };
         if self.len == 0 {
             self.offset = x;
         }
@@ -154,7 +173,14 @@ impl RollingStd {
         out
     }
 
-    /// Clears the window without deallocating.
+    /// Number of non-finite samples ever pushed (each was replaced by
+    /// the held value; see [`RollingStd::push`]).
+    pub fn non_finite_count(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Clears the window without deallocating. The non-finite counter
+    /// is cumulative and survives the clear.
     pub fn clear(&mut self) {
         self.head = 0;
         self.len = 0;
@@ -307,6 +333,52 @@ mod tests {
         }
         let batch = descriptive::std_dev(&w.to_vec());
         assert!((w.std_dev() - batch).abs() < 1e-6, "{} vs {batch}", w.std_dev());
+    }
+
+    #[test]
+    fn nan_is_held_not_accumulated() {
+        let mut w = RollingStd::new(4);
+        w.push(1.0);
+        w.push(3.0);
+        w.push(f64::NAN);
+        // NaN must act as hold-last-value: window is now [1, 3, 3].
+        assert_eq!(w.non_finite_count(), 1);
+        assert_eq!(w.to_vec(), vec![1.0, 3.0, 3.0]);
+        assert!(w.std_dev().is_finite());
+        let batch = descriptive::std_dev(&[1.0, 3.0, 3.0]);
+        assert!((w.std_dev() - batch).abs() < 1e-12);
+        // Before the guard, the poisoned sums stayed NaN until the next
+        // RECOMPUTE_EVERY boundary; the very next push must be clean.
+        w.push(5.0);
+        assert!(w.std_dev().is_finite());
+    }
+
+    #[test]
+    fn non_finite_first_sample_becomes_zero() {
+        let mut w = RollingStd::new(3);
+        w.push(f64::INFINITY);
+        assert_eq!(w.non_finite_count(), 1);
+        assert_eq!(w.to_vec(), vec![0.0]);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn infinities_and_nans_mixed_stay_finite() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut w = RollingStd::new(16);
+        for i in 0..5000 {
+            if i % 7 == 3 {
+                w.push(if i % 2 == 0 { f64::NAN } else { f64::NEG_INFINITY });
+            } else {
+                w.push(rng.normal_with(-50.0, 2.0));
+            }
+            assert!(w.std_dev().is_finite(), "std went non-finite at push {i}");
+        }
+        // i ≡ 3 (mod 7) for i in 0..5000 → 714 non-finite pushes.
+        assert_eq!(w.non_finite_count(), 714);
+        let batch = descriptive::std_dev(&w.to_vec());
+        assert!((w.std_dev() - batch).abs() < 1e-6);
     }
 
     #[test]

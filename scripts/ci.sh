@@ -14,3 +14,11 @@ cd "$(dirname "$0")/.."
 export RUSTFLAGS="-D warnings"
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Streaming runtime gates: the lossless replay must be byte-identical
+# to the batch pipeline, and a seeded lossy replay (2% drop, 3 ticks
+# of jitter, duplicates + corruption) must finish with the degradation
+# counted, not panic.
+cargo test -q --release --offline -p fadewich-runtime --test parity
+cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+    --drop 0.02 --dup 0.01 --corrupt 0.005 --jitter 3 --link-seed 7 > /dev/null

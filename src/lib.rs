@@ -16,5 +16,6 @@ pub use fadewich_experiments as experiments;
 pub use fadewich_geometry as geometry;
 pub use fadewich_officesim as officesim;
 pub use fadewich_rfchannel as rfchannel;
+pub use fadewich_runtime as runtime;
 pub use fadewich_stats as stats;
 pub use fadewich_svm as svm;
