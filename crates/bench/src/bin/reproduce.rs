@@ -5,9 +5,11 @@
 //! ```
 //!
 //! Targets: `table2 table3 table4 table5 fig2 fig7 fig8 fig9 fig10
-//! fig11 fig12 fig13 ablations deployment streaming csi baseline
-//! attacks offices` (default: all). `--quick` runs a 1-day scenario
-//! instead of the paper's 5 days.
+//! fig11 fig12 fig13 ablations deployment streaming artifact csi
+//! baseline attacks offices` (default: all). `--quick` runs a 1-day
+//! scenario instead of the paper's 5 days. Like `deployment` and
+//! `streaming`, the `artifact` target needs a >= 2-day trace (it
+//! trains on the leading days and exports the model bundle).
 //!
 //! The selected targets run as independent jobs on the
 //! [`par`](fadewich_experiments::par) worker pool (`FADEWICH_THREADS`
@@ -359,6 +361,55 @@ fn main() {
             ));
         } else {
             eprintln!("streaming target needs >= 2 days (skipped in this configuration)");
+        }
+    }
+    if wanted(&opts, "artifact") {
+        // Export the trained model through the versioned artifact
+        // codec and report its deterministic vital signs: identical
+        // inputs must produce an identical bundle, so the byte count
+        // and CRC double as a cheap cross-machine regression check.
+        let train_days = if experiment.trace.days().len() > 2 { 2 } else { 1 };
+        if experiment.trace.days().len() > train_days {
+            jobs.push((
+                "artifact",
+                Box::new(move || {
+                    let bundle = fadewich_experiments::deployment::export_model(
+                        &experiment,
+                        train_days,
+                        9,
+                    )
+                    .expect("artifact export");
+                    let bytes = bundle.encode();
+                    let crc = u32::from_le_bytes(
+                        bytes[bytes.len() - 4..].try_into().expect("crc tail"),
+                    );
+                    let svm = bundle.re.svm();
+                    let mut t = TextTable::new(
+                        "Model artifact: versioned train/serve bundle",
+                        &["metric", "value"],
+                    );
+                    t.add_row(vec!["bytes".into(), bytes.len().to_string()]);
+                    t.add_row(vec!["crc32".into(), format!("{crc:08x}")]);
+                    t.add_row(vec!["classes".into(), svm.classes().len().to_string()]);
+                    t.add_row(vec!["machines".into(), svm.machines().len().to_string()]);
+                    t.add_row(vec![
+                        "support vectors".into(),
+                        svm.machines()
+                            .iter()
+                            .map(|(_, _, m)| m.n_support_vectors())
+                            .sum::<usize>()
+                            .to_string(),
+                    ]);
+                    t.add_row(vec!["md profile values".into(), bundle.md.values.len().to_string()]);
+                    t.add_row(vec![
+                        "md threshold".into(),
+                        bundle.md.threshold.map_or("unset".into(), |v| format!("{v:.6}")),
+                    ]);
+                    vec![table_emission("artifact", &t)]
+                }),
+            ));
+        } else {
+            eprintln!("artifact target needs >= 2 days (skipped in this configuration)");
         }
     }
     if wanted(&opts, "baseline") {

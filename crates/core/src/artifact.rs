@@ -1,0 +1,640 @@
+//! The versioned model-artifact bundle.
+//!
+//! The paper's deployment trains the RE classifier and the MD normal
+//! profile once per office, then serves online for days (§VII–VIII).
+//! This module is the boundary between those two phases: everything a
+//! serving process needs — pipeline parameters, the feature schema,
+//! MD's learned profile and threshold, the feature scaler, and the
+//! full one-vs-one SVM ensemble — packs into one [`ModelBundle`],
+//! serialized with a hand-rolled, CRC-32-guarded, length-prefixed
+//! binary format in the style of the sensor wire codec
+//! (`fadewich-runtime::wire`). No serde: the workspace is offline.
+//!
+//! # Binary layout (version 1)
+//!
+//! ```text
+//! offset  size      field
+//! 0       4         magic        "FWMB", byte-literal
+//! 4       2         version      u16 little-endian, currently 1
+//! 6       4         body_len     u32 little-endian
+//! 10      body_len  body         see below
+//! …       4         crc32        IEEE CRC-32 of ALL preceding bytes
+//! ```
+//!
+//! The total length must be exactly `10 + body_len + 4`: a corrupted
+//! `body_len` therefore fails the length check, and every other
+//! corruption fails magic, version, or the checksum — a property test
+//! flips every bit to prove it. All multi-byte values are
+//! little-endian; `f64`s are raw IEEE-754 bits, so a round-trip
+//! preserves every prediction bit-exactly.
+//!
+//! Body, in order:
+//!
+//! 1. **params** — the 17 `f64` fields of
+//!    [`FadewichParams::to_field_array`] (that order is the v1
+//!    contract);
+//! 2. **schema** — `tick_hz: f64`, `n_streams: u32`, the stream ids as
+//!    `u32`s, `features_per_stream: u32`;
+//! 3. **MD snapshot** — `has_threshold: u8` (0/1), the threshold `f64`
+//!    when present, `profile_len: u32`, the profile `f64`s;
+//! 4. **scaler** — `d: u32`, `d` means, `d` stds;
+//! 5. **classes** — `k: u32`, `k` labels as `u64`s;
+//! 6. **machines** — `m: u32`, then per machine: `class_a: u64`,
+//!    `class_b: u64`, kernel tag `u8` (0 = linear, 1 = RBF followed by
+//!    `gamma: f64`), `bias: f64`, `n_sv: u32`, `sv_dim: u32`, the
+//!    `n_sv` coefficients, then the support vectors row-major.
+//!
+//! # Version / compatibility rules
+//!
+//! - Any layout change — field added, removed, reordered, or
+//!   re-encoded — bumps the version. There are no minor versions and
+//!   no in-place extension points; v1 readers reject anything else
+//!   with [`ArtifactError::UnsupportedVersion`].
+//! - Decoding validates semantics, not just framing: parameters must
+//!   pass [`FadewichParams::validate`], the scaler/SVM parts must pass
+//!   their `from_parts` checks, and the scaler dimension must equal
+//!   `stream_ids.len() × features_per_stream`. A syntactically intact
+//!   but meaningless artifact fails with [`ArtifactError::Malformed`].
+
+use std::path::Path;
+
+use fadewich_stats::checksum::crc32;
+use fadewich_svm::{BinarySvm, Kernel, MultiClassSvm, StandardScaler};
+
+use crate::config::FadewichParams;
+use crate::md::MdSnapshot;
+use crate::re::RadioEnvironment;
+
+/// Artifact preamble: `b"FWMB"` (FadeWich Model Bundle).
+pub const ARTIFACT_MAGIC: [u8; 4] = *b"FWMB";
+
+/// The format version this build reads and writes.
+pub const ARTIFACT_VERSION: u16 = 1;
+
+/// Bytes before the body: magic + version + body length.
+pub const HEADER_LEN: usize = 10;
+
+/// What the feature vectors in the bundle were computed over: which
+/// RSSI streams, at what rate, with how many features per stream. A
+/// serving process checks this against the live deployment before
+/// classifying anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSchema {
+    /// Sampling rate the model was trained at.
+    pub tick_hz: f64,
+    /// Monitored stream indices, in feature order.
+    pub stream_ids: Vec<u32>,
+    /// Features extracted per stream (variance, entropy, autocorr = 3).
+    pub features_per_stream: usize,
+}
+
+impl FeatureSchema {
+    /// The feature dimension implied by the schema.
+    pub fn n_features(&self) -> usize {
+        self.stream_ids.len() * self.features_per_stream
+    }
+}
+
+/// Everything a serving process needs, in one versioned file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelBundle {
+    /// Pipeline tunables the model was trained under.
+    pub params: FadewichParams,
+    /// The feature layout contract.
+    pub schema: FeatureSchema,
+    /// MD's learned normal profile and threshold.
+    pub md: MdSnapshot,
+    /// The trained RE classifier (scaler + one-vs-one SVM ensemble).
+    pub re: RadioEnvironment,
+}
+
+/// Why a byte buffer failed to decode into a [`ModelBundle`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// Fewer bytes than the declared (or minimum) artifact length.
+    Truncated,
+    /// The first four bytes are not [`ARTIFACT_MAGIC`].
+    BadMagic,
+    /// The artifact was written by an incompatible format version.
+    UnsupportedVersion(u16),
+    /// Bytes past the declared end of the artifact.
+    TrailingBytes,
+    /// The trailing CRC-32 does not match the artifact contents.
+    BadChecksum {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC carried by the artifact.
+        carried: u32,
+    },
+    /// Framing was intact but the contents do not form a valid model.
+    Malformed(String),
+    /// Reading or writing the artifact file failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Truncated => write!(f, "truncated model artifact"),
+            ArtifactError::BadMagic => write!(f, "bad artifact magic (not a model bundle)"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact version {v} (this build reads {ARTIFACT_VERSION})")
+            }
+            ArtifactError::TrailingBytes => write!(f, "trailing bytes after model artifact"),
+            ArtifactError::BadChecksum { computed, carried } => {
+                write!(f, "checksum mismatch: computed {computed:#010x}, carried {carried:#010x}")
+            }
+            ArtifactError::Malformed(why) => write!(f, "malformed model artifact: {why}"),
+            ArtifactError::Io(why) => write!(f, "artifact i/o error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Sequential little-endian reader over the artifact body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ArtifactError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(ArtifactError::Malformed(format!("body ends inside {what}")));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ArtifactError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ArtifactError> {
+        let s = self.take(8, what)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, ArtifactError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads `n` f64s, with `n` pre-checked against the remaining body
+    /// so a hostile length cannot trigger a huge allocation.
+    fn f64_vec(&mut self, n: usize, what: &str) -> Result<Vec<f64>, ArtifactError> {
+        let s = self.take(8 * n, what)?;
+        Ok(s.chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])))
+            .collect())
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_len(out: &mut Vec<u8>, n: usize, what: &str) {
+    assert!(n <= u32::MAX as usize, "{what} count {n} overflows the u32 length prefix");
+    push_u32(out, n as u32);
+}
+
+impl ModelBundle {
+    /// Serializes the bundle into the version-1 binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+
+        // 1. Params.
+        for v in self.params.to_field_array() {
+            push_f64(&mut body, v);
+        }
+
+        // 2. Schema.
+        push_f64(&mut body, self.schema.tick_hz);
+        push_len(&mut body, self.schema.stream_ids.len(), "stream id");
+        for &id in &self.schema.stream_ids {
+            push_u32(&mut body, id);
+        }
+        push_len(&mut body, self.schema.features_per_stream, "features per stream");
+
+        // 3. MD snapshot.
+        match self.md.threshold {
+            Some(ub) => {
+                body.push(1);
+                push_f64(&mut body, ub);
+            }
+            None => body.push(0),
+        }
+        push_len(&mut body, self.md.values.len(), "profile value");
+        for &v in &self.md.values {
+            push_f64(&mut body, v);
+        }
+
+        // 4. Scaler.
+        let scaler = self.re.svm().scaler();
+        push_len(&mut body, scaler.n_features(), "scaler feature");
+        for &m in scaler.means() {
+            push_f64(&mut body, m);
+        }
+        for &s in scaler.stds() {
+            push_f64(&mut body, s);
+        }
+
+        // 5. Classes.
+        let classes = self.re.svm().classes();
+        push_len(&mut body, classes.len(), "class");
+        for &c in classes {
+            push_u64(&mut body, c as u64);
+        }
+
+        // 6. Machines.
+        let machines = self.re.svm().machines();
+        push_len(&mut body, machines.len(), "machine");
+        for (ca, cb, svm) in machines {
+            push_u64(&mut body, *ca as u64);
+            push_u64(&mut body, *cb as u64);
+            match svm.kernel() {
+                Kernel::Linear => body.push(0),
+                Kernel::Rbf { gamma } => {
+                    body.push(1);
+                    push_f64(&mut body, gamma);
+                }
+            }
+            push_f64(&mut body, svm.bias());
+            push_len(&mut body, svm.n_support_vectors(), "support vector");
+            let sv_dim = svm.support_vectors()[0].len();
+            push_len(&mut body, sv_dim, "support vector dimension");
+            for &c in svm.coefficients() {
+                push_f64(&mut body, c);
+            }
+            for sv in svm.support_vectors() {
+                for &v in sv {
+                    push_f64(&mut body, v);
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
+        out.extend_from_slice(&ARTIFACT_MAGIC);
+        out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        assert!(body.len() <= u32::MAX as usize, "artifact body overflows the u32 length prefix");
+        push_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        let crc = crc32(&out);
+        push_u32(&mut out, crc);
+        out
+    }
+
+    /// Decodes and validates a bundle. The buffer must contain exactly
+    /// one artifact — framing, checksum, and model semantics are all
+    /// checked before anything is returned.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] except [`ArtifactError::Io`].
+    pub fn decode(bytes: &[u8]) -> Result<ModelBundle, ArtifactError> {
+        if bytes.len() < HEADER_LEN + 4 {
+            return Err(ArtifactError::Truncated);
+        }
+        if bytes[..4] != ARTIFACT_MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        let body_len = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
+        let total = match HEADER_LEN.checked_add(body_len).and_then(|n| n.checked_add(4)) {
+            Some(t) => t,
+            None => return Err(ArtifactError::Truncated),
+        };
+        // Exact-length framing: a flipped bit in body_len can never
+        // masquerade as a valid artifact.
+        if bytes.len() < total {
+            return Err(ArtifactError::Truncated);
+        }
+        if bytes.len() > total {
+            return Err(ArtifactError::TrailingBytes);
+        }
+        let computed = crc32(&bytes[..total - 4]);
+        let carried = u32::from_le_bytes([
+            bytes[total - 4],
+            bytes[total - 3],
+            bytes[total - 2],
+            bytes[total - 1],
+        ]);
+        if computed != carried {
+            return Err(ArtifactError::BadChecksum { computed, carried });
+        }
+
+        let mut cur = Cursor::new(&bytes[HEADER_LEN..total - 4]);
+
+        // 1. Params.
+        let mut fields = [0.0f64; FadewichParams::N_FIELDS];
+        for (i, slot) in fields.iter_mut().enumerate() {
+            *slot = cur.f64(&format!("params field {i}"))?;
+        }
+        let params =
+            FadewichParams::from_field_array(&fields).map_err(ArtifactError::Malformed)?;
+
+        // 2. Schema.
+        let tick_hz = cur.f64("schema tick_hz")?;
+        if !(tick_hz.is_finite() && tick_hz > 0.0) {
+            return Err(ArtifactError::Malformed(format!("tick_hz {tick_hz} must be positive")));
+        }
+        let n_streams = cur.u32("schema stream count")? as usize;
+        if n_streams == 0 {
+            return Err(ArtifactError::Malformed("schema lists zero streams".to_string()));
+        }
+        let mut stream_ids = Vec::with_capacity(n_streams.min(4096));
+        for i in 0..n_streams {
+            stream_ids.push(cur.u32(&format!("stream id {i}"))?);
+        }
+        let features_per_stream = cur.u32("features per stream")? as usize;
+        if features_per_stream == 0 {
+            return Err(ArtifactError::Malformed("zero features per stream".to_string()));
+        }
+        let schema = FeatureSchema { tick_hz, stream_ids, features_per_stream };
+
+        // 3. MD snapshot.
+        let threshold = match cur.u8("threshold flag")? {
+            0 => None,
+            1 => Some(cur.f64("threshold")?),
+            n => {
+                return Err(ArtifactError::Malformed(format!("threshold flag {n} is not 0/1")))
+            }
+        };
+        let profile_len = cur.u32("profile length")? as usize;
+        let values = cur.f64_vec(profile_len, "profile values")?;
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(ArtifactError::Malformed("non-finite profile value".to_string()));
+        }
+        if let Some(ub) = threshold {
+            if !ub.is_finite() {
+                return Err(ArtifactError::Malformed(format!("threshold {ub} is not finite")));
+            }
+        }
+        if values.len() > params.profile_capacity {
+            return Err(ArtifactError::Malformed(format!(
+                "profile of {} values exceeds capacity {}",
+                values.len(),
+                params.profile_capacity
+            )));
+        }
+        let md = MdSnapshot { values, threshold };
+
+        // 4. Scaler.
+        let d = cur.u32("scaler dimension")? as usize;
+        let means = cur.f64_vec(d, "scaler means")?;
+        let stds = cur.f64_vec(d, "scaler stds")?;
+        let scaler = StandardScaler::from_parts(means, stds)
+            .map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        if scaler.n_features() != schema.n_features() {
+            return Err(ArtifactError::Malformed(format!(
+                "scaler dimension {} disagrees with schema ({} streams × {} features)",
+                scaler.n_features(),
+                schema.stream_ids.len(),
+                schema.features_per_stream
+            )));
+        }
+
+        // 5. Classes.
+        let k = cur.u32("class count")? as usize;
+        let mut classes = Vec::with_capacity(k.min(4096));
+        for i in 0..k {
+            let c = cur.u64(&format!("class {i}"))?;
+            if c > usize::MAX as u64 {
+                return Err(ArtifactError::Malformed(format!("class label {c} overflows")));
+            }
+            classes.push(c as usize);
+        }
+
+        // 6. Machines.
+        let m = cur.u32("machine count")? as usize;
+        let mut machines = Vec::with_capacity(m.min(4096));
+        for i in 0..m {
+            let ca = cur.u64(&format!("machine {i} class a"))? as usize;
+            let cb = cur.u64(&format!("machine {i} class b"))? as usize;
+            let kernel = match cur.u8(&format!("machine {i} kernel tag"))? {
+                0 => Kernel::Linear,
+                1 => Kernel::Rbf { gamma: cur.f64(&format!("machine {i} gamma"))? },
+                t => {
+                    return Err(ArtifactError::Malformed(format!(
+                        "machine {i} kernel tag {t} is unknown"
+                    )))
+                }
+            };
+            let bias = cur.f64(&format!("machine {i} bias"))?;
+            let n_sv = cur.u32(&format!("machine {i} support vector count"))? as usize;
+            let sv_dim = cur.u32(&format!("machine {i} support vector dimension"))? as usize;
+            let coefficients = cur.f64_vec(n_sv, "coefficients")?;
+            let mut support_vectors = Vec::with_capacity(n_sv.min(4096));
+            for _ in 0..n_sv {
+                support_vectors.push(cur.f64_vec(sv_dim, "support vector")?);
+            }
+            let svm = BinarySvm::from_parts(kernel, support_vectors, coefficients, bias)
+                .map_err(|e| ArtifactError::Malformed(format!("machine {i}: {e}")))?;
+            machines.push((ca, cb, svm));
+        }
+        let svm = MultiClassSvm::from_parts(classes, machines, scaler)
+            .map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+
+        if !cur.done() {
+            return Err(ArtifactError::Malformed("unconsumed bytes inside body".to_string()));
+        }
+
+        Ok(ModelBundle { params, schema, md, re: RadioEnvironment::from_svm(svm) })
+    }
+
+    /// Writes the encoded bundle to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] with the failing path and cause.
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.encode())
+            .map_err(|e| ArtifactError::Io(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Reads and decodes a bundle from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] when the file cannot be read; otherwise
+    /// any [`ModelBundle::decode`] error.
+    pub fn load(path: &Path) -> Result<ModelBundle, ArtifactError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ArtifactError::Io(format!("reading {}: {e}", path.display())))?;
+        ModelBundle::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fadewich_stats::rng::Rng;
+    use fadewich_svm::SmoParams;
+
+    /// A small but fully populated bundle: 2 streams × 3 features,
+    /// 3 classes, RBF kernel, a short MD profile.
+    fn sample_bundle() -> ModelBundle {
+        let mut rng = Rng::seed_from_u64(99);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for label in 0..3usize {
+            for _ in 0..12 {
+                let mut row = vec![0.0; 6];
+                row[label * 2] = 4.0 + rng.normal() * 0.3;
+                row[label * 2 + 1] = -2.0 + rng.normal() * 0.3;
+                row[5] = rng.normal();
+                xs.push(row);
+                ys.push(label);
+            }
+        }
+        let svm = MultiClassSvm::train(
+            &xs,
+            &ys,
+            Kernel::Rbf { gamma: 0.4 },
+            SmoParams::default(),
+            &mut rng,
+        )
+        .unwrap();
+        ModelBundle {
+            params: FadewichParams::default(),
+            schema: FeatureSchema {
+                tick_hz: 5.0,
+                stream_ids: vec![2, 5],
+                features_per_stream: 3,
+            },
+            md: MdSnapshot {
+                values: (0..40).map(|_| 8.0 + rng.normal()).collect(),
+                threshold: Some(11.5),
+            },
+            re: RadioEnvironment::from_svm(svm),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let bundle = sample_bundle();
+        let bytes = bundle.encode();
+        let back = ModelBundle::decode(&bytes).unwrap();
+        assert_eq!(back, bundle);
+        // Canonical encoding: re-encoding the decoded bundle
+        // reproduces the bytes.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn classification_survives_round_trip_bit_exactly() {
+        let bundle = sample_bundle();
+        let back = ModelBundle::decode(&bundle.encode()).unwrap();
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let x: Vec<f64> = (0..6).map(|_| rng.normal() * 3.0).collect();
+            assert_eq!(back.re.classify(&x), bundle.re.classify(&x));
+        }
+    }
+
+    #[test]
+    fn none_threshold_round_trips() {
+        let mut bundle = sample_bundle();
+        bundle.md = MdSnapshot { values: vec![1.0, 2.0], threshold: None };
+        let back = ModelBundle::decode(&bundle.encode()).unwrap();
+        assert_eq!(back.md, bundle.md);
+    }
+
+    #[test]
+    fn framing_errors() {
+        let bytes = sample_bundle().encode();
+        assert_eq!(ModelBundle::decode(&bytes[..5]), Err(ArtifactError::Truncated));
+        assert_eq!(
+            ModelBundle::decode(&bytes[..bytes.len() - 1]),
+            Err(ArtifactError::Truncated)
+        );
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(ModelBundle::decode(&long), Err(ArtifactError::TrailingBytes));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(ModelBundle::decode(&bad), Err(ArtifactError::BadMagic));
+        let mut vers = bytes.clone();
+        vers[4] = 9;
+        assert_eq!(ModelBundle::decode(&vers), Err(ArtifactError::UnsupportedVersion(9)));
+        let mut flip = bytes.clone();
+        let mid = HEADER_LEN + 40;
+        flip[mid] ^= 0x10;
+        assert!(matches!(
+            ModelBundle::decode(&flip),
+            Err(ArtifactError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn semantic_validation_catches_bad_models() {
+        // Rebuild the artifact with an out-of-range alpha but a valid
+        // CRC: framing passes, semantics must not.
+        let bundle = sample_bundle();
+        let mut bytes = bundle.encode();
+        // alpha is params field 2 -> body offset 2 * 8.
+        let off = HEADER_LEN + 2 * 8;
+        bytes[off..off + 8].copy_from_slice(&0.0f64.to_bits().to_le_bytes());
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        match ModelBundle::decode(&bytes) {
+            Err(ArtifactError::Malformed(why)) => assert!(why.contains("alpha"), "{why}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_and_io_errors() {
+        let bundle = sample_bundle();
+        let dir = std::env::temp_dir().join("fadewich-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.fwmb");
+        bundle.save(&path).unwrap();
+        assert_eq!(ModelBundle::load(&path).unwrap(), bundle);
+        let missing = dir.join("does-not-exist.fwmb");
+        assert!(matches!(ModelBundle::load(&missing), Err(ArtifactError::Io(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn error_displays_are_descriptive() {
+        for e in [
+            ArtifactError::Truncated,
+            ArtifactError::BadMagic,
+            ArtifactError::UnsupportedVersion(7),
+            ArtifactError::TrailingBytes,
+            ArtifactError::BadChecksum { computed: 1, carried: 2 },
+            ArtifactError::Malformed("x".to_string()),
+            ArtifactError::Io("y".to_string()),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

@@ -116,6 +116,83 @@ impl FadewichParams {
         Ok(())
     }
 
+    /// Number of values in the [`FadewichParams::to_field_array`]
+    /// representation.
+    pub const N_FIELDS: usize = 17;
+
+    /// Flattens the parameters into a fixed-order `f64` array for the
+    /// model-artifact codec. The order below **is** the artifact v1
+    /// field contract — changing it, or adding a field, requires a new
+    /// artifact format version:
+    ///
+    /// `std_window_s, profile_init_s, alpha, batch_size, tau,
+    /// profile_capacity, t_delta_s, feature_window_s,
+    /// window_hangover_s, t_id_s, t_ss_s, timeout_s,
+    /// true_window_delta_s, entropy_bins, acf_max_lag, alert_idle_s,
+    /// max_rejected_batches`
+    ///
+    /// Integer fields are stored as `f64` (all realistic values are far
+    /// below 2⁵³, so the round-trip is exact).
+    pub fn to_field_array(&self) -> [f64; Self::N_FIELDS] {
+        [
+            self.std_window_s,
+            self.profile_init_s,
+            self.alpha,
+            self.batch_size as f64,
+            self.tau,
+            self.profile_capacity as f64,
+            self.t_delta_s,
+            self.feature_window_s,
+            self.window_hangover_s,
+            self.t_id_s,
+            self.t_ss_s,
+            self.timeout_s,
+            self.true_window_delta_s,
+            self.entropy_bins as f64,
+            self.acf_max_lag as f64,
+            self.alert_idle_s,
+            self.max_rejected_batches as f64,
+        ]
+    }
+
+    /// Rebuilds parameters from a [`FadewichParams::to_field_array`]
+    /// flattening and validates them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when an integer-valued field is not a
+    /// non-negative whole number, or when the assembled parameters
+    /// fail [`FadewichParams::validate`].
+    pub fn from_field_array(fields: &[f64; Self::N_FIELDS]) -> Result<FadewichParams, String> {
+        let as_usize = |v: f64, name: &str| -> Result<usize, String> {
+            if !(v.is_finite() && v >= 0.0 && v.fract() == 0.0 && v <= (1u64 << 53) as f64) {
+                return Err(format!("{name} {v} is not a valid count"));
+            }
+            Ok(v as usize)
+        };
+        let params = FadewichParams {
+            std_window_s: fields[0],
+            profile_init_s: fields[1],
+            alpha: fields[2],
+            batch_size: as_usize(fields[3], "batch_size")?,
+            tau: fields[4],
+            profile_capacity: as_usize(fields[5], "profile_capacity")?,
+            t_delta_s: fields[6],
+            feature_window_s: fields[7],
+            window_hangover_s: fields[8],
+            t_id_s: fields[9],
+            t_ss_s: fields[10],
+            timeout_s: fields[11],
+            true_window_delta_s: fields[12],
+            entropy_bins: as_usize(fields[13], "entropy_bins")?,
+            acf_max_lag: as_usize(fields[14], "acf_max_lag")?,
+            alert_idle_s: fields[15],
+            max_rejected_batches: as_usize(fields[16], "max_rejected_batches")?,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
     /// `t∆` in ticks at the given rate.
     pub fn t_delta_ticks(&self, tick_hz: f64) -> usize {
         (self.t_delta_s * tick_hz).round().max(1.0) as usize
@@ -152,6 +229,26 @@ mod tests {
         let p = FadewichParams::default();
         assert_eq!(p.t_delta_ticks(5.0), 23); // 4.5 s * 5 Hz = 22.5 -> 23
         assert_eq!(p.std_window_ticks(5.0), 10);
+    }
+
+    #[test]
+    fn field_array_round_trip_is_exact() {
+        let p = FadewichParams { alpha: 2.5, batch_size: 77, ..Default::default() };
+        let back = FadewichParams::from_field_array(&p.to_field_array()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn field_array_rejects_bad_counts_and_invalid_params() {
+        let mut fields = FadewichParams::default().to_field_array();
+        fields[3] = 2.5; // fractional batch_size
+        assert!(FadewichParams::from_field_array(&fields).is_err());
+        let mut fields = FadewichParams::default().to_field_array();
+        fields[13] = f64::NAN; // entropy_bins
+        assert!(FadewichParams::from_field_array(&fields).is_err());
+        let mut fields = FadewichParams::default().to_field_array();
+        fields[2] = 0.0; // alpha out of range -> validate() fires
+        assert!(FadewichParams::from_field_array(&fields).is_err());
     }
 
     #[test]

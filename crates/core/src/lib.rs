@@ -26,7 +26,10 @@
 //!   attack-opportunity and vulnerable-time analyses;
 //! - [`usability`] — the user-cost simulation behind Table IV;
 //! - [`guard`] — a channel-integrity detector operationalizing the
-//!   §V-C claim that signal-suppression attacks are detectable.
+//!   §V-C claim that signal-suppression attacks are detectable;
+//! - [`artifact`] — the versioned, CRC-guarded model bundle that
+//!   carries a trained MD profile + RE classifier from a training run
+//!   to a serving process.
 //!
 //! # Examples
 //!
@@ -51,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod config;
 pub mod controller;
 pub mod features;
@@ -62,12 +66,13 @@ pub mod security;
 pub mod usability;
 pub mod windows;
 
+pub use artifact::{ArtifactError, FeatureSchema, ModelBundle};
 pub use config::FadewichParams;
 pub use controller::{Action, ActionKind, Controller, SystemState};
 pub use features::TrainingSample;
 pub use guard::{GuardParams, IntegrityAlarm, IntegrityGuard};
 pub use kma::Kma;
-pub use md::{MdRun, MovementDetector};
+pub use md::{MdRun, MdSnapshot, MovementDetector};
 pub use re::{auto_label, AutoLabelParams, RadioEnvironment};
 pub use security::{AttackAnalysis, DeauthCase, DeauthOutcome, DetectionOutcome};
 pub use usability::{DayUsability, UsabilityParams};

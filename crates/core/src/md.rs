@@ -9,8 +9,6 @@
 //! — the paper is explicit that a static calibration is impossible in a
 //! busy office.
 
-use std::collections::VecDeque;
-
 use fadewich_officesim::DayTrace;
 use fadewich_stats::kde::GaussianKde;
 use fadewich_stats::rolling::RollingStd;
@@ -29,13 +27,25 @@ pub struct MdVerdict {
     pub closed_window: Option<VariationWindow>,
 }
 
+/// Exported MD state: the learned normal profile and its KDE-derived
+/// anomaly threshold. This is what the model-artifact bundle persists
+/// so a serving process can start detecting without an
+/// installation-time collection phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdSnapshot {
+    /// Normal-profile `s_t` values, oldest first.
+    pub values: Vec<f64>,
+    /// The anomaly threshold `ub`, if the profile was ever fitted.
+    pub threshold: Option<f64>,
+}
+
 /// The online movement detector.
 #[derive(Debug, Clone)]
 pub struct MovementDetector {
     params: FadewichParams,
     tick_hz: f64,
     stream_stds: Vec<RollingStd>,
-    profile: VecDeque<f64>,
+    profile: Vec<f64>,
     threshold: Option<f64>,
     init_ticks: usize,
     warmup_ticks: usize,
@@ -74,7 +84,7 @@ impl MovementDetector {
             params,
             tick_hz,
             stream_stds: vec![RollingStd::new(window_ticks); n_streams],
-            profile: VecDeque::with_capacity(params.profile_capacity),
+            profile: Vec::with_capacity(params.profile_capacity),
             threshold: None,
             init_ticks: (params.profile_init_s * tick_hz).round() as usize,
             warmup_ticks: window_ticks,
@@ -96,9 +106,58 @@ impl MovementDetector {
         self.threshold
     }
 
-    /// The current normal-profile values (for Fig. 2).
-    pub fn profile_values(&self) -> Vec<f64> {
-        self.profile.iter().copied().collect()
+    /// The current normal-profile values (for Fig. 2), oldest first.
+    pub fn profile_values(&self) -> &[f64] {
+        &self.profile
+    }
+
+    /// Exports the learned MD state (normal profile + threshold) for
+    /// the model-artifact bundle.
+    pub fn snapshot(&self) -> MdSnapshot {
+        MdSnapshot { values: self.profile.clone(), threshold: self.threshold }
+    }
+
+    /// Builds a detector with a previously learned profile and
+    /// threshold already installed (the model-artifact load path). The
+    /// rolling std windows still warm up from scratch, but the
+    /// installation-time profile-collection phase is skipped entirely:
+    /// the restored threshold is active from the first post-warmup
+    /// tick, with no KDE fit at construction.
+    ///
+    /// # Errors
+    ///
+    /// [`MovementDetector::new`] errors, plus a description when the
+    /// snapshot is inconsistent: non-finite values, a profile larger
+    /// than `profile_capacity`, a non-finite threshold, or a threshold
+    /// without any profile to adapt from.
+    pub fn with_snapshot(
+        n_streams: usize,
+        tick_hz: f64,
+        params: FadewichParams,
+        snapshot: MdSnapshot,
+    ) -> Result<MovementDetector, String> {
+        let mut md = MovementDetector::new(n_streams, tick_hz, params)?;
+        if snapshot.values.len() > params.profile_capacity {
+            return Err(format!(
+                "snapshot profile of {} values exceeds capacity {}",
+                snapshot.values.len(),
+                params.profile_capacity
+            ));
+        }
+        if snapshot.values.iter().any(|v| !v.is_finite()) {
+            return Err("snapshot profile contains a non-finite value".to_string());
+        }
+        if let Some(ub) = snapshot.threshold {
+            if !ub.is_finite() {
+                return Err(format!("snapshot threshold {ub} is not finite"));
+            }
+            if snapshot.values.is_empty() {
+                return Err("snapshot has a threshold but no profile".to_string());
+            }
+        }
+        md.profile = snapshot.values;
+        md.threshold = snapshot.threshold;
+        Ok(md)
     }
 
     /// `dW_t`: duration (ticks) of the open variation window at `tick`.
@@ -190,7 +249,7 @@ impl MovementDetector {
         }
         // Installation-time profile collection (no adversary assumed).
         if self.threshold.is_none() {
-            self.profile.push_back(st);
+            self.profile.push(st);
             if self.ticks_seen >= self.init_ticks.max(self.warmup_ticks + 8) {
                 self.refit();
             }
@@ -208,11 +267,10 @@ impl MovementDetector {
         if self.queue.len() >= self.params.batch_size {
             let frac = self.queue_anomalous as f64 / self.queue.len() as f64;
             if frac < self.params.tau {
-                for &v in &self.queue {
-                    self.profile.push_back(v);
-                }
-                while self.profile.len() > self.params.profile_capacity {
-                    self.profile.pop_front();
+                self.profile.extend_from_slice(&self.queue);
+                if self.profile.len() > self.params.profile_capacity {
+                    let excess = self.profile.len() - self.params.profile_capacity;
+                    self.profile.drain(..excess);
                 }
                 self.refit();
                 self.rejected_streak = 0;
@@ -242,8 +300,7 @@ impl MovementDetector {
     }
 
     fn refit(&mut self) {
-        let values: Vec<f64> = self.profile.iter().copied().collect();
-        if let Ok(kde) = GaussianKde::fit(&values) {
+        if let Ok(kde) = GaussianKde::fit(&self.profile) {
             self.threshold = Some(kde.quantile(1.0 - self.params.alpha / 100.0));
         }
     }
@@ -518,6 +575,47 @@ mod tests {
         assert!(!v.anomalous);
         assert_eq!(v.st, 0.0);
         assert_eq!(md.profile_values().len(), before, "masked tick fed the profile");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_detection_without_init_phase() {
+        let day = synthetic_day(4, 1200, None, 12);
+        let mut md = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        for tick in 0..1200 {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            md.step(tick, &row);
+        }
+        let snap = md.snapshot();
+        assert!(snap.threshold.is_some());
+        assert_eq!(snap.values, md.profile_values());
+
+        let restored =
+            MovementDetector::with_snapshot(4, 5.0, fast_params(), snap.clone()).unwrap();
+        assert_eq!(restored.threshold(), snap.threshold);
+        assert_eq!(restored.profile_values(), &snap.values[..]);
+        // The threshold is live immediately after rolling-window warmup:
+        // the restored detector never enters the init-collection branch,
+        // so its profile length stays fixed until a batch update.
+        let mut restored = restored;
+        let before = restored.profile_values().len();
+        for tick in 0..60 {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            restored.step(tick, &row);
+        }
+        assert_eq!(restored.profile_values().len(), before);
+    }
+
+    #[test]
+    fn bad_snapshots_rejected() {
+        let p = fast_params();
+        let snap = MdSnapshot { values: vec![1.0; p.profile_capacity + 1], threshold: None };
+        assert!(MovementDetector::with_snapshot(4, 5.0, p, snap).is_err());
+        let snap = MdSnapshot { values: vec![1.0, f64::NAN], threshold: None };
+        assert!(MovementDetector::with_snapshot(4, 5.0, p, snap).is_err());
+        let snap = MdSnapshot { values: vec![1.0], threshold: Some(f64::INFINITY) };
+        assert!(MovementDetector::with_snapshot(4, 5.0, p, snap).is_err());
+        let snap = MdSnapshot { values: vec![], threshold: Some(2.0) };
+        assert!(MovementDetector::with_snapshot(4, 5.0, p, snap).is_err());
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub fn auto_label(kma: &Kma<'_>, t1: f64, params: &AutoLabelParams) -> Option<us
 }
 
 /// The trained Radio Environment classifier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RadioEnvironment {
     svm: MultiClassSvm,
 }
@@ -95,11 +95,24 @@ impl RadioEnvironment {
         kernel: Option<Kernel>,
         rng: &mut Rng,
     ) -> Result<RadioEnvironment, TrainError> {
-        let xs: Vec<Vec<f64>> = samples.iter().map(|s| s.features.clone()).collect();
+        // Borrowed views into the samples: training standardizes into
+        // its own buffers, so the O(n·d) feature copy is unnecessary.
+        let xs: Vec<&[f64]> = samples.iter().map(|s| s.features.as_slice()).collect();
         let ys: Vec<usize> = samples.iter().map(|s| s.label).collect();
         let kernel = kernel.unwrap_or(Kernel::Linear);
         let svm = MultiClassSvm::train(&xs, &ys, kernel, SmoParams::default(), rng)?;
         Ok(RadioEnvironment { svm })
+    }
+
+    /// Wraps an already-assembled classifier (the model-artifact load
+    /// path).
+    pub fn from_svm(svm: MultiClassSvm) -> RadioEnvironment {
+        RadioEnvironment { svm }
+    }
+
+    /// The underlying ensemble, for state export.
+    pub fn svm(&self) -> &MultiClassSvm {
+        &self.svm
     }
 
     /// Classifies one sample's features into a label.

@@ -1,0 +1,135 @@
+//! Property tests for the versioned model-artifact codec.
+//!
+//! Mirrors the wire-codec corruption properties in
+//! `crates/runtime/tests/proptests.rs`: (a) randomly trained models
+//! survive save → load with bit-identical predictions, and (b) any
+//! single-bit flip anywhere in the artifact is rejected at load.
+
+use std::sync::OnceLock;
+
+use fadewich_core::artifact::{FeatureSchema, ModelBundle};
+use fadewich_core::config::FadewichParams;
+use fadewich_core::md::{MdSnapshot, MovementDetector};
+use fadewich_core::re::RadioEnvironment;
+use fadewich_stats::rng::Rng;
+use fadewich_svm::{Kernel, MultiClassSvm, SmoParams};
+use fadewich_testkit::prop::u64s;
+
+/// Trains a small but fully random bundle: random stream/feature
+/// layout, class count, kernel, MD profile, and threshold.
+fn random_bundle(rng: &mut Rng) -> ModelBundle {
+    let n_streams = 1 + rng.below(3);
+    let features_per_stream = 1 + rng.below(3);
+    let dim = n_streams * features_per_stream;
+    let n_classes = 2 + rng.below(3);
+    let kernel = if rng.bernoulli(0.5) {
+        Kernel::Linear
+    } else {
+        Kernel::Rbf { gamma: 0.1 + rng.f64() }
+    };
+
+    // Separable-ish clusters so tiny training sets still converge.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for label in 0..n_classes {
+        for _ in 0..8 {
+            let row: Vec<f64> = (0..dim)
+                .map(|d| {
+                    let center = if d % n_classes == label { 4.0 } else { -1.0 };
+                    center + rng.normal() * 0.4
+                })
+                .collect();
+            xs.push(row);
+            ys.push(label);
+        }
+    }
+    let svm = MultiClassSvm::train(&xs, &ys, kernel, SmoParams::default(), rng)
+        .expect("separable clusters must train");
+
+    let profile_len = rng.below(50);
+    let values: Vec<f64> = (0..profile_len).map(|_| 6.0 + rng.normal()).collect();
+    let threshold = if values.is_empty() || rng.bernoulli(0.2) {
+        None
+    } else {
+        Some(9.0 + rng.f64())
+    };
+    ModelBundle {
+        params: FadewichParams::default(),
+        schema: FeatureSchema {
+            tick_hz: 5.0,
+            stream_ids: (0..n_streams as u32).collect(),
+            features_per_stream,
+        },
+        md: MdSnapshot { values, threshold },
+        re: RadioEnvironment::from_svm(svm),
+    }
+}
+
+/// One encoded bundle shared across the corruption property's cases
+/// (training per flipped bit would dominate the runtime).
+fn cached_encoding() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| random_bundle(&mut Rng::seed_from_u64(0xA27)).encode())
+}
+
+fadewich_testkit::property! {
+    #[cases(24)]
+    fn random_models_survive_save_load_with_identical_predictions(seed in u64s(0..1 << 48)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let bundle = random_bundle(&mut rng);
+        let bytes = bundle.encode();
+        let back = ModelBundle::decode(&bytes).expect("clean artifact must load");
+        assert_eq!(back, bundle);
+        // Canonical encoding: the decoded bundle re-encodes to the
+        // exact same bytes.
+        assert_eq!(back.encode(), bytes);
+        // Bit-identical classification on random inputs.
+        let dim = bundle.schema.n_features();
+        for _ in 0..32 {
+            let x: Vec<f64> = (0..dim).map(|_| rng.normal() * 4.0).collect();
+            assert_eq!(back.re.classify(&x), bundle.re.classify(&x));
+        }
+        // The MD snapshot restores into a working detector.
+        let md = MovementDetector::with_snapshot(
+            bundle.schema.stream_ids.len(),
+            bundle.schema.tick_hz,
+            bundle.params,
+            back.md,
+        );
+        assert!(md.is_ok(), "snapshot from a clean round-trip must restore: {md:?}");
+    }
+
+    #[cases(512)]
+    fn any_single_bit_flip_is_rejected_at_load(seed in u64s(0..1 << 48)) {
+        let clean = cached_encoding();
+        let mut rng = Rng::seed_from_u64(seed);
+        let byte = rng.below(clean.len());
+        let bit = rng.below(8);
+        let mut dirty = clean.clone();
+        dirty[byte] ^= 1 << bit;
+        assert!(
+            ModelBundle::decode(&dirty).is_err(),
+            "flip of byte {byte} bit {bit} slipped through"
+        );
+    }
+}
+
+/// The random property samples flips; this nails the guarantee down
+/// exhaustively on a bundle small enough to try every single bit.
+#[test]
+fn every_single_bit_flip_in_a_small_artifact_is_rejected() {
+    let mut rng = Rng::seed_from_u64(7);
+    let mut bundle = random_bundle(&mut rng);
+    bundle.md = MdSnapshot { values: vec![5.0, 6.0, 7.0], threshold: Some(8.0) };
+    let clean = bundle.encode();
+    for byte in 0..clean.len() {
+        for bit in 0..8 {
+            let mut dirty = clean.clone();
+            dirty[byte] ^= 1 << bit;
+            assert!(
+                ModelBundle::decode(&dirty).is_err(),
+                "flip of byte {byte} bit {bit} slipped through"
+            );
+        }
+    }
+}

@@ -42,7 +42,7 @@ fn threshold_is_kde_percentile_of_profile() {
     let mut rng = Rng::seed_from_u64(21);
     feed(&mut md, &mut rng, 0, 400, 1.0);
     let ub = md.threshold().expect("threshold initialized after profile collection");
-    let kde = GaussianKde::fit(&md.profile_values()).unwrap();
+    let kde = GaussianKde::fit(md.profile_values()).unwrap();
     let expected = kde.quantile(1.0 - params.alpha / 100.0);
     assert!(
         (ub - expected).abs() < 1e-9,
@@ -86,13 +86,13 @@ fn profile_refreshes_only_from_calm_batches() {
     // Quiet phase A: initialize and accept at least one batch.
     let mut tick = feed(&mut md, &mut rng, 0, 400, 1.0);
     assert!(md.threshold().is_some());
-    let profile_after_quiet = md.profile_values();
+    let profile_after_quiet = md.profile_values().to_vec();
 
     // Burst phase B: strongly anomalous. Skip the first two batches
     // (they may straddle the phase boundary / rolling-std ramp); after
     // that every batch is ≥ τ anomalous and must be rejected.
     tick = feed(&mut md, &mut rng, tick, 2 * params.batch_size, 6.0);
-    let profile_at_burst_interior = md.profile_values();
+    let profile_at_burst_interior = md.profile_values().to_vec();
     tick = feed(&mut md, &mut rng, tick, 4 * params.batch_size, 6.0);
     assert_eq!(
         md.profile_values(),

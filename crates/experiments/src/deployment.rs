@@ -10,9 +10,10 @@
 //! over the remaining ones — and scores the outcome against ground
 //! truth.
 
+use fadewich_core::artifact::{FeatureSchema, ModelBundle};
 use fadewich_core::controller::{ActionKind, Controller};
-use fadewich_core::features::{extract_features, TrainingSample};
-use fadewich_core::md::run_md_over_day;
+use fadewich_core::features::{extract_features, TrainingSample, FEATURES_PER_STREAM};
+use fadewich_core::md::{run_md_over_day, MovementDetector};
 use fadewich_core::re::{auto_label, AutoLabelParams, RadioEnvironment};
 use fadewich_core::Kma;
 use fadewich_stats::rng::Rng;
@@ -152,16 +153,40 @@ pub fn run_deployment(
     }
     let subset = experiment.scenario.layout().sensor_subset(n_sensors);
     let streams = experiment.trace.stream_indices_for_subset(&subset);
+    let (stats, re) = training_phase(experiment, train_days, &streams)?;
+
+    // --- Online phase: one controller per online day, each day on
+    // its own worker. Per-day results merge in day order.
+    let online_results = timing::time_stage("deployment::online", || {
+        par::par_map_indices(n_days - train_days, |i| -> Result<_, String> {
+            let day = train_days + i;
+            run_online_day(experiment, day, &streams, &re)
+        })
+    });
+    let mut departures = Vec::new();
+    let mut wrongful = 0usize;
+    for r in online_results {
+        let (day_departures, day_wrongful) = r?;
+        departures.extend(day_departures);
+        wrongful += day_wrongful;
+    }
+    Ok(DeploymentOutcome { training: stats, departures, wrongful_deauths: wrongful })
+}
+
+/// The deployment training phase: MD + automatic labeling over the
+/// first `train_days` (one worker per day, merged in day order so the
+/// sample list matches a serial run exactly), then one RE fit.
+fn training_phase(
+    experiment: &Experiment,
+    train_days: usize,
+    streams: &[usize],
+) -> Result<(TrainingPhaseStats, RadioEnvironment), String> {
     let params = experiment.params;
     let hz = experiment.trace.tick_hz();
     let label_params = AutoLabelParams::default();
-
-    // --- Training phase: MD + automatic labeling, one worker per
-    // day. Results merge in day order, so the sample list matches a
-    // serial run exactly.
     let day_results = timing::time_stage("deployment::train", || {
         par::par_map_indices(train_days, |day| -> Result<_, String> {
-            let run = run_md_over_day(&experiment.trace.days()[day], &streams, hz, params)?;
+            let run = run_md_over_day(&experiment.trace.days()[day], streams, hz, params)?;
             let significant = run.significant_windows(params.t_delta_ticks(hz));
             let n_windows = significant.len();
             let inputs = experiment.scenario.input_trace(day, 0);
@@ -190,7 +215,7 @@ pub fn run_deployment(
                 day_samples.push(TrainingSample {
                     features: extract_features(
                         &experiment.trace.days()[day],
-                        &streams,
+                        streams,
                         w.start_tick,
                         hz,
                         &params,
@@ -213,23 +238,55 @@ pub fn run_deployment(
     let mut rng = Rng::seed_from_u64(0xDE9107);
     let re = RadioEnvironment::train(&samples, None, &mut rng)
         .map_err(|e| format!("training phase failed: {e}"))?;
+    Ok((stats, re))
+}
 
-    // --- Online phase: one controller per online day, each day on
-    // its own worker. Per-day results merge in day order.
-    let online_results = timing::time_stage("deployment::online", || {
-        par::par_map_indices(n_days - train_days, |i| -> Result<_, String> {
-            let day = train_days + i;
-            run_online_day(experiment, day, &streams, &re)
-        })
-    });
-    let mut departures = Vec::new();
-    let mut wrongful = 0usize;
-    for r in online_results {
-        let (day_departures, day_wrongful) = r?;
-        departures.extend(day_departures);
-        wrongful += day_wrongful;
+/// The artifact-export stage: runs the deployment training phase and
+/// packs the result into a versioned [`ModelBundle`] — the file a
+/// `fadewichd serve` process loads instead of retraining.
+///
+/// # Errors
+///
+/// Mirrors [`run_deployment`] training-phase errors.
+pub fn export_model(
+    experiment: &Experiment,
+    train_days: usize,
+    n_sensors: usize,
+) -> Result<ModelBundle, String> {
+    let n_days = experiment.trace.days().len();
+    if train_days == 0 || train_days >= n_days {
+        return Err(format!(
+            "need 1..{} training days, got {train_days}",
+            n_days - 1
+        ));
     }
-    Ok(DeploymentOutcome { training: stats, departures, wrongful_deauths: wrongful })
+    let subset = experiment.scenario.layout().sensor_subset(n_sensors);
+    let streams = experiment.trace.stream_indices_for_subset(&subset);
+    let (_, re) = training_phase(experiment, train_days, &streams)?;
+    let params = experiment.params;
+    let hz = experiment.trace.tick_hz();
+    // MD state from a cold pass over the last training day, matching
+    // the deployment's per-day detector lifecycle.
+    let mut md = MovementDetector::new(streams.len(), hz, params)?;
+    let day = &experiment.trace.days()[train_days - 1];
+    let mut row = vec![0.0f64; streams.len()];
+    for tick in 0..day.n_ticks() {
+        let full = day.row(tick);
+        for (dst, &s) in row.iter_mut().zip(&streams) {
+            *dst = full[s] as f64;
+        }
+        md.step(tick, &row);
+    }
+    Ok(ModelBundle {
+        params,
+        schema: FeatureSchema {
+            tick_hz: hz,
+            stream_ids: streams.iter().map(|&s| s as u32).collect(),
+            features_per_stream: FEATURES_PER_STREAM,
+        },
+        md: md.snapshot(),
+        re,
+    })
 }
 
 /// Drives the controller over one online day and scores it against
@@ -373,5 +430,22 @@ mod tests {
     fn invalid_split_rejected() {
         assert!(run_deployment(fixture(), 0, 9).is_err());
         assert!(run_deployment(fixture(), 2, 9).is_err());
+        assert!(export_model(fixture(), 0, 9).is_err());
+    }
+
+    #[test]
+    fn exported_model_round_trips_and_classifies_identically() {
+        let bundle = export_model(fixture(), 1, 9).unwrap();
+        assert!(bundle.md.threshold.is_some());
+        assert_eq!(bundle.schema.features_per_stream, FEATURES_PER_STREAM);
+        let loaded = ModelBundle::decode(&bundle.encode()).unwrap();
+        assert_eq!(loaded, bundle);
+        // The exported classifier is the same deployment-trained model
+        // (same sample order, same seed) the online phase would use.
+        let fx = fixture();
+        let subset = fx.scenario.layout().sensor_subset(9);
+        let streams = fx.trace.stream_indices_for_subset(&subset);
+        let (_, re) = training_phase(fx, 1, &streams).unwrap();
+        assert_eq!(loaded.re, re);
     }
 }

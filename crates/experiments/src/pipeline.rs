@@ -164,6 +164,16 @@ pub fn cross_validated_predictions(
     (predictions, accuracy)
 }
 
+/// Trains one model on every matched sample — the model the online
+/// system would deploy, and the one the artifact-export stage
+/// serializes. Deterministic in `seed`; `None` when the sample set
+/// cannot fit a classifier (e.g. a single class).
+pub fn train_full_model(samples: &SampleSet, seed: u64) -> Option<RadioEnvironment> {
+    let train: Vec<TrainingSample> = samples.per_event.iter().flatten().cloned().collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    RadioEnvironment::train(&train, None, &mut rng).ok()
+}
+
 /// Classifies the false-positive windows with a model trained on all
 /// matched samples (the online system would do the same), returning
 /// `(day, window, predicted_label)`.
@@ -171,12 +181,8 @@ pub fn classify_false_positives(
     samples: &SampleSet,
     seed: u64,
 ) -> Vec<(usize, VariationWindow, usize)> {
-    let train: Vec<TrainingSample> =
-        samples.per_event.iter().flatten().cloned().collect();
-    let mut rng = Rng::seed_from_u64(seed);
-    let re = match RadioEnvironment::train(&train, None, &mut rng) {
-        Ok(re) => re,
-        Err(_) => return Vec::new(),
+    let Some(re) = train_full_model(samples, seed) else {
+        return Vec::new();
     };
     samples
         .false_positive_features
@@ -206,9 +212,7 @@ pub fn windows_with_predictions(
         }
     }
     // Full model for the leftovers.
-    let train: Vec<TrainingSample> = samples.per_event.iter().flatten().cloned().collect();
-    let mut rng = Rng::seed_from_u64(seed);
-    let full_model = RadioEnvironment::train(&train, None, &mut rng).ok();
+    let full_model = train_full_model(samples, seed);
     par::par_map(&stage.significant, |day, windows| {
         windows
             .iter()

@@ -1,26 +1,45 @@
-//! `fadewichd` — replay an officesim scenario through the streaming
-//! runtime, optionally over a lossy link.
+//! `fadewichd` — train and serve the FADEWICH pipeline over officesim
+//! scenarios, optionally through a lossy link.
 //!
 //! ```text
-//! fadewichd [--days N] [--seed HEX] [--sensors N] [--train-days N]
-//!           [--drop P] [--dup P] [--corrupt P] [--jitter TICKS]
-//!           [--link-seed N] [--json]
+//! fadewichd train --out PATH [scenario flags]
+//! fadewichd serve --model PATH [scenario flags] [link flags]
+//! fadewichd replay [--model PATH] [scenario flags] [link flags]
 //! ```
 //!
-//! Trains RE on the first `--train-days` days (KMA auto-labeling),
-//! then streams each remaining day's sensor frames through the link
-//! model into the engine. Prints per-day decisions, the runtime
-//! counter summary and — with `--json` — the counters as JSON.
-//! Decisions and counters are seed-deterministic; only the latency
-//! histograms are wall-clock.
+//! `train` runs the training phase (MD over the training days, KMA
+//! auto-labeling, SMO) and writes a versioned model artifact; it
+//! prints only to stderr. `serve` loads an artifact, validates its
+//! feature schema against the scenario, and streams the remaining
+//! days through the engine **without any training code** — no SMO, no
+//! KDE fit at startup. `replay` is the legacy single-process flow:
+//! train in memory (or load `--model`) and then stream. A `replay`
+//! and a `serve --model` of the same trained scenario print
+//! byte-identical decision streams, which `scripts/ci.sh` enforces.
+//!
+//! Scenario flags: `--days N --seed N --sensors N --train-days N`.
+//! Link flags: `--drop P --dup P --corrupt P --jitter TICKS
+//! --link-seed N --json`. Bare flags without a subcommand are
+//! accepted as `replay` for backwards compatibility.
 
+use std::path::PathBuf;
+
+use fadewich_core::artifact::ModelBundle;
 use fadewich_core::config::FadewichParams;
-use fadewich_officesim::{Scenario, ScenarioConfig, ScheduleParams};
+use fadewich_core::re::RadioEnvironment;
+use fadewich_officesim::{Scenario, ScenarioConfig, ScheduleParams, Trace};
 use fadewich_runtime::engine::{EngineConfig, EngineEvent};
 use fadewich_runtime::link::LinkModel;
 use fadewich_runtime::replay;
 
+enum Command {
+    Train { out: PathBuf },
+    Serve { model: PathBuf },
+    Replay { model: Option<PathBuf> },
+}
+
 struct Args {
+    command: Command,
     days: usize,
     seed: u64,
     sensors: usize,
@@ -31,8 +50,9 @@ struct Args {
 }
 
 impl Args {
-    fn default_args() -> Args {
+    fn default_args(command: Command) -> Args {
         Args {
+            command,
             days: 2,
             seed: 0xD3B,
             sensors: 9,
@@ -44,17 +64,28 @@ impl Args {
     }
 }
 
-const USAGE: &str = "usage: fadewichd [--days N] [--seed N] [--sensors N] [--train-days N] \
+const USAGE: &str = "usage: fadewichd <train --out PATH | serve --model PATH | replay [--model PATH]> \
+[--days N] [--seed N] [--sensors N] [--train-days N] \
 [--drop P] [--dup P] [--corrupt P] [--jitter TICKS] [--link-seed N] [--json]";
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args::default_args();
-    let mut it = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (command_word, flag_start) = match raw.first().map(String::as_str) {
+        Some("train") | Some("serve") | Some("replay") => (raw[0].clone(), 1),
+        // Legacy flat-flag invocation: treat as replay.
+        _ => ("replay".to_string(), 0),
+    };
+    let mut out: Option<PathBuf> = None;
+    let mut model: Option<PathBuf> = None;
+    let mut args = Args::default_args(Command::Replay { model: None });
+    let mut it = raw[flag_start..].iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
-            it.next().ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
         };
         match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--model" => model = Some(PathBuf::from(value("--model")?)),
             "--days" => args.days = parse(&value("--days")?)?,
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--sensors" => args.sensors = parse(&value("--sensors")?)?,
@@ -72,6 +103,17 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
+    args.command = match command_word.as_str() {
+        "train" => {
+            let out = out.ok_or_else(|| format!("train needs --out PATH\n{USAGE}"))?;
+            Command::Train { out }
+        }
+        "serve" => {
+            let model = model.ok_or_else(|| format!("serve needs --model PATH\n{USAGE}"))?;
+            Command::Serve { model }
+        }
+        _ => Command::Replay { model },
+    };
     Ok(args)
 }
 
@@ -80,6 +122,47 @@ where
     T::Err: std::fmt::Display,
 {
     s.parse().map_err(|e| format!("bad value {s:?}: {e}"))
+}
+
+/// Streams every post-training day through the engine, printing the
+/// decision stream to stdout. Identical for `replay` and `serve`: the
+/// only difference between them is where `re` came from.
+fn stream_days(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    params: &FadewichParams,
+    args: &Args,
+) -> Result<(), String> {
+    let cfg = EngineConfig::new(trace.tick_hz(), *params);
+    for day in args.train_days..trace.days().len() {
+        let out = replay::stream_day(
+            scenario, trace, streams, re, day, cfg, &args.link, args.link_seed,
+        )?;
+        println!("== day {day} ==");
+        for ev in &out.events {
+            match ev {
+                EngineEvent::Decision { tick, action } => {
+                    println!("tick {tick:>6}  t {:>8.1}s  {:?}", action.t, action.kind);
+                }
+                EngineEvent::SensorQuarantined { sensor, tick } => {
+                    println!("tick {tick:>6}  sensor {sensor} QUARANTINED");
+                }
+                EngineEvent::SensorRecovered { sensor, tick } => {
+                    println!("tick {tick:>6}  sensor {sensor} recovered");
+                }
+            }
+        }
+        // Wall-clock latency goes to stderr so stdout stays
+        // byte-comparable between `replay` and `serve --model`.
+        println!("{}", out.counters.deterministic_summary());
+        eprintln!("{}", out.counters.latency_summary());
+        if args.json {
+            println!("{}", out.counters.to_json());
+        }
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -102,41 +185,62 @@ fn run() -> Result<(), String> {
     let streams = trace.stream_indices_for_subset(&subset);
     let params = FadewichParams::default();
 
-    eprintln!(
-        "fadewichd: {} day(s), {} sensors / {} streams, train {} day(s), link {:?}",
-        args.days,
-        args.sensors,
-        streams.len(),
-        args.train_days,
-        args.link
-    );
-    let re = replay::train_re(&scenario, &trace, &streams, args.train_days, &params)?;
-
-    let cfg = EngineConfig::new(trace.tick_hz(), params);
-    for day in args.train_days..trace.days().len() {
-        let out = replay::stream_day(
-            &scenario, &trace, &streams, &re, day, cfg, &args.link, args.link_seed,
-        )?;
-        println!("== day {day} ==");
-        for ev in &out.events {
-            match ev {
-                EngineEvent::Decision { tick, action } => {
-                    println!("tick {tick:>6}  t {:>8.1}s  {:?}", action.t, action.kind);
-                }
-                EngineEvent::SensorQuarantined { sensor, tick } => {
-                    println!("tick {tick:>6}  sensor {sensor} QUARANTINED");
-                }
-                EngineEvent::SensorRecovered { sensor, tick } => {
-                    println!("tick {tick:>6}  sensor {sensor} recovered");
-                }
-            }
+    match &args.command {
+        Command::Train { out } => {
+            eprintln!(
+                "fadewichd train: {} day(s), {} sensors / {} streams, train {} day(s)",
+                args.days,
+                args.sensors,
+                streams.len(),
+                args.train_days
+            );
+            let bundle = replay::train_model(&scenario, &trace, &streams, args.train_days, &params)?;
+            bundle.save(out).map_err(|e| e.to_string())?;
+            let svm = bundle.re.svm();
+            eprintln!(
+                "fadewichd train: wrote {} ({} bytes, {} classes, {} machines, {} support vectors, profile {} values)",
+                out.display(),
+                bundle.encode().len(),
+                svm.classes().len(),
+                svm.machines().len(),
+                svm.machines().iter().map(|(_, _, m)| m.n_support_vectors()).sum::<usize>(),
+                bundle.md.values.len(),
+            );
+            Ok(())
         }
-        println!("{}", out.counters.summary());
-        if args.json {
-            println!("{}", out.counters.to_json());
+        Command::Serve { model } => {
+            let bundle = ModelBundle::load(model).map_err(|e| e.to_string())?;
+            replay::validate_schema(&bundle, &trace, &streams)?;
+            eprintln!(
+                "fadewichd serve: model {} over {} day(s), {} sensors / {} streams, link {:?}",
+                model.display(),
+                args.days,
+                args.sensors,
+                streams.len(),
+                args.link
+            );
+            stream_days(&scenario, &trace, &streams, &bundle.re, &params, &args)
+        }
+        Command::Replay { model } => {
+            eprintln!(
+                "fadewichd: {} day(s), {} sensors / {} streams, train {} day(s), link {:?}",
+                args.days,
+                args.sensors,
+                streams.len(),
+                args.train_days,
+                args.link
+            );
+            let re = match model {
+                Some(path) => {
+                    let bundle = ModelBundle::load(path).map_err(|e| e.to_string())?;
+                    replay::validate_schema(&bundle, &trace, &streams)?;
+                    bundle.re
+                }
+                None => replay::train_re(&scenario, &trace, &streams, args.train_days, &params)?,
+            };
+            stream_days(&scenario, &trace, &streams, &re, &params, &args)
         }
     }
-    Ok(())
 }
 
 fn main() {

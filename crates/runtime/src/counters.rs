@@ -121,6 +121,15 @@ pub struct RuntimeCounters {
 impl RuntimeCounters {
     /// Multi-line human-readable summary.
     pub fn summary(&self) -> String {
+        format!("{}\n{}", self.deterministic_summary(), self.latency_summary())
+    }
+
+    /// The seed-deterministic counter lines of [`summary`](Self::summary)
+    /// — everything except wall-clock latency. `fadewichd` prints this
+    /// to stdout, keeping a `replay` and a `serve --model` of the same
+    /// scenario byte-comparable (the train/serve parity gate in
+    /// `scripts/ci.sh` relies on it).
+    pub fn deterministic_summary(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
             "frames      in {}  corrupt {}  duplicate {}  late {}  reordered {}\n",
@@ -135,18 +144,23 @@ impl RuntimeCounters {
             self.ticks_processed, self.gap_fills, self.masked_stream_ticks
         ));
         s.push_str(&format!(
-            "sensors     quarantines {}  recoveries {}  watermark lag max {} ticks\n",
+            "sensors     quarantines {}  recoveries {}  watermark lag max {} ticks",
             self.quarantines, self.recoveries, self.watermark_lag_max
         ));
-        s.push_str(&format!(
+        s
+    }
+
+    /// The wall-clock latency line: the only non-deterministic part of
+    /// the summary.
+    pub fn latency_summary(&self) -> String {
+        format!(
             "latency     decode mean {} ns (p99 < {} us)  step mean {} ns (p99 < {} us, max {} us)",
             self.decode.mean_ns(),
             self.decode.quantile_us(0.99),
             self.step.mean_ns(),
             self.step.quantile_us(0.99),
             self.step.max_ns() / 1000
-        ));
-        s
+        )
     }
 
     /// JSON object with every counter and both histograms.

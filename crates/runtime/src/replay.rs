@@ -10,11 +10,12 @@
 //! recorded matrix, so a lossless replay must produce byte-identical
 //! decisions — the invariant `tests/parity.rs` enforces.
 
+use fadewich_core::artifact::{FeatureSchema, ModelBundle};
 use fadewich_core::config::FadewichParams;
 use fadewich_core::controller::{Action, Controller};
-use fadewich_core::features::{extract_features, TrainingSample};
+use fadewich_core::features::{extract_features, TrainingSample, FEATURES_PER_STREAM};
 use fadewich_core::kma::Kma;
-use fadewich_core::md::run_md_over_day;
+use fadewich_core::md::{run_md_over_day, MovementDetector};
 use fadewich_core::re::{auto_label, AutoLabelParams, RadioEnvironment};
 use fadewich_officesim::{Scenario, Trace};
 use fadewich_stats::rng::Rng;
@@ -79,6 +80,89 @@ pub fn train_re(
     let mut rng = Rng::seed_from_u64(TRAIN_SEED);
     RadioEnvironment::train(&samples, None, &mut rng)
         .map_err(|e| format!("training phase failed: {e}"))
+}
+
+/// Runs the full training phase and packs the result — parameters,
+/// feature schema, MD's learned profile/threshold from the last
+/// training day, and the trained RE classifier — into a versioned
+/// [`ModelBundle`] ready for [`ModelBundle::save`].
+///
+/// The classifier is the exact [`train_re`] output (same ordering,
+/// same [`TRAIN_SEED`]), so decisions served from the saved artifact
+/// are byte-identical to an in-memory-trained engine.
+///
+/// # Errors
+///
+/// Propagates [`train_re`] and [`MovementDetector::new`] errors.
+pub fn train_model(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    train_days: usize,
+    params: &FadewichParams,
+) -> Result<ModelBundle, String> {
+    let re = train_re(scenario, trace, streams, train_days, params)?;
+    let hz = trace.tick_hz();
+    // MD's exportable state comes from a clean pass over the last
+    // training day — the same cold-start detector the batch and
+    // streaming paths use, so the snapshot reflects deployment
+    // conditions rather than some partially warmed intermediate.
+    let mut md = MovementDetector::new(streams.len(), hz, *params)?;
+    let day = &trace.days()[train_days - 1];
+    let mut row = vec![0.0f64; streams.len()];
+    for tick in 0..day.n_ticks() {
+        let full = day.row(tick);
+        for (dst, &s) in row.iter_mut().zip(streams) {
+            *dst = full[s] as f64;
+        }
+        md.step(tick, &row);
+    }
+    Ok(ModelBundle {
+        params: *params,
+        schema: FeatureSchema {
+            tick_hz: hz,
+            stream_ids: streams.iter().map(|&s| s as u32).collect(),
+            features_per_stream: FEATURES_PER_STREAM,
+        },
+        md: md.snapshot(),
+        re,
+    })
+}
+
+/// Checks a loaded artifact against the live deployment before
+/// serving: sampling rate, monitored streams, and feature layout must
+/// all match what the model was trained on.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch.
+pub fn validate_schema(
+    bundle: &ModelBundle,
+    trace: &Trace,
+    streams: &[usize],
+) -> Result<(), String> {
+    let schema = &bundle.schema;
+    if schema.tick_hz != trace.tick_hz() {
+        return Err(format!(
+            "model trained at {} Hz but deployment runs at {} Hz",
+            schema.tick_hz,
+            trace.tick_hz()
+        ));
+    }
+    let live: Vec<u32> = streams.iter().map(|&s| s as u32).collect();
+    if schema.stream_ids != live {
+        return Err(format!(
+            "model monitors streams {:?} but deployment monitors {live:?}",
+            schema.stream_ids
+        ));
+    }
+    if schema.features_per_stream != FEATURES_PER_STREAM {
+        return Err(format!(
+            "model uses {} features per stream but this build extracts {FEATURES_PER_STREAM}",
+            schema.features_per_stream
+        ));
+    }
+    Ok(())
 }
 
 /// The batch reference: drives a plain [`Controller`] over the

@@ -83,6 +83,53 @@ fn lossless_streaming_decisions_are_byte_identical_to_batch() {
 }
 
 #[test]
+fn artifact_served_decisions_are_byte_identical_to_in_memory() {
+    // The train/serve split's contract: export the trained model
+    // through the versioned artifact codec, reload it, and the served
+    // decision stream must match the in-memory-trained engine byte
+    // for byte.
+    let fx = fixture();
+    let bundle = replay::train_model(&fx.scenario, &fx.trace, &fx.streams, 1, &fx.params).unwrap();
+    // The bundled classifier IS the fixture classifier (same ordering
+    // and seed)...
+    assert_eq!(bundle.re, fx.re);
+    // ...and it survives encode → decode bit-exactly.
+    let loaded = fadewich_core::artifact::ModelBundle::decode(&bundle.encode()).unwrap();
+    assert_eq!(loaded, bundle);
+    replay::validate_schema(&loaded, &fx.trace, &fx.streams).unwrap();
+    assert!(loaded.md.threshold.is_some(), "training must export a fitted MD threshold");
+
+    let cfg = EngineConfig::new(fx.trace.tick_hz(), fx.params);
+    let in_memory = replay::stream_day(
+        &fx.scenario, &fx.trace, &fx.streams, &fx.re, 1, cfg, &LinkModel::lossless(), 0xF10D,
+    )
+    .unwrap();
+    let served = replay::stream_day(
+        &fx.scenario, &fx.trace, &fx.streams, &loaded.re, 1, cfg, &LinkModel::lossless(), 0xF10D,
+    )
+    .unwrap();
+    assert_eq!(format!("{:?}", served.actions), format!("{:?}", in_memory.actions));
+    assert_eq!(format!("{:?}", served.events), format!("{:?}", in_memory.events));
+}
+
+#[test]
+fn schema_mismatches_are_rejected_before_serving() {
+    let fx = fixture();
+    let bundle = replay::train_model(&fx.scenario, &fx.trace, &fx.streams, 1, &fx.params).unwrap();
+    // Wrong stream subset.
+    let fewer = &fx.streams[..fx.streams.len() - 1];
+    assert!(replay::validate_schema(&bundle, &fx.trace, fewer).is_err());
+    // Wrong tick rate.
+    let mut wrong_hz = bundle.clone();
+    wrong_hz.schema.tick_hz += 1.0;
+    assert!(replay::validate_schema(&wrong_hz, &fx.trace, &fx.streams).is_err());
+    // Wrong feature layout.
+    let mut wrong_layout = bundle;
+    wrong_layout.schema.features_per_stream = 7;
+    assert!(replay::validate_schema(&wrong_layout, &fx.trace, &fx.streams).is_err());
+}
+
+#[test]
 fn seeded_lossy_replay_completes_and_reports_degradation() {
     let fx = fixture();
     let link = LinkModel { drop_p: 0.02, dup_p: 0.01, corrupt_p: 0.005, jitter_ticks: 3 };

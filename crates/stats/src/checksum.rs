@@ -1,0 +1,57 @@
+//! IEEE CRC-32 (the zlib/Ethernet polynomial).
+//!
+//! Both binary formats in the workspace — the sensor wire codec
+//! (`fadewich-runtime::wire`) and the model-artifact bundle
+//! (`fadewich-core::artifact`) — guard their payloads with the same
+//! checksum, so the table lives here, beneath both crates.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 (the zlib/Ethernet polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_detects_any_single_bit_flip() {
+        let clean = b"fadewich model bundle".to_vec();
+        let reference = crc32(&clean);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut dirty = clean.clone();
+                dirty[byte] ^= 1 << bit;
+                assert_ne!(crc32(&dirty), reference, "flip {byte}:{bit} not caught");
+            }
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! # Modules
 //!
 //! - [`rng`] — seedable xoshiro256++ generator and distribution samplers
+//! - [`checksum`] — the IEEE CRC-32 shared by the wire codec and the
+//!   model-artifact bundle
 //! - [`descriptive`] — batch mean/variance/percentiles
 //! - [`rolling`] — O(1) rolling-window statistics and history buffers
 //! - [`histogram`] — fixed-bin histograms and Shannon entropy
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod autocorr;
+pub mod checksum;
 pub mod corr;
 pub mod descriptive;
 pub mod histogram;

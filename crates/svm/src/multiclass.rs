@@ -12,7 +12,7 @@ use crate::smo::{BinarySvm, SmoParams, TrainError};
 use fadewich_stats::rng::Rng;
 
 /// A trained multi-class SVM with integrated feature standardization.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiClassSvm {
     classes: Vec<usize>,
     /// One binary machine per unordered class pair `(classes[i], classes[j])`, i < j.
@@ -33,8 +33,8 @@ impl MultiClassSvm {
     /// [`TrainError::Empty`] when `xs` is empty, [`TrainError::BadLabels`]
     /// when fewer than two classes are present or `ys` is misaligned,
     /// [`TrainError::RaggedRows`] on inconsistent feature dimensions.
-    pub fn train(
-        xs: &[Vec<f64>],
+    pub fn train<R: AsRef<[f64]>>(
+        xs: &[R],
         ys: &[usize],
         kernel: Kernel,
         params: SmoParams,
@@ -49,6 +49,7 @@ impl MultiClassSvm {
         let scaler = StandardScaler::fit(xs).map_err(|e| match e {
             crate::scaler::FitScalerError::Empty => TrainError::Empty,
             crate::scaler::FitScalerError::RaggedRows => TrainError::RaggedRows,
+            crate::scaler::FitScalerError::InvalidParts(why) => TrainError::InvalidModel(why),
         })?;
         let xs = scaler.transform(xs);
 
@@ -86,6 +87,60 @@ impl MultiClassSvm {
         &self.classes
     }
 
+    /// The per-pair binary machines as `(class_a, class_b, machine)`,
+    /// in canonical order: pairs `(classes[i], classes[j])` for all
+    /// `i < j`, lexicographic by `(i, j)`.
+    pub fn machines(&self) -> &[(usize, usize, BinarySvm)] {
+        &self.machines
+    }
+
+    /// The integrated feature scaler.
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+
+    /// Reassembles an ensemble from previously exported parts (the
+    /// model-artifact load path). Round-tripping through
+    /// export/import preserves [`MultiClassSvm::predict`] bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::InvalidModel`] when the parts are inconsistent:
+    /// fewer than two classes, classes not strictly ascending,
+    /// machines not in canonical pair order (or wrong count), or a
+    /// support-vector dimension that disagrees with the scaler.
+    pub fn from_parts(
+        classes: Vec<usize>,
+        machines: Vec<(usize, usize, BinarySvm)>,
+        scaler: StandardScaler,
+    ) -> Result<MultiClassSvm, TrainError> {
+        if classes.len() < 2 {
+            return Err(TrainError::InvalidModel("fewer than two classes"));
+        }
+        if classes.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(TrainError::InvalidModel("classes not strictly ascending"));
+        }
+        let k = classes.len();
+        if machines.len() != k * (k - 1) / 2 {
+            return Err(TrainError::InvalidModel("wrong number of pair machines"));
+        }
+        let mut expected = classes
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &ca)| classes[i + 1..].iter().map(move |&cb| (ca, cb)));
+        for (ca, cb, svm) in &machines {
+            if expected.next() != Some((*ca, *cb)) {
+                return Err(TrainError::InvalidModel("pair machines not in canonical order"));
+            }
+            if svm.support_vectors()[0].len() != scaler.n_features() {
+                return Err(TrainError::InvalidModel(
+                    "support vector dimension disagrees with scaler",
+                ));
+            }
+        }
+        Ok(MultiClassSvm { classes, machines, scaler })
+    }
+
     /// Predicts the class of one sample by pairwise voting; ties are
     /// broken by the summed absolute decision margins.
     ///
@@ -120,8 +175,8 @@ impl MultiClassSvm {
     }
 
     /// Predicts a batch of samples.
-    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
-        xs.iter().map(|x| self.predict(x)).collect()
+    pub fn predict_batch<R: AsRef<[f64]>>(&self, xs: &[R]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x.as_ref())).collect()
     }
 
     /// Accuracy against ground-truth labels.
@@ -129,13 +184,13 @@ impl MultiClassSvm {
     /// # Panics
     ///
     /// Panics if the slices have different lengths or `xs` is empty.
-    pub fn accuracy(&self, xs: &[Vec<f64>], ys: &[usize]) -> f64 {
+    pub fn accuracy<R: AsRef<[f64]>>(&self, xs: &[R], ys: &[usize]) -> f64 {
         assert_eq!(xs.len(), ys.len(), "samples and labels must align");
         assert!(!xs.is_empty(), "accuracy of an empty set");
         let correct = xs
             .iter()
             .zip(ys)
-            .filter(|(x, &y)| self.predict(x) == y)
+            .filter(|(x, &y)| self.predict(x.as_ref()) == y)
             .count();
         correct as f64 / xs.len() as f64
     }
@@ -167,6 +222,7 @@ impl NearestCentroid {
         let scaler = StandardScaler::fit(xs).map_err(|e| match e {
             crate::scaler::FitScalerError::Empty => TrainError::Empty,
             crate::scaler::FitScalerError::RaggedRows => TrainError::RaggedRows,
+            crate::scaler::FitScalerError::InvalidParts(why) => TrainError::InvalidModel(why),
         })?;
         let xs = scaler.transform(xs);
         let mut classes: Vec<usize> = ys.to_vec();
@@ -323,6 +379,78 @@ mod tests {
             MultiClassSvm::train(&xs, &ys, Kernel::Linear, SmoParams::default(), &mut rng)
                 .unwrap_err(),
             TrainError::BadLabels
+        );
+    }
+
+    #[test]
+    fn trains_from_borrowed_rows() {
+        // The zero-copy training path: &[&[f64]] views instead of owned rows.
+        let (xs, ys) = blobs(15, 51);
+        let views: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let mut r1 = Rng::seed_from_u64(9);
+        let mut r2 = Rng::seed_from_u64(9);
+        let owned =
+            MultiClassSvm::train(&xs, &ys, Kernel::Rbf { gamma: 0.5 }, SmoParams::default(), &mut r1)
+                .unwrap();
+        let borrowed = MultiClassSvm::train(
+            &views,
+            &ys,
+            Kernel::Rbf { gamma: 0.5 },
+            SmoParams::default(),
+            &mut r2,
+        )
+        .unwrap();
+        assert_eq!(owned.predict_batch(&views), borrowed.predict_batch(&xs));
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_predictions() {
+        let (xs, ys) = blobs(15, 53);
+        let mut rng = Rng::seed_from_u64(7);
+        let svm =
+            MultiClassSvm::train(&xs, &ys, Kernel::Rbf { gamma: 0.5 }, SmoParams::default(), &mut rng)
+                .unwrap();
+        let back = MultiClassSvm::from_parts(
+            svm.classes().to_vec(),
+            svm.machines().to_vec(),
+            svm.scaler().clone(),
+        )
+        .unwrap();
+        assert_eq!(back.predict_batch(&xs), svm.predict_batch(&xs));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_models() {
+        let (xs, ys) = blobs(10, 55);
+        let mut rng = Rng::seed_from_u64(7);
+        let svm =
+            MultiClassSvm::train(&xs, &ys, Kernel::Linear, SmoParams::default(), &mut rng).unwrap();
+        let scaler = svm.scaler().clone();
+        assert_eq!(
+            MultiClassSvm::from_parts(vec![0], vec![], scaler.clone()).unwrap_err(),
+            TrainError::InvalidModel("fewer than two classes")
+        );
+        assert_eq!(
+            MultiClassSvm::from_parts(vec![1, 1, 2], svm.machines().to_vec(), scaler.clone())
+                .unwrap_err(),
+            TrainError::InvalidModel("classes not strictly ascending")
+        );
+        assert_eq!(
+            MultiClassSvm::from_parts(vec![0, 1, 2], svm.machines()[..1].to_vec(), scaler.clone())
+                .unwrap_err(),
+            TrainError::InvalidModel("wrong number of pair machines")
+        );
+        let mut swapped = svm.machines().to_vec();
+        swapped.swap(0, 1);
+        assert_eq!(
+            MultiClassSvm::from_parts(vec![0, 1, 2], swapped, scaler.clone()).unwrap_err(),
+            TrainError::InvalidModel("pair machines not in canonical order")
+        );
+        let bad_scaler = StandardScaler::fit(&[vec![1.0], vec![2.0]]).unwrap();
+        assert_eq!(
+            MultiClassSvm::from_parts(vec![0, 1, 2], svm.machines().to_vec(), bad_scaler)
+                .unwrap_err(),
+            TrainError::InvalidModel("support vector dimension disagrees with scaler")
         );
     }
 

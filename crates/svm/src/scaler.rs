@@ -13,13 +13,16 @@ pub struct StandardScaler {
     stds: Vec<f64>,
 }
 
-/// Error fitting a scaler.
+/// Error fitting or reassembling a scaler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FitScalerError {
     /// No rows were provided.
     Empty,
     /// Rows have inconsistent dimensions.
     RaggedRows,
+    /// Deserialized parts do not form a valid scaler (see
+    /// [`StandardScaler::from_parts`]).
+    InvalidParts(&'static str),
 }
 
 impl std::fmt::Display for FitScalerError {
@@ -27,6 +30,7 @@ impl std::fmt::Display for FitScalerError {
         match self {
             FitScalerError::Empty => write!(f, "cannot fit a scaler to an empty dataset"),
             FitScalerError::RaggedRows => write!(f, "feature rows have inconsistent dimensions"),
+            FitScalerError::InvalidParts(why) => write!(f, "invalid scaler parts: {why}"),
         }
     }
 }
@@ -43,16 +47,16 @@ impl StandardScaler {
     ///
     /// Returns [`FitScalerError::Empty`] when `xs` has no rows and
     /// [`FitScalerError::RaggedRows`] when rows disagree in length.
-    pub fn fit(xs: &[Vec<f64>]) -> Result<StandardScaler, FitScalerError> {
+    pub fn fit<R: AsRef<[f64]>>(xs: &[R]) -> Result<StandardScaler, FitScalerError> {
         let first = xs.first().ok_or(FitScalerError::Empty)?;
-        let d = first.len();
-        if xs.iter().any(|row| row.len() != d) {
+        let d = first.as_ref().len();
+        if xs.iter().any(|row| row.as_ref().len() != d) {
             return Err(FitScalerError::RaggedRows);
         }
         let n = xs.len() as f64;
         let mut means = vec![0.0; d];
         for row in xs {
-            for (m, &x) in means.iter_mut().zip(row) {
+            for (m, &x) in means.iter_mut().zip(row.as_ref()) {
                 *m += x;
             }
         }
@@ -61,7 +65,7 @@ impl StandardScaler {
         }
         let mut stds = vec![0.0; d];
         for row in xs {
-            for ((s, &x), &m) in stds.iter_mut().zip(row).zip(&means) {
+            for ((s, &x), &m) in stds.iter_mut().zip(row.as_ref()).zip(&means) {
                 *s += (x - m) * (x - m);
             }
         }
@@ -74,9 +78,43 @@ impl StandardScaler {
         Ok(StandardScaler { means, stds })
     }
 
+    /// Reassembles a scaler from previously exported [`StandardScaler::means`]
+    /// and [`StandardScaler::stds`] (the model-artifact load path).
+    ///
+    /// # Errors
+    ///
+    /// [`FitScalerError::Empty`] for zero features,
+    /// [`FitScalerError::InvalidParts`] for mismatched lengths,
+    /// non-finite values, or non-positive standard deviations.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Result<StandardScaler, FitScalerError> {
+        if means.is_empty() {
+            return Err(FitScalerError::Empty);
+        }
+        if means.len() != stds.len() {
+            return Err(FitScalerError::InvalidParts("means/stds length mismatch"));
+        }
+        if means.iter().any(|m| !m.is_finite()) {
+            return Err(FitScalerError::InvalidParts("non-finite mean"));
+        }
+        if stds.iter().any(|s| !(s.is_finite() && *s > 0.0)) {
+            return Err(FitScalerError::InvalidParts("non-positive standard deviation"));
+        }
+        Ok(StandardScaler { means, stds })
+    }
+
     /// Number of features the scaler was fitted on.
     pub fn n_features(&self) -> usize {
         self.means.len()
+    }
+
+    /// Per-feature means, in feature order.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature standard deviations, in feature order.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
     }
 
     /// Transforms one row in place.
@@ -92,10 +130,10 @@ impl StandardScaler {
     }
 
     /// Returns a transformed copy of a dataset.
-    pub fn transform(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    pub fn transform<R: AsRef<[f64]>>(&self, xs: &[R]) -> Vec<Vec<f64>> {
         xs.iter()
             .map(|row| {
-                let mut r = row.clone();
+                let mut r = row.as_ref().to_vec();
                 self.transform_row(&mut r);
                 r
             })
@@ -131,7 +169,7 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert_eq!(StandardScaler::fit(&[]).unwrap_err(), FitScalerError::Empty);
+        assert_eq!(StandardScaler::fit::<Vec<f64>>(&[]).unwrap_err(), FitScalerError::Empty);
         assert_eq!(
             StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err(),
             FitScalerError::RaggedRows

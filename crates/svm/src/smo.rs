@@ -40,7 +40,7 @@ pub struct BinarySvm {
     bias: f64,
 }
 
-/// Error training an SVM.
+/// Error training an SVM or reassembling one from exported parts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrainError {
     /// The training set is empty.
@@ -50,6 +50,9 @@ pub enum TrainError {
     BadLabels,
     /// Feature rows have inconsistent dimensions.
     RaggedRows,
+    /// Deserialized parts do not form a valid model (see
+    /// [`BinarySvm::from_parts`] / `MultiClassSvm::from_parts`).
+    InvalidModel(&'static str),
 }
 
 impl std::fmt::Display for TrainError {
@@ -58,6 +61,7 @@ impl std::fmt::Display for TrainError {
             TrainError::Empty => write!(f, "training set is empty"),
             TrainError::BadLabels => write!(f, "training labels do not form a valid problem"),
             TrainError::RaggedRows => write!(f, "feature rows have inconsistent dimensions"),
+            TrainError::InvalidModel(why) => write!(f, "invalid model parts: {why}"),
         }
     }
 }
@@ -221,6 +225,73 @@ impl BinarySvm {
     pub fn n_support_vectors(&self) -> usize {
         self.support_vectors.len()
     }
+
+    /// The kernel the machine was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The retained support vectors (rows with α > 0).
+    pub fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support_vectors
+    }
+
+    /// `αᵢ yᵢ` for each support vector, aligned with
+    /// [`BinarySvm::support_vectors`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The bias term `b`.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Reassembles a machine from previously exported parts (the
+    /// model-artifact load path). Round-tripping through
+    /// export/import preserves [`BinarySvm::decision`] bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::InvalidModel`] when the parts are inconsistent:
+    /// no support vectors, misaligned vector/coefficient counts,
+    /// ragged or empty rows, non-finite values, or a non-positive RBF
+    /// gamma.
+    pub fn from_parts(
+        kernel: Kernel,
+        support_vectors: Vec<Vec<f64>>,
+        coefficients: Vec<f64>,
+        bias: f64,
+    ) -> Result<BinarySvm, TrainError> {
+        if support_vectors.is_empty() {
+            return Err(TrainError::InvalidModel("no support vectors"));
+        }
+        if support_vectors.len() != coefficients.len() {
+            return Err(TrainError::InvalidModel("support vector / coefficient count mismatch"));
+        }
+        let d = support_vectors[0].len();
+        if d == 0 {
+            return Err(TrainError::InvalidModel("zero-dimensional support vectors"));
+        }
+        if support_vectors.iter().any(|sv| sv.len() != d) {
+            return Err(TrainError::InvalidModel("ragged support vectors"));
+        }
+        if support_vectors.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(TrainError::InvalidModel("non-finite support vector value"));
+        }
+        if coefficients.iter().any(|c| !c.is_finite()) {
+            return Err(TrainError::InvalidModel("non-finite coefficient"));
+        }
+        if !bias.is_finite() {
+            return Err(TrainError::InvalidModel("non-finite bias"));
+        }
+        if let Kernel::Rbf { gamma } = kernel {
+            if !(gamma.is_finite() && gamma > 0.0) {
+                return Err(TrainError::InvalidModel("non-positive RBF gamma"));
+            }
+        }
+        Ok(BinarySvm { kernel, support_vectors, coefficients, bias })
+    }
 }
 
 #[cfg(test)]
@@ -354,5 +425,65 @@ mod tests {
             TrainError::RaggedRows
         );
         assert!(!format!("{}", TrainError::Empty).is_empty());
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_decision_bits() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.2],
+            vec![3.0, 3.0],
+            vec![2.8, 3.3],
+        ];
+        let ys = vec![-1.0, -1.0, 1.0, 1.0];
+        let svm = train(&xs, &ys, Kernel::Rbf { gamma: 0.7 });
+        let back = BinarySvm::from_parts(
+            svm.kernel(),
+            svm.support_vectors().to_vec(),
+            svm.coefficients().to_vec(),
+            svm.bias(),
+        )
+        .unwrap();
+        assert_eq!(back, svm);
+        for x in &xs {
+            assert_eq!(back.decision(x).to_bits(), svm.decision(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_models() {
+        let sv = vec![vec![1.0, 2.0]];
+        assert_eq!(
+            BinarySvm::from_parts(Kernel::Linear, vec![], vec![], 0.0).unwrap_err(),
+            TrainError::InvalidModel("no support vectors")
+        );
+        assert_eq!(
+            BinarySvm::from_parts(Kernel::Linear, sv.clone(), vec![1.0, 2.0], 0.0).unwrap_err(),
+            TrainError::InvalidModel("support vector / coefficient count mismatch")
+        );
+        assert_eq!(
+            BinarySvm::from_parts(
+                Kernel::Linear,
+                vec![vec![1.0], vec![2.0, 3.0]],
+                vec![1.0, -1.0],
+                0.0
+            )
+            .unwrap_err(),
+            TrainError::InvalidModel("ragged support vectors")
+        );
+        assert_eq!(
+            BinarySvm::from_parts(Kernel::Linear, sv.clone(), vec![f64::NAN], 0.0).unwrap_err(),
+            TrainError::InvalidModel("non-finite coefficient")
+        );
+        assert_eq!(
+            BinarySvm::from_parts(Kernel::Linear, sv.clone(), vec![1.0], f64::INFINITY)
+                .unwrap_err(),
+            TrainError::InvalidModel("non-finite bias")
+        );
+        assert_eq!(
+            BinarySvm::from_parts(Kernel::Rbf { gamma: 0.0 }, sv, vec![1.0], 0.0).unwrap_err(),
+            TrainError::InvalidModel("non-positive RBF gamma")
+        );
+        assert!(!format!("{}", TrainError::InvalidModel("x")).is_empty());
     }
 }

@@ -20,5 +20,20 @@ cargo test -q --offline --workspace
 # of jitter, duplicates + corruption) must finish with the degradation
 # counted, not panic.
 cargo test -q --release --offline -p fadewich-runtime --test parity
-cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- replay \
     --drop 0.02 --dup 0.01 --corrupt 0.005 --jitter 3 --link-seed 7 > /dev/null
+
+# Train/serve split gate: train once, write the versioned model
+# artifact, then serve from it. The served decision stream (stdout)
+# must be byte-identical to the in-memory-trained replay of the same
+# seeded scenario — the artifact codec must not perturb a single
+# decision.
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+    train --out "$workdir/model.fwmb"
+cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+    replay > "$workdir/replay.out"
+cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+    serve --model "$workdir/model.fwmb" > "$workdir/serve.out"
+cmp "$workdir/replay.out" "$workdir/serve.out"
