@@ -5,11 +5,12 @@
 //! ```
 //!
 //! Targets: `table2 table3 table4 table5 fig2 fig7 fig8 fig9 fig10
-//! fig11 fig12 fig13 ablations deployment streaming artifact csi
-//! baseline attacks offices` (default: all). `--quick` runs a 1-day
-//! scenario instead of the paper's 5 days. Like `deployment` and
-//! `streaming`, the `artifact` target needs a >= 2-day trace (it
-//! trains on the leading days and exports the model bundle).
+//! fig11 fig12 fig13 ablations deployment streaming recovery
+//! artifact csi baseline attacks offices` (default: all). `--quick`
+//! runs a 1-day scenario instead of the paper's 5 days. Like
+//! `deployment` and `streaming`, the `recovery` and `artifact`
+//! targets need a >= 2-day trace (they train on the leading days,
+//! then crash/resume the stream or export the model bundle).
 //!
 //! The selected targets run as independent jobs on the
 //! [`par`](fadewich_experiments::par) worker pool (`FADEWICH_THREADS`
@@ -361,6 +362,31 @@ fn main() {
             ));
         } else {
             eprintln!("streaming target needs >= 2 days (skipped in this configuration)");
+        }
+    }
+    if wanted(&opts, "recovery") {
+        // Crash the checkpointed engine at 25/50/75% of each online
+        // day and verify the resumed decision stream stitches
+        // byte-identically onto the pre-crash prefix.
+        let train_days = if experiment.trace.days().len() > 2 { 2 } else { 1 };
+        if experiment.trace.days().len() > train_days {
+            jobs.push((
+                "recovery",
+                Box::new(move || {
+                    let rows = fadewich_experiments::recovery::recovery_study(
+                        &experiment,
+                        train_days,
+                        9,
+                    )
+                    .expect("recovery study");
+                    vec![table_emission(
+                        "recovery",
+                        &fadewich_experiments::recovery::recovery_table(&rows),
+                    )]
+                }),
+            ));
+        } else {
+            eprintln!("recovery target needs >= 2 days (skipped in this configuration)");
         }
     }
     if wanted(&opts, "artifact") {

@@ -17,12 +17,12 @@
 //! A plain inactivity timeout `T` runs underneath, exactly as in the
 //! paper's baseline comparison.
 
-use fadewich_stats::rolling::HistoryBuffer;
+use fadewich_stats::rolling::{HistoryBuffer, HistoryState};
 
 use crate::config::FadewichParams;
 use crate::features::extract_features_from_histories;
 use crate::kma::Kma;
-use crate::md::MovementDetector;
+use crate::md::{MdRuntimeState, MovementDetector};
 use crate::re::RadioEnvironment;
 
 /// The controller's top-level state (Fig. 4).
@@ -116,6 +116,44 @@ struct WsSession {
     screensaver_on: bool,
 }
 
+/// Exported per-workstation session flags (the public mirror of the
+/// controller's internal bookkeeping, for checkpointing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionState {
+    /// Whether the session is authenticated.
+    pub logged_in: bool,
+    /// Whether Rule 2 has put the workstation in alert state.
+    pub in_alert: bool,
+    /// Whether the alert escalated to a running screen saver.
+    pub screensaver_on: bool,
+}
+
+/// The complete in-flight controller state for crash-safe
+/// checkpointing: the FSM, every per-workstation session flag, the
+/// feature-history ring buffers Rule 1 classifies from, and the full
+/// MD runtime state. The borrowed collaborators (`RadioEnvironment`,
+/// `Kma`) are *not* captured — they are reconstructed from the model
+/// artifact and scenario on restore and validated against this state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerState {
+    /// Complete movement-detector state.
+    pub md: MdRuntimeState,
+    /// The Fig. 4 FSM state.
+    pub system_state: SystemState,
+    /// Per-workstation session flags, in workstation order.
+    pub sessions: Vec<SessionState>,
+    /// Per-stream RSSI feature histories, in stream order.
+    pub histories: Vec<HistoryState>,
+    /// Whether Rule 1 already fired for the current window.
+    pub rule1_done: bool,
+    /// Time of the last processed tick (seconds from day start).
+    pub prev_t: f64,
+    /// How many actions the controller had emitted when captured. The
+    /// restored controller starts with an *empty* action log; this
+    /// count lets a caller stitch pre- and post-crash logs together.
+    pub n_actions: u64,
+}
+
 impl WsSession {
     /// Day-start state: nobody is logged in overnight; the first input
     /// of the day authenticates the user.
@@ -176,6 +214,120 @@ impl<'a> Controller<'a> {
     /// The controller's current top-level state.
     pub fn state(&self) -> SystemState {
         self.state
+    }
+
+    /// Exports the complete in-flight state for crash-safe
+    /// checkpointing. Capture between ticks (never mid-tick): every
+    /// invariant [`Controller::from_runtime_state`] enforces holds at
+    /// tick boundaries.
+    pub fn runtime_state(&self) -> ControllerState {
+        ControllerState {
+            md: self.md.runtime_state(),
+            system_state: self.state,
+            sessions: self
+                .sessions
+                .iter()
+                .map(|s| SessionState {
+                    logged_in: s.logged_in,
+                    in_alert: s.in_alert,
+                    screensaver_on: s.screensaver_on,
+                })
+                .collect(),
+            histories: self.histories.iter().map(HistoryBuffer::state).collect(),
+            rule1_done: self.rule1_done,
+            prev_t: self.prev_t,
+            n_actions: self.actions.len() as u64,
+        }
+    }
+
+    /// The per-workstation KMA idle clocks as of the last processed
+    /// tick — the input-trace fingerprint the checkpoint layer uses to
+    /// detect a scenario mismatch on resume.
+    pub fn kma_clock_state(&self) -> Vec<Option<f64>> {
+        self.kma.clock_state(self.prev_t)
+    }
+
+    /// Rebuilds a controller mid-day from a
+    /// [`Controller::runtime_state`] export plus freshly reconstructed
+    /// collaborators (the artifact-loaded `re`, the scenario's `kma`).
+    /// Subsequent steps emit actions bit-identical to the controller
+    /// the state was captured from; the restored action log starts
+    /// empty (see [`ControllerState::n_actions`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Controller::new`] and [`MovementDetector::from_runtime_state`]
+    /// errors, plus a description when the state disagrees with the
+    /// collaborators (workstation or stream counts, history capacity)
+    /// or is internally inconsistent (non-finite `prev_t`, FSM and
+    /// `rule1_done` out of sync, sessions logged out yet alerted).
+    pub fn from_runtime_state(
+        n_streams: usize,
+        tick_hz: f64,
+        params: FadewichParams,
+        re: &'a RadioEnvironment,
+        kma: Kma<'a>,
+        state: &ControllerState,
+    ) -> Result<Controller<'a>, String> {
+        let mut ctl = Controller::new(n_streams, tick_hz, params, re, kma)?;
+        let md = MovementDetector::from_runtime_state(n_streams, tick_hz, params, &state.md)
+            .map_err(|e| format!("md: {e}"))?;
+        if state.sessions.len() != ctl.sessions.len() {
+            return Err(format!(
+                "state carries {} sessions for {} workstations",
+                state.sessions.len(),
+                ctl.sessions.len()
+            ));
+        }
+        for (ws, s) in state.sessions.iter().enumerate() {
+            if !s.logged_in && (s.in_alert || s.screensaver_on) {
+                return Err(format!("workstation {ws} is logged out yet alerted"));
+            }
+            if s.screensaver_on && !s.in_alert {
+                return Err(format!("workstation {ws} has a screen saver outside alert"));
+            }
+        }
+        if state.histories.len() != n_streams {
+            return Err(format!(
+                "state carries {} histories for {n_streams} streams",
+                state.histories.len()
+            ));
+        }
+        let expected_cap = ctl.histories[0].capacity();
+        let mut histories = Vec::with_capacity(n_streams);
+        for (i, h) in state.histories.iter().enumerate() {
+            if h.capacity != expected_cap {
+                return Err(format!(
+                    "stream {i} history capacity {} disagrees with params ({expected_cap})",
+                    h.capacity
+                ));
+            }
+            histories.push(HistoryBuffer::from_state(h).map_err(|e| format!("stream {i}: {e}"))?);
+        }
+        if !state.prev_t.is_finite() || state.prev_t < 0.0 {
+            return Err(format!("prev_t {} is not a valid day time", state.prev_t));
+        }
+        if (state.system_state == SystemState::Noisy) != state.rule1_done {
+            return Err(format!(
+                "FSM {:?} disagrees with rule1_done = {}",
+                state.system_state, state.rule1_done
+            ));
+        }
+        ctl.md = md;
+        ctl.state = state.system_state;
+        ctl.sessions = state
+            .sessions
+            .iter()
+            .map(|s| WsSession {
+                logged_in: s.logged_in,
+                in_alert: s.in_alert,
+                screensaver_on: s.screensaver_on,
+            })
+            .collect();
+        ctl.histories = histories;
+        ctl.rule1_done = state.rule1_done;
+        ctl.prev_t = state.prev_t;
+        Ok(ctl)
     }
 
     /// Whether the session at `ws` is currently authenticated.
@@ -546,6 +698,110 @@ mod tests {
             masked.step_masked(tick, &row, &mask);
         }
         assert_eq!(plain.actions(), masked.actions());
+    }
+
+    #[test]
+    fn runtime_state_restore_continues_bit_identically() {
+        // Run a full day in one controller; run the same day in a
+        // second controller that is checkpointed and rebuilt mid-burst
+        // (Noisy state, sessions in flight). The stitched action logs
+        // must match the uninterrupted run exactly.
+        let inputs = departure_inputs(400);
+        let n_streams = 4;
+        let re = fixed_re(n_streams);
+        let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+        let mut full =
+            Controller::new(n_streams, 5.0, params, &re, Kma::new(&inputs)).unwrap();
+        let mut pre = Controller::new(n_streams, 5.0, params, &re, Kma::new(&inputs)).unwrap();
+        let mut rng_full = Rng::seed_from_u64(7);
+        let mut rng_split = Rng::seed_from_u64(7);
+        let row_at = |rng: &mut Rng, tick: usize| -> Vec<f64> {
+            let sd = if (600..660).contains(&tick) { 4.0 } else { 0.6 };
+            (0..n_streams).map(|_| -50.0 + rng.normal() * sd).collect()
+        };
+        // Cut at tick 640: mid-window, Rule 1 already fired, Rule 2
+        // alerts in flight.
+        let cut = 640;
+        for tick in 0..1200 {
+            full.step(tick, &row_at(&mut rng_full, tick));
+        }
+        for tick in 0..cut {
+            pre.step(tick, &row_at(&mut rng_split, tick));
+        }
+        let state = pre.runtime_state();
+        assert_eq!(state.system_state, SystemState::Noisy, "cut should land mid-window");
+        let mut post = Controller::from_runtime_state(
+            n_streams,
+            5.0,
+            params,
+            &re,
+            Kma::new(&inputs),
+            &state,
+        )
+        .unwrap();
+        let roundtrip = post.runtime_state();
+        assert_eq!(roundtrip.n_actions, 0, "restored action log starts empty");
+        assert_eq!(
+            ControllerState { n_actions: state.n_actions, ..roundtrip },
+            state,
+            "round trip changed the state"
+        );
+        for tick in cut..1200 {
+            post.step(tick, &row_at(&mut rng_split, tick));
+        }
+        let mut stitched = pre.actions()[..state.n_actions as usize].to_vec();
+        stitched.extend_from_slice(post.actions());
+        assert_eq!(stitched, full.actions());
+    }
+
+    #[test]
+    fn bad_controller_states_rejected() {
+        let inputs = departure_inputs(400);
+        let n_streams = 4;
+        let re = fixed_re(n_streams);
+        let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+        let mut ctl = Controller::new(n_streams, 5.0, params, &re, Kma::new(&inputs)).unwrap();
+        let mut rng = Rng::seed_from_u64(7);
+        for tick in 0..700 {
+            let row: Vec<f64> = (0..n_streams).map(|_| -50.0 + rng.normal() * 0.6).collect();
+            ctl.step(tick, &row);
+        }
+        let good = ctl.runtime_state();
+        let rebuild = |s: &ControllerState| {
+            Controller::from_runtime_state(n_streams, 5.0, params, &re, Kma::new(&inputs), s)
+        };
+        assert!(rebuild(&good).is_ok());
+
+        // Wrong workstation count.
+        let mut bad = good.clone();
+        bad.sessions.pop();
+        assert!(rebuild(&bad).is_err());
+        // Logged-out session claiming an alert.
+        let mut bad = good.clone();
+        bad.sessions[0] =
+            SessionState { logged_in: false, in_alert: true, screensaver_on: false };
+        assert!(rebuild(&bad).is_err());
+        // Screen saver outside alert state.
+        let mut bad = good.clone();
+        bad.sessions[0] =
+            SessionState { logged_in: true, in_alert: false, screensaver_on: true };
+        assert!(rebuild(&bad).is_err());
+        // Wrong stream count.
+        let mut bad = good.clone();
+        bad.histories.pop();
+        assert!(rebuild(&bad).is_err());
+        // History capacity disagreeing with params.
+        let mut bad = good.clone();
+        bad.histories[0].capacity += 1;
+        assert!(rebuild(&bad).is_err());
+        // Non-finite prev_t.
+        let mut bad = good.clone();
+        bad.prev_t = f64::NAN;
+        assert!(rebuild(&bad).is_err());
+        // FSM and rule1_done out of sync.
+        let mut bad = good.clone();
+        bad.rule1_done = true;
+        assert!(rebuild(&bad).is_err());
     }
 
     #[test]

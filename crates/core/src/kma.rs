@@ -52,6 +52,17 @@ impl<'a> Kma<'a> {
     pub fn any_input_in(&self, ws: usize, from: f64, to: f64) -> bool {
         self.inputs.any_input_in(ws, from, to)
     }
+
+    /// The per-workstation idle clocks at time `t`: for each
+    /// workstation, its most recent input at or before `t` (`None` if
+    /// it has produced none yet). KMA itself is a stateless query layer
+    /// — these clocks are a *fingerprint* of the input trace as seen up
+    /// to `t`, which the checkpoint layer persists so a resume can
+    /// detect that it was handed a different scenario than the one the
+    /// checkpoint was taken from.
+    pub fn clock_state(&self, t: f64) -> Vec<Option<f64>> {
+        (0..self.n_workstations()).map(|ws| self.last_input_before(ws, t)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +113,14 @@ mod tests {
         assert_eq!(kma.last_input_before(0, 15.0), Some(10.0));
         assert!(kma.any_input_in(1, 96.0, 100.0));
         assert!(!kma.any_input_in(2, 0.0, 1000.0));
+    }
+
+    #[test]
+    fn clock_state_fingerprints_the_trace_at_t() {
+        let inputs = kma_fixture();
+        let kma = Kma::new(&inputs);
+        assert_eq!(kma.clock_state(0.0), vec![None, None, None]);
+        assert_eq!(kma.clock_state(97.0), vec![Some(20.0), Some(95.0), None]);
+        assert_eq!(kma.clock_state(1000.0), vec![Some(100.0), Some(103.0), None]);
     }
 }

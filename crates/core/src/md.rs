@@ -11,10 +11,10 @@
 
 use fadewich_officesim::DayTrace;
 use fadewich_stats::kde::GaussianKde;
-use fadewich_stats::rolling::RollingStd;
+use fadewich_stats::rolling::{RollingStd, RollingStdState};
 
 use crate::config::FadewichParams;
-use crate::windows::{VariationWindow, WindowTracker};
+use crate::windows::{VariationWindow, WindowTracker, WindowTrackerState};
 
 /// MD's per-tick output.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +37,30 @@ pub struct MdSnapshot {
     pub values: Vec<f64>,
     /// The anomaly threshold `ub`, if the profile was ever fitted.
     pub threshold: Option<f64>,
+}
+
+/// The *complete* in-flight MD state for crash-safe checkpointing —
+/// everything [`MdSnapshot`] (the model-artifact export) deliberately
+/// leaves out: per-stream rolling windows with their exact float
+/// accumulators, the warmup/init clock, the batch-update queue, and
+/// the open variation window. `MdSnapshot` stays the frozen artifact
+/// v1 contract; this type wraps it rather than extending it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdRuntimeState {
+    /// The learned profile + threshold (the artifact-exported part).
+    pub snapshot: MdSnapshot,
+    /// Per-stream rolling std windows, in stream order.
+    pub stream_stds: Vec<RollingStdState>,
+    /// Ticks fed so far (drives warmup and the init-collection phase).
+    pub ticks_seen: usize,
+    /// The in-flight batch-update queue of `s_t` values.
+    pub queue: Vec<f64>,
+    /// How many queued values were anomalous.
+    pub queue_anomalous: usize,
+    /// Consecutive rejected update batches.
+    pub rejected_streak: usize,
+    /// The variation-window tracker, including any open window.
+    pub tracker: WindowTrackerState,
 }
 
 /// The online movement detector.
@@ -157,6 +181,94 @@ impl MovementDetector {
         }
         md.profile = snapshot.values;
         md.threshold = snapshot.threshold;
+        Ok(md)
+    }
+
+    /// Exports the complete in-flight state for crash-safe
+    /// checkpointing (contrast with [`MovementDetector::snapshot`],
+    /// which exports only the learned model for the artifact bundle).
+    pub fn runtime_state(&self) -> MdRuntimeState {
+        MdRuntimeState {
+            snapshot: self.snapshot(),
+            stream_stds: self.stream_stds.iter().map(RollingStd::state).collect(),
+            ticks_seen: self.ticks_seen,
+            queue: self.queue.clone(),
+            queue_anomalous: self.queue_anomalous,
+            rejected_streak: self.rejected_streak,
+            tracker: self.tracker.state(),
+        }
+    }
+
+    /// Rebuilds a detector mid-flight from a
+    /// [`MovementDetector::runtime_state`] export. Subsequent steps are
+    /// bit-identical to the detector the state was captured from — the
+    /// crash-recovery property the runtime's checkpoint layer relies
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// All [`MovementDetector::with_snapshot`] errors, plus a
+    /// description when the runtime state disagrees with the
+    /// construction parameters (stream count, window capacity, hangover
+    /// length) or is internally inconsistent (oversized or non-finite
+    /// batch queue, anomalous count exceeding the queue).
+    pub fn from_runtime_state(
+        n_streams: usize,
+        tick_hz: f64,
+        params: FadewichParams,
+        state: &MdRuntimeState,
+    ) -> Result<MovementDetector, String> {
+        let mut md =
+            MovementDetector::with_snapshot(n_streams, tick_hz, params, state.snapshot.clone())?;
+        if state.stream_stds.len() != n_streams {
+            return Err(format!(
+                "state carries {} rolling windows for {} streams",
+                state.stream_stds.len(),
+                n_streams
+            ));
+        }
+        let window_ticks = params.std_window_ticks(tick_hz);
+        let mut stds = Vec::with_capacity(n_streams);
+        for (i, s) in state.stream_stds.iter().enumerate() {
+            if s.capacity != window_ticks {
+                return Err(format!(
+                    "stream {i} window capacity {} disagrees with std_window {window_ticks}",
+                    s.capacity
+                ));
+            }
+            stds.push(RollingStd::from_state(s).map_err(|e| format!("stream {i}: {e}"))?);
+        }
+        if state.queue.len() >= params.batch_size {
+            return Err(format!(
+                "batch queue of {} values should have flushed at {}",
+                state.queue.len(),
+                params.batch_size
+            ));
+        }
+        if state.queue.iter().any(|v| !v.is_finite()) {
+            return Err("batch queue contains a non-finite value".to_string());
+        }
+        if state.queue_anomalous > state.queue.len() {
+            return Err(format!(
+                "{} anomalous values in a queue of {}",
+                state.queue_anomalous,
+                state.queue.len()
+            ));
+        }
+        let tracker = WindowTracker::from_state(&state.tracker)?;
+        let hangover = (params.window_hangover_s * tick_hz).round().max(1.0) as usize;
+        if state.tracker.hangover_ticks != hangover {
+            return Err(format!(
+                "tracker hangover {} disagrees with params ({hangover})",
+                state.tracker.hangover_ticks
+            ));
+        }
+        md.stream_stds = stds;
+        md.ticks_seen = state.ticks_seen;
+        md.queue = state.queue.clone();
+        md.queue_anomalous = state.queue_anomalous;
+        md.rejected_streak = state.rejected_streak;
+        md.tracker = tracker;
         Ok(md)
     }
 
@@ -603,6 +715,104 @@ mod tests {
             restored.step(tick, &row);
         }
         assert_eq!(restored.profile_values().len(), before);
+    }
+
+    #[test]
+    fn runtime_state_restore_continues_bit_identically() {
+        // Capture mid-day — after the threshold is live, mid-batch, and
+        // with a masked tick mixed in — and check every subsequent
+        // verdict is bit-identical between the original detector and a
+        // restored clone.
+        let day = synthetic_day(4, 2400, Some((1400, 1460, 2.0)), 13);
+        let mut md = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        let cut = 1000;
+        for tick in 0..cut {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            if tick % 97 == 0 {
+                md.step_masked(tick, &row, &[false, true, false, false]);
+            } else {
+                md.step(tick, &row);
+            }
+        }
+        let state = md.runtime_state();
+        let mut restored =
+            MovementDetector::from_runtime_state(4, 5.0, fast_params(), &state).unwrap();
+        assert_eq!(restored.runtime_state(), state, "round trip changed the state");
+        for tick in cut..day.n_ticks() {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            let (a, b) = if tick % 97 == 0 {
+                let mask = [false, true, false, false];
+                (md.step_masked(tick, &row, &mask), restored.step_masked(tick, &row, &mask))
+            } else {
+                (md.step(tick, &row), restored.step(tick, &row))
+            };
+            assert_eq!(a.st.to_bits(), b.st.to_bits(), "s_t diverged at tick {tick}");
+            assert_eq!(a, b, "verdict diverged at tick {tick}");
+            assert_eq!(
+                md.threshold().map(f64::to_bits),
+                restored.threshold().map(f64::to_bits),
+                "threshold diverged at tick {tick}"
+            );
+        }
+        assert_eq!(md.finish(day.n_ticks() - 1), restored.finish(day.n_ticks() - 1));
+    }
+
+    #[test]
+    fn runtime_state_restore_mid_init_phase_continues_identically() {
+        // A crash before the threshold exists must resume the
+        // installation-time collection exactly where it stopped.
+        let day = synthetic_day(4, 400, None, 14);
+        let mut md = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        for tick in 0..80 {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            md.step(tick, &row);
+        }
+        let state = md.runtime_state();
+        assert!(state.snapshot.threshold.is_none(), "still collecting");
+        let mut restored =
+            MovementDetector::from_runtime_state(4, 5.0, fast_params(), &state).unwrap();
+        for tick in 80..day.n_ticks() {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            assert_eq!(md.step(tick, &row), restored.step(tick, &row), "tick {tick}");
+        }
+        assert_eq!(
+            md.threshold().map(f64::to_bits),
+            restored.threshold().map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn bad_runtime_states_rejected() {
+        let p = fast_params();
+        let mut md = MovementDetector::new(4, 5.0, p).unwrap();
+        let day = synthetic_day(4, 600, None, 15);
+        for tick in 0..600 {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            md.step(tick, &row);
+        }
+        let good = md.runtime_state();
+        assert!(MovementDetector::from_runtime_state(4, 5.0, p, &good).is_ok());
+
+        // Stream-count mismatch.
+        assert!(MovementDetector::from_runtime_state(3, 5.0, p, &good).is_err());
+        // Window capacity disagrees with params (different tick rate).
+        assert!(MovementDetector::from_runtime_state(4, 10.0, p, &good).is_err());
+        // Queue that should already have flushed.
+        let mut bad = good.clone();
+        bad.queue = vec![1.0; p.batch_size];
+        assert!(MovementDetector::from_runtime_state(4, 5.0, p, &bad).is_err());
+        // Non-finite queue value.
+        let mut bad = good.clone();
+        bad.queue = vec![f64::NAN];
+        assert!(MovementDetector::from_runtime_state(4, 5.0, p, &bad).is_err());
+        // Anomalous count exceeding the queue.
+        let mut bad = good.clone();
+        bad.queue_anomalous = bad.queue.len() + 1;
+        assert!(MovementDetector::from_runtime_state(4, 5.0, p, &bad).is_err());
+        // Tracker hangover disagreeing with params.
+        let mut bad = good.clone();
+        bad.tracker.hangover_ticks += 1;
+        assert!(MovementDetector::from_runtime_state(4, 5.0, p, &bad).is_err());
     }
 
     #[test]

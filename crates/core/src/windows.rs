@@ -42,6 +42,23 @@ impl VariationWindow {
     }
 }
 
+/// The complete runtime state of a [`WindowTracker`], exportable for
+/// crash-safe checkpointing: the open window (if any), the hangover
+/// countdown, and the closed-window log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowTrackerState {
+    /// Hangover length the tracker was built with.
+    pub hangover_ticks: usize,
+    /// Start tick of the currently open window, if one is open.
+    pub open_start: Option<usize>,
+    /// Last anomalous tick of the open window.
+    pub last_anomalous: usize,
+    /// Consecutive normal ticks since the last anomalous one.
+    pub quiet_run: usize,
+    /// All windows closed so far, in order.
+    pub closed: Vec<VariationWindow>,
+}
+
 /// Online tracker turning a per-tick anomalous/normal stream into
 /// variation windows.
 #[derive(Debug, Clone)]
@@ -123,6 +140,62 @@ impl WindowTracker {
     /// All windows closed so far, in order.
     pub fn closed_windows(&self) -> &[VariationWindow] {
         &self.closed
+    }
+
+    /// Exports the full runtime state for checkpointing.
+    pub fn state(&self) -> WindowTrackerState {
+        WindowTrackerState {
+            hangover_ticks: self.hangover_ticks,
+            open_start: self.open_start,
+            last_anomalous: self.last_anomalous,
+            quiet_run: self.quiet_run,
+            closed: self.closed.clone(),
+        }
+    }
+
+    /// Rebuilds a tracker from an exported state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the state is inconsistent: a zero
+    /// hangover, a quiet run that should already have closed the open
+    /// window, an open window starting after its last anomalous tick,
+    /// or a closed-window log that is not ordered and disjoint.
+    pub fn from_state(state: &WindowTrackerState) -> Result<WindowTracker, String> {
+        if state.hangover_ticks == 0 {
+            return Err("window hangover must be positive".to_string());
+        }
+        if let Some(start) = state.open_start {
+            if state.last_anomalous < start {
+                return Err(format!(
+                    "open window starts at {} but last anomalous tick is {}",
+                    start, state.last_anomalous
+                ));
+            }
+            if state.quiet_run >= state.hangover_ticks {
+                return Err(format!(
+                    "quiet run {} should already have closed the window (hangover {})",
+                    state.quiet_run, state.hangover_ticks
+                ));
+            }
+        }
+        for w in &state.closed {
+            if w.end_tick < w.start_tick {
+                return Err(format!("closed window [{}, {}] is inverted", w.start_tick, w.end_tick));
+            }
+        }
+        for pair in state.closed.windows(2) {
+            if pair[0].end_tick >= pair[1].start_tick {
+                return Err("closed windows overlap or are out of order".to_string());
+            }
+        }
+        Ok(WindowTracker {
+            hangover_ticks: state.hangover_ticks,
+            open_start: state.open_start,
+            last_anomalous: state.last_anomalous,
+            quiet_run: state.quiet_run,
+            closed: state.closed.clone(),
+        })
     }
 }
 
@@ -217,6 +290,59 @@ mod tests {
         for w in &ws {
             assert!(pattern[w.start_tick] && pattern[w.end_tick], "ends must be anomalous");
         }
+    }
+
+    #[test]
+    fn tracker_state_round_trip_continues_identically() {
+        let mut rng = fadewich_stats::rng::Rng::seed_from_u64(9);
+        let pattern: Vec<bool> = (0..600).map(|_| rng.bernoulli(0.3)).collect();
+        let mut t = WindowTracker::new(3);
+        for (tick, &a) in pattern.iter().take(300).enumerate() {
+            t.push(tick, a);
+        }
+        let mut restored = WindowTracker::from_state(&t.state()).unwrap();
+        assert_eq!(restored.state(), t.state());
+        for (tick, &a) in pattern.iter().enumerate().skip(300) {
+            assert_eq!(t.push(tick, a), restored.push(tick, a), "diverged at {tick}");
+        }
+        assert_eq!(t.finish(599), restored.finish(599));
+        assert_eq!(t.closed_windows(), restored.closed_windows());
+    }
+
+    #[test]
+    fn tracker_state_rejects_inconsistencies() {
+        let good = WindowTracker::new(3).state();
+        assert!(WindowTracker::from_state(&WindowTrackerState {
+            hangover_ticks: 0,
+            ..good.clone()
+        })
+        .is_err());
+        assert!(WindowTracker::from_state(&WindowTrackerState {
+            open_start: Some(10),
+            last_anomalous: 5,
+            ..good.clone()
+        })
+        .is_err());
+        assert!(WindowTracker::from_state(&WindowTrackerState {
+            open_start: Some(10),
+            last_anomalous: 12,
+            quiet_run: 3,
+            ..good.clone()
+        })
+        .is_err());
+        assert!(WindowTracker::from_state(&WindowTrackerState {
+            closed: vec![VariationWindow { start_tick: 5, end_tick: 2 }],
+            ..good.clone()
+        })
+        .is_err());
+        assert!(WindowTracker::from_state(&WindowTrackerState {
+            closed: vec![
+                VariationWindow { start_tick: 1, end_tick: 8 },
+                VariationWindow { start_tick: 4, end_tick: 9 },
+            ],
+            ..good
+        })
+        .is_err());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! - [`attacks`] — jamming attacks and the integrity-guard response;
 //! - [`streaming`] — the live runtime replayed against the batch
 //!   controller, lossless (parity) and lossy (degradation);
+//! - [`recovery`] — crash the streaming engine mid-day, resume from
+//!   the checkpoint store, verify the stitched decision stream;
 //! - [`par`] — the deterministic parallel task pool driving all sweeps;
 //! - [`report`] — ASCII/CSV rendering.
 
@@ -29,6 +31,7 @@ pub mod figures;
 pub mod offices;
 pub mod par;
 pub mod pipeline;
+pub mod recovery;
 pub mod report;
 pub mod streaming;
 pub mod tables;

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! fadewichd train --out PATH [scenario flags]
-//! fadewichd serve --model PATH [scenario flags] [link flags]
+//! fadewichd serve --model PATH [scenario flags] [link flags] [recovery flags]
 //! fadewichd replay [--model PATH] [scenario flags] [link flags]
 //! ```
 //!
@@ -21,16 +21,83 @@
 //! Link flags: `--drop P --dup P --corrupt P --jitter TICKS
 //! --link-seed N --json`. Bare flags without a subcommand are
 //! accepted as `replay` for backwards compatibility.
+//!
+//! # Crash recovery (serve only)
+//!
+//! With `--checkpoint-dir PATH`, serve persists a CRC-guarded engine
+//! checkpoint every `--checkpoint-every` processed ticks (default: one
+//! simulated minute) and tees every stdout line into
+//! `PATH/decisions.log`. On startup it loads the newest valid
+//! checkpoint, truncates the decision log to the checkpointed
+//! committed length, skips the deliveries already ingested, and
+//! resumes — the final decision log is **byte-identical** to an
+//! uninterrupted run's. Corrupt checkpoints are reported to stderr and
+//! skipped (falling back to the previous one, or a cold start).
+//! `--crash-after-ticks N` aborts the process mid-stream, for
+//! exercising exactly that path (see `scripts/ci.sh`).
+//!
+//! Exit codes: 2 usage, 3 scenario, 4 model artifact, 5 engine,
+//! 6 checkpoint, 7 decision-log I/O.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::io::{Seek, SeekFrom, Write};
 use std::path::PathBuf;
 
 use fadewich_core::artifact::ModelBundle;
 use fadewich_core::config::FadewichParams;
+use fadewich_core::kma::Kma;
 use fadewich_core::re::RadioEnvironment;
 use fadewich_officesim::{Scenario, ScenarioConfig, ScheduleParams, Trace};
-use fadewich_runtime::engine::{EngineConfig, EngineEvent};
+use fadewich_runtime::checkpoint::{CheckpointStore, Checkpointer, EngineSnapshot};
+use fadewich_runtime::engine::{EngineConfig, EngineEvent, StreamingEngine};
 use fadewich_runtime::link::LinkModel;
 use fadewich_runtime::replay;
+
+/// Everything that can take the daemon down, with a distinct exit
+/// code per failure class so supervisors can tell a bad flag from a
+/// bad disk.
+#[derive(Debug)]
+enum DaemonError {
+    /// Bad command line (exit 2).
+    Usage(String),
+    /// Scenario generation or simulation failed (exit 3).
+    Scenario(String),
+    /// Model artifact load/save/schema failure (exit 4).
+    Artifact(String),
+    /// Engine construction, training, or streaming failure (exit 5).
+    Engine(String),
+    /// Checkpoint store failure (exit 6).
+    Checkpoint(String),
+    /// Decision-log I/O failure (exit 7).
+    Io(String),
+}
+
+impl DaemonError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            DaemonError::Usage(_) => 2,
+            DaemonError::Scenario(_) => 3,
+            DaemonError::Artifact(_) => 4,
+            DaemonError::Engine(_) => 5,
+            DaemonError::Checkpoint(_) => 6,
+            DaemonError::Io(_) => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Usage(m) => write!(f, "{m}"),
+            DaemonError::Scenario(m) => write!(f, "scenario: {m}"),
+            DaemonError::Artifact(m) => write!(f, "model artifact: {m}"),
+            DaemonError::Engine(m) => write!(f, "engine: {m}"),
+            DaemonError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+            DaemonError::Io(m) => write!(f, "decision log: {m}"),
+        }
+    }
+}
 
 enum Command {
     Train { out: PathBuf },
@@ -47,6 +114,9 @@ struct Args {
     link: LinkModel,
     link_seed: u64,
     json: bool,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    crash_after_ticks: Option<u64>,
 }
 
 impl Args {
@@ -60,13 +130,17 @@ impl Args {
             link: LinkModel::lossless(),
             link_seed: 0xF10D,
             json: false,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            crash_after_ticks: None,
         }
     }
 }
 
 const USAGE: &str = "usage: fadewichd <train --out PATH | serve --model PATH | replay [--model PATH]> \
 [--days N] [--seed N] [--sensors N] [--train-days N] \
-[--drop P] [--dup P] [--corrupt P] [--jitter TICKS] [--link-seed N] [--json]";
+[--drop P] [--dup P] [--corrupt P] [--jitter TICKS] [--link-seed N] [--json] \
+[--checkpoint-dir PATH] [--checkpoint-every TICKS] [--crash-after-ticks N]";
 
 fn parse_args() -> Result<Args, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -96,6 +170,15 @@ fn parse_args() -> Result<Args, String> {
             "--jitter" => args.link.jitter_ticks = parse(&value("--jitter")?)?,
             "--link-seed" => args.link_seed = parse(&value("--link-seed")?)?,
             "--json" => args.json = true,
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?))
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(parse(&value("--checkpoint-every")?)?)
+            }
+            "--crash-after-ticks" => {
+                args.crash_after_ticks = Some(parse(&value("--crash-after-ticks")?)?)
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -114,6 +197,18 @@ fn parse_args() -> Result<Args, String> {
         }
         _ => Command::Replay { model },
     };
+    if !matches!(args.command, Command::Serve { .. })
+        && (args.checkpoint_dir.is_some()
+            || args.checkpoint_every.is_some()
+            || args.crash_after_ticks.is_some())
+    {
+        return Err(format!(
+            "--checkpoint-dir/--checkpoint-every/--crash-after-ticks only apply to serve\n{USAGE}"
+        ));
+    }
+    if args.crash_after_ticks.is_some() && args.checkpoint_dir.is_none() {
+        return Err(format!("--crash-after-ticks needs --checkpoint-dir\n{USAGE}"));
+    }
     Ok(args)
 }
 
@@ -124,49 +219,233 @@ where
     s.parse().map_err(|e| format!("bad value {s:?}: {e}"))
 }
 
+/// The crash-recovery context for a checkpointed serve: the store, the
+/// decision-log tee, and how many log bytes are committed so far.
+struct RecoveryCtx {
+    store: CheckpointStore,
+    log: std::fs::File,
+    log_mark: u64,
+}
+
+/// Prints one line to stdout and, when recovering, tees it into the
+/// decision log so a resumed run can pick up exactly where the bytes
+/// stop.
+fn emit(line: &str, recovery: &mut Option<RecoveryCtx>) -> Result<(), DaemonError> {
+    println!("{line}");
+    if let Some(ctx) = recovery {
+        ctx.log
+            .write_all(line.as_bytes())
+            .and_then(|()| ctx.log.write_all(b"\n"))
+            .map_err(|e| DaemonError::Io(format!("writing: {e}")))?;
+        ctx.log_mark += line.len() as u64 + 1;
+    }
+    Ok(())
+}
+
+fn event_line(ev: &EngineEvent) -> String {
+    match ev {
+        EngineEvent::Decision { tick, action } => {
+            format!("tick {tick:>6}  t {:>8.1}s  {:?}", action.t, action.kind)
+        }
+        EngineEvent::SensorQuarantined { sensor, tick } => {
+            format!("tick {tick:>6}  sensor {sensor} QUARANTINED")
+        }
+        EngineEvent::SensorRecovered { sensor, tick } => {
+            format!("tick {tick:>6}  sensor {sensor} recovered")
+        }
+    }
+}
+
+/// Prints every engine event not yet printed; returns the new printed
+/// count.
+fn flush_events(
+    engine: &StreamingEngine<'_>,
+    printed: usize,
+    recovery: &mut Option<RecoveryCtx>,
+) -> Result<usize, DaemonError> {
+    let events = engine.events();
+    for ev in &events[printed..] {
+        emit(&event_line(ev), recovery)?;
+    }
+    Ok(events.len())
+}
+
+/// Streams (or resumes) one day incrementally: ingest a delivery,
+/// print what it produced, checkpoint when due, crash when told to.
+/// `base_ticks` is the cumulative tick count of all previously served
+/// days, so checkpoint stamps grow monotonically across the run.
+#[allow(clippy::too_many_arguments)]
+fn drive_day(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    day: usize,
+    cfg: EngineConfig,
+    args: &Args,
+    recovery: &mut Option<RecoveryCtx>,
+    base_ticks: u64,
+    resume: Option<&EngineSnapshot>,
+) -> Result<(), DaemonError> {
+    let groups = trace.receiver_groups(streams);
+    let inputs = scenario.input_trace(day, 0);
+    let kma = Kma::new(&inputs);
+    let mut checkpointer = Checkpointer::new(cfg.checkpoint_every_ticks);
+    let (mut engine, start) = match resume {
+        Some(snap) => {
+            let engine = StreamingEngine::restore(cfg, groups.clone(), re, kma, snap)
+                .map_err(DaemonError::Engine)?;
+            // Everything up to the checkpoint was already printed and
+            // committed pre-crash; the day header included.
+            checkpointer.advance(engine.counters().ticks_processed);
+            (engine, snap.stream_pos as usize)
+        }
+        None => {
+            let engine = StreamingEngine::new(cfg, groups.clone(), re, kma)
+                .map_err(DaemonError::Engine)?;
+            emit(&format!("== day {day} =="), recovery)?;
+            (engine, 0)
+        }
+    };
+    let deliveries =
+        replay::day_deliveries(trace, streams, &groups, day, &args.link, args.link_seed)
+            .map_err(DaemonError::Engine)?;
+    if start > deliveries.len() {
+        return Err(DaemonError::Checkpoint(format!(
+            "checkpoint claims {start} ingested deliveries but day {day} only has {}",
+            deliveries.len()
+        )));
+    }
+    let mut printed = 0usize;
+    for (i, bytes) in deliveries.iter().enumerate().skip(start) {
+        engine.ingest_bytes(bytes);
+        printed = flush_events(&engine, printed, recovery)?;
+        let ticks = engine.counters().ticks_processed;
+        if let Some(ctx) = recovery.as_mut() {
+            if checkpointer.due(ticks) {
+                let snap = engine.snapshot(day as u32, (i + 1) as u64, ctx.log_mark);
+                ctx.store
+                    .save(base_ticks + ticks, &snap)
+                    .map_err(|e| DaemonError::Checkpoint(e.to_string()))?;
+                checkpointer.advance(ticks);
+            }
+        }
+        if args.crash_after_ticks.is_some_and(|n| base_ticks + ticks >= n) {
+            eprintln!(
+                "fadewichd: injected crash at tick {} (--crash-after-ticks)",
+                base_ticks + ticks
+            );
+            std::process::abort();
+        }
+    }
+    engine.finish(trace.days()[day].n_ticks() as u64);
+    flush_events(&engine, printed, recovery)?;
+    emit(&engine.counters().deterministic_summary(), recovery)?;
+    // Wall-clock latency goes to stderr so stdout stays
+    // byte-comparable between `replay` and `serve --model`.
+    eprintln!("{}", engine.counters().latency_summary());
+    if args.json {
+        emit(&engine.counters().to_json(), recovery)?;
+    }
+    Ok(())
+}
+
 /// Streams every post-training day through the engine, printing the
 /// decision stream to stdout. Identical for `replay` and `serve`: the
-/// only difference between them is where `re` came from.
+/// only difference between them is where `re` came from. When
+/// `resume` carries a loaded checkpoint, already-complete days are
+/// skipped and the checkpointed day continues from its recorded
+/// delivery position.
+#[allow(clippy::too_many_arguments)]
 fn stream_days(
     scenario: &Scenario,
     trace: &Trace,
     streams: &[usize],
     re: &RadioEnvironment,
-    params: &FadewichParams,
+    cfg: EngineConfig,
     args: &Args,
-) -> Result<(), String> {
-    let cfg = EngineConfig::new(trace.tick_hz(), *params);
+    mut recovery: Option<RecoveryCtx>,
+    mut resume: Option<EngineSnapshot>,
+) -> Result<(), DaemonError> {
+    let mut base_ticks: u64 = 0;
     for day in args.train_days..trace.days().len() {
-        let out = replay::stream_day(
-            scenario, trace, streams, re, day, cfg, &args.link, args.link_seed,
+        let n_ticks = trace.days()[day].n_ticks() as u64;
+        if resume.as_ref().is_some_and(|s| day < s.day as usize) {
+            // Fully committed before the crash: its output is already
+            // in the decision log, below the checkpointed mark.
+            base_ticks += n_ticks;
+            continue;
+        }
+        let snap = if resume.as_ref().is_some_and(|s| s.day as usize == day) {
+            resume.take()
+        } else {
+            None
+        };
+        drive_day(
+            scenario, trace, streams, re, day, cfg, args, &mut recovery, base_ticks,
+            snap.as_ref(),
         )?;
-        println!("== day {day} ==");
-        for ev in &out.events {
-            match ev {
-                EngineEvent::Decision { tick, action } => {
-                    println!("tick {tick:>6}  t {:>8.1}s  {:?}", action.t, action.kind);
-                }
-                EngineEvent::SensorQuarantined { sensor, tick } => {
-                    println!("tick {tick:>6}  sensor {sensor} QUARANTINED");
-                }
-                EngineEvent::SensorRecovered { sensor, tick } => {
-                    println!("tick {tick:>6}  sensor {sensor} recovered");
-                }
-            }
-        }
-        // Wall-clock latency goes to stderr so stdout stays
-        // byte-comparable between `replay` and `serve --model`.
-        println!("{}", out.counters.deterministic_summary());
-        eprintln!("{}", out.counters.latency_summary());
-        if args.json {
-            println!("{}", out.counters.to_json());
-        }
+        base_ticks += n_ticks;
     }
     Ok(())
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
+/// Opens the checkpoint directory, reports and skips corrupt images,
+/// truncates the decision log to the committed mark, and returns the
+/// recovery context plus the snapshot to resume from (if any).
+fn open_recovery(
+    dir: &std::path::Path,
+    trace: &Trace,
+    train_days: usize,
+) -> Result<(RecoveryCtx, Option<EngineSnapshot>), DaemonError> {
+    let mut store =
+        CheckpointStore::open(dir).map_err(|e| DaemonError::Checkpoint(e.to_string()))?;
+    let outcome = store.load_latest().map_err(|e| DaemonError::Checkpoint(e.to_string()))?;
+    for (path, err) in &outcome.rejected {
+        eprintln!("fadewichd: skipping corrupt checkpoint {}: {err}", path.display());
+    }
+    let snapshot = match outcome.snapshot {
+        Some((stamp, snap)) => {
+            let day = snap.day as usize;
+            if day < train_days || day >= trace.days().len() {
+                return Err(DaemonError::Checkpoint(format!(
+                    "checkpoint is for day {day}, outside the served range \
+                     {train_days}..{}",
+                    trace.days().len()
+                )));
+            }
+            eprintln!(
+                "fadewichd: resuming day {day} from checkpoint stamp {stamp} \
+                 ({} deliveries ingested, {} log bytes committed)",
+                snap.stream_pos, snap.log_mark
+            );
+            Some(snap)
+        }
+        None => {
+            eprintln!("fadewichd: no usable checkpoint, cold start");
+            None
+        }
+    };
+    let log_path = dir.join("decisions.log");
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .read(true)
+        .write(true)
+        // Deliberately not truncate(true): the committed prefix up to
+        // the checkpointed mark must survive; set_len below trims only
+        // the uncommitted tail.
+        .truncate(false)
+        .open(&log_path)
+        .map_err(|e| DaemonError::Io(format!("opening {}: {e}", log_path.display())))?;
+    let log_mark = snapshot.as_ref().map_or(0, |s| s.log_mark);
+    log.set_len(log_mark)
+        .and_then(|()| log.seek(SeekFrom::Start(log_mark)).map(|_| ()))
+        .map_err(|e| DaemonError::Io(format!("truncating {}: {e}", log_path.display())))?;
+    Ok((RecoveryCtx { store, log, log_mark }, snapshot))
+}
+
+fn run() -> Result<(), DaemonError> {
+    let args = parse_args().map_err(DaemonError::Usage)?;
     let config = ScenarioConfig {
         seed: args.seed,
         days: args.days,
@@ -179,11 +458,19 @@ fn run() -> Result<(), String> {
         },
         ..ScenarioConfig::default()
     };
-    let scenario = Scenario::generate(config).map_err(|e| format!("scenario: {e:?}"))?;
-    let trace = scenario.simulate().map_err(|e| format!("simulate: {e:?}"))?;
+    let scenario = Scenario::generate(config).map_err(|e| DaemonError::Scenario(format!("{e:?}")))?;
+    let trace = scenario.simulate().map_err(|e| DaemonError::Scenario(format!("{e:?}")))?;
     let subset = scenario.layout().sensor_subset(args.sensors);
     let streams = trace.stream_indices_for_subset(&subset);
     let params = FadewichParams::default();
+    // Validate the full engine configuration up front for every
+    // subcommand, so a degenerate knob fails fast instead of after
+    // minutes of training or mid-serve.
+    let mut cfg = EngineConfig::new(trace.tick_hz(), params);
+    if let Some(every) = args.checkpoint_every {
+        cfg.checkpoint_every_ticks = every;
+    }
+    cfg.validate().map_err(DaemonError::Engine)?;
 
     match &args.command {
         Command::Train { out } => {
@@ -194,8 +481,9 @@ fn run() -> Result<(), String> {
                 streams.len(),
                 args.train_days
             );
-            let bundle = replay::train_model(&scenario, &trace, &streams, args.train_days, &params)?;
-            bundle.save(out).map_err(|e| e.to_string())?;
+            let bundle = replay::train_model(&scenario, &trace, &streams, args.train_days, &params)
+                .map_err(DaemonError::Engine)?;
+            bundle.save(out).map_err(|e| DaemonError::Artifact(e.to_string()))?;
             let svm = bundle.re.svm();
             eprintln!(
                 "fadewichd train: wrote {} ({} bytes, {} classes, {} machines, {} support vectors, profile {} values)",
@@ -209,8 +497,8 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         Command::Serve { model } => {
-            let bundle = ModelBundle::load(model).map_err(|e| e.to_string())?;
-            replay::validate_schema(&bundle, &trace, &streams)?;
+            let bundle = ModelBundle::load(model).map_err(|e| DaemonError::Artifact(e.to_string()))?;
+            replay::validate_schema(&bundle, &trace, &streams).map_err(DaemonError::Artifact)?;
             eprintln!(
                 "fadewichd serve: model {} over {} day(s), {} sensors / {} streams, link {:?}",
                 model.display(),
@@ -219,7 +507,14 @@ fn run() -> Result<(), String> {
                 streams.len(),
                 args.link
             );
-            stream_days(&scenario, &trace, &streams, &bundle.re, &params, &args)
+            let (recovery, resume) = match &args.checkpoint_dir {
+                Some(dir) => {
+                    let (ctx, snap) = open_recovery(dir, &trace, args.train_days)?;
+                    (Some(ctx), snap)
+                }
+                None => (None, None),
+            };
+            stream_days(&scenario, &trace, &streams, &bundle.re, cfg, &args, recovery, resume)
         }
         Command::Replay { model } => {
             eprintln!(
@@ -232,13 +527,16 @@ fn run() -> Result<(), String> {
             );
             let re = match model {
                 Some(path) => {
-                    let bundle = ModelBundle::load(path).map_err(|e| e.to_string())?;
-                    replay::validate_schema(&bundle, &trace, &streams)?;
+                    let bundle =
+                        ModelBundle::load(path).map_err(|e| DaemonError::Artifact(e.to_string()))?;
+                    replay::validate_schema(&bundle, &trace, &streams)
+                        .map_err(DaemonError::Artifact)?;
                     bundle.re
                 }
-                None => replay::train_re(&scenario, &trace, &streams, args.train_days, &params)?,
+                None => replay::train_re(&scenario, &trace, &streams, args.train_days, &params)
+                    .map_err(DaemonError::Engine)?,
             };
-            stream_days(&scenario, &trace, &streams, &re, &params, &args)
+            stream_days(&scenario, &trace, &streams, &re, cfg, &args, None, None)
         }
     }
 }
@@ -246,6 +544,6 @@ fn run() -> Result<(), String> {
 fn main() {
     if let Err(e) = run() {
         eprintln!("fadewichd: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }

@@ -1,0 +1,1314 @@
+//! Crash-safe engine checkpoints.
+//!
+//! `fadewichd serve` is a long-lived process; a crash must not cost a
+//! cold MD retrain or hours of missed deauthentications. This module
+//! persists the *complete* engine state — the in-flight MD
+//! profile/run state, the controller FSM with every session flag, the
+//! reorder watermark and quarantine map, the runtime counters, and a
+//! KMA idle-clock fingerprint — in a length-prefixed, CRC-32-guarded
+//! binary image in the style of the model artifact
+//! (`fadewich-core::artifact`). Restoring from a checkpoint and
+//! replaying the remaining deliveries produces a decision stream
+//! **byte-identical** to an uninterrupted run; `tests/crash_recovery.rs`
+//! proves it for random crash points, and proves that *every*
+//! single-bit-flipped image is rejected with a [`CheckpointError`]
+//! rather than a panic or a silently wrong resume.
+//!
+//! # Binary layout (version 1)
+//!
+//! ```text
+//! offset  size      field
+//! 0       4         magic        "FWCP", byte-literal
+//! 4       2         version      u16 little-endian, currently 1
+//! 6       8         stamp        u64 little-endian, monotonic tick stamp
+//! 14      4         body_len     u32 little-endian
+//! 18      body_len  body         see below
+//! …       4         crc32        IEEE CRC-32 of ALL preceding bytes
+//! ```
+//!
+//! The total length must be exactly `18 + body_len + 4` (exact-length
+//! framing, as in the artifact): a corrupted `body_len` fails the
+//! length check and every other corruption fails magic, version, or
+//! the checksum. All multi-byte values are little-endian; `f64`s are
+//! raw IEEE-754 bits so a resumed run reproduces every decision
+//! bit-exactly. `Option`s encode as a `0/1` flag byte followed by the
+//! value when present; any other flag is rejected as malformed.
+//!
+//! Body, in order: `day`, `stream_pos`, `log_mark`, `events_emitted`,
+//! the sensor `groups` layout, the gap-fill state (`last_value`,
+//! `last_seen`), the twelve deterministic counters, the reorder state
+//! (watermark, frontiers, sequence highs, quarantine flags, cumulative
+//! counts, pending payloads), the controller state (full MD runtime
+//! state, FSM tag, per-session flag bytes, feature histories,
+//! `rule1_done`, `prev_t`, `n_actions`), and the KMA clock
+//! fingerprint. Latency histograms are deliberately *not* persisted —
+//! they are wall-clock observations, the one non-deterministic part of
+//! a run.
+//!
+//! # Atomic writes, staleness, retention
+//!
+//! [`CheckpointStore::save`] writes to a dot-prefixed temp file in the
+//! same directory and `rename`s it into place, so a crash mid-write
+//! leaves either the previous checkpoint or a temp file the loader
+//! never considers — never a half-written `ckpt-*.fwcp`. Stamps must
+//! be strictly monotonic per store ([`CheckpointError::Stale`]
+//! otherwise); filenames embed the stamp zero-padded to 20 digits so
+//! lexicographic order equals numeric order. The newest `RETAIN`
+//! checkpoints are kept; [`CheckpointStore::load_latest`] walks them
+//! newest-first, skipping (and reporting) every corrupt image, and
+//! returns the first that decodes — or none, meaning cold start.
+
+use std::path::{Path, PathBuf};
+
+use fadewich_core::controller::{ControllerState, SessionState, SystemState};
+use fadewich_core::md::{MdRuntimeState, MdSnapshot};
+use fadewich_core::windows::{VariationWindow, WindowTrackerState};
+use fadewich_stats::checksum::crc32;
+use fadewich_stats::rolling::{HistoryState, RollingStdState};
+
+use crate::counters::RuntimeCounters;
+use crate::fault::{FaultInjector, FaultLog, WriteFault};
+use crate::reorder::ReorderState;
+
+/// Checkpoint preamble: `b"FWCP"` (FadeWich CheckPoint).
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FWCP";
+
+/// The format version this build reads and writes.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// Bytes before the body: magic + version + stamp + body length.
+pub const HEADER_LEN: usize = 18;
+
+/// How many checkpoints a store keeps on disk: the newest plus one
+/// fallback, so a corrupted latest image still resumes warm.
+pub const RETAIN: usize = 2;
+
+/// The complete engine state at one delivery boundary. Everything a
+/// [`StreamingEngine`](crate::engine::StreamingEngine) needs to resume
+/// exactly where it stopped, plus the resume coordinates the driver
+/// needs (`day`, `stream_pos`, `log_mark`, `events_emitted`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// Which scenario day the engine was streaming.
+    pub day: u32,
+    /// Link deliveries fully ingested before the capture. A resume
+    /// replays the day's delivery sequence from this index — i.e.
+    /// discards everything at or below the checkpointed watermark.
+    pub stream_pos: u64,
+    /// Committed bytes of the decision log. Recovery truncates the log
+    /// here before appending, so a crash between checkpoint and exit
+    /// cannot duplicate output lines.
+    pub log_mark: u64,
+    /// Engine events emitted before the capture (for stitching the
+    /// pre-crash event stream to the post-resume one).
+    pub events_emitted: u64,
+    /// The `(sensor id, stream positions)` layout contract.
+    pub groups: Vec<(u16, Vec<usize>)>,
+    /// Per-stream last sample value (gap-fill source).
+    pub last_value: Vec<f64>,
+    /// Per-stream tick of the last genuine sample.
+    pub last_seen: Vec<Option<u64>>,
+    /// Deterministic runtime counters. The latency histograms are
+    /// zeroed: wall-clock is not part of the replayable state.
+    pub counters: RuntimeCounters,
+    /// Complete reorder-buffer state.
+    pub reorder: ReorderState,
+    /// Complete controller state (including the MD runtime state).
+    pub controller: ControllerState,
+    /// Per-workstation KMA idle clocks at `controller.prev_t` — a
+    /// fingerprint of the input trace, checked on restore to catch a
+    /// checkpoint resumed against the wrong scenario.
+    pub kma_clocks: Vec<Option<f64>>,
+}
+
+/// Why a checkpoint could not be written, read, or trusted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Fewer bytes than the declared (or minimum) checkpoint length.
+    Truncated,
+    /// The first four bytes are not [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The checkpoint was written by an incompatible format version.
+    UnsupportedVersion(u16),
+    /// Bytes past the declared end of the checkpoint.
+    TrailingBytes,
+    /// The trailing CRC-32 does not match the checkpoint contents.
+    BadChecksum {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC carried by the checkpoint.
+        carried: u32,
+    },
+    /// Framing was intact but the contents are not a valid state.
+    Malformed(String),
+    /// A save was attempted with a stamp at or behind the newest one.
+    Stale {
+        /// The rejected stamp.
+        stamp: u64,
+        /// The newest stamp the store has seen.
+        newest: u64,
+    },
+    /// The checkpoint decodes but cannot drive this engine (layout or
+    /// scenario mismatch).
+    Incompatible(String),
+    /// Reading or writing a checkpoint file failed.
+    Io(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "truncated checkpoint"),
+            CheckpointError::BadMagic => write!(f, "bad checkpoint magic (not a checkpoint)"),
+            CheckpointError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported checkpoint version {v} (this build reads {CHECKPOINT_VERSION})"
+            ),
+            CheckpointError::TrailingBytes => write!(f, "trailing bytes after checkpoint"),
+            CheckpointError::BadChecksum { computed, carried } => {
+                write!(f, "checksum mismatch: computed {computed:#010x}, carried {carried:#010x}")
+            }
+            CheckpointError::Malformed(why) => write!(f, "malformed checkpoint: {why}"),
+            CheckpointError::Stale { stamp, newest } => {
+                write!(f, "stale checkpoint stamp {stamp} (newest is {newest})")
+            }
+            CheckpointError::Incompatible(why) => write!(f, "incompatible checkpoint: {why}"),
+            CheckpointError::Io(why) => write!(f, "checkpoint i/o error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Sequential little-endian reader over the checkpoint body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(CheckpointError::Malformed(format!("body ends inside {what}")));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn flag(&mut self, what: &str) -> Result<bool, CheckpointError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            n => Err(CheckpointError::Malformed(format!("{what} flag {n} is not 0/1"))),
+        }
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        let s = self.take(8, what)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize, CheckpointError> {
+        let v = self.u64(what)?;
+        usize::try_from(v)
+            .map_err(|_| CheckpointError::Malformed(format!("{what} {v} overflows usize")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn opt_u64(&mut self, what: &str) -> Result<Option<u64>, CheckpointError> {
+        Ok(if self.flag(what)? { Some(self.u64(what)?) } else { None })
+    }
+
+    fn opt_f64(&mut self, what: &str) -> Result<Option<f64>, CheckpointError> {
+        Ok(if self.flag(what)? { Some(self.f64(what)?) } else { None })
+    }
+
+    /// Reads `n` f64s, with the length pre-checked against the
+    /// remaining body so a hostile count cannot trigger a huge
+    /// allocation.
+    fn f64_vec(&mut self, n: usize, what: &str) -> Result<Vec<f64>, CheckpointError> {
+        let s = self.take(8 * n, what)?;
+        Ok(s.chunks_exact(8)
+            .map(|c| {
+                f64::from_bits(u64::from_le_bytes([
+                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                ]))
+            })
+            .collect())
+    }
+
+    /// Reads `n` f32s (reorder payloads travel as `f32` on the wire).
+    fn f32_vec(&mut self, n: usize, what: &str) -> Result<Vec<f32>, CheckpointError> {
+        let s = self.take(4 * n, what)?;
+        Ok(s.chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect())
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_len(out: &mut Vec<u8>, n: usize, what: &str) {
+    assert!(n <= u32::MAX as usize, "{what} count {n} overflows the u32 length prefix");
+    push_u32(out, n as u32);
+}
+
+fn push_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            out.push(1);
+            push_u64(out, x);
+        }
+        None => out.push(0),
+    }
+}
+
+fn push_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            out.push(1);
+            push_f64(out, x);
+        }
+        None => out.push(0),
+    }
+}
+
+fn push_f64_slice(out: &mut Vec<u8>, vs: &[f64], what: &str) {
+    push_len(out, vs.len(), what);
+    for &v in vs {
+        push_f64(out, v);
+    }
+}
+
+fn encode_md(body: &mut Vec<u8>, md: &MdRuntimeState) {
+    push_opt_f64(body, md.snapshot.threshold);
+    push_f64_slice(body, &md.snapshot.values, "profile value");
+    push_len(body, md.stream_stds.len(), "rolling window");
+    for w in &md.stream_stds {
+        push_u64(body, w.capacity as u64);
+        push_f64_slice(body, &w.samples, "rolling sample");
+        push_f64(body, w.offset);
+        push_f64(body, w.sum);
+        push_f64(body, w.sum_sq);
+        push_u64(body, w.pushes);
+        push_u64(body, w.non_finite);
+    }
+    push_u64(body, md.ticks_seen as u64);
+    push_f64_slice(body, &md.queue, "queue value");
+    push_u64(body, md.queue_anomalous as u64);
+    push_u64(body, md.rejected_streak as u64);
+    let t = &md.tracker;
+    push_u64(body, t.hangover_ticks as u64);
+    push_opt_u64(body, t.open_start.map(|v| v as u64));
+    push_u64(body, t.last_anomalous as u64);
+    push_u64(body, t.quiet_run as u64);
+    push_len(body, t.closed.len(), "closed window");
+    for w in &t.closed {
+        push_u64(body, w.start_tick as u64);
+        push_u64(body, w.end_tick as u64);
+    }
+}
+
+fn decode_md(cur: &mut Cursor<'_>) -> Result<MdRuntimeState, CheckpointError> {
+    let threshold = cur.opt_f64("md threshold")?;
+    let n = cur.u32("profile length")? as usize;
+    let values = cur.f64_vec(n, "profile values")?;
+    let n_windows = cur.u32("rolling window count")? as usize;
+    let mut stream_stds = Vec::with_capacity(n_windows.min(4096));
+    for i in 0..n_windows {
+        let what = format!("rolling window {i}");
+        let capacity = cur.usize(&what)?;
+        let len = cur.u32(&what)? as usize;
+        let samples = cur.f64_vec(len, &what)?;
+        let offset = cur.f64(&what)?;
+        let sum = cur.f64(&what)?;
+        let sum_sq = cur.f64(&what)?;
+        let pushes = cur.u64(&what)?;
+        let non_finite = cur.u64(&what)?;
+        stream_stds.push(RollingStdState {
+            capacity,
+            samples,
+            offset,
+            sum,
+            sum_sq,
+            pushes,
+            non_finite,
+        });
+    }
+    let ticks_seen = cur.usize("md ticks_seen")?;
+    let qn = cur.u32("queue length")? as usize;
+    let queue = cur.f64_vec(qn, "queue values")?;
+    let queue_anomalous = cur.usize("queue anomalous")?;
+    let rejected_streak = cur.usize("rejected streak")?;
+    let hangover_ticks = cur.usize("tracker hangover")?;
+    let open_start = match cur.opt_u64("tracker open start")? {
+        Some(v) => Some(usize::try_from(v).map_err(|_| {
+            CheckpointError::Malformed(format!("tracker open start {v} overflows usize"))
+        })?),
+        None => None,
+    };
+    let last_anomalous = cur.usize("tracker last anomalous")?;
+    let quiet_run = cur.usize("tracker quiet run")?;
+    let n_closed = cur.u32("closed window count")? as usize;
+    let mut closed = Vec::with_capacity(n_closed.min(4096));
+    for i in 0..n_closed {
+        let what = format!("closed window {i}");
+        closed.push(VariationWindow {
+            start_tick: cur.usize(&what)?,
+            end_tick: cur.usize(&what)?,
+        });
+    }
+    Ok(MdRuntimeState {
+        snapshot: MdSnapshot { values, threshold },
+        stream_stds,
+        ticks_seen,
+        queue,
+        queue_anomalous,
+        rejected_streak,
+        tracker: WindowTrackerState {
+            hangover_ticks,
+            open_start,
+            last_anomalous,
+            quiet_run,
+            closed,
+        },
+    })
+}
+
+fn encode_controller(body: &mut Vec<u8>, c: &ControllerState) {
+    encode_md(body, &c.md);
+    body.push(match c.system_state {
+        SystemState::Quiet => 0,
+        SystemState::Noisy => 1,
+    });
+    push_len(body, c.sessions.len(), "session");
+    for s in &c.sessions {
+        body.push(
+            u8::from(s.logged_in) | (u8::from(s.in_alert) << 1) | (u8::from(s.screensaver_on) << 2),
+        );
+    }
+    push_len(body, c.histories.len(), "history");
+    for h in &c.histories {
+        push_u64(body, h.capacity as u64);
+        push_f64_slice(body, &h.samples, "history sample");
+        push_u64(body, h.total);
+    }
+    body.push(u8::from(c.rule1_done));
+    push_f64(body, c.prev_t);
+    push_u64(body, c.n_actions);
+}
+
+fn decode_controller(cur: &mut Cursor<'_>) -> Result<ControllerState, CheckpointError> {
+    let md = decode_md(cur)?;
+    let system_state = match cur.u8("system state")? {
+        0 => SystemState::Quiet,
+        1 => SystemState::Noisy,
+        n => return Err(CheckpointError::Malformed(format!("system state tag {n} is unknown"))),
+    };
+    let n_sessions = cur.u32("session count")? as usize;
+    let mut sessions = Vec::with_capacity(n_sessions.min(4096));
+    for i in 0..n_sessions {
+        let bits = cur.u8(&format!("session {i}"))?;
+        if bits > 0b111 {
+            return Err(CheckpointError::Malformed(format!(
+                "session {i} flag byte {bits:#04x} has unknown bits"
+            )));
+        }
+        sessions.push(SessionState {
+            logged_in: bits & 1 != 0,
+            in_alert: bits & 2 != 0,
+            screensaver_on: bits & 4 != 0,
+        });
+    }
+    let n_histories = cur.u32("history count")? as usize;
+    let mut histories = Vec::with_capacity(n_histories.min(4096));
+    for i in 0..n_histories {
+        let what = format!("history {i}");
+        let capacity = cur.usize(&what)?;
+        let len = cur.u32(&what)? as usize;
+        let samples = cur.f64_vec(len, &what)?;
+        let total = cur.u64(&what)?;
+        histories.push(HistoryState { capacity, samples, total });
+    }
+    let rule1_done = cur.flag("rule1_done")?;
+    let prev_t = cur.f64("prev_t")?;
+    let n_actions = cur.u64("action count")?;
+    Ok(ControllerState {
+        md,
+        system_state,
+        sessions,
+        histories,
+        rule1_done,
+        prev_t,
+        n_actions,
+    })
+}
+
+fn encode_reorder(body: &mut Vec<u8>, r: &ReorderState) {
+    push_u64(body, r.next_emit);
+    push_len(body, r.frontier.len(), "sender");
+    for &f in &r.frontier {
+        push_opt_u64(body, f);
+    }
+    for &m in &r.max_seq {
+        match m {
+            Some(v) => {
+                body.push(1);
+                push_u32(body, v);
+            }
+            None => body.push(0),
+        }
+    }
+    for &q in &r.quarantined {
+        body.push(u8::from(q));
+    }
+    push_u64(body, r.duplicates);
+    push_u64(body, r.late);
+    push_u64(body, r.reordered);
+    push_u64(body, r.max_lag);
+    push_len(body, r.pending.len(), "pending tick");
+    for (tick, reports) in &r.pending {
+        push_u64(body, *tick);
+        for rep in reports {
+            match rep {
+                Some(values) => {
+                    body.push(1);
+                    push_len(body, values.len(), "pending payload value");
+                    for &v in values {
+                        push_f32(body, v);
+                    }
+                }
+                None => body.push(0),
+            }
+        }
+    }
+}
+
+fn decode_reorder(cur: &mut Cursor<'_>) -> Result<ReorderState, CheckpointError> {
+    let next_emit = cur.u64("reorder next_emit")?;
+    let n_senders = cur.u32("reorder sender count")? as usize;
+    let mut frontier = Vec::with_capacity(n_senders.min(4096));
+    for i in 0..n_senders {
+        frontier.push(cur.opt_u64(&format!("frontier {i}"))?);
+    }
+    let mut max_seq = Vec::with_capacity(n_senders.min(4096));
+    for i in 0..n_senders {
+        let what = format!("max_seq {i}");
+        max_seq.push(if cur.flag(&what)? { Some(cur.u32(&what)?) } else { None });
+    }
+    let mut quarantined = Vec::with_capacity(n_senders.min(4096));
+    for i in 0..n_senders {
+        quarantined.push(cur.flag(&format!("quarantine flag {i}"))?);
+    }
+    let duplicates = cur.u64("duplicates")?;
+    let late = cur.u64("late frames")?;
+    let reordered = cur.u64("reordered frames")?;
+    let max_lag = cur.u64("max watermark lag")?;
+    let n_pending = cur.u32("pending tick count")? as usize;
+    let mut pending = Vec::with_capacity(n_pending.min(4096));
+    for i in 0..n_pending {
+        let what = format!("pending tick {i}");
+        let tick = cur.u64(&what)?;
+        let mut reports = Vec::with_capacity(n_senders.min(4096));
+        for _ in 0..n_senders {
+            reports.push(if cur.flag(&what)? {
+                let len = cur.u32(&what)? as usize;
+                Some(cur.f32_vec(len, &what)?)
+            } else {
+                None
+            });
+        }
+        pending.push((tick, reports));
+    }
+    Ok(ReorderState {
+        next_emit,
+        frontier,
+        max_seq,
+        quarantined,
+        duplicates,
+        late,
+        reordered,
+        max_lag,
+        pending,
+    })
+}
+
+impl EngineSnapshot {
+    /// Serializes the snapshot into the version-1 binary image,
+    /// stamped with the run's monotonic tick stamp.
+    pub fn encode(&self, stamp: u64) -> Vec<u8> {
+        let mut body = Vec::new();
+        push_u32(&mut body, self.day);
+        push_u64(&mut body, self.stream_pos);
+        push_u64(&mut body, self.log_mark);
+        push_u64(&mut body, self.events_emitted);
+
+        push_len(&mut body, self.groups.len(), "sensor group");
+        for (sensor, positions) in &self.groups {
+            push_u32(&mut body, u32::from(*sensor));
+            push_len(&mut body, positions.len(), "group position");
+            for &p in positions {
+                push_u64(&mut body, p as u64);
+            }
+        }
+        push_f64_slice(&mut body, &self.last_value, "last value");
+        push_len(&mut body, self.last_seen.len(), "last seen");
+        for &s in &self.last_seen {
+            push_opt_u64(&mut body, s);
+        }
+
+        let c = &self.counters;
+        for v in [
+            c.frames_in,
+            c.bytes_in,
+            c.frames_corrupt,
+            c.frames_duplicate,
+            c.frames_late,
+            c.frames_reordered,
+            c.ticks_processed,
+            c.gap_fills,
+            c.masked_stream_ticks,
+            c.quarantines,
+            c.recoveries,
+            c.watermark_lag_max,
+        ] {
+            push_u64(&mut body, v);
+        }
+
+        encode_reorder(&mut body, &self.reorder);
+        encode_controller(&mut body, &self.controller);
+
+        push_len(&mut body, self.kma_clocks.len(), "kma clock");
+        for &clk in &self.kma_clocks {
+            push_opt_f64(&mut body, clk);
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&stamp.to_le_bytes());
+        assert!(
+            body.len() <= u32::MAX as usize,
+            "checkpoint body overflows the u32 length prefix"
+        );
+        push_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        let crc = crc32(&out);
+        push_u32(&mut out, crc);
+        out
+    }
+
+    /// Decodes one checkpoint image, returning its stamp and the
+    /// snapshot. Framing and checksum are verified before any field is
+    /// interpreted; structural tags (flags, FSM state) are validated
+    /// here, while cross-field semantics are enforced by the
+    /// `from_state`/`from_runtime_state` constructors at restore time —
+    /// either way a bad image surfaces as an error, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`] except
+    /// [`Stale`](CheckpointError::Stale),
+    /// [`Incompatible`](CheckpointError::Incompatible) and
+    /// [`Io`](CheckpointError::Io).
+    pub fn decode(bytes: &[u8]) -> Result<(u64, EngineSnapshot), CheckpointError> {
+        if bytes.len() < HEADER_LEN + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        if bytes[..4] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let stamp = u64::from_le_bytes([
+            bytes[6], bytes[7], bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13],
+        ]);
+        let body_len =
+            u32::from_le_bytes([bytes[14], bytes[15], bytes[16], bytes[17]]) as usize;
+        let total = match HEADER_LEN.checked_add(body_len).and_then(|n| n.checked_add(4)) {
+            Some(t) => t,
+            None => return Err(CheckpointError::Truncated),
+        };
+        if bytes.len() < total {
+            return Err(CheckpointError::Truncated);
+        }
+        if bytes.len() > total {
+            return Err(CheckpointError::TrailingBytes);
+        }
+        let computed = crc32(&bytes[..total - 4]);
+        let carried = u32::from_le_bytes([
+            bytes[total - 4],
+            bytes[total - 3],
+            bytes[total - 2],
+            bytes[total - 1],
+        ]);
+        if computed != carried {
+            return Err(CheckpointError::BadChecksum { computed, carried });
+        }
+
+        let mut cur = Cursor::new(&bytes[HEADER_LEN..total - 4]);
+        let day = cur.u32("day")?;
+        let stream_pos = cur.u64("stream position")?;
+        let log_mark = cur.u64("log mark")?;
+        let events_emitted = cur.u64("events emitted")?;
+
+        let n_groups = cur.u32("sensor group count")? as usize;
+        let mut groups = Vec::with_capacity(n_groups.min(4096));
+        for i in 0..n_groups {
+            let what = format!("sensor group {i}");
+            let sensor = cur.u32(&what)?;
+            let sensor = u16::try_from(sensor).map_err(|_| {
+                CheckpointError::Malformed(format!("sensor id {sensor} overflows u16"))
+            })?;
+            let n_pos = cur.u32(&what)? as usize;
+            let mut positions = Vec::with_capacity(n_pos.min(4096));
+            for _ in 0..n_pos {
+                positions.push(cur.usize(&what)?);
+            }
+            groups.push((sensor, positions));
+        }
+        let n_values = cur.u32("last value count")? as usize;
+        let last_value = cur.f64_vec(n_values, "last values")?;
+        let n_seen = cur.u32("last seen count")? as usize;
+        let mut last_seen = Vec::with_capacity(n_seen.min(4096));
+        for i in 0..n_seen {
+            last_seen.push(cur.opt_u64(&format!("last seen {i}"))?);
+        }
+
+        let mut counters = RuntimeCounters::default();
+        for slot in [
+            &mut counters.frames_in,
+            &mut counters.bytes_in,
+            &mut counters.frames_corrupt,
+            &mut counters.frames_duplicate,
+            &mut counters.frames_late,
+            &mut counters.frames_reordered,
+            &mut counters.ticks_processed,
+            &mut counters.gap_fills,
+            &mut counters.masked_stream_ticks,
+            &mut counters.quarantines,
+            &mut counters.recoveries,
+            &mut counters.watermark_lag_max,
+        ] {
+            *slot = cur.u64("counter")?;
+        }
+
+        let reorder = decode_reorder(&mut cur)?;
+        let controller = decode_controller(&mut cur)?;
+
+        let n_clocks = cur.u32("kma clock count")? as usize;
+        let mut kma_clocks = Vec::with_capacity(n_clocks.min(4096));
+        for i in 0..n_clocks {
+            kma_clocks.push(cur.opt_f64(&format!("kma clock {i}"))?);
+        }
+
+        if !cur.done() {
+            return Err(CheckpointError::Malformed("unconsumed bytes inside body".to_string()));
+        }
+
+        Ok((
+            stamp,
+            EngineSnapshot {
+                day,
+                stream_pos,
+                log_mark,
+                events_emitted,
+                groups,
+                last_value,
+                last_seen,
+                counters,
+                reorder,
+                controller,
+                kma_clocks,
+            },
+        ))
+    }
+}
+
+/// How [`CheckpointStore::save`] handles transient write failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts after the first failure (0 = fail immediately).
+    pub max_retries: u32,
+    /// Base sleep between attempts; attempt `k` sleeps `k × backoff`.
+    pub backoff: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_retries: 3, backoff: std::time::Duration::from_millis(25) }
+    }
+}
+
+/// What [`CheckpointStore::load_latest`] found on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadOutcome {
+    /// The newest checkpoint that decoded cleanly, with its stamp —
+    /// `None` means cold start.
+    pub snapshot: Option<(u64, EngineSnapshot)>,
+    /// Newer files that were skipped, with why each was rejected.
+    pub rejected: Vec<(PathBuf, CheckpointError)>,
+}
+
+/// A directory of stamped checkpoint files with atomic writes,
+/// staleness enforcement, bounded retention, and (for tests and the
+/// recovery experiment) deterministic fault injection.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    last_stamp: Option<u64>,
+    faults: Option<FaultInjector>,
+    retry: RetryPolicy,
+}
+
+fn checkpoint_file_name(stamp: u64) -> String {
+    // Zero-padded to the full u64 width so lexicographic filename
+    // order equals numeric stamp order.
+    format!("ckpt-{stamp:020}.fwcp")
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the directory cannot be created.
+    pub fn open(dir: &Path) -> Result<CheckpointStore, CheckpointError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CheckpointError::Io(format!("creating {}: {e}", dir.display())))?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            last_stamp: None,
+            faults: None,
+            retry: RetryPolicy::default(),
+        })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Installs a deterministic fault injector consulted on every
+    /// save.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// What the installed injector has done so far, if one is set.
+    pub fn fault_log(&self) -> Option<FaultLog> {
+        self.faults.as_ref().map(FaultInjector::log)
+    }
+
+    /// Overrides the transient-failure retry policy.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The newest stamp this store has saved or loaded.
+    pub fn last_stamp(&self) -> Option<u64> {
+        self.last_stamp
+    }
+
+    /// Atomically persists one snapshot under a strictly increasing
+    /// stamp and prunes everything but the newest [`RETAIN`] files.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Stale`] for a non-increasing stamp;
+    /// [`CheckpointError::Io`] when the write (after retries) fails.
+    pub fn save(&mut self, stamp: u64, snapshot: &EngineSnapshot) -> Result<PathBuf, CheckpointError> {
+        if let Some(newest) = self.last_stamp {
+            if stamp <= newest {
+                return Err(CheckpointError::Stale { stamp, newest });
+            }
+        }
+        let bytes = snapshot.encode(stamp);
+        let fault = match self.faults.as_mut() {
+            Some(inj) => inj.next_save(bytes.len()),
+            None => WriteFault::None,
+        };
+        // Torn/bit-flip faults silently corrupt what reaches the disk;
+        // the writer has no way to notice (that is the point — load
+        // must catch it).
+        let disk_bytes = FaultInjector::corrupt(fault, &bytes);
+        let name = checkpoint_file_name(stamp);
+        let tmp = self.dir.join(format!(".{name}.tmp"));
+        let path = self.dir.join(&name);
+        let mut attempt: u32 = 0;
+        loop {
+            let result = if fault == WriteFault::Transient && attempt == 0 {
+                Err("injected transient write error".to_string())
+            } else {
+                std::fs::write(&tmp, &disk_bytes)
+                    .and_then(|()| std::fs::rename(&tmp, &path))
+                    .map_err(|e| e.to_string())
+            };
+            match result {
+                Ok(()) => break,
+                Err(_) if attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(self.retry.backoff * attempt);
+                }
+                Err(e) => {
+                    return Err(CheckpointError::Io(format!(
+                        "writing {} (after {attempt} retries): {e}",
+                        path.display()
+                    )))
+                }
+            }
+        }
+        self.last_stamp = Some(stamp);
+        self.prune();
+        Ok(path)
+    }
+
+    /// Best-effort retention: failing to delete an old checkpoint must
+    /// not fail the save that just succeeded.
+    fn prune(&self) {
+        let mut names = self.checkpoint_names().unwrap_or_default();
+        names.sort();
+        while names.len() > RETAIN {
+            let victim = names.remove(0);
+            let _ = std::fs::remove_file(self.dir.join(victim));
+        }
+    }
+
+    fn checkpoint_names(&self) -> Result<Vec<String>, CheckpointError> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| CheckpointError::Io(format!("listing {}: {e}", self.dir.display())))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| CheckpointError::Io(format!("listing {}: {e}", self.dir.display())))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("ckpt-") && name.ends_with(".fwcp") {
+                names.push(name);
+            }
+        }
+        Ok(names)
+    }
+
+    /// Walks the on-disk checkpoints newest-first and returns the
+    /// first that decodes cleanly, reporting every newer file it had
+    /// to skip. No valid checkpoint at all means cold start
+    /// (`snapshot: None`) — corruption degrades, it never aborts.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] only when the directory itself cannot
+    /// be listed; unreadable or corrupt *files* land in
+    /// [`LoadOutcome::rejected`] instead.
+    pub fn load_latest(&mut self) -> Result<LoadOutcome, CheckpointError> {
+        let mut names = self.checkpoint_names()?;
+        names.sort();
+        names.reverse();
+        let mut rejected = Vec::new();
+        for name in names {
+            let path = self.dir.join(&name);
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    rejected.push((path, CheckpointError::Io(format!("reading: {e}"))));
+                    continue;
+                }
+            };
+            match EngineSnapshot::decode(&bytes) {
+                Ok((stamp, snapshot)) => {
+                    self.last_stamp = Some(self.last_stamp.unwrap_or(0).max(stamp));
+                    return Ok(LoadOutcome { snapshot: Some((stamp, snapshot)), rejected });
+                }
+                Err(e) => rejected.push((path, e)),
+            }
+        }
+        Ok(LoadOutcome { snapshot: None, rejected })
+    }
+}
+
+/// Decides *when* to checkpoint: every `every` processed ticks.
+#[derive(Debug, Clone, Copy)]
+pub struct Checkpointer {
+    every: u64,
+    next_at: u64,
+}
+
+impl Checkpointer {
+    /// Checkpoints are due each time `every` more ticks have been
+    /// processed (clamped to at least 1).
+    pub fn new(every: u64) -> Checkpointer {
+        let every = every.max(1);
+        Checkpointer { every, next_at: every }
+    }
+
+    /// Whether a checkpoint is due at `ticks_processed`.
+    pub fn due(&self, ticks_processed: u64) -> bool {
+        ticks_processed >= self.next_at
+    }
+
+    /// Records that a checkpoint was taken at `ticks_processed`.
+    pub fn advance(&mut self, ticks_processed: u64) {
+        while self.next_at <= ticks_processed {
+            self.next_at += self.every;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique scratch directory per test invocation.
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("fadewich-ckpt-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A small but fully populated snapshot exercising every branch of
+    /// the codec: Some/None options, open window, quarantined sender,
+    /// pending payloads with holes.
+    fn sample_snapshot() -> EngineSnapshot {
+        EngineSnapshot {
+            day: 1,
+            stream_pos: 42,
+            log_mark: 1234,
+            events_emitted: 7,
+            groups: vec![(0, vec![0, 1]), (3, vec![2])],
+            last_value: vec![-50.0, -49.5, -51.25],
+            last_seen: vec![Some(41), None, Some(40)],
+            counters: RuntimeCounters {
+                frames_in: 84,
+                bytes_in: 2000,
+                frames_duplicate: 1,
+                ticks_processed: 42,
+                gap_fills: 3,
+                masked_stream_ticks: 2,
+                quarantines: 1,
+                watermark_lag_max: 4,
+                ..Default::default()
+            },
+            reorder: ReorderState {
+                next_emit: 42,
+                frontier: vec![Some(43), Some(41)],
+                max_seq: vec![Some(43), None],
+                quarantined: vec![false, true],
+                duplicates: 1,
+                late: 2,
+                reordered: 3,
+                max_lag: 4,
+                pending: vec![
+                    (42, vec![Some(vec![-50.0, -49.0]), None]),
+                    (43, vec![None, Some(vec![-48.5])]),
+                ],
+            },
+            controller: ControllerState {
+                md: MdRuntimeState {
+                    snapshot: MdSnapshot { values: vec![1.0, 2.0, 3.5], threshold: Some(4.0) },
+                    stream_stds: vec![
+                        RollingStdState {
+                            capacity: 4,
+                            samples: vec![1.0, 2.0],
+                            offset: 1.5,
+                            sum: 0.5,
+                            sum_sq: 2.0,
+                            pushes: 6,
+                            non_finite: 0,
+                        };
+                        3
+                    ],
+                    ticks_seen: 42,
+                    queue: vec![3.0, 3.5],
+                    queue_anomalous: 1,
+                    rejected_streak: 0,
+                    tracker: WindowTrackerState {
+                        hangover_ticks: 15,
+                        open_start: Some(30),
+                        last_anomalous: 40,
+                        quiet_run: 2,
+                        closed: vec![VariationWindow { start_tick: 3, end_tick: 9 }],
+                    },
+                },
+                system_state: SystemState::Noisy,
+                sessions: vec![
+                    SessionState { logged_in: true, in_alert: true, screensaver_on: false },
+                    SessionState { logged_in: false, in_alert: false, screensaver_on: false },
+                ],
+                histories: vec![
+                    HistoryState { capacity: 8, samples: vec![-50.0; 8], total: 42 };
+                    3
+                ],
+                rule1_done: true,
+                prev_t: 8.2,
+                n_actions: 5,
+            },
+            kma_clocks: vec![Some(7.5), None],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let snap = sample_snapshot();
+        let bytes = snap.encode(777);
+        let (stamp, back) = EngineSnapshot::decode(&bytes).unwrap();
+        assert_eq!(stamp, 777);
+        assert_eq!(back, snap);
+        // Canonical encoding.
+        assert_eq!(back.encode(777), bytes);
+    }
+
+    #[test]
+    fn framing_errors() {
+        let bytes = sample_snapshot().encode(9);
+        assert_eq!(EngineSnapshot::decode(&bytes[..3]), Err(CheckpointError::Truncated));
+        assert_eq!(
+            EngineSnapshot::decode(&bytes[..bytes.len() - 1]),
+            Err(CheckpointError::Truncated)
+        );
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(EngineSnapshot::decode(&long), Err(CheckpointError::TrailingBytes));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(EngineSnapshot::decode(&bad), Err(CheckpointError::BadMagic));
+        let mut vers = bytes.clone();
+        vers[4] = 9;
+        assert_eq!(EngineSnapshot::decode(&vers), Err(CheckpointError::UnsupportedVersion(9)));
+        let mut flip = bytes;
+        flip[HEADER_LEN + 20] ^= 0x04;
+        assert!(matches!(
+            EngineSnapshot::decode(&flip),
+            Err(CheckpointError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        // The acceptance property: no single-bit corruption anywhere in
+        // the image — header, stamp, length, body, or CRC — survives
+        // decoding, and none panics.
+        let bytes = sample_snapshot().encode(31);
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    EngineSnapshot::decode(&corrupt).is_err(),
+                    "flip of byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_rejected() {
+        let bytes = sample_snapshot().encode(31);
+        for len in 0..bytes.len() {
+            assert!(
+                EngineSnapshot::decode(&bytes[..len]).is_err(),
+                "prefix of {len} bytes was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn store_save_load_round_trip_with_retention() {
+        let dir = scratch_dir("retention");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let snap = sample_snapshot();
+        for stamp in [10, 20, 30] {
+            store.save(stamp, &snap).unwrap();
+        }
+        let names = store.checkpoint_names().unwrap();
+        assert_eq!(names.len(), RETAIN, "retention kept {names:?}");
+        let out = store.load_latest().unwrap();
+        let (stamp, loaded) = out.snapshot.unwrap();
+        assert_eq!(stamp, 30);
+        assert_eq!(loaded, snap);
+        assert!(out.rejected.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_stamps_rejected() {
+        let dir = scratch_dir("stale");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let snap = sample_snapshot();
+        store.save(5, &snap).unwrap();
+        assert_eq!(
+            store.save(5, &snap),
+            Err(CheckpointError::Stale { stamp: 5, newest: 5 })
+        );
+        assert_eq!(
+            store.save(4, &snap),
+            Err(CheckpointError::Stale { stamp: 4, newest: 5 })
+        );
+        // A reopened store learns the newest stamp from disk.
+        let mut reopened = CheckpointStore::open(&dir).unwrap();
+        reopened.load_latest().unwrap();
+        assert_eq!(
+            reopened.save(3, &snap),
+            Err(CheckpointError::Stale { stamp: 3, newest: 5 })
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = scratch_dir("fallback");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let snap = sample_snapshot();
+        store.save(1, &snap).unwrap();
+        store.save(2, &snap).unwrap();
+        // Corrupt the newest file on disk.
+        let newest = dir.join(checkpoint_file_name(2));
+        let mut bytes = std::fs::read(&newest).unwrap();
+        bytes[HEADER_LEN + 5] ^= 0x40;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let out = store.load_latest().unwrap();
+        let (stamp, loaded) = out.snapshot.unwrap();
+        assert_eq!(stamp, 1, "should fall back to the older checkpoint");
+        assert_eq!(loaded, snap);
+        assert_eq!(out.rejected.len(), 1);
+        assert!(matches!(out.rejected[0].1, CheckpointError::BadChecksum { .. }));
+
+        // Corrupt the older one too: clean cold start, both reported.
+        let older = dir.join(checkpoint_file_name(1));
+        std::fs::write(&older, b"FWCPgarbage").unwrap();
+        let out = store.load_latest().unwrap();
+        assert!(out.snapshot.is_none());
+        assert_eq!(out.rejected.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_is_skipped_at_load() {
+        use crate::fault::FaultPlan;
+        let dir = scratch_dir("torn");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.set_fault_injector(FaultInjector::new(
+            FaultPlan { torn_saves: vec![1], ..FaultPlan::none() },
+            11,
+        ));
+        let snap = sample_snapshot();
+        store.save(1, &snap).unwrap();
+        store.save(2, &snap).unwrap(); // torn, but "succeeds"
+        assert_eq!(store.fault_log().unwrap().torn, 1);
+        let out = store.load_latest().unwrap();
+        assert_eq!(out.snapshot.unwrap().0, 1);
+        assert_eq!(out.rejected.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_error_retries_then_succeeds() {
+        use crate::fault::FaultPlan;
+        let dir = scratch_dir("transient");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.set_retry(RetryPolicy {
+            max_retries: 2,
+            backoff: std::time::Duration::from_millis(1),
+        });
+        store.set_fault_injector(FaultInjector::new(
+            FaultPlan { transient_saves: vec![0], ..FaultPlan::none() },
+            11,
+        ));
+        let snap = sample_snapshot();
+        store.save(1, &snap).unwrap();
+        let out = store.load_latest().unwrap();
+        assert_eq!(out.snapshot.unwrap().0, 1);
+        assert!(out.rejected.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_error_without_retries_fails_visibly() {
+        use crate::fault::FaultPlan;
+        let dir = scratch_dir("transient-hard");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.set_retry(RetryPolicy {
+            max_retries: 0,
+            backoff: std::time::Duration::from_millis(1),
+        });
+        store.set_fault_injector(FaultInjector::new(
+            FaultPlan { transient_saves: vec![0], ..FaultPlan::none() },
+            11,
+        ));
+        let snap = sample_snapshot();
+        assert!(matches!(store.save(1, &snap), Err(CheckpointError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpointer_cadence() {
+        let mut ck = Checkpointer::new(10);
+        assert!(!ck.due(9));
+        assert!(ck.due(10));
+        assert!(ck.due(23));
+        ck.advance(23);
+        assert!(!ck.due(29));
+        assert!(ck.due(30));
+        // Zero clamps to every tick.
+        let ck = Checkpointer::new(0);
+        assert!(ck.due(1));
+    }
+
+    #[test]
+    fn error_displays_are_descriptive() {
+        for e in [
+            CheckpointError::Truncated,
+            CheckpointError::BadMagic,
+            CheckpointError::UnsupportedVersion(7),
+            CheckpointError::TrailingBytes,
+            CheckpointError::BadChecksum { computed: 1, carried: 2 },
+            CheckpointError::Malformed("x".to_string()),
+            CheckpointError::Stale { stamp: 1, newest: 2 },
+            CheckpointError::Incompatible("y".to_string()),
+            CheckpointError::Io("z".to_string()),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

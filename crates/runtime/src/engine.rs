@@ -25,6 +25,7 @@ use fadewich_core::controller::{Action, Controller};
 use fadewich_core::kma::Kma;
 use fadewich_core::re::RadioEnvironment;
 
+use crate::checkpoint::EngineSnapshot;
 use crate::counters::RuntimeCounters;
 use crate::reorder::{ReorderBuffer, ReorderConfig, SenderEvent};
 use crate::wire::Frame;
@@ -45,12 +46,15 @@ pub struct EngineConfig {
     /// How long a missing sample may be gap-filled before the stream
     /// is masked instead.
     pub staleness_cap_ticks: u64,
+    /// How often `fadewichd serve` persists a crash-recovery
+    /// checkpoint, in processed ticks.
+    pub checkpoint_every_ticks: u64,
 }
 
 impl EngineConfig {
     /// Defaults tuned for the paper's 5 Hz deployment: absorb up to
     /// 4 ticks of reorder, gap-fill up to 2 s, quarantine after 5 s of
-    /// silence.
+    /// silence, checkpoint once a minute.
     pub fn new(tick_hz: f64, params: FadewichParams) -> EngineConfig {
         EngineConfig {
             tick_hz,
@@ -58,7 +62,44 @@ impl EngineConfig {
             jitter_ticks: 4,
             quarantine_after_ticks: (5.0 * tick_hz).round() as u64,
             staleness_cap_ticks: (2.0 * tick_hz).round() as u64,
+            checkpoint_every_ticks: (60.0 * tick_hz) as u64,
         }
+    }
+
+    /// Rejects configurations that would wedge or silently disable the
+    /// runtime: a zero/non-finite tick rate, degenerate streaming
+    /// knobs (a zero jitter bound stalls the watermark on the first
+    /// missing frame; a quarantine deadline inside the jitter bound
+    /// quarantines healthy sensors; a zero checkpoint cadence would
+    /// checkpoint never — or on integer wraparound, "always"), and any
+    /// core-parameter violation via
+    /// [`FadewichParams::validate`](fadewich_core::config::FadewichParams::validate).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first offending knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.tick_hz.is_finite() && self.tick_hz > 0.0) {
+            return Err(format!("tick_hz {} must be finite and positive", self.tick_hz));
+        }
+        self.params.validate()?;
+        if self.jitter_ticks == 0 {
+            return Err("jitter_ticks must be at least 1".to_string());
+        }
+        if self.staleness_cap_ticks == 0 {
+            return Err("staleness_cap_ticks must be at least 1".to_string());
+        }
+        if self.quarantine_after_ticks <= self.jitter_ticks {
+            return Err(format!(
+                "quarantine_after_ticks {} must exceed jitter_ticks {} (healthy \
+                 senders may legitimately lag by the jitter bound)",
+                self.quarantine_after_ticks, self.jitter_ticks
+            ));
+        }
+        if self.checkpoint_every_ticks == 0 {
+            return Err("checkpoint_every_ticks must be at least 1".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -86,6 +127,23 @@ pub enum EngineEvent {
         /// Tick of the frame that revived it.
         tick: u64,
     },
+}
+
+/// Validates the `(sensor, positions)` layout and returns the stream
+/// count it spans.
+fn check_layout(groups: &[(u16, Vec<usize>)]) -> Result<usize, String> {
+    let n_streams: usize = groups.iter().map(|(_, p)| p.len()).sum();
+    let mut seen = vec![false; n_streams];
+    for &p in groups.iter().flat_map(|(_, ps)| ps) {
+        if p >= n_streams || seen[p] {
+            return Err("receiver groups must partition the stream set".to_string());
+        }
+        seen[p] = true;
+    }
+    if n_streams == 0 {
+        return Err("engine needs at least one stream".to_string());
+    }
+    Ok(n_streams)
 }
 
 /// The station-side streaming engine. See the module docs.
@@ -121,17 +179,8 @@ impl<'a> StreamingEngine<'a> {
         re: &'a RadioEnvironment,
         kma: Kma<'a>,
     ) -> Result<StreamingEngine<'a>, String> {
-        let n_streams: usize = groups.iter().map(|(_, p)| p.len()).sum();
-        let mut seen = vec![false; n_streams];
-        for &p in groups.iter().flat_map(|(_, ps)| ps) {
-            if p >= n_streams || seen[p] {
-                return Err("receiver groups must partition the stream set".to_string());
-            }
-            seen[p] = true;
-        }
-        if n_streams == 0 {
-            return Err("engine needs at least one stream".to_string());
-        }
+        cfg.validate()?;
+        let n_streams = check_layout(&groups)?;
         let controller = Controller::new(n_streams, cfg.tick_hz, cfg.params, re, kma)?;
         let reorder = ReorderBuffer::new(ReorderConfig {
             n_senders: groups.len(),
@@ -309,6 +358,115 @@ impl<'a> StreamingEngine<'a> {
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
     }
+
+    /// Captures the complete engine state for crash recovery. Call at
+    /// a **delivery boundary** — after ingesting whole link
+    /// deliveries, never between the frames of one — so `stream_pos`
+    /// (deliveries fully ingested) exactly describes what the
+    /// checkpoint contains. `log_mark` is the committed decision-log
+    /// byte length; both are the driver's resume coordinates.
+    ///
+    /// The latency histograms are deliberately dropped: they are
+    /// wall-clock measurements, not replayable state.
+    pub fn snapshot(&self, day: u32, stream_pos: u64, log_mark: u64) -> EngineSnapshot {
+        EngineSnapshot {
+            day,
+            stream_pos,
+            log_mark,
+            events_emitted: self.events.len() as u64,
+            groups: self.groups.clone(),
+            last_value: self.last_value.clone(),
+            last_seen: self.last_seen.clone(),
+            counters: RuntimeCounters {
+                decode: Default::default(),
+                step: Default::default(),
+                ..self.counters.clone()
+            },
+            reorder: self.reorder.state(),
+            controller: self.controller.runtime_state(),
+            kma_clocks: self.controller.kma_clock_state(),
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint so that feeding it the
+    /// remaining deliveries of the day reproduces an uninterrupted
+    /// run's decisions bit-for-bit.
+    ///
+    /// The restored event log starts **empty**: everything up to
+    /// [`EngineSnapshot::events_emitted`] was already emitted before
+    /// the crash, and the driver stitches the two logs together.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a snapshot whose sensor layout does not match
+    /// `groups`, whose KMA clock fingerprint does not match this
+    /// scenario at the checkpointed time (resuming against the wrong
+    /// trace would silently produce wrong decisions), or whose
+    /// internal state fails any structural invariant.
+    pub fn restore(
+        cfg: EngineConfig,
+        groups: Vec<(u16, Vec<usize>)>,
+        re: &'a RadioEnvironment,
+        kma: Kma<'a>,
+        snap: &EngineSnapshot,
+    ) -> Result<StreamingEngine<'a>, String> {
+        cfg.validate()?;
+        let n_streams = check_layout(&groups)?;
+        if snap.groups != groups {
+            return Err("checkpoint sensor layout does not match this deployment".to_string());
+        }
+        let controller = Controller::from_runtime_state(
+            n_streams,
+            cfg.tick_hz,
+            cfg.params,
+            re,
+            kma,
+            &snap.controller,
+        )?;
+        // Compare the checkpointed KMA idle clocks against this
+        // scenario's, bit-exactly: a mismatch means the checkpoint is
+        // being resumed against a different input trace.
+        let clocks = controller.kma_clock_state();
+        let bits = |o: Option<f64>| o.map(f64::to_bits);
+        if clocks.len() != snap.kma_clocks.len()
+            || !clocks.iter().zip(&snap.kma_clocks).all(|(&a, &b)| bits(a) == bits(b))
+        {
+            return Err(
+                "checkpoint KMA clocks do not match this scenario (wrong input trace?)"
+                    .to_string(),
+            );
+        }
+        let reorder = ReorderBuffer::from_state(
+            ReorderConfig {
+                n_senders: groups.len(),
+                jitter_ticks: cfg.jitter_ticks,
+                quarantine_after_ticks: cfg.quarantine_after_ticks,
+            },
+            &snap.reorder,
+        )?;
+        if snap.last_value.len() != n_streams || snap.last_seen.len() != n_streams {
+            return Err(format!(
+                "checkpoint gap-fill state covers {} streams, deployment has {n_streams}",
+                snap.last_value.len()
+            ));
+        }
+        if snap.last_value.iter().any(|v| !v.is_finite()) {
+            return Err("checkpoint last-value state contains non-finite samples".to_string());
+        }
+        Ok(StreamingEngine {
+            cfg,
+            controller,
+            reorder,
+            n_streams,
+            last_value: snap.last_value.clone(),
+            last_seen: snap.last_seen.clone(),
+            row: vec![0.0; n_streams],
+            mask: vec![false; n_streams],
+            counters: snap.counters.clone(),
+            events: Vec::new(),
+            groups,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +597,156 @@ mod tests {
             .events()
             .iter()
             .any(|ev| matches!(ev, EngineEvent::SensorRecovered { sensor: 1, .. })));
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let cases: Vec<(&str, EngineConfig)> = vec![
+            ("nan tick_hz", EngineConfig { tick_hz: f64::NAN, ..engine_cfg() }),
+            ("zero tick_hz", EngineConfig { tick_hz: 0.0, ..engine_cfg() }),
+            ("zero jitter", EngineConfig { jitter_ticks: 0, ..engine_cfg() }),
+            ("zero staleness cap", EngineConfig { staleness_cap_ticks: 0, ..engine_cfg() }),
+            (
+                "quarantine inside jitter",
+                EngineConfig { jitter_ticks: 10, quarantine_after_ticks: 10, ..engine_cfg() },
+            ),
+            ("zero checkpoint cadence", EngineConfig { checkpoint_every_ticks: 0, ..engine_cfg() }),
+        ];
+        for (what, cfg) in cases {
+            assert!(cfg.validate().is_err(), "{what} should be rejected");
+            assert!(
+                StreamingEngine::new(cfg, groups(), &re, Kma::new(&inputs)).is_err(),
+                "engine built with {what}"
+            );
+        }
+        assert!(engine_cfg().validate().is_ok());
+        assert!(EngineConfig::new(5.0, FadewichParams::default()).validate().is_ok());
+    }
+
+    #[test]
+    fn permanently_dead_sensor_degrades_but_never_stalls() {
+        // Satellite: a sensor that dies and never comes back. The
+        // watermark must keep advancing on the survivor's frames alone,
+        // the dead streams must transition gap-fill → masked, and the
+        // counters must record the degradation.
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        for t in 0..20 {
+            feed_tick(&mut e, t, None);
+        }
+        for t in 20..200 {
+            feed_tick(&mut e, t, Some(1));
+        }
+        e.finish(200);
+        let c = e.counters();
+        assert_eq!(c.ticks_processed, 200, "watermark stalled behind the dead sensor");
+        // Streams 2 and 3 gap-fill for the staleness cap (3 ticks each)
+        // then mask for the remaining ~177 ticks of the day.
+        assert_eq!(c.gap_fills, 2 * 3);
+        assert_eq!(c.masked_stream_ticks, 2 * (180 - 3));
+        assert_eq!(c.quarantines, 1, "the dead sensor should be quarantined exactly once");
+        assert_eq!(c.recoveries, 0, "a dead sensor must not fake a recovery");
+        assert!(e
+            .events()
+            .iter()
+            .any(|ev| matches!(ev, EngineEvent::SensorQuarantined { sensor: 1, .. })));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let mut full =
+            StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        let mut pre = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        // A day with a mid-run outage so the snapshot catches gap-fill,
+        // mask and quarantine state in flight.
+        let feed = |e: &mut StreamingEngine<'_>, t: u64| {
+            let skip = if (40..60).contains(&t) { Some(1) } else { None };
+            feed_tick(e, t, skip);
+        };
+        for t in 0..300 {
+            feed(&mut full, t);
+        }
+        full.finish(300);
+
+        let cut = 150u64;
+        for t in 0..cut {
+            feed(&mut pre, t);
+        }
+        let snap = pre.snapshot(0, cut, 0);
+        let events_before = snap.events_emitted as usize;
+        let mut post =
+            StreamingEngine::restore(engine_cfg(), groups(), &re, Kma::new(&inputs), &snap)
+                .unwrap();
+        // The snapshot must round-trip through the restored engine —
+        // modulo the stitching metadata, since restored logs start
+        // empty by design.
+        let mut roundtrip = post.snapshot(0, cut, 0);
+        assert_eq!(roundtrip.events_emitted, 0);
+        assert_eq!(roundtrip.controller.n_actions, 0);
+        roundtrip.events_emitted = snap.events_emitted;
+        roundtrip.controller.n_actions = snap.controller.n_actions;
+        assert_eq!(roundtrip, snap);
+        for t in cut..300 {
+            feed(&mut post, t);
+        }
+        post.finish(300);
+
+        let stitched_actions: Vec<_> = pre.actions()[..snap.controller.n_actions as usize]
+            .iter()
+            .chain(post.actions())
+            .copied()
+            .collect();
+        assert_eq!(full.actions(), &stitched_actions[..]);
+        let stitched: Vec<EngineEvent> = pre.events()[..events_before]
+            .iter()
+            .chain(post.events())
+            .cloned()
+            .collect();
+        assert_eq!(full.events(), &stitched[..]);
+        let (a, b) = (full.counters(), post.counters());
+        assert_eq!(a.deterministic_summary(), b.deterministic_summary());
+        assert_eq!(
+            (a.gap_fills, a.masked_stream_ticks, a.quarantines, a.recoveries),
+            (b.gap_fills, b.masked_stream_ticks, b.quarantines, b.recoveries)
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_deployments() {
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        for t in 0..30 {
+            feed_tick(&mut e, t, None);
+        }
+        let snap = e.snapshot(0, 30, 0);
+
+        // Different sensor layout.
+        let other = vec![(0u16, vec![0, 1, 2, 3])];
+        assert!(
+            StreamingEngine::restore(engine_cfg(), other, &re, Kma::new(&inputs), &snap).is_err()
+        );
+        // Same layout, different scenario: the KMA fingerprint differs.
+        let other_inputs = InputTrace::from_times(vec![vec![1.0], vec![2.0]]);
+        assert!(StreamingEngine::restore(
+            engine_cfg(),
+            groups(),
+            &re,
+            Kma::new(&other_inputs),
+            &snap
+        )
+        .is_err());
+        // Corrupted gap-fill state.
+        let mut bad = snap.clone();
+        bad.last_value[0] = f64::NAN;
+        assert!(
+            StreamingEngine::restore(engine_cfg(), groups(), &re, Kma::new(&inputs), &bad).is_err()
+        );
     }
 
     #[test]

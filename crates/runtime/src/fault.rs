@@ -1,0 +1,233 @@
+//! Deterministic fault injection for the crash-recovery layer.
+//!
+//! Recovery code that is never exercised is broken code. This module
+//! generates *seeded, reproducible* disk-failure schedules so the
+//! checkpoint tests (and the recovery experiment) can prove the
+//! invariants the tentpole demands — "crash at any tick, resume from
+//! the last checkpoint ⇒ identical decision stream" and "any corrupted
+//! checkpoint is rejected, never silently resumed" — without flaky
+//! real-world I/O races:
+//!
+//! - a **torn** write persists only a prefix of the checkpoint (the
+//!   classic crash-during-write outcome on a non-atomic filesystem);
+//! - a **bit flip** persists the full length with one bit inverted
+//!   (media corruption); both *look like success* to the writer and
+//!   must be caught at load time by the CRC/framing;
+//! - a **transient** write error fails the first attempt visibly (think
+//!   `ENOSPC` racing a log rotation) and is retried with bounded
+//!   backoff by the store;
+//! - a **crash tick** stops the whole process mid-day (`fadewichd
+//!   serve --crash-after-ticks` aborts; the in-process harness simply
+//!   stops feeding).
+//!
+//! The plan is threaded into
+//! [`CheckpointStore`](crate::checkpoint::CheckpointStore), which
+//! consults it once per save.
+
+use fadewich_stats::rng::Rng;
+
+/// What the injector does to one checkpoint save.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The write goes through untouched.
+    None,
+    /// Only the first `keep` bytes reach the disk; the writer still
+    /// sees success (silent corruption, caught at load).
+    Torn {
+        /// Bytes that survive.
+        keep: usize,
+    },
+    /// One bit of the persisted image is inverted; the writer still
+    /// sees success (silent corruption, caught at load).
+    BitFlip {
+        /// Absolute bit index into the encoded checkpoint.
+        bit: usize,
+    },
+    /// The first write attempt fails with an I/O error; retries are
+    /// clean.
+    Transient,
+}
+
+/// A seeded schedule of faults, indexed by save ordinal (the first
+/// checkpoint save is ordinal 0).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Abort the process after this many engine ticks, if set. Applied
+    /// by the driver (`fadewichd serve`), not the store.
+    pub crash_after_ticks: Option<u64>,
+    /// Save ordinals whose write is torn.
+    pub torn_saves: Vec<u64>,
+    /// Save ordinals whose persisted image gets one bit flipped.
+    pub bitflip_saves: Vec<u64>,
+    /// Save ordinals whose first write attempt fails transiently.
+    pub transient_saves: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, no crash.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Draws a reproducible plan for a run expected to save roughly
+    /// `expected_saves` checkpoints: each save ordinal independently
+    /// gets a torn write, a bit flip, or a transient error with the
+    /// given probability (mutually exclusive, in that precedence).
+    pub fn seeded(seed: u64, expected_saves: u64, fault_p: f64) -> FaultPlan {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::none();
+        for save in 0..expected_saves {
+            if !rng.bernoulli(fault_p.clamp(0.0, 1.0)) {
+                continue;
+            }
+            match rng.below(3) {
+                0 => plan.torn_saves.push(save),
+                1 => plan.bitflip_saves.push(save),
+                _ => plan.transient_saves.push(save),
+            }
+        }
+        plan
+    }
+}
+
+/// What the injector has actually done so far — tests assert against
+/// this instead of trusting the plan blindly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Torn writes performed.
+    pub torn: u64,
+    /// Bit flips performed.
+    pub bit_flips: u64,
+    /// Transient errors raised.
+    pub transients: u64,
+}
+
+/// Executes a [`FaultPlan`] against a sequence of checkpoint saves.
+/// Positions (which byte is cut, which bit flips) are drawn from a
+/// seeded [`Rng`], so the same seed corrupts the same bits every run.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Rng,
+    saves: u64,
+    log: FaultLog,
+}
+
+impl FaultInjector {
+    /// Wraps a plan; `seed` drives the corruption positions.
+    pub fn new(plan: FaultPlan, seed: u64) -> FaultInjector {
+        FaultInjector { plan, rng: Rng::seed_from_u64(seed), saves: 0, log: FaultLog::default() }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// What has been injected so far.
+    pub fn log(&self) -> FaultLog {
+        self.log
+    }
+
+    /// Consumes the next save ordinal and decides its fate.
+    /// `encoded_len` is the checkpoint size in bytes, needed to pick a
+    /// cut point or a bit index inside the image.
+    pub fn next_save(&mut self, encoded_len: usize) -> WriteFault {
+        let save = self.saves;
+        self.saves += 1;
+        if self.plan.torn_saves.contains(&save) && encoded_len > 0 {
+            self.log.torn += 1;
+            // Keep at least one byte and lose at least one: a torn
+            // write that kept everything would not be a fault.
+            return WriteFault::Torn { keep: 1 + self.rng.below(encoded_len.max(2) - 1) };
+        }
+        if self.plan.bitflip_saves.contains(&save) && encoded_len > 0 {
+            self.log.bit_flips += 1;
+            return WriteFault::BitFlip { bit: self.rng.below(encoded_len * 8) };
+        }
+        if self.plan.transient_saves.contains(&save) {
+            self.log.transients += 1;
+            return WriteFault::Transient;
+        }
+        WriteFault::None
+    }
+
+    /// Applies a silent-corruption fault to an encoded image. Returns
+    /// the bytes that actually reach the disk ([`WriteFault::Transient`]
+    /// and [`WriteFault::None`] leave them untouched — the transient
+    /// failure happens at the write call, not in the data).
+    pub fn corrupt(fault: WriteFault, bytes: &[u8]) -> Vec<u8> {
+        match fault {
+            WriteFault::Torn { keep } => bytes[..keep.min(bytes.len())].to_vec(),
+            WriteFault::BitFlip { bit } => {
+                let mut out = bytes.to_vec();
+                if !out.is_empty() {
+                    let idx = (bit / 8) % out.len();
+                    out[idx] ^= 1 << (bit % 8);
+                }
+                out
+            }
+            WriteFault::None | WriteFault::Transient => bytes.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(42, 100, 0.3);
+        let b = FaultPlan::seeded(42, 100, 0.3);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(43, 100, 0.3);
+        assert_ne!(a, c, "different seeds should differ (vanishingly unlikely to match)");
+        let total = a.torn_saves.len() + a.bitflip_saves.len() + a.transient_saves.len();
+        assert!(total > 10 && total < 60, "~30 of 100 saves should fault, got {total}");
+    }
+
+    #[test]
+    fn injector_follows_the_plan_in_order() {
+        let plan = FaultPlan {
+            crash_after_ticks: None,
+            torn_saves: vec![0],
+            bitflip_saves: vec![2],
+            transient_saves: vec![3],
+        };
+        let mut inj = FaultInjector::new(plan, 7);
+        assert!(matches!(inj.next_save(100), WriteFault::Torn { .. }));
+        assert_eq!(inj.next_save(100), WriteFault::None);
+        assert!(matches!(inj.next_save(100), WriteFault::BitFlip { .. }));
+        assert_eq!(inj.next_save(100), WriteFault::Transient);
+        assert_eq!(inj.next_save(100), WriteFault::None);
+        assert_eq!(inj.log(), FaultLog { torn: 1, bit_flips: 1, transients: 1 });
+    }
+
+    #[test]
+    fn torn_keeps_a_strict_prefix() {
+        let plan = FaultPlan { torn_saves: vec![0], ..FaultPlan::none() };
+        for seed in 0..50 {
+            let mut inj = FaultInjector::new(plan.clone(), seed);
+            let WriteFault::Torn { keep } = inj.next_save(64) else {
+                panic!("expected a torn write");
+            };
+            assert!(keep >= 1 && keep < 64, "keep {keep} must lose at least one byte");
+        }
+    }
+
+    #[test]
+    fn corrupt_applies_exactly_one_fault() {
+        let bytes: Vec<u8> = (0..64u8).collect();
+        let torn = FaultInjector::corrupt(WriteFault::Torn { keep: 10 }, &bytes);
+        assert_eq!(torn, &bytes[..10]);
+        let flipped = FaultInjector::corrupt(WriteFault::BitFlip { bit: 83 }, &bytes);
+        assert_eq!(flipped.len(), bytes.len());
+        let diff: Vec<usize> =
+            (0..bytes.len()).filter(|&i| flipped[i] != bytes[i]).collect();
+        assert_eq!(diff.len(), 1);
+        assert_eq!((flipped[diff[0]] ^ bytes[diff[0]]).count_ones(), 1);
+        assert_eq!(FaultInjector::corrupt(WriteFault::None, &bytes), bytes);
+        assert_eq!(FaultInjector::corrupt(WriteFault::Transient, &bytes), bytes);
+    }
+}

@@ -18,7 +18,12 @@
 //!   histograms, printable and JSON-dumpable;
 //! - [`link`] — a seeded lossy-link model for replays;
 //! - [`replay`] — scenario-driven replay and the batch reference the
-//!   parity test compares against.
+//!   parity test compares against;
+//! - [`checkpoint`] — crash-safe, CRC-guarded engine snapshots with
+//!   atomic writes, staleness enforcement and bounded retention;
+//! - [`fault`] — seeded, reproducible disk-fault schedules (torn
+//!   writes, bit flips, transient errors, crash ticks) that exercise
+//!   the recovery paths deterministically.
 //!
 //! The load-bearing invariant: over a lossless link the engine's
 //! decisions are **byte-identical** to the batch pipeline's
@@ -46,16 +51,23 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 pub mod counters;
 pub mod engine;
+pub mod fault;
 pub mod link;
 pub mod reorder;
 pub mod replay;
 pub mod wire;
 
+pub use checkpoint::{
+    CheckpointError, CheckpointStore, Checkpointer, EngineSnapshot, LoadOutcome, RetryPolicy,
+};
 pub use counters::{LatencyHisto, RuntimeCounters};
 pub use engine::{EngineConfig, EngineEvent, StreamingEngine};
+pub use fault::{FaultInjector, FaultLog, FaultPlan, WriteFault};
 pub use link::LinkModel;
-pub use reorder::{ReorderBuffer, ReorderConfig, TickBundle};
+pub use reorder::{ReorderBuffer, ReorderConfig, ReorderState, TickBundle};
 pub use wire::{Frame, WireError};

@@ -74,6 +74,34 @@ pub enum SenderEvent {
     },
 }
 
+/// The complete reassembly state for crash-safe checkpointing: the
+/// watermark, per-sender frontiers/sequence highs/quarantine flags,
+/// the cumulative counters, and every buffered-but-unemitted payload.
+/// Pending liveness *events* are deliberately absent: capture only at
+/// delivery boundaries, after [`ReorderBuffer::take_events`] has
+/// drained them into the engine's log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReorderState {
+    /// Next tick to emit (the watermark).
+    pub next_emit: u64,
+    /// Highest tick seen per sender.
+    pub frontier: Vec<Option<u64>>,
+    /// Highest sequence number seen per sender.
+    pub max_seq: Vec<Option<u32>>,
+    /// Per-sender quarantine flags.
+    pub quarantined: Vec<bool>,
+    /// Cumulative duplicate frames.
+    pub duplicates: u64,
+    /// Cumulative late frames.
+    pub late: u64,
+    /// Cumulative sequence regressions.
+    pub reordered: u64,
+    /// Largest watermark lag ever observed.
+    pub max_lag: u64,
+    /// Buffered payloads, ticks strictly ascending, all `≥ next_emit`.
+    pub pending: Vec<(u64, Vec<Option<Vec<f32>>>)>,
+}
+
 /// The reorder buffer. See the module docs for the watermark rules.
 #[derive(Debug, Clone)]
 pub struct ReorderBuffer {
@@ -230,6 +258,88 @@ impl ReorderBuffer {
         out
     }
 
+    /// Exports the full reassembly state for checkpointing. Call only
+    /// after [`ReorderBuffer::take_events`] has drained pending
+    /// liveness events — they are not part of the state (see
+    /// [`ReorderState`]).
+    pub fn state(&self) -> ReorderState {
+        debug_assert!(self.events.is_empty(), "capture after take_events");
+        ReorderState {
+            next_emit: self.next_emit,
+            frontier: self.frontier.clone(),
+            max_seq: self.max_seq.clone(),
+            quarantined: self.quarantined.clone(),
+            duplicates: self.duplicates,
+            late: self.late,
+            reordered: self.reordered,
+            max_lag: self.max_lag,
+            pending: self.pending.iter().map(|(&t, b)| (t, b.clone())).collect(),
+        }
+    }
+
+    /// Rebuilds a buffer from an exported state. Subsequent pushes and
+    /// polls behave identically to the buffer the state was captured
+    /// from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the state disagrees with `cfg`
+    /// (per-sender vector lengths) or is internally inconsistent
+    /// (pending ticks unsorted, behind the watermark, or with the wrong
+    /// report width).
+    pub fn from_state(cfg: ReorderConfig, state: &ReorderState) -> Result<ReorderBuffer, String> {
+        if cfg.n_senders == 0 {
+            return Err("need at least one sender".to_string());
+        }
+        for (name, len) in [
+            ("frontier", state.frontier.len()),
+            ("max_seq", state.max_seq.len()),
+            ("quarantined", state.quarantined.len()),
+        ] {
+            if len != cfg.n_senders {
+                return Err(format!(
+                    "{name} covers {len} senders but the layout has {}",
+                    cfg.n_senders
+                ));
+            }
+        }
+        let mut pending = BTreeMap::new();
+        let mut prev: Option<u64> = None;
+        for (tick, reports) in &state.pending {
+            if prev.is_some_and(|p| *tick <= p) {
+                return Err(format!("pending ticks not strictly ascending at {tick}"));
+            }
+            prev = Some(*tick);
+            if *tick < state.next_emit {
+                return Err(format!(
+                    "pending tick {tick} is behind the watermark {}",
+                    state.next_emit
+                ));
+            }
+            if reports.len() != cfg.n_senders {
+                return Err(format!(
+                    "pending tick {tick} carries {} reports for {} senders",
+                    reports.len(),
+                    cfg.n_senders
+                ));
+            }
+            pending.insert(*tick, reports.clone());
+        }
+        Ok(ReorderBuffer {
+            pending,
+            next_emit: state.next_emit,
+            frontier: state.frontier.clone(),
+            max_seq: state.max_seq.clone(),
+            quarantined: state.quarantined.clone(),
+            events: Vec::new(),
+            duplicates: state.duplicates,
+            late: state.late,
+            reordered: state.reordered,
+            max_lag: state.max_lag,
+            cfg,
+        })
+    }
+
     /// End-of-stream: emits everything still buffered, in order, with
     /// `None` for frames that never arrived.
     pub fn flush(&mut self) -> Vec<TickBundle> {
@@ -349,5 +459,106 @@ mod tests {
         assert_eq!(rb.watermark_lag(), 10);
         rb.poll();
         assert_eq!(rb.max_watermark_lag(), 10);
+    }
+
+    #[test]
+    fn state_round_trip_continues_identically() {
+        // Build up a messy mid-flight buffer: holes, a quarantined
+        // sender, buffered future ticks.
+        let c = ReorderConfig { n_senders: 3, jitter_ticks: 2, quarantine_after_ticks: 4 };
+        let mut rb = ReorderBuffer::new(c);
+        for t in 0..8u64 {
+            rb.push(0, t as u32, t, payload(t as f32));
+            if t % 2 == 0 {
+                rb.push(1, t as u32, t, payload(10.0 + t as f32));
+            }
+            // Sender 2 silent: quarantined along the way.
+        }
+        rb.poll();
+        rb.take_events();
+        let state = rb.state();
+        let mut restored = ReorderBuffer::from_state(c, &state).unwrap();
+        assert_eq!(restored.state(), state, "round trip changed the state");
+        // Continue both identically.
+        for t in 8..14u64 {
+            for s in 0..3 {
+                assert_eq!(
+                    rb.push(s, t as u32, t, payload(t as f32)),
+                    restored.push(s, t as u32, t, payload(t as f32)),
+                    "push diverged at tick {t} sender {s}"
+                );
+            }
+            assert_eq!(rb.poll(), restored.poll(), "poll diverged at tick {t}");
+            assert_eq!(rb.take_events(), restored.take_events());
+        }
+        assert_eq!(rb.flush(), restored.flush());
+        assert_eq!(rb.counters(), restored.counters());
+        assert_eq!(rb.max_watermark_lag(), restored.max_watermark_lag());
+    }
+
+    #[test]
+    fn bad_states_rejected() {
+        let c = cfg(2, 1);
+        let mut rb = ReorderBuffer::new(c);
+        rb.push(0, 0, 0, payload(1.0));
+        let good = rb.state();
+        assert!(ReorderBuffer::from_state(c, &good).is_ok());
+
+        // Per-sender vectors disagreeing with the layout.
+        let mut bad = good.clone();
+        bad.frontier.pop();
+        assert!(ReorderBuffer::from_state(c, &bad).is_err());
+        let mut bad = good.clone();
+        bad.quarantined.push(false);
+        assert!(ReorderBuffer::from_state(c, &bad).is_err());
+        // Pending tick behind the watermark.
+        let mut bad = good.clone();
+        bad.next_emit = 5;
+        assert!(ReorderBuffer::from_state(c, &bad).is_err());
+        // Unsorted pending ticks.
+        let mut bad = good.clone();
+        bad.pending = vec![(3, vec![None, None]), (2, vec![None, None])];
+        assert!(ReorderBuffer::from_state(c, &bad).is_err());
+        // Wrong report width.
+        let mut bad = good.clone();
+        bad.pending = vec![(0, vec![None])];
+        assert!(ReorderBuffer::from_state(c, &bad).is_err());
+    }
+
+    #[test]
+    fn sustained_duplicates_do_not_stall_the_watermark() {
+        // Sender 1 wedges: it resends its tick-5 frame forever while
+        // sender 0 keeps advancing. Every resend counts as a duplicate
+        // (or a late frame once tick 5 is emitted) — and because *any*
+        // frame from a quarantined sender recovers it, the wedged
+        // sender churns through quarantine/recovery cycles. The
+        // watermark must keep advancing regardless: sender 0's ticks
+        // all close, with holes where sender 1 never delivered.
+        let c = ReorderConfig { n_senders: 2, jitter_ticks: 1, quarantine_after_ticks: 8 };
+        let mut rb = ReorderBuffer::new(c);
+        let mut emitted = Vec::new();
+        for t in 0..100u64 {
+            rb.push(0, t as u32, t, payload(t as f32));
+            if t >= 5 {
+                rb.push(1, 5, 5, payload(55.0));
+            }
+            emitted.extend(rb.poll());
+        }
+        emitted.extend(rb.flush());
+        let ticks: Vec<u64> = emitted.iter().map(|b| b.tick).collect();
+        assert_eq!(ticks, (0..100).collect::<Vec<_>>(), "watermark stalled");
+        // Sender 0's payloads all made it through.
+        assert!(emitted.iter().all(|b| b.reports[0].is_some()));
+        // Sender 1 contributed exactly its one wedged frame.
+        let from_1 = emitted.iter().filter(|b| b.reports[1].is_some()).count();
+        assert_eq!(from_1, 1);
+        let (dup, late, _) = rb.counters();
+        assert!(dup + late >= 90, "resends uncounted: dup {dup} late {late}");
+        // The wedged sender cycled through quarantine at least once,
+        // and each resend recovered it (documented churn behavior).
+        let events = rb.take_events();
+        let quarantines =
+            events.iter().filter(|e| matches!(e, SenderEvent::Quarantined { sender: 1, .. }));
+        assert!(quarantines.count() >= 1, "events: {events:?}");
     }
 }

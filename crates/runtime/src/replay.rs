@@ -20,6 +20,7 @@ use fadewich_core::re::{auto_label, AutoLabelParams, RadioEnvironment};
 use fadewich_officesim::{Scenario, Trace};
 use fadewich_stats::rng::Rng;
 
+use crate::checkpoint::{CheckpointStore, Checkpointer, EngineSnapshot};
 use crate::counters::RuntimeCounters;
 use crate::engine::{EngineConfig, EngineEvent, StreamingEngine};
 use crate::link::LinkModel;
@@ -195,6 +196,45 @@ pub fn batch_day_actions(
     Ok(controller.actions().to_vec())
 }
 
+/// The exact byte deliveries one day's sensor traffic produces after
+/// passing through `link`: reports framed in send order with
+/// per-sensor sequence numbers, then dropped/duplicated/jittered by the
+/// link model seeded from `Rng::task_stream(link_seed, day)`.
+///
+/// This is the day's *replayable delivery sequence* — the unit the
+/// crash-recovery layer counts. A checkpoint records how many
+/// deliveries were fully ingested (`stream_pos`), and a resume replays
+/// the same sequence from that index, so determinism here is what
+/// makes resumed decisions byte-identical.
+///
+/// # Errors
+///
+/// Rejects a report for a sensor absent from `groups` (the layout
+/// contract between `Trace::sensor_reports` and
+/// `Trace::receiver_groups` was broken).
+pub fn day_deliveries(
+    trace: &Trace,
+    streams: &[usize],
+    groups: &[(u16, Vec<usize>)],
+    day: usize,
+    link: &LinkModel,
+    link_seed: u64,
+) -> Result<Vec<Vec<u8>>, String> {
+    let mut seq = vec![0u32; groups.len()];
+    let reports = trace.sensor_reports(day, streams);
+    let mut frames: Vec<(u64, Vec<u8>)> = Vec::with_capacity(reports.len());
+    for r in reports {
+        let sender = groups.iter().position(|(s, _)| *s == r.sensor).ok_or_else(|| {
+            format!("sensor {} reports frames but is not in the receiver layout", r.sensor)
+        })?;
+        let frame = Frame { sensor: r.sensor, seq: seq[sender], tick: r.tick, values: r.values };
+        seq[sender] = seq[sender].wrapping_add(1);
+        frames.push((r.tick, frame.encode()));
+    }
+    let mut rng = Rng::task_stream(link_seed, day as u64);
+    Ok(link.deliver(&frames, &mut rng))
+}
+
 /// Streams one recorded day through `link` into a fresh engine.
 ///
 /// Sensor reports are framed in send order with per-sensor sequence
@@ -219,25 +259,118 @@ pub fn stream_day(
     let inputs = scenario.input_trace(day, 0);
     let kma = Kma::new(&inputs);
     let mut engine = StreamingEngine::new(cfg, groups.clone(), re, kma)?;
-
-    let mut seq = vec![0u32; groups.len()];
-    let reports = trace.sensor_reports(day, streams);
-    let mut frames: Vec<(u64, Vec<u8>)> = Vec::with_capacity(reports.len());
-    for r in reports {
-        let sender = groups
-            .iter()
-            .position(|(s, _)| *s == r.sensor)
-            .expect("sensor_reports and receiver_groups share the layout");
-        let frame = Frame { sensor: r.sensor, seq: seq[sender], tick: r.tick, values: r.values };
-        seq[sender] = seq[sender].wrapping_add(1);
-        frames.push((r.tick, frame.encode()));
-    }
-    let mut rng = Rng::task_stream(link_seed, day as u64);
-    for bytes in link.deliver(&frames, &mut rng) {
+    for bytes in day_deliveries(trace, streams, &groups, day, link, link_seed)? {
         engine.ingest_bytes(&bytes);
     }
     engine.finish(trace.days()[day].n_ticks() as u64);
 
+    Ok(DayReplay {
+        day,
+        actions: engine.actions().to_vec(),
+        events: engine.events().to_vec(),
+        counters: engine.counters().clone(),
+    })
+}
+
+/// Like [`stream_day`], but persists a checkpoint into `store` at the
+/// engine's configured cadence ([`EngineConfig::checkpoint_every_ticks`],
+/// always at delivery boundaries, stamped with the day-local processed
+/// tick count) and, when `crash_after` is set, stops dead after that
+/// many deliveries — no flush, no tail padding — exactly like a
+/// process crash. The partial [`DayReplay`] is what the dying process
+/// had produced so far.
+///
+/// # Errors
+///
+/// Propagates engine construction, layout, and checkpoint-save errors.
+pub fn stream_day_checkpointed(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    day: usize,
+    cfg: EngineConfig,
+    link: &LinkModel,
+    link_seed: u64,
+    store: &mut CheckpointStore,
+    crash_after: Option<u64>,
+) -> Result<DayReplay, String> {
+    let groups = trace.receiver_groups(streams);
+    let inputs = scenario.input_trace(day, 0);
+    let kma = Kma::new(&inputs);
+    let mut engine = StreamingEngine::new(cfg, groups.clone(), re, kma)?;
+    let mut checkpointer = Checkpointer::new(cfg.checkpoint_every_ticks);
+    let deliveries = day_deliveries(trace, streams, &groups, day, link, link_seed)?;
+    let mut crashed = false;
+    for (i, bytes) in deliveries.iter().enumerate() {
+        engine.ingest_bytes(bytes);
+        let stream_pos = (i + 1) as u64;
+        let ticks = engine.counters().ticks_processed;
+        if checkpointer.due(ticks) {
+            let snap = engine.snapshot(day as u32, stream_pos, 0);
+            store.save(ticks, &snap).map_err(|e| format!("checkpoint save failed: {e}"))?;
+            checkpointer.advance(ticks);
+        }
+        if crash_after.is_some_and(|n| stream_pos >= n) {
+            crashed = true;
+            break;
+        }
+    }
+    if !crashed {
+        engine.finish(trace.days()[day].n_ticks() as u64);
+    }
+    Ok(DayReplay {
+        day,
+        actions: engine.actions().to_vec(),
+        events: engine.events().to_vec(),
+        counters: engine.counters().clone(),
+    })
+}
+
+/// Resumes a crashed day from a checkpoint: rebuilds the engine from
+/// `snap`, replays the same deterministic delivery sequence from
+/// `snap.stream_pos`, and runs the day to completion. The returned
+/// action/event logs contain only the **post-resume** portion; stitch
+/// them after the first `snap.controller.n_actions` actions /
+/// `snap.events_emitted` events of the crashed run to reconstruct the
+/// full day.
+///
+/// # Errors
+///
+/// Propagates engine restore, layout, and day-mismatch errors.
+pub fn resume_day(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    cfg: EngineConfig,
+    link: &LinkModel,
+    link_seed: u64,
+    snap: &EngineSnapshot,
+) -> Result<DayReplay, String> {
+    let day = snap.day as usize;
+    if day >= trace.days().len() {
+        return Err(format!(
+            "checkpoint is for day {day} but the scenario has {} days",
+            trace.days().len()
+        ));
+    }
+    let groups = trace.receiver_groups(streams);
+    let inputs = scenario.input_trace(day, 0);
+    let kma = Kma::new(&inputs);
+    let mut engine = StreamingEngine::restore(cfg, groups.clone(), re, kma, snap)?;
+    let deliveries = day_deliveries(trace, streams, &groups, day, link, link_seed)?;
+    if snap.stream_pos as usize > deliveries.len() {
+        return Err(format!(
+            "checkpoint claims {} ingested deliveries but the day only has {}",
+            snap.stream_pos,
+            deliveries.len()
+        ));
+    }
+    for bytes in &deliveries[snap.stream_pos as usize..] {
+        engine.ingest_bytes(bytes);
+    }
+    engine.finish(trace.days()[day].n_ticks() as u64);
     Ok(DayReplay {
         day,
         actions: engine.actions().to_vec(),

@@ -1,0 +1,348 @@
+//! End-to-end crash/recovery: kill the streaming day at an arbitrary
+//! delivery, resume from the newest valid checkpoint, and demand the
+//! stitched decision stream be **byte-identical** to an uninterrupted
+//! run — under a lossy, jittery link, so the checkpoint must carry
+//! gap-fill, quarantine and reorder state faithfully. Also proves the
+//! rejection side: corrupted checkpoints (bit flips, torn writes) are
+//! always refused with an error and the store falls back to the
+//! previous image or a cold start, never a silently wrong resume.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use fadewich_core::config::FadewichParams;
+use fadewich_officesim::{Scenario, ScenarioConfig, ScheduleParams, Trace};
+use fadewich_runtime::checkpoint::{CheckpointStore, EngineSnapshot};
+use fadewich_runtime::engine::EngineConfig;
+use fadewich_runtime::link::LinkModel;
+use fadewich_runtime::replay::{self, DayReplay};
+use fadewich_testkit::prop::u64s;
+
+const LINK_SEED: u64 = 0xF10D;
+
+struct Fixture {
+    scenario: Scenario,
+    trace: Trace,
+    streams: Vec<usize>,
+    re: fadewich_core::re::RadioEnvironment,
+    cfg: EngineConfig,
+    link: LinkModel,
+    /// The uninterrupted day-1 run every crashed run is held against.
+    full: DayReplay,
+    /// How many link deliveries day 1 produces (the crash axis).
+    n_deliveries: u64,
+    /// One genuine mid-day checkpoint image, encoded (corruption axis).
+    encoded: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let config = ScenarioConfig {
+            seed: 0xC4A5,
+            days: 2,
+            schedule: ScheduleParams {
+                day_seconds: 3600.0,
+                departures_choices: [2, 2, 3, 3],
+                min_seated_s: 300.0,
+                absence_bounds_s: (80.0, 240.0),
+                ..ScheduleParams::default()
+            },
+            ..ScenarioConfig::default()
+        };
+        let scenario = Scenario::generate(config).unwrap();
+        let trace = scenario.simulate().unwrap();
+        let subset = scenario.layout().sensor_subset(9);
+        let streams = trace.stream_indices_for_subset(&subset);
+        let params = FadewichParams::default();
+        let re = replay::train_re(&scenario, &trace, &streams, 1, &params).unwrap();
+        // A lossy, jittery link: the checkpoint must carry degradation
+        // state, not just the happy path.
+        let link = LinkModel { drop_p: 0.02, dup_p: 0.02, corrupt_p: 0.0, jitter_ticks: 2 };
+        let mut cfg = EngineConfig::new(trace.tick_hz(), params);
+        cfg.jitter_ticks = 2;
+        // Checkpoint often enough that most crash points have a warm
+        // image to resume from, and several get pruned by retention.
+        cfg.checkpoint_every_ticks = 400;
+        let full =
+            replay::stream_day(&scenario, &trace, &streams, &re, 1, cfg, &link, LINK_SEED)
+                .unwrap();
+        let groups = trace.receiver_groups(&streams);
+        let n_deliveries =
+            replay::day_deliveries(&trace, &streams, &groups, 1, &link, LINK_SEED)
+                .unwrap()
+                .len() as u64;
+
+        // One real, state-heavy checkpoint image for corruption tests:
+        // crash mid-day and grab what the store wrote last.
+        let dir = scratch_dir("fixture");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        replay::stream_day_checkpointed(
+            &scenario,
+            &trace,
+            &streams,
+            &re,
+            1,
+            cfg,
+            &link,
+            LINK_SEED,
+            &mut store,
+            Some(n_deliveries / 2),
+        )
+        .unwrap();
+        let (stamp, snap) = store.load_latest().unwrap().snapshot.unwrap();
+        let encoded = snap.encode(stamp);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        Fixture { scenario, trace, streams, re, cfg, link, full, n_deliveries, encoded }
+    })
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fadewich-crashrec-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Crashed-run prefix + resumed run must equal the uninterrupted run,
+/// byte for byte, in actions, events and deterministic counters.
+fn assert_stitches(fx: &Fixture, crashed: &DayReplay, snap: &EngineSnapshot, resumed: &DayReplay) {
+    let stitched_actions: Vec<_> = crashed.actions[..snap.controller.n_actions as usize]
+        .iter()
+        .chain(&resumed.actions)
+        .collect();
+    let full_actions: Vec<_> = fx.full.actions.iter().collect();
+    assert_eq!(stitched_actions, full_actions, "stitched decisions diverged");
+    assert_eq!(
+        format!("{stitched_actions:?}"),
+        format!("{full_actions:?}"),
+        "decisions must match byte-for-byte, not merely structurally"
+    );
+    let stitched_events: Vec<_> = crashed.events[..snap.events_emitted as usize]
+        .iter()
+        .chain(&resumed.events)
+        .collect();
+    let full_events: Vec<_> = fx.full.events.iter().collect();
+    assert_eq!(stitched_events, full_events, "stitched events diverged");
+    assert_eq!(
+        resumed.counters.deterministic_summary(),
+        fx.full.counters.deterministic_summary(),
+        "resumed counters diverged"
+    );
+}
+
+fadewich_testkit::property! {
+    // The tentpole acceptance property: crash after ANY number of
+    // deliveries, resume from the newest checkpoint (or cold if the
+    // crash beat the first save) — the decision stream is identical.
+    #[cases(12)]
+    fn crash_at_any_delivery_resumes_byte_identically(seed in u64s(0..1 << 48)) {
+        let fx = fixture();
+        let crash_after = 1 + seed % (fx.n_deliveries - 1);
+        let dir = scratch_dir("crash");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let crashed = replay::stream_day_checkpointed(
+            &fx.scenario, &fx.trace, &fx.streams, &fx.re, 1, fx.cfg, &fx.link, LINK_SEED,
+            &mut store, Some(crash_after),
+        )
+        .unwrap();
+
+        // A fresh process opens the directory, as fadewichd would.
+        let mut reopened = CheckpointStore::open(&dir).unwrap();
+        let outcome = reopened.load_latest().unwrap();
+        assert!(outcome.rejected.is_empty(), "clean saves were rejected: {:?}", outcome.rejected);
+        match outcome.snapshot {
+            Some((_, snap)) => {
+                assert!(snap.stream_pos <= crash_after, "checkpoint from beyond the crash");
+                let resumed = replay::resume_day(
+                    &fx.scenario, &fx.trace, &fx.streams, &fx.re, fx.cfg, &fx.link, LINK_SEED,
+                    &snap,
+                )
+                .unwrap();
+                assert_stitches(fx, &crashed, &snap, &resumed);
+            }
+            None => {
+                // Crash beat the first checkpoint: cold start rules.
+                let rerun = replay::stream_day(
+                    &fx.scenario, &fx.trace, &fx.streams, &fx.re, 1, fx.cfg, &fx.link, LINK_SEED,
+                )
+                .unwrap();
+                assert_eq!(rerun.actions, fx.full.actions);
+                assert_eq!(rerun.events, fx.full.events);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // The rejection property, on a genuine state-heavy mid-day image:
+    // a single bit flip anywhere is refused with an error — no panic,
+    // no silently wrong resume.
+    #[cases(512)]
+    fn any_bit_flip_in_a_real_checkpoint_is_rejected(seed in u64s(0..1 << 48)) {
+        let fx = fixture();
+        let bit = (seed as usize) % (fx.encoded.len() * 8);
+        let mut dirty = fx.encoded.clone();
+        dirty[bit / 8] ^= 1 << (bit % 8);
+        assert!(
+            EngineSnapshot::decode(&dirty).is_err(),
+            "flip of byte {} bit {} slipped through",
+            bit / 8,
+            bit % 8
+        );
+    }
+
+    // Same for truncation: no prefix of a real checkpoint decodes.
+    #[cases(128)]
+    fn any_truncated_real_checkpoint_is_rejected(seed in u64s(0..1 << 48)) {
+        let fx = fixture();
+        let keep = (seed as usize) % fx.encoded.len();
+        assert!(
+            EngineSnapshot::decode(&fx.encoded[..keep]).is_err(),
+            "prefix of {keep} bytes slipped through"
+        );
+    }
+}
+
+#[test]
+fn corrupted_newest_checkpoint_falls_back_and_still_resumes_identically() {
+    let fx = fixture();
+    let dir = scratch_dir("fallback");
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    let crash_after = fx.n_deliveries * 3 / 4;
+    let crashed = replay::stream_day_checkpointed(
+        &fx.scenario,
+        &fx.trace,
+        &fx.streams,
+        &fx.re,
+        1,
+        fx.cfg,
+        &fx.link,
+        LINK_SEED,
+        &mut store,
+        Some(crash_after),
+    )
+    .unwrap();
+
+    // Flip one byte in the newest checkpoint file on disk.
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "fwcp"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 2, "retention should hold two checkpoints, found {files:?}");
+    let newest = files.last().unwrap();
+    let mut bytes = std::fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(newest, &bytes).unwrap();
+
+    let mut reopened = CheckpointStore::open(&dir).unwrap();
+    let outcome = reopened.load_latest().unwrap();
+    assert_eq!(outcome.rejected.len(), 1, "the corrupt newest file must be reported");
+    let (_, snap) = outcome.snapshot.expect("the previous checkpoint must still load");
+    let resumed = replay::resume_day(
+        &fx.scenario,
+        &fx.trace,
+        &fx.streams,
+        &fx.re,
+        fx.cfg,
+        &fx.link,
+        LINK_SEED,
+        &snap,
+    )
+    .unwrap();
+    assert_stitches(fx, &crashed, &snap, &resumed);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_write_during_the_day_degrades_to_the_previous_checkpoint() {
+    use fadewich_runtime::fault::{FaultInjector, FaultPlan};
+    let fx = fixture();
+    let dir = scratch_dir("torn");
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    // Tear every second save: whatever the newest file is, at least one
+    // valid older image (or a cold start) must remain reachable.
+    let plan = FaultPlan {
+        torn_saves: (0..64).filter(|s| s % 2 == 1).collect(),
+        ..FaultPlan::none()
+    };
+    store.set_fault_injector(FaultInjector::new(plan, 99));
+    let crash_after = fx.n_deliveries / 2;
+    let crashed = replay::stream_day_checkpointed(
+        &fx.scenario,
+        &fx.trace,
+        &fx.streams,
+        &fx.re,
+        1,
+        fx.cfg,
+        &fx.link,
+        LINK_SEED,
+        &mut store,
+        Some(crash_after),
+    )
+    .unwrap();
+    assert!(store.fault_log().unwrap().torn > 0, "the plan never fired");
+
+    let mut reopened = CheckpointStore::open(&dir).unwrap();
+    let outcome = reopened.load_latest().unwrap();
+    for (path, err) in &outcome.rejected {
+        assert!(
+            matches!(err, fadewich_runtime::CheckpointError::Truncated),
+            "torn file {} rejected for the wrong reason: {err}",
+            path.display()
+        );
+    }
+    if let Some((_, snap)) = outcome.snapshot {
+        let resumed = replay::resume_day(
+            &fx.scenario,
+            &fx.trace,
+            &fx.streams,
+            &fx.re,
+            fx.cfg,
+            &fx.link,
+            LINK_SEED,
+            &snap,
+        )
+        .unwrap();
+        assert_stitches(fx, &crashed, &snap, &resumed);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_rejects_a_checkpoint_from_another_scenario() {
+    let fx = fixture();
+    let (_, snap) = EngineSnapshot::decode(&fx.encoded).unwrap();
+    // Same deployment shape, different recorded world: the KMA
+    // fingerprint must catch it.
+    let other = Scenario::generate(ScenarioConfig {
+        seed: 0xBEEF,
+        days: 2,
+        schedule: ScheduleParams {
+            day_seconds: 3600.0,
+            departures_choices: [2, 2, 3, 3],
+            min_seated_s: 300.0,
+            absence_bounds_s: (80.0, 240.0),
+            ..ScheduleParams::default()
+        },
+        ..ScenarioConfig::default()
+    })
+    .unwrap();
+    let other_trace = other.simulate().unwrap();
+    let err = replay::resume_day(
+        &other,
+        &other_trace,
+        &fx.streams,
+        &fx.re,
+        fx.cfg,
+        &fx.link,
+        LINK_SEED,
+        &snap,
+    )
+    .unwrap_err();
+    assert!(err.contains("scenario") || err.contains("KMA"), "unhelpful mismatch error: {err}");
+}

@@ -13,6 +13,32 @@
 /// How many pushes between full recomputations of the running sums.
 const RECOMPUTE_EVERY: u64 = 4096;
 
+/// The complete runtime state of a [`RollingStd`], exportable for
+/// crash-safe checkpointing and re-importable bit-exactly.
+///
+/// The accumulators (`offset`, `sum`, `sum_sq`) are carried verbatim —
+/// not recomputed from the samples — because a restored window must
+/// produce the **same bit pattern** from `std_dev` as the original
+/// would have, including any accumulated rounding. `pushes` preserves
+/// the periodic-recompute phase for the same reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingStdState {
+    /// Window capacity the state was captured from.
+    pub capacity: usize,
+    /// Retained samples, oldest first (`≤ capacity` of them).
+    pub samples: Vec<f64>,
+    /// Centering offset at capture time.
+    pub offset: f64,
+    /// Running first moment (offset-centered) at capture time.
+    pub sum: f64,
+    /// Running second moment (offset-centered) at capture time.
+    pub sum_sq: f64,
+    /// Total samples ever pushed (drives the recompute cadence).
+    pub pushes: u64,
+    /// Cumulative non-finite samples replaced by hold-last-value.
+    pub non_finite: u64,
+}
+
 /// Fixed-capacity rolling window maintaining mean/variance/std in O(1).
 ///
 /// Until the window has been filled, statistics are computed over the
@@ -188,6 +214,80 @@ impl RollingStd {
         self.sum = 0.0;
         self.sum_sq = 0.0;
     }
+
+    /// Exports the full runtime state for checkpointing.
+    pub fn state(&self) -> RollingStdState {
+        RollingStdState {
+            capacity: self.capacity,
+            samples: self.to_vec(),
+            offset: self.offset,
+            sum: self.sum,
+            sum_sq: self.sum_sq,
+            pushes: self.pushes,
+            non_finite: self.non_finite,
+        }
+    }
+
+    /// Rebuilds a window from an exported state. The ring layout is
+    /// canonicalized (samples at indices `0..len`, head after them) —
+    /// a rotation the arithmetic cannot observe — while every
+    /// accumulator is restored bit-exactly, so subsequent pushes
+    /// produce the same `std_dev` bits as the uninterrupted window.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the state is internally inconsistent
+    /// (zero capacity, more samples than capacity, fewer pushes than
+    /// retained samples, or a non-finite sample/accumulator).
+    pub fn from_state(state: &RollingStdState) -> Result<RollingStd, String> {
+        if state.capacity == 0 {
+            return Err("rolling window capacity must be positive".to_string());
+        }
+        if state.samples.len() > state.capacity {
+            return Err(format!(
+                "rolling window holds {} samples but capacity is {}",
+                state.samples.len(),
+                state.capacity
+            ));
+        }
+        if state.pushes < state.samples.len() as u64 {
+            return Err(format!(
+                "rolling window claims {} pushes but retains {} samples",
+                state.pushes,
+                state.samples.len()
+            ));
+        }
+        if state.samples.iter().any(|v| !v.is_finite()) {
+            return Err("rolling window state contains a non-finite sample".to_string());
+        }
+        if !(state.offset.is_finite() && state.sum.is_finite() && state.sum_sq.is_finite()) {
+            return Err("rolling window state has a non-finite accumulator".to_string());
+        }
+        let mut w = RollingStd::new(state.capacity);
+        w.buf[..state.samples.len()].copy_from_slice(&state.samples);
+        w.len = state.samples.len();
+        w.head = state.samples.len() % state.capacity;
+        w.offset = state.offset;
+        w.sum = state.sum;
+        w.sum_sq = state.sum_sq;
+        w.pushes = state.pushes;
+        w.non_finite = state.non_finite;
+        Ok(w)
+    }
+}
+
+/// The complete runtime state of a [`HistoryBuffer`], exportable for
+/// crash-safe checkpointing. `total` anchors the absolute indexing of
+/// [`HistoryBuffer::range`], so a restored buffer answers exactly the
+/// queries the original would.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryState {
+    /// Buffer capacity the state was captured from.
+    pub capacity: usize,
+    /// Retained samples, oldest first (`≤ capacity` of them).
+    pub samples: Vec<f64>,
+    /// Total samples ever pushed.
+    pub total: u64,
 }
 
 /// A ring buffer that keeps the most recent `capacity` samples and can
@@ -231,6 +331,11 @@ impl HistoryBuffer {
         self.total
     }
 
+    /// The fixed capacity this buffer was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of samples currently retained.
     pub fn len(&self) -> usize {
         self.len
@@ -259,6 +364,58 @@ impl HistoryBuffer {
             out.push(self.buf[idx]);
         }
         Some(out)
+    }
+
+    /// Copies the retained samples, oldest first.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(self.head + self.capacity - self.len + i) % self.capacity]);
+        }
+        out
+    }
+
+    /// Exports the full runtime state for checkpointing.
+    pub fn state(&self) -> HistoryState {
+        HistoryState { capacity: self.capacity, samples: self.to_vec(), total: self.total }
+    }
+
+    /// Rebuilds a buffer from an exported state (canonicalized ring
+    /// layout; identical [`HistoryBuffer::range`] answers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the state is inconsistent: zero
+    /// capacity, more samples than capacity, a `total` smaller than the
+    /// sample count, or a partially-filled buffer claiming evictions
+    /// (`total > len` is only possible once the buffer is full).
+    pub fn from_state(state: &HistoryState) -> Result<HistoryBuffer, String> {
+        if state.capacity == 0 {
+            return Err("history capacity must be positive".to_string());
+        }
+        if state.samples.len() > state.capacity {
+            return Err(format!(
+                "history holds {} samples but capacity is {}",
+                state.samples.len(),
+                state.capacity
+            ));
+        }
+        if state.total < state.samples.len() as u64 {
+            return Err(format!(
+                "history claims {} total pushes but retains {} samples",
+                state.total,
+                state.samples.len()
+            ));
+        }
+        if state.total > state.samples.len() as u64 && state.samples.len() < state.capacity {
+            return Err("history claims evictions before filling its capacity".to_string());
+        }
+        let mut h = HistoryBuffer::new(state.capacity);
+        h.buf[..state.samples.len()].copy_from_slice(&state.samples);
+        h.len = state.samples.len();
+        h.head = state.samples.len() % state.capacity;
+        h.total = state.total;
+        Ok(h)
     }
 }
 
@@ -396,6 +553,91 @@ mod tests {
         assert_eq!(h.range(9, 11), None);
         // Degenerate.
         assert_eq!(h.range(7, 7), None);
+    }
+
+    #[test]
+    fn rolling_state_round_trip_is_bit_identical_under_continued_pushes() {
+        // Checkpoint mid-stream, keep pushing into both copies: every
+        // std_dev must agree to the last bit, across a recompute
+        // boundary too (pushes phase is part of the state).
+        let mut rng = Rng::seed_from_u64(17);
+        let mut w = RollingStd::new(10);
+        for _ in 0..4090 {
+            w.push(1.0e5 + rng.normal_with(-48.0, 2.5));
+        }
+        let mut restored = RollingStd::from_state(&w.state()).unwrap();
+        assert_eq!(restored.state(), w.state());
+        for _ in 0..50 {
+            let x = rng.normal_with(-48.0, 2.5);
+            w.push(x);
+            restored.push(x);
+            assert_eq!(w.std_dev().to_bits(), restored.std_dev().to_bits());
+            assert_eq!(w.mean().to_bits(), restored.mean().to_bits());
+        }
+        assert_eq!(restored.state(), w.state());
+    }
+
+    #[test]
+    fn rolling_state_rejects_inconsistencies() {
+        let good = RollingStd::new(4).state();
+        let bad = RollingStdState { capacity: 0, ..good.clone() };
+        assert!(RollingStd::from_state(&bad).is_err());
+        let bad = RollingStdState { samples: vec![0.0; 5], pushes: 5, ..good.clone() };
+        assert!(RollingStd::from_state(&bad).is_err());
+        let bad = RollingStdState { samples: vec![1.0, 2.0], pushes: 1, ..good.clone() };
+        assert!(RollingStd::from_state(&bad).is_err());
+        let bad = RollingStdState { samples: vec![f64::NAN], pushes: 1, ..good.clone() };
+        assert!(RollingStd::from_state(&bad).is_err());
+        let bad = RollingStdState { sum: f64::INFINITY, ..good };
+        assert!(RollingStd::from_state(&bad).is_err());
+    }
+
+    #[test]
+    fn history_state_round_trip_preserves_absolute_ranges() {
+        let mut h = HistoryBuffer::new(5);
+        for i in 0..13 {
+            h.push(i as f64);
+        }
+        let restored = HistoryBuffer::from_state(&h.state()).unwrap();
+        assert_eq!(restored.total_pushed(), 13);
+        assert_eq!(restored.range(8, 13), h.range(8, 13));
+        assert_eq!(restored.range(7, 9), None);
+        let mut h2 = restored;
+        let mut h1 = h;
+        for i in 13..20 {
+            h1.push(i as f64);
+            h2.push(i as f64);
+            assert_eq!(h1.range(15.min(i as u64), i as u64 + 1), h2.range(15.min(i as u64), i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn history_state_rejects_inconsistencies() {
+        assert!(HistoryBuffer::from_state(&HistoryState {
+            capacity: 0,
+            samples: vec![],
+            total: 0
+        })
+        .is_err());
+        assert!(HistoryBuffer::from_state(&HistoryState {
+            capacity: 2,
+            samples: vec![1.0, 2.0, 3.0],
+            total: 3
+        })
+        .is_err());
+        assert!(HistoryBuffer::from_state(&HistoryState {
+            capacity: 4,
+            samples: vec![1.0, 2.0],
+            total: 1
+        })
+        .is_err());
+        // total > len with a partially filled buffer: impossible state.
+        assert!(HistoryBuffer::from_state(&HistoryState {
+            capacity: 4,
+            samples: vec![1.0, 2.0],
+            total: 9
+        })
+        .is_err());
     }
 
     #[test]

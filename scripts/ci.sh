@@ -37,3 +37,31 @@ cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
 cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
     serve --model "$workdir/model.fwmb" > "$workdir/serve.out"
 cmp "$workdir/replay.out" "$workdir/serve.out"
+
+# Crash-recovery gate: serve with checkpointing enabled, kill the
+# process mid-stream, serve again from the same checkpoint directory,
+# and require the stitched decision log to be byte-identical to an
+# uninterrupted run's. Then corrupt the newest checkpoint on disk and
+# require the restart to fall back to the previous one — same log,
+# exit 0, no panic.
+cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+    serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-ref" \
+    > /dev/null
+if cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+    serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-crash" \
+    --crash-after-ticks 20000 > /dev/null 2>&1; then
+    echo "expected the injected crash to abort the serve" >&2
+    exit 1
+fi
+cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+    serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-crash" \
+    > /dev/null
+cmp "$workdir/ckpt-ref/decisions.log" "$workdir/ckpt-crash/decisions.log"
+
+newest="$(ls "$workdir"/ckpt-crash/ckpt-*.fwcp | sort | tail -1)"
+printf '\xff' | dd of="$newest" bs=1 seek=100 conv=notrunc status=none
+cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+    serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-crash" \
+    2> "$workdir/corrupt.err" > /dev/null
+grep -q "skipping corrupt checkpoint" "$workdir/corrupt.err"
+cmp "$workdir/ckpt-ref/decisions.log" "$workdir/ckpt-crash/decisions.log"
