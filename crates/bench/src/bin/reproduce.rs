@@ -6,11 +6,12 @@
 //!
 //! Targets: `table2 table3 table4 table5 fig2 fig7 fig8 fig9 fig10
 //! fig11 fig12 fig13 ablations deployment streaming recovery
-//! artifact csi baseline attacks offices` (default: all). `--quick`
-//! runs a 1-day scenario instead of the paper's 5 days. Like
-//! `deployment` and `streaming`, the `recovery` and `artifact`
-//! targets need a >= 2-day trace (they train on the leading days,
-//! then crash/resume the stream or export the model bundle).
+//! artifact telemetry csi baseline attacks offices` (default: all).
+//! `--quick` runs a 1-day scenario instead of the paper's 5 days.
+//! Like `deployment` and `streaming`, the `recovery`, `artifact` and
+//! `telemetry` targets need a >= 2-day trace (they train on the
+//! leading days, then crash/resume the stream, export the model
+//! bundle, or replay with the decision audit trail enabled).
 //!
 //! The selected targets run as independent jobs on the
 //! [`par`](fadewich_experiments::par) worker pool (`FADEWICH_THREADS`
@@ -89,7 +90,9 @@ type Job<'a> = Box<dyn Fn() -> Vec<Emission> + Sync + 'a>;
 
 fn main() {
     let opts = parse_args();
-    let t0 = std::time::Instant::now();
+    use fadewich_telemetry::Clock;
+    let t0 = fadewich_telemetry::WallClock.now_ns();
+    let elapsed_s = || fadewich_telemetry::WallClock.now_ns().saturating_sub(t0) as f64 / 1e9;
     eprintln!(
         "threads: {} (override with FADEWICH_THREADS)",
         par::thread_count()
@@ -111,14 +114,14 @@ fn main() {
         "trace: {} days x {} streams ({:.1} s)",
         experiment.trace.days().len(),
         experiment.trace.n_streams(),
-        t0.elapsed().as_secs_f64()
+        elapsed_s()
     );
 
     eprintln!("running the MD+RE pipeline for {SENSOR_COUNTS:?} sensors...");
     let runs: Vec<SensorRun> =
         experiment.sweep(&SENSOR_COUNTS, 5).expect("pipeline sweep");
     let nine = runs.last().expect("at least one run");
-    eprintln!("pipeline done ({:.1} s)", t0.elapsed().as_secs_f64());
+    eprintln!("pipeline done ({:.1} s)", elapsed_s());
 
     // Build the selected jobs in a fixed order; each job returns its
     // emissions, which the main thread prints in that same order.
@@ -438,6 +441,32 @@ fn main() {
             eprintln!("artifact target needs >= 2 days (skipped in this configuration)");
         }
     }
+    if wanted(&opts, "telemetry") {
+        // Replay the online days with the decision audit trail enabled
+        // and tabulate per-decision latency-to-deauth (logical ticks
+        // from variation-window open to the Rule 1 deauth) — the
+        // paper's "fast" claim, measured off the span chain.
+        let train_days = if experiment.trace.days().len() > 2 { 2 } else { 1 };
+        if experiment.trace.days().len() > train_days {
+            jobs.push((
+                "telemetry",
+                Box::new(move || {
+                    let rows = fadewich_experiments::telemetry::latency_study(
+                        &experiment,
+                        train_days,
+                        9,
+                    )
+                    .expect("latency study");
+                    vec![table_emission(
+                        "telemetry",
+                        &fadewich_experiments::telemetry::latency_table(&rows),
+                    )]
+                }),
+            ));
+        } else {
+            eprintln!("telemetry target needs >= 2 days (skipped in this configuration)");
+        }
+    }
     if wanted(&opts, "baseline") {
         jobs.push((
             "baseline",
@@ -509,5 +538,5 @@ fn main() {
 
     eprintln!("--- stage timings (wall clock; stages overlap across workers) ---");
     eprintln!("{}", timing::report());
-    eprintln!("total: {:.1} s", t0.elapsed().as_secs_f64());
+    eprintln!("total: {:.1} s", elapsed_s());
 }

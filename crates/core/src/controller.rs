@@ -18,6 +18,7 @@
 //! paper's baseline comparison.
 
 use fadewich_stats::rolling::{HistoryBuffer, HistoryState};
+use fadewich_telemetry::{SpanId, Telemetry, Value};
 
 use crate::config::FadewichParams;
 use crate::features::extract_features_from_histories;
@@ -177,6 +178,9 @@ pub struct Controller<'a> {
     rule1_done: bool,
     actions: Vec<Action>,
     prev_t: f64,
+    /// Observability only — deliberately absent from
+    /// [`ControllerState`]; a restored controller starts disabled.
+    telemetry: Telemetry,
 }
 
 impl<'a> Controller<'a> {
@@ -208,7 +212,18 @@ impl<'a> Controller<'a> {
             rule1_done: false,
             actions: Vec::new(),
             prev_t: 0.0,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Installs a telemetry handle and cascades it to the movement
+    /// detector, so Rule 1/Rule 2 audit spans parent onto MD's
+    /// variation-window spans. The default handle is disabled; with it,
+    /// decisions and actions are bit-identical to an uninstrumented
+    /// controller.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.md.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// The controller's current top-level state.
@@ -388,21 +403,60 @@ impl<'a> Controller<'a> {
                     self.apply_rule1(tick, dwt, t);
                     self.rule1_done = true;
                     self.state = SystemState::Noisy;
+                    self.fsm_event(tick, "noisy", dwt);
                 }
             }
             SystemState::Noisy => {
                 if dwt == 0 {
                     self.state = SystemState::Quiet;
                     self.rule1_done = false;
+                    self.fsm_event(tick, "quiet", dwt);
                 } else if dwt > t_delta_ticks {
-                    self.apply_rule2(t);
+                    self.apply_rule2(tick, t);
                 }
             }
         }
 
-        self.housekeeping(t);
+        self.housekeeping(tick, t);
         self.prev_t = t;
         self.actions.len() - before
+    }
+
+    /// Marks a Fig. 4 FSM transition in the trace.
+    fn fsm_event(&mut self, tick: usize, to: &str, dwt: usize) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("controller_transitions", 1);
+            self.telemetry.event(
+                tick as u64,
+                "fsm_transition",
+                self.md.window_span(),
+                &[("to", Value::Str(to.to_string())), ("dwt_ticks", Value::U64(dwt as u64))],
+            );
+        }
+    }
+
+    /// Appends an action and mirrors it into the trace/registry under
+    /// a stable kind name.
+    fn act(&mut self, tick: usize, t: f64, kind: ActionKind, parent: Option<SpanId>) {
+        if self.telemetry.is_enabled() {
+            let name = match kind {
+                ActionKind::DeauthenticateRule1 { .. } => "deauth_rule1",
+                ActionKind::DeauthenticateAlert { .. } => "deauth_alert",
+                ActionKind::DeauthenticateTimeout { .. } => "deauth_timeout",
+                ActionKind::AlertEntered { .. } => "alert_entered",
+                ActionKind::ScreenSaverOn { .. } => "screensaver_on",
+                ActionKind::AlertCancelled { .. } => "alert_cancelled",
+                ActionKind::Reauthenticated { .. } => "reauth",
+            };
+            self.telemetry.counter_add(&format!("actions_{name}"), 1);
+            self.telemetry.event(
+                tick as u64,
+                name,
+                parent,
+                &[("ws", Value::U64(kind.workstation() as u64)), ("t", Value::F64(t))],
+            );
+        }
+        self.actions.push(Action { t, kind });
     }
 
     /// The start tick Rule 1 should classify from. Normally MD still
@@ -419,32 +473,122 @@ impl<'a> Controller<'a> {
 
     /// Rule 1: classify the window's first `t∆` seconds and
     /// deauthenticate the predicted workstation if it is idle.
+    ///
+    /// With telemetry enabled, the whole evaluation is wrapped in a
+    /// `rule1_eval` span parented onto MD's `md_window` span, carrying
+    /// the RE feature vector, the per-class SVM votes/margins, the KMA
+    /// idle set and the final verdict (deauth or the reason there was
+    /// none) — the decision audit trail.
     fn apply_rule1(&mut self, tick: usize, dwt: usize, t: f64) {
         let start = Self::rule1_window_start(self.md.open_window_start(), tick, dwt);
-        let label = match extract_features_from_histories(
+        let audit = self.telemetry.span_open(
+            tick as u64,
+            "rule1_eval",
+            self.md.window_span(),
+            &[
+                ("window_start_tick", Value::U64(start as u64)),
+                ("dwt_ticks", Value::U64(dwt as u64)),
+                ("t", Value::F64(t)),
+            ],
+        );
+        let features = extract_features_from_histories(
             &self.histories,
             start as u64,
             self.tick_hz,
             &self.params,
-        ) {
-            Some(features) => self.re.classify(&features),
-            None => return, // history evicted (cannot happen in practice)
+        );
+        let label = match &features {
+            Some(features) => {
+                if audit.is_some() {
+                    let p = self.re.classify_with_margins(features);
+                    self.telemetry.event(
+                        tick as u64,
+                        "re_prediction",
+                        audit,
+                        &[
+                            ("label", Value::U64(p.label as u64)),
+                            (
+                                "classes",
+                                Value::U64s(self.re.classes().iter().map(|&c| c as u64).collect()),
+                            ),
+                            ("votes", Value::U64s(p.votes.iter().map(|&v| v as u64).collect())),
+                            ("margins", Value::F64s(p.margins.clone())),
+                            ("features", Value::F64s(features.clone())),
+                        ],
+                    );
+                    p.label
+                } else {
+                    self.re.classify(features)
+                }
+            }
+            None => {
+                // History evicted (cannot happen in practice).
+                self.rule1_verdict(tick, audit, start, None, false, "no_features");
+                return;
+            }
         };
         if label == 0 {
-            return; // w0: someone entered; nobody to deauthenticate.
+            // w0: someone entered; nobody to deauthenticate.
+            self.rule1_verdict(tick, audit, start, None, false, "w0_arrival");
+            return;
         }
         let ws = label - 1;
-        if ws < self.sessions.len()
-            && self.sessions[ws].logged_in
-            && self.kma.is_idle(ws, self.params.t_delta_s, t)
-        {
+        let (deauth, reason) = if ws >= self.sessions.len() {
+            (false, "ws_out_of_range")
+        } else if !self.sessions[ws].logged_in {
+            (false, "not_logged_in")
+        } else if !self.kma.is_idle(ws, self.params.t_delta_s, t) {
+            (false, "not_idle")
+        } else {
+            (true, "idle_and_predicted")
+        };
+        self.rule1_verdict(tick, audit, start, Some(ws), deauth, reason);
+        if deauth {
             self.sessions[ws].logged_in = false;
             self.sessions[ws].in_alert = false;
             self.sessions[ws].screensaver_on = false;
-            self.actions.push(Action {
-                t,
-                kind: ActionKind::DeauthenticateRule1 { workstation: ws },
-            });
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .histo_record("deauth_latency_ticks", (tick.saturating_sub(start)) as u64);
+            }
+            self.act(tick, t, ActionKind::DeauthenticateRule1 { workstation: ws }, audit);
+        }
+    }
+
+    /// Emits the Rule 1 verdict event (and closes the audit span) —
+    /// deauth or not, with the reason and the KMA idle-set membership
+    /// at `t∆` the decision hinged on.
+    fn rule1_verdict(
+        &mut self,
+        tick: usize,
+        audit: Option<SpanId>,
+        start: usize,
+        ws: Option<usize>,
+        deauth: bool,
+        reason: &str,
+    ) {
+        if let Some(span) = audit {
+            let idle_set: Vec<u64> = self
+                .kma
+                .idle_set(self.params.t_delta_s, tick as f64 / self.tick_hz)
+                .iter()
+                .map(|&w| w as u64)
+                .collect();
+            let mut attrs = vec![
+                ("deauth", Value::Bool(deauth)),
+                ("reason", Value::Str(reason.to_string())),
+                ("window_start_tick", Value::U64(start as u64)),
+                ("idle_set", Value::U64s(idle_set)),
+            ];
+            if let Some(ws) = ws {
+                attrs.push(("ws", Value::U64(ws as u64)));
+            }
+            self.telemetry.event(tick as u64, "rule1_verdict", Some(span), &attrs);
+            self.telemetry.span_close(tick as u64, span);
+            self.telemetry.counter_add(
+                if deauth { "rule1_deauths" } else { "rule1_no_deauths" },
+                1,
+            );
         }
     }
 
@@ -455,7 +599,7 @@ impl<'a> Controller<'a> {
     /// [`Kma::is_idle`] per workstation instead of materializing
     /// [`Kma::idle_set`]'s `Vec` (which remains available for
     /// reporting); `benches/micro.rs` quantifies the difference.
-    fn apply_rule2(&mut self, t: f64) {
+    fn apply_rule2(&mut self, tick: usize, t: f64) {
         for ws in 0..self.sessions.len() {
             if !self.kma.is_idle(ws, self.params.alert_idle_s, t) {
                 continue;
@@ -463,14 +607,16 @@ impl<'a> Controller<'a> {
             let session = &mut self.sessions[ws];
             if session.logged_in && !session.in_alert {
                 session.in_alert = true;
-                self.actions.push(Action { t, kind: ActionKind::AlertEntered { workstation: ws } });
+                let parent = self.md.window_span();
+                self.act(tick, t, ActionKind::AlertEntered { workstation: ws }, parent);
             }
         }
     }
 
     /// Per-tick session housekeeping: input cancellation, alert
     /// escalation, baseline timeout, re-authentication.
-    fn housekeeping(&mut self, t: f64) {
+    fn housekeeping(&mut self, tick: usize, t: f64) {
+        let parent = self.md.window_span();
         for ws in 0..self.sessions.len() {
             let had_input = self.kma.any_input_in(ws, self.prev_t, t + 1e-9);
             let session = &mut self.sessions[ws];
@@ -478,25 +624,26 @@ impl<'a> Controller<'a> {
                 if had_input && session.in_alert {
                     session.in_alert = false;
                     session.screensaver_on = false;
-                    self.actions
-                        .push(Action { t, kind: ActionKind::AlertCancelled { workstation: ws } });
+                    self.act(tick, t, ActionKind::AlertCancelled { workstation: ws }, parent);
                 }
                 let idle = self.kma.idle_time(ws, t);
                 let session = &mut self.sessions[ws];
                 if session.in_alert {
                     if !session.screensaver_on && idle >= self.params.t_id_s {
                         session.screensaver_on = true;
-                        self.actions
-                            .push(Action { t, kind: ActionKind::ScreenSaverOn { workstation: ws } });
+                        self.act(tick, t, ActionKind::ScreenSaverOn { workstation: ws }, parent);
                     }
+                    let session = &mut self.sessions[ws];
                     if session.screensaver_on && idle >= self.params.t_id_s + self.params.t_ss_s {
                         session.logged_in = false;
                         session.in_alert = false;
                         session.screensaver_on = false;
-                        self.actions.push(Action {
+                        self.act(
+                            tick,
                             t,
-                            kind: ActionKind::DeauthenticateAlert { workstation: ws },
-                        });
+                            ActionKind::DeauthenticateAlert { workstation: ws },
+                            parent,
+                        );
                         continue;
                     }
                 }
@@ -505,15 +652,16 @@ impl<'a> Controller<'a> {
                     session.logged_in = false;
                     session.in_alert = false;
                     session.screensaver_on = false;
-                    self.actions.push(Action {
+                    self.act(
+                        tick,
                         t,
-                        kind: ActionKind::DeauthenticateTimeout { workstation: ws },
-                    });
+                        ActionKind::DeauthenticateTimeout { workstation: ws },
+                        parent,
+                    );
                 }
             } else if had_input {
                 session.logged_in = true;
-                self.actions
-                    .push(Action { t, kind: ActionKind::Reauthenticated { workstation: ws } });
+                self.act(tick, t, ActionKind::Reauthenticated { workstation: ws }, parent);
             }
         }
     }
@@ -802,6 +950,96 @@ mod tests {
         let mut bad = good.clone();
         bad.rule1_done = true;
         assert!(rebuild(&bad).is_err());
+    }
+
+    #[test]
+    fn rule1_deauth_emits_causally_linked_audit_chain() {
+        use fadewich_telemetry::{RecordKind, Telemetry, Value};
+
+        let inputs = departure_inputs(400);
+        let n_streams = 4;
+        let re = fixed_re(n_streams);
+        let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+        let telemetry = Telemetry::buffering();
+        let mut ctl =
+            Controller::new(n_streams, 5.0, params, &re, Kma::new(&inputs)).unwrap();
+        ctl.set_telemetry(telemetry.clone());
+        let mut rng = Rng::seed_from_u64(7);
+        for tick in 0..1200 {
+            let sd = if (600..640).contains(&tick) { 4.0 } else { 0.6 };
+            let row: Vec<f64> = (0..n_streams).map(|_| -50.0 + rng.normal() * sd).collect();
+            ctl.step(tick, &row);
+        }
+        assert!(
+            ctl.actions()
+                .iter()
+                .any(|a| matches!(a.kind, ActionKind::DeauthenticateRule1 { workstation: 0 })),
+            "scenario should produce a Rule 1 deauth: {:?}",
+            ctl.actions()
+        );
+
+        let records = telemetry.records();
+        // The deauth action event is parented on the rule1_eval span...
+        let deauth = records
+            .iter()
+            .find(|r| r.kind == RecordKind::Event && r.name == "deauth_rule1")
+            .expect("deauth event in trace");
+        let audit_span = deauth.parent.expect("deauth parented on the audit span");
+        let audit_open = records
+            .iter()
+            .find(|r| r.kind == RecordKind::Open && r.span == Some(audit_span))
+            .expect("audit span open record");
+        assert_eq!(audit_open.name, "rule1_eval");
+        // ...which names the window-open tick and is itself parented on
+        // the md_window span that opened at the s_t crossing.
+        let start = match audit_open.attr("window_start_tick") {
+            Some(Value::U64(s)) => *s,
+            other => panic!("window_start_tick missing: {other:?}"),
+        };
+        let window_span = audit_open.parent.expect("audit span parented on md_window");
+        let window_open = records
+            .iter()
+            .find(|r| r.kind == RecordKind::Open && r.span == Some(window_span))
+            .expect("md_window open record");
+        assert_eq!(window_open.name, "md_window");
+        assert_eq!(window_open.attr("start_tick"), Some(&Value::U64(start)));
+        // The RE prediction under the audit span carries the margins.
+        let prediction = records
+            .iter()
+            .find(|r| r.name == "re_prediction" && r.parent == Some(audit_span))
+            .expect("re_prediction under the audit span");
+        match prediction.attr("margins") {
+            Some(Value::F64s(m)) => assert_eq!(m.len(), re.classes().len()),
+            other => panic!("margins missing: {other:?}"),
+        }
+        // The verdict names the rule and the idle-set membership.
+        let verdict = records
+            .iter()
+            .find(|r| r.name == "rule1_verdict" && r.parent == Some(audit_span))
+            .expect("rule1_verdict under the audit span");
+        assert_eq!(verdict.attr("deauth"), Some(&Value::Bool(true)));
+        assert_eq!(verdict.attr("reason"), Some(&Value::Str("idle_and_predicted".into())));
+        match verdict.attr("idle_set") {
+            Some(Value::U64s(set)) => assert!(set.contains(&0), "ws 0 should be idle: {set:?}"),
+            other => panic!("idle_set missing: {other:?}"),
+        }
+        // Metrics side: the deauth latency histogram saw the decision.
+        assert_eq!(
+            telemetry.with_registry(|r| r.histogram("deauth_latency_ticks").map(|h| h.count())),
+            Some(Some(1))
+        );
+
+        // And the instrumented run's actions are identical to an
+        // uninstrumented controller's over the same inputs.
+        let mut plain =
+            Controller::new(n_streams, 5.0, params, &re, Kma::new(&inputs)).unwrap();
+        let mut rng = Rng::seed_from_u64(7);
+        for tick in 0..1200 {
+            let sd = if (600..640).contains(&tick) { 4.0 } else { 0.6 };
+            let row: Vec<f64> = (0..n_streams).map(|_| -50.0 + rng.normal() * sd).collect();
+            plain.step(tick, &row);
+        }
+        assert_eq!(plain.actions(), ctl.actions());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use fadewich_officesim::DayTrace;
 use fadewich_stats::kde::GaussianKde;
 use fadewich_stats::rolling::{RollingStd, RollingStdState};
+use fadewich_telemetry::{SpanId, Telemetry, Value};
 
 use crate::config::FadewichParams;
 use crate::windows::{VariationWindow, WindowTracker, WindowTrackerState};
@@ -80,6 +81,11 @@ pub struct MovementDetector {
     /// [`FadewichParams::max_rejected_batches`]).
     rejected_streak: usize,
     tracker: WindowTracker,
+    /// Observability only — never serialized, never part of equality;
+    /// a restored detector starts with a fresh (disabled) handle.
+    telemetry: Telemetry,
+    /// The span opened for the current variation window, if any.
+    window_span: Option<SpanId>,
 }
 
 impl MovementDetector {
@@ -117,7 +123,23 @@ impl MovementDetector {
             queue_anomalous: 0,
             rejected_streak: 0,
             tracker: WindowTracker::new(hangover),
+            telemetry: Telemetry::disabled(),
+            window_span: None,
         })
+    }
+
+    /// Installs a telemetry handle. The default handle is disabled, so
+    /// detection behavior and outputs are unchanged unless the caller
+    /// opts in; all records are stamped with the logical tick only.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The span covering the currently open variation window, when
+    /// telemetry is enabled and a window is open. The controller
+    /// parents its Rule 1/Rule 2 audit spans onto this.
+    pub fn window_span(&self) -> Option<SpanId> {
+        self.window_span
     }
 
     /// Number of monitored streams.
@@ -348,7 +370,7 @@ impl MovementDetector {
                 if active == 0 {
                     // Nothing measured this tick: no verdict either way,
                     // and the profile must not learn a fabricated zero.
-                    let closed_window = self.tracker.push(tick, false);
+                    let closed_window = self.track(tick, false, 0.0);
                     return MdVerdict { anomalous: false, st: 0.0, closed_window };
                 }
                 sum * self.stream_stds.len() as f64 / active as f64
@@ -363,13 +385,16 @@ impl MovementDetector {
         if self.threshold.is_none() {
             self.profile.push(st);
             if self.ticks_seen >= self.init_ticks.max(self.warmup_ticks + 8) {
-                self.refit();
+                self.refit(tick);
             }
             return MdVerdict { anomalous: false, st, closed_window: None };
         }
 
         let ub = self.threshold.expect("initialized above");
         let anomalous = st >= ub;
+        if anomalous {
+            self.telemetry.counter_add("md_anomalous_ticks", 1);
+        }
 
         // Algorithm 1's batch update.
         self.queue.push(st);
@@ -384,17 +409,26 @@ impl MovementDetector {
                     let excess = self.profile.len() - self.params.profile_capacity;
                     self.profile.drain(..excess);
                 }
-                self.refit();
+                self.telemetry.counter_add("md_batches_accepted", 1);
+                self.refit(tick);
                 self.rejected_streak = 0;
             } else {
                 self.rejected_streak += 1;
+                self.telemetry.counter_add("md_batches_rejected", 1);
                 if self.rejected_streak >= self.params.max_rejected_batches {
                     // The environment has shifted so far that Algorithm 1
                     // would never accept a batch again; re-learn the
                     // profile from the most recent data.
                     self.profile.clear();
                     self.profile.extend(self.queue.iter().copied());
-                    self.refit();
+                    self.telemetry.counter_add("md_profile_relearns", 1);
+                    self.telemetry.event(
+                        tick as u64,
+                        "md_profile_relearn",
+                        None,
+                        &[("anomalous_frac", Value::F64(frac))],
+                    );
+                    self.refit(tick);
                     self.rejected_streak = 0;
                 }
             }
@@ -402,18 +436,66 @@ impl MovementDetector {
             self.queue_anomalous = 0;
         }
 
-        let closed_window = self.tracker.push(tick, anomalous);
+        let closed_window = self.track(tick, anomalous, st);
         MdVerdict { anomalous, st, closed_window }
+    }
+
+    /// Advances the window tracker and mirrors its open/close
+    /// transitions into the trace: the `md_window` span opens at the
+    /// `s_t` threshold crossing and closes when the window does. The
+    /// controller parents its decision audit spans onto it.
+    fn track(&mut self, tick: usize, anomalous: bool, st: f64) -> Option<VariationWindow> {
+        let closed = self.tracker.push(tick, anomalous);
+        if let Some(w) = &closed {
+            if let Some(span) = self.window_span.take() {
+                self.telemetry.span_close(w.end_tick as u64, span);
+            }
+            self.telemetry.counter_add("md_windows_closed", 1);
+            self.telemetry.histo_record("md_window_ticks", w.duration_ticks() as u64);
+        }
+        if self.window_span.is_none() && self.telemetry.is_enabled() {
+            if let Some(start) = self.tracker.open_start() {
+                self.window_span = self.telemetry.span_open(
+                    tick as u64,
+                    "md_window",
+                    None,
+                    &[
+                        ("start_tick", Value::U64(start as u64)),
+                        ("st", Value::F64(st)),
+                        ("threshold", Value::F64(self.threshold.unwrap_or(f64::NAN))),
+                    ],
+                );
+            }
+        }
+        closed
     }
 
     /// Flushes the open variation window at the end of a stream.
     pub fn finish(&mut self, last_tick: usize) -> Option<VariationWindow> {
-        self.tracker.finish(last_tick)
+        let closed = self.tracker.finish(last_tick);
+        if closed.is_some() {
+            if let Some(span) = self.window_span.take() {
+                self.telemetry.span_close(last_tick as u64, span);
+            }
+        }
+        closed
     }
 
-    fn refit(&mut self) {
+    fn refit(&mut self, tick: usize) {
         if let Ok(kde) = GaussianKde::fit(&self.profile) {
-            self.threshold = Some(kde.quantile(1.0 - self.params.alpha / 100.0));
+            let ub = kde.quantile(1.0 - self.params.alpha / 100.0);
+            self.threshold = Some(ub);
+            self.telemetry.counter_add("md_profile_refits", 1);
+            self.telemetry.gauge_set("md_threshold", ub);
+            self.telemetry.event(
+                tick as u64,
+                "md_profile_refit",
+                None,
+                &[
+                    ("profile_len", Value::U64(self.profile.len() as u64)),
+                    ("threshold", Value::F64(ub)),
+                ],
+            );
         }
     }
 

@@ -120,6 +120,13 @@ impl RadioEnvironment {
         self.svm.predict(features)
     }
 
+    /// Classifies one sample and returns the full per-class vote and
+    /// margin tally (the audit trail records it next to the verdict).
+    /// The label agrees bit-exactly with [`classify`](Self::classify).
+    pub fn classify_with_margins(&self, features: &[f64]) -> fadewich_svm::Prediction {
+        self.svm.predict_with_margins(features)
+    }
+
     /// Classes seen at training time.
     pub fn classes(&self) -> &[usize] {
         self.svm.classes()

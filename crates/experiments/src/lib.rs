@@ -35,5 +35,6 @@ pub mod recovery;
 pub mod report;
 pub mod streaming;
 pub mod tables;
+pub mod telemetry;
 
 pub use experiment::{Experiment, SensorRun, SENSOR_COUNTS};

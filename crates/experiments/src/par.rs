@@ -136,7 +136,9 @@ where
 pub mod timing {
     use std::collections::BTreeMap;
     use std::sync::Mutex;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
+
+    use fadewich_telemetry::{Clock, WallClock};
 
     static STAGES: Mutex<BTreeMap<String, (Duration, usize)>> = Mutex::new(BTreeMap::new());
 
@@ -144,11 +146,12 @@ pub mod timing {
         STAGES.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Runs `f`, charging its wall-clock time to `name`.
+    /// Runs `f`, charging its wall-clock time to `name` (read through
+    /// the telemetry [`Clock`], the workspace's single wall-time seam).
     pub fn time_stage<R>(name: &str, f: impl FnOnce() -> R) -> R {
-        let t = Instant::now();
+        let t0 = WallClock.now_ns();
         let r = f();
-        record(name, t.elapsed());
+        record(name, Duration::from_nanos(WallClock.now_ns().saturating_sub(t0)));
         r
     }
 

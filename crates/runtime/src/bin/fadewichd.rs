@@ -5,6 +5,7 @@
 //! fadewichd train --out PATH [scenario flags]
 //! fadewichd serve --model PATH [scenario flags] [link flags] [recovery flags]
 //! fadewichd replay [--model PATH] [scenario flags] [link flags]
+//! fadewichd stats PATH
 //! ```
 //!
 //! `train` runs the training phase (MD over the training days, KMA
@@ -21,6 +22,17 @@
 //! Link flags: `--drop P --dup P --corrupt P --jitter TICKS
 //! --link-seed N --json`. Bare flags without a subcommand are
 //! accepted as `replay` for backwards compatibility.
+//!
+//! # Telemetry
+//!
+//! Every subcommand accepts `--trace-out PATH` (structured span/event
+//! records as JSONL, stamped with the logical tick clock) and
+//! `--metrics-out PATH` (the deterministic metrics-registry dump as
+//! JSON). Both are seed-deterministic: two runs with identical flags
+//! produce byte-identical files, which `scripts/ci.sh` enforces with
+//! `cmp`. Wall-clock latency histograms are deliberately excluded from
+//! the dump. `fadewichd stats PATH` pretty-prints a previously written
+//! metrics dump.
 //!
 //! # Crash recovery (serve only)
 //!
@@ -53,6 +65,7 @@ use fadewich_runtime::checkpoint::{CheckpointStore, Checkpointer, EngineSnapshot
 use fadewich_runtime::engine::{EngineConfig, EngineEvent, StreamingEngine};
 use fadewich_runtime::link::LinkModel;
 use fadewich_runtime::replay;
+use fadewich_telemetry::{json, Telemetry, Value};
 
 /// Everything that can take the daemon down, with a distinct exit
 /// code per failure class so supervisors can tell a bad flag from a
@@ -103,6 +116,7 @@ enum Command {
     Train { out: PathBuf },
     Serve { model: PathBuf },
     Replay { model: Option<PathBuf> },
+    Stats { path: PathBuf },
 }
 
 struct Args {
@@ -117,6 +131,8 @@ struct Args {
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: Option<u64>,
     crash_after_ticks: Option<u64>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 impl Args {
@@ -133,17 +149,30 @@ impl Args {
             checkpoint_dir: None,
             checkpoint_every: None,
             crash_after_ticks: None,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
 
-const USAGE: &str = "usage: fadewichd <train --out PATH | serve --model PATH | replay [--model PATH]> \
+const USAGE: &str = "usage: fadewichd <train --out PATH | serve --model PATH | replay [--model PATH] | stats PATH> \
 [--days N] [--seed N] [--sensors N] [--train-days N] \
 [--drop P] [--dup P] [--corrupt P] [--jitter TICKS] [--link-seed N] [--json] \
-[--checkpoint-dir PATH] [--checkpoint-every TICKS] [--crash-after-ticks N]";
+[--checkpoint-dir PATH] [--checkpoint-every TICKS] [--crash-after-ticks N] \
+[--trace-out PATH] [--metrics-out PATH]";
 
 fn parse_args() -> Result<Args, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("stats") {
+        let path = raw
+            .get(1)
+            .filter(|p| !p.starts_with('-'))
+            .ok_or_else(|| format!("stats needs a metrics JSON path\n{USAGE}"))?;
+        if raw.len() > 2 {
+            return Err(format!("stats takes exactly one path\n{USAGE}"));
+        }
+        return Ok(Args::default_args(Command::Stats { path: PathBuf::from(path) }));
+    }
     let (command_word, flag_start) = match raw.first().map(String::as_str) {
         Some("train") | Some("serve") | Some("replay") => (raw[0].clone(), 1),
         // Legacy flat-flag invocation: treat as replay.
@@ -179,6 +208,8 @@ fn parse_args() -> Result<Args, String> {
             "--crash-after-ticks" => {
                 args.crash_after_ticks = Some(parse(&value("--crash-after-ticks")?)?)
             }
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -286,6 +317,7 @@ fn drive_day(
     recovery: &mut Option<RecoveryCtx>,
     base_ticks: u64,
     resume: Option<&EngineSnapshot>,
+    telemetry: &Telemetry,
 ) -> Result<(), DaemonError> {
     let groups = trace.receiver_groups(streams);
     let inputs = scenario.input_trace(day, 0);
@@ -307,6 +339,7 @@ fn drive_day(
             (engine, 0)
         }
     };
+    engine.set_telemetry(telemetry.clone());
     let deliveries =
         replay::day_deliveries(trace, streams, &groups, day, &args.link, args.link_seed)
             .map_err(DaemonError::Engine)?;
@@ -327,6 +360,16 @@ fn drive_day(
                 ctx.store
                     .save(base_ticks + ticks, &snap)
                     .map_err(|e| DaemonError::Checkpoint(e.to_string()))?;
+                telemetry.counter_add("checkpoint_saves", 1);
+                telemetry.event(
+                    ticks,
+                    "checkpoint_saved",
+                    None,
+                    &[
+                        ("stamp", Value::U64(base_ticks + ticks)),
+                        ("stream_pos", Value::U64((i + 1) as u64)),
+                    ],
+                );
                 checkpointer.advance(ticks);
             }
         }
@@ -340,6 +383,8 @@ fn drive_day(
     }
     engine.finish(trace.days()[day].n_ticks() as u64);
     flush_events(&engine, printed, recovery)?;
+    engine.counters().export_into(telemetry);
+    telemetry.counter_add("runtime_days_streamed", 1);
     emit(&engine.counters().deterministic_summary(), recovery)?;
     // Wall-clock latency goes to stderr so stdout stays
     // byte-comparable between `replay` and `serve --model`.
@@ -366,6 +411,7 @@ fn stream_days(
     args: &Args,
     mut recovery: Option<RecoveryCtx>,
     mut resume: Option<EngineSnapshot>,
+    telemetry: &Telemetry,
 ) -> Result<(), DaemonError> {
     let mut base_ticks: u64 = 0;
     for day in args.train_days..trace.days().len() {
@@ -383,7 +429,7 @@ fn stream_days(
         };
         drive_day(
             scenario, trace, streams, re, day, cfg, args, &mut recovery, base_ticks,
-            snap.as_ref(),
+            snap.as_ref(), telemetry,
         )?;
         base_ticks += n_ticks;
     }
@@ -397,11 +443,13 @@ fn open_recovery(
     dir: &std::path::Path,
     trace: &Trace,
     train_days: usize,
+    telemetry: &Telemetry,
 ) -> Result<(RecoveryCtx, Option<EngineSnapshot>), DaemonError> {
     let mut store =
         CheckpointStore::open(dir).map_err(|e| DaemonError::Checkpoint(e.to_string()))?;
     let outcome = store.load_latest().map_err(|e| DaemonError::Checkpoint(e.to_string()))?;
     for (path, err) in &outcome.rejected {
+        telemetry.counter_add("checkpoint_corrupt_skipped", 1);
         eprintln!("fadewichd: skipping corrupt checkpoint {}: {err}", path.display());
     }
     let snapshot = match outcome.snapshot {
@@ -419,10 +467,22 @@ fn open_recovery(
                  ({} deliveries ingested, {} log bytes committed)",
                 snap.stream_pos, snap.log_mark
             );
+            telemetry.counter_add("checkpoint_restores", 1);
+            telemetry.event(
+                snap.counters.ticks_processed,
+                "checkpoint_restored",
+                None,
+                &[
+                    ("stamp", Value::U64(stamp)),
+                    ("day", Value::U64(u64::from(snap.day))),
+                    ("stream_pos", Value::U64(snap.stream_pos)),
+                ],
+            );
             Some(snap)
         }
         None => {
             eprintln!("fadewichd: no usable checkpoint, cold start");
+            telemetry.counter_add("checkpoint_cold_starts", 1);
             None
         }
     };
@@ -444,8 +504,100 @@ fn open_recovery(
     Ok((RecoveryCtx { store, log, log_mark }, snapshot))
 }
 
+/// Builds the run's telemetry handle from the `--trace-out` /
+/// `--metrics-out` flags: a streaming JSONL writer when traces are
+/// requested, metrics-only when just the registry matters, disabled
+/// (zero overhead, bit-identical behavior) otherwise.
+fn open_telemetry(args: &Args) -> Result<Telemetry, DaemonError> {
+    match (&args.trace_out, &args.metrics_out) {
+        (Some(path), _) => {
+            let f = std::fs::File::create(path)
+                .map_err(|e| DaemonError::Io(format!("creating {}: {e}", path.display())))?;
+            Ok(Telemetry::to_writer(Box::new(std::io::BufWriter::new(f))))
+        }
+        (None, Some(_)) => Ok(Telemetry::metrics_only()),
+        (None, None) => Ok(Telemetry::disabled()),
+    }
+}
+
+/// End-of-run telemetry commit: flush the trace writer (surfacing any
+/// deferred write error) and write the deterministic metrics dump.
+fn finish_telemetry(args: &Args, telemetry: &Telemetry) -> Result<(), DaemonError> {
+    telemetry
+        .flush()
+        .map_err(|e| DaemonError::Io(format!("writing trace out: {e}")))?;
+    if let Some(path) = &args.metrics_out {
+        let body = telemetry.metrics_json(false).unwrap_or_default();
+        std::fs::write(path, body + "\n")
+            .map_err(|e| DaemonError::Io(format!("writing {}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
+/// `fadewichd stats PATH`: parses a `--metrics-out` dump and
+/// pretty-prints its counters, gauges, and histogram summaries.
+fn run_stats(path: &std::path::Path) -> Result<(), DaemonError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DaemonError::Io(format!("reading {}: {e}", path.display())))?;
+    let root = json::parse(&text)
+        .map_err(|e| DaemonError::Usage(format!("{} is not a metrics dump: {e}", path.display())))?;
+    let section = |name: &str| -> Vec<(String, json::Json)> {
+        root.get(name)
+            .and_then(|s| s.members())
+            .map(<[(String, json::Json)]>::to_vec)
+            .unwrap_or_default()
+    };
+    let fmt_num = |j: &json::Json| -> String {
+        j.as_num().map_or_else(|| "?".to_string(), |n| format!("{n}"))
+    };
+    let counters = section("counters");
+    let gauges = section("gauges");
+    let histos = section("histograms");
+    if counters.is_empty() && gauges.is_empty() && histos.is_empty() {
+        println!("(empty metrics dump)");
+        return Ok(());
+    }
+    let width = counters
+        .iter()
+        .chain(&gauges)
+        .chain(&histos)
+        .map(|(k, _)| k.len())
+        .max()
+        .unwrap_or(0);
+    if !counters.is_empty() {
+        println!("counters");
+        for (k, v) in &counters {
+            println!("  {k:<width$}  {}", fmt_num(v));
+        }
+    }
+    if !gauges.is_empty() {
+        println!("gauges");
+        for (k, v) in &gauges {
+            println!("  {k:<width$}  {}", fmt_num(v));
+        }
+    }
+    if !histos.is_empty() {
+        println!("histograms");
+        for (k, h) in &histos {
+            let field = |f: &str| h.get(f).map_or_else(|| "?".to_string(), |v| fmt_num(v));
+            println!(
+                "  {k:<width$}  count {}  mean {}  p50 {}  p99 {}  max {}",
+                field("count"),
+                field("mean"),
+                field("p50"),
+                field("p99"),
+                field("max"),
+            );
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), DaemonError> {
     let args = parse_args().map_err(DaemonError::Usage)?;
+    if let Command::Stats { path } = &args.command {
+        return run_stats(path);
+    }
     let config = ScenarioConfig {
         seed: args.seed,
         days: args.days,
@@ -471,8 +623,10 @@ fn run() -> Result<(), DaemonError> {
         cfg.checkpoint_every_ticks = every;
     }
     cfg.validate().map_err(DaemonError::Engine)?;
+    let telemetry = open_telemetry(&args)?;
 
     match &args.command {
+        Command::Stats { .. } => unreachable!("handled before scenario generation"),
         Command::Train { out } => {
             eprintln!(
                 "fadewichd train: {} day(s), {} sensors / {} streams, train {} day(s)",
@@ -494,7 +648,7 @@ fn run() -> Result<(), DaemonError> {
                 svm.machines().iter().map(|(_, _, m)| m.n_support_vectors()).sum::<usize>(),
                 bundle.md.values.len(),
             );
-            Ok(())
+            finish_telemetry(&args, &telemetry)
         }
         Command::Serve { model } => {
             let bundle = ModelBundle::load(model).map_err(|e| DaemonError::Artifact(e.to_string()))?;
@@ -509,12 +663,16 @@ fn run() -> Result<(), DaemonError> {
             );
             let (recovery, resume) = match &args.checkpoint_dir {
                 Some(dir) => {
-                    let (ctx, snap) = open_recovery(dir, &trace, args.train_days)?;
+                    let (ctx, snap) = open_recovery(dir, &trace, args.train_days, &telemetry)?;
                     (Some(ctx), snap)
                 }
                 None => (None, None),
             };
-            stream_days(&scenario, &trace, &streams, &bundle.re, cfg, &args, recovery, resume)
+            stream_days(
+                &scenario, &trace, &streams, &bundle.re, cfg, &args, recovery, resume,
+                &telemetry,
+            )?;
+            finish_telemetry(&args, &telemetry)
         }
         Command::Replay { model } => {
             eprintln!(
@@ -536,7 +694,8 @@ fn run() -> Result<(), DaemonError> {
                 None => replay::train_re(&scenario, &trace, &streams, args.train_days, &params)
                     .map_err(DaemonError::Engine)?,
             };
-            stream_days(&scenario, &trace, &streams, &re, cfg, &args, None, None)
+            stream_days(&scenario, &trace, &streams, &re, cfg, &args, None, None, &telemetry)?;
+            finish_telemetry(&args, &telemetry)
         }
     }
 }

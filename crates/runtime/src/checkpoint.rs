@@ -14,12 +14,12 @@
 //! single-bit-flipped image is rejected with a [`CheckpointError`]
 //! rather than a panic or a silently wrong resume.
 //!
-//! # Binary layout (version 1)
+//! # Binary layout (version 2)
 //!
 //! ```text
 //! offset  size      field
 //! 0       4         magic        "FWCP", byte-literal
-//! 4       2         version      u16 little-endian, currently 1
+//! 4       2         version      u16 little-endian, currently 2
 //! 6       8         stamp        u64 little-endian, monotonic tick stamp
 //! 14      4         body_len     u32 little-endian
 //! 18      body_len  body         see below
@@ -36,7 +36,10 @@
 //!
 //! Body, in order: `day`, `stream_pos`, `log_mark`, `events_emitted`,
 //! the sensor `groups` layout, the gap-fill state (`last_value`,
-//! `last_seen`), the twelve deterministic counters, the reorder state
+//! `last_seen`), the fourteen deterministic counters (version 2 split
+//! the corrupt-frame total into its three per-reason counters — CRC,
+//! framing, unknown sensor — which is why version-1 images no longer
+//! decode), the reorder state
 //! (watermark, frontiers, sequence highs, quarantine flags, cumulative
 //! counts, pending payloads), the controller state (full MD runtime
 //! state, FSM tag, per-session flag bytes, feature histories,
@@ -74,7 +77,7 @@ use crate::reorder::ReorderState;
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FWCP";
 
 /// The format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u16 = 1;
+pub const CHECKPOINT_VERSION: u16 = 2;
 
 /// Bytes before the body: magic + version + stamp + body length.
 pub const HEADER_LEN: usize = 18;
@@ -569,7 +572,7 @@ fn decode_reorder(cur: &mut Cursor<'_>) -> Result<ReorderState, CheckpointError>
 }
 
 impl EngineSnapshot {
-    /// Serializes the snapshot into the version-1 binary image,
+    /// Serializes the snapshot into the version-2 binary image,
     /// stamped with the run's monotonic tick stamp.
     pub fn encode(&self, stamp: u64) -> Vec<u8> {
         let mut body = Vec::new();
@@ -596,7 +599,9 @@ impl EngineSnapshot {
         for v in [
             c.frames_in,
             c.bytes_in,
-            c.frames_corrupt,
+            c.corrupt_crc,
+            c.corrupt_framing,
+            c.corrupt_unknown_sensor,
             c.frames_duplicate,
             c.frames_late,
             c.frames_reordered,
@@ -716,7 +721,9 @@ impl EngineSnapshot {
         for slot in [
             &mut counters.frames_in,
             &mut counters.bytes_in,
-            &mut counters.frames_corrupt,
+            &mut counters.corrupt_crc,
+            &mut counters.corrupt_framing,
+            &mut counters.corrupt_unknown_sensor,
             &mut counters.frames_duplicate,
             &mut counters.frames_late,
             &mut counters.frames_reordered,

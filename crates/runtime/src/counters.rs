@@ -6,8 +6,15 @@
 //! the workspace has no serde). Latencies are wall-clock and therefore
 //! the one non-deterministic output of a replay; decisions and all
 //! other counters are seed-reproducible.
+//!
+//! Timing goes through the engine's [`fadewich_telemetry::Clock`]
+//! handle — this module only *stores* durations, it never reads the
+//! wall clock itself (the `Instant::now()` lint in `scripts/ci.sh`
+//! keeps it that way). [`RuntimeCounters::export_into`] mirrors every
+//! counter into the shared telemetry registry for `--metrics-out` and
+//! Prometheus exposition.
 
-use std::time::Instant;
+use fadewich_telemetry::Telemetry;
 
 /// Log₂-bucketed latency histogram (bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` microseconds; bucket 0 also takes sub-µs samples).
@@ -30,14 +37,6 @@ impl LatencyHisto {
         self.max_ns = self.max_ns.max(ns);
     }
 
-    /// Times `f` and records the elapsed wall-clock.
-    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
-        let out = f();
-        self.record_ns(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-        out
-    }
-
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -55,19 +54,27 @@ impl LatencyHisto {
 
     /// Upper bucket bound (µs) below which `q` of samples fall —
     /// a conservative percentile read off the histogram.
+    ///
+    /// Samples past the top bucket saturate into it, so whenever the
+    /// requested quantile lands on the histogram's final populated
+    /// bucket the nominal bound is clamped up to cover the observed
+    /// maximum — otherwise `quantile_us(1.0)` could sit *below*
+    /// [`max_ns`](Self::max_ns).
     pub fn quantile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let max_us = self.max_ns.div_ceil(1000);
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
-            if seen >= target.max(1) {
-                return 1u64 << (i + 1);
+            if seen >= target {
+                let bound = 1u64 << (i + 1);
+                return if seen == self.count { bound.max(max_us) } else { bound };
             }
         }
-        1u64 << self.buckets.len()
+        max_us.max(1u64 << self.buckets.len())
     }
 
     fn json(&self) -> String {
@@ -82,6 +89,19 @@ impl LatencyHisto {
             buckets.join(",")
         )
     }
+
+    /// Mirrors the recorded samples into a wall-clock registry
+    /// histogram (bucket-approximated: each log₂ bucket re-records its
+    /// count at the bucket's lower bound; count, max and quantile
+    /// bounds survive, exact sums do not).
+    fn export_into(&self, telemetry: &Telemetry, name: &str) {
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let ns = (1u64 << i) * 1000;
+            for _ in 0..c {
+                telemetry.histo_record_wall(name, ns);
+            }
+        }
+    }
 }
 
 /// Everything a replay/live run counts. Fields are public so the
@@ -92,8 +112,14 @@ pub struct RuntimeCounters {
     pub frames_in: u64,
     /// Raw bytes ingested (including rejected frames).
     pub bytes_in: u64,
-    /// Byte buffers rejected by the wire codec (checksum/magic/length).
-    pub frames_corrupt: u64,
+    /// Byte buffers rejected for a CRC-32 mismatch.
+    pub corrupt_crc: u64,
+    /// Byte buffers rejected for framing damage (bad magic, bad
+    /// length, truncation).
+    pub corrupt_framing: u64,
+    /// Well-formed frames rejected at the engine boundary: unknown
+    /// sensor id or a payload that disagrees with the sensor layout.
+    pub corrupt_unknown_sensor: u64,
     /// Frames for a (sensor, tick) slot that was already filled.
     pub frames_duplicate: u64,
     /// Frames that arrived after their tick had been emitted.
@@ -119,6 +145,13 @@ pub struct RuntimeCounters {
 }
 
 impl RuntimeCounters {
+    /// Total rejected frames across every cause — the headline number
+    /// the summary and checkpoint layers have always reported, now
+    /// derived from the per-reason counters.
+    pub fn frames_corrupt(&self) -> u64 {
+        self.corrupt_crc + self.corrupt_framing + self.corrupt_unknown_sensor
+    }
+
     /// Multi-line human-readable summary.
     pub fn summary(&self) -> String {
         format!("{}\n{}", self.deterministic_summary(), self.latency_summary())
@@ -134,7 +167,7 @@ impl RuntimeCounters {
         s.push_str(&format!(
             "frames      in {}  corrupt {}  duplicate {}  late {}  reordered {}\n",
             self.frames_in,
-            self.frames_corrupt,
+            self.frames_corrupt(),
             self.frames_duplicate,
             self.frames_late,
             self.frames_reordered
@@ -163,16 +196,22 @@ impl RuntimeCounters {
         )
     }
 
-    /// JSON object with every counter and both histograms.
+    /// JSON object with every counter and both histograms. The
+    /// `frames_corrupt` total is kept for dashboard compatibility,
+    /// next to the per-reason breakdown.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"frames_in\":{},\"bytes_in\":{},\"frames_corrupt\":{},\"frames_duplicate\":{},\
+            "{{\"frames_in\":{},\"bytes_in\":{},\"frames_corrupt\":{},\"corrupt_crc\":{},\
+             \"corrupt_framing\":{},\"corrupt_unknown_sensor\":{},\"frames_duplicate\":{},\
              \"frames_late\":{},\"frames_reordered\":{},\"ticks_processed\":{},\"gap_fills\":{},\
              \"masked_stream_ticks\":{},\"quarantines\":{},\"recoveries\":{},\
              \"watermark_lag_max\":{},\"decode\":{},\"step\":{}}}",
             self.frames_in,
             self.bytes_in,
-            self.frames_corrupt,
+            self.frames_corrupt(),
+            self.corrupt_crc,
+            self.corrupt_framing,
+            self.corrupt_unknown_sensor,
             self.frames_duplicate,
             self.frames_late,
             self.frames_reordered,
@@ -185,6 +224,41 @@ impl RuntimeCounters {
             self.decode.json(),
             self.step.json()
         )
+    }
+
+    /// Folds every counter into the shared telemetry registry under
+    /// `runtime_*` names (counters accumulate across days; the
+    /// watermark lag becomes a gauge holding the worst value seen).
+    pub fn export_into(&self, telemetry: &Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        for (name, v) in [
+            ("runtime_frames_in", self.frames_in),
+            ("runtime_bytes_in", self.bytes_in),
+            ("runtime_frames_corrupt", self.frames_corrupt()),
+            ("runtime_corrupt_crc", self.corrupt_crc),
+            ("runtime_corrupt_framing", self.corrupt_framing),
+            ("runtime_corrupt_unknown_sensor", self.corrupt_unknown_sensor),
+            ("runtime_frames_duplicate", self.frames_duplicate),
+            ("runtime_frames_late", self.frames_late),
+            ("runtime_frames_reordered", self.frames_reordered),
+            ("runtime_ticks_processed", self.ticks_processed),
+            ("runtime_gap_fills", self.gap_fills),
+            ("runtime_masked_stream_ticks", self.masked_stream_ticks),
+            ("runtime_quarantines", self.quarantines),
+            ("runtime_recoveries", self.recoveries),
+        ] {
+            telemetry.counter_add(name, v);
+        }
+        let prev = telemetry
+            .with_registry(|r| r.counter("runtime_watermark_lag_max"))
+            .unwrap_or(0);
+        if self.watermark_lag_max > prev {
+            telemetry.gauge_set("runtime_watermark_lag_max", self.watermark_lag_max as f64);
+        }
+        self.decode.export_into(telemetry, "runtime_decode_ns");
+        self.step.export_into(telemetry, "runtime_step_ns");
     }
 }
 
@@ -204,6 +278,36 @@ mod tests {
         assert!(h.quantile_us(1.0) >= 2048);
         assert_eq!(h.max_ns(), 2_000_000);
         assert!(h.mean_ns() > 1_500);
+    }
+
+    #[test]
+    fn top_bucket_quantile_covers_observed_max() {
+        // A sample far past the last bucket (2^25 µs ≫ the 2^20 µs
+        // top-bucket bound) saturates into bucket 19; the reported
+        // quantile bound must still cover it instead of under-reporting
+        // the old fixed 2^20.
+        let mut h = LatencyHisto::default();
+        for _ in 0..9 {
+            h.record_ns(1_500);
+        }
+        let huge_ns = (1u64 << 25) * 1000;
+        h.record_ns(huge_ns);
+        assert!(
+            h.quantile_us(1.0) * 1000 >= h.max_ns(),
+            "p100 {} us below max {} ns",
+            h.quantile_us(1.0),
+            h.max_ns()
+        );
+        assert_eq!(h.quantile_us(1.0), 1 << 25);
+        // Lower quantiles are untouched by the clamp...
+        assert_eq!(h.quantile_us(0.5), 2);
+        // ...and quantiles stay monotone in q.
+        let mut prev = 0;
+        for i in 0..=10 {
+            let b = h.quantile_us(i as f64 / 10.0);
+            assert!(b >= prev, "not monotone at q={}", i as f64 / 10.0);
+            prev = b;
+        }
     }
 
     #[test]
@@ -227,5 +331,43 @@ mod tests {
         for needle in ["frames", "ticks", "sensors", "latency", "watermark lag"] {
             assert!(s.contains(needle), "summary missing {needle}: {s}");
         }
+    }
+
+    #[test]
+    fn corrupt_split_sums_into_total() {
+        let mut c = RuntimeCounters::default();
+        c.corrupt_crc = 3;
+        c.corrupt_framing = 2;
+        c.corrupt_unknown_sensor = 1;
+        assert_eq!(c.frames_corrupt(), 6);
+        // The summary still reports the derived total on the same line.
+        assert!(c.deterministic_summary().contains("corrupt 6"), "{}", c.deterministic_summary());
+        let j = c.to_json();
+        assert!(j.contains("\"frames_corrupt\":6"));
+        assert!(j.contains("\"corrupt_crc\":3"));
+        assert!(j.contains("\"corrupt_framing\":2"));
+        assert!(j.contains("\"corrupt_unknown_sensor\":1"));
+    }
+
+    #[test]
+    fn export_mirrors_counters_into_registry() {
+        let mut c = RuntimeCounters::default();
+        c.frames_in = 5;
+        c.corrupt_crc = 2;
+        c.watermark_lag_max = 9;
+        c.step.record_ns(4_000);
+        let t = Telemetry::metrics_only();
+        c.export_into(&t);
+        c.export_into(&t); // two days accumulate
+        t.with_registry(|r| {
+            assert_eq!(r.counter("runtime_frames_in"), 10);
+            assert_eq!(r.counter("runtime_corrupt_crc"), 4);
+            assert_eq!(r.histogram("runtime_step_ns").map(|h| h.count()), Some(2));
+        });
+        // The wall histograms stay out of the deterministic dump.
+        assert!(!t.metrics_json(false).unwrap().contains("runtime_step_ns"));
+        assert!(t.metrics_json(true).unwrap().contains("runtime_step_ns"));
+        // Disabled handles are a no-op.
+        c.export_into(&Telemetry::disabled());
     }
 }

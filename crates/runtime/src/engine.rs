@@ -20,15 +20,18 @@
 //! batch pipeline exactly — the parity test in `tests/parity.rs` holds
 //! the two byte-identical.
 
+use std::sync::Arc;
+
 use fadewich_core::config::FadewichParams;
 use fadewich_core::controller::{Action, Controller};
 use fadewich_core::kma::Kma;
 use fadewich_core::re::RadioEnvironment;
+use fadewich_telemetry::{Clock, Telemetry, Value, WallClock};
 
 use crate::checkpoint::EngineSnapshot;
 use crate::counters::RuntimeCounters;
 use crate::reorder::{ReorderBuffer, ReorderConfig, SenderEvent};
-use crate::wire::Frame;
+use crate::wire::{Frame, WireError};
 
 /// Streaming-engine knobs on top of the core pipeline parameters.
 #[derive(Debug, Clone, Copy)]
@@ -162,6 +165,11 @@ pub struct StreamingEngine<'a> {
     mask: Vec<bool>,
     counters: RuntimeCounters,
     events: Vec<EngineEvent>,
+    /// Latency-stage time source. Wall clock by default; tests inject
+    /// a [`fadewich_telemetry::ManualClock`] to make latency numbers
+    /// deterministic. Never consulted on any decision path.
+    clock: Arc<dyn Clock>,
+    telemetry: Telemetry,
 }
 
 impl<'a> StreamingEngine<'a> {
@@ -198,6 +206,8 @@ impl<'a> StreamingEngine<'a> {
             mask: vec![false; n_streams],
             counters: RuntimeCounters::default(),
             events: Vec::new(),
+            clock: Arc::new(WallClock),
+            telemetry: Telemetry::disabled(),
             groups,
         })
     }
@@ -207,21 +217,45 @@ impl<'a> StreamingEngine<'a> {
         self.n_streams
     }
 
+    /// Attaches a telemetry handle. Spans and metrics flow through it
+    /// from here on, cascaded into the controller and MD layers so the
+    /// decision audit trail is causally linked end to end. A disabled
+    /// handle (the default) keeps the engine bit-identical to the
+    /// uninstrumented build.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.controller.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// Replaces the latency time source (tests inject a manual clock).
+    /// Latency histograms are observability only — the clock is never
+    /// consulted on a decision path.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
     /// Feeds raw wire bytes (one or more concatenated frames). Frames
     /// for unknown sensors are counted as corrupt and skipped; a
     /// decode error abandons the rest of the buffer (framing is lost).
     pub fn ingest_bytes(&mut self, mut bytes: &[u8]) {
         while !bytes.is_empty() {
             self.counters.bytes_in += bytes.len() as u64;
-            let decoded = self.counters.decode.time(|| Frame::decode(bytes));
+            let t0 = self.clock.now_ns();
+            let decoded = Frame::decode(bytes);
+            self.counters.decode.record_ns(self.clock.now_ns().saturating_sub(t0));
             match decoded {
                 Ok((frame, used)) => {
                     self.counters.bytes_in -= (bytes.len() - used) as u64;
                     bytes = &bytes[used..];
                     self.ingest_frame(frame);
                 }
+                Err(WireError::BadChecksum { .. }) => {
+                    self.counters.corrupt_crc += 1;
+                    return;
+                }
                 Err(_) => {
-                    self.counters.frames_corrupt += 1;
+                    // Truncated / BadMagic / BadLength: framing is lost.
+                    self.counters.corrupt_framing += 1;
                     return;
                 }
             }
@@ -231,11 +265,11 @@ impl<'a> StreamingEngine<'a> {
     /// Feeds one already-decoded frame.
     pub fn ingest_frame(&mut self, frame: Frame) {
         let Some(sender) = self.groups.iter().position(|(s, _)| *s == frame.sensor) else {
-            self.counters.frames_corrupt += 1;
+            self.counters.corrupt_unknown_sensor += 1;
             return;
         };
         if frame.values.len() != self.groups[sender].1.len() {
-            self.counters.frames_corrupt += 1;
+            self.counters.corrupt_unknown_sensor += 1;
             return;
         }
         self.counters.frames_in += 1;
@@ -273,17 +307,25 @@ impl<'a> StreamingEngine<'a> {
             match ev {
                 SenderEvent::Quarantined { sender, at_tick } => {
                     self.counters.quarantines += 1;
-                    self.events.push(EngineEvent::SensorQuarantined {
-                        sensor: self.groups[sender].0,
-                        tick: at_tick,
-                    });
+                    let sensor = self.groups[sender].0;
+                    self.telemetry.event(
+                        at_tick,
+                        "sensor_quarantined",
+                        None,
+                        &[("sensor", Value::U64(u64::from(sensor)))],
+                    );
+                    self.events.push(EngineEvent::SensorQuarantined { sensor, tick: at_tick });
                 }
                 SenderEvent::Recovered { sender, at_tick } => {
                     self.counters.recoveries += 1;
-                    self.events.push(EngineEvent::SensorRecovered {
-                        sensor: self.groups[sender].0,
-                        tick: at_tick,
-                    });
+                    let sensor = self.groups[sender].0;
+                    self.telemetry.event(
+                        at_tick,
+                        "sensor_recovered",
+                        None,
+                        &[("sensor", Value::U64(u64::from(sensor)))],
+                    );
+                    self.events.push(EngineEvent::SensorRecovered { sensor, tick: at_tick });
                 }
             }
         }
@@ -323,13 +365,13 @@ impl<'a> StreamingEngine<'a> {
         }
         let controller = &mut self.controller;
         let (row, mask) = (&self.row, &self.mask);
-        let n_new = self.counters.step.time(|| {
-            if any_masked {
-                controller.step_masked(tick as usize, row, mask)
-            } else {
-                controller.step(tick as usize, row)
-            }
-        });
+        let t0 = self.clock.now_ns();
+        let n_new = if any_masked {
+            controller.step_masked(tick as usize, row, mask)
+        } else {
+            controller.step(tick as usize, row)
+        };
+        self.counters.step.record_ns(self.clock.now_ns().saturating_sub(t0));
         self.counters.ticks_processed += 1;
         self.counters.watermark_lag_max =
             self.counters.watermark_lag_max.max(self.reorder.max_watermark_lag());
@@ -464,6 +506,8 @@ impl<'a> StreamingEngine<'a> {
             mask: vec![false; n_streams],
             counters: snap.counters.clone(),
             events: Vec::new(),
+            clock: Arc::new(WallClock),
+            telemetry: Telemetry::disabled(),
             groups,
         })
     }
@@ -547,8 +591,33 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         e.ingest_bytes(&bytes);
-        assert_eq!(e.counters().frames_corrupt, 1);
+        assert_eq!(e.counters().frames_corrupt(), 1);
+        assert_eq!(e.counters().corrupt_crc, 1);
         assert_eq!(e.counters().frames_in, 0);
+    }
+
+    #[test]
+    fn corrupt_frames_are_counted_per_reason() {
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        // Bad CRC: flip a payload byte so the checksum disagrees.
+        let mut crc = Frame { sensor: 0, seq: 0, tick: 0, values: vec![-50.0, -50.0] }.encode();
+        let mid = crc.len() / 2;
+        crc[mid] ^= 0xFF;
+        e.ingest_bytes(&crc);
+        // Bad framing: garbage that cannot even carry the magic.
+        e.ingest_bytes(&[0u8; 6]);
+        // Unknown sensor id, and a known sensor with the wrong payload
+        // width — both rejected at the engine boundary.
+        e.ingest_frame(Frame { sensor: 77, seq: 0, tick: 0, values: vec![-50.0, -50.0] });
+        e.ingest_frame(Frame { sensor: 0, seq: 0, tick: 0, values: vec![-50.0] });
+        let c = e.counters();
+        assert_eq!(c.corrupt_crc, 1);
+        assert_eq!(c.corrupt_framing, 1);
+        assert_eq!(c.corrupt_unknown_sensor, 2);
+        assert_eq!(c.frames_corrupt(), 4);
+        assert_eq!(c.frames_in, 0);
     }
 
     #[test]

@@ -255,14 +255,52 @@ pub fn stream_day(
     link: &LinkModel,
     link_seed: u64,
 ) -> Result<DayReplay, String> {
+    stream_day_with_telemetry(
+        scenario,
+        trace,
+        streams,
+        re,
+        day,
+        cfg,
+        link,
+        link_seed,
+        &fadewich_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`stream_day`] with a telemetry handle threaded through the engine:
+/// the decision audit trail (MD window spans, RE margins, rule
+/// verdicts), quarantine/recovery events, and — at end of day — the
+/// runtime counters all land in the handle's sink/registry. Trace
+/// ticks are the day-local logical tick clock, so two replays of the
+/// same seeded scenario emit byte-identical traces.
+///
+/// # Errors
+///
+/// Propagates engine construction errors.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_day_with_telemetry(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    day: usize,
+    cfg: EngineConfig,
+    link: &LinkModel,
+    link_seed: u64,
+    telemetry: &fadewich_telemetry::Telemetry,
+) -> Result<DayReplay, String> {
     let groups = trace.receiver_groups(streams);
     let inputs = scenario.input_trace(day, 0);
     let kma = Kma::new(&inputs);
     let mut engine = StreamingEngine::new(cfg, groups.clone(), re, kma)?;
+    engine.set_telemetry(telemetry.clone());
     for bytes in day_deliveries(trace, streams, &groups, day, link, link_seed)? {
         engine.ingest_bytes(&bytes);
     }
     engine.finish(trace.days()[day].n_ticks() as u64);
+    engine.counters().export_into(telemetry);
+    telemetry.counter_add("runtime_days_streamed", 1);
 
     Ok(DayReplay {
         day,

@@ -76,7 +76,7 @@ fn lossless_streaming_decisions_are_byte_identical_to_batch() {
     assert_eq!(c.ticks_processed, n_ticks);
     assert_eq!(c.frames_in, n_ticks * n_sensors);
     assert_eq!(
-        (c.gap_fills, c.masked_stream_ticks, c.quarantines, c.frames_corrupt, c.frames_late),
+        (c.gap_fills, c.masked_stream_ticks, c.quarantines, c.frames_corrupt(), c.frames_late),
         (0, 0, 0, 0, 0),
         "lossless replay must not degrade: {c:?}"
     );
@@ -153,7 +153,7 @@ fn seeded_lossy_replay_completes_and_reports_degradation() {
     assert_eq!(c.ticks_processed, n_ticks);
     // The loss actually happened and was counted, not hidden.
     assert!(c.gap_fills > 0, "2% drop must show up as gap-fills: {c:?}");
-    assert!(c.frames_corrupt > 0, "corruption must be rejected by the codec: {c:?}");
+    assert!(c.frames_corrupt() > 0, "corruption must be rejected by the codec: {c:?}");
     assert!(c.frames_duplicate > 0, "duplicates must be deduplicated: {c:?}");
     assert!(c.frames_reordered > 0, "jitter must reorder some frames: {c:?}");
     assert!(c.watermark_lag_max >= 3, "jitter must show up as watermark lag: {c:?}");

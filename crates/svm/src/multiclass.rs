@@ -11,6 +11,20 @@ use crate::scaler::StandardScaler;
 use crate::smo::{BinarySvm, SmoParams, TrainError};
 use fadewich_stats::rng::Rng;
 
+/// One prediction with its per-class evidence, aligned with
+/// [`MultiClassSvm::classes`]: `votes[i]` / `margins[i]` belong to
+/// `classes()[i]` (margins are summed absolute decision values of the
+/// pairwise machines that voted for that class).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The winning class label.
+    pub label: usize,
+    /// Pairwise votes per class, in `classes()` order.
+    pub votes: Vec<usize>,
+    /// Summed absolute margins per class, in `classes()` order.
+    pub margins: Vec<f64>,
+}
+
 /// A trained multi-class SVM with integrated feature standardization.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiClassSvm {
@@ -148,6 +162,18 @@ impl MultiClassSvm {
     ///
     /// Panics if `x` has the wrong dimension.
     pub fn predict(&self, x: &[f64]) -> usize {
+        self.predict_with_margins(x).label
+    }
+
+    /// Predicts one sample and exposes the full vote/margin tally —
+    /// the per-class evidence behind the label, for audit trails. The
+    /// returned label is bit-identical to [`predict`](Self::predict)
+    /// (which delegates here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn predict_with_margins(&self, x: &[f64]) -> Prediction {
         let mut row = x.to_vec();
         self.scaler.transform_row(&mut row);
         let max_class = *self.classes.last().expect("at least two classes") + 1;
@@ -163,7 +189,7 @@ impl MultiClassSvm {
                 margin[*cb] += -d;
             }
         }
-        *self
+        let label = *self
             .classes
             .iter()
             .max_by(|&&a, &&b| {
@@ -171,7 +197,12 @@ impl MultiClassSvm {
                     .cmp(&votes[b])
                     .then_with(|| margin[a].partial_cmp(&margin[b]).expect("finite margins"))
             })
-            .expect("at least two classes")
+            .expect("at least two classes");
+        Prediction {
+            label,
+            votes: self.classes.iter().map(|&c| votes[c]).collect(),
+            margins: self.classes.iter().map(|&c| margin[c]).collect(),
+        }
     }
 
     /// Predicts a batch of samples.
@@ -316,6 +347,28 @@ mod tests {
         assert_eq!(svm.predict(&[0.1, -0.2]), 0);
         assert_eq!(svm.predict(&[5.2, 0.3]), 1);
         assert_eq!(svm.predict(&[-0.3, 5.1]), 2);
+    }
+
+    #[test]
+    fn margins_align_with_classes_and_agree_with_predict() {
+        let (xs, ys) = blobs(20, 42);
+        let mut rng = Rng::seed_from_u64(8);
+        let svm =
+            MultiClassSvm::train(&xs, &ys, Kernel::Rbf { gamma: 0.5 }, SmoParams::default(), &mut rng)
+                .unwrap();
+        let k = svm.classes().len();
+        for x in &xs {
+            let p = svm.predict_with_margins(x);
+            assert_eq!(p.label, svm.predict(x));
+            assert_eq!(p.votes.len(), k);
+            assert_eq!(p.margins.len(), k);
+            // Every pairwise machine casts exactly one vote.
+            assert_eq!(p.votes.iter().sum::<usize>(), k * (k - 1) / 2);
+            assert!(p.margins.iter().all(|m| *m >= 0.0 && m.is_finite()));
+            // The winner holds a maximal vote count.
+            let win = svm.classes().iter().position(|&c| c == p.label).unwrap();
+            assert_eq!(p.votes[win], *p.votes.iter().max().unwrap());
+        }
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! The workspace's single wall-clock boundary.
+//!
+//! Every byte a replay writes to stdout, `--trace-out` or
+//! `--metrics-out` must be reproducible from the scenario seed, so
+//! wall time is quarantined behind [`Clock`]: production code reads
+//! time through a `dyn Clock` handle and tests substitute a
+//! [`ManualClock`] they advance by hand. `scripts/ci.sh` greps the
+//! tree for direct `Instant::now()` calls to keep it that way — this
+//! module (and the vendored bench timer in `testkit`) are the only
+//! allowed call sites.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+///
+/// Implementations must be monotone non-decreasing; nothing else is
+/// promised. The absolute origin is arbitrary (process start for
+/// [`WallClock`], zero for [`ManualClock`]), so only differences are
+/// meaningful.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since this clock's arbitrary origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real monotonic clock, anchored at first use.
+///
+/// All instances share one process-wide anchor so readings taken
+/// through different handles are mutually comparable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClock;
+
+fn anchor() -> &'static Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now)
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        anchor().elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// A hand-cranked clock for deterministic tests.
+///
+/// Starts at zero; [`advance_ns`](Self::advance_ns) moves it forward.
+/// Shared freely across threads (readings are atomic).
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock stopped at `t = 0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock forward by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` would move the clock backwards.
+    pub fn set_ns(&self, ns: u64) {
+        let prev = self.ns.swap(ns, Ordering::Relaxed);
+        assert!(ns >= prev, "ManualClock moved backwards: {prev} -> {ns}");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock;
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_and_sets() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_ns(1_000);
+        c.advance_ns(500);
+        assert_eq!(c.now_ns(), 1_500);
+        c.set_ns(2_000);
+        assert_eq!(c.now_ns(), 2_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn manual_clock_rejects_regression() {
+        let c = ManualClock::new();
+        c.set_ns(10);
+        c.set_ns(5);
+    }
+
+    #[test]
+    fn usable_as_trait_object() {
+        let c: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        assert_eq!(c.now_ns(), 0);
+    }
+}

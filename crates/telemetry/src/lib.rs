@@ -1,0 +1,52 @@
+//! Workspace-wide telemetry: deterministic tracing spans, a metrics
+//! registry, and the wall-clock boundary.
+//!
+//! The reproduction's headline claim is *timeliness* — deauthenticate
+//! within seconds of a departure — so every decision must be
+//! explainable after the fact: which variation window opened, what
+//! `s_t` crossed which threshold, what the SVM predicted with what
+//! margins, which rule fired, who was in the KMA idle set. This crate
+//! provides the three pieces the rest of the workspace threads
+//! through:
+//!
+//! - [`clock`] — the [`Clock`](clock::Clock) trait. All wall-clock
+//!   reads go through it; a grep lint in `scripts/ci.sh` bans direct
+//!   `Instant::now()` elsewhere so replays stay reproducible.
+//! - [`registry`] — named counters, gauges and log-linear histograms
+//!   with hand-rolled Prometheus-text and JSON exposition (no serde).
+//!   Wall-clock histograms are flagged and excluded from
+//!   deterministic dumps.
+//! - [`trace`] — [`Telemetry`](trace::Telemetry), a clone-able
+//!   capability emitting span/event records stamped with the logical
+//!   tick to a JSONL sink. Two replays of one seeded scenario produce
+//!   byte-identical traces (enforced by `cmp` in CI).
+//! - [`json`] — a minimal parser for our own dumps, backing
+//!   `fadewichd stats`.
+//!
+//! # Examples
+//!
+//! ```
+//! use fadewich_telemetry::{Telemetry, Value};
+//!
+//! let t = Telemetry::buffering();
+//! let win = t.span_open(120, "md_window", None, &[("st", Value::F64(2.4))]);
+//! t.event(180, "deauth", win, &[("ws", Value::U64(3))]);
+//! t.span_close(200, win.unwrap());
+//! t.counter_add("decisions", 1);
+//! assert_eq!(t.records().len(), 3);
+//! assert!(t.metrics_json(false).unwrap().contains("\"decisions\":1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod clock;
+pub mod json;
+pub mod registry;
+mod render;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use registry::{Histogram, MetricsRegistry};
+pub use trace::{Record, RecordKind, SpanId, Telemetry, Value};

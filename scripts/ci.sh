@@ -65,3 +65,44 @@ cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
     2> "$workdir/corrupt.err" > /dev/null
 grep -q "skipping corrupt checkpoint" "$workdir/corrupt.err"
 cmp "$workdir/ckpt-ref/decisions.log" "$workdir/ckpt-crash/decisions.log"
+
+# Trace-determinism gate: two replays of the same seeded scenario must
+# emit byte-identical --trace-out JSONL and --metrics-out JSON (spans
+# are stamped with the logical tick clock; wall-clock histograms are
+# excluded from the deterministic dump). The lossy link exercises the
+# richer emission set.
+for i in 1 2; do
+    cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- replay \
+        --drop 0.02 --dup 0.01 --corrupt 0.005 --jitter 3 --link-seed 7 \
+        --trace-out "$workdir/trace$i.jsonl" --metrics-out "$workdir/metrics$i.json" \
+        > "$workdir/traced$i.out"
+done
+cmp "$workdir/trace1.jsonl" "$workdir/trace2.jsonl"
+cmp "$workdir/metrics1.json" "$workdir/metrics2.json"
+# Instrumentation must not perturb the decision stream...
+cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- replay \
+    --drop 0.02 --dup 0.01 --corrupt 0.005 --jitter 3 --link-seed 7 \
+    > "$workdir/untraced.out"
+cmp "$workdir/traced1.out" "$workdir/untraced.out"
+# ...every deauth decision must carry its audit chain in the trace...
+deauths=$(grep -c "DeauthenticateRule1" "$workdir/traced1.out" || true)
+verdicts=$(grep -c '"name":"rule1_verdict","attrs":{"deauth":true' "$workdir/trace1.jsonl" || true)
+if [ "$deauths" != "$verdicts" ]; then
+    echo "audit trail mismatch: $deauths DeauthenticateRule1 decisions vs $verdicts deauth verdicts" >&2
+    exit 1
+fi
+# ...and the stats pretty-printer must read the dump back.
+cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+    stats "$workdir/metrics1.json" | grep -q "rule1"
+
+# Wall-clock lint: Instant::now() is allowed only inside the telemetry
+# Clock implementations and the vendored bench harness. Everything
+# else must read time through the Clock trait so seeded replays stay
+# reproducible.
+if grep -rn "Instant::now" --include='*.rs' crates/ src/ 2>/dev/null \
+    | grep -v "crates/telemetry/src/clock.rs" \
+    | grep -v "crates/testkit/src/bench.rs" \
+    | grep -v "^[^:]*:[0-9]*: *//"; then
+    echo "Instant::now() outside the Clock seam (see above); use fadewich_telemetry::Clock" >&2
+    exit 1
+fi
