@@ -8,6 +8,15 @@
 //! fig11 fig12 fig13 ablations deployment streaming recovery
 //! artifact telemetry csi baseline attacks offices` (default: all).
 //! `--quick` runs a 1-day scenario instead of the paper's 5 days.
+//!
+//! The `bench` target is explicit-only (never part of the default
+//! set): `reproduce bench` runs the perf-baseline harness on seeded
+//! workloads, prints the measurement table, and writes
+//! `BENCH_<date>.json` (override the path with `--bench-out`;
+//! `--bench-smoke` shrinks every workload to CI-smoke size). All
+//! non-`wall_` JSON fields are byte-identical across runs of one
+//! seed. Bench runs serially on the main thread, and a bench-only
+//! invocation skips scenario generation entirely.
 //! Like `deployment` and `streaming`, the `recovery`, `artifact` and
 //! `telemetry` targets need a >= 2-day trace (they train on the
 //! leading days, then crash/resume the stream, export the model
@@ -23,15 +32,26 @@
 
 use std::collections::HashSet;
 
+use fadewich_bench::harness;
 use fadewich_experiments::experiment::{Experiment, SensorRun, SENSOR_COUNTS};
 use fadewich_experiments::par::{self, timing};
 use fadewich_experiments::report::{render_series, TextTable};
 use fadewich_experiments::{ablations, figures, tables};
 
+// The bench target's allocations-per-tick row needs allocator
+// counters; the counting allocator delegates to the system allocator
+// with two relaxed atomic adds, so the paper-reproduction targets are
+// unaffected.
+#[global_allocator]
+static ALLOC: fadewich_testkit::bench::CountingAllocator =
+    fadewich_testkit::bench::CountingAllocator;
+
 struct Options {
     quick: bool,
     seed: u64,
     csv_dir: Option<String>,
+    bench_smoke: bool,
+    bench_out: Option<String>,
     targets: HashSet<String>,
 }
 
@@ -40,6 +60,8 @@ fn parse_args() -> Options {
         quick: false,
         seed: 0xFADE,
         csv_dir: None,
+        bench_smoke: false,
+        bench_out: None,
         targets: HashSet::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -55,12 +77,43 @@ fn parse_args() -> Options {
             "--csv" => {
                 opts.csv_dir = Some(args.next().expect("--csv needs a directory"));
             }
+            "--bench-smoke" => opts.bench_smoke = true,
+            "--bench-out" => {
+                opts.bench_out = Some(args.next().expect("--bench-out needs a path"));
+            }
             other => {
                 opts.targets.insert(other.to_string());
             }
         }
     }
     opts
+}
+
+/// Runs the perf-baseline harness: stdout table + `BENCH_<date>.json`.
+fn run_bench(opts: &Options) {
+    let cfg = if opts.bench_smoke {
+        harness::BenchConfig::smoke(opts.seed)
+    } else {
+        harness::BenchConfig::standard(opts.seed)
+    };
+    eprintln!(
+        "bench: {} workloads (seed {:#x})...",
+        if opts.bench_smoke { "smoke-size" } else { "full-size" },
+        opts.seed
+    );
+    let clock: std::sync::Arc<dyn fadewich_telemetry::Clock> =
+        std::sync::Arc::new(fadewich_telemetry::WallClock);
+    let report = harness::run(&cfg, &clock).expect("bench harness");
+    print!("{}", report.table());
+    let path = opts.bench_out.clone().unwrap_or_else(|| {
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        format!("BENCH_{}.json", harness::civil_date(unix_secs))
+    });
+    std::fs::write(&path, report.to_json())
+        .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+    eprintln!("bench: wrote {path}");
 }
 
 fn wanted(opts: &Options, target: &str) -> bool {
@@ -89,7 +142,14 @@ fn text_emission(stdout: String) -> Emission {
 type Job<'a> = Box<dyn Fn() -> Vec<Emission> + Sync + 'a>;
 
 fn main() {
-    let opts = parse_args();
+    let mut opts = parse_args();
+    if opts.targets.remove("bench") {
+        run_bench(&opts);
+        if opts.targets.is_empty() {
+            // Bench-only invocation: no scenario, no sweep, no jobs.
+            return;
+        }
+    }
     use fadewich_telemetry::Clock;
     let t0 = fadewich_telemetry::WallClock.now_ns();
     let elapsed_s = || fadewich_telemetry::WallClock.now_ns().saturating_sub(t0) as f64 / 1e9;

@@ -1,0 +1,650 @@
+//! The perf-baseline harness behind `reproduce bench`.
+//!
+//! Each workload drives a **real** pipeline layer — wire decode,
+//! `MovementDetector` stepping, OvO SVM prediction, KDE threshold
+//! fitting, the full `StreamingEngine` — on inputs derived from a
+//! fixed seed, measures it through the [`Clock`] seam (so tests can
+//! substitute a [`fadewich_telemetry::ManualClock`] and get exact,
+//! deterministic medians), and reports median-of-k per-unit times.
+//!
+//! The JSON report follows one hard rule: every field whose value
+//! depends on wall time carries a `wall_` prefix, and everything else
+//! is **byte-identical across runs of the same seed**. The CI smoke
+//! gate compares two runs with all `"wall_` lines filtered out; the
+//! hot-path rows additionally carry checksums proving the fast and
+//! reference paths computed the same answers.
+
+use std::sync::Arc;
+
+use fadewich_core::config::FadewichParams;
+use fadewich_core::controller::Controller;
+use fadewich_core::features::{extract_features, TrainingSample};
+use fadewich_core::kma::Kma;
+use fadewich_core::md::{MdVerdict, MovementDetector};
+use fadewich_core::re::RadioEnvironment;
+use fadewich_officesim::{DayTrace, InputTrace};
+use fadewich_runtime::engine::EngineConfig;
+use fadewich_runtime::{Frame, StreamingEngine};
+use fadewich_stats::kde::GaussianKde;
+use fadewich_stats::rng::Rng;
+use fadewich_telemetry::Clock;
+use fadewich_testkit::bench::{alloc_counts, black_box};
+
+/// Schema tag of the emitted JSON; bump on incompatible layout change.
+pub const SCHEMA: &str = "fadewich-bench-v1";
+
+/// Knobs of one harness run. All counts must be nonzero; see
+/// [`BenchConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchConfig {
+    /// Seed every workload derives its inputs from.
+    pub seed: u64,
+    /// Untimed iterations before sampling starts (warms caches,
+    /// allocator pools, and the MD profile).
+    pub warmup_iters: u64,
+    /// Timed iterations per sample.
+    pub iters: u64,
+    /// Samples per workload; the report carries the median.
+    pub samples: u64,
+    /// Ticks per engine-throughput iteration.
+    pub engine_ticks: u64,
+    /// Ticks per MD-step iteration.
+    pub md_ticks: u64,
+    /// Frames per wire-decode iteration.
+    pub n_frames: u64,
+    /// Feature rows per SVM-prediction iteration.
+    pub svm_rows: u64,
+    /// Samples per KDE threshold fit.
+    pub kde_points: u64,
+    /// Ticks the allocation probe steps one by one.
+    pub alloc_ticks: u64,
+    /// Marks the report as a reduced-size smoke run.
+    pub smoke: bool,
+}
+
+impl BenchConfig {
+    /// The full baseline configuration.
+    pub fn standard(seed: u64) -> BenchConfig {
+        BenchConfig {
+            seed,
+            warmup_iters: 2,
+            iters: 3,
+            samples: 5,
+            engine_ticks: 2_000,
+            md_ticks: 4_000,
+            n_frames: 4_096,
+            svm_rows: 512,
+            kde_points: 1_500,
+            alloc_ticks: 300,
+            smoke: false,
+        }
+    }
+
+    /// Tiny iteration counts for the CI smoke gate: same code paths,
+    /// seconds of wall time.
+    pub fn smoke(seed: u64) -> BenchConfig {
+        BenchConfig {
+            seed,
+            warmup_iters: 1,
+            iters: 1,
+            samples: 2,
+            engine_ticks: 150,
+            md_ticks: 400,
+            n_frames: 256,
+            svm_rows: 64,
+            kde_points: 300,
+            alloc_ticks: 120,
+            smoke: true,
+        }
+    }
+
+    /// Rejects degenerate configurations instead of emitting garbage
+    /// (zero iterations would divide by zero; zero workload sizes
+    /// would report medians of nothing).
+    ///
+    /// # Errors
+    ///
+    /// Names the first offending knob.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks = [
+            ("iters", self.iters),
+            ("samples", self.samples),
+            ("engine_ticks", self.engine_ticks),
+            ("md_ticks", self.md_ticks),
+            ("n_frames", self.n_frames),
+            ("svm_rows", self.svm_rows),
+            ("kde_points", self.kde_points),
+            ("alloc_ticks", self.alloc_ticks),
+        ];
+        for (name, v) in checks {
+            if v == 0 {
+                return Err(format!("bench config: {name} must be nonzero"));
+            }
+        }
+        if self.kde_points < 2 {
+            return Err("bench config: kde_points must be at least 2".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Median-of-samples timing of one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Timed samples taken.
+    pub samples: u64,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Work units (ticks, frames, rows…) per iteration.
+    pub units_per_iter: u64,
+    /// Median per-unit time across samples, in nanoseconds.
+    pub wall_median_ns_per_unit: f64,
+    /// Total time spent in timed iterations, in nanoseconds.
+    pub wall_total_ns: u64,
+}
+
+/// Runs `f` `warmup` times untimed, then `samples` times `iters`
+/// timed calls, and reports the median per-unit nanoseconds. All
+/// timing flows through `clock`, so a manual clock produces exact,
+/// reproducible measurements.
+///
+/// # Errors
+///
+/// Rejects zero `iters`, `samples`, or `units_per_iter`.
+pub fn measure(
+    clock: &dyn Clock,
+    warmup: u64,
+    iters: u64,
+    samples: u64,
+    units_per_iter: u64,
+    mut f: impl FnMut(),
+) -> Result<Measurement, String> {
+    if iters == 0 || samples == 0 || units_per_iter == 0 {
+        return Err("measure: iters, samples and units_per_iter must be nonzero".to_string());
+    }
+    for _ in 0..warmup {
+        f();
+    }
+    let mut per_unit = Vec::with_capacity(samples as usize);
+    let mut total_ns = 0u64;
+    for _ in 0..samples {
+        let t0 = clock.now_ns();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = clock.now_ns().saturating_sub(t0);
+        total_ns += dt;
+        per_unit.push(dt as f64 / (iters * units_per_iter) as f64);
+    }
+    per_unit.sort_by(f64::total_cmp);
+    Ok(Measurement {
+        samples,
+        iters,
+        units_per_iter,
+        wall_median_ns_per_unit: per_unit[per_unit.len() / 2],
+        wall_total_ns: total_ns,
+    })
+}
+
+/// One field of a bench row. Fields whose name starts with `wall_`
+/// are wall-time-dependent and excluded from determinism comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An exact integer.
+    U64(u64),
+    /// A float, rendered with six decimals (`0.0` when non-finite).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A short identifier-like string.
+    Str(String),
+}
+
+/// One workload's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Stable row name (`wire_decode`, `md_step_fast`, …).
+    pub name: String,
+    /// Fields in emission order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl BenchRow {
+    fn new(name: &str) -> BenchRow {
+        BenchRow { name: name.to_string(), fields: Vec::new() }
+    }
+
+    fn push(&mut self, key: &str, value: FieldValue) {
+        self.fields.push((key.to_string(), value));
+    }
+
+    fn push_measurement(&mut self, m: &Measurement) {
+        self.push("samples", FieldValue::U64(m.samples));
+        self.push("iters", FieldValue::U64(m.iters));
+        self.push("units_per_iter", FieldValue::U64(m.units_per_iter));
+        self.push("wall_median_ns_per_unit", FieldValue::F64(m.wall_median_ns_per_unit));
+        self.push("wall_total_ns", FieldValue::U64(m.wall_total_ns));
+    }
+
+    /// Looks a field up by name.
+    pub fn get(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// The complete report of one harness run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Seed the workloads were derived from.
+    pub seed: u64,
+    /// Whether this was a reduced smoke run.
+    pub smoke: bool,
+    /// One row per workload, in a fixed order.
+    pub rows: Vec<BenchRow>,
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() { format!("{v:.6}") } else { "0.000000".to_string() }
+}
+
+impl BenchReport {
+    /// Renders the machine-readable JSON: one `"key": value` per
+    /// line, `wall_`-prefixed keys carrying everything wall-time
+    /// dependent, parseable by [`fadewich_telemetry::json::parse`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("\"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("\"seed\": {},\n", self.seed));
+        out.push_str(&format!("\"smoke\": {},\n", self.smoke));
+        out.push_str("\"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("{\n");
+            out.push_str(&format!("\"name\": \"{}\"", row.name));
+            for (key, value) in &row.fields {
+                out.push_str(",\n");
+                let rendered = match value {
+                    FieldValue::U64(v) => v.to_string(),
+                    FieldValue::F64(v) => fmt_f64(*v),
+                    FieldValue::Bool(v) => v.to_string(),
+                    FieldValue::Str(v) => format!("\"{v}\""),
+                };
+                out.push_str(&format!("\"{key}\": {rendered}"));
+            }
+            out.push_str("\n}");
+            out.push_str(if i + 1 == self.rows.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Renders the human-readable stdout table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "FADEWICH perf baseline (seed {:#x}{})\n",
+            self.seed,
+            if self.smoke { ", smoke" } else { "" }
+        ));
+        out.push_str(&format!("{:<24} {:<28} {:>18}\n", "workload", "metric", "value"));
+        out.push_str(&format!("{:-<24} {:-<28} {:->18}\n", "", "", ""));
+        for row in &self.rows {
+            for (key, value) in &row.fields {
+                let rendered = match value {
+                    FieldValue::U64(v) => v.to_string(),
+                    FieldValue::F64(v) => fmt_f64(*v),
+                    FieldValue::Bool(v) => v.to_string(),
+                    FieldValue::Str(v) => v.clone(),
+                };
+                out.push_str(&format!("{:<24} {:<28} {:>18}\n", row.name, key, rendered));
+            }
+        }
+        out
+    }
+
+    /// Looks a row up by name.
+    pub fn row(&self, name: &str) -> Option<&BenchRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+const N_STREAMS: usize = 4;
+const TICK_HZ: f64 = 5.0;
+
+fn bench_params() -> FadewichParams {
+    FadewichParams { profile_init_s: 30.0, ..Default::default() }
+}
+
+/// A small classifier trained through the real feature/SMO layers on
+/// seeded synthetic windows (quiet vs burst), exactly like the
+/// runtime fixtures.
+fn trained_re(seed: u64) -> RadioEnvironment {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7E);
+    let params = FadewichParams::default();
+    let mut samples = Vec::new();
+    for i in 0..24 {
+        let sd = if i % 2 == 1 { 4.0 } else { 0.6 };
+        let mut day = DayTrace::with_capacity(N_STREAMS, 30);
+        for _ in 0..30 {
+            let row: Vec<f64> = (0..N_STREAMS).map(|_| -50.0 + rng.normal() * sd).collect();
+            day.push_row(&row);
+        }
+        let streams: Vec<usize> = (0..N_STREAMS).collect();
+        let features = extract_features(&day, &streams, 0, TICK_HZ, &params);
+        samples.push(TrainingSample { features, label: i % 2 });
+    }
+    RadioEnvironment::train(&samples, None, &mut rng).expect("seeded training set is valid")
+}
+
+/// Quiet RSSI rows (flattened tick-major) with a short burst in the
+/// middle so MD opens at least one variation window.
+fn seeded_rows(seed: u64, n_ticks: u64) -> Vec<f64> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x505);
+    let burst = (n_ticks / 2)..(n_ticks / 2 + 25);
+    let mut rows = Vec::with_capacity(n_ticks as usize * N_STREAMS);
+    for tick in 0..n_ticks {
+        let sd = if burst.contains(&tick) { 4.0 } else { 0.6 };
+        for _ in 0..N_STREAMS {
+            rows.push(-50.0 + rng.normal() * sd);
+        }
+    }
+    rows
+}
+
+/// A typing schedule long enough to cover `n_ticks` at [`TICK_HZ`].
+fn busy_inputs(n_ticks: u64) -> InputTrace {
+    let day_s = n_ticks as f64 / TICK_HZ + 120.0;
+    let busy: Vec<f64> = (0..day_s as usize).step_by(3).map(|s| s as f64).collect();
+    InputTrace::from_times(vec![busy.clone(), busy])
+}
+
+fn wire_decode_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, String> {
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xDEC);
+    let mut bytes = Vec::new();
+    for i in 0..cfg.n_frames {
+        let frame = Frame {
+            sensor: (i % 4) as u16,
+            seq: i as u32,
+            tick: i / 4,
+            values: (0..2).map(|_| (-60.0 + 20.0 * rng.f64()) as f32).collect(),
+        };
+        bytes.extend_from_slice(&frame.encode());
+    }
+    let mut decoded = 0u64;
+    let m = measure(clock, cfg.warmup_iters, cfg.iters, cfg.samples, cfg.n_frames, || {
+        let mut rest: &[u8] = &bytes;
+        decoded = 0;
+        while !rest.is_empty() {
+            let (frame, used) = Frame::decode(rest).expect("pre-encoded frames decode");
+            black_box(&frame);
+            rest = &rest[used..];
+            decoded += 1;
+        }
+    })?;
+    let mut row = BenchRow::new("wire_decode");
+    row.push("frames", FieldValue::U64(cfg.n_frames));
+    row.push("bytes", FieldValue::U64(bytes.len() as u64));
+    row.push("frames_decoded", FieldValue::U64(decoded));
+    row.push_measurement(&m);
+    Ok(row)
+}
+
+/// Digest of a verdict stream: enough to prove two MD runs made the
+/// same decisions without storing them.
+fn verdict_digest(digest: &mut u64, v: &MdVerdict) {
+    *digest = digest
+        .wrapping_mul(0x100000001b3)
+        .wrapping_add(v.st.to_bits())
+        .wrapping_add(u64::from(v.anomalous));
+}
+
+fn md_rows(cfg: &BenchConfig, clock: &dyn Clock) -> Result<Vec<BenchRow>, String> {
+    let rows_flat = seeded_rows(cfg.seed, cfg.md_ticks);
+    let mut results = Vec::new();
+    let mut medians = [0.0f64; 2];
+    let mut digests = [0u64; 2];
+    for (slot, reference) in [(0usize, true), (1usize, false)] {
+        let mut md = MovementDetector::new(N_STREAMS, TICK_HZ, bench_params())
+            .map_err(|e| format!("bench md: {e}"))?;
+        md.set_reference_paths(reference);
+        let mut tick = 0usize;
+        let mut digest = 0u64;
+        let mut out: Vec<MdVerdict> = Vec::new();
+        let m = measure(clock, cfg.warmup_iters, cfg.iters, cfg.samples, cfg.md_ticks, || {
+            if reference {
+                for row in rows_flat.chunks_exact(N_STREAMS) {
+                    let v = md.step(tick, row);
+                    verdict_digest(&mut digest, &v);
+                    tick += 1;
+                }
+            } else {
+                out.clear();
+                md.step_batch(tick, &rows_flat, &mut out);
+                tick += cfg.md_ticks as usize;
+                for v in &out {
+                    verdict_digest(&mut digest, v);
+                }
+            }
+        })?;
+        medians[slot] = m.wall_median_ns_per_unit;
+        digests[slot] = digest;
+        let mut row =
+            BenchRow::new(if reference { "md_step_reference" } else { "md_step_fast" });
+        row.push("ticks", FieldValue::U64(cfg.md_ticks));
+        row.push("verdict_digest", FieldValue::U64(digest));
+        if !reference {
+            row.push("matches_reference", FieldValue::Bool(digest == digests[0]));
+            row.push(
+                "wall_speedup_vs_reference",
+                FieldValue::F64(if medians[1] > 0.0 { medians[0] / medians[1] } else { 0.0 }),
+            );
+        }
+        row.push_measurement(&m);
+        results.push(row);
+    }
+    if digests[0] != digests[1] {
+        return Err(format!(
+            "md fast path diverged from reference: digest {:#x} vs {:#x}",
+            digests[1], digests[0]
+        ));
+    }
+    Ok(results)
+}
+
+fn svm_rows_bench(cfg: &BenchConfig, clock: &dyn Clock) -> Result<Vec<BenchRow>, String> {
+    let re = trained_re(cfg.seed);
+    let svm = re.svm();
+    let dim = N_STREAMS * fadewich_core::features::FEATURES_PER_STREAM;
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x5F);
+    let batch: Vec<Vec<f64>> = (0..cfg.svm_rows)
+        .map(|_| (0..dim).map(|_| rng.normal() * 3.0).collect())
+        .collect();
+    let mut results = Vec::new();
+    let mut medians = [0.0f64; 2];
+    let mut sums = [0u64; 2];
+    for (slot, batched) in [(0usize, false), (1usize, true)] {
+        let mut label_sum = 0u64;
+        let m = measure(clock, cfg.warmup_iters, cfg.iters, cfg.samples, cfg.svm_rows, || {
+            label_sum = if batched {
+                svm.predict_batch(&batch).iter().map(|&l| l as u64).sum()
+            } else {
+                batch.iter().map(|x| svm.predict(x) as u64).sum()
+            };
+            black_box(label_sum);
+        })?;
+        medians[slot] = m.wall_median_ns_per_unit;
+        sums[slot] = label_sum;
+        let mut row =
+            BenchRow::new(if batched { "svm_predict_batch" } else { "svm_predict_scalar" });
+        row.push("rows", FieldValue::U64(cfg.svm_rows));
+        row.push("feature_dim", FieldValue::U64(dim as u64));
+        row.push("label_sum", FieldValue::U64(label_sum));
+        if batched {
+            row.push("matches_reference", FieldValue::Bool(label_sum == sums[0]));
+            row.push(
+                "wall_speedup_vs_reference",
+                FieldValue::F64(if medians[1] > 0.0 { medians[0] / medians[1] } else { 0.0 }),
+            );
+        }
+        row.push_measurement(&m);
+        results.push(row);
+    }
+    if sums[0] != sums[1] {
+        return Err(format!(
+            "svm batched path diverged from scalar: label sum {} vs {}",
+            sums[1], sums[0]
+        ));
+    }
+    Ok(results)
+}
+
+fn kde_fit_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, String> {
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xEDE);
+    let points: Vec<f64> = (0..cfg.kde_points).map(|_| 2.0 + rng.normal() * 0.5).collect();
+    let mut threshold = 0.0f64;
+    let m = measure(clock, cfg.warmup_iters, cfg.iters, cfg.samples, 1, || {
+        let kde = GaussianKde::fit(&points).expect("seeded KDE input is valid");
+        threshold = kde.quantile(0.99);
+        black_box(threshold);
+    })?;
+    let mut row = BenchRow::new("kde_fit");
+    row.push("points", FieldValue::U64(cfg.kde_points));
+    row.push("threshold", FieldValue::F64(threshold));
+    row.push_measurement(&m);
+    Ok(row)
+}
+
+fn engine_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, String> {
+    let re = trained_re(cfg.seed);
+    let inputs = busy_inputs(cfg.engine_ticks);
+    let groups: Vec<(u16, Vec<usize>)> = vec![(0, vec![0, 1]), (1, vec![2, 3])];
+    let engine_cfg = EngineConfig::new(TICK_HZ, bench_params());
+    // Pre-encode the whole day's frames so only ingest+step is timed.
+    let rows_flat = seeded_rows(cfg.seed ^ 0xE6, cfg.engine_ticks);
+    let mut bytes = Vec::new();
+    for tick in 0..cfg.engine_ticks {
+        let row = &rows_flat[tick as usize * N_STREAMS..(tick as usize + 1) * N_STREAMS];
+        for (sensor, positions) in &groups {
+            let frame = Frame {
+                sensor: *sensor,
+                seq: tick as u32,
+                tick,
+                values: positions.iter().map(|&p| row[p] as f32).collect(),
+            };
+            bytes.extend_from_slice(&frame.encode());
+        }
+    }
+    let mut actions_total = 0u64;
+    let mut frames_in = 0u64;
+    let m = measure(clock, cfg.warmup_iters, cfg.iters, cfg.samples, cfg.engine_ticks, || {
+        let kma = Kma::new(&inputs);
+        let mut engine = StreamingEngine::new(engine_cfg, groups.clone(), &re, kma)
+            .expect("bench engine layout is valid");
+        engine.ingest_bytes(&bytes);
+        engine.finish(cfg.engine_ticks);
+        actions_total = engine.actions().len() as u64;
+        frames_in = engine.counters().frames_in;
+    })?;
+    let mut row = BenchRow::new("engine");
+    row.push("ticks", FieldValue::U64(cfg.engine_ticks));
+    row.push("frames_in", FieldValue::U64(frames_in));
+    row.push("actions_total", FieldValue::U64(actions_total));
+    row.push_measurement(&m);
+    row.push(
+        "wall_ticks_per_sec",
+        FieldValue::F64(if m.wall_median_ns_per_unit > 0.0 {
+            1e9 / m.wall_median_ns_per_unit
+        } else {
+            0.0
+        }),
+    );
+    Ok(row)
+}
+
+/// Steps a warmed-up quiet controller one tick at a time and counts
+/// allocator traffic per tick. With the counting allocator registered
+/// (the `reproduce` binary does), steady-state quiet ticks are
+/// allocation-free except at MD batch-flush boundaries; without it
+/// the row reports `counting_active = false` and zeros.
+fn alloc_row(cfg: &BenchConfig) -> Result<BenchRow, String> {
+    // Probe whether the counting allocator is the global allocator.
+    let before = alloc_counts();
+    black_box(Box::new(0x5EEDu64));
+    let counting_active = alloc_counts().since(before).calls > 0;
+
+    let re = trained_re(cfg.seed);
+    let inputs = busy_inputs(cfg.alloc_ticks + 1_000);
+    let kma = Kma::new(&inputs);
+    let mut ctl = Controller::new(N_STREAMS, TICK_HZ, bench_params(), &re, kma)
+        .map_err(|e| format!("bench controller: {e}"))?;
+    // Quiet rows only: the probe measures the steady-state tick loop.
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xA110C);
+    let warm_ticks = 600usize;
+    let total = warm_ticks + cfg.alloc_ticks as usize;
+    let rows: Vec<f64> =
+        (0..total * N_STREAMS).map(|_| -50.0 + rng.normal() * 0.6).collect();
+    for tick in 0..warm_ticks {
+        ctl.step(tick, &rows[tick * N_STREAMS..(tick + 1) * N_STREAMS]);
+    }
+    let mut zero_ticks = 0u64;
+    let before = alloc_counts();
+    for tick in warm_ticks..total {
+        let t0 = alloc_counts();
+        ctl.step(tick, &rows[tick * N_STREAMS..(tick + 1) * N_STREAMS]);
+        if alloc_counts().since(t0).calls == 0 {
+            zero_ticks += 1;
+        }
+    }
+    let delta = alloc_counts().since(before);
+    let mut row = BenchRow::new("controller_tick_allocs");
+    row.push("counting_active", FieldValue::Bool(counting_active));
+    row.push("ticks", FieldValue::U64(cfg.alloc_ticks));
+    row.push("zero_alloc_ticks", FieldValue::U64(zero_ticks));
+    row.push("alloc_calls", FieldValue::U64(delta.calls));
+    row.push("alloc_bytes", FieldValue::U64(delta.bytes));
+    row.push(
+        "alloc_calls_per_tick",
+        FieldValue::F64(delta.calls as f64 / cfg.alloc_ticks as f64),
+    );
+    Ok(row)
+}
+
+/// Runs every workload and assembles the report. Purely seed- and
+/// clock-driven: a manual clock yields a fully deterministic report,
+/// a wall clock yields deterministic non-`wall_` fields.
+///
+/// # Errors
+///
+/// Invalid configs, workload construction failures, and any fast-path
+/// divergence from the reference arithmetic.
+pub fn run(cfg: &BenchConfig, clock: &Arc<dyn Clock>) -> Result<BenchReport, String> {
+    cfg.validate()?;
+    let clock = clock.as_ref();
+    let mut rows = Vec::new();
+    rows.push(engine_row(cfg, clock)?);
+    rows.push(wire_decode_row(cfg, clock)?);
+    rows.extend(md_rows(cfg, clock)?);
+    rows.extend(svm_rows_bench(cfg, clock)?);
+    rows.push(kde_fit_row(cfg, clock)?);
+    rows.push(alloc_row(cfg)?);
+    Ok(BenchReport { seed: cfg.seed, smoke: cfg.smoke, rows })
+}
+
+/// `YYYY-MM-DD` from a Unix timestamp (proleptic Gregorian, UTC) —
+/// enough calendar math to stamp the report filename without a date
+/// dependency.
+pub fn civil_date(unix_secs: u64) -> String {
+    let days = unix_secs / 86_400;
+    // Howard Hinnant's civil-from-days algorithm.
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

@@ -1,5 +1,9 @@
-//! Criterion benchmarks and the reproduce binary (see `src/bin/reproduce.rs`).
+//! Criterion benchmarks, the perf-baseline harness, and the reproduce
+//! binary (see `src/bin/reproduce.rs`).
 //!
-//! This crate has no library API; everything lives in the binary and
-//! the `benches/` targets.
+//! [`harness`] is the library behind `reproduce bench`: seeded,
+//! deterministic workloads through the real pipeline layers, timed
+//! through the [`fadewich_telemetry::Clock`] seam and reported as a
+//! stdout table plus a machine-readable `BENCH_<date>.json`.
 
+pub mod harness;

@@ -18,10 +18,11 @@
 //! paper's baseline comparison.
 
 use fadewich_stats::rolling::{HistoryBuffer, HistoryState};
+use fadewich_svm::PredictScratch;
 use fadewich_telemetry::{SpanId, Telemetry, Value};
 
 use crate::config::FadewichParams;
-use crate::features::extract_features_from_histories;
+use crate::features::{extract_features_from_histories, extract_features_from_histories_into};
 use crate::kma::Kma;
 use crate::md::{MdRuntimeState, MovementDetector};
 use crate::re::RadioEnvironment;
@@ -181,6 +182,19 @@ pub struct Controller<'a> {
     /// Observability only — deliberately absent from
     /// [`ControllerState`]; a restored controller starts disabled.
     telemetry: Telemetry,
+    /// When `true`, Rule 1's untraced decision path uses the original
+    /// allocating feature/classify routines instead of the scratch
+    /// buffers below. Decisions are bit-identical either way (the
+    /// differential suites pin this); the flag exists so the reference
+    /// arithmetic stays exercisable end-to-end. Deliberately absent
+    /// from [`ControllerState`] — it changes cost, never behavior.
+    reference_paths: bool,
+    /// Scratch for Rule 1's hot path: the per-stream feature window.
+    win_buf: Vec<f64>,
+    /// Scratch for Rule 1's hot path: the assembled feature vector.
+    feat_buf: Vec<f64>,
+    /// Scratch for the SVM vote tally in the untraced classify.
+    predict_scratch: PredictScratch,
 }
 
 impl<'a> Controller<'a> {
@@ -213,7 +227,22 @@ impl<'a> Controller<'a> {
             actions: Vec::new(),
             prev_t: 0.0,
             telemetry: Telemetry::disabled(),
+            reference_paths: false,
+            win_buf: Vec::new(),
+            feat_buf: Vec::new(),
+            predict_scratch: PredictScratch::new(),
         })
+    }
+
+    /// Switches between the optimized batched/scratch hot paths
+    /// (default) and the original scalar reference paths, cascading to
+    /// the movement detector's rolling-std bank. Both produce
+    /// bit-identical decisions, actions, traces and checkpoints; the
+    /// toggle exists for the differential pin tests and the bench
+    /// harness's reference/fast comparison.
+    pub fn set_reference_paths(&mut self, reference: bool) {
+        self.md.set_reference_paths(reference);
+        self.reference_paths = reference;
     }
 
     /// Installs a telemetry handle and cascades it to the movement
@@ -491,41 +520,63 @@ impl<'a> Controller<'a> {
                 ("t", Value::F64(t)),
             ],
         );
-        let features = extract_features_from_histories(
+        let label = if audit.is_some() || self.reference_paths {
+            // Traced or reference path: the original allocating
+            // extraction (the audit event clones the features anyway).
+            let features = extract_features_from_histories(
+                &self.histories,
+                start as u64,
+                self.tick_hz,
+                &self.params,
+            );
+            match &features {
+                Some(features) => {
+                    if audit.is_some() {
+                        let p = self.re.classify_with_margins(features);
+                        self.telemetry.event(
+                            tick as u64,
+                            "re_prediction",
+                            audit,
+                            &[
+                                ("label", Value::U64(p.label as u64)),
+                                (
+                                    "classes",
+                                    Value::U64s(
+                                        self.re.classes().iter().map(|&c| c as u64).collect(),
+                                    ),
+                                ),
+                                ("votes", Value::U64s(p.votes.iter().map(|&v| v as u64).collect())),
+                                ("margins", Value::F64s(p.margins.clone())),
+                                ("features", Value::F64s(features.clone())),
+                            ],
+                        );
+                        p.label
+                    } else {
+                        self.re.classify(features)
+                    }
+                }
+                None => {
+                    // History evicted (cannot happen in practice).
+                    self.rule1_verdict(tick, audit, start, None, false, "no_features");
+                    return;
+                }
+            }
+        } else if extract_features_from_histories_into(
             &self.histories,
             start as u64,
             self.tick_hz,
             &self.params,
-        );
-        let label = match &features {
-            Some(features) => {
-                if audit.is_some() {
-                    let p = self.re.classify_with_margins(features);
-                    self.telemetry.event(
-                        tick as u64,
-                        "re_prediction",
-                        audit,
-                        &[
-                            ("label", Value::U64(p.label as u64)),
-                            (
-                                "classes",
-                                Value::U64s(self.re.classes().iter().map(|&c| c as u64).collect()),
-                            ),
-                            ("votes", Value::U64s(p.votes.iter().map(|&v| v as u64).collect())),
-                            ("margins", Value::F64s(p.margins.clone())),
-                            ("features", Value::F64s(features.clone())),
-                        ],
-                    );
-                    p.label
-                } else {
-                    self.re.classify(features)
-                }
-            }
-            None => {
-                // History evicted (cannot happen in practice).
-                self.rule1_verdict(tick, audit, start, None, false, "no_features");
-                return;
-            }
+            &mut self.win_buf,
+            &mut self.feat_buf,
+        ) {
+            // Untraced hot path: reuse the window/feature scratch and
+            // the SVM vote tally — allocation-free at steady state,
+            // bit-identical label.
+            self.re.classify_into(&self.feat_buf, &mut self.predict_scratch)
+        } else {
+            // History evicted (cannot happen in practice).
+            self.rule1_verdict(tick, audit, start, None, false, "no_features");
+            return;
         };
         if label == 0 {
             // w0: someone entered; nobody to deauthenticate.
@@ -744,6 +795,46 @@ mod tests {
         // Rule 1 fires when the window reaches t_delta (~4.6 s after 120).
         let dt = deauth[0].t - 120.0;
         assert!((3.0..=7.0).contains(&dt), "deauth after {dt} s");
+    }
+
+    #[test]
+    fn reference_and_fast_paths_act_bit_identically() {
+        // Same seeded day (with a deauth-triggering burst and masked
+        // ticks) through the default fast paths and the scalar
+        // reference paths: identical actions and identical exported
+        // runtime state, bit for bit.
+        let inputs = departure_inputs(400);
+        let n_streams = 4;
+        let re = fixed_re(n_streams);
+        let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+        let run = |reference: bool| {
+            let kma = Kma::new(&inputs);
+            let mut ctl = Controller::new(n_streams, 5.0, params, &re, kma).unwrap();
+            ctl.set_reference_paths(reference);
+            let mut rng = Rng::seed_from_u64(7);
+            let mut mask = vec![false; n_streams];
+            for tick in 0..1200 {
+                let noisy = (600..640).contains(&tick);
+                let sd = if noisy { 4.0 } else { 0.6 };
+                let row: Vec<f64> = (0..n_streams).map(|_| -50.0 + rng.normal() * sd).collect();
+                if tick % 97 == 0 {
+                    mask[tick / 97 % n_streams] = true;
+                    ctl.step_masked(tick, &row, &mask);
+                    mask[tick / 97 % n_streams] = false;
+                } else {
+                    ctl.step(tick, &row);
+                }
+            }
+            (ctl.actions().to_vec(), ctl.runtime_state())
+        };
+        let (fast_actions, fast_state) = run(false);
+        let (ref_actions, ref_state) = run(true);
+        assert_eq!(fast_actions, ref_actions);
+        assert_eq!(fast_state, ref_state);
+        assert!(
+            fast_actions.iter().any(|a| a.kind.is_deauth()),
+            "day should exercise Rule 1: {fast_actions:?}"
+        );
     }
 
     #[test]

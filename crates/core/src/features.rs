@@ -88,6 +88,39 @@ pub fn extract_features_from_histories(
     Some(features)
 }
 
+/// Scratch-buffer variant of [`extract_features_from_histories`] for
+/// the controller's per-tick loop: the window samples land in
+/// `win_buf` and the features are appended to a cleared `out`, so once
+/// both buffers have reached steady-state capacity a call performs no
+/// feature-vector or window allocation. Returns `false` (leaving
+/// `out` empty) where the allocating variant returns `None`.
+///
+/// Produces bit-identical feature values to the allocating variant —
+/// both feed the same per-window slices through the same estimators.
+pub fn extract_features_from_histories_into(
+    histories: &[fadewich_stats::rolling::HistoryBuffer],
+    t1_tick: u64,
+    tick_hz: f64,
+    params: &FadewichParams,
+    win_buf: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) -> bool {
+    out.clear();
+    for h in histories {
+        let t_end = (t1_tick + params.feature_window_ticks(tick_hz) as u64)
+            .min(h.total_pushed())
+            .max(t1_tick + 2);
+        if !h.range_into(t1_tick, t_end, win_buf) {
+            out.clear();
+            return false;
+        }
+        out.push(descriptive::variance(win_buf));
+        out.push(Histogram::of_data(win_buf, params.entropy_bins).entropy_bits());
+        out.push(autocorr::mean_acf(win_buf, params.acf_max_lag));
+    }
+    true
+}
+
 /// A labeled training sample for RE.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainingSample {
@@ -163,6 +196,38 @@ mod tests {
                 "d1-d2-var", "d1-d2-ent", "d1-d2-ac",
             ]
         );
+    }
+
+    #[test]
+    fn histories_into_matches_allocating_variant() {
+        use fadewich_stats::rolling::HistoryBuffer;
+        let mut rng = Rng::seed_from_u64(2);
+        let params = FadewichParams::default();
+        let mut histories: Vec<HistoryBuffer> = (0..3).map(|_| HistoryBuffer::new(64)).collect();
+        for _ in 0..100 {
+            for h in histories.iter_mut() {
+                h.push(-50.0 + rng.normal());
+            }
+        }
+        let mut win_buf = Vec::new();
+        let mut out = Vec::new();
+        for t1 in [40u64, 80, 98] {
+            let reference = extract_features_from_histories(&histories, t1, 5.0, &params);
+            let ok =
+                extract_features_from_histories_into(&histories, t1, 5.0, &params, &mut win_buf, &mut out);
+            assert!(ok);
+            let reference = reference.unwrap();
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // An evicted window fails the same way in both variants.
+        assert!(extract_features_from_histories(&histories, 2, 5.0, &params).is_none());
+        assert!(!extract_features_from_histories_into(
+            &histories, 2, 5.0, &params, &mut win_buf, &mut out
+        ));
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use fadewich_officesim::DayTrace;
 use fadewich_stats::kde::GaussianKde;
-use fadewich_stats::rolling::{RollingStd, RollingStdState};
+use fadewich_stats::rolling::{RollingStd, RollingStdBatch, RollingStdState};
 use fadewich_telemetry::{SpanId, Telemetry, Value};
 
 use crate::config::FadewichParams;
@@ -64,12 +64,79 @@ pub struct MdRuntimeState {
     pub tracker: WindowTrackerState,
 }
 
+/// The per-stream rolling-std storage behind [`MovementDetector`].
+///
+/// Both variants hold identical mathematical state and produce
+/// bit-identical `std_dev` streams (see [`RollingStdBatch`]'s
+/// contract); they differ only in memory layout and therefore speed.
+/// `Fast` is the default; [`MovementDetector::set_reference_paths`]
+/// swaps to the scalar `Reference` bank for differential testing, and
+/// either bank checkpoints as the same `Vec<RollingStdState>`.
+#[derive(Debug, Clone)]
+enum StdBank {
+    /// One independently allocated window per stream (the original
+    /// scalar layout, kept as the differential-test oracle).
+    Reference(Vec<RollingStd>),
+    /// All streams in one struct-of-arrays bank.
+    Fast(RollingStdBatch),
+}
+
+impl StdBank {
+    fn n_streams(&self) -> usize {
+        match self {
+            StdBank::Reference(v) => v.len(),
+            StdBank::Fast(b) => b.n_streams(),
+        }
+    }
+
+    fn push_row(&mut self, row: &[f64]) {
+        match self {
+            StdBank::Reference(v) => {
+                for (w, &x) in v.iter_mut().zip(row) {
+                    w.push(x);
+                }
+            }
+            StdBank::Fast(b) => b.push_row(row),
+        }
+    }
+
+    fn push_one(&mut self, s: usize, x: f64) {
+        match self {
+            StdBank::Reference(v) => v[s].push(x),
+            StdBank::Fast(b) => b.push_one(s, x),
+        }
+    }
+
+    fn std_dev(&self, s: usize) -> f64 {
+        match self {
+            StdBank::Reference(v) => v[s].std_dev(),
+            StdBank::Fast(b) => b.std_dev(s),
+        }
+    }
+
+    /// Σ std_dev over all streams, folded in stream order from `0.0`
+    /// in both variants (the `s_t` bit pattern depends on it).
+    fn sum_std_devs(&self) -> f64 {
+        match self {
+            StdBank::Reference(v) => v.iter().map(RollingStd::std_dev).sum(),
+            StdBank::Fast(b) => (0..b.n_streams()).map(|s| b.std_dev(s)).sum(),
+        }
+    }
+
+    fn states(&self) -> Vec<RollingStdState> {
+        match self {
+            StdBank::Reference(v) => v.iter().map(RollingStd::state).collect(),
+            StdBank::Fast(b) => b.states(),
+        }
+    }
+}
+
 /// The online movement detector.
 #[derive(Debug, Clone)]
 pub struct MovementDetector {
     params: FadewichParams,
     tick_hz: f64,
-    stream_stds: Vec<RollingStd>,
+    stream_stds: StdBank,
     profile: Vec<f64>,
     threshold: Option<f64>,
     init_ticks: usize,
@@ -113,7 +180,7 @@ impl MovementDetector {
         Ok(MovementDetector {
             params,
             tick_hz,
-            stream_stds: vec![RollingStd::new(window_ticks); n_streams],
+            stream_stds: StdBank::Fast(RollingStdBatch::new(n_streams, window_ticks)),
             profile: Vec::with_capacity(params.profile_capacity),
             threshold: None,
             init_ticks: (params.profile_init_s * tick_hz).round() as usize,
@@ -144,7 +211,32 @@ impl MovementDetector {
 
     /// Number of monitored streams.
     pub fn n_streams(&self) -> usize {
-        self.stream_stds.len()
+        self.stream_stds.n_streams()
+    }
+
+    /// Selects between the struct-of-arrays fast path (the default)
+    /// and the scalar reference path for the per-stream rolling-std
+    /// bank. The two are bit-identical by construction — this switch
+    /// exists so differential and end-to-end pin tests can prove it,
+    /// and so a future regression can be bisected to one layout.
+    ///
+    /// Switching converts the live state through the checkpoint codec,
+    /// which preserves every accumulator bit; it can be flipped
+    /// mid-stream without perturbing subsequent verdicts.
+    pub fn set_reference_paths(&mut self, reference: bool) {
+        let states = self.stream_stds.states();
+        self.stream_stds = if reference {
+            StdBank::Reference(
+                states
+                    .iter()
+                    .map(|s| RollingStd::from_state(s).expect("self-exported state is valid"))
+                    .collect(),
+            )
+        } else {
+            StdBank::Fast(
+                RollingStdBatch::from_states(&states).expect("self-exported state is valid"),
+            )
+        };
     }
 
     /// The current anomaly threshold `ub`, once initialized.
@@ -212,7 +304,7 @@ impl MovementDetector {
     pub fn runtime_state(&self) -> MdRuntimeState {
         MdRuntimeState {
             snapshot: self.snapshot(),
-            stream_stds: self.stream_stds.iter().map(RollingStd::state).collect(),
+            stream_stds: self.stream_stds.states(),
             ticks_seen: self.ticks_seen,
             queue: self.queue.clone(),
             queue_anomalous: self.queue_anomalous,
@@ -250,7 +342,6 @@ impl MovementDetector {
             ));
         }
         let window_ticks = params.std_window_ticks(tick_hz);
-        let mut stds = Vec::with_capacity(n_streams);
         for (i, s) in state.stream_stds.iter().enumerate() {
             if s.capacity != window_ticks {
                 return Err(format!(
@@ -258,8 +349,12 @@ impl MovementDetector {
                     s.capacity
                 ));
             }
-            stds.push(RollingStd::from_state(s).map_err(|e| format!("stream {i}: {e}"))?);
+            RollingStd::from_state(s).map_err(|e| format!("stream {i}: {e}"))?;
         }
+        let stds = StdBank::Fast(
+            RollingStdBatch::from_states(&state.stream_stds)
+                .expect("entries validated individually above"),
+        );
         if state.queue.len() >= params.batch_size {
             return Err(format!(
                 "batch queue of {} values should have flushed at {}",
@@ -311,8 +406,28 @@ impl MovementDetector {
     ///
     /// Panics if `row.len() != n_streams()`.
     pub fn step(&mut self, tick: usize, row: &[f64]) -> MdVerdict {
-        assert_eq!(row.len(), self.stream_stds.len(), "stream count mismatch");
+        assert_eq!(row.len(), self.stream_stds.n_streams(), "stream count mismatch");
         self.step_inner(tick, row, None)
+    }
+
+    /// Feeds a block of consecutive ticks (row-major: tick `i` at
+    /// `rows[i*n_streams .. (i+1)*n_streams]`, starting at
+    /// `start_tick`), appending one verdict per tick to `out`.
+    ///
+    /// Semantically identical to calling [`step`](Self::step) per
+    /// tick — verdicts are bit-identical — but the bank's row sweep
+    /// stays hot across the block, which is how the offline/bench
+    /// paths drive the detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of `n_streams()`.
+    pub fn step_batch(&mut self, start_tick: usize, rows: &[f64], out: &mut Vec<MdVerdict>) {
+        let n = self.stream_stds.n_streams();
+        assert_eq!(rows.len() % n, 0, "row block width must be a multiple of the stream count");
+        for (i, row) in rows.chunks_exact(n).enumerate() {
+            out.push(self.step_inner(start_tick + i, row, None));
+        }
     }
 
     /// Feeds one tick in which some streams are unavailable (sensor
@@ -331,8 +446,8 @@ impl MovementDetector {
     ///
     /// Panics if `row.len() != n_streams()` or `mask.len() != n_streams()`.
     pub fn step_masked(&mut self, tick: usize, row: &[f64], mask: &[bool]) -> MdVerdict {
-        assert_eq!(row.len(), self.stream_stds.len(), "stream count mismatch");
-        assert_eq!(mask.len(), self.stream_stds.len(), "mask length mismatch");
+        assert_eq!(row.len(), self.stream_stds.n_streams(), "stream count mismatch");
+        assert_eq!(mask.len(), self.stream_stds.n_streams(), "mask length mismatch");
         if mask.iter().any(|&m| m) {
             self.step_inner(tick, row, Some(mask))
         } else {
@@ -342,28 +457,24 @@ impl MovementDetector {
 
     fn step_inner(&mut self, tick: usize, row: &[f64], mask: Option<&[bool]>) -> MdVerdict {
         match mask {
-            None => {
-                for (w, &x) in self.stream_stds.iter_mut().zip(row) {
-                    w.push(x);
-                }
-            }
+            None => self.stream_stds.push_row(row),
             Some(m) => {
-                for ((w, &x), &skip) in self.stream_stds.iter_mut().zip(row).zip(m) {
+                for (s, (&x, &skip)) in row.iter().zip(m).enumerate() {
                     if !skip {
-                        w.push(x);
+                        self.stream_stds.push_one(s, x);
                     }
                 }
             }
         }
         self.ticks_seen += 1;
         let st: f64 = match mask {
-            None => self.stream_stds.iter().map(RollingStd::std_dev).sum(),
+            None => self.stream_stds.sum_std_devs(),
             Some(m) => {
                 let mut sum = 0.0;
                 let mut active = 0usize;
-                for (w, &skip) in self.stream_stds.iter().zip(m) {
+                for (s, &skip) in m.iter().enumerate() {
                     if !skip {
-                        sum += w.std_dev();
+                        sum += self.stream_stds.std_dev(s);
                         active += 1;
                     }
                 }
@@ -373,7 +484,7 @@ impl MovementDetector {
                     let closed_window = self.track(tick, false, 0.0);
                     return MdVerdict { anomalous: false, st: 0.0, closed_window };
                 }
-                sum * self.stream_stds.len() as f64 / active as f64
+                sum * self.stream_stds.n_streams() as f64 / active as f64
             }
         };
 
@@ -908,6 +1019,62 @@ mod tests {
         assert!(MovementDetector::with_snapshot(4, 5.0, p, snap).is_err());
         let snap = MdSnapshot { values: vec![], threshold: Some(2.0) };
         assert!(MovementDetector::with_snapshot(4, 5.0, p, snap).is_err());
+    }
+
+    #[test]
+    fn reference_and_fast_banks_are_bit_identical() {
+        // The scalar reference bank against the default SoA bank over
+        // a day with a burst, masked ticks, and a mid-stream mode flip
+        // that must convert the live state losslessly.
+        let day = synthetic_day(4, 2400, Some((1400, 1460, 2.0)), 21);
+        let mut fast = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        let mut reference = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        reference.set_reference_paths(true);
+        for tick in 0..day.n_ticks() {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            let (a, b) = if tick % 97 == 0 {
+                let mask = [false, true, false, false];
+                (fast.step_masked(tick, &row, &mask), reference.step_masked(tick, &row, &mask))
+            } else {
+                (fast.step(tick, &row), reference.step(tick, &row))
+            };
+            assert_eq!(a.st.to_bits(), b.st.to_bits(), "s_t diverged at tick {tick}");
+            assert_eq!(a, b, "verdict diverged at tick {tick}");
+            if tick == 1200 {
+                // Swap banks on both detectors mid-stream.
+                fast.set_reference_paths(true);
+                reference.set_reference_paths(false);
+            }
+        }
+        assert_eq!(fast.runtime_state(), reference.runtime_state());
+    }
+
+    #[test]
+    fn step_batch_matches_per_tick_step() {
+        let day = synthetic_day(4, 900, Some((500, 540, 2.0)), 22);
+        let mut per_tick = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        let mut batched = MovementDetector::new(4, 5.0, fast_params()).unwrap();
+        let mut expected = Vec::new();
+        let mut flat = Vec::new();
+        for tick in 0..day.n_ticks() {
+            let row: Vec<f64> = (0..4).map(|s| day.sample(tick, s)).collect();
+            expected.push(per_tick.step(tick, &row));
+            flat.extend_from_slice(&row);
+        }
+        let mut got = Vec::new();
+        // Uneven block sizes, including a zero-length block.
+        let mut tick = 0usize;
+        for block in [300usize, 0, 128, 472] {
+            let start = tick * 4;
+            batched.step_batch(tick, &flat[start..start + block * 4], &mut got);
+            tick += block;
+        }
+        assert_eq!(tick, day.n_ticks());
+        assert_eq!(got.len(), expected.len());
+        for (t, (a, b)) in got.iter().zip(&expected).enumerate() {
+            assert_eq!(a.st.to_bits(), b.st.to_bits(), "tick {t}");
+            assert_eq!(a, b, "tick {t}");
+        }
     }
 
     #[test]

@@ -120,6 +120,17 @@ impl RadioEnvironment {
         self.svm.predict(features)
     }
 
+    /// Allocation-free [`classify`](Self::classify) into caller-owned
+    /// scratch (the controller's untraced per-tick decision path).
+    /// Returns the same label bit-identically.
+    pub fn classify_into(
+        &self,
+        features: &[f64],
+        scratch: &mut fadewich_svm::PredictScratch,
+    ) -> usize {
+        self.svm.predict_into(features, scratch)
+    }
+
     /// Classifies one sample and returns the full per-class vote and
     /// margin tally (the audit trail records it next to the verdict).
     /// The label agrees bit-exactly with [`classify`](Self::classify).

@@ -234,6 +234,15 @@ impl<'a> StreamingEngine<'a> {
         self.clock = clock;
     }
 
+    /// Switches the core pipeline between the optimized batched hot
+    /// paths (default) and the original scalar reference paths; see
+    /// [`Controller::set_reference_paths`]. Decisions, events and
+    /// checkpoints are bit-identical either way — the e2e pin test in
+    /// `tests/parity.rs` holds the two runs byte-equal.
+    pub fn set_reference_paths(&mut self, reference: bool) {
+        self.controller.set_reference_paths(reference);
+    }
+
     /// Feeds raw wire bytes (one or more concatenated frames). Frames
     /// for unknown sensors are counted as corrupt and skipped; a
     /// decode error abandons the rest of the buffer (framing is lost).

@@ -1,0 +1,206 @@
+//! End-to-end pin of the optimized hot paths.
+//!
+//! The batched rolling-std bank, the scratch-buffer feature
+//! extraction and the batched SVM vote tally replace the scalar
+//! reference arithmetic on the per-tick decision path. This suite
+//! streams the same seeded officesim day through
+//! [`StreamingEngine`] with the fast paths on (default) and off
+//! ([`StreamingEngine::set_reference_paths`]) and holds the two runs
+//! **byte-identical**: decision logs, engine events, deterministic
+//! counters, mid-day checkpoints, and — when instrumented — the full
+//! trace JSONL and metrics JSON.
+
+use std::sync::OnceLock;
+
+use fadewich_core::config::FadewichParams;
+use fadewich_core::kma::Kma;
+use fadewich_officesim::{Scenario, ScenarioConfig, ScheduleParams, Trace};
+use fadewich_runtime::checkpoint::EngineSnapshot;
+use fadewich_runtime::engine::EngineConfig;
+use fadewich_runtime::link::LinkModel;
+use fadewich_runtime::replay;
+use fadewich_runtime::{EngineEvent, StreamingEngine};
+use fadewich_telemetry::Telemetry;
+
+struct Fixture {
+    scenario: Scenario,
+    trace: Trace,
+    streams: Vec<usize>,
+    re: fadewich_core::re::RadioEnvironment,
+    params: FadewichParams,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let config = ScenarioConfig {
+            seed: 0xD3B,
+            days: 2,
+            schedule: ScheduleParams {
+                day_seconds: 2.0 * 3600.0,
+                departures_choices: [3, 3, 4, 4],
+                min_seated_s: 400.0,
+                absence_bounds_s: (90.0, 300.0),
+                ..ScheduleParams::default()
+            },
+            ..ScenarioConfig::default()
+        };
+        let scenario = Scenario::generate(config).unwrap();
+        let trace = scenario.simulate().unwrap();
+        let subset = scenario.layout().sensor_subset(9);
+        let streams = trace.stream_indices_for_subset(&subset);
+        let params = FadewichParams::default();
+        let re = replay::train_re(&scenario, &trace, &streams, 1, &params).unwrap();
+        Fixture { scenario, trace, streams, re, params }
+    })
+}
+
+/// Everything one replay produced that must not depend on which
+/// arithmetic path computed it.
+struct Outcome {
+    actions_debug: String,
+    events: Vec<EngineEvent>,
+    counters_summary: String,
+    snapshots: Vec<EngineSnapshot>,
+    trace_jsonl: String,
+    metrics_json: String,
+}
+
+/// Streams fixture day 1 over `link` with the chosen paths, capturing
+/// mid-day checkpoints at fixed delivery positions.
+fn run_day(fx: &Fixture, reference: bool, link: &LinkModel, instrument: bool) -> Outcome {
+    let groups = fx.trace.receiver_groups(&fx.streams);
+    let inputs = fx.scenario.input_trace(1, 0);
+    let kma = Kma::new(&inputs);
+    let mut cfg = EngineConfig::new(fx.trace.tick_hz(), fx.params);
+    cfg.jitter_ticks = 3;
+    let telemetry = if instrument { Telemetry::buffering() } else { Telemetry::disabled() };
+    let mut engine = StreamingEngine::new(cfg, groups.clone(), &fx.re, kma).unwrap();
+    engine.set_reference_paths(reference);
+    engine.set_telemetry(telemetry.clone());
+    let deliveries =
+        replay::day_deliveries(&fx.trace, &fx.streams, &groups, 1, link, 0xF10D).unwrap();
+    let snap_at = [deliveries.len() / 3, 2 * deliveries.len() / 3];
+    let mut snapshots = Vec::new();
+    for (i, bytes) in deliveries.iter().enumerate() {
+        engine.ingest_bytes(bytes);
+        if snap_at.contains(&(i + 1)) {
+            snapshots.push(engine.snapshot(1, (i + 1) as u64, 0));
+        }
+    }
+    engine.finish(fx.trace.days()[1].n_ticks() as u64);
+    Outcome {
+        actions_debug: format!("{:?}", engine.actions()),
+        events: engine.events().to_vec(),
+        counters_summary: engine.counters().deterministic_summary(),
+        snapshots,
+        trace_jsonl: telemetry.trace_string(),
+        metrics_json: if instrument { telemetry.metrics_json(false).unwrap() } else { String::new() },
+    }
+}
+
+fn assert_outcomes_identical(fast: &Outcome, reference: &Outcome, what: &str) {
+    assert_eq!(fast.actions_debug, reference.actions_debug, "{what}: decision logs diverged");
+    assert_eq!(fast.events, reference.events, "{what}: engine events diverged");
+    assert_eq!(fast.counters_summary, reference.counters_summary, "{what}: counters diverged");
+    assert_eq!(fast.snapshots.len(), reference.snapshots.len());
+    for (a, b) in fast.snapshots.iter().zip(&reference.snapshots) {
+        assert_eq!(a, b, "{what}: a mid-day checkpoint diverged");
+    }
+    assert_eq!(fast.trace_jsonl, reference.trace_jsonl, "{what}: trace JSONL diverged");
+    assert_eq!(fast.metrics_json, reference.metrics_json, "{what}: metrics JSON diverged");
+}
+
+#[test]
+fn fast_and_reference_paths_are_byte_identical_lossless() {
+    // Uninstrumented lossless day: this is the configuration where the
+    // untraced scratch classify path actually runs, so it is the one
+    // that pins the allocation-free Rule 1 arithmetic.
+    let fx = fixture();
+    let fast = run_day(fx, false, &LinkModel::lossless(), false);
+    let reference = run_day(fx, true, &LinkModel::lossless(), false);
+    assert!(fast.actions_debug != "[]", "fixture day produced no actions at all");
+    assert_outcomes_identical(&fast, &reference, "lossless");
+}
+
+#[test]
+fn fast_and_reference_paths_are_byte_identical_lossy() {
+    // A lossy link produces gap-fills and masked ticks, driving the
+    // rolling-std bank through its non-uniform per-stream path.
+    let fx = fixture();
+    let link = LinkModel { drop_p: 0.05, dup_p: 0.02, corrupt_p: 0.01, jitter_ticks: 3 };
+    let fast = run_day(fx, false, &link, false);
+    let reference = run_day(fx, true, &link, false);
+    assert!(
+        fast.counters_summary.contains("gap-fills"),
+        "summary should expose degradation counters: {}",
+        fast.counters_summary
+    );
+    assert_outcomes_identical(&fast, &reference, "lossy");
+}
+
+#[test]
+fn fast_and_reference_paths_emit_identical_traces() {
+    // Instrumented replay: both modes take the traced (allocating)
+    // Rule 1 branch, but MD's batched rolling-std bank still differs —
+    // the full audit trail must not.
+    let fx = fixture();
+    let fast = run_day(fx, false, &LinkModel::lossless(), true);
+    let reference = run_day(fx, true, &LinkModel::lossless(), true);
+    assert!(!fast.trace_jsonl.is_empty(), "instrumented replay emitted no trace records");
+    assert_outcomes_identical(&fast, &reference, "instrumented");
+}
+
+#[test]
+fn checkpoint_crosses_path_modes() {
+    // A checkpoint captured under the fast paths restores into a
+    // reference-path engine (and vice versa) and both resumed runs
+    // finish the day with the decisions of an uninterrupted run: the
+    // exported state is path-agnostic.
+    let fx = fixture();
+    let groups = fx.trace.receiver_groups(&fx.streams);
+    let cfg = EngineConfig::new(fx.trace.tick_hz(), fx.params);
+    let deliveries =
+        replay::day_deliveries(&fx.trace, &fx.streams, &groups, 1, &LinkModel::lossless(), 0xF10D)
+            .unwrap();
+    let n_ticks = fx.trace.days()[1].n_ticks() as u64;
+
+    let inputs = fx.scenario.input_trace(1, 0);
+    let mut full =
+        StreamingEngine::new(cfg, groups.clone(), &fx.re, Kma::new(&inputs)).unwrap();
+    for bytes in &deliveries {
+        full.ingest_bytes(bytes);
+    }
+    full.finish(n_ticks);
+
+    let cut = deliveries.len() / 2;
+    for (snap_reference, resume_reference) in [(false, true), (true, false)] {
+        let inputs = fx.scenario.input_trace(1, 0);
+        let mut pre =
+            StreamingEngine::new(cfg, groups.clone(), &fx.re, Kma::new(&inputs)).unwrap();
+        pre.set_reference_paths(snap_reference);
+        for bytes in &deliveries[..cut] {
+            pre.ingest_bytes(bytes);
+        }
+        let snap = pre.snapshot(1, cut as u64, 0);
+        let inputs = fx.scenario.input_trace(1, 0);
+        let mut post =
+            StreamingEngine::restore(cfg, groups.clone(), &fx.re, Kma::new(&inputs), &snap)
+                .unwrap();
+        post.set_reference_paths(resume_reference);
+        for bytes in &deliveries[cut..] {
+            post.ingest_bytes(bytes);
+        }
+        post.finish(n_ticks);
+        let stitched: Vec<_> = pre.actions()[..snap.controller.n_actions as usize]
+            .iter()
+            .chain(post.actions())
+            .copied()
+            .collect();
+        assert_eq!(
+            full.actions(),
+            &stitched[..],
+            "snap_reference={snap_reference} resume_reference={resume_reference}"
+        );
+    }
+}

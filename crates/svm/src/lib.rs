@@ -37,6 +37,6 @@ pub mod smo;
 
 pub use cv::{k_fold, stratified_k_fold, Fold};
 pub use kernel::Kernel;
-pub use multiclass::{MultiClassSvm, NearestCentroid, Prediction};
+pub use multiclass::{MultiClassSvm, NearestCentroid, PredictScratch, Prediction};
 pub use scaler::StandardScaler;
 pub use smo::{BinarySvm, SmoParams, TrainError};

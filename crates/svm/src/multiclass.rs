@@ -25,6 +25,26 @@ pub struct Prediction {
     pub margins: Vec<f64>,
 }
 
+/// Reusable buffers for [`MultiClassSvm::predict_into`].
+///
+/// One scratch serves any number of predictions against any ensemble;
+/// after the first call its buffers reach steady-state capacity and
+/// subsequent predictions touch the allocator not at all — the
+/// property the controller's per-tick Rule-1 classification relies on.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    row: Vec<f64>,
+    votes: Vec<usize>,
+    margin: Vec<f64>,
+}
+
+impl PredictScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A trained multi-class SVM with integrated feature standardization.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiClassSvm {
@@ -189,15 +209,7 @@ impl MultiClassSvm {
                 margin[*cb] += -d;
             }
         }
-        let label = *self
-            .classes
-            .iter()
-            .max_by(|&&a, &&b| {
-                votes[a]
-                    .cmp(&votes[b])
-                    .then_with(|| margin[a].partial_cmp(&margin[b]).expect("finite margins"))
-            })
-            .expect("at least two classes");
+        let label = Self::winner(&self.classes, &votes, &margin);
         Prediction {
             label,
             votes: self.classes.iter().map(|&c| votes[c]).collect(),
@@ -205,9 +217,114 @@ impl MultiClassSvm {
         }
     }
 
+    /// The OvO winner: maximal vote count, ties broken by summed
+    /// absolute margins. `votes`/`margin` are indexed by raw class
+    /// label (the `max_class`-wide tallies the voting loops fill in).
+    fn winner(classes: &[usize], votes: &[usize], margin: &[f64]) -> usize {
+        *classes
+            .iter()
+            .max_by(|&&a, &&b| {
+                votes[a]
+                    .cmp(&votes[b])
+                    .then_with(|| margin[a].partial_cmp(&margin[b]).expect("finite margins"))
+            })
+            .expect("at least two classes")
+    }
+
+    /// Allocation-free prediction of one sample into caller-owned
+    /// scratch buffers. Returns the same label as
+    /// [`predict`](Self::predict) — bit-identical voting arithmetic,
+    /// just without building a [`Prediction`] or cloning the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn predict_into(&self, x: &[f64], scratch: &mut PredictScratch) -> usize {
+        scratch.row.clear();
+        scratch.row.extend_from_slice(x);
+        self.scaler.transform_row(&mut scratch.row);
+        let max_class = *self.classes.last().expect("at least two classes") + 1;
+        scratch.votes.clear();
+        scratch.votes.resize(max_class, 0);
+        scratch.margin.clear();
+        scratch.margin.resize(max_class, 0.0);
+        for (ca, cb, svm) in &self.machines {
+            let d = svm.decision(&scratch.row);
+            if d >= 0.0 {
+                scratch.votes[*ca] += 1;
+                scratch.margin[*ca] += d;
+            } else {
+                scratch.votes[*cb] += 1;
+                scratch.margin[*cb] += -d;
+            }
+        }
+        Self::winner(&self.classes, &scratch.votes, &scratch.margin)
+    }
+
     /// Predicts a batch of samples.
+    ///
+    /// Evaluated machine-major over a flat row matrix: each support
+    /// vector is scored against all rows while it is hot in cache
+    /// ([`Kernel::accumulate_rows`]), instead of re-walking every
+    /// machine's support vectors per sample. Per `(machine, row)` pair
+    /// the accumulator applies the same floating-point operations in
+    /// the same order as [`BinarySvm::decision`], and votes/margins
+    /// tally per row in machine order exactly as in
+    /// [`predict_with_margins`](Self::predict_with_margins), so the
+    /// labels are bit-identical to mapping [`predict`](Self::predict)
+    /// over the rows — a differential test suite pins this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has the wrong dimension.
     pub fn predict_batch<R: AsRef<[f64]>>(&self, xs: &[R]) -> Vec<usize> {
-        xs.iter().map(|x| self.predict(x.as_ref())).collect()
+        let n = xs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let dim = self.scaler.n_features();
+        let mut flat = Vec::with_capacity(n * dim);
+        for x in xs {
+            let x = x.as_ref();
+            assert_eq!(x.len(), dim, "feature row dimension disagrees with scaler");
+            flat.extend_from_slice(x);
+        }
+        for row in flat.chunks_exact_mut(dim) {
+            self.scaler.transform_row(row);
+        }
+        let max_class = *self.classes.last().expect("at least two classes") + 1;
+        let mut votes = vec![0usize; n * max_class];
+        let mut margin = vec![0.0f64; n * max_class];
+        let mut dec = vec![0.0f64; n];
+        for (ca, cb, svm) in &self.machines {
+            dec.fill(0.0);
+            let kernel = svm.kernel();
+            for (&c, sv) in svm.coefficients().iter().zip(svm.support_vectors()) {
+                kernel.accumulate_rows(sv, c, &flat, dim, &mut dec);
+            }
+            let bias = svm.bias();
+            for (r, d) in dec.iter_mut().enumerate() {
+                *d += bias;
+                let base = r * max_class;
+                if *d >= 0.0 {
+                    votes[base + ca] += 1;
+                    margin[base + ca] += *d;
+                } else {
+                    votes[base + cb] += 1;
+                    margin[base + cb] += -*d;
+                }
+            }
+        }
+        (0..n)
+            .map(|r| {
+                let base = r * max_class;
+                Self::winner(
+                    &self.classes,
+                    &votes[base..base + max_class],
+                    &margin[base..base + max_class],
+                )
+            })
+            .collect()
     }
 
     /// Accuracy against ground-truth labels.
@@ -505,6 +622,38 @@ mod tests {
                 .unwrap_err(),
             TrainError::InvalidModel("support vector dimension disagrees with scaler")
         );
+    }
+
+    #[test]
+    fn predict_batch_matches_per_row_predict() {
+        // The machine-major batched evaluator against the scalar
+        // reference, both kernels, including points near the blob
+        // boundaries where a single flipped decision bit would change
+        // the vote.
+        let (xs, ys) = blobs(20, 57);
+        for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 0.5 }] {
+            let mut rng = Rng::seed_from_u64(10);
+            let svm = MultiClassSvm::train(&xs, &ys, kernel, SmoParams::default(), &mut rng).unwrap();
+            let batch = svm.predict_batch(&xs);
+            for (x, &b) in xs.iter().zip(&batch) {
+                assert_eq!(svm.predict(x), b);
+            }
+            let empty: Vec<Vec<f64>> = Vec::new();
+            assert!(svm.predict_batch(&empty).is_empty());
+        }
+    }
+
+    #[test]
+    fn predict_into_matches_predict() {
+        let (xs, ys) = blobs(20, 59);
+        let mut rng = Rng::seed_from_u64(11);
+        let svm =
+            MultiClassSvm::train(&xs, &ys, Kernel::Rbf { gamma: 0.5 }, SmoParams::default(), &mut rng)
+                .unwrap();
+        let mut scratch = PredictScratch::new();
+        for x in &xs {
+            assert_eq!(svm.predict_into(x, &mut scratch), svm.predict(x));
+        }
     }
 
     #[test]

@@ -96,3 +96,63 @@ fadewich_testkit::property! {
         }
     }
 }
+
+// Differential pins for the batched prediction path: for any trained
+// ensemble and any batch of (finite) feature rows, `predict_batch`
+// and the scratch-reusing `predict_into` must agree with the scalar
+// per-row `predict` on every row — same labels from the same
+// bit-exact decision values, under both kernels. Shrinking reduces a
+// counterexample to the smallest diverging batch.
+fadewich_testkit::property! {
+    #[cases(24)]
+    fn batched_and_scalar_predictions_agree(
+        seed in u64s(0..1 << 32),
+        n_classes in usizes(2..5),
+        dim in usizes(2..5),
+        n_rows in usizes(0..40),
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let rbf = rng.below(2);
+        let spread = 0.1 + rng.f64() * 5.0;
+        // Loosely clustered training data — including overlapping
+        // clusters, where OvO vote ties make the margin tiebreak
+        // decisive and any decision-value drift would flip labels.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n_classes * 8 {
+            let label = i % n_classes;
+            let row: Vec<f64> = (0..dim)
+                .map(|d| {
+                    let center = if d == label % dim { 3.0 } else { -1.0 };
+                    center + rng.normal() * spread
+                })
+                .collect();
+            xs.push(row);
+            ys.push(label);
+        }
+        let kernel = if rbf == 1 { Kernel::Rbf { gamma: 0.5 } } else { Kernel::Linear };
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let svm = MultiClassSvm::train(&refs, &ys, kernel, SmoParams::default(), &mut rng)
+            .expect("training data spans n_classes classes");
+
+        let batch: Vec<Vec<f64>> = (0..n_rows)
+            .map(|_| (0..dim).map(|_| rng.normal() * 4.0).collect())
+            .collect();
+        let batched = svm.predict_batch(&batch);
+        assert_eq!(batched.len(), batch.len());
+        let mut scratch = fadewich_svm::PredictScratch::new();
+        for (row, &label) in batch.iter().zip(&batched) {
+            assert_eq!(svm.predict(row), label, "predict_batch diverged on {row:?}");
+            assert_eq!(
+                svm.predict_into(row, &mut scratch),
+                label,
+                "predict_into diverged on {row:?}"
+            );
+            // The full vote/margin tally agrees with the scalar path
+            // too (label equality alone could mask a tie handled
+            // differently).
+            let p = svm.predict_with_margins(row);
+            assert_eq!(p.label, label);
+        }
+    }
+}

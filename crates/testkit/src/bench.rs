@@ -21,7 +21,88 @@
 
 pub use std::hint::black_box;
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// A counting wrapper around the system allocator.
+///
+/// Register it as the process-wide allocator to count heap traffic:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: fadewich_testkit::bench::CountingAllocator =
+///     fadewich_testkit::bench::CountingAllocator;
+/// ```
+///
+/// Counters are process-global (`relaxed` atomics; the overhead is two
+/// uncontended fetch-adds per allocation) and read via
+/// [`alloc_counts`]. Callers measure a region by snapshotting before
+/// and after and subtracting — see [`AllocCounts::since`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// The one unsafe block in the workspace's own code: delegating to the
+// system allocator verbatim, with counter bumps on the allocating
+// entry points. Safety: every method forwards its arguments unchanged
+// to `System`, so `System`'s contract is upheld by construction.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+/// A snapshot of the process-global allocation counters.
+///
+/// Meaningful only when [`CountingAllocator`] is registered as the
+/// `#[global_allocator]`; otherwise both fields stay zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocCounts {
+    /// Allocating calls observed (`alloc` + `alloc_zeroed` + `realloc`).
+    pub calls: u64,
+    /// Bytes requested across those calls.
+    pub bytes: u64,
+}
+
+impl AllocCounts {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: AllocCounts) -> AllocCounts {
+        AllocCounts {
+            calls: self.calls.wrapping_sub(earlier.calls),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Reads the current allocation counters.
+pub fn alloc_counts() -> AllocCounts {
+    AllocCounts {
+        calls: ALLOC_CALLS.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
 
 /// Per-sample batching hint, mirroring `criterion::BatchSize`.
 ///
@@ -271,6 +352,13 @@ mod tests {
             ran.push("other");
         });
         assert_eq!(ran, vec!["matching_one"]);
+    }
+
+    #[test]
+    fn alloc_counts_since_subtracts_fields() {
+        let a = AllocCounts { calls: 10, bytes: 1_000 };
+        let b = AllocCounts { calls: 14, bytes: 1_256 };
+        assert_eq!(b.since(a), AllocCounts { calls: 4, bytes: 256 });
     }
 
     #[test]

@@ -95,6 +95,25 @@ fi
 cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
     stats "$workdir/metrics1.json" | grep -q "rule1"
 
+# Perf-baseline smoke gate: `reproduce bench` must complete at smoke
+# sizes, emit schema-valid JSON, and be deterministic across runs in
+# every field that does not carry the `wall_` (wall-time) prefix. The
+# harness itself aborts if a hot path's checksum diverges from the
+# scalar reference, so a passing run also re-proves decision identity.
+for i in 1 2; do
+    cargo run -q --release --offline -p fadewich-bench --bin reproduce -- bench \
+        --bench-smoke --bench-out "$workdir/bench$i.json" > /dev/null
+done
+grep -q '"schema": "fadewich-bench-v1"' "$workdir/bench1.json"
+grep -q '"matches_reference": true' "$workdir/bench1.json"
+for name in engine wire_decode md_step_reference md_step_fast \
+    svm_predict_scalar svm_predict_batch kde_fit controller_tick_allocs; do
+    grep -q "\"name\": \"$name\"" "$workdir/bench1.json"
+done
+grep -v '"wall_' "$workdir/bench1.json" > "$workdir/bench1.nowall"
+grep -v '"wall_' "$workdir/bench2.json" > "$workdir/bench2.nowall"
+cmp "$workdir/bench1.nowall" "$workdir/bench2.nowall"
+
 # Wall-clock lint: Instant::now() is allowed only inside the telemetry
 # Clock implementations and the vendored bench harness. Everything
 # else must read time through the Clock trait so seeded replays stay
