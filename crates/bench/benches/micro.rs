@@ -179,6 +179,7 @@ fn bench_kma_is_idle_scan(c: &mut Criterion) {
 
 fn bench_wire_codec(c: &mut Criterion) {
     let frame = Frame {
+        office: 0,
         sensor: 3,
         seq: 12_345,
         tick: 9_999,

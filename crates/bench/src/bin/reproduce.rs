@@ -17,6 +17,14 @@
 //! non-`wall_` JSON fields are byte-identical across runs of one
 //! seed. Bench runs serially on the main thread, and a bench-only
 //! invocation skips scenario generation entirely.
+//!
+//! The `fleet` target is likewise explicit-only: `reproduce fleet
+//! [--offices N]` runs the fleet-runtime scaling study (default 1024
+//! tenants), proving every row's per-office decision streams
+//! byte-identical across shard counts and against single-office
+//! references. Its table is deterministic; wall-clock throughput goes
+//! on `wall_`-prefixed lines CI strips before comparing runs. A
+//! fleet-only invocation also skips scenario generation.
 //! Like `deployment` and `streaming`, the `recovery`, `artifact` and
 //! `telemetry` targets need a >= 2-day trace (they train on the
 //! leading days, then crash/resume the stream, export the model
@@ -52,6 +60,7 @@ struct Options {
     csv_dir: Option<String>,
     bench_smoke: bool,
     bench_out: Option<String>,
+    offices: usize,
     targets: HashSet<String>,
 }
 
@@ -62,6 +71,7 @@ fn parse_args() -> Options {
         csv_dir: None,
         bench_smoke: false,
         bench_out: None,
+        offices: 1024,
         targets: HashSet::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -78,6 +88,12 @@ fn parse_args() -> Options {
                 opts.csv_dir = Some(args.next().expect("--csv needs a directory"));
             }
             "--bench-smoke" => opts.bench_smoke = true,
+            "--offices" => {
+                opts.offices = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--offices needs a number");
+            }
             "--bench-out" => {
                 opts.bench_out = Some(args.next().expect("--bench-out needs a path"));
             }
@@ -116,6 +132,30 @@ fn run_bench(opts: &Options) {
     eprintln!("bench: wrote {path}");
 }
 
+/// Runs the fleet scaling study: N offices multiplexed behind one
+/// demux front, decision streams proven shard- and thread-invariant.
+fn run_fleet_target(opts: &Options) {
+    eprintln!(
+        "fleet: scaling study up to {} offices (seed {:#x}, {} threads)...",
+        opts.offices,
+        opts.seed,
+        par::thread_count()
+    );
+    let scaling = fadewich_fleet::scaling::run_fleet_scaling(opts.seed, opts.offices)
+        .expect("fleet scaling study");
+    print!("{}", scaling.table);
+    for line in &scaling.wall_lines {
+        println!("{line}");
+    }
+    if let Some(dir) = &opts.csv_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let path = format!("{dir}/fleet.csv");
+        if let Err(err) = std::fs::write(&path, scaling.table.to_csv()) {
+            eprintln!("warning: could not write {path}: {err}");
+        }
+    }
+}
+
 fn wanted(opts: &Options, target: &str) -> bool {
     opts.targets.is_empty() || opts.targets.contains(target)
 }
@@ -147,6 +187,13 @@ fn main() {
         run_bench(&opts);
         if opts.targets.is_empty() {
             // Bench-only invocation: no scenario, no sweep, no jobs.
+            return;
+        }
+    }
+    if opts.targets.remove("fleet") {
+        run_fleet_target(&opts);
+        if opts.targets.is_empty() {
+            // Fleet-only invocation: no scenario, no sweep, no jobs.
             return;
         }
     }

@@ -22,6 +22,7 @@ use fadewich_core::features::{extract_features, TrainingSample};
 use fadewich_core::kma::Kma;
 use fadewich_core::md::{MdVerdict, MovementDetector};
 use fadewich_core::re::RadioEnvironment;
+use fadewich_fleet::FleetRuntime;
 use fadewich_officesim::{DayTrace, InputTrace};
 use fadewich_runtime::engine::EngineConfig;
 use fadewich_runtime::{Frame, StreamingEngine};
@@ -363,6 +364,7 @@ fn wire_decode_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, Str
     let mut bytes = Vec::new();
     for i in 0..cfg.n_frames {
         let frame = Frame {
+            office: 0,
             sensor: (i % 4) as u16,
             seq: i as u32,
             tick: i / 4,
@@ -385,6 +387,72 @@ fn wire_decode_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, Str
     row.push("frames", FieldValue::U64(cfg.n_frames));
     row.push("bytes", FieldValue::U64(bytes.len() as u64));
     row.push("frames_decoded", FieldValue::U64(decoded));
+    row.push_measurement(&m);
+    Ok(row)
+}
+
+/// Digest over a frame's header fields — proves the borrowed and
+/// owned decode paths read the same frames without storing them.
+fn header_digest(digest: &mut u64, office: u16, sensor: u16, seq: u32, tick: u64) {
+    *digest = digest
+        .wrapping_mul(0x100000001b3)
+        .wrapping_add(u64::from(office))
+        .wrapping_add(u64::from(sensor) << 16)
+        .wrapping_add(u64::from(seq) << 32)
+        .wrapping_add(tick);
+}
+
+fn wire_decode_borrowed_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, String> {
+    // Same seeded frame stream as `wire_decode`, but with non-zero
+    // office ids so the v2 header (the fleet demux path) is what gets
+    // measured.
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xDEC);
+    let mut bytes = Vec::new();
+    let mut owned_digest = 0u64;
+    for i in 0..cfg.n_frames {
+        let frame = Frame {
+            office: (i % 7) as u16 + 1,
+            sensor: (i % 4) as u16,
+            seq: i as u32,
+            tick: i / 4,
+            values: (0..2).map(|_| (-60.0 + 20.0 * rng.f64()) as f32).collect(),
+        };
+        bytes.extend_from_slice(&frame.encode());
+    }
+    // Reference pass through the owned decoder.
+    {
+        let mut rest: &[u8] = &bytes;
+        while !rest.is_empty() {
+            let (frame, used) = Frame::decode(rest).map_err(|e| format!("bench wire: {e}"))?;
+            header_digest(&mut owned_digest, frame.office, frame.sensor, frame.seq, frame.tick);
+            rest = &rest[used..];
+        }
+    }
+    let mut decoded = 0u64;
+    let mut digest = 0u64;
+    let m = measure(clock, cfg.warmup_iters, cfg.iters, cfg.samples, cfg.n_frames, || {
+        let mut rest: &[u8] = &bytes;
+        decoded = 0;
+        digest = 0;
+        while !rest.is_empty() {
+            let (view, used) =
+                Frame::decode_borrowed(rest).expect("pre-encoded frames decode");
+            header_digest(&mut digest, view.office, view.sensor, view.seq, view.tick);
+            black_box(&view);
+            rest = &rest[used..];
+            decoded += 1;
+        }
+    })?;
+    if digest != owned_digest {
+        return Err(format!(
+            "borrowed decode diverged from owned decode: digest {digest:#x} vs {owned_digest:#x}"
+        ));
+    }
+    let mut row = BenchRow::new("wire_decode_borrowed");
+    row.push("frames", FieldValue::U64(cfg.n_frames));
+    row.push("bytes", FieldValue::U64(bytes.len() as u64));
+    row.push("frames_decoded", FieldValue::U64(decoded));
+    row.push("matches_owned", FieldValue::Bool(digest == owned_digest));
     row.push_measurement(&m);
     Ok(row)
 }
@@ -526,6 +594,7 @@ fn engine_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, String> 
         let row = &rows_flat[tick as usize * N_STREAMS..(tick as usize + 1) * N_STREAMS];
         for (sensor, positions) in &groups {
             let frame = Frame {
+                office: 0,
                 sensor: *sensor,
                 seq: tick as u32,
                 tick,
@@ -557,6 +626,110 @@ fn engine_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, String> 
         } else {
             0.0
         }),
+    );
+    Ok(row)
+}
+
+/// Streams the `engine` workload through a small fleet — every office
+/// is the same seeded tenant behind the demux front — and requires
+/// each office to produce exactly the standalone engine's actions.
+fn fleet_demux_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, String> {
+    const OFFICES: usize = 8;
+    const SHARDS: usize = 4;
+    let re = trained_re(cfg.seed);
+    let inputs = busy_inputs(cfg.engine_ticks);
+    let groups: Vec<(u16, Vec<usize>)> = vec![(0, vec![0, 1]), (1, vec![2, 3])];
+    let engine_cfg = EngineConfig::new(TICK_HZ, bench_params());
+    // One merged blob: each tick's frames for all offices, interleaved
+    // the way a shared ingestion front would see them.
+    let rows_flat = seeded_rows(cfg.seed ^ 0xE6, cfg.engine_ticks);
+    let mut bytes = Vec::new();
+    for tick in 0..cfg.engine_ticks {
+        let row = &rows_flat[tick as usize * N_STREAMS..(tick as usize + 1) * N_STREAMS];
+        for office in 0..OFFICES as u16 {
+            for (sensor, positions) in &groups {
+                let frame = Frame {
+                    office,
+                    sensor: *sensor,
+                    seq: tick as u32,
+                    tick,
+                    values: positions.iter().map(|&p| row[p] as f32).collect(),
+                };
+                bytes.extend_from_slice(&frame.encode());
+            }
+        }
+    }
+    // Standalone reference: the same tenant outside the fleet.
+    let reference_actions = {
+        let kma = Kma::new(&inputs);
+        let mut engine = StreamingEngine::new(engine_cfg, groups.clone(), &re, kma)
+            .expect("bench engine layout is valid");
+        let mut single = Vec::new();
+        for tick in 0..cfg.engine_ticks {
+            let row = &rows_flat[tick as usize * N_STREAMS..(tick as usize + 1) * N_STREAMS];
+            for (sensor, positions) in &groups {
+                let frame = Frame {
+                    office: 0,
+                    sensor: *sensor,
+                    seq: tick as u32,
+                    tick,
+                    values: positions.iter().map(|&p| row[p] as f32).collect(),
+                };
+                single.extend_from_slice(&frame.encode());
+            }
+        }
+        engine.ingest_bytes(&single);
+        engine.finish(cfg.engine_ticks);
+        engine.actions().len() as u64
+    };
+    let mut demuxed = 0u64;
+    let mut matches = true;
+    let m = measure(
+        clock,
+        cfg.warmup_iters,
+        cfg.iters,
+        cfg.samples,
+        cfg.engine_ticks * OFFICES as u64,
+        || {
+            let engines: Vec<StreamingEngine> = (0..OFFICES)
+                .map(|_| {
+                    StreamingEngine::new(engine_cfg, groups.clone(), &re, Kma::new(&inputs))
+                        .expect("bench engine layout is valid")
+                })
+                .collect();
+            let mut fleet =
+                FleetRuntime::new(SHARDS, engines).expect("bench fleet layout is valid");
+            fleet.ingest(&bytes);
+            fleet.advance();
+            fleet.finish_day(cfg.engine_ticks);
+            demuxed = fleet.counters().frames_demuxed;
+            matches = true;
+            fleet.for_each_office(|_, engine| {
+                matches &= engine.actions().len() as u64 == reference_actions;
+            });
+        },
+    )?;
+    if !matches {
+        return Err(
+            "fleet demux diverged: an office's actions differ from the standalone engine"
+                .to_string(),
+        );
+    }
+    let mut row = BenchRow::new("fleet_demux");
+    row.push("offices", FieldValue::U64(OFFICES as u64));
+    row.push("shards", FieldValue::U64(SHARDS as u64));
+    row.push("ticks_per_office", FieldValue::U64(cfg.engine_ticks));
+    row.push("frames_demuxed", FieldValue::U64(demuxed));
+    row.push("matches_single_office", FieldValue::Bool(matches));
+    row.push_measurement(&m);
+    // One unit is one office-tick: the aggregate rate divided by the
+    // office count is what a single tenant experiences.
+    let aggregate =
+        if m.wall_median_ns_per_unit > 0.0 { 1e9 / m.wall_median_ns_per_unit } else { 0.0 };
+    row.push("wall_office_ticks_per_sec", FieldValue::F64(aggregate));
+    row.push(
+        "wall_ticks_per_sec_per_office",
+        FieldValue::F64(aggregate / OFFICES as f64),
     );
     Ok(row)
 }
@@ -623,9 +796,11 @@ pub fn run(cfg: &BenchConfig, clock: &Arc<dyn Clock>) -> Result<BenchReport, Str
     let mut rows = Vec::new();
     rows.push(engine_row(cfg, clock)?);
     rows.push(wire_decode_row(cfg, clock)?);
+    rows.push(wire_decode_borrowed_row(cfg, clock)?);
     rows.extend(md_rows(cfg, clock)?);
     rows.extend(svm_rows_bench(cfg, clock)?);
     rows.push(kde_fit_row(cfg, clock)?);
+    rows.push(fleet_demux_row(cfg, clock)?);
     rows.push(alloc_row(cfg)?);
     Ok(BenchReport { seed: cfg.seed, smoke: cfg.smoke, rows })
 }

@@ -113,11 +113,13 @@ fn manual_clock_report_is_fully_deterministic_and_parses() {
     let expected = [
         "engine",
         "wire_decode",
+        "wire_decode_borrowed",
         "md_step_reference",
         "md_step_fast",
         "svm_predict_scalar",
         "svm_predict_batch",
         "kde_fit",
+        "fleet_demux",
         "controller_tick_allocs",
     ];
     let names: Vec<_> = rows
@@ -138,6 +140,16 @@ fn manual_clock_report_is_fully_deterministic_and_parses() {
         let row = rows.iter().find(|r| r.get("name") == Some(&Json::Str(name.into()))).unwrap();
         assert_eq!(row.get("matches_reference"), Some(&Json::Bool(true)), "{name}");
     }
+    let borrowed = rows
+        .iter()
+        .find(|r| r.get("name") == Some(&Json::Str("wire_decode_borrowed".into())))
+        .unwrap();
+    assert_eq!(borrowed.get("matches_owned"), Some(&Json::Bool(true)));
+    let fleet = rows
+        .iter()
+        .find(|r| r.get("name") == Some(&Json::Str("fleet_demux".into())))
+        .unwrap();
+    assert_eq!(fleet.get("matches_single_office"), Some(&Json::Bool(true)));
 
     // The in-memory accessors agree with the parsed document.
     let fast = a.row("md_step_fast").unwrap();

@@ -24,7 +24,7 @@ use fadewich_telemetry::{SpanId, Telemetry, Value};
 use crate::config::FadewichParams;
 use crate::features::{extract_features_from_histories, extract_features_from_histories_into};
 use crate::kma::Kma;
-use crate::md::{MdRuntimeState, MovementDetector};
+use crate::md::{MdBatchStep, MdRuntimeState, MovementDetector};
 use crate::re::RadioEnvironment;
 
 /// The controller's top-level state (Fig. 4).
@@ -195,6 +195,9 @@ pub struct Controller<'a> {
     feat_buf: Vec<f64>,
     /// Scratch for the SVM vote tally in the untraced classify.
     predict_scratch: PredictScratch,
+    /// Scratch for [`Controller::step_batch`]: the per-tick MD
+    /// verdicts + tracker readings of the current block.
+    md_batch: Vec<MdBatchStep>,
 }
 
 impl<'a> Controller<'a> {
@@ -231,6 +234,7 @@ impl<'a> Controller<'a> {
             win_buf: Vec::new(),
             feat_buf: Vec::new(),
             predict_scratch: PredictScratch::new(),
+            md_batch: Vec::new(),
         })
     }
 
@@ -423,13 +427,24 @@ impl<'a> Controller<'a> {
             None => self.md.step(tick, row),
             Some(m) => self.md.step_masked(tick, row, m),
         };
-        let t_delta_ticks = self.params.t_delta_ticks(self.tick_hz);
         let dwt = self.md.open_duration_ticks(tick);
+        let open_start = self.md.open_window_start();
+        self.fsm_tick(tick, t, dwt, open_start);
 
+        self.housekeeping(tick, t);
+        self.prev_t = t;
+        self.actions.len() - before
+    }
+
+    /// One Fig. 4 FSM advance given this tick's window readings —
+    /// shared by per-tick stepping (live readings) and
+    /// [`Controller::step_batch`] (captured readings).
+    fn fsm_tick(&mut self, tick: usize, t: f64, dwt: usize, open_start: Option<usize>) {
+        let t_delta_ticks = self.params.t_delta_ticks(self.tick_hz);
         match self.state {
             SystemState::Quiet => {
                 if dwt >= t_delta_ticks && !self.rule1_done {
-                    self.apply_rule1(tick, dwt, t);
+                    self.apply_rule1(tick, dwt, t, open_start);
                     self.rule1_done = true;
                     self.state = SystemState::Noisy;
                     self.fsm_event(tick, "noisy", dwt);
@@ -445,10 +460,59 @@ impl<'a> Controller<'a> {
                 }
             }
         }
+    }
 
-        self.housekeeping(tick, t);
-        self.prev_t = t;
-        self.actions.len() - before
+    /// Feeds a block of consecutive *unmasked* ticks (row-major: tick
+    /// `i` of the block at `rows[i*n_streams .. (i+1)*n_streams]`,
+    /// starting at `start_tick`). Appends one per-tick action count to
+    /// `actions_per_tick` (so a streaming caller can attribute emitted
+    /// actions to their ticks) and returns the block's total.
+    ///
+    /// Decisions are bit-identical to calling [`Controller::step`] per
+    /// tick: MD runs ahead over the whole block via
+    /// [`MovementDetector::step_batch_tracked`] — legal because the
+    /// detector takes no feedback from the FSM — while the FSM and
+    /// session housekeeping then replay per tick against the captured
+    /// window readings and incrementally grown histories. With
+    /// telemetry enabled or the reference paths pinned, this falls back
+    /// to the per-tick loop so trace emission order is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the stream count.
+    pub fn step_batch(
+        &mut self,
+        start_tick: usize,
+        rows: &[f64],
+        actions_per_tick: &mut Vec<usize>,
+    ) -> usize {
+        let n = self.histories.len();
+        assert_eq!(rows.len() % n, 0, "row block width must be a multiple of the stream count");
+        let block_start = self.actions.len();
+        if self.telemetry.is_enabled() || self.reference_paths {
+            for (i, row) in rows.chunks_exact(n).enumerate() {
+                actions_per_tick.push(self.step(start_tick + i, row));
+            }
+            return self.actions.len() - block_start;
+        }
+        let mut meta = std::mem::take(&mut self.md_batch);
+        meta.clear();
+        self.md.step_batch_tracked(start_tick, rows, &mut meta);
+        for (i, row) in rows.chunks_exact(n).enumerate() {
+            let tick = start_tick + i;
+            let t = tick as f64 / self.tick_hz;
+            let before = self.actions.len();
+            for (h, &x) in self.histories.iter_mut().zip(row) {
+                h.push(x);
+            }
+            let step = &meta[i];
+            self.fsm_tick(tick, t, step.open_duration_ticks, step.open_window_start);
+            self.housekeeping(tick, t);
+            self.prev_t = t;
+            actions_per_tick.push(self.actions.len() - before);
+        }
+        self.md_batch = meta;
+        self.actions.len() - block_start
     }
 
     /// Marks a Fig. 4 FSM transition in the trace.
@@ -508,8 +572,11 @@ impl<'a> Controller<'a> {
     /// the RE feature vector, the per-class SVM votes/margins, the KMA
     /// idle set and the final verdict (deauth or the reason there was
     /// none) — the decision audit trail.
-    fn apply_rule1(&mut self, tick: usize, dwt: usize, t: f64) {
-        let start = Self::rule1_window_start(self.md.open_window_start(), tick, dwt);
+    /// `open_start` is MD's open-window start *as of this tick* — the
+    /// live reading in per-tick stepping, or the captured per-tick
+    /// reading when the detector ran ahead in [`Controller::step_batch`].
+    fn apply_rule1(&mut self, tick: usize, dwt: usize, t: f64, open_start: Option<usize>) {
+        let start = Self::rule1_window_start(open_start, tick, dwt);
         let audit = self.telemetry.span_open(
             tick as u64,
             "rule1_eval",

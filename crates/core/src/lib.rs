@@ -72,7 +72,7 @@ pub use controller::{Action, ActionKind, Controller, SystemState};
 pub use features::TrainingSample;
 pub use guard::{GuardParams, IntegrityAlarm, IntegrityGuard};
 pub use kma::Kma;
-pub use md::{MdRun, MdSnapshot, MovementDetector};
+pub use md::{MdBatchStep, MdRun, MdSnapshot, MovementDetector};
 pub use re::{auto_label, AutoLabelParams, RadioEnvironment};
 pub use security::{AttackAnalysis, DeauthCase, DeauthOutcome, DetectionOutcome};
 pub use usability::{DayUsability, UsabilityParams};

@@ -28,6 +28,20 @@ pub struct MdVerdict {
     pub closed_window: Option<VariationWindow>,
 }
 
+/// One tick of [`MovementDetector::step_batch_tracked`] output: the
+/// verdict plus the window-tracker readings (`dW_t`, open-window start)
+/// as they stood immediately after that tick, so a batched caller can
+/// replay the FSM exactly as if it had interleaved per-tick steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdBatchStep {
+    /// The tick's verdict, as [`MovementDetector::step`] would return.
+    pub verdict: MdVerdict,
+    /// `dW_t` at this tick (0 when no window is open).
+    pub open_duration_ticks: usize,
+    /// Start tick of the then-open variation window, if any.
+    pub open_window_start: Option<usize>,
+}
+
 /// Exported MD state: the learned normal profile and its KDE-derived
 /// anomaly threshold. This is what the model-artifact bundle persists
 /// so a serving process can start detecting without an
@@ -427,6 +441,40 @@ impl MovementDetector {
         assert_eq!(rows.len() % n, 0, "row block width must be a multiple of the stream count");
         for (i, row) in rows.chunks_exact(n).enumerate() {
             out.push(self.step_inner(start_tick + i, row, None));
+        }
+    }
+
+    /// [`step_batch`](Self::step_batch) plus the per-tick window-tracker
+    /// readings a per-tick caller would observe between steps.
+    ///
+    /// The detector advances independently of the controller FSM (no
+    /// feedback), so a whole block of unmasked ticks can run through MD
+    /// first — but the FSM consumes `dW_t` and the open-window start
+    /// *as they stood right after each tick*, and a later tick in the
+    /// block may close or reopen the window. This variant captures
+    /// those readings immediately after each internal step, so the FSM
+    /// can replay them per tick and stay bit-identical to interleaved
+    /// stepping (the streaming engine's batched ingest relies on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of `n_streams()`.
+    pub fn step_batch_tracked(
+        &mut self,
+        start_tick: usize,
+        rows: &[f64],
+        out: &mut Vec<MdBatchStep>,
+    ) {
+        let n = self.stream_stds.n_streams();
+        assert_eq!(rows.len() % n, 0, "row block width must be a multiple of the stream count");
+        for (i, row) in rows.chunks_exact(n).enumerate() {
+            let tick = start_tick + i;
+            let verdict = self.step_inner(tick, row, None);
+            out.push(MdBatchStep {
+                verdict,
+                open_duration_ticks: self.tracker.open_duration_ticks(tick),
+                open_window_start: self.tracker.open_start(),
+            });
         }
     }
 

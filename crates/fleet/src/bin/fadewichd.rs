@@ -4,6 +4,7 @@
 //! ```text
 //! fadewichd train --out PATH [scenario flags]
 //! fadewichd serve --model PATH [scenario flags] [link flags] [recovery flags]
+//! fadewichd fleet --model PATH --offices N [--shards N] [scenario flags] [link flags] [recovery flags]
 //! fadewichd replay [--model PATH] [scenario flags] [link flags]
 //! fadewichd stats PATH
 //! ```
@@ -48,6 +49,19 @@
 //! `--crash-after-ticks N` aborts the process mid-stream, for
 //! exercising exactly that path (see `scripts/ci.sh`).
 //!
+//! # Fleet mode
+//!
+//! `fleet` hosts `--offices N` tenants of the scenario inside one
+//! process behind the fleet demux front (see `fadewich_fleet`): one
+//! shared read-only model, per-office engines sharded over `--shards`
+//! groups on the deterministic worker pool. Office 0 streams the
+//! exact bytes a single-office `serve` with the same flags streams,
+//! so its decision log is byte-identical to serve's — `scripts/ci.sh`
+//! `cmp`s the two. With `--checkpoint-dir ROOT` each office
+//! checkpoints under `ROOT/office-%05d/` with its own `decisions.log`,
+//! and a crashed fleet resumes every office from its own newest valid
+//! image. stdout carries only the deterministic fleet rollup.
+//!
 //! Exit codes: 2 usage, 3 scenario, 4 model artifact, 5 engine,
 //! 6 checkpoint, 7 decision-log I/O.
 
@@ -60,6 +74,10 @@ use fadewich_core::artifact::ModelBundle;
 use fadewich_core::config::FadewichParams;
 use fadewich_core::kma::Kma;
 use fadewich_core::re::RadioEnvironment;
+use fadewich_fleet::day::{
+    event_line, office_dir, run_fleet_day, FleetDayEnv, FleetRecovery, FleetSink, OfficeRecovery,
+    OfficeStart, DEFAULT_ADVANCE_EVERY,
+};
 use fadewich_officesim::{Scenario, ScenarioConfig, ScheduleParams, Trace};
 use fadewich_runtime::checkpoint::{CheckpointStore, Checkpointer, EngineSnapshot};
 use fadewich_runtime::engine::{EngineConfig, EngineEvent, StreamingEngine};
@@ -115,6 +133,7 @@ impl std::fmt::Display for DaemonError {
 enum Command {
     Train { out: PathBuf },
     Serve { model: PathBuf },
+    Fleet { model: PathBuf },
     Replay { model: Option<PathBuf> },
     Stats { path: PathBuf },
 }
@@ -128,6 +147,8 @@ struct Args {
     link: LinkModel,
     link_seed: u64,
     json: bool,
+    offices: usize,
+    shards: usize,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: Option<u64>,
     crash_after_ticks: Option<u64>,
@@ -146,6 +167,8 @@ impl Args {
             link: LinkModel::lossless(),
             link_seed: 0xF10D,
             json: false,
+            offices: 8,
+            shards: 8,
             checkpoint_dir: None,
             checkpoint_every: None,
             crash_after_ticks: None,
@@ -155,8 +178,9 @@ impl Args {
     }
 }
 
-const USAGE: &str = "usage: fadewichd <train --out PATH | serve --model PATH | replay [--model PATH] | stats PATH> \
+const USAGE: &str = "usage: fadewichd <train --out PATH | serve --model PATH | fleet --model PATH | replay [--model PATH] | stats PATH> \
 [--days N] [--seed N] [--sensors N] [--train-days N] \
+[--offices N] [--shards N] \
 [--drop P] [--dup P] [--corrupt P] [--jitter TICKS] [--link-seed N] [--json] \
 [--checkpoint-dir PATH] [--checkpoint-every TICKS] [--crash-after-ticks N] \
 [--trace-out PATH] [--metrics-out PATH]";
@@ -174,12 +198,13 @@ fn parse_args() -> Result<Args, String> {
         return Ok(Args::default_args(Command::Stats { path: PathBuf::from(path) }));
     }
     let (command_word, flag_start) = match raw.first().map(String::as_str) {
-        Some("train") | Some("serve") | Some("replay") => (raw[0].clone(), 1),
+        Some("train") | Some("serve") | Some("fleet") | Some("replay") => (raw[0].clone(), 1),
         // Legacy flat-flag invocation: treat as replay.
         _ => ("replay".to_string(), 0),
     };
     let mut out: Option<PathBuf> = None;
     let mut model: Option<PathBuf> = None;
+    let mut fleet_flags = false;
     let mut args = Args::default_args(Command::Replay { model: None });
     let mut it = raw[flag_start..].iter();
     while let Some(flag) = it.next() {
@@ -199,6 +224,14 @@ fn parse_args() -> Result<Args, String> {
             "--jitter" => args.link.jitter_ticks = parse(&value("--jitter")?)?,
             "--link-seed" => args.link_seed = parse(&value("--link-seed")?)?,
             "--json" => args.json = true,
+            "--offices" => {
+                args.offices = parse(&value("--offices")?)?;
+                fleet_flags = true;
+            }
+            "--shards" => {
+                args.shards = parse(&value("--shards")?)?;
+                fleet_flags = true;
+            }
             "--checkpoint-dir" => {
                 args.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?))
             }
@@ -226,19 +259,29 @@ fn parse_args() -> Result<Args, String> {
             let model = model.ok_or_else(|| format!("serve needs --model PATH\n{USAGE}"))?;
             Command::Serve { model }
         }
+        "fleet" => {
+            let model = model.ok_or_else(|| format!("fleet needs --model PATH\n{USAGE}"))?;
+            Command::Fleet { model }
+        }
         _ => Command::Replay { model },
     };
-    if !matches!(args.command, Command::Serve { .. })
+    if !matches!(args.command, Command::Serve { .. } | Command::Fleet { .. })
         && (args.checkpoint_dir.is_some()
             || args.checkpoint_every.is_some()
             || args.crash_after_ticks.is_some())
     {
         return Err(format!(
-            "--checkpoint-dir/--checkpoint-every/--crash-after-ticks only apply to serve\n{USAGE}"
+            "--checkpoint-dir/--checkpoint-every/--crash-after-ticks only apply to serve and fleet\n{USAGE}"
         ));
     }
     if args.crash_after_ticks.is_some() && args.checkpoint_dir.is_none() {
         return Err(format!("--crash-after-ticks needs --checkpoint-dir\n{USAGE}"));
+    }
+    if fleet_flags && !matches!(args.command, Command::Fleet { .. }) {
+        return Err(format!("--offices/--shards only apply to fleet\n{USAGE}"));
+    }
+    if matches!(args.command, Command::Fleet { .. }) && (args.offices == 0 || args.shards == 0) {
+        return Err(format!("fleet needs at least one office and one shard\n{USAGE}"));
     }
     Ok(args)
 }
@@ -273,22 +316,9 @@ fn emit(line: &str, recovery: &mut Option<RecoveryCtx>) -> Result<(), DaemonErro
     Ok(())
 }
 
-fn event_line(ev: &EngineEvent) -> String {
-    match ev {
-        EngineEvent::Decision { tick, action } => {
-            format!("tick {tick:>6}  t {:>8.1}s  {:?}", action.t, action.kind)
-        }
-        EngineEvent::SensorQuarantined { sensor, tick } => {
-            format!("tick {tick:>6}  sensor {sensor} QUARANTINED")
-        }
-        EngineEvent::SensorRecovered { sensor, tick } => {
-            format!("tick {tick:>6}  sensor {sensor} recovered")
-        }
-    }
-}
-
 /// Prints every engine event not yet printed; returns the new printed
-/// count.
+/// count. The line format is the fleet crate's [`event_line`], shared
+/// so fleet logs and serve logs are rendered by the same code.
 fn flush_events(
     engine: &StreamingEngine<'_>,
     printed: usize,
@@ -593,6 +623,198 @@ fn run_stats(path: &std::path::Path) -> Result<(), DaemonError> {
     Ok(())
 }
 
+/// A [`FleetSink`] writing each office's decision stream to its own
+/// `decisions.log` under the fleet checkpoint root. Without a root
+/// (`logs[o]` is `None` everywhere) lines are dropped and only the
+/// stdout rollup survives — fine for a fleet nobody intends to resume.
+struct FleetLogSink {
+    /// Per office: the open log plus its committed byte count.
+    logs: Vec<Option<(std::fs::File, u64)>>,
+}
+
+impl FleetSink for FleetLogSink {
+    fn emit(&mut self, office: u16, line: &str) -> Result<(), String> {
+        if let Some((log, mark)) = &mut self.logs[usize::from(office)] {
+            log.write_all(line.as_bytes())
+                .and_then(|()| log.write_all(b"\n"))
+                .map_err(|e| format!("office {office} decision log: writing: {e}"))?;
+            *mark += line.len() as u64 + 1;
+        }
+        Ok(())
+    }
+
+    fn log_mark(&mut self, office: u16) -> u64 {
+        self.logs[usize::from(office)].as_ref().map_or(0, |&(_, mark)| mark)
+    }
+}
+
+/// Opens one office's checkpoint namespace under the fleet root:
+/// loads its newest valid image (reporting corrupt ones), validates
+/// the checkpointed day, and truncates its decision log to the
+/// committed mark — serve's `open_recovery`, per tenant.
+fn open_office_recovery(
+    root: &std::path::Path,
+    office: u16,
+    trace: &Trace,
+    train_days: usize,
+    telemetry: &Telemetry,
+) -> Result<(OfficeRecovery, (std::fs::File, u64), Option<EngineSnapshot>), DaemonError> {
+    let dir = office_dir(root, office);
+    let mut store =
+        CheckpointStore::open(&dir).map_err(|e| DaemonError::Checkpoint(e.to_string()))?;
+    let outcome = store.load_latest().map_err(|e| DaemonError::Checkpoint(e.to_string()))?;
+    for (path, err) in &outcome.rejected {
+        telemetry.counter_add("checkpoint_corrupt_skipped", 1);
+        eprintln!(
+            "fadewichd: office {office}: skipping corrupt checkpoint {}: {err}",
+            path.display()
+        );
+    }
+    let snapshot = match outcome.snapshot {
+        Some((stamp, snap)) => {
+            let day = snap.day as usize;
+            if day < train_days || day >= trace.days().len() {
+                return Err(DaemonError::Checkpoint(format!(
+                    "office {office}: checkpoint is for day {day}, outside the served range \
+                     {train_days}..{}",
+                    trace.days().len()
+                )));
+            }
+            eprintln!(
+                "fadewichd: office {office}: resuming day {day} from checkpoint stamp {stamp}"
+            );
+            telemetry.counter_add("checkpoint_restores", 1);
+            Some(snap)
+        }
+        None => None,
+    };
+    let log_path = dir.join("decisions.log");
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .read(true)
+        .write(true)
+        .truncate(false)
+        .open(&log_path)
+        .map_err(|e| DaemonError::Io(format!("opening {}: {e}", log_path.display())))?;
+    let log_mark = snapshot.as_ref().map_or(0, |s| s.log_mark);
+    log.set_len(log_mark)
+        .and_then(|()| log.seek(SeekFrom::Start(log_mark)).map(|_| ()))
+        .map_err(|e| DaemonError::Io(format!("truncating {}: {e}", log_path.display())))?;
+    Ok((OfficeRecovery { store }, (log, log_mark), snapshot))
+}
+
+/// Classifies a fleet-library error string into the daemon's exit-code
+/// taxonomy.
+fn fleet_err(e: String) -> DaemonError {
+    if e.contains("checkpoint") {
+        DaemonError::Checkpoint(e)
+    } else if e.contains("decision log") {
+        DaemonError::Io(e)
+    } else {
+        DaemonError::Engine(e)
+    }
+}
+
+/// `fadewichd fleet`: streams every served day through an
+/// `--offices`-tenant fleet, printing the deterministic rollup to
+/// stdout. Per-office decision streams go to
+/// `<checkpoint-dir>/office-%05d/decisions.log` when a root is given.
+fn run_fleet(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    cfg: EngineConfig,
+    args: &Args,
+    telemetry: &Telemetry,
+) -> Result<(), DaemonError> {
+    let n = args.offices;
+    let mut logs: Vec<Option<(std::fs::File, u64)>> = Vec::with_capacity(n);
+    let mut resumes: Vec<Option<EngineSnapshot>> = vec![None; n];
+    let mut recovery: Option<FleetRecovery> = match &args.checkpoint_dir {
+        Some(root) => {
+            let mut offices = Vec::with_capacity(n);
+            let mut cold = 0usize;
+            for o in 0..n {
+                let (office, log, snap) =
+                    open_office_recovery(root, o as u16, trace, args.train_days, telemetry)?;
+                offices.push(office);
+                logs.push(Some(log));
+                if snap.is_none() {
+                    cold += 1;
+                }
+                resumes[o] = snap;
+            }
+            if cold == n {
+                eprintln!("fadewichd fleet: no usable checkpoints, cold start");
+                telemetry.counter_add("checkpoint_cold_starts", 1);
+            }
+            Some(FleetRecovery {
+                offices,
+                base_ticks: 0,
+                crash_after_ticks: args.crash_after_ticks,
+            })
+        }
+        None => {
+            logs.resize_with(n, || None);
+            None
+        }
+    };
+    let mut sink = FleetLogSink { logs };
+
+    let mut base_ticks = 0u64;
+    for day in args.train_days..trace.days().len() {
+        let n_ticks = trace.days()[day].n_ticks() as u64;
+        let starts: Vec<OfficeStart> =
+            resumes.iter_mut().map(|r| OfficeStart::for_day(r, day)).collect();
+        if let Some(rec) = recovery.as_mut() {
+            rec.base_ticks = base_ticks;
+        }
+        let env = FleetDayEnv {
+            scenario,
+            trace,
+            streams,
+            re,
+            cfg,
+            link: &args.link,
+            link_seed: args.link_seed,
+            day,
+            advance_every: DEFAULT_ADVANCE_EVERY,
+        };
+        let report = run_fleet_day(&env, starts, args.shards, recovery.as_mut(), &mut sink, telemetry)
+            .map_err(fleet_err)?;
+        if report.crashed {
+            eprintln!(
+                "fadewichd fleet: injected crash during day {day} (--crash-after-ticks)"
+            );
+            std::process::abort();
+        }
+        let decisions: u64 = report
+            .offices
+            .iter()
+            .map(|o| {
+                o.events.iter().filter(|e| matches!(e, EngineEvent::Decision { .. })).count() as u64
+            })
+            .sum();
+        let active =
+            report.offices.iter().filter(|o| o.counters.frames_in > 0).count();
+        let quarantined = report
+            .offices
+            .iter()
+            .filter(|o| o.counters.quarantines > o.counters.recoveries)
+            .count();
+        let max_lag = report.shard_tick_lags.iter().copied().max().unwrap_or(0);
+        println!("== fleet day {day} ==");
+        println!("{}", report.fleet.summary_line());
+        println!(
+            "offices {n}  active {active}  quarantined {quarantined}  decisions {decisions}"
+        );
+        println!("max shard tick lag {max_lag}  shards {}", args.shards);
+        base_ticks += n_ticks;
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), DaemonError> {
     let args = parse_args().map_err(DaemonError::Usage)?;
     if let Command::Stats { path } = &args.command {
@@ -672,6 +894,22 @@ fn run() -> Result<(), DaemonError> {
                 &scenario, &trace, &streams, &bundle.re, cfg, &args, recovery, resume,
                 &telemetry,
             )?;
+            finish_telemetry(&args, &telemetry)
+        }
+        Command::Fleet { model } => {
+            let bundle = ModelBundle::load(model).map_err(|e| DaemonError::Artifact(e.to_string()))?;
+            replay::validate_schema(&bundle, &trace, &streams).map_err(DaemonError::Artifact)?;
+            eprintln!(
+                "fadewichd fleet: model {} hosting {} office(s) over {} shard(s), {} day(s), {} sensors / {} streams, link {:?}",
+                model.display(),
+                args.offices,
+                args.shards,
+                args.days,
+                args.sensors,
+                streams.len(),
+                args.link
+            );
+            run_fleet(&scenario, &trace, &streams, &bundle.re, cfg, &args, &telemetry)?;
             finish_telemetry(&args, &telemetry)
         }
         Command::Replay { model } => {

@@ -1,0 +1,43 @@
+//! Fleet runtime: multiplex thousands of office engines behind one
+//! ingestion front.
+//!
+//! A FADEWICH deployment is per-office, but an operator hosts many
+//! offices. This crate turns the single-office
+//! [`StreamingEngine`](fadewich_runtime::engine::StreamingEngine)
+//! into a multi-tenant fleet inside one process:
+//!
+//! - [`shard`] — the deterministic office → shard placement function
+//!   (pure, thread-count independent, pinned by tests);
+//! - [`runtime`] — [`FleetRuntime`](runtime::FleetRuntime), the demux
+//!   front: zero-copy validation of a merged v2 frame stream, byte-
+//!   slice routing into per-office queues, parallel drains over the
+//!   deterministic worker pool;
+//! - [`day`] — the shared day driver: round-interleaved feeds,
+//!   per-office checkpoint namespaces and decision logs, crash/resume,
+//!   and the single-office reference the fleet is byte-compared to;
+//! - [`scaling`] — the `reproduce fleet` study: an N-office scaling
+//!   table whose per-office decision streams are proven identical to
+//!   N independent single-office runs.
+//!
+//! The headline invariant, enforced end to end by `tests/fleet.rs`
+//! and `scripts/ci.sh`: **a fleet of N offices produces, for every
+//! office, the byte-identical decision log that N independent
+//! single-office deployments would produce** — at any shard count and
+//! any `FADEWICH_THREADS`, across crashes, with one shared read-only
+//! model for the whole fleet.
+//!
+//! The `fadewichd` daemon binary also lives here (`fadewichd fleet`
+//! drives this crate; `train`/`serve`/`replay`/`stats` are unchanged).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod day;
+pub mod runtime;
+pub mod scaling;
+pub mod shard;
+
+pub use day::{office_link_seed, run_fleet_day, FleetDayEnv, FleetDayReport, OfficeStart};
+pub use runtime::{FleetCounters, FleetRuntime};
+pub use shard::shard_of;

@@ -1,0 +1,298 @@
+//! The fleet front: one ingestion point demultiplexing a merged frame
+//! stream onto per-office [`StreamingEngine`]s grouped into shards.
+//!
+//! # Data path
+//!
+//! [`FleetRuntime::ingest`] walks a blob of concatenated wire frames
+//! with the zero-copy [`Frame::decode_borrowed`] view: each frame is
+//! CRC-validated once at the front, its office id is peeked from the
+//! v2 header (v1 frames land on office 0), and the frame's **exact
+//! byte slice** is appended to the owning office's queue. No f32
+//! payload decode, no `Frame` allocation, no re-encode happens on
+//! this path.
+//!
+//! [`FleetRuntime::advance`] then drains every queue in parallel on
+//! the deterministic worker pool
+//! ([`par_map_indices`](fadewich_experiments::par::par_map_indices)):
+//! task *i* locks shard *i* alone, so shards never contend, and each
+//! office engine re-decodes its own frames exactly as a single-office
+//! deployment would. Because offices never share mutable state, any
+//! shard count and any thread count produce byte-identical per-office
+//! results — the invariant `tests/fleet.rs` pins.
+//!
+//! # Corruption accounting
+//!
+//! A frame that fails validation has an untrustworthy office field,
+//! so it cannot be attributed to a tenant: the fleet counts it
+//! ([`FleetCounters::corrupt_crc`] / [`corrupt_framing`]) and
+//! abandons the rest of the blob, mirroring the engine's own
+//! framing-loss rule. A *valid* frame naming an office outside the
+//! fleet is counted under
+//! [`FleetCounters::frames_unknown_office`] and skipped — framing is
+//! intact, so the rest of the blob still routes.
+//!
+//! [`corrupt_framing`]: FleetCounters::corrupt_framing
+
+use std::sync::{Mutex, PoisonError};
+
+use fadewich_experiments::par;
+use fadewich_runtime::engine::StreamingEngine;
+use fadewich_runtime::wire::{Frame, WireError};
+
+use crate::shard::shard_of;
+
+/// Fleet-level rollup counters: everything the demux front observes
+/// before frames reach a tenant engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetCounters {
+    /// Blobs handed to [`FleetRuntime::ingest`].
+    pub blobs_in: u64,
+    /// Raw bytes handed to [`FleetRuntime::ingest`].
+    pub bytes_in: u64,
+    /// Frames validated and routed to an office queue.
+    pub frames_demuxed: u64,
+    /// Valid frames naming an office the fleet does not host.
+    pub frames_unknown_office: u64,
+    /// Frames rejected at the front for a checksum mismatch.
+    pub corrupt_crc: u64,
+    /// Frames rejected at the front for truncation, a bad magic, or an
+    /// oversized length.
+    pub corrupt_framing: u64,
+}
+
+impl FleetCounters {
+    /// Total frames the front refused to route.
+    pub fn frames_rejected(&self) -> u64 {
+        self.frames_unknown_office + self.corrupt_crc + self.corrupt_framing
+    }
+
+    /// One deterministic summary line for the fleet rollup stream.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "fleet       demuxed {}  unknown-office {}  corrupt {}  blobs {}  bytes {}",
+            self.frames_demuxed,
+            self.frames_unknown_office,
+            self.corrupt_crc + self.corrupt_framing,
+            self.blobs_in,
+            self.bytes_in
+        )
+    }
+}
+
+/// One tenant: its engine plus the queue of validated frame bytes
+/// awaiting the next [`FleetRuntime::advance`].
+struct OfficeSlot<'a> {
+    engine: StreamingEngine<'a>,
+    queue: Vec<u8>,
+}
+
+/// The unit of parallelism: a group of offices drained by one pool
+/// task. Offices within a shard are processed in office-id order.
+struct Shard<'a> {
+    slots: Vec<OfficeSlot<'a>>,
+}
+
+/// A single-process fleet of office engines behind one demux front.
+///
+/// Office *i* of the fleet is `engines[i]` at construction; its shard
+/// is fixed by [`shard_of`] and never depends on thread count. All
+/// tenants typically share one read-only model (`&RadioEnvironment`
+/// behind the engines' lifetime), so hosting a thousand offices costs
+/// one model plus per-office controller state.
+pub struct FleetRuntime<'a> {
+    shards: Vec<Mutex<Shard<'a>>>,
+    /// office id → (shard index, slot index within the shard).
+    assignment: Vec<(usize, usize)>,
+    counters: FleetCounters,
+}
+
+impl<'a> FleetRuntime<'a> {
+    /// Builds a fleet hosting `engines.len()` offices (office `i` is
+    /// `engines[i]`) spread over `n_shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty fleet, a zero shard count, and more offices
+    /// than the wire format's `u16` office id can address.
+    pub fn new(n_shards: usize, engines: Vec<StreamingEngine<'a>>) -> Result<Self, String> {
+        if engines.is_empty() {
+            return Err("fleet: need at least one office engine".to_string());
+        }
+        if n_shards == 0 {
+            return Err("fleet: need at least one shard".to_string());
+        }
+        if engines.len() > usize::from(u16::MAX) + 1 {
+            return Err(format!(
+                "fleet: {} offices exceed the u16 office-id space",
+                engines.len()
+            ));
+        }
+        let mut shards: Vec<Shard<'a>> = (0..n_shards).map(|_| Shard { slots: Vec::new() }).collect();
+        let mut assignment = Vec::with_capacity(engines.len());
+        for (office, engine) in engines.into_iter().enumerate() {
+            let s = shard_of(office as u16, n_shards);
+            assignment.push((s, shards[s].slots.len()));
+            shards[s].slots.push(OfficeSlot { engine, queue: Vec::new() });
+        }
+        Ok(FleetRuntime {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            assignment,
+            counters: FleetCounters::default(),
+        })
+    }
+
+    /// Number of hosted offices.
+    pub fn n_offices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fleet-level demux counters.
+    pub fn counters(&self) -> &FleetCounters {
+        &self.counters
+    }
+
+    /// Demultiplexes one blob of concatenated wire frames onto the
+    /// office queues. See the module docs for the validation and
+    /// corruption-accounting rules.
+    pub fn ingest(&mut self, blob: &[u8]) {
+        self.counters.blobs_in += 1;
+        self.counters.bytes_in += blob.len() as u64;
+        let mut rest = blob;
+        while !rest.is_empty() {
+            match Frame::decode_borrowed(rest) {
+                Ok((view, used)) => {
+                    match self.assignment.get(usize::from(view.office)) {
+                        Some(&(s, i)) => {
+                            let shard = self.shards[s]
+                                .get_mut()
+                                .unwrap_or_else(PoisonError::into_inner);
+                            shard.slots[i].queue.extend_from_slice(&rest[..used]);
+                            self.counters.frames_demuxed += 1;
+                        }
+                        None => self.counters.frames_unknown_office += 1,
+                    }
+                    rest = &rest[used..];
+                }
+                Err(WireError::BadChecksum { .. }) => {
+                    self.counters.corrupt_crc += 1;
+                    return;
+                }
+                Err(_) => {
+                    self.counters.corrupt_framing += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drains every office queue into its engine, shards in parallel
+    /// on the worker pool. Task *i* touches only shard *i*, so the
+    /// result is byte-identical at any `FADEWICH_THREADS`.
+    pub fn advance(&mut self) {
+        let shards = &self.shards;
+        par::par_map_indices(shards.len(), |i| {
+            let mut shard = shards[i].lock().unwrap_or_else(PoisonError::into_inner);
+            for slot in &mut shard.slots {
+                if slot.queue.is_empty() {
+                    continue;
+                }
+                let mut q = std::mem::take(&mut slot.queue);
+                slot.engine.ingest_bytes(&q);
+                q.clear();
+                slot.queue = q;
+            }
+        });
+    }
+
+    /// Ends the day on every engine (parallel over shards): drains any
+    /// queued frames, then pads every office to `expected_ticks` just
+    /// like a single-office [`StreamingEngine::finish`].
+    pub fn finish_day(&mut self, expected_ticks: u64) {
+        let expected = vec![expected_ticks; self.n_offices()];
+        self.finish_per_office(&expected);
+    }
+
+    /// [`finish_day`](Self::finish_day) with a per-office tick target
+    /// — offices sitting a day out (crash recovery's skip case) pass 0
+    /// and are left untouched instead of being padded through a day
+    /// they never streamed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected_ticks.len()` differs from the office count
+    /// (a driver bug, not a data condition).
+    pub fn finish_per_office(&mut self, expected_ticks: &[u64]) {
+        assert_eq!(
+            expected_ticks.len(),
+            self.n_offices(),
+            "finish_per_office: one tick target per office"
+        );
+        let shards = &self.shards;
+        let assignment = &self.assignment;
+        par::par_map_indices(shards.len(), |i| {
+            let mut shard = shards[i].lock().unwrap_or_else(PoisonError::into_inner);
+            // Recover each slot's office id from the assignment table
+            // (slot order within a shard is office-id order).
+            let members: Vec<usize> = assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, &(s, _))| s == i)
+                .map(|(office, _)| office)
+                .collect();
+            for (slot, office) in shard.slots.iter_mut().zip(members) {
+                if !slot.queue.is_empty() {
+                    let mut q = std::mem::take(&mut slot.queue);
+                    slot.engine.ingest_bytes(&q);
+                    q.clear();
+                    slot.queue = q;
+                }
+                if expected_ticks[office] > 0 {
+                    slot.engine.finish(expected_ticks[office]);
+                }
+            }
+        });
+    }
+
+    /// Mutable access to one office's engine (serial control path:
+    /// event flushing, checkpoint snapshots). `None` for an office the
+    /// fleet does not host.
+    pub fn office_mut(&mut self, office: u16) -> Option<&mut StreamingEngine<'a>> {
+        let &(s, i) = self.assignment.get(usize::from(office))?;
+        let shard = self.shards[s].get_mut().unwrap_or_else(PoisonError::into_inner);
+        Some(&mut shard.slots[i].engine)
+    }
+
+    /// Visits every office engine in office-id order (serial).
+    pub fn for_each_office(&mut self, mut f: impl FnMut(u16, &mut StreamingEngine<'a>)) {
+        for office in 0..self.assignment.len() {
+            let (s, i) = self.assignment[office];
+            let shard = self.shards[s].get_mut().unwrap_or_else(PoisonError::into_inner);
+            f(office as u16, &mut shard.slots[i].engine);
+        }
+    }
+
+    /// Per-shard tick lag: how far each shard's slowest office trails
+    /// the fleet-wide tick frontier. Empty shards report 0.
+    pub fn shard_tick_lags(&mut self) -> Vec<u64> {
+        let mut mins = vec![u64::MAX; self.shards.len()];
+        let mut frontier = 0u64;
+        for shard_idx in 0..self.shards.len() {
+            let shard = self.shards[shard_idx]
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner);
+            for slot in &shard.slots {
+                let ticks = slot.engine.counters().ticks_processed;
+                frontier = frontier.max(ticks);
+                mins[shard_idx] = mins[shard_idx].min(ticks);
+            }
+        }
+        mins.into_iter()
+            .map(|m| if m == u64::MAX { 0 } else { frontier - m })
+            .collect()
+    }
+}

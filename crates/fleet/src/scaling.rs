@@ -1,0 +1,269 @@
+//! The `reproduce fleet` study: N-office scaling of the fleet
+//! runtime, with every row's decision streams proven byte-identical
+//! to independent single-office runs and invariant under the shard
+//! count.
+//!
+//! Each row hosts `N` tenants of a shared small scenario (one trained
+//! model for the whole fleet), streams the serving day through the
+//! demux front **twice** — once on 1 shard, once on 8 — and digests
+//! every office's rendered decision stream. The two digests must
+//! match (sharding cannot change decisions), and a sample of offices
+//! is additionally compared line-by-line against dedicated
+//! single-office engines. All table fields are seed-deterministic;
+//! wall-clock throughput goes on separate `wall_`-prefixed lines so
+//! CI can strip them before `cmp`-ing two runs.
+
+use fadewich_core::config::FadewichParams;
+use fadewich_experiments::report::TextTable;
+use fadewich_officesim::{Scenario, ScenarioConfig, ScheduleParams};
+use fadewich_runtime::engine::EngineConfig;
+use fadewich_runtime::link::LinkModel;
+use fadewich_runtime::replay::train_re;
+use fadewich_telemetry::{Clock, Telemetry, WallClock};
+
+use crate::day::{run_fleet_day, single_office_day, BufferSink, FleetDayEnv, OfficeStart};
+
+/// One scaling row's deterministic results plus its wall-clock
+/// throughput.
+#[derive(Debug, Clone)]
+pub struct FleetScalingRow {
+    /// Hosted offices.
+    pub offices: usize,
+    /// Frames the demux front routed (8-shard run).
+    pub frames_demuxed: u64,
+    /// Decisions across all offices (deauth/screen-saver actions).
+    pub decisions: u64,
+    /// FNV digest over every office's rendered decision stream.
+    pub digest: u64,
+    /// Engine ticks per second per office (wall clock, 8-shard run).
+    pub wall_ticks_per_sec_per_office: f64,
+}
+
+/// The rendered study: a deterministic table plus `wall_` lines.
+#[derive(Debug, Clone)]
+pub struct FleetScaling {
+    /// Deterministic scaling table (byte-identical across runs,
+    /// thread counts, and shard counts).
+    pub table: TextTable,
+    /// `wall_fleet_...` throughput lines, one per row — the only
+    /// non-deterministic output, stripped by CI before comparison.
+    pub wall_lines: Vec<String>,
+    /// The raw rows.
+    pub rows: Vec<FleetScalingRow>,
+}
+
+/// Sensor subset size for the study — small frames keep a
+/// 1000-tenant feed in memory.
+const STUDY_SENSORS: usize = 5;
+
+/// Pipeline parameters for the study's short days: the 5-sensor
+/// subset perturbs the radio field more briefly than the full array,
+/// so the significance threshold (and with it the feature window)
+/// comes down to 1.5 s or the training day yields no labeled windows.
+fn study_params() -> FadewichParams {
+    FadewichParams { t_delta_s: 1.5, feature_window_s: 1.5, ..FadewichParams::default() }
+}
+/// Shard count for the measured run; the verification run uses 1.
+const STUDY_SHARDS: usize = 8;
+
+/// The office counts a study up to `max_offices` evaluates: powers of
+/// four capped at the maximum, always ending on the maximum itself.
+#[must_use]
+pub fn office_counts(max_offices: usize) -> Vec<usize> {
+    let max = max_offices.max(1);
+    let mut counts = Vec::new();
+    let mut n = 4usize;
+    while n < max {
+        counts.push(n);
+        n *= 4;
+    }
+    counts.push(max);
+    counts
+}
+
+/// The study's shared scenario: two short days (train on the first,
+/// serve the second) so even the thousand-office row's feeds fit in
+/// memory.
+///
+/// # Errors
+///
+/// Propagates scenario generation/simulation errors.
+fn study_scenario(seed: u64) -> Result<(Scenario, fadewich_officesim::Trace), String> {
+    let config = ScenarioConfig {
+        seed: seed ^ 0xF1EE7,
+        days: 2,
+        schedule: ScheduleParams {
+            day_seconds: 1800.0,
+            earliest_arrival_s: 30.0,
+            latest_arrival_s: 120.0,
+            departures_choices: [3, 3, 4, 4],
+            min_seated_s: 60.0,
+            absence_bounds_s: (20.0, 45.0),
+            min_event_separation_s: 10.0,
+            ..ScheduleParams::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    let scenario =
+        Scenario::generate(config).map_err(|e| format!("fleet scenario: {e:?}"))?;
+    let trace = scenario.simulate().map_err(|e| format!("fleet simulate: {e:?}"))?;
+    Ok((scenario, trace))
+}
+
+fn fnv_line(digest: &mut u64, line: &str) {
+    for b in line.as_bytes() {
+        *digest = (*digest ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    *digest = (*digest ^ u64::from(b'\n')).wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+/// Runs the scaling study up to `max_offices` tenants.
+///
+/// # Errors
+///
+/// Propagates scenario/training/engine errors, and reports any
+/// divergence between shard counts or against the single-office
+/// references as an error — a failed determinism proof must fail the
+/// run, not print a quietly wrong table.
+pub fn run_fleet_scaling(seed: u64, max_offices: usize) -> Result<FleetScaling, String> {
+    // A short 2-day scenario does not guarantee every seed a trainable
+    // label set (too few absences, or all windows in one class), so
+    // walk deterministic seed variants until training succeeds — the
+    // walk depends only on `seed`, keeping the study reproducible.
+    let mut picked = None;
+    let mut last_err = String::new();
+    for attempt in 0u64..16 {
+        let (scenario, trace) = study_scenario(seed.wrapping_add(attempt * 0x9E37))?;
+        let subset = scenario.layout().sensor_subset(STUDY_SENSORS);
+        let streams = trace.stream_indices_for_subset(&subset);
+        match train_re(&scenario, &trace, &streams, 1, &study_params()) {
+            Ok(re) => {
+                picked = Some((scenario, trace, streams, re));
+                break;
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    let Some((scenario, trace, streams, re)) = picked else {
+        return Err(format!(
+            "fleet scaling: no trainable scenario in 16 seed variants of {seed:#x}: {last_err}"
+        ));
+    };
+    let params = study_params();
+    let cfg = EngineConfig::new(trace.tick_hz(), params);
+    cfg.validate()?;
+    let link = LinkModel::lossless();
+    let env = FleetDayEnv {
+        scenario: &scenario,
+        trace: &trace,
+        streams: &streams,
+        re: &re,
+        cfg,
+        link: &link,
+        link_seed: 0xF10D ^ seed,
+        day: 1,
+        advance_every: crate::day::DEFAULT_ADVANCE_EVERY,
+    };
+    let telemetry = Telemetry::disabled();
+    let clock = WallClock;
+    let n_ticks = trace.days()[1].n_ticks() as u64;
+
+    let mut table = TextTable::new(
+        &format!("Fleet scaling: N offices multiplexed behind one demux front ({STUDY_SHARDS} shards)"),
+        &["offices", "frames demuxed", "decisions", "stream digest", "shards 1=8"],
+    );
+    let mut wall_lines = Vec::new();
+    let mut rows = Vec::new();
+    for n in office_counts(max_offices) {
+        // Measured run on the study shard count.
+        let t0 = clock.now_ns();
+        let mut sink = BufferSink::new(n);
+        let starts: Vec<OfficeStart> = (0..n).map(|_| OfficeStart::Fresh).collect();
+        let report = run_fleet_day(&env, starts, STUDY_SHARDS, None, &mut sink, &telemetry)?;
+        let wall_ns = clock.now_ns().saturating_sub(t0);
+
+        // Verification run on a single shard must reproduce every
+        // office's stream byte for byte.
+        let mut sink1 = BufferSink::new(n);
+        let starts1: Vec<OfficeStart> = (0..n).map(|_| OfficeStart::Fresh).collect();
+        run_fleet_day(&env, starts1, 1, None, &mut sink1, &telemetry)?;
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut digest1 = digest;
+        for o in 0..n {
+            for line in &sink.lines[o] {
+                fnv_line(&mut digest, line);
+            }
+            for line in &sink1.lines[o] {
+                fnv_line(&mut digest1, line);
+            }
+        }
+        if digest != digest1 {
+            return Err(format!(
+                "fleet scaling: {n} offices diverge between 1 and {STUDY_SHARDS} shards"
+            ));
+        }
+
+        // Sample offices against dedicated single-office engines.
+        let mut samples = vec![0u16];
+        if n > 1 {
+            samples.push(1);
+            samples.push((n - 1) as u16);
+        }
+        samples.dedup();
+        for &office in &samples {
+            let reference = single_office_day(&env, office)?;
+            let fleet_lines = &sink.lines[usize::from(office)];
+            if fleet_lines != &reference {
+                return Err(format!(
+                    "fleet scaling: office {office} of {n} diverges from its \
+                     single-office run ({} fleet lines vs {} reference lines)",
+                    fleet_lines.len(),
+                    reference.len()
+                ));
+            }
+        }
+
+        let decisions: u64 = report
+            .offices
+            .iter()
+            .map(|o| o.events.iter().filter(|e| matches!(e, fadewich_runtime::engine::EngineEvent::Decision { .. })).count() as u64)
+            .sum();
+        let row = FleetScalingRow {
+            offices: n,
+            frames_demuxed: report.fleet.frames_demuxed,
+            decisions,
+            digest,
+            wall_ticks_per_sec_per_office: if wall_ns > 0 {
+                n_ticks as f64 / (wall_ns as f64 / 1e9)
+            } else {
+                0.0
+            },
+        };
+        table.add_row(vec![
+            row.offices.to_string(),
+            row.frames_demuxed.to_string(),
+            row.decisions.to_string(),
+            format!("{:016x}", row.digest),
+            "yes".to_string(),
+        ]);
+        wall_lines.push(format!(
+            "wall_fleet_{}_ticks_per_sec_per_office {:.0}",
+            row.offices, row.wall_ticks_per_sec_per_office
+        ));
+        rows.push(row);
+    }
+    Ok(FleetScaling { table, wall_lines, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn office_counts_end_on_the_maximum() {
+        assert_eq!(office_counts(1), vec![1]);
+        assert_eq!(office_counts(4), vec![4]);
+        assert_eq!(office_counts(32), vec![4, 16, 32]);
+        assert_eq!(office_counts(1024), vec![4, 16, 64, 256, 1024]);
+    }
+}

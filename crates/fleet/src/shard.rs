@@ -1,0 +1,109 @@
+//! Deterministic office → shard placement.
+//!
+//! The fleet demultiplexer routes every frame to a shard by hashing
+//! the frame's office id. The function below is the **only** place
+//! that mapping is defined, and it is a pure function of
+//! `(office, n_shards)`:
+//!
+//! - it never consults the worker-pool size (`FADEWICH_THREADS`), the
+//!   host, or any runtime state, so a fleet sharded the same way
+//!   produces byte-identical per-office outputs on one thread or
+//!   sixty-four;
+//! - it is stable across runs and releases — checkpoint directories
+//!   and telemetry labels keyed by shard keep meaning the same thing
+//!   after a restart.
+//!
+//! The hash is FNV-1a over the office id's two little-endian bytes,
+//! reduced modulo the shard count. FNV-1a is tiny, allocation-free,
+//! and mixes the dense small office ids real fleets use (0, 1, 2, …)
+//! well enough that shards stay balanced — see the distribution test
+//! below, which bounds the max/min shard population for a dense id
+//! range.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Maps an office id onto one of `n_shards` shards.
+///
+/// Pure and deterministic: the result depends only on the arguments.
+/// Scheduling (thread count, shard execution order) never changes
+/// which shard an office lives on.
+///
+/// # Panics
+///
+/// Panics if `n_shards` is zero — a fleet with no shards cannot route
+/// anything, and silently defaulting would hide a construction bug.
+#[must_use]
+pub fn shard_of(office: u16, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "shard_of: n_shards must be nonzero");
+    let mut h = FNV_OFFSET;
+    for b in office.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    (h % n_shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_for_every_office_and_shard_count() {
+        for n_shards in [1usize, 2, 3, 7, 8, 64] {
+            for office in (0..=u16::MAX).step_by(257) {
+                assert!(shard_of(office, n_shards) < n_shards);
+            }
+            assert!(shard_of(u16::MAX, n_shards) < n_shards);
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        for office in [0u16, 1, 1000, u16::MAX] {
+            assert_eq!(shard_of(office, 1), 0);
+        }
+    }
+
+    #[test]
+    fn pinned_assignments_are_stable() {
+        // Regression pin: these values are load-bearing — checkpoint
+        // namespaces and telemetry labels assume the mapping never
+        // drifts between releases.
+        assert_eq!(shard_of(0, 8), 5);
+        assert_eq!(shard_of(1, 8), 4);
+        assert_eq!(shard_of(2, 8), 7);
+        assert_eq!(shard_of(3, 8), 6);
+        assert_eq!(shard_of(1000, 8), shard_of(1000, 8));
+    }
+
+    #[test]
+    fn independent_of_thread_pool_size() {
+        let baseline: Vec<usize> = (0..512u16).map(|o| shard_of(o, 8)).collect();
+        for threads in [1usize, 2, 8] {
+            let under_pool = fadewich_experiments::par::with_threads(threads, || {
+                (0..512u16).map(|o| shard_of(o, 8)).collect::<Vec<usize>>()
+            });
+            assert_eq!(under_pool, baseline, "assignment changed under {threads} threads");
+        }
+    }
+
+    #[test]
+    fn dense_office_ids_balance_across_shards() {
+        for n_shards in [4usize, 8, 16] {
+            let mut pop = vec![0usize; n_shards];
+            let n_offices = 1024u16;
+            for office in 0..n_offices {
+                pop[shard_of(office, n_shards)] += 1;
+            }
+            let expect = n_offices as usize / n_shards;
+            let max = *pop.iter().max().unwrap_or(&0);
+            let min = *pop.iter().min().unwrap_or(&0);
+            assert!(
+                max <= expect * 2 && min >= expect / 2,
+                "shards unbalanced for {n_shards} shards: {pop:?}"
+            );
+        }
+    }
+}

@@ -170,7 +170,23 @@ pub struct StreamingEngine<'a> {
     /// deterministic. Never consulted on any decision path.
     clock: Arc<dyn Clock>,
     telemetry: Telemetry,
+    /// Row-major block of consecutive *unmasked* ticks awaiting a
+    /// batched controller advance ([`Controller::step_batch`]). Always
+    /// flushed before a public call returns, so every externally
+    /// observable state — counters, actions, events, snapshots — is
+    /// exactly what per-tick stepping would have produced.
+    batch_rows: Vec<f64>,
+    /// First tick of the pending batch (meaningful only while
+    /// `batch_rows` is non-empty).
+    batch_start: u64,
+    /// Scratch for the per-tick action counts of a flushed batch.
+    batch_counts: Vec<usize>,
 }
+
+/// Upper bound on buffered ticks per batched controller advance; keeps
+/// the tail-padding path in [`StreamingEngine::finish`] from staging an
+/// entire lost day in memory at once.
+const MAX_BATCH_TICKS: usize = 1024;
 
 impl<'a> StreamingEngine<'a> {
     /// Builds an engine for a deployment described by `groups` (the
@@ -209,6 +225,9 @@ impl<'a> StreamingEngine<'a> {
             clock: Arc::new(WallClock),
             telemetry: Telemetry::disabled(),
             groups,
+            batch_rows: Vec::new(),
+            batch_start: 0,
+            batch_counts: Vec::new(),
         })
     }
 
@@ -256,23 +275,29 @@ impl<'a> StreamingEngine<'a> {
                 Ok((frame, used)) => {
                     self.counters.bytes_in -= (bytes.len() - used) as u64;
                     bytes = &bytes[used..];
-                    self.ingest_frame(frame);
+                    self.ingest_frame_inner(frame);
                 }
                 Err(WireError::BadChecksum { .. }) => {
                     self.counters.corrupt_crc += 1;
-                    return;
+                    break;
                 }
                 Err(_) => {
                     // Truncated / BadMagic / BadLength: framing is lost.
                     self.counters.corrupt_framing += 1;
-                    return;
+                    break;
                 }
             }
         }
+        self.flush_batch();
     }
 
     /// Feeds one already-decoded frame.
     pub fn ingest_frame(&mut self, frame: Frame) {
+        self.ingest_frame_inner(frame);
+        self.flush_batch();
+    }
+
+    fn ingest_frame_inner(&mut self, frame: Frame) {
         let Some(sender) = self.groups.iter().position(|(s, _)| *s == frame.sensor) else {
             self.counters.corrupt_unknown_sensor += 1;
             return;
@@ -301,10 +326,17 @@ impl<'a> StreamingEngine<'a> {
             self.process_tick(b.tick, &b.reports);
         }
         let empty: Vec<Option<Vec<f32>>> = vec![None; self.groups.len()];
-        while self.counters.ticks_processed < expected_ticks {
-            let tick = self.counters.ticks_processed;
+        while self.ticks_ingested() < expected_ticks {
+            let tick = self.ticks_ingested();
             self.process_tick(tick, &empty);
         }
+        self.flush_batch();
+    }
+
+    /// Ticks the pipeline has consumed, counting those still staged in
+    /// the pending batch.
+    fn ticks_ingested(&self) -> u64 {
+        self.counters.ticks_processed + (self.batch_rows.len() / self.n_streams) as u64
     }
 
     fn absorb_reorder_events(&mut self) {
@@ -372,21 +404,66 @@ impl<'a> StreamingEngine<'a> {
                 }
             }
         }
+        self.counters.watermark_lag_max =
+            self.counters.watermark_lag_max.max(self.reorder.max_watermark_lag());
+        if !any_masked {
+            // Hot path: stage the tick for a batched controller advance
+            // (MD sweeps the whole block, FSM replays per tick —
+            // bit-identical, see `Controller::step_batch`). Flushed at
+            // the latest when the enclosing public call returns.
+            if !self.batch_rows.is_empty()
+                && tick != self.batch_start + (self.batch_rows.len() / self.n_streams) as u64
+            {
+                self.flush_batch();
+            }
+            if self.batch_rows.is_empty() {
+                self.batch_start = tick;
+            }
+            self.batch_rows.extend_from_slice(&self.row);
+            if self.batch_rows.len() / self.n_streams >= MAX_BATCH_TICKS {
+                self.flush_batch();
+            }
+            return;
+        }
+        // Degraded tick: advance everything staged before it, then take
+        // the per-tick masked path.
+        self.flush_batch();
         let controller = &mut self.controller;
         let (row, mask) = (&self.row, &self.mask);
         let t0 = self.clock.now_ns();
-        let n_new = if any_masked {
-            controller.step_masked(tick as usize, row, mask)
-        } else {
-            controller.step(tick as usize, row)
-        };
+        let n_new = controller.step_masked(tick as usize, row, mask);
         self.counters.step.record_ns(self.clock.now_ns().saturating_sub(t0));
         self.counters.ticks_processed += 1;
-        self.counters.watermark_lag_max =
-            self.counters.watermark_lag_max.max(self.reorder.max_watermark_lag());
         let actions = self.controller.actions();
         for action in &actions[actions.len() - n_new..] {
             self.events.push(EngineEvent::Decision { tick, action: *action });
+        }
+    }
+
+    /// Runs the controller over the staged block of unmasked ticks and
+    /// attributes the emitted actions back to their ticks.
+    fn flush_batch(&mut self) {
+        if self.batch_rows.is_empty() {
+            return;
+        }
+        let n_ticks = self.batch_rows.len() / self.n_streams;
+        self.batch_counts.clear();
+        let rows = std::mem::take(&mut self.batch_rows);
+        let t0 = self.clock.now_ns();
+        let total =
+            self.controller.step_batch(self.batch_start as usize, &rows, &mut self.batch_counts);
+        self.counters.step.record_ns(self.clock.now_ns().saturating_sub(t0));
+        self.batch_rows = rows;
+        self.batch_rows.clear();
+        self.counters.ticks_processed += n_ticks as u64;
+        let actions = self.controller.actions();
+        let mut next = actions.len() - total;
+        for (i, &count) in self.batch_counts.iter().enumerate() {
+            let tick = self.batch_start + i as u64;
+            for action in &actions[next..next + count] {
+                self.events.push(EngineEvent::Decision { tick, action: *action });
+            }
+            next += count;
         }
     }
 
@@ -518,6 +595,9 @@ impl<'a> StreamingEngine<'a> {
             clock: Arc::new(WallClock),
             telemetry: Telemetry::disabled(),
             groups,
+            batch_rows: Vec::new(),
+            batch_start: 0,
+            batch_counts: Vec::new(),
         })
     }
 }
@@ -577,7 +657,7 @@ mod tests {
             }
             let values: Vec<f32> =
                 positions.iter().map(|_| -50.0 + rng.normal() as f32 * 0.6).collect();
-            engine.ingest_frame(Frame { sensor, seq: tick as u32, tick, values });
+            engine.ingest_frame(Frame { office: 0, sensor, seq: tick as u32, tick, values });
         }
     }
 
@@ -596,7 +676,7 @@ mod tests {
         let inputs = quiet_inputs();
         let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
         let mut bytes =
-            Frame { sensor: 0, seq: 0, tick: 0, values: vec![-50.0, -50.0] }.encode();
+            Frame { office: 0, sensor: 0, seq: 0, tick: 0, values: vec![-50.0, -50.0] }.encode();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         e.ingest_bytes(&bytes);
@@ -611,7 +691,7 @@ mod tests {
         let inputs = quiet_inputs();
         let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
         // Bad CRC: flip a payload byte so the checksum disagrees.
-        let mut crc = Frame { sensor: 0, seq: 0, tick: 0, values: vec![-50.0, -50.0] }.encode();
+        let mut crc = Frame { office: 0, sensor: 0, seq: 0, tick: 0, values: vec![-50.0, -50.0] }.encode();
         let mid = crc.len() / 2;
         crc[mid] ^= 0xFF;
         e.ingest_bytes(&crc);
@@ -619,8 +699,8 @@ mod tests {
         e.ingest_bytes(&[0u8; 6]);
         // Unknown sensor id, and a known sensor with the wrong payload
         // width — both rejected at the engine boundary.
-        e.ingest_frame(Frame { sensor: 77, seq: 0, tick: 0, values: vec![-50.0, -50.0] });
-        e.ingest_frame(Frame { sensor: 0, seq: 0, tick: 0, values: vec![-50.0] });
+        e.ingest_frame(Frame { office: 0, sensor: 77, seq: 0, tick: 0, values: vec![-50.0, -50.0] });
+        e.ingest_frame(Frame { office: 0, sensor: 0, seq: 0, tick: 0, values: vec![-50.0] });
         let c = e.counters();
         assert_eq!(c.corrupt_crc, 1);
         assert_eq!(c.corrupt_framing, 1);
@@ -841,7 +921,7 @@ mod tests {
             for (sensor, positions) in groups() {
                 let values: Vec<f32> =
                     positions.iter().map(|_| -50.0 + rng.normal() as f32 * 0.6).collect();
-                frames.push(Frame { sensor, seq: t as u32, tick: t, values });
+                frames.push(Frame { office: 0, sensor, seq: t as u32, tick: t, values });
             }
         }
         for f in &frames {

@@ -70,4 +70,4 @@ pub use engine::{EngineConfig, EngineEvent, StreamingEngine};
 pub use fault::{FaultInjector, FaultLog, FaultPlan, WriteFault};
 pub use link::LinkModel;
 pub use reorder::{ReorderBuffer, ReorderConfig, ReorderState, TickBundle};
-pub use wire::{Frame, WireError};
+pub use wire::{Frame, FrameView, WireError};

@@ -220,6 +220,29 @@ pub fn day_deliveries(
     link: &LinkModel,
     link_seed: u64,
 ) -> Result<Vec<Vec<u8>>, String> {
+    day_deliveries_for_office(trace, streams, groups, day, link, link_seed, 0)
+}
+
+/// [`day_deliveries`] with the frames stamped for a fleet tenant.
+///
+/// Office 0 produces the exact byte stream `day_deliveries` always has
+/// (v1 frames); any other id emits v2 frames carrying the office field
+/// the fleet demux routes on. The link seed is the caller's to vary per
+/// office, so each tenant sees an independent loss pattern.
+///
+/// # Errors
+///
+/// Same layout contract as [`day_deliveries`].
+#[allow(clippy::too_many_arguments)]
+pub fn day_deliveries_for_office(
+    trace: &Trace,
+    streams: &[usize],
+    groups: &[(u16, Vec<usize>)],
+    day: usize,
+    link: &LinkModel,
+    link_seed: u64,
+    office: u16,
+) -> Result<Vec<Vec<u8>>, String> {
     let mut seq = vec![0u32; groups.len()];
     let reports = trace.sensor_reports(day, streams);
     let mut frames: Vec<(u64, Vec<u8>)> = Vec::with_capacity(reports.len());
@@ -227,7 +250,7 @@ pub fn day_deliveries(
         let sender = groups.iter().position(|(s, _)| *s == r.sensor).ok_or_else(|| {
             format!("sensor {} reports frames but is not in the receiver layout", r.sensor)
         })?;
-        let frame = Frame { sensor: r.sensor, seq: seq[sender], tick: r.tick, values: r.values };
+        let frame = Frame { office, sensor: r.sensor, seq: seq[sender], tick: r.tick, values: r.values };
         seq[sender] = seq[sender].wrapping_add(1);
         frames.push((r.tick, frame.encode()));
     }

@@ -3,9 +3,11 @@
 //! A live deployment's receiving sensors push their per-tick RSSI
 //! measurements to the central station over an unreliable transport
 //! (the paper's nodes used raw 2.4 GHz packets). Each report travels as
-//! one self-delimiting binary [`Frame`]:
+//! one self-delimiting binary [`Frame`]. Two header versions are on the
+//! wire:
 //!
 //! ```text
+//! v1 (single-office deployments; office id is implicitly 0)
 //! offset  size  field
 //! 0       2     magic        0xFADE, little-endian
 //! 2       2     sensor       receiving sensor id
@@ -14,19 +16,46 @@
 //! 16      2     len          number of f32 samples (≤ MAX_PAYLOAD)
 //! 18      4·len payload      samples, f32 little-endian
 //! …       4     crc32        IEEE CRC-32 of all preceding bytes
+//!
+//! v2 (fleet deployments; adds the demux key)
+//! offset  size  field
+//! 0       2     magic        0xFAD2, little-endian
+//! 2       2     office       tenant (office) id — the fleet demux key
+//! 4       2     sensor       receiving sensor id
+//! 6       4     seq          per-sensor send sequence number
+//! 10      8     tick         day-local tick timestamp
+//! 18      2     len          number of f32 samples (≤ MAX_PAYLOAD)
+//! 20      4·len payload      samples, f32 little-endian
+//! …       4     crc32        IEEE CRC-32 of all preceding bytes
 //! ```
 //!
-//! Everything is little-endian. The checksum lets the station reject
-//! corrupted frames instead of feeding garbage RSSI into MD — the
-//! reorder buffer then treats the tick as missing, which downstream
-//! gap-fill handles gracefully.
+//! The two versions are distinguished by their magic, so a station can
+//! accept a mixed stream: a v1 frame decodes with `office = 0` (the
+//! single-office deployments of PR 2–6 are "office 0" of a fleet), and
+//! [`Frame::encode`] keeps emitting v1 bytes for office 0 so existing
+//! byte streams, checkpoint delivery positions and link-corruption
+//! draws are unchanged. Everything is little-endian. The checksum lets
+//! the station reject corrupted frames instead of feeding garbage RSSI
+//! into MD — the reorder buffer then treats the tick as missing, which
+//! downstream gap-fill handles gracefully.
+//!
+//! [`Frame::decode_borrowed`] is the zero-copy variant for the fleet
+//! demux hot path: it validates exactly like [`Frame::decode`] but
+//! returns a [`FrameView`] whose payload is a slice into the input
+//! buffer, so routing a frame by office id allocates nothing.
 
-/// Frame preamble, chosen to make byte-aligned garbage unlikely to
+/// v1 frame preamble, chosen to make byte-aligned garbage unlikely to
 /// parse.
 pub const FRAME_MAGIC: u16 = 0xFADE;
 
-/// Bytes before the payload.
+/// v2 frame preamble (header carries an office id).
+pub const FRAME_MAGIC_V2: u16 = 0xFAD2;
+
+/// Bytes before the payload in a v1 frame.
 pub const HEADER_LEN: usize = 18;
+
+/// Bytes before the payload in a v2 frame (v1 plus the office id).
+pub const HEADER_LEN_V2: usize = 20;
 
 /// Hard cap on samples per frame (a 9-sensor office has at most 8
 /// streams per receiver; the cap only bounds hostile input).
@@ -35,6 +64,9 @@ pub const MAX_PAYLOAD: usize = 4096;
 /// One sensor report on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
+    /// Tenant (office) id; 0 for single-office deployments and for
+    /// every v1 frame.
+    pub office: u16,
     /// Receiving sensor id.
     pub sensor: u16,
     /// Per-sensor send sequence number (monotone at the sender).
@@ -45,12 +77,82 @@ pub struct Frame {
     pub values: Vec<f32>,
 }
 
+/// A decoded frame whose payload still lives in the caller's buffer —
+/// the zero-copy view [`Frame::decode_borrowed`] returns. The payload
+/// slice holds the f32 sample bits, little-endian, exactly as they
+/// sit on the wire; [`FrameView::value`]/[`FrameView::values`] decode
+/// them lazily and [`FrameView::to_frame`] materializes an owned
+/// [`Frame`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameView<'a> {
+    /// Tenant (office) id (0 for v1 frames).
+    pub office: u16,
+    /// Receiving sensor id.
+    pub sensor: u16,
+    /// Per-sensor send sequence number.
+    pub seq: u32,
+    /// Day-local tick the samples belong to.
+    pub tick: u64,
+    payload: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// Number of f32 samples in the payload.
+    pub fn len(&self) -> usize {
+        self.payload.len() / 4
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// The raw little-endian f32 payload bytes (the borrowed slice).
+    pub fn payload_bytes(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Decodes sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn value(&self, i: usize) -> f32 {
+        let o = 4 * i;
+        f32::from_le_bytes([
+            self.payload[o],
+            self.payload[o + 1],
+            self.payload[o + 2],
+            self.payload[o + 3],
+        ])
+    }
+
+    /// Iterates the samples without materializing a `Vec`.
+    pub fn values(&self) -> impl Iterator<Item = f32> + 'a {
+        self.payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    /// Materializes an owned [`Frame`] (allocates the payload `Vec`).
+    pub fn to_frame(&self) -> Frame {
+        Frame {
+            office: self.office,
+            sensor: self.sensor,
+            seq: self.seq,
+            tick: self.tick,
+            values: self.values().collect(),
+        }
+    }
+}
+
 /// Why a byte buffer failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
     /// Fewer bytes than the declared (or minimum) frame length.
     Truncated,
-    /// The first two bytes are not [`FRAME_MAGIC`].
+    /// The first two bytes are neither [`FRAME_MAGIC`] nor
+    /// [`FRAME_MAGIC_V2`].
     BadMagic,
     /// Declared payload length exceeds [`MAX_PAYLOAD`].
     BadLength(usize),
@@ -81,20 +183,55 @@ impl std::error::Error for WireError {}
 pub use fadewich_stats::checksum::crc32;
 
 impl Frame {
-    /// Encoded size in bytes.
+    /// Encoded size in bytes (v1 for office 0, v2 otherwise — the
+    /// format [`Frame::encode`] picks).
     pub fn encoded_len(&self) -> usize {
-        HEADER_LEN + 4 * self.values.len() + 4
+        let header = if self.office == 0 { HEADER_LEN } else { HEADER_LEN_V2 };
+        header + 4 * self.values.len() + 4
     }
 
-    /// Appends the encoded frame to `out`.
+    /// Appends the encoded frame to `out`: v1 bytes for office 0 (so
+    /// single-office streams are unchanged from the unversioned
+    /// codec), v2 bytes otherwise.
     ///
     /// # Panics
     ///
     /// Panics if the payload exceeds [`MAX_PAYLOAD`] samples.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
+        if self.office == 0 {
+            self.encode_v1_into(out);
+        } else {
+            self.encode_v2_into(out);
+        }
+    }
+
+    fn encode_v1_into(&self, out: &mut Vec<u8>) {
         assert!(self.values.len() <= MAX_PAYLOAD, "payload too large");
         let start = out.len();
         out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.sensor.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.tick.to_le_bytes());
+        out.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let crc = crc32(&out[start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Appends the v2 encoding regardless of office id (office 0 is a
+    /// legal v2 frame; [`Frame::encode`] just never picks it, for
+    /// byte-compatibility with v1 streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`] samples.
+    pub fn encode_v2_into(&self, out: &mut Vec<u8>) {
+        assert!(self.values.len() <= MAX_PAYLOAD, "payload too large");
+        let start = out.len();
+        out.extend_from_slice(&FRAME_MAGIC_V2.to_le_bytes());
+        out.extend_from_slice(&self.office.to_le_bytes());
         out.extend_from_slice(&self.sensor.to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.tick.to_le_bytes());
@@ -113,31 +250,52 @@ impl Frame {
         out
     }
 
-    /// Decodes one frame from the start of `bytes`, returning it and
-    /// the number of bytes consumed (so frames can be streamed from a
-    /// concatenated buffer).
+    /// Decodes one frame (either header version) from the start of
+    /// `bytes`, returning it and the number of bytes consumed (so
+    /// frames can be streamed from a concatenated buffer).
     ///
     /// # Errors
     ///
     /// Any [`WireError`]; the buffer is never consumed on error.
     pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), WireError> {
+        let (view, used) = Frame::decode_borrowed(bytes)?;
+        Ok((view.to_frame(), used))
+    }
+
+    /// Zero-copy decode: identical validation to [`Frame::decode`]
+    /// (magic, length cap, exact framing, CRC-32), but the returned
+    /// [`FrameView`] borrows its payload from `bytes` instead of
+    /// copying it — the fleet demux peeks the office id and routes the
+    /// frame without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; the buffer is never consumed on error.
+    pub fn decode_borrowed(bytes: &[u8]) -> Result<(FrameView<'_>, usize), WireError> {
         if bytes.len() < HEADER_LEN + 4 {
             return Err(WireError::Truncated);
         }
         let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
-        if magic != FRAME_MAGIC {
-            return Err(WireError::BadMagic);
+        let (office, header_len) = match magic {
+            FRAME_MAGIC => (0u16, HEADER_LEN),
+            FRAME_MAGIC_V2 => (u16::from_le_bytes([bytes[2], bytes[3]]), HEADER_LEN_V2),
+            _ => return Err(WireError::BadMagic),
+        };
+        if bytes.len() < header_len + 4 {
+            return Err(WireError::Truncated);
         }
-        let sensor = u16::from_le_bytes([bytes[2], bytes[3]]);
-        let seq = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        // Past the (v1) or (v2, office) prefix the two layouts agree.
+        let rest = &bytes[header_len - 16..];
+        let sensor = u16::from_le_bytes([rest[0], rest[1]]);
+        let seq = u32::from_le_bytes([rest[2], rest[3], rest[4], rest[5]]);
         let tick = u64::from_le_bytes([
-            bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15],
+            rest[6], rest[7], rest[8], rest[9], rest[10], rest[11], rest[12], rest[13],
         ]);
-        let len = u16::from_le_bytes([bytes[16], bytes[17]]) as usize;
+        let len = u16::from_le_bytes([rest[14], rest[15]]) as usize;
         if len > MAX_PAYLOAD {
             return Err(WireError::BadLength(len));
         }
-        let total = HEADER_LEN + 4 * len + 4;
+        let total = header_len + 4 * len + 4;
         if bytes.len() < total {
             return Err(WireError::Truncated);
         }
@@ -151,12 +309,8 @@ impl Frame {
         if computed != carried {
             return Err(WireError::BadChecksum { computed, carried });
         }
-        let mut values = Vec::with_capacity(len);
-        for i in 0..len {
-            let o = HEADER_LEN + 4 * i;
-            values.push(f32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]));
-        }
-        Ok((Frame { sensor, seq, tick, values }, total))
+        let payload = &bytes[header_len..total - 4];
+        Ok((FrameView { office, sensor, seq, tick, payload }, total))
     }
 }
 
@@ -166,7 +320,13 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let f = Frame { sensor: 3, seq: 41, tick: 123_456, values: vec![-50.25, -61.5, 0.0] };
+        let f = Frame {
+            office: 0,
+            sensor: 3,
+            seq: 41,
+            tick: 123_456,
+            values: vec![-50.25, -61.5, 0.0],
+        };
         let bytes = f.encode();
         assert_eq!(bytes.len(), f.encoded_len());
         let (back, used) = Frame::decode(&bytes).unwrap();
@@ -175,9 +335,90 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_v2_office() {
+        let f = Frame {
+            office: 777,
+            sensor: 3,
+            seq: 41,
+            tick: 123_456,
+            values: vec![-50.25, -61.5, 0.0],
+        };
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.encoded_len());
+        assert_eq!(bytes.len(), HEADER_LEN_V2 + 4 * 3 + 4);
+        let (back, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn v1_frames_decode_as_office_zero() {
+        // The exact pre-fleet byte layout must still decode, with the
+        // office defaulted to 0 — old sensors keep working unchanged.
+        let f =
+            Frame { office: 0, sensor: 5, seq: 9, tick: 1234, values: vec![-48.0, -52.5] };
+        let bytes = f.encode();
+        assert_eq!(u16::from_le_bytes([bytes[0], bytes[1]]), FRAME_MAGIC);
+        assert_eq!(bytes.len(), HEADER_LEN + 4 * 2 + 4);
+        let (back, _) = Frame::decode(&bytes).unwrap();
+        assert_eq!(back.office, 0);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn office_zero_also_round_trips_through_v2() {
+        // encode() picks v1 for office 0, but an explicitly v2-encoded
+        // office-0 frame is legal and decodes to the same Frame.
+        let f = Frame { office: 0, sensor: 2, seq: 7, tick: 99, values: vec![-44.0] };
+        let mut v2 = Vec::new();
+        f.encode_v2_into(&mut v2);
+        assert_ne!(v2, f.encode(), "v2 bytes differ from the v1 default encoding");
+        let (back, used) = Frame::decode(&v2).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(used, v2.len());
+    }
+
+    #[test]
+    fn decode_borrowed_matches_owned_decode() {
+        // Differential: both paths must agree field-for-field and
+        // byte-for-byte on every header version, and reject errors
+        // identically (same variant, same consumed-nothing contract).
+        for office in [0u16, 1, 41, u16::MAX] {
+            let f = Frame {
+                office,
+                sensor: 3,
+                seq: 10 + u32::from(office),
+                tick: 5_000 + u64::from(office),
+                values: vec![-50.0, -61.25, 7.5, f32::MIN_POSITIVE],
+            };
+            let bytes = f.encode();
+            let (owned, n_owned) = Frame::decode(&bytes).unwrap();
+            let (view, n_view) = Frame::decode_borrowed(&bytes).unwrap();
+            assert_eq!(n_owned, n_view);
+            assert_eq!(view.to_frame(), owned);
+            assert_eq!(view.len(), owned.values.len());
+            for (i, &v) in owned.values.iter().enumerate() {
+                assert_eq!(view.value(i).to_bits(), v.to_bits());
+            }
+            let lazy: Vec<f32> = view.values().collect();
+            assert_eq!(lazy, owned.values);
+            // Error parity on corrupted input.
+            for byte in 0..bytes.len() {
+                let mut dirty = bytes.clone();
+                dirty[byte] ^= 0x10;
+                assert_eq!(
+                    Frame::decode(&dirty).err(),
+                    Frame::decode_borrowed(&dirty).err(),
+                    "error divergence at byte {byte}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn streams_from_concatenated_buffer() {
-        let a = Frame { sensor: 0, seq: 0, tick: 0, values: vec![1.0] };
-        let b = Frame { sensor: 1, seq: 0, tick: 0, values: vec![2.0, 3.0] };
+        let a = Frame { office: 0, sensor: 0, seq: 0, tick: 0, values: vec![1.0] };
+        let b = Frame { office: 3, sensor: 1, seq: 0, tick: 0, values: vec![2.0, 3.0] };
         let mut buf = a.encode();
         b.encode_into(&mut buf);
         let (fa, na) = Frame::decode(&buf).unwrap();
@@ -188,17 +429,21 @@ mod tests {
 
     #[test]
     fn every_single_bit_flip_is_rejected() {
-        let f = Frame { sensor: 7, seq: 9, tick: 77, values: vec![-48.0, -52.5] };
-        let clean = f.encode();
-        for byte in 0..clean.len() {
-            for bit in 0..8 {
-                let mut dirty = clean.clone();
-                dirty[byte] ^= 1 << bit;
-                match Frame::decode(&dirty) {
-                    Err(_) => {}
-                    // A flip in the `len` field can only make the frame
-                    // longer (or oversize), never decode cleanly.
-                    Ok((g, _)) => panic!("flip {byte}:{bit} decoded as {g:?}"),
+        for office in [0u16, 6] {
+            let f = Frame { office, sensor: 7, seq: 9, tick: 77, values: vec![-48.0, -52.5] };
+            let clean = f.encode();
+            for byte in 0..clean.len() {
+                for bit in 0..8 {
+                    let mut dirty = clean.clone();
+                    dirty[byte] ^= 1 << bit;
+                    match Frame::decode(&dirty) {
+                        Err(_) => {}
+                        // A flip in the `len` field can only make the frame
+                        // longer (or oversize), never decode cleanly. The
+                        // two magics differ in two bits, so no single flip
+                        // can turn one version header into the other.
+                        Ok((g, _)) => panic!("flip {byte}:{bit} decoded as {g:?}"),
+                    }
                 }
             }
         }
@@ -206,18 +451,23 @@ mod tests {
 
     #[test]
     fn truncation_and_magic_errors() {
-        let f = Frame { sensor: 1, seq: 2, tick: 3, values: vec![4.0] };
+        let f = Frame { office: 0, sensor: 1, seq: 2, tick: 3, values: vec![4.0] };
         let bytes = f.encode();
         assert_eq!(Frame::decode(&bytes[..10]), Err(WireError::Truncated));
         assert_eq!(Frame::decode(&bytes[..bytes.len() - 1]), Err(WireError::Truncated));
         let mut bad = bytes.clone();
         bad[0] = 0x00;
         assert_eq!(Frame::decode(&bad), Err(WireError::BadMagic));
+        // A v2 frame truncated inside its office field is Truncated,
+        // not misread as v1.
+        let g = Frame { office: 9, sensor: 1, seq: 2, tick: 3, values: vec![4.0] };
+        let v2 = g.encode();
+        assert_eq!(Frame::decode(&v2[..HEADER_LEN + 3]), Err(WireError::Truncated));
     }
 
     #[test]
     fn oversize_length_rejected_before_allocation() {
-        let f = Frame { sensor: 1, seq: 2, tick: 3, values: vec![4.0] };
+        let f = Frame { office: 0, sensor: 1, seq: 2, tick: 3, values: vec![4.0] };
         let mut bytes = f.encode();
         let huge = (MAX_PAYLOAD as u16 + 1).to_le_bytes();
         bytes[16] = huge[0];

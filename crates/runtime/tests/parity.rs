@@ -197,6 +197,7 @@ fn dead_sensor_is_quarantined_and_decisions_still_flow() {
         }
         let sender = groups.iter().position(|(s, _)| *s == r.sensor).unwrap();
         let frame = fadewich_runtime::Frame {
+            office: 0,
             sensor: r.sensor,
             seq: seqs[sender],
             tick: r.tick,

@@ -5,10 +5,14 @@ use fadewich_runtime::wire::Frame;
 use fadewich_stats::rng::Rng;
 use fadewich_testkit::prop::{u64s, usizes};
 
-/// A pseudo-random frame drawn from a seed.
+/// A pseudo-random frame drawn from a seed. Half the draws are office
+/// 0 (v1 on the wire), the rest spread over the full office range (v2),
+/// so every property below covers both header versions.
 fn frame_from(rng: &mut Rng, max_payload: usize) -> Frame {
     let len = rng.below(max_payload + 1);
+    let office = if rng.bernoulli(0.5) { 0 } else { rng.below(1 << 16) as u16 };
     Frame {
+        office,
         sensor: rng.below(1 << 16) as u16,
         seq: rng.below(1 << 31) as u32,
         tick: rng.below(1 << 40) as u64,
@@ -26,6 +30,27 @@ fadewich_testkit::property! {
         let (back, used) = Frame::decode(&bytes).expect("clean frame must decode");
         assert_eq!(back, f);
         assert_eq!(used, bytes.len());
+    }
+
+    // Version negotiation: the v2 header (explicit office field) must
+    // round-trip for every office id, and decode_borrowed must agree
+    // with the owned decode sample-for-sample on both versions.
+    #[cases(256)]
+    fn wire_codec_v2_round_trips_and_views_agree(seed in u64s(0..1 << 48)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let f = frame_from(&mut rng, 16);
+        let mut v2 = Vec::new();
+        f.encode_v2_into(&mut v2);
+        let (back, used) = Frame::decode(&v2).expect("v2 frame must decode");
+        assert_eq!(back, f);
+        assert_eq!(used, v2.len());
+        let (view, vused) = Frame::decode_borrowed(&v2).expect("v2 view must decode");
+        assert_eq!(vused, used);
+        assert_eq!(view.to_frame(), f);
+        let default = f.encode();
+        let (dview, _) = Frame::decode_borrowed(&default).expect("default encoding");
+        assert_eq!(dview.office, f.office);
+        assert_eq!(dview.to_frame(), f);
     }
 
     #[cases(256)]

@@ -231,33 +231,60 @@ impl MetricsRegistry {
     /// Prometheus text exposition (`# TYPE` lines, cumulative
     /// histogram buckets, `_sum`/`_count` series). Same `include_wall`
     /// contract as [`to_json`](Self::to_json).
+    /// Metric keys may carry a Prometheus-style label block — e.g. the
+    /// fleet runtime registers `runtime_ticks_processed{office="3"}` —
+    /// which is passed through verbatim; the `# TYPE` line is emitted
+    /// once per *base* name, so labeled series of the same family share
+    /// one declaration (`BTreeMap` order keeps a family's series
+    /// adjacent).
     pub fn prometheus_text(&self, include_wall: bool) -> String {
         let mut out = String::new();
+        let mut last_typed = String::new();
         for (k, v) in &self.counters {
-            let name = sanitize_prom(k);
-            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            let (name, labels) = prom_name(k);
+            if name != last_typed {
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                last_typed = name.clone();
+            }
+            out.push_str(&format!("{name}{labels} {v}\n"));
         }
+        last_typed.clear();
         for (k, v) in &self.gauges {
-            let name = sanitize_prom(k);
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(*v)));
+            let (name, labels) = prom_name(k);
+            if name != last_typed {
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                last_typed = name.clone();
+            }
+            out.push_str(&format!("{name}{labels} {}\n", fmt_f64(*v)));
         }
+        last_typed.clear();
         for (k, e) in &self.histos {
             if e.wall && !include_wall {
                 continue;
             }
-            let name = sanitize_prom(k);
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let (name, labels) = prom_name(k);
+            if name != last_typed {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                last_typed = name.clone();
+            }
+            // A histogram's extra labels join `le` inside the braces.
+            let inner = labels.trim_start_matches('{').trim_end_matches('}');
+            let le_prefix =
+                if inner.is_empty() { String::new() } else { format!("{inner},") };
             let mut cum = 0u64;
             for (i, &c) in e.h.buckets.iter().enumerate() {
                 if c == 0 {
                     continue;
                 }
                 cum += c;
-                out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cum}\n", bucket_bound(i)));
+                out.push_str(&format!(
+                    "{name}_bucket{{{le_prefix}le=\"{}\"}} {cum}\n",
+                    bucket_bound(i)
+                ));
             }
-            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", e.h.count));
-            out.push_str(&format!("{name}_sum {}\n", e.h.sum));
-            out.push_str(&format!("{name}_count {}\n", e.h.count));
+            out.push_str(&format!("{name}_bucket{{{le_prefix}le=\"+Inf\"}} {}\n", e.h.count));
+            out.push_str(&format!("{name}_sum{labels} {}\n", e.h.sum));
+            out.push_str(&format!("{name}_count{labels} {}\n", e.h.count));
         }
         out
     }
@@ -290,6 +317,19 @@ fn sanitize_prom(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
         .collect()
+}
+
+/// Splits a registry key into a sanitized metric name and its verbatim
+/// label block (`""` when unlabeled). A key with no closing `}` is
+/// treated as unlabeled and fully sanitized — a stray `{` must not
+/// produce invalid exposition text.
+fn prom_name(key: &str) -> (String, String) {
+    match key.find('{') {
+        Some(open) if key.ends_with('}') => {
+            (sanitize_prom(&key[..open]), key[open..].to_string())
+        }
+        _ => (sanitize_prom(key), String::new()),
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +387,34 @@ mod tests {
         assert!(prom.contains("# TYPE step_ns histogram"), "{prom}");
         assert!(prom.contains("step_ns_bucket{le=\"+Inf\"} 1"), "{prom}");
         assert!(!r.prometheus_text(false).contains("step_ns"));
+    }
+
+    #[test]
+    fn labeled_keys_render_as_prometheus_labels() {
+        // The fleet runtime registers per-office series by embedding
+        // the label block in the key; one # TYPE line must cover the
+        // whole family and each series keeps its labels verbatim.
+        let mut r = MetricsRegistry::new();
+        r.counter_add("runtime_ticks_processed{office=\"0\"}", 10);
+        r.counter_add("runtime_ticks_processed{office=\"12\"}", 20);
+        r.gauge_set("fleet_shard_tick_lag{shard=\"1\"}", 3.0);
+        r.histo_record("deauth_latency_ticks{office=\"7\"}", 5);
+
+        let prom = r.prometheus_text(false);
+        assert_eq!(prom.matches("# TYPE runtime_ticks_processed counter").count(), 1, "{prom}");
+        assert!(prom.contains("runtime_ticks_processed{office=\"0\"} 10"), "{prom}");
+        assert!(prom.contains("runtime_ticks_processed{office=\"12\"} 20"), "{prom}");
+        assert!(prom.contains("fleet_shard_tick_lag{shard=\"1\"} 3"), "{prom}");
+        assert!(prom.contains("deauth_latency_ticks_bucket{office=\"7\",le=\""), "{prom}");
+        assert!(prom.contains("deauth_latency_ticks_count{office=\"7\"} 1"), "{prom}");
+        // A malformed key (unterminated brace) degrades to a sanitized
+        // plain name instead of emitting invalid exposition text.
+        let mut bad = MetricsRegistry::new();
+        bad.counter_add("oops{office=\"3\"", 1);
+        let text = bad.prometheus_text(false);
+        assert!(text.contains("oops_office__3_ 1"), "{text}");
+        // JSON keeps full keys untouched.
+        assert!(r.to_json(false).contains("\"runtime_ticks_processed{office=\\\"0\\\"}\":10"));
     }
 
     #[test]

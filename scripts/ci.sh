@@ -20,7 +20,7 @@ cargo test -q --offline --workspace
 # of jitter, duplicates + corruption) must finish with the degradation
 # counted, not panic.
 cargo test -q --release --offline -p fadewich-runtime --test parity
-cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- replay \
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- replay \
     --drop 0.02 --dup 0.01 --corrupt 0.005 --jitter 3 --link-seed 7 > /dev/null
 
 # Train/serve split gate: train once, write the versioned model
@@ -30,11 +30,11 @@ cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- replay \
 # decision.
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
-cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
     train --out "$workdir/model.fwmb"
-cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
     replay > "$workdir/replay.out"
-cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
     serve --model "$workdir/model.fwmb" > "$workdir/serve.out"
 cmp "$workdir/replay.out" "$workdir/serve.out"
 
@@ -44,23 +44,23 @@ cmp "$workdir/replay.out" "$workdir/serve.out"
 # uninterrupted run's. Then corrupt the newest checkpoint on disk and
 # require the restart to fall back to the previous one — same log,
 # exit 0, no panic.
-cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
     serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-ref" \
     > /dev/null
-if cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+if cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
     serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-crash" \
     --crash-after-ticks 20000 > /dev/null 2>&1; then
     echo "expected the injected crash to abort the serve" >&2
     exit 1
 fi
-cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
     serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-crash" \
     > /dev/null
 cmp "$workdir/ckpt-ref/decisions.log" "$workdir/ckpt-crash/decisions.log"
 
 newest="$(ls "$workdir"/ckpt-crash/ckpt-*.fwcp | sort | tail -1)"
 printf '\xff' | dd of="$newest" bs=1 seek=100 conv=notrunc status=none
-cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
     serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-crash" \
     2> "$workdir/corrupt.err" > /dev/null
 grep -q "skipping corrupt checkpoint" "$workdir/corrupt.err"
@@ -72,7 +72,7 @@ cmp "$workdir/ckpt-ref/decisions.log" "$workdir/ckpt-crash/decisions.log"
 # excluded from the deterministic dump). The lossy link exercises the
 # richer emission set.
 for i in 1 2; do
-    cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- replay \
+    cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- replay \
         --drop 0.02 --dup 0.01 --corrupt 0.005 --jitter 3 --link-seed 7 \
         --trace-out "$workdir/trace$i.jsonl" --metrics-out "$workdir/metrics$i.json" \
         > "$workdir/traced$i.out"
@@ -80,7 +80,7 @@ done
 cmp "$workdir/trace1.jsonl" "$workdir/trace2.jsonl"
 cmp "$workdir/metrics1.json" "$workdir/metrics2.json"
 # Instrumentation must not perturb the decision stream...
-cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- replay \
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- replay \
     --drop 0.02 --dup 0.01 --corrupt 0.005 --jitter 3 --link-seed 7 \
     > "$workdir/untraced.out"
 cmp "$workdir/traced1.out" "$workdir/untraced.out"
@@ -92,8 +92,11 @@ if [ "$deauths" != "$verdicts" ]; then
     exit 1
 fi
 # ...and the stats pretty-printer must read the dump back.
-cargo run -q --release --offline -p fadewich-runtime --bin fadewichd -- \
-    stats "$workdir/metrics1.json" | grep -q "rule1"
+# (grep a file, not a live pipe: `grep -q` exiting on first match
+# would EPIPE the still-printing daemon under pipefail)
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
+    stats "$workdir/metrics1.json" > "$workdir/stats.out"
+grep -q "rule1" "$workdir/stats.out"
 
 # Perf-baseline smoke gate: `reproduce bench` must complete at smoke
 # sizes, emit schema-valid JSON, and be deterministic across runs in
@@ -106,13 +109,53 @@ for i in 1 2; do
 done
 grep -q '"schema": "fadewich-bench-v1"' "$workdir/bench1.json"
 grep -q '"matches_reference": true' "$workdir/bench1.json"
-for name in engine wire_decode md_step_reference md_step_fast \
-    svm_predict_scalar svm_predict_batch kde_fit controller_tick_allocs; do
+grep -q '"matches_owned": true' "$workdir/bench1.json"
+for name in engine wire_decode wire_decode_borrowed md_step_reference md_step_fast \
+    svm_predict_scalar svm_predict_batch kde_fit fleet_demux \
+    controller_tick_allocs; do
     grep -q "\"name\": \"$name\"" "$workdir/bench1.json"
 done
 grep -v '"wall_' "$workdir/bench1.json" > "$workdir/bench1.nowall"
 grep -v '"wall_' "$workdir/bench2.json" > "$workdir/bench2.nowall"
 cmp "$workdir/bench1.nowall" "$workdir/bench2.nowall"
+
+# Fleet gates. First the scaling study at CI size: the deterministic
+# table (everything but the `wall_` throughput lines) must be
+# byte-identical between a 1-thread and an 8-thread run, and the study
+# itself hard-fails if any office's decision stream diverges between
+# shard counts or from its single-office reference.
+FADEWICH_THREADS=1 cargo run -q --release --offline -p fadewich-bench --bin reproduce -- \
+    fleet --offices 32 | grep -v '^wall_' > "$workdir/fleet-t1.out"
+FADEWICH_THREADS=8 cargo run -q --release --offline -p fadewich-bench --bin reproduce -- \
+    fleet --offices 32 | grep -v '^wall_' > "$workdir/fleet-t8.out"
+cmp "$workdir/fleet-t1.out" "$workdir/fleet-t8.out"
+
+# Second, the daemon: a 4-office `fadewichd fleet` run must write
+# office 0's decision log byte-identical to a plain single-tenant
+# `fadewichd serve` of the same model (office 0 keeps the base link
+# seed, and per-office summaries exclude transport counters).
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
+    fleet --model "$workdir/model.fwmb" --offices 4 --shards 2 \
+    --checkpoint-dir "$workdir/fleet-ckpt" > /dev/null
+cmp "$workdir/ckpt-ref/decisions.log" "$workdir/fleet-ckpt/office-00000/decisions.log"
+
+# Third, fleet crash recovery: kill a 4-office day mid-stream, restart
+# from the same checkpoint root, and require every office's stitched
+# decision log to match the uninterrupted run's.
+if cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
+    fleet --model "$workdir/model.fwmb" --offices 4 --shards 2 \
+    --checkpoint-dir "$workdir/fleet-crash" --crash-after-ticks 20000 \
+    > /dev/null 2>&1; then
+    echo "expected the injected crash to abort the fleet" >&2
+    exit 1
+fi
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
+    fleet --model "$workdir/model.fwmb" --offices 4 --shards 2 \
+    --checkpoint-dir "$workdir/fleet-crash" > /dev/null
+for o in 00000 00001 00002 00003; do
+    cmp "$workdir/fleet-ckpt/office-$o/decisions.log" \
+        "$workdir/fleet-crash/office-$o/decisions.log"
+done
 
 # Wall-clock lint: Instant::now() is allowed only inside the telemetry
 # Clock implementations and the vendored bench harness. Everything

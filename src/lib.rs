@@ -13,6 +13,7 @@
 
 pub use fadewich_core as core;
 pub use fadewich_experiments as experiments;
+pub use fadewich_fleet as fleet;
 pub use fadewich_geometry as geometry;
 pub use fadewich_officesim as officesim;
 pub use fadewich_rfchannel as rfchannel;
