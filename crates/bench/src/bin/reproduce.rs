@@ -25,6 +25,13 @@
 //! references. Its table is deterministic; wall-clock throughput goes
 //! on `wall_`-prefixed lines CI strips before comparing runs. A
 //! fleet-only invocation also skips scenario generation.
+//!
+//! The `fusion` target is also explicit-only: `reproduce fusion` runs
+//! the RSSI/light ablation on its own light-enabled scenario (one
+//! photosensor per workstation, deliberately unequal mounting), scoring
+//! deauth latency and FP/FN across the rssi-only / light-only / fused
+//! decision modes. Its table is fully seed-deterministic; CI diffs two
+//! runs. A fusion-only invocation skips scenario generation too.
 //! Like `deployment` and `streaming`, the `recovery`, `artifact` and
 //! `telemetry` targets need a >= 2-day trace (they train on the
 //! leading days, then crash/resume the stream, export the model
@@ -156,6 +163,29 @@ fn run_fleet_target(opts: &Options) {
     }
 }
 
+/// Runs the RSSI/light fusion ablation on its own light-enabled
+/// scenario (the shared experiment records RSSI only, so this target
+/// generates its own trace and skips the sweep when run alone).
+fn run_fusion_target(opts: &Options) {
+    let days = if opts.quick { 2 } else { 5 };
+    eprintln!(
+        "fusion: {days}-day light-enabled ablation (seed {:#x}, {} threads)...",
+        opts.seed,
+        par::thread_count()
+    );
+    let rows = fadewich_experiments::fusion::fusion_study(opts.seed, days, 1, 9)
+        .expect("fusion ablation");
+    let table = fadewich_experiments::fusion::fusion_table(&rows);
+    print!("{table}\n");
+    if let Some(dir) = &opts.csv_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let path = format!("{dir}/fusion.csv");
+        if let Err(err) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("warning: could not write {path}: {err}");
+        }
+    }
+}
+
 fn wanted(opts: &Options, target: &str) -> bool {
     opts.targets.is_empty() || opts.targets.contains(target)
 }
@@ -194,6 +224,13 @@ fn main() {
         run_fleet_target(&opts);
         if opts.targets.is_empty() {
             // Fleet-only invocation: no scenario, no sweep, no jobs.
+            return;
+        }
+    }
+    if opts.targets.remove("fusion") {
+        run_fusion_target(&opts);
+        if opts.targets.is_empty() {
+            // Fusion-only invocation: no scenario, no sweep, no jobs.
             return;
         }
     }

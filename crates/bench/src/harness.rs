@@ -363,13 +363,12 @@ fn wire_decode_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, Str
     let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xDEC);
     let mut bytes = Vec::new();
     for i in 0..cfg.n_frames {
-        let frame = Frame {
-            office: 0,
-            sensor: (i % 4) as u16,
-            seq: i as u32,
-            tick: i / 4,
-            values: (0..2).map(|_| (-60.0 + 20.0 * rng.f64()) as f32).collect(),
-        };
+        let frame = Frame::rssi(
+            (i % 4) as u16,
+            i as u32,
+            i / 4,
+            (0..2).map(|_| (-60.0 + 20.0 * rng.f64()) as f32).collect(),
+        );
         bytes.extend_from_slice(&frame.encode());
     }
     let mut decoded = 0u64;
@@ -412,10 +411,12 @@ fn wire_decode_borrowed_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<Benc
     for i in 0..cfg.n_frames {
         let frame = Frame {
             office: (i % 7) as u16 + 1,
-            sensor: (i % 4) as u16,
-            seq: i as u32,
-            tick: i / 4,
-            values: (0..2).map(|_| (-60.0 + 20.0 * rng.f64()) as f32).collect(),
+            ..Frame::rssi(
+                (i % 4) as u16,
+                i as u32,
+                i / 4,
+                (0..2).map(|_| (-60.0 + 20.0 * rng.f64()) as f32).collect(),
+            )
         };
         bytes.extend_from_slice(&frame.encode());
     }
@@ -593,13 +594,12 @@ fn engine_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, String> 
     for tick in 0..cfg.engine_ticks {
         let row = &rows_flat[tick as usize * N_STREAMS..(tick as usize + 1) * N_STREAMS];
         for (sensor, positions) in &groups {
-            let frame = Frame {
-                office: 0,
-                sensor: *sensor,
-                seq: tick as u32,
+            let frame = Frame::rssi(
+                *sensor,
+                tick as u32,
                 tick,
-                values: positions.iter().map(|&p| row[p] as f32).collect(),
-            };
+                positions.iter().map(|&p| row[p] as f32).collect(),
+            );
             bytes.extend_from_slice(&frame.encode());
         }
     }
@@ -650,10 +650,12 @@ fn fleet_demux_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, Str
             for (sensor, positions) in &groups {
                 let frame = Frame {
                     office,
-                    sensor: *sensor,
-                    seq: tick as u32,
-                    tick,
-                    values: positions.iter().map(|&p| row[p] as f32).collect(),
+                    ..Frame::rssi(
+                        *sensor,
+                        tick as u32,
+                        tick,
+                        positions.iter().map(|&p| row[p] as f32).collect(),
+                    )
                 };
                 bytes.extend_from_slice(&frame.encode());
             }
@@ -668,13 +670,12 @@ fn fleet_demux_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, Str
         for tick in 0..cfg.engine_ticks {
             let row = &rows_flat[tick as usize * N_STREAMS..(tick as usize + 1) * N_STREAMS];
             for (sensor, positions) in &groups {
-                let frame = Frame {
-                    office: 0,
-                    sensor: *sensor,
-                    seq: tick as u32,
+                let frame = Frame::rssi(
+                    *sensor,
+                    tick as u32,
                     tick,
-                    values: positions.iter().map(|&p| row[p] as f32).collect(),
-                };
+                    positions.iter().map(|&p| row[p] as f32).collect(),
+                );
                 single.extend_from_slice(&frame.encode());
             }
         }

@@ -10,12 +10,12 @@
 //! binary format in the style of the sensor wire codec
 //! (`fadewich-runtime::wire`). No serde: the workspace is offline.
 //!
-//! # Binary layout (version 1)
+//! # Binary layout (versions 1 and 2)
 //!
 //! ```text
 //! offset  size      field
 //! 0       4         magic        "FWMB", byte-literal
-//! 4       2         version      u16 little-endian, currently 1
+//! 4       2         version      u16 little-endian, 1 or 2
 //! 6       4         body_len     u32 little-endian
 //! 10      body_len  body         see below
 //! …       4         crc32        IEEE CRC-32 of ALL preceding bytes
@@ -34,7 +34,8 @@
 //!    [`FadewichParams::to_field_array`] (that order is the v1
 //!    contract);
 //! 2. **schema** — `tick_hz: f64`, `n_streams: u32`, the stream ids as
-//!    `u32`s, `features_per_stream: u32`;
+//!    `u32`s, *(v2 only)* one [`ChannelKind`] tag byte per stream,
+//!    `features_per_stream: u32`;
 //! 3. **MD snapshot** — `has_threshold: u8` (0/1), the threshold `f64`
 //!    when present, `profile_len: u32`, the profile `f64`s;
 //! 4. **scaler** — `d: u32`, `d` means, `d` stds;
@@ -48,8 +49,16 @@
 //!
 //! - Any layout change — field added, removed, reordered, or
 //!   re-encoded — bumps the version. There are no minor versions and
-//!   no in-place extension points; v1 readers reject anything else
-//!   with [`ArtifactError::UnsupportedVersion`].
+//!   no in-place extension points; readers reject any version they do
+//!   not know with [`ArtifactError::UnsupportedVersion`].
+//! - Version 2 adds one channel-kind tag byte per stream to the schema
+//!   section. Version-1 artifacts decode with every stream defaulting
+//!   to [`ChannelKind::Rssi`] — bundles trained before the fusion
+//!   refactor keep loading unchanged.
+//! - Encoding picks the **oldest version that can represent the
+//!   bundle**: an all-RSSI schema still writes version 1 byte-for-byte
+//!   identically to older builds, so pinned artifacts and their
+//!   checksums stay stable.
 //! - Decoding validates semantics, not just framing: parameters must
 //!   pass [`FadewichParams::validate`], the scaler/SVM parts must pass
 //!   their `from_parts` checks, and the scaler dimension must equal
@@ -64,34 +73,54 @@ use fadewich_svm::{BinarySvm, Kernel, MultiClassSvm, StandardScaler};
 use crate::config::FadewichParams;
 use crate::md::MdSnapshot;
 use crate::re::RadioEnvironment;
+use crate::stream::ChannelKind;
 
 /// Artifact preamble: `b"FWMB"` (FadeWich Model Bundle).
 pub const ARTIFACT_MAGIC: [u8; 4] = *b"FWMB";
 
-/// The format version this build reads and writes.
+/// The all-RSSI format version; still written for pure-RSSI schemas.
 pub const ARTIFACT_VERSION: u16 = 1;
+
+/// The channel-typed format version, written when any stream is not
+/// RSSI.
+pub const ARTIFACT_VERSION_V2: u16 = 2;
 
 /// Bytes before the body: magic + version + body length.
 pub const HEADER_LEN: usize = 10;
 
 /// What the feature vectors in the bundle were computed over: which
-/// RSSI streams, at what rate, with how many features per stream. A
-/// serving process checks this against the live deployment before
-/// classifying anything.
+/// sensor streams (and of what channel kind), at what rate, with how
+/// many features per stream. A serving process checks this against the
+/// live deployment before classifying anything.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FeatureSchema {
     /// Sampling rate the model was trained at.
     pub tick_hz: f64,
     /// Monitored stream indices, in feature order.
     pub stream_ids: Vec<u32>,
+    /// Channel kind of each monitored stream, parallel to
+    /// `stream_ids`. Version-1 artifacts decode as all-RSSI.
+    pub channels: Vec<ChannelKind>,
     /// Features extracted per stream (variance, entropy, autocorr = 3).
     pub features_per_stream: usize,
 }
 
 impl FeatureSchema {
+    /// An all-RSSI schema — the shape every pre-fusion bundle had.
+    pub fn rssi(tick_hz: f64, stream_ids: Vec<u32>, features_per_stream: usize) -> FeatureSchema {
+        let channels = vec![ChannelKind::Rssi; stream_ids.len()];
+        FeatureSchema { tick_hz, stream_ids, channels, features_per_stream }
+    }
+
     /// The feature dimension implied by the schema.
     pub fn n_features(&self) -> usize {
         self.stream_ids.len() * self.features_per_stream
+    }
+
+    /// True when every monitored stream is an RSSI link — the condition
+    /// under which the bundle still encodes as version 1.
+    pub fn is_all_rssi(&self) -> bool {
+        self.channels.iter().all(|&k| k == ChannelKind::Rssi)
     }
 }
 
@@ -138,7 +167,11 @@ impl std::fmt::Display for ArtifactError {
             ArtifactError::Truncated => write!(f, "truncated model artifact"),
             ArtifactError::BadMagic => write!(f, "bad artifact magic (not a model bundle)"),
             ArtifactError::UnsupportedVersion(v) => {
-                write!(f, "unsupported artifact version {v} (this build reads {ARTIFACT_VERSION})")
+                write!(
+                    f,
+                    "unsupported artifact version {v} (this build reads \
+                     {ARTIFACT_VERSION} and {ARTIFACT_VERSION_V2})"
+                )
             }
             ArtifactError::TrailingBytes => write!(f, "trailing bytes after model artifact"),
             ArtifactError::BadChecksum { computed, carried } => {
@@ -222,8 +255,18 @@ fn push_len(out: &mut Vec<u8>, n: usize, what: &str) {
 }
 
 impl ModelBundle {
-    /// Serializes the bundle into the version-1 binary format.
+    /// Serializes the bundle, picking the oldest format version that
+    /// can represent it: version 1 for all-RSSI schemas (byte-identical
+    /// to pre-fusion builds), version 2 whenever a non-RSSI channel is
+    /// monitored.
     pub fn encode(&self) -> Vec<u8> {
+        assert_eq!(
+            self.schema.channels.len(),
+            self.schema.stream_ids.len(),
+            "schema channels must parallel stream ids"
+        );
+        let version =
+            if self.schema.is_all_rssi() { ARTIFACT_VERSION } else { ARTIFACT_VERSION_V2 };
         let mut body = Vec::new();
 
         // 1. Params.
@@ -236,6 +279,11 @@ impl ModelBundle {
         push_len(&mut body, self.schema.stream_ids.len(), "stream id");
         for &id in &self.schema.stream_ids {
             push_u32(&mut body, id);
+        }
+        if version == ARTIFACT_VERSION_V2 {
+            for &kind in &self.schema.channels {
+                body.push(kind.tag());
+            }
         }
         push_len(&mut body, self.schema.features_per_stream, "features per stream");
 
@@ -298,7 +346,7 @@ impl ModelBundle {
 
         let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
         out.extend_from_slice(&ARTIFACT_MAGIC);
-        out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         assert!(body.len() <= u32::MAX as usize, "artifact body overflows the u32 length prefix");
         push_u32(&mut out, body.len() as u32);
         out.extend_from_slice(&body);
@@ -322,7 +370,7 @@ impl ModelBundle {
             return Err(ArtifactError::BadMagic);
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != ARTIFACT_VERSION {
+        if version != ARTIFACT_VERSION && version != ARTIFACT_VERSION_V2 {
             return Err(ArtifactError::UnsupportedVersion(version));
         }
         let body_len = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
@@ -372,11 +420,35 @@ impl ModelBundle {
         for i in 0..n_streams {
             stream_ids.push(cur.u32(&format!("stream id {i}"))?);
         }
+        let channels = if version == ARTIFACT_VERSION_V2 {
+            let tags = cur.take(n_streams, "channel kinds")?;
+            let mut kinds = Vec::with_capacity(n_streams.min(4096));
+            for (i, &t) in tags.iter().enumerate() {
+                match ChannelKind::from_tag(t) {
+                    Some(k) => kinds.push(k),
+                    None => {
+                        return Err(ArtifactError::Malformed(format!(
+                            "stream {i} channel tag {t} is unknown"
+                        )))
+                    }
+                }
+            }
+            kinds
+        } else {
+            vec![ChannelKind::Rssi; n_streams]
+        };
         let features_per_stream = cur.u32("features per stream")? as usize;
         if features_per_stream == 0 {
             return Err(ArtifactError::Malformed("zero features per stream".to_string()));
         }
-        let schema = FeatureSchema { tick_hz, stream_ids, features_per_stream };
+        let schema = FeatureSchema { tick_hz, stream_ids, channels, features_per_stream };
+        if version == ARTIFACT_VERSION_V2 && schema.is_all_rssi() {
+            // Canonical-encoding invariant: an all-RSSI schema must
+            // have been written as version 1.
+            return Err(ArtifactError::Malformed(
+                "version-2 artifact carries an all-RSSI schema (must be version 1)".to_string(),
+            ));
+        }
 
         // 3. MD snapshot.
         let threshold = match cur.u8("threshold flag")? {
@@ -523,11 +595,7 @@ mod tests {
         .unwrap();
         ModelBundle {
             params: FadewichParams::default(),
-            schema: FeatureSchema {
-                tick_hz: 5.0,
-                stream_ids: vec![2, 5],
-                features_per_stream: 3,
-            },
+            schema: FeatureSchema::rssi(5.0, vec![2, 5], 3),
             md: MdSnapshot {
                 values: (0..40).map(|_| 8.0 + rng.normal()).collect(),
                 threshold: Some(11.5),
@@ -621,6 +689,89 @@ mod tests {
         let missing = dir.join("does-not-exist.fwmb");
         assert!(matches!(ModelBundle::load(&missing), Err(ArtifactError::Io(_))));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The sample bundle with the second stream retyped as ambient
+    /// light — forces the version-2 encoding.
+    fn mixed_bundle() -> ModelBundle {
+        let mut bundle = sample_bundle();
+        bundle.schema.channels[1] = ChannelKind::AmbientLight;
+        bundle
+    }
+
+    #[test]
+    fn all_rssi_schema_still_encodes_as_version_1() {
+        let bytes = sample_bundle().encode();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), ARTIFACT_VERSION);
+        // And a decoded v1 artifact reports every stream as RSSI.
+        let back = ModelBundle::decode(&bytes).unwrap();
+        assert!(back.schema.is_all_rssi());
+        assert_eq!(back.schema.channels, vec![ChannelKind::Rssi; 2]);
+    }
+
+    #[test]
+    fn mixed_channel_schema_round_trips_as_version_2() {
+        let bundle = mixed_bundle();
+        let bytes = bundle.encode();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), ARTIFACT_VERSION_V2);
+        let back = ModelBundle::decode(&bytes).unwrap();
+        assert_eq!(back, bundle);
+        // Canonical encoding holds per version.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn unknown_channel_tag_is_rejected() {
+        let bundle = mixed_bundle();
+        let mut bytes = bundle.encode();
+        // Channel tags sit after params (17 f64s), tick_hz, the stream
+        // count, and two u32 stream ids.
+        let off = HEADER_LEN + FadewichParams::N_FIELDS * 8 + 8 + 4 + 2 * 4;
+        assert_eq!(bytes[off + 1], ChannelKind::AmbientLight.tag());
+        bytes[off + 1] = 9;
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        match ModelBundle::decode(&bytes) {
+            Err(ArtifactError::Malformed(why)) => assert!(why.contains("channel tag"), "{why}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_2_with_all_rssi_schema_is_rejected() {
+        // Hand-build a v2 artifact whose channel tags are all RSSI: the
+        // codec must refuse it so each bundle has exactly one encoding.
+        let bundle = mixed_bundle();
+        let mut bytes = bundle.encode();
+        let off = HEADER_LEN + FadewichParams::N_FIELDS * 8 + 8 + 4 + 2 * 4;
+        bytes[off + 1] = ChannelKind::Rssi.tag();
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        match ModelBundle::decode(&bytes) {
+            Err(ArtifactError::Malformed(why)) => {
+                assert!(why.contains("all-RSSI"), "{why}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_v2_is_rejected() {
+        // The v1 exhaustive flip test lives in the property suite; the
+        // v2 layout gets the same guarantee here over a compact bundle.
+        let bytes = mixed_bundle().encode();
+        for byte in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    ModelBundle::decode(&flipped).is_err(),
+                    "flip byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
     }
 
     #[test]

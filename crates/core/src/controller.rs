@@ -23,6 +23,7 @@ use fadewich_telemetry::{SpanId, Telemetry, Value};
 
 use crate::config::FadewichParams;
 use crate::features::{extract_features_from_histories, extract_features_from_histories_into};
+use crate::fusion::{DecisionMode, FusionConfig, LightDetector, LightDetectorState, LightEvent};
 use crate::kma::Kma;
 use crate::md::{MdBatchStep, MdRuntimeState, MovementDetector};
 use crate::re::RadioEnvironment;
@@ -63,6 +64,12 @@ pub enum ActionKind {
         /// The workstation deauthenticated.
         workstation: usize,
     },
+    /// The ambient-light departure detector deauthenticated the
+    /// workstation (light-only or fused decision mode).
+    DeauthenticateLight {
+        /// The workstation deauthenticated.
+        workstation: usize,
+    },
     /// A workstation entered alert state (Rule 2).
     AlertEntered {
         /// The workstation now in alert state.
@@ -92,6 +99,7 @@ impl ActionKind {
             ActionKind::DeauthenticateRule1 { workstation }
             | ActionKind::DeauthenticateAlert { workstation }
             | ActionKind::DeauthenticateTimeout { workstation }
+            | ActionKind::DeauthenticateLight { workstation }
             | ActionKind::AlertEntered { workstation }
             | ActionKind::ScreenSaverOn { workstation }
             | ActionKind::AlertCancelled { workstation }
@@ -106,6 +114,7 @@ impl ActionKind {
             ActionKind::DeauthenticateRule1 { .. }
                 | ActionKind::DeauthenticateAlert { .. }
                 | ActionKind::DeauthenticateTimeout { .. }
+                | ActionKind::DeauthenticateLight { .. }
         )
     }
 }
@@ -148,6 +157,13 @@ pub struct ControllerState {
     pub histories: Vec<HistoryState>,
     /// Whether Rule 1 already fired for the current window.
     pub rule1_done: bool,
+    /// Per-light-stream detector state, in light-stream order (empty
+    /// for RSSI-only controllers).
+    pub lights: Vec<LightDetectorState>,
+    /// The most recent tick MD reported an open variation window —
+    /// the fused mode's corroboration clock. Tracked in every mode
+    /// (it is pure recording), so mode never changes its value.
+    pub last_window_tick: Option<u64>,
     /// Time of the last processed tick (seconds from day start).
     pub prev_t: f64,
     /// How many actions the controller had emitted when captured. The
@@ -198,6 +214,17 @@ pub struct Controller<'a> {
     /// Scratch for [`Controller::step_batch`]: the per-tick MD
     /// verdicts + tracker readings of the current block.
     md_batch: Vec<MdBatchStep>,
+    /// Fusion: decision arbitration mode (RSSI-only by default).
+    mode: DecisionMode,
+    /// Fusion: one detector per light stream.
+    lights: Vec<LightDetector>,
+    /// Fusion: workstation each light stream watches.
+    light_ws: Vec<usize>,
+    /// Fusion: corroboration window in ticks.
+    corroborate_ticks: u64,
+    /// Most recent tick MD reported an open window (see
+    /// [`ControllerState::last_window_tick`]).
+    last_window_tick: Option<u64>,
 }
 
 impl<'a> Controller<'a> {
@@ -215,8 +242,34 @@ impl<'a> Controller<'a> {
         re: &'a RadioEnvironment,
         kma: Kma<'a>,
     ) -> Result<Controller<'a>, String> {
+        Controller::with_fusion(n_streams, tick_hz, params, re, kma, FusionConfig::rssi_only())
+    }
+
+    /// Builds a controller that additionally consumes
+    /// `fusion.light_workstations.len()` ambient-light streams (fed
+    /// through [`Controller::observe_light`]) and arbitrates decisions
+    /// per `fusion.mode`. With [`FusionConfig::rssi_only`] this is
+    /// exactly [`Controller::new`].
+    ///
+    /// # Errors
+    ///
+    /// MD construction errors plus invalid fusion configurations.
+    pub fn with_fusion(
+        n_streams: usize,
+        tick_hz: f64,
+        params: FadewichParams,
+        re: &'a RadioEnvironment,
+        kma: Kma<'a>,
+        fusion: FusionConfig,
+    ) -> Result<Controller<'a>, String> {
+        fusion.validate(kma.n_workstations()).map_err(|e| format!("fusion: {e}"))?;
         let md = MovementDetector::new(n_streams, tick_hz, params)?;
         let history_len = ((params.t_delta_s + params.window_hangover_s + 4.0) * tick_hz) as usize;
+        let lights = fusion
+            .light_workstations
+            .iter()
+            .map(|_| LightDetector::new(tick_hz, fusion.light))
+            .collect();
         Ok(Controller {
             params,
             tick_hz,
@@ -235,7 +288,22 @@ impl<'a> Controller<'a> {
             feat_buf: Vec::new(),
             predict_scratch: PredictScratch::new(),
             md_batch: Vec::new(),
+            mode: fusion.mode,
+            lights,
+            light_ws: fusion.light_workstations,
+            corroborate_ticks: ((fusion.corroborate_s * tick_hz).round() as u64).max(1),
+            last_window_tick: None,
         })
+    }
+
+    /// The decision arbitration mode this controller runs in.
+    pub fn mode(&self) -> DecisionMode {
+        self.mode
+    }
+
+    /// Number of ambient-light streams this controller consumes.
+    pub fn n_light_streams(&self) -> usize {
+        self.lights.len()
     }
 
     /// Switches between the optimized batched/scratch hot paths
@@ -283,6 +351,8 @@ impl<'a> Controller<'a> {
                 .collect(),
             histories: self.histories.iter().map(HistoryBuffer::state).collect(),
             rule1_done: self.rule1_done,
+            lights: self.lights.iter().map(LightDetector::state).collect(),
+            last_window_tick: self.last_window_tick,
             prev_t: self.prev_t,
             n_actions: self.actions.len() as u64,
         }
@@ -317,7 +387,50 @@ impl<'a> Controller<'a> {
         kma: Kma<'a>,
         state: &ControllerState,
     ) -> Result<Controller<'a>, String> {
-        let mut ctl = Controller::new(n_streams, tick_hz, params, re, kma)?;
+        Controller::from_runtime_state_fused(
+            n_streams,
+            tick_hz,
+            params,
+            re,
+            kma,
+            FusionConfig::rssi_only(),
+            state,
+        )
+    }
+
+    /// [`Controller::from_runtime_state`] for a fusion-configured
+    /// controller: the light detector bank is restored bit-exactly
+    /// from the captured state (params come from `fusion`, exactly as
+    /// the RSSI side reconstructs from the artifact).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Controller::from_runtime_state`] rejects, plus a
+    /// light-stream count disagreeing with the fusion configuration.
+    pub fn from_runtime_state_fused(
+        n_streams: usize,
+        tick_hz: f64,
+        params: FadewichParams,
+        re: &'a RadioEnvironment,
+        kma: Kma<'a>,
+        fusion: FusionConfig,
+        state: &ControllerState,
+    ) -> Result<Controller<'a>, String> {
+        let mut ctl = Controller::with_fusion(n_streams, tick_hz, params, re, kma, fusion)?;
+        if state.lights.len() != ctl.lights.len() {
+            return Err(format!(
+                "state carries {} light detectors for {} light streams",
+                state.lights.len(),
+                ctl.lights.len()
+            ));
+        }
+        for (d, s) in ctl.lights.iter_mut().zip(&state.lights) {
+            if !s.baseline.is_finite() {
+                return Err(format!("light baseline {} is not finite", s.baseline));
+            }
+            d.restore(s);
+        }
+        ctl.last_window_tick = state.last_window_tick;
         let md = MovementDetector::from_runtime_state(n_streams, tick_hz, params, &state.md)
             .map_err(|e| format!("md: {e}"))?;
         if state.sessions.len() != ctl.sessions.len() {
@@ -440,6 +553,11 @@ impl<'a> Controller<'a> {
     /// shared by per-tick stepping (live readings) and
     /// [`Controller::step_batch`] (captured readings).
     fn fsm_tick(&mut self, tick: usize, t: f64, dwt: usize, open_start: Option<usize>) {
+        if dwt > 0 {
+            // Corroboration clock for the fused light path — pure
+            // recording, identical in every mode.
+            self.last_window_tick = Some(tick as u64);
+        }
         let t_delta_ticks = self.params.t_delta_ticks(self.tick_hz);
         match self.state {
             SystemState::Quiet => {
@@ -515,6 +633,81 @@ impl<'a> Controller<'a> {
         self.actions.len() - block_start
     }
 
+    /// Feeds one tick of ambient-light samples (one per configured
+    /// light stream, in [`FusionConfig::light_workstations`] order),
+    /// after this tick's [`Controller::step`]. `mask[i]` marks a
+    /// stream with no sample this tick (transport gap): its detector
+    /// state is frozen, exactly like MD's masked streams. Returns how
+    /// many actions were emitted.
+    ///
+    /// In [`DecisionMode::RssiOnly`] the detectors still run (their
+    /// state is live for a later mode switch or checkpoint) but never
+    /// act, so the decision stream is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lux.len()` or `mask.len()` differs from the
+    /// configured light-stream count.
+    pub fn observe_light(&mut self, tick: usize, lux: &[f64], mask: &[bool]) -> usize {
+        assert_eq!(lux.len(), self.lights.len(), "light row width mismatch");
+        assert_eq!(mask.len(), self.lights.len(), "light mask width mismatch");
+        let before = self.actions.len();
+        let t = tick as f64 / self.tick_hz;
+        for i in 0..self.lights.len() {
+            if mask[i] {
+                self.lights[i].step_masked();
+                continue;
+            }
+            match self.lights[i].step(lux[i]) {
+                Some(LightEvent::Departure) => self.light_departure(tick, t, self.light_ws[i]),
+                Some(LightEvent::Arrival) | None => {}
+            }
+        }
+        self.actions.len() - before
+    }
+
+    /// A confirmed light release edge on `ws`'s desk: deauthenticate
+    /// if the mode allows, the session is live, the user's input is
+    /// idle, and (fused mode) RF movement corroborates.
+    fn light_departure(&mut self, tick: usize, t: f64, ws: usize) {
+        let (deauth, reason) = if self.mode == DecisionMode::RssiOnly {
+            (false, "rssi_only_mode")
+        } else if !self.sessions[ws].logged_in {
+            (false, "not_logged_in")
+        } else if !self.kma.is_idle(ws, self.params.alert_idle_s, t) {
+            (false, "not_idle")
+        } else if self.mode == DecisionMode::Fused
+            && !self
+                .last_window_tick
+                .is_some_and(|w| tick as u64 <= w + self.corroborate_ticks)
+        {
+            (false, "no_rf_corroboration")
+        } else {
+            (true, "departure_confirmed")
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                tick as u64,
+                "light_departure",
+                self.md.window_span(),
+                &[
+                    ("ws", Value::U64(ws as u64)),
+                    ("deauth", Value::Bool(deauth)),
+                    ("reason", Value::Str(reason.to_string())),
+                ],
+            );
+            self.telemetry
+                .counter_add(if deauth { "light_deauths" } else { "light_no_deauths" }, 1);
+        }
+        if deauth {
+            self.sessions[ws].logged_in = false;
+            self.sessions[ws].in_alert = false;
+            self.sessions[ws].screensaver_on = false;
+            let parent = self.md.window_span();
+            self.act(tick, t, ActionKind::DeauthenticateLight { workstation: ws }, parent);
+        }
+    }
+
     /// Marks a Fig. 4 FSM transition in the trace.
     fn fsm_event(&mut self, tick: usize, to: &str, dwt: usize) {
         if self.telemetry.is_enabled() {
@@ -536,6 +729,7 @@ impl<'a> Controller<'a> {
                 ActionKind::DeauthenticateRule1 { .. } => "deauth_rule1",
                 ActionKind::DeauthenticateAlert { .. } => "deauth_alert",
                 ActionKind::DeauthenticateTimeout { .. } => "deauth_timeout",
+                ActionKind::DeauthenticateLight { .. } => "deauth_light",
                 ActionKind::AlertEntered { .. } => "alert_entered",
                 ActionKind::ScreenSaverOn { .. } => "screensaver_on",
                 ActionKind::AlertCancelled { .. } => "alert_cancelled",
@@ -651,7 +845,12 @@ impl<'a> Controller<'a> {
             return;
         }
         let ws = label - 1;
-        let (deauth, reason) = if ws >= self.sessions.len() {
+        let (deauth, reason) = if self.mode == DecisionMode::LightOnly {
+            // The ablation's light-only arm: RE still classifies (the
+            // audit trail stays complete) but the RSSI rule never
+            // deauthenticates.
+            (false, "light_only_mode")
+        } else if ws >= self.sessions.len() {
             (false, "ws_out_of_range")
         } else if !self.sessions[ws].logged_in {
             (false, "not_logged_in")
@@ -1198,6 +1397,187 @@ mod tests {
             plain.step(tick, &row);
         }
         assert_eq!(plain.actions(), ctl.actions());
+    }
+
+    /// Fusion harness: w1's user types until 120 s then leaves. The
+    /// desk's light stream dips while they sit (ticks 10..dip_end) and
+    /// recovers afterwards; an optional RSSI burst simulates the RF
+    /// movement of the departure.
+    fn run_fused(
+        mode: DecisionMode,
+        burst: Option<(usize, usize)>,
+        dip_end: usize,
+    ) -> Vec<Action> {
+        let inputs = departure_inputs(400);
+        let n_streams = 4;
+        let re = fixed_re(n_streams);
+        let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+        let fusion = FusionConfig {
+            mode,
+            light_workstations: vec![0, 1, 2],
+            ..FusionConfig::rssi_only()
+        };
+        let mut ctl =
+            Controller::with_fusion(n_streams, 5.0, params, &re, Kma::new(&inputs), fusion)
+                .unwrap();
+        let mut rng = Rng::seed_from_u64(7);
+        let mask = vec![false; 3];
+        for tick in 0..1200 {
+            let noisy = burst.is_some_and(|(a, b)| tick >= a && tick < b);
+            let sd = if noisy { 4.0 } else { 0.6 };
+            let row: Vec<f64> = (0..n_streams).map(|_| -50.0 + rng.normal() * sd).collect();
+            ctl.step(tick, &row);
+            let w0_lux = if (10..dip_end).contains(&tick) { 280.0 } else { 400.0 };
+            ctl.observe_light(tick, &[w0_lux, 400.0, 400.0], &mask);
+        }
+        ctl.actions().to_vec()
+    }
+
+    #[test]
+    fn light_only_mode_deauthenticates_on_release_and_suppresses_rule1() {
+        // Dip ends at tick 600 (t = 120 s, the departure moment);
+        // release hysteresis is 1.5 s, so the light deauth lands ~121.6
+        // — ahead of the Rule 2 alert chain (~128 s), which finds the
+        // session already closed.
+        let actions = run_fused(DecisionMode::LightOnly, Some((600, 640)), 600);
+        let light: Vec<&Action> = actions
+            .iter()
+            .filter(|a| matches!(a.kind, ActionKind::DeauthenticateLight { workstation: 0 }))
+            .collect();
+        assert_eq!(light.len(), 1, "actions: {actions:?}");
+        assert!((121.0..124.0).contains(&light[0].t), "light deauth at {}", light[0].t);
+        // The RSSI rule is suppressed in this mode.
+        assert!(
+            !actions.iter().any(|a| matches!(a.kind, ActionKind::DeauthenticateRule1 { .. })),
+            "rule 1 must not fire in light-only mode: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn rssi_only_mode_never_acts_on_light() {
+        let actions = run_fused(DecisionMode::RssiOnly, Some((600, 640)), 640);
+        assert!(
+            !actions.iter().any(|a| matches!(a.kind, ActionKind::DeauthenticateLight { .. })),
+            "light must not act in rssi-only mode: {actions:?}"
+        );
+        // Rule 1 still handles the departure.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a.kind, ActionKind::DeauthenticateRule1 { workstation: 0 })));
+    }
+
+    #[test]
+    fn fused_mode_light_wins_with_corroboration_and_defers_without() {
+        // Dip ends at 600 — the same moment the RF burst starts, so the
+        // light release (~608) is corroborated by the open MD window
+        // and beats Rule 1 (~623) to the deauthentication.
+        let actions = run_fused(DecisionMode::Fused, Some((600, 660)), 600);
+        let light: Vec<&Action> = actions
+            .iter()
+            .filter(|a| matches!(a.kind, ActionKind::DeauthenticateLight { workstation: 0 }))
+            .collect();
+        assert_eq!(light.len(), 1, "actions: {actions:?}");
+        assert!(
+            !actions.iter().any(
+                |a| matches!(a.kind, ActionKind::DeauthenticateRule1 { workstation: 0 })
+            ),
+            "light already logged w1 out: {actions:?}"
+        );
+        // Without any RF movement, the same release is refused.
+        let no_rf = run_fused(DecisionMode::Fused, None, 600);
+        assert!(
+            !no_rf.iter().any(|a| matches!(a.kind, ActionKind::DeauthenticateLight { .. })),
+            "uncorroborated release must not deauth in fused mode: {no_rf:?}"
+        );
+    }
+
+    #[test]
+    fn fused_runtime_state_restores_bit_identically() {
+        let inputs = departure_inputs(400);
+        let n_streams = 4;
+        let re = fixed_re(n_streams);
+        let params = FadewichParams { profile_init_s: 30.0, ..Default::default() };
+        let fusion = FusionConfig {
+            mode: DecisionMode::Fused,
+            light_workstations: vec![0, 1, 2],
+            ..FusionConfig::rssi_only()
+        };
+        let build = || {
+            Controller::with_fusion(
+                n_streams,
+                5.0,
+                params,
+                &re,
+                Kma::new(&inputs),
+                fusion.clone(),
+            )
+            .unwrap()
+        };
+        let mut full = build();
+        let mut pre = build();
+        let row_at = |rng: &mut Rng, tick: usize| -> Vec<f64> {
+            let sd = if (600..660).contains(&tick) { 4.0 } else { 0.6 };
+            (0..n_streams).map(|_| -50.0 + rng.normal() * sd).collect()
+        };
+        let lux_at = |tick: usize| -> [f64; 3] {
+            [if (10..600).contains(&tick) { 280.0 } else { 400.0 }, 400.0, 400.0]
+        };
+        let mask = [false; 3];
+        let mut rng_full = Rng::seed_from_u64(7);
+        let mut rng_split = Rng::seed_from_u64(7);
+        // Cut at 604: detector armed, dip released, run-lengths mid-count.
+        let cut = 604;
+        for tick in 0..1200 {
+            full.step(tick, &row_at(&mut rng_full, tick));
+            full.observe_light(tick, &lux_at(tick), &mask);
+        }
+        for tick in 0..cut {
+            pre.step(tick, &row_at(&mut rng_split, tick));
+            pre.observe_light(tick, &lux_at(tick), &mask);
+        }
+        let state = pre.runtime_state();
+        assert!(state.lights[0].armed, "cut should land with the detector armed");
+        let mut post = Controller::from_runtime_state_fused(
+            n_streams,
+            5.0,
+            params,
+            &re,
+            Kma::new(&inputs),
+            fusion.clone(),
+            &state,
+        )
+        .unwrap();
+        assert_eq!(
+            ControllerState { n_actions: state.n_actions, ..post.runtime_state() },
+            state
+        );
+        for tick in cut..1200 {
+            post.step(tick, &row_at(&mut rng_split, tick));
+            post.observe_light(tick, &lux_at(tick), &mask);
+        }
+        let mut stitched = pre.actions()[..state.n_actions as usize].to_vec();
+        stitched.extend_from_slice(post.actions());
+        assert_eq!(stitched, full.actions());
+        assert!(
+            full.actions()
+                .iter()
+                .any(|a| matches!(a.kind, ActionKind::DeauthenticateLight { .. })),
+            "day should exercise the light path: {:?}",
+            full.actions()
+        );
+        // A state with the wrong light-stream count is rejected.
+        let mut bad = state.clone();
+        bad.lights.pop();
+        assert!(Controller::from_runtime_state_fused(
+            n_streams,
+            5.0,
+            params,
+            &re,
+            Kma::new(&inputs),
+            fusion,
+            &bad
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Ambient-light detection and RSSI/light fusion.
+//!
+//! The ambient-light deauthentication line of work (see PAPERS.md)
+//! replaces the RF link matrix with a single photosensor per
+//! workstation: a seated user occludes the sensor, so illuminance dips
+//! while they are present and recovers when they stand up and leave.
+//! That recovery edge is a departure signal with much lower intrinsic
+//! latency than the paper's movement-window pipeline, at the cost of
+//! being blind to *where the person went* — a light sensor cannot tell
+//! "left the office" from "stood up and stayed".
+//!
+//! This module implements the per-workstation [`LightDetector`] (a
+//! small threshold/run-length state machine — no training pass, unlike
+//! the RSSI profile) and the [`DecisionMode`] selector the controller
+//! uses to arbitrate between modalities:
+//!
+//! * [`DecisionMode::RssiOnly`] — the paper's pipeline, bit-identical
+//!   to the pre-fusion engine. Light samples (if any arrive) update
+//!   detector state but never act.
+//! * [`DecisionMode::LightOnly`] — departures fire deauthentication
+//!   directly from the light release edge; the RSSI rule-1 path is
+//!   suppressed (MD/RE still run so telemetry and audit stay live).
+//! * [`DecisionMode::Fused`] — a light departure deauthenticates only
+//!   when MD saw anomalous RF movement within a corroboration window,
+//!   which filters photometric false releases (shadows, flicker);
+//!   rule 1 remains active as the fallback for departures the light
+//!   channel misses.
+//!
+//! All arithmetic is plain deterministic f64 + integer run-lengths, so
+//! detector state snapshots restore bit-identically (the checkpoint
+//! carries [`LightDetectorState`] verbatim).
+
+/// Which modalities may trigger deauthentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionMode {
+    /// Paper pipeline only; the pre-fusion behavior.
+    RssiOnly,
+    /// Light release edges deauthenticate; RSSI rule 1 is suppressed.
+    LightOnly,
+    /// Light deauthenticates when RF movement corroborates; rule 1
+    /// stays active as fallback.
+    Fused,
+}
+
+impl DecisionMode {
+    /// Stable byte tag for the checkpoint codec.
+    pub fn tag(self) -> u8 {
+        match self {
+            DecisionMode::RssiOnly => 0,
+            DecisionMode::LightOnly => 1,
+            DecisionMode::Fused => 2,
+        }
+    }
+
+    /// Decodes a checkpoint tag.
+    pub fn from_tag(tag: u8) -> Option<DecisionMode> {
+        match tag {
+            0 => Some(DecisionMode::RssiOnly),
+            1 => Some(DecisionMode::LightOnly),
+            2 => Some(DecisionMode::Fused),
+            _ => None,
+        }
+    }
+
+    /// Lowercase label for tables and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionMode::RssiOnly => "rssi-only",
+            DecisionMode::LightOnly => "light-only",
+            DecisionMode::Fused => "fused",
+        }
+    }
+}
+
+impl std::fmt::Display for DecisionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tuning for one workstation's light detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LightParams {
+    /// A sample this many lux below the tracked ambient baseline
+    /// counts as occluded (user seated).
+    pub dip_lux: f64,
+    /// EMA coefficient for the ambient baseline; applied only while
+    /// the desk is *not* occluded, so the baseline tracks daylight
+    /// drift without chasing the occupancy dip itself.
+    pub baseline_alpha: f64,
+    /// The dip must persist this long before the detector arms — a
+    /// passer-by shadow must not arm a departure trigger.
+    pub min_occupied_s: f64,
+    /// After arming, illuminance must stay recovered this long before
+    /// the detector fires `Departure`. This is the light channel's
+    /// intrinsic decision latency.
+    pub release_s: f64,
+}
+
+impl Default for LightParams {
+    fn default() -> LightParams {
+        LightParams {
+            dip_lux: 60.0,
+            baseline_alpha: 0.02,
+            min_occupied_s: 20.0,
+            release_s: 1.5,
+        }
+    }
+}
+
+impl LightParams {
+    /// Rejects tunings the state machine cannot run on.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.dip_lux.is_finite() || self.dip_lux <= 0.0 {
+            return Err(format!("dip_lux must be finite and positive, got {}", self.dip_lux));
+        }
+        if !self.baseline_alpha.is_finite() || !(0.0..=1.0).contains(&self.baseline_alpha) {
+            return Err(format!("baseline_alpha must be in [0, 1], got {}", self.baseline_alpha));
+        }
+        if !self.min_occupied_s.is_finite() || self.min_occupied_s <= 0.0 {
+            return Err(format!("min_occupied_s must be positive, got {}", self.min_occupied_s));
+        }
+        if !self.release_s.is_finite() || self.release_s <= 0.0 {
+            return Err(format!("release_s must be positive, got {}", self.release_s));
+        }
+        Ok(())
+    }
+}
+
+/// How a controller consumes the light modality: which mode arbitrates
+/// decisions, which workstation each light stream watches, and the
+/// detector tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionConfig {
+    /// Decision arbitration mode.
+    pub mode: DecisionMode,
+    /// Workstation watched by each light stream, in light-stream
+    /// order. Empty means no light streams (mandatory for
+    /// [`DecisionMode::RssiOnly`]-parity configurations built through
+    /// the legacy constructors).
+    pub light_workstations: Vec<usize>,
+    /// Detector tuning shared by every light stream.
+    pub light: LightParams,
+    /// In [`DecisionMode::Fused`], a light departure deauthenticates
+    /// only if MD saw an open variation window within this many
+    /// seconds — RF movement corroborating the photometric release.
+    pub corroborate_s: f64,
+}
+
+impl FusionConfig {
+    /// The pre-fusion configuration: no light streams, RSSI decides.
+    pub fn rssi_only() -> FusionConfig {
+        FusionConfig {
+            mode: DecisionMode::RssiOnly,
+            light_workstations: Vec::new(),
+            light: LightParams::default(),
+            corroborate_s: 6.0,
+        }
+    }
+
+    /// Rejects configurations the controller cannot run.
+    pub fn validate(&self, n_workstations: usize) -> Result<(), String> {
+        self.light.validate()?;
+        if !self.corroborate_s.is_finite() || self.corroborate_s <= 0.0 {
+            return Err(format!("corroborate_s must be positive, got {}", self.corroborate_s));
+        }
+        for &ws in &self.light_workstations {
+            if ws >= n_workstations {
+                return Err(format!(
+                    "light stream watches workstation {ws}, office has {n_workstations}"
+                ));
+            }
+        }
+        if self.mode != DecisionMode::RssiOnly && self.light_workstations.is_empty() {
+            return Err(format!("{} mode requires light streams", self.mode));
+        }
+        Ok(())
+    }
+}
+
+/// What a light detector observed this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LightEvent {
+    /// Sustained occlusion — someone sat down at the workstation.
+    Arrival,
+    /// Sustained recovery after occupancy — they stood up and the desk
+    /// cleared. The fusion layer's deauthentication trigger.
+    Departure,
+}
+
+/// Snapshot of one detector's mutable state, bit-exact for the
+/// checkpoint codec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LightDetectorState {
+    /// Tracked ambient baseline (lux); meaningless until
+    /// `initialized`.
+    pub baseline: f64,
+    /// Whether the first sample seeded the baseline yet.
+    pub initialized: bool,
+    /// Whether sustained occupancy armed the departure trigger.
+    pub armed: bool,
+    /// Consecutive occluded ticks (resets on recovery).
+    pub occupied_run: u64,
+    /// Consecutive recovered ticks while armed (resets on occlusion).
+    pub release_run: u64,
+}
+
+/// Per-workstation occupancy state machine over an ambient-light
+/// stream. Thresholded against a slow ambient baseline with run-length
+/// hysteresis on both edges; emits at most one [`LightEvent`] per
+/// tick.
+#[derive(Debug, Clone)]
+pub struct LightDetector {
+    params: LightParams,
+    min_occupied_ticks: u64,
+    release_ticks: u64,
+    baseline: f64,
+    initialized: bool,
+    armed: bool,
+    occupied_run: u64,
+    release_run: u64,
+}
+
+impl LightDetector {
+    /// Builds a detector for a stream sampled at `tick_hz`.
+    pub fn new(tick_hz: f64, params: LightParams) -> LightDetector {
+        let to_ticks = |s: f64| ((s * tick_hz).round() as u64).max(1);
+        LightDetector {
+            min_occupied_ticks: to_ticks(params.min_occupied_s),
+            release_ticks: to_ticks(params.release_s),
+            params,
+            baseline: 0.0,
+            initialized: false,
+            armed: false,
+            occupied_run: 0,
+            release_run: 0,
+        }
+    }
+
+    /// The release hysteresis in ticks — the light channel's intrinsic
+    /// decision latency, used by the fusion study's latency table.
+    pub fn release_ticks(&self) -> u64 {
+        self.release_ticks
+    }
+
+    /// Feeds one illuminance sample; returns an event when an edge is
+    /// confirmed. Non-finite samples are ignored (sensor glitch), like
+    /// a masked tick.
+    pub fn step(&mut self, lux: f64) -> Option<LightEvent> {
+        if !lux.is_finite() {
+            return None;
+        }
+        if !self.initialized {
+            // Seed the baseline from the first sample. If the desk is
+            // already occupied at boot the baseline starts low and the
+            // recovery on departure re-seeds it upward via the EMA.
+            self.baseline = lux;
+            self.initialized = true;
+            return None;
+        }
+        let occluded = lux < self.baseline - self.params.dip_lux;
+        if occluded {
+            self.occupied_run += 1;
+            self.release_run = 0;
+            if !self.armed && self.occupied_run >= self.min_occupied_ticks {
+                self.armed = true;
+                return Some(LightEvent::Arrival);
+            }
+        } else {
+            // Track ambient drift only while unoccluded.
+            self.baseline += self.params.baseline_alpha * (lux - self.baseline);
+            self.occupied_run = 0;
+            if self.armed {
+                self.release_run += 1;
+                if self.release_run >= self.release_ticks {
+                    self.armed = false;
+                    self.release_run = 0;
+                    return Some(LightEvent::Departure);
+                }
+            }
+        }
+        None
+    }
+
+    /// A tick with no sample (gap-fill masked the stream): state is
+    /// frozen — run-lengths neither grow nor reset, so a transport gap
+    /// cannot manufacture or cancel an edge.
+    pub fn step_masked(&mut self) {}
+
+    /// Captures the mutable state, bit-exact.
+    pub fn state(&self) -> LightDetectorState {
+        LightDetectorState {
+            baseline: self.baseline,
+            initialized: self.initialized,
+            armed: self.armed,
+            occupied_run: self.occupied_run,
+            release_run: self.release_run,
+        }
+    }
+
+    /// Restores a captured state onto a freshly-constructed detector
+    /// (params come from config, not the snapshot).
+    pub fn restore(&mut self, state: &LightDetectorState) {
+        self.baseline = state.baseline;
+        self.initialized = state.initialized;
+        self.armed = state.armed;
+        self.occupied_run = state.occupied_run;
+        self.release_run = state.release_run;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> LightDetector {
+        LightDetector::new(
+            5.0,
+            LightParams {
+                dip_lux: 50.0,
+                baseline_alpha: 0.02,
+                min_occupied_s: 2.0,
+                release_s: 1.0,
+                // 5 Hz → arm after 10 occluded ticks, release after 5.
+            },
+        )
+    }
+
+    #[test]
+    fn arrival_then_departure_fire_once_each() {
+        let mut d = detector();
+        assert_eq!(d.step(400.0), None);
+        let mut events = Vec::new();
+        for _ in 0..12 {
+            if let Some(e) = d.step(300.0) {
+                events.push(e);
+            }
+        }
+        assert_eq!(events, vec![LightEvent::Arrival]);
+        events.clear();
+        for _ in 0..8 {
+            if let Some(e) = d.step(400.0) {
+                events.push(e);
+            }
+        }
+        assert_eq!(events, vec![LightEvent::Departure]);
+        assert!(!d.state().armed);
+    }
+
+    #[test]
+    fn brief_shadow_does_not_arm_and_brief_recovery_does_not_release() {
+        let mut d = detector();
+        d.step(400.0);
+        // 3 occluded ticks < the 10-tick arming threshold.
+        for _ in 0..3 {
+            assert_eq!(d.step(300.0), None);
+        }
+        assert!(!d.state().armed);
+        // Arm properly, then bounce: 2 recovered ticks < the 5-tick
+        // release threshold must not fire, and re-occlusion resets it.
+        for _ in 0..10 {
+            d.step(300.0);
+        }
+        assert!(d.state().armed);
+        assert_eq!(d.step(400.0), None);
+        assert_eq!(d.step(400.0), None);
+        assert_eq!(d.step(300.0), None);
+        assert_eq!(d.state().release_run, 0);
+        assert!(d.state().armed);
+    }
+
+    #[test]
+    fn baseline_tracks_drift_only_while_clear() {
+        let mut d = detector();
+        d.step(400.0);
+        let clear = d.state().baseline;
+        d.step(420.0);
+        assert!(d.state().baseline > clear);
+        let before_dip = d.state().baseline;
+        d.step(100.0);
+        assert_eq!(d.state().baseline, before_dip);
+    }
+
+    #[test]
+    fn non_finite_and_masked_ticks_freeze_state() {
+        let mut d = detector();
+        d.step(400.0);
+        for _ in 0..10 {
+            d.step(300.0);
+        }
+        let armed = d.state();
+        assert_eq!(d.step(f64::NAN), None);
+        d.step_masked();
+        assert_eq!(d.state(), armed);
+    }
+
+    #[test]
+    fn state_round_trips_bit_exactly() {
+        let mut d = detector();
+        d.step(400.0);
+        for _ in 0..7 {
+            d.step(310.0);
+        }
+        let snap = d.state();
+        let mut fresh = detector();
+        fresh.restore(&snap);
+        assert_eq!(fresh.state(), snap);
+        // Both replicas must evolve identically from here.
+        let a: Vec<_> = (0..20).map(|i| d.step(if i < 5 { 310.0 } else { 400.0 })).collect();
+        let b: Vec<_> = (0..20).map(|i| fresh.step(if i < 5 { 310.0 } else { 400.0 })).collect();
+        assert_eq!(a, b);
+        assert_eq!(d.state(), fresh.state());
+    }
+
+    #[test]
+    fn mode_tags_round_trip() {
+        for m in [DecisionMode::RssiOnly, DecisionMode::LightOnly, DecisionMode::Fused] {
+            assert_eq!(DecisionMode::from_tag(m.tag()), Some(m));
+        }
+        assert_eq!(DecisionMode::from_tag(9), None);
+        assert_eq!(format!("{}", DecisionMode::Fused), "fused");
+    }
+
+    #[test]
+    fn params_validate_rejects_nonsense() {
+        assert!(LightParams::default().validate().is_ok());
+        let bad = LightParams { dip_lux: -1.0, ..LightParams::default() };
+        assert!(bad.validate().is_err());
+        let bad = LightParams { baseline_alpha: 1.5, ..LightParams::default() };
+        assert!(bad.validate().is_err());
+        let bad = LightParams { release_s: 0.0, ..LightParams::default() };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -29,7 +29,12 @@
 //!   §V-C claim that signal-suppression attacks are detectable;
 //! - [`artifact`] — the versioned, CRC-guarded model bundle that
 //!   carries a trained MD profile + RE classifier from a training run
-//!   to a serving process.
+//!   to a serving process;
+//! - [`stream`] — the channel-typed sensor-stream descriptors
+//!   ([`stream::ChannelKind`], [`stream::StreamSchema`]) that
+//!   generalize the pipeline beyond the RSSI link matrix;
+//! - [`fusion`] — the per-workstation ambient-light detector and the
+//!   RSSI-only / light-only / fused decision modes.
 //!
 //! # Examples
 //!
@@ -58,11 +63,13 @@ pub mod artifact;
 pub mod config;
 pub mod controller;
 pub mod features;
+pub mod fusion;
 pub mod guard;
 pub mod kma;
 pub mod md;
 pub mod re;
 pub mod security;
+pub mod stream;
 pub mod usability;
 pub mod windows;
 
@@ -70,10 +77,14 @@ pub use artifact::{ArtifactError, FeatureSchema, ModelBundle};
 pub use config::FadewichParams;
 pub use controller::{Action, ActionKind, Controller, SystemState};
 pub use features::TrainingSample;
+pub use fusion::{
+    DecisionMode, FusionConfig, LightDetector, LightDetectorState, LightEvent, LightParams,
+};
 pub use guard::{GuardParams, IntegrityAlarm, IntegrityGuard};
 pub use kma::Kma;
 pub use md::{MdBatchStep, MdRun, MdSnapshot, MovementDetector};
 pub use re::{auto_label, AutoLabelParams, RadioEnvironment};
 pub use security::{AttackAnalysis, DeauthCase, DeauthOutcome, DetectionOutcome};
+pub use stream::{rssi_groups, ChannelKind, SensorGroup, StreamSchema};
 pub use usability::{DayUsability, UsabilityParams};
 pub use windows::VariationWindow;

@@ -1,0 +1,216 @@
+//! Channel-typed sensor-stream descriptors.
+//!
+//! The paper's pipeline is defined over the m×(m−1) RSSI link matrix,
+//! but nothing in MD, the controller, or the runtime actually requires
+//! the samples to *be* RSSI — they require a per-tick scalar per
+//! stream. This module makes that latent assumption explicit: every
+//! monitored stream carries a [`ChannelKind`], the engine's sensor
+//! layout is a list of typed [`SensorGroup`]s instead of bare
+//! `(sensor, positions)` pairs, and a [`StreamSchema`] summarizes the
+//! per-stream kinds for the artifact and checkpoint codecs.
+//!
+//! Two kinds exist today: the paper's RSSI links and the ambient-light
+//! photosensors of the fusion study (one per workstation, in the
+//! spirit of the ambient-light deauthentication line of work). The
+//! representation is deliberately closed — an enum, not a string — so
+//! the wire codec and the artifact can tag streams with a single
+//! validated byte.
+//!
+//! Everything downstream keys typed streams as `(kind, sensor id)`
+//! pairs: sensor id namespaces are per channel kind, so a light sensor
+//! numbered 0 never collides with RF sensor 0.
+
+/// What physical quantity a sensor stream carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChannelKind {
+    /// Received signal strength of one RF link (dBm, quantized) — the
+    /// paper's modality.
+    Rssi,
+    /// Ambient illuminance at one workstation (lux, quantized) — the
+    /// fusion study's second modality.
+    AmbientLight,
+}
+
+impl ChannelKind {
+    /// Every kind, in tag order. `ALL[k.index()] == k`.
+    pub const ALL: [ChannelKind; 2] = [ChannelKind::Rssi, ChannelKind::AmbientLight];
+
+    /// Number of channel kinds (array-index bound for per-kind state).
+    pub const COUNT: usize = 2;
+
+    /// The stable single-byte tag the wire codec and artifact carry.
+    pub fn tag(self) -> u8 {
+        match self {
+            ChannelKind::Rssi => 0,
+            ChannelKind::AmbientLight => 1,
+        }
+    }
+
+    /// Decodes a wire/artifact tag; unknown tags are a decode error at
+    /// the caller, never a default.
+    pub fn from_tag(tag: u8) -> Option<ChannelKind> {
+        match tag {
+            0 => Some(ChannelKind::Rssi),
+            1 => Some(ChannelKind::AmbientLight),
+            _ => None,
+        }
+    }
+
+    /// Dense index for per-kind arrays (`== tag`, but `usize`).
+    pub fn index(self) -> usize {
+        self.tag() as usize
+    }
+
+    /// Short lowercase label for summaries and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelKind::Rssi => "rssi",
+            ChannelKind::AmbientLight => "light",
+        }
+    }
+}
+
+impl std::fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One sensor's contribution to the engine row: which streams
+/// (row positions) it reports, and what kind of channel they are.
+/// The typed successor of the bare `(u16, Vec<usize>)` layout pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensorGroup {
+    /// Sensor id — namespaced per [`ChannelKind`], so ids may repeat
+    /// across kinds without ambiguity.
+    pub sensor: u16,
+    /// What the sensor's streams carry.
+    pub kind: ChannelKind,
+    /// Engine-row positions this sensor fills each tick, ascending.
+    pub positions: Vec<usize>,
+}
+
+impl SensorGroup {
+    /// An RSSI group — the shape every pre-refactor layout had.
+    pub fn rssi(sensor: u16, positions: Vec<usize>) -> SensorGroup {
+        SensorGroup { sensor, kind: ChannelKind::Rssi, positions }
+    }
+}
+
+/// Lifts a legacy untyped layout (every stream an RSSI link) into the
+/// typed representation. This is the compatibility seam: engines built
+/// through the historical `(sensor, positions)` API go through here,
+/// so their behavior is the all-RSSI special case of the typed path.
+pub fn rssi_groups(groups: Vec<(u16, Vec<usize>)>) -> Vec<SensorGroup> {
+    groups.into_iter().map(|(sensor, positions)| SensorGroup::rssi(sensor, positions)).collect()
+}
+
+/// Per-stream channel kinds, in engine-row order — the compact
+/// descriptor the artifact and checkpoint codecs carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSchema {
+    /// `kinds[i]` is stream `i`'s channel kind.
+    pub kinds: Vec<ChannelKind>,
+}
+
+impl StreamSchema {
+    /// The schema of `n` plain RSSI streams — what every pre-refactor
+    /// artifact implicitly described.
+    pub fn rssi(n: usize) -> StreamSchema {
+        StreamSchema { kinds: vec![ChannelKind::Rssi; n] }
+    }
+
+    /// Derives the schema from a typed sensor layout. Positions must
+    /// partition `0..n` (the engine validates that separately); any
+    /// position no group claims would panic here, which the engine's
+    /// layout check rules out first.
+    pub fn from_groups(groups: &[SensorGroup]) -> StreamSchema {
+        let n: usize = groups.iter().map(|g| g.positions.len()).sum();
+        let mut kinds = vec![ChannelKind::Rssi; n];
+        for g in groups {
+            for &p in &g.positions {
+                kinds[p] = g.kind;
+            }
+        }
+        StreamSchema { kinds }
+    }
+
+    /// Total streams described.
+    pub fn n_streams(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Streams of one kind.
+    pub fn count(&self, kind: ChannelKind) -> usize {
+        self.kinds.iter().filter(|&&k| k == kind).count()
+    }
+
+    /// Whether every stream is RSSI — the case that must stay
+    /// byte-identical to the pre-refactor engine.
+    pub fn is_all_rssi(&self) -> bool {
+        self.kinds.iter().all(|&k| k == ChannelKind::Rssi)
+    }
+
+    /// Whether RSSI streams occupy a prefix `0..k` and every other
+    /// kind the suffix — the row ordering the fusion engine requires
+    /// so it can hand `row[..k]` to MD/RE untouched.
+    pub fn rssi_is_prefix(&self) -> bool {
+        let first_non_rssi =
+            self.kinds.iter().position(|&k| k != ChannelKind::Rssi).unwrap_or(self.kinds.len());
+        self.kinds[first_non_rssi..].iter().all(|&k| k != ChannelKind::Rssi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip_and_unknown_rejected() {
+        for k in ChannelKind::ALL {
+            assert_eq!(ChannelKind::from_tag(k.tag()), Some(k));
+            assert_eq!(ChannelKind::ALL[k.index()], k);
+        }
+        assert_eq!(ChannelKind::from_tag(2), None);
+        assert_eq!(ChannelKind::from_tag(255), None);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(ChannelKind::Rssi.label(), ChannelKind::AmbientLight.label());
+        assert_eq!(format!("{}", ChannelKind::AmbientLight), "light");
+    }
+
+    #[test]
+    fn schema_from_groups_assigns_kinds_by_position() {
+        let groups = vec![
+            SensorGroup::rssi(0, vec![0, 1]),
+            SensorGroup { sensor: 0, kind: ChannelKind::AmbientLight, positions: vec![3] },
+            SensorGroup::rssi(2, vec![2]),
+        ];
+        let schema = StreamSchema::from_groups(&groups);
+        assert_eq!(schema.n_streams(), 4);
+        assert_eq!(schema.kinds[3], ChannelKind::AmbientLight);
+        assert_eq!(schema.count(ChannelKind::Rssi), 3);
+        assert!(!schema.is_all_rssi());
+        assert!(schema.rssi_is_prefix());
+    }
+
+    #[test]
+    fn prefix_check_catches_interleaved_kinds() {
+        let schema = StreamSchema {
+            kinds: vec![ChannelKind::Rssi, ChannelKind::AmbientLight, ChannelKind::Rssi],
+        };
+        assert!(!schema.rssi_is_prefix());
+        assert!(StreamSchema::rssi(5).rssi_is_prefix());
+        assert!(StreamSchema::rssi(5).is_all_rssi());
+    }
+
+    #[test]
+    fn legacy_lift_is_all_rssi() {
+        let typed = rssi_groups(vec![(4, vec![0, 2]), (7, vec![1])]);
+        assert!(typed.iter().all(|g| g.kind == ChannelKind::Rssi));
+        assert_eq!(typed[0].positions, vec![0, 2]);
+        assert!(StreamSchema::from_groups(&typed).is_all_rssi());
+    }
+}

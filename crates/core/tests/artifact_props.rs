@@ -11,12 +11,15 @@ use fadewich_core::artifact::{FeatureSchema, ModelBundle};
 use fadewich_core::config::FadewichParams;
 use fadewich_core::md::{MdSnapshot, MovementDetector};
 use fadewich_core::re::RadioEnvironment;
+use fadewich_core::stream::ChannelKind;
 use fadewich_stats::rng::Rng;
 use fadewich_svm::{Kernel, MultiClassSvm, SmoParams};
 use fadewich_testkit::prop::u64s;
 
 /// Trains a small but fully random bundle: random stream/feature
-/// layout, class count, kernel, MD profile, and threshold.
+/// layout, channel kinds (so both the v1 all-RSSI and the v2 mixed
+/// encodings are exercised), class count, kernel, MD profile, and
+/// threshold.
 fn random_bundle(rng: &mut Rng) -> ModelBundle {
     let n_streams = 1 + rng.below(3);
     let features_per_stream = 1 + rng.below(3);
@@ -53,11 +56,21 @@ fn random_bundle(rng: &mut Rng) -> ModelBundle {
     } else {
         Some(9.0 + rng.f64())
     };
+    let channels: Vec<ChannelKind> = (0..n_streams)
+        .map(|_| {
+            if rng.bernoulli(0.5) {
+                ChannelKind::Rssi
+            } else {
+                ChannelKind::AmbientLight
+            }
+        })
+        .collect();
     ModelBundle {
         params: FadewichParams::default(),
         schema: FeatureSchema {
             tick_hz: 5.0,
             stream_ids: (0..n_streams as u32).collect(),
+            channels,
             features_per_stream,
         },
         md: MdSnapshot { values, threshold },
@@ -115,21 +128,32 @@ fadewich_testkit::property! {
 }
 
 /// The random property samples flips; this nails the guarantee down
-/// exhaustively on a bundle small enough to try every single bit.
+/// exhaustively on bundles small enough to try every single bit — once
+/// per encoding version (all-RSSI → v1, mixed channels → v2).
 #[test]
 fn every_single_bit_flip_in_a_small_artifact_is_rejected() {
     let mut rng = Rng::seed_from_u64(7);
     let mut bundle = random_bundle(&mut rng);
     bundle.md = MdSnapshot { values: vec![5.0, 6.0, 7.0], threshold: Some(8.0) };
-    let clean = bundle.encode();
-    for byte in 0..clean.len() {
-        for bit in 0..8 {
-            let mut dirty = clean.clone();
-            dirty[byte] ^= 1 << bit;
-            assert!(
-                ModelBundle::decode(&dirty).is_err(),
-                "flip of byte {byte} bit {bit} slipped through"
-            );
+    let n = bundle.schema.stream_ids.len();
+    let layouts = [
+        vec![ChannelKind::Rssi; n],
+        (0..n)
+            .map(|i| if i == 0 { ChannelKind::AmbientLight } else { ChannelKind::Rssi })
+            .collect::<Vec<_>>(),
+    ];
+    for channels in layouts {
+        bundle.schema.channels = channels;
+        let clean = bundle.encode();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut dirty = clean.clone();
+                dirty[byte] ^= 1 << bit;
+                assert!(
+                    ModelBundle::decode(&dirty).is_err(),
+                    "flip of byte {byte} bit {bit} slipped through"
+                );
+            }
         }
     }
 }

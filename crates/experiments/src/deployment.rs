@@ -279,11 +279,11 @@ pub fn export_model(
     }
     Ok(ModelBundle {
         params,
-        schema: FeatureSchema {
-            tick_hz: hz,
-            stream_ids: streams.iter().map(|&s| s as u32).collect(),
-            features_per_stream: FEATURES_PER_STREAM,
-        },
+        schema: FeatureSchema::rssi(
+            hz,
+            streams.iter().map(|&s| s as u32).collect(),
+            FEATURES_PER_STREAM,
+        ),
         md: md.snapshot(),
         re,
     })

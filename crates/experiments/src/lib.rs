@@ -13,6 +13,8 @@
 //! - [`attacks`] — jamming attacks and the integrity-guard response;
 //! - [`streaming`] — the live runtime replayed against the batch
 //!   controller, lossless (parity) and lossy (degradation);
+//! - [`fusion`] — the RSSI/light ablation: deauth latency and FP/FN
+//!   across the three decision modes over a light-enabled scenario;
 //! - [`recovery`] — crash the streaming engine mid-day, resume from
 //!   the checkpoint store, verify the stitched decision stream;
 //! - [`par`] — the deterministic parallel task pool driving all sweeps;
@@ -28,6 +30,7 @@ pub mod csi;
 pub mod deployment;
 pub mod experiment;
 pub mod figures;
+pub mod fusion;
 pub mod offices;
 pub mod par;
 pub mod pipeline;

@@ -810,6 +810,23 @@ fn run_fleet(
             "offices {n}  active {active}  quarantined {quarantined}  decisions {decisions}"
         );
         println!("max shard tick lag {max_lag}  shards {}", args.shards);
+        if report.has_mixed_channels() {
+            // Per-channel fleet rollup — printed only for mixed
+            // deployments so RSSI-only fleets keep their exact
+            // pre-fusion stdout.
+            for kind in fadewich_core::stream::ChannelKind::ALL {
+                let c = &report.channel_totals[kind.index()];
+                println!(
+                    "channel {:<5}  frames {}  gap-fills {}  masked {}  quarantines {}  recoveries {}",
+                    kind.label(),
+                    c.frames_in,
+                    c.gap_fills,
+                    c.masked_stream_ticks,
+                    c.quarantines,
+                    c.recoveries
+                );
+            }
+        }
         base_ticks += n_ticks;
     }
     Ok(())

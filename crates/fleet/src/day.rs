@@ -38,9 +38,10 @@ use std::path::{Path, PathBuf};
 
 use fadewich_core::kma::Kma;
 use fadewich_core::re::RadioEnvironment;
+use fadewich_core::stream::ChannelKind;
 use fadewich_officesim::{Scenario, Trace};
 use fadewich_runtime::checkpoint::{CheckpointStore, Checkpointer, EngineSnapshot};
-use fadewich_runtime::counters::RuntimeCounters;
+use fadewich_runtime::counters::{ChannelCounters, RuntimeCounters};
 use fadewich_runtime::engine::{EngineConfig, EngineEvent, StreamingEngine};
 use fadewich_runtime::link::LinkModel;
 use fadewich_runtime::replay::day_deliveries_for_office;
@@ -232,8 +233,25 @@ pub struct FleetDayReport {
     pub fleet: FleetCounters,
     /// Per-shard tick lag at the end of the run.
     pub shard_tick_lags: Vec<u64>,
+    /// Stream-health counters summed over every office, sliced per
+    /// channel kind (indexed by [`ChannelKind::index`]) — the fleet's
+    /// rollup of each engine's [`RuntimeCounters::channel`] slices.
+    pub channel_totals: [ChannelCounters; ChannelKind::COUNT],
     /// True when `crash_after_ticks` stopped the day early.
     pub crashed: bool,
+}
+
+impl FleetDayReport {
+    /// True when any non-RSSI channel counted anything fleet-wide —
+    /// the condition under which the stdout rollup prints the
+    /// per-channel lines (RSSI-only fleets keep their exact
+    /// pre-fusion output).
+    #[must_use]
+    pub fn has_mixed_channels(&self) -> bool {
+        ChannelKind::ALL
+            .iter()
+            .any(|&k| k != ChannelKind::Rssi && self.channel_totals[k.index()] != ChannelCounters::default())
+    }
 }
 
 /// Streams one day through a fleet of `starts.len()` offices over
@@ -400,6 +418,7 @@ pub fn run_fleet_day(
     let mut offices = Vec::with_capacity(n_offices);
     let mut active = 0u64;
     let mut quarantined = 0u64;
+    let mut channel_totals = [ChannelCounters::default(); ChannelKind::COUNT];
     for o in 0..n_offices {
         let office = o as u16;
         let Some(engine) = fleet.office_mut(office) else { continue };
@@ -417,6 +436,14 @@ pub fn run_fleet_day(
             }
         }
         let counters = engine.counters().clone();
+        for kind in ChannelKind::ALL {
+            let (total, c) = (&mut channel_totals[kind.index()], counters.channel(kind));
+            total.frames_in += c.frames_in;
+            total.gap_fills += c.gap_fills;
+            total.masked_stream_ticks += c.masked_stream_ticks;
+            total.quarantines += c.quarantines;
+            total.recoveries += c.recoveries;
+        }
         if counters.frames_in > 0 {
             active += 1;
         }
@@ -438,6 +465,22 @@ pub fn run_fleet_day(
             counters,
         });
     }
+    for kind in ChannelKind::ALL {
+        let c = &channel_totals[kind.index()];
+        if *c == ChannelCounters::default() {
+            continue;
+        }
+        let label = kind.label();
+        for (metric, v) in [
+            ("frames_in", c.frames_in),
+            ("gap_fills", c.gap_fills),
+            ("masked_stream_ticks", c.masked_stream_ticks),
+            ("quarantines", c.quarantines),
+            ("recoveries", c.recoveries),
+        ] {
+            telemetry.counter_add(&format!("fleet_channel_{label}_{metric}"), v);
+        }
+    }
     let fleet_counters = fleet.counters().clone();
     telemetry.counter_add("fleet_frames_demuxed", fleet_counters.frames_demuxed);
     telemetry.counter_add("fleet_frames_unknown_office", fleet_counters.frames_unknown_office);
@@ -449,7 +492,7 @@ pub fn run_fleet_day(
     for (i, lag) in shard_tick_lags.iter().enumerate() {
         telemetry.gauge_set(&format!("fleet_shard_tick_lag{{shard=\"{i}\"}}"), *lag as f64);
     }
-    Ok(FleetDayReport { offices, fleet: fleet_counters, shard_tick_lags, crashed })
+    Ok(FleetDayReport { offices, fleet: fleet_counters, shard_tick_lags, channel_totals, crashed })
 }
 
 /// Runs office `office`'s day on a dedicated single-office engine —

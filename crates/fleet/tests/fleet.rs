@@ -318,7 +318,7 @@ fn unknown_office_and_corrupt_frames_are_accounted() {
     let fx = fixture();
     let inputs = fx.scenario.input_trace(1, 0);
     let frame = |office: u16, seq: u32| {
-        Frame { office, sensor: 0, seq, tick: u64::from(seq), values: vec![1.0, 2.0] }.encode()
+        Frame { office, ..Frame::rssi(0, seq, u64::from(seq), vec![1.0, 2.0]) }.encode()
     };
 
     let mut fleet = FleetRuntime::new(2, engines_for(fx, &inputs, 2)).unwrap();

@@ -13,6 +13,8 @@
 //! - [`input`] — Mikkelsen-style keyboard/mouse activity (78% of 5-s
 //!   slots), redrawable for the usability analysis;
 //! - [`events`] — the ground-truth event log ("supervisor's notebook");
+//! - [`light`] — per-workstation ambient-light sensors driven by the
+//!   same person geometry (the fusion study's second modality);
 //! - [`scenario`]/[`trace`] — tying behaviour to the RF channel to
 //!   produce the multi-day RSSI recording FADEWICH consumes.
 //!
@@ -36,6 +38,7 @@
 pub mod events;
 pub mod input;
 pub mod layout;
+pub mod light;
 pub mod person;
 pub mod schedule;
 pub mod scenario;
@@ -44,7 +47,8 @@ pub mod trace;
 pub use events::{EventKind, EventLog, MovementEvent};
 pub use input::InputTrace;
 pub use layout::{OfficeLayout, WorkstationId, N_SENSORS, N_WORKSTATIONS};
+pub use light::{LightSim, LightSimParams};
 pub use person::PersonTimeline;
 pub use scenario::{Scenario, ScenarioConfig, ScenarioError};
 pub use schedule::{ScheduleError, ScheduleParams};
-pub use trace::{DayTrace, SensorReport, Trace};
+pub use trace::{DayTrace, SensorReport, StreamKind, Trace};

@@ -1,0 +1,263 @@
+//! Ambient-light channel model.
+//!
+//! The ambient-light deauthentication literature mounts one photosensor
+//! per workstation (monitor bezel / desk surface) and reads occupancy
+//! from the illuminance dip a seated body casts over it. This module
+//! simulates that channel from the *same* person geometry that drives
+//! the RF body-shadowing: each tick, every body near a workstation's
+//! chair occludes that desk's sensor proportionally to its distance,
+//! on top of a slow deterministic daylight drift and a small seeded
+//! sensor noise, quantized like a real lux register.
+//!
+//! The model is deliberately simple — a linear occlusion cone, not a
+//! radiosity solver — because the detector consuming it thresholds a
+//! deep (>100 lux) dip with run-length hysteresis; what matters for
+//! the fusion study is the *timing* of the dip edges relative to the
+//! ground-truth movements, and those come straight from the shared
+//! [`PersonTimeline::body_at`](crate::person::PersonTimeline::body_at)
+//! geometry.
+
+use fadewich_geometry::Point;
+use fadewich_rfchannel::Body;
+use fadewich_stats::rng::Rng;
+
+/// Tuning for the per-workstation photosensor simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LightSimParams {
+    /// Unoccluded desk illuminance (lux).
+    pub lux_base: f64,
+    /// Amplitude of the slow sinusoidal daylight drift (lux).
+    pub drift_amplitude: f64,
+    /// Period of the daylight drift (s).
+    pub drift_period_s: f64,
+    /// Half-width of the uniform per-tick sensor noise (lux).
+    pub noise_lux: f64,
+    /// Illuminance removed by a body sitting directly over the sensor
+    /// (lux), before the per-workstation mounting factor.
+    pub occlusion_lux: f64,
+    /// Distance at which a body stops occluding the sensor (m); the
+    /// occlusion falls off linearly to zero at this radius.
+    pub occlusion_radius_m: f64,
+    /// Register quantization step (lux).
+    pub quant_lux: f64,
+    /// Per-workstation mounting factor scaling the occlusion depth —
+    /// real installs differ (bezel vs shelf vs window-facing desk).
+    /// Empty means 1.0 everywhere; otherwise one entry per
+    /// workstation. A factor small enough that the dip never crosses
+    /// the detector threshold models a badly-mounted sensor, the case
+    /// fusion exists to cover.
+    pub mount_factors: Vec<f64>,
+}
+
+impl Default for LightSimParams {
+    fn default() -> LightSimParams {
+        LightSimParams {
+            lux_base: 420.0,
+            drift_amplitude: 12.0,
+            drift_period_s: 2400.0,
+            noise_lux: 1.5,
+            occlusion_lux: 160.0,
+            occlusion_radius_m: 1.1,
+            quant_lux: 1.0,
+            mount_factors: Vec::new(),
+        }
+    }
+}
+
+impl LightSimParams {
+    /// Rejects parameter sets the simulation cannot run on.
+    pub fn validate(&self, n_workstations: usize) -> Result<(), String> {
+        if !self.lux_base.is_finite() || self.lux_base <= 0.0 {
+            return Err(format!("lux_base must be positive, got {}", self.lux_base));
+        }
+        if !self.occlusion_lux.is_finite() || self.occlusion_lux <= 0.0 {
+            return Err(format!("occlusion_lux must be positive, got {}", self.occlusion_lux));
+        }
+        if !self.occlusion_radius_m.is_finite() || self.occlusion_radius_m <= 0.0 {
+            return Err(format!(
+                "occlusion_radius_m must be positive, got {}",
+                self.occlusion_radius_m
+            ));
+        }
+        if !self.quant_lux.is_finite() || self.quant_lux <= 0.0 {
+            return Err(format!("quant_lux must be positive, got {}", self.quant_lux));
+        }
+        if !self.noise_lux.is_finite() || self.noise_lux < 0.0 {
+            return Err(format!("noise_lux must be non-negative, got {}", self.noise_lux));
+        }
+        if !self.drift_period_s.is_finite() || self.drift_period_s <= 0.0 {
+            return Err(format!("drift_period_s must be positive, got {}", self.drift_period_s));
+        }
+        if !self.mount_factors.is_empty() && self.mount_factors.len() != n_workstations {
+            return Err(format!(
+                "mount_factors has {} entries for {} workstations",
+                self.mount_factors.len(),
+                n_workstations
+            ));
+        }
+        if self.mount_factors.iter().any(|f| !f.is_finite() || *f < 0.0) {
+            return Err("mount_factors must be finite and non-negative".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One day's photosensor simulation: per tick, one lux sample per
+/// workstation, seeded independently of the RF channel so enabling the
+/// light modality never perturbs the RSSI recording.
+#[derive(Debug, Clone)]
+pub struct LightSim {
+    chairs: Vec<Point>,
+    factors: Vec<f64>,
+    params: LightSimParams,
+    rng: Rng,
+}
+
+impl LightSim {
+    /// Builds the simulator for one day. `chairs` are the workstation
+    /// chair positions (the sensor sits at the desk); `rng` should be
+    /// a day-scoped fork of the scenario seed.
+    pub fn new(chairs: Vec<Point>, params: LightSimParams, rng: Rng) -> LightSim {
+        let factors = if params.mount_factors.is_empty() {
+            vec![1.0; chairs.len()]
+        } else {
+            params.mount_factors.clone()
+        };
+        LightSim { chairs, factors, params, rng }
+    }
+
+    /// Number of simulated sensors (one per workstation).
+    pub fn n_sensors(&self) -> usize {
+        self.chairs.len()
+    }
+
+    /// Advances one tick at day-time `t` (s) with the office's bodies,
+    /// appending one quantized lux sample per workstation to `out`.
+    pub fn step_into(&mut self, bodies: &[Body], t: f64, out: &mut Vec<f64>) {
+        let p = &self.params;
+        let drift =
+            p.drift_amplitude * (std::f64::consts::TAU * t / p.drift_period_s).sin();
+        for (w, chair) in self.chairs.iter().enumerate() {
+            let mut occ: f64 = 0.0;
+            for b in bodies {
+                let d = b.position.distance_to(*chair);
+                if d < p.occlusion_radius_m {
+                    occ += 1.0 - d / p.occlusion_radius_m;
+                }
+            }
+            let dip = occ.min(1.0) * p.occlusion_lux * self.factors[w];
+            let noise = self.rng.range_f64(-p.noise_lux, p.noise_lux);
+            let lux = (p.lux_base + drift - dip + noise).max(0.0);
+            out.push((lux / p.quant_lux).round() * p.quant_lux);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(params: LightSimParams) -> LightSim {
+        LightSim::new(
+            vec![Point::new(1.0, 1.0), Point::new(4.0, 1.0)],
+            params,
+            Rng::seed_from_u64(7),
+        )
+    }
+
+    #[test]
+    fn seated_body_dips_its_own_desk_only() {
+        let mut s = sim(LightSimParams::default());
+        let mut clear = Vec::new();
+        s.step_into(&[], 0.0, &mut clear);
+        let mut occupied = Vec::new();
+        s.step_into(&[Body::still(Point::new(1.0, 1.0))], 0.2, &mut occupied);
+        assert!(clear[0] - occupied[0] > 100.0, "dip = {}", clear[0] - occupied[0]);
+        assert!((clear[1] - occupied[1]).abs() < 10.0, "far desk moved {}", clear[1] - occupied[1]);
+    }
+
+    #[test]
+    fn occlusion_falls_off_with_distance_and_saturates() {
+        let p = LightSimParams { noise_lux: 0.0, drift_amplitude: 0.0, ..Default::default() };
+        let mut s = sim(p.clone());
+        let probe = |s: &mut LightSim, bodies: &[Body]| {
+            let mut v = Vec::new();
+            s.step_into(bodies, 0.0, &mut v);
+            v[0]
+        };
+        let near = probe(&mut s, &[Body::still(Point::new(1.0, 1.0))]);
+        let mid = probe(&mut s, &[Body::still(Point::new(1.6, 1.0))]);
+        let far = probe(&mut s, &[Body::still(Point::new(3.0, 1.0))]);
+        assert!(near < mid && mid < far, "{near} {mid} {far}");
+        assert_eq!(far, p.lux_base);
+        // Two overlapping bodies cannot dip deeper than the full depth.
+        let crowd = probe(
+            &mut s,
+            &[Body::still(Point::new(1.0, 1.0)), Body::still(Point::new(1.1, 1.0))],
+        );
+        assert!((near - crowd).abs() < 1e-9, "saturation: {near} vs {crowd}");
+    }
+
+    #[test]
+    fn mount_factor_scales_the_dip() {
+        let p = LightSimParams {
+            noise_lux: 0.0,
+            drift_amplitude: 0.0,
+            mount_factors: vec![1.0, 0.25],
+            ..Default::default()
+        };
+        let mut s = LightSim::new(
+            vec![Point::new(1.0, 1.0), Point::new(4.0, 1.0)],
+            p.clone(),
+            Rng::seed_from_u64(1),
+        );
+        let mut v = Vec::new();
+        s.step_into(
+            &[Body::still(Point::new(1.0, 1.0)), Body::still(Point::new(4.0, 1.0))],
+            0.0,
+            &mut v,
+        );
+        let dips = [p.lux_base - v[0], p.lux_base - v[1]];
+        assert!((dips[0] - p.occlusion_lux).abs() < 1e-9);
+        assert!((dips[1] - p.occlusion_lux * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = LightSim::new(
+                vec![Point::new(1.0, 1.0)],
+                LightSimParams::default(),
+                Rng::seed_from_u64(seed),
+            );
+            let mut v = Vec::new();
+            for tick in 0..50 {
+                s.step_into(&[], tick as f64 / 5.0, &mut v);
+            }
+            v
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn samples_are_quantized() {
+        let mut s = sim(LightSimParams { quant_lux: 2.0, ..Default::default() });
+        let mut v = Vec::new();
+        s.step_into(&[], 17.0, &mut v);
+        for x in v {
+            assert_eq!(x % 2.0, 0.0, "unquantized sample {x}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(LightSimParams::default().validate(3).is_ok());
+        let bad = LightSimParams { occlusion_lux: 0.0, ..Default::default() };
+        assert!(bad.validate(3).is_err());
+        let bad = LightSimParams { mount_factors: vec![1.0], ..Default::default() };
+        assert!(bad.validate(3).is_err());
+        let bad = LightSimParams { mount_factors: vec![1.0, f64::NAN, 1.0], ..Default::default() };
+        assert!(bad.validate(3).is_err());
+    }
+}

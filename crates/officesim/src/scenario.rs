@@ -12,6 +12,7 @@ use fadewich_stats::rng::Rng;
 use crate::events::{EventKind, EventLog, MovementEvent};
 use crate::input::InputTrace;
 use crate::layout::OfficeLayout;
+use crate::light::{LightSim, LightSimParams};
 use crate::person::MovementKind;
 use crate::schedule::{generate_day, DaySchedule, ScheduleError, ScheduleParams};
 use crate::trace::{DayTrace, Trace};
@@ -34,6 +35,11 @@ pub struct ScenarioConfig {
     /// The office geometry (defaults to the paper's Fig. 6 office;
     /// build others with [`OfficeLayout::custom`]).
     pub layout: OfficeLayout,
+    /// Ambient-light modality: `None` (the default) records RSSI only
+    /// and is bit-identical to the pre-fusion simulator; `Some` appends
+    /// one photosensor column per workstation after the link columns,
+    /// driven by the same person geometry and an independent seed fork.
+    pub light: Option<LightSimParams>,
 }
 
 impl Default for ScenarioConfig {
@@ -46,6 +52,7 @@ impl Default for ScenarioConfig {
             schedule: ScheduleParams::default(),
             activity_probability: crate::input::PAPER_ACTIVITY_PROBABILITY,
             layout: OfficeLayout::paper_office(),
+            light: None,
         }
     }
 }
@@ -75,6 +82,8 @@ pub enum ScenarioError {
     Schedule(ScheduleError),
     /// The channel could not be constructed.
     Channel(BuildChannelError),
+    /// The ambient-light parameters are invalid.
+    Light(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -82,6 +91,7 @@ impl std::fmt::Display for ScenarioError {
         match self {
             ScenarioError::Schedule(e) => write!(f, "schedule generation failed: {e}"),
             ScenarioError::Channel(e) => write!(f, "channel construction failed: {e}"),
+            ScenarioError::Light(e) => write!(f, "light model invalid: {e}"),
         }
     }
 }
@@ -117,6 +127,9 @@ impl Scenario {
     /// Propagates [`ScheduleError`] from the behaviour generator.
     pub fn generate(config: ScenarioConfig) -> Result<Scenario, ScenarioError> {
         let layout = config.layout.clone();
+        if let Some(light) = &config.light {
+            light.validate(layout.n_workstations()).map_err(ScenarioError::Light)?;
+        }
         let root = Rng::seed_from_u64(config.seed);
         let mut days = Vec::with_capacity(config.days);
         let mut events = EventLog::new();
@@ -196,21 +209,49 @@ impl Scenario {
             channel_seed,
         )?;
         let n_ticks = (self.config.schedule.day_seconds * self.config.tick_hz).round() as usize;
+        let n_light = if self.config.light.is_some() { self.layout.n_workstations() } else { 0 };
+        let light_root = Rng::seed_from_u64(self.config.seed);
         let mut day_traces = Vec::with_capacity(self.days.len());
         let mut bodies: Vec<Body> = Vec::with_capacity(self.layout.n_workstations());
-        for schedule in &self.days {
-            let mut day = DayTrace::with_capacity(sim.n_links(), n_ticks);
+        let mut row = Vec::with_capacity(sim.n_links() + n_light);
+        for (day_idx, schedule) in self.days.iter().enumerate() {
+            let mut day = DayTrace::with_capacity(sim.n_links() + n_light, n_ticks);
+            // The photosensors draw from their own seed fork, so an
+            // RSSI-only consumer of a light-enabled scenario sees the
+            // exact bytes the pre-fusion simulator produced.
+            let mut light = self.config.light.as_ref().map(|p| {
+                LightSim::new(
+                    self.layout.workstations().to_vec(),
+                    p.clone(),
+                    light_root.fork(3000 + day_idx as u64),
+                )
+            });
             for tick in 0..n_ticks {
                 let t = tick as f64 / self.config.tick_hz;
                 bodies.clear();
                 bodies.extend(schedule.timelines.iter().filter_map(|tl| tl.body_at(t)));
-                day.push_row(sim.step(&bodies));
+                match &mut light {
+                    None => day.push_row(sim.step(&bodies)),
+                    Some(lsim) => {
+                        row.clear();
+                        row.extend_from_slice(sim.step(&bodies));
+                        lsim.step_into(&bodies, t, &mut row);
+                        day.push_row(&row);
+                    }
+                }
             }
             day_traces.push(day);
         }
         let link_ids = sim.link_ids().to_vec();
         let link_segments = (0..sim.n_links()).map(|i| sim.link_segment(i)).collect();
-        Ok(Trace::new(self.config.tick_hz, day_traces, link_ids, link_segments))
+        let light_sensors = (0..n_light as u16).collect();
+        Ok(Trace::with_light(
+            self.config.tick_hz,
+            day_traces,
+            link_ids,
+            link_segments,
+            light_sensors,
+        ))
     }
 }
 
@@ -311,6 +352,50 @@ mod tests {
         assert!(counts[4] > 0, "w4 must produce events too");
         let trace = s.simulate().unwrap();
         assert_eq!(trace.n_streams(), 6 * 5);
+    }
+
+    #[test]
+    fn light_columns_append_without_perturbing_rssi() {
+        let base = small_scenario(11).simulate().unwrap();
+        let config = ScenarioConfig {
+            seed: 11,
+            light: Some(LightSimParams::default()),
+            ..ScenarioConfig::small()
+        };
+        let fused = Scenario::generate(config).unwrap().simulate().unwrap();
+        assert_eq!(fused.n_rssi_streams(), 72);
+        assert_eq!(fused.n_streams(), 72 + 3);
+        assert_eq!(fused.light_sensors(), &[0, 1, 2]);
+        // The RSSI prefix of every row is bit-identical to the
+        // light-free simulation — enabling the modality must not
+        // perturb the paper's recording.
+        for tick in [0usize, 5000, 20000] {
+            assert_eq!(&fused.days()[0].row(tick)[..72], base.days()[0].row(tick));
+        }
+        // Light samples look like desk illuminance, and an occupied
+        // desk sits well below the unoccluded baseline somewhere.
+        let lux = fused.days()[0].sample(5000, 72);
+        assert!((0.0..=600.0).contains(&lux), "lux = {lux}");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for tick in 0..fused.days()[0].n_ticks() {
+            let v = fused.days()[0].sample(tick, 72);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!(max - min > 100.0, "no occupancy dip: min {min} max {max}");
+    }
+
+    #[test]
+    fn bad_light_params_rejected() {
+        let config = ScenarioConfig {
+            light: Some(LightSimParams { mount_factors: vec![1.0], ..Default::default() }),
+            ..ScenarioConfig::small()
+        };
+        match Scenario::generate(config) {
+            Err(ScenarioError::Light(msg)) => assert!(msg.contains("mount_factors")),
+            other => panic!("expected light validation error, got {other:?}"),
+        }
     }
 
     #[test]

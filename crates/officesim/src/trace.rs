@@ -9,6 +9,17 @@
 use fadewich_geometry::Segment;
 use fadewich_rfchannel::LinkId;
 
+/// What a recorded stream measures. The simulator's native tag — the
+/// pipeline crates carry their own canonical `ChannelKind` (this crate
+/// sits below them in the dependency graph) and convert from this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// RSSI of one RF link (dBm) — every pre-fusion trace.
+    Rssi,
+    /// Desk illuminance of one workstation photosensor (lux).
+    AmbientLight,
+}
+
 /// One day of recorded streams, row-major: `data[tick * n_streams + s]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DayTrace {
@@ -80,16 +91,21 @@ impl DayTrace {
 }
 
 /// A complete multi-day recording plus the static link metadata.
+///
+/// Streams are ordered RSSI links first (one column per link, exactly
+/// as before the fusion work), then any ambient-light columns — one
+/// per monitored workstation, identified by `light_sensors`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     tick_hz: f64,
     days: Vec<DayTrace>,
     link_ids: Vec<LinkId>,
     link_segments: Vec<Segment>,
+    light_sensors: Vec<u16>,
 }
 
 impl Trace {
-    /// Assembles a trace.
+    /// Assembles an RSSI-only trace (the pre-fusion shape).
     ///
     /// # Panics
     ///
@@ -100,12 +116,32 @@ impl Trace {
         link_ids: Vec<LinkId>,
         link_segments: Vec<Segment>,
     ) -> Trace {
+        Trace::with_light(tick_hz, days, link_ids, link_segments, Vec::new())
+    }
+
+    /// Assembles a trace whose day matrices carry `light_sensors`
+    /// ambient-light columns after the RSSI link columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if metadata lengths disagree with the day matrices.
+    pub fn with_light(
+        tick_hz: f64,
+        days: Vec<DayTrace>,
+        link_ids: Vec<LinkId>,
+        link_segments: Vec<Segment>,
+        light_sensors: Vec<u16>,
+    ) -> Trace {
         assert_eq!(link_ids.len(), link_segments.len(), "link metadata mismatch");
         for d in &days {
-            assert_eq!(d.n_streams(), link_ids.len(), "stream count mismatch");
+            assert_eq!(
+                d.n_streams(),
+                link_ids.len() + light_sensors.len(),
+                "stream count mismatch"
+            );
         }
         assert!(tick_hz > 0.0, "tick rate must be positive");
-        Trace { tick_hz, days, link_ids, link_segments }
+        Trace { tick_hz, days, link_ids, link_segments, light_sensors }
     }
 
     /// Sampling rate in Hz.
@@ -128,9 +164,34 @@ impl Trace {
         &self.days
     }
 
-    /// Total number of streams.
+    /// Total number of streams (RSSI links plus light columns).
     pub fn n_streams(&self) -> usize {
+        self.link_ids.len() + self.light_sensors.len()
+    }
+
+    /// Number of RSSI link streams (columns `0..n_rssi_streams()`).
+    pub fn n_rssi_streams(&self) -> usize {
         self.link_ids.len()
+    }
+
+    /// Workstation ids of the ambient-light columns, in column order
+    /// (column `n_rssi_streams() + i` belongs to `light_sensors()[i]`).
+    pub fn light_sensors(&self) -> &[u16] {
+        &self.light_sensors
+    }
+
+    /// What stream `i` measures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn stream_kind(&self, i: usize) -> StreamKind {
+        assert!(i < self.n_streams(), "stream out of range");
+        if i < self.link_ids.len() {
+            StreamKind::Rssi
+        } else {
+            StreamKind::AmbientLight
+        }
     }
 
     /// Stream identities (tx/rx sensor indices).
@@ -194,8 +255,68 @@ impl Trace {
             for (sensor, positions) in &groups {
                 out.push(SensorReport {
                     sensor: *sensor,
+                    kind: StreamKind::Rssi,
                     tick: tick as u64,
                     values: positions.iter().map(|&p| row[streams[p]]).collect(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Typed sensor layout for a fused deployment: the RSSI receiver
+    /// groups of `streams` (positions `0..streams.len()`, exactly as
+    /// [`Trace::receiver_groups`]) followed by one single-stream group
+    /// per ambient-light sensor at positions `streams.len()..`. This
+    /// is the frame layout contract for
+    /// [`Trace::sensor_reports_fused`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream index is out of range.
+    pub fn fused_groups(&self, streams: &[usize]) -> Vec<(u16, StreamKind, Vec<usize>)> {
+        let mut out: Vec<(u16, StreamKind, Vec<usize>)> = self
+            .receiver_groups(streams)
+            .into_iter()
+            .map(|(sensor, positions)| (sensor, StreamKind::Rssi, positions))
+            .collect();
+        for (i, &ws) in self.light_sensors.iter().enumerate() {
+            out.push((ws, StreamKind::AmbientLight, vec![streams.len() + i]));
+        }
+        out
+    }
+
+    /// Flattens one recorded day into per-sensor reports including the
+    /// ambient-light sensors: tick-major, RF receivers ascending, then
+    /// light sensors ascending — the send order of a fused deployment.
+    /// RSSI values follow [`Trace::receiver_groups`] order; each light
+    /// report carries its desk's single lux sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day` or a stream index is out of range.
+    pub fn sensor_reports_fused(&self, day: usize, streams: &[usize]) -> Vec<SensorReport> {
+        let groups = self.receiver_groups(streams);
+        let n_rssi = self.link_ids.len();
+        let day = &self.days[day];
+        let per_tick = groups.len() + self.light_sensors.len();
+        let mut out = Vec::with_capacity(day.n_ticks() * per_tick);
+        for tick in 0..day.n_ticks() {
+            let row = day.row(tick);
+            for (sensor, positions) in &groups {
+                out.push(SensorReport {
+                    sensor: *sensor,
+                    kind: StreamKind::Rssi,
+                    tick: tick as u64,
+                    values: positions.iter().map(|&p| row[streams[p]]).collect(),
+                });
+            }
+            for (i, &ws) in self.light_sensors.iter().enumerate() {
+                out.push(SensorReport {
+                    sensor: ws,
+                    kind: StreamKind::AmbientLight,
+                    tick: tick as u64,
+                    values: vec![row[n_rssi + i]],
                 });
             }
         }
@@ -207,8 +328,12 @@ impl Trace {
 /// framed onto the wire (see `fadewich-runtime`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SensorReport {
-    /// The reporting (receiving) sensor.
+    /// The reporting sensor: the receiving RF sensor for RSSI, the
+    /// workstation id for ambient light (ids are namespaced per
+    /// [`StreamKind`], so overlap across kinds is fine).
     pub sensor: u16,
+    /// What the samples measure.
+    pub kind: StreamKind,
     /// Tick the samples belong to (day-local).
     pub tick: u64,
     /// Samples for the sensor's received streams, in
@@ -280,6 +405,62 @@ mod tests {
         assert_eq!(reports[1].values, vec![-50.0f32]); // stream 0 (rx 1)
         assert_eq!(reports[5].tick, 2);
         assert_eq!(reports[5].values, vec![-52.0f32]);
+    }
+
+    fn tiny_light_trace() -> Trace {
+        let ids = vec![LinkId { tx: 0, rx: 1 }, LinkId { tx: 1, rx: 0 }];
+        let segs = vec![
+            Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            Segment::new(Point::new(1.0, 0.0), Point::new(0.0, 0.0)),
+        ];
+        // Two RSSI columns + two light columns (workstations 0 and 1).
+        let mut day = DayTrace::with_capacity(4, 2);
+        day.push_row(&[-50.0, -55.0, 400.0, 300.0]);
+        day.push_row(&[-51.0, -54.0, 401.0, 299.0]);
+        Trace::with_light(5.0, vec![day], ids, segs, vec![0, 1])
+    }
+
+    #[test]
+    fn light_columns_follow_rssi_columns() {
+        let t = tiny_light_trace();
+        assert_eq!(t.n_streams(), 4);
+        assert_eq!(t.n_rssi_streams(), 2);
+        assert_eq!(t.light_sensors(), &[0, 1]);
+        assert_eq!(t.stream_kind(1), StreamKind::Rssi);
+        assert_eq!(t.stream_kind(2), StreamKind::AmbientLight);
+    }
+
+    #[test]
+    fn fused_groups_append_light_after_rssi_positions() {
+        let t = tiny_light_trace();
+        let groups = t.fused_groups(&[0, 1]);
+        assert_eq!(
+            groups,
+            vec![
+                (0u16, StreamKind::Rssi, vec![1]),
+                (1u16, StreamKind::Rssi, vec![0]),
+                (0u16, StreamKind::AmbientLight, vec![2]),
+                (1u16, StreamKind::AmbientLight, vec![3]),
+            ]
+        );
+    }
+
+    #[test]
+    fn fused_reports_interleave_light_per_tick() {
+        let t = tiny_light_trace();
+        let reports = t.sensor_reports_fused(0, &[0, 1]);
+        assert_eq!(reports.len(), 2 * 4);
+        // Tick 0: RF sensors 0, 1, then light sensors 0, 1.
+        assert_eq!(reports[0].kind, StreamKind::Rssi);
+        assert_eq!(reports[2].kind, StreamKind::AmbientLight);
+        assert_eq!(reports[2].sensor, 0);
+        assert_eq!(reports[2].values, vec![400.0f32]);
+        assert_eq!(reports[3].values, vec![300.0f32]);
+        assert_eq!(reports[7].tick, 1);
+        assert_eq!(reports[7].values, vec![299.0f32]);
+        // The RSSI prefix matches the RSSI-only flattening exactly.
+        let rssi_only = t.sensor_reports(0, &[0, 1]);
+        assert_eq!(&reports[0..2], &rssi_only[0..2]);
     }
 
     #[test]

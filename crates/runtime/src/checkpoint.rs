@@ -14,12 +14,12 @@
 //! single-bit-flipped image is rejected with a [`CheckpointError`]
 //! rather than a panic or a silently wrong resume.
 //!
-//! # Binary layout (version 2)
+//! # Binary layout (version 3)
 //!
 //! ```text
 //! offset  size      field
 //! 0       4         magic        "FWCP", byte-literal
-//! 4       2         version      u16 little-endian, currently 2
+//! 4       2         version      u16 little-endian, currently 3
 //! 6       8         stamp        u64 little-endian, monotonic tick stamp
 //! 14      4         body_len     u32 little-endian
 //! 18      body_len  body         see below
@@ -35,18 +35,22 @@
 //! value when present; any other flag is rejected as malformed.
 //!
 //! Body, in order: `day`, `stream_pos`, `log_mark`, `events_emitted`,
-//! the sensor `groups` layout, the gap-fill state (`last_value`,
-//! `last_seen`), the fourteen deterministic counters (version 2 split
-//! the corrupt-frame total into its three per-reason counters — CRC,
-//! framing, unknown sensor — which is why version-1 images no longer
-//! decode), the reorder state
+//! the sensor `groups` layout (version 3 tags each group with its
+//! validated [`ChannelKind`] byte — the typed-stream refactor is why
+//! version-2 images no longer decode), the gap-fill state
+//! (`last_value`, `last_seen`), the fourteen deterministic counters
+//! (version 2 split the corrupt-frame total into its three per-reason
+//! counters — CRC, framing, unknown sensor) followed by the version-3
+//! per-channel counter blocks (five `u64`s per [`ChannelKind`], in tag
+//! order), the reorder state
 //! (watermark, frontiers, sequence highs, quarantine flags, cumulative
 //! counts, pending payloads), the controller state (full MD runtime
 //! state, FSM tag, per-session flag bytes, feature histories,
-//! `rule1_done`, `prev_t`, `n_actions`), and the KMA clock
-//! fingerprint. Latency histograms are deliberately *not* persisted —
-//! they are wall-clock observations, the one non-deterministic part of
-//! a run.
+//! `rule1_done`, `prev_t`, `n_actions`, and — new in version 3 — the
+//! ambient-light detector bank plus the fused-mode corroboration clock
+//! `last_window_tick`), and the KMA clock fingerprint. Latency
+//! histograms are deliberately *not* persisted — they are wall-clock
+//! observations, the one non-deterministic part of a run.
 //!
 //! # Atomic writes, staleness, retention
 //!
@@ -64,7 +68,9 @@
 use std::path::{Path, PathBuf};
 
 use fadewich_core::controller::{ControllerState, SessionState, SystemState};
+use fadewich_core::fusion::LightDetectorState;
 use fadewich_core::md::{MdRuntimeState, MdSnapshot};
+use fadewich_core::stream::{ChannelKind, SensorGroup};
 use fadewich_core::windows::{VariationWindow, WindowTrackerState};
 use fadewich_stats::checksum::crc32;
 use fadewich_stats::rolling::{HistoryState, RollingStdState};
@@ -77,7 +83,7 @@ use crate::reorder::ReorderState;
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FWCP";
 
 /// The format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u16 = 2;
+pub const CHECKPOINT_VERSION: u16 = 3;
 
 /// Bytes before the body: magic + version + stamp + body length.
 pub const HEADER_LEN: usize = 18;
@@ -105,8 +111,9 @@ pub struct EngineSnapshot {
     /// Engine events emitted before the capture (for stitching the
     /// pre-crash event stream to the post-resume one).
     pub events_emitted: u64,
-    /// The `(sensor id, stream positions)` layout contract.
-    pub groups: Vec<(u16, Vec<usize>)>,
+    /// The typed sensor layout contract: per sensor, its channel kind
+    /// and the engine-row positions it fills.
+    pub groups: Vec<SensorGroup>,
     /// Per-stream last sample value (gap-fill source).
     pub last_value: Vec<f64>,
     /// Per-stream tick of the last genuine sample.
@@ -432,6 +439,14 @@ fn encode_controller(body: &mut Vec<u8>, c: &ControllerState) {
         push_u64(body, h.total);
     }
     body.push(u8::from(c.rule1_done));
+    push_len(body, c.lights.len(), "light detector");
+    for l in &c.lights {
+        push_f64(body, l.baseline);
+        body.push(u8::from(l.initialized) | (u8::from(l.armed) << 1));
+        push_u64(body, l.occupied_run);
+        push_u64(body, l.release_run);
+    }
+    push_opt_u64(body, c.last_window_tick);
     push_f64(body, c.prev_t);
     push_u64(body, c.n_actions);
 }
@@ -469,6 +484,26 @@ fn decode_controller(cur: &mut Cursor<'_>) -> Result<ControllerState, Checkpoint
         histories.push(HistoryState { capacity, samples, total });
     }
     let rule1_done = cur.flag("rule1_done")?;
+    let n_lights = cur.u32("light detector count")? as usize;
+    let mut lights = Vec::with_capacity(n_lights.min(4096));
+    for i in 0..n_lights {
+        let what = format!("light detector {i}");
+        let baseline = cur.f64(&what)?;
+        let bits = cur.u8(&what)?;
+        if bits > 0b11 {
+            return Err(CheckpointError::Malformed(format!(
+                "light detector {i} flag byte {bits:#04x} has unknown bits"
+            )));
+        }
+        lights.push(LightDetectorState {
+            baseline,
+            initialized: bits & 1 != 0,
+            armed: bits & 2 != 0,
+            occupied_run: cur.u64(&what)?,
+            release_run: cur.u64(&what)?,
+        });
+    }
+    let last_window_tick = cur.opt_u64("last window tick")?;
     let prev_t = cur.f64("prev_t")?;
     let n_actions = cur.u64("action count")?;
     Ok(ControllerState {
@@ -477,6 +512,8 @@ fn decode_controller(cur: &mut Cursor<'_>) -> Result<ControllerState, Checkpoint
         sessions,
         histories,
         rule1_done,
+        lights,
+        last_window_tick,
         prev_t,
         n_actions,
     })
@@ -572,7 +609,7 @@ fn decode_reorder(cur: &mut Cursor<'_>) -> Result<ReorderState, CheckpointError>
 }
 
 impl EngineSnapshot {
-    /// Serializes the snapshot into the version-2 binary image,
+    /// Serializes the snapshot into the version-3 binary image,
     /// stamped with the run's monotonic tick stamp.
     pub fn encode(&self, stamp: u64) -> Vec<u8> {
         let mut body = Vec::new();
@@ -582,10 +619,11 @@ impl EngineSnapshot {
         push_u64(&mut body, self.events_emitted);
 
         push_len(&mut body, self.groups.len(), "sensor group");
-        for (sensor, positions) in &self.groups {
-            push_u32(&mut body, u32::from(*sensor));
-            push_len(&mut body, positions.len(), "group position");
-            for &p in positions {
+        for g in &self.groups {
+            push_u32(&mut body, u32::from(g.sensor));
+            body.push(g.kind.tag());
+            push_len(&mut body, g.positions.len(), "group position");
+            for &p in &g.positions {
                 push_u64(&mut body, p as u64);
             }
         }
@@ -613,6 +651,14 @@ impl EngineSnapshot {
             c.watermark_lag_max,
         ] {
             push_u64(&mut body, v);
+        }
+        for &kind in &ChannelKind::ALL {
+            let ch = c.channel(kind);
+            for v in
+                [ch.frames_in, ch.gap_fills, ch.masked_stream_ticks, ch.quarantines, ch.recoveries]
+            {
+                push_u64(&mut body, v);
+            }
         }
 
         encode_reorder(&mut body, &self.reorder);
@@ -702,12 +748,16 @@ impl EngineSnapshot {
             let sensor = u16::try_from(sensor).map_err(|_| {
                 CheckpointError::Malformed(format!("sensor id {sensor} overflows u16"))
             })?;
+            let tag = cur.u8(&what)?;
+            let kind = ChannelKind::from_tag(tag).ok_or_else(|| {
+                CheckpointError::Malformed(format!("sensor group {i} channel tag {tag} is unknown"))
+            })?;
             let n_pos = cur.u32(&what)? as usize;
             let mut positions = Vec::with_capacity(n_pos.min(4096));
             for _ in 0..n_pos {
                 positions.push(cur.usize(&what)?);
             }
-            groups.push((sensor, positions));
+            groups.push(SensorGroup { sensor, kind, positions });
         }
         let n_values = cur.u32("last value count")? as usize;
         let last_value = cur.f64_vec(n_values, "last values")?;
@@ -735,6 +785,18 @@ impl EngineSnapshot {
             &mut counters.watermark_lag_max,
         ] {
             *slot = cur.u64("counter")?;
+        }
+        for &kind in &ChannelKind::ALL {
+            let ch = counters.channel_mut(kind);
+            for slot in [
+                &mut ch.frames_in,
+                &mut ch.gap_fills,
+                &mut ch.masked_stream_ticks,
+                &mut ch.quarantines,
+                &mut ch.recoveries,
+            ] {
+                *slot = cur.u64("channel counter")?;
+            }
         }
 
         let reorder = decode_reorder(&mut cur)?;
@@ -1015,27 +1077,42 @@ mod tests {
 
     /// A small but fully populated snapshot exercising every branch of
     /// the codec: Some/None options, open window, quarantined sender,
-    /// pending payloads with holes.
+    /// pending payloads with holes, and a mixed-channel layout with a
+    /// live light-detector bank.
     fn sample_snapshot() -> EngineSnapshot {
+        use crate::counters::ChannelCounters;
+        let mut counters = RuntimeCounters {
+            frames_in: 84,
+            bytes_in: 2000,
+            frames_duplicate: 1,
+            ticks_processed: 42,
+            gap_fills: 3,
+            masked_stream_ticks: 2,
+            quarantines: 1,
+            watermark_lag_max: 4,
+            ..Default::default()
+        };
+        *counters.channel_mut(ChannelKind::Rssi) = ChannelCounters {
+            frames_in: 84,
+            gap_fills: 3,
+            masked_stream_ticks: 2,
+            quarantines: 1,
+            recoveries: 0,
+        };
+        *counters.channel_mut(ChannelKind::AmbientLight) =
+            ChannelCounters { frames_in: 42, gap_fills: 1, ..Default::default() };
         EngineSnapshot {
             day: 1,
             stream_pos: 42,
             log_mark: 1234,
             events_emitted: 7,
-            groups: vec![(0, vec![0, 1]), (3, vec![2])],
-            last_value: vec![-50.0, -49.5, -51.25],
+            groups: vec![
+                SensorGroup::rssi(0, vec![0, 1]),
+                SensorGroup { sensor: 0, kind: ChannelKind::AmbientLight, positions: vec![2] },
+            ],
+            last_value: vec![-50.0, -49.5, 410.25],
             last_seen: vec![Some(41), None, Some(40)],
-            counters: RuntimeCounters {
-                frames_in: 84,
-                bytes_in: 2000,
-                frames_duplicate: 1,
-                ticks_processed: 42,
-                gap_fills: 3,
-                masked_stream_ticks: 2,
-                quarantines: 1,
-                watermark_lag_max: 4,
-                ..Default::default()
-            },
+            counters,
             reorder: ReorderState {
                 next_emit: 42,
                 frontier: vec![Some(43), Some(41)],
@@ -1052,7 +1129,7 @@ mod tests {
             },
             controller: ControllerState {
                 md: MdRuntimeState {
-                    snapshot: MdSnapshot { values: vec![1.0, 2.0, 3.5], threshold: Some(4.0) },
+                    snapshot: MdSnapshot { values: vec![1.0, 2.0], threshold: Some(4.0) },
                     stream_stds: vec![
                         RollingStdState {
                             capacity: 4,
@@ -1063,7 +1140,7 @@ mod tests {
                             pushes: 6,
                             non_finite: 0,
                         };
-                        3
+                        2
                     ],
                     ticks_seen: 42,
                     queue: vec![3.0, 3.5],
@@ -1084,9 +1161,17 @@ mod tests {
                 ],
                 histories: vec![
                     HistoryState { capacity: 8, samples: vec![-50.0; 8], total: 42 };
-                    3
+                    2
                 ],
                 rule1_done: true,
+                lights: vec![LightDetectorState {
+                    baseline: 411.5,
+                    initialized: true,
+                    armed: true,
+                    occupied_run: 120,
+                    release_run: 2,
+                }],
+                last_window_tick: Some(38),
                 prev_t: 8.2,
                 n_actions: 5,
             },

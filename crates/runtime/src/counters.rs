@@ -14,6 +14,7 @@
 //! counter into the shared telemetry registry for `--metrics-out` and
 //! Prometheus exposition.
 
+use fadewich_core::stream::ChannelKind;
 use fadewich_telemetry::Telemetry;
 
 /// Log₂-bucketed latency histogram (bucket `i` holds samples in
@@ -104,6 +105,44 @@ impl LatencyHisto {
     }
 }
 
+/// The stream-health counters that are worth slicing per channel kind
+/// once a deployment mixes RSSI links with other sensor modalities.
+/// Each field is a channel-local share of the matching
+/// [`RuntimeCounters`] total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelCounters {
+    /// Frames of this channel kind accepted into the reorder buffer.
+    pub frames_in: u64,
+    /// Missing samples of this kind patched by hold-last-value.
+    pub gap_fills: u64,
+    /// Stream-ticks of this kind masked out (stale or quarantined).
+    pub masked_stream_ticks: u64,
+    /// Senders of this kind quarantined for silence.
+    pub quarantines: u64,
+    /// Quarantined senders of this kind that came back.
+    pub recoveries: u64,
+}
+
+impl ChannelCounters {
+    /// True when nothing of this kind was ever observed — the
+    /// condition under which the summary omits the channel breakdown.
+    pub fn is_empty(&self) -> bool {
+        *self == ChannelCounters::default()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"frames_in\":{},\"gap_fills\":{},\"masked_stream_ticks\":{},\
+             \"quarantines\":{},\"recoveries\":{}}}",
+            self.frames_in,
+            self.gap_fills,
+            self.masked_stream_ticks,
+            self.quarantines,
+            self.recoveries
+        )
+    }
+}
+
 /// Everything a replay/live run counts. Fields are public so the
 /// engine (and tests) can add to them directly.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -138,6 +177,10 @@ pub struct RuntimeCounters {
     pub recoveries: u64,
     /// Largest observed distance between ingest frontier and emission.
     pub watermark_lag_max: u64,
+    /// Per-channel-kind slices of the stream-health counters, indexed
+    /// by [`ChannelKind::index`]. Pure-RSSI deployments leave every
+    /// non-RSSI slot empty, and the summary then omits the breakdown.
+    pub channels: [ChannelCounters; ChannelKind::COUNT],
     /// Wire-decode stage latency.
     pub decode: LatencyHisto,
     /// Per-tick pipeline (MD → RE → Controller) latency.
@@ -145,6 +188,25 @@ pub struct RuntimeCounters {
 }
 
 impl RuntimeCounters {
+    /// Mutable access to one channel's counter slice.
+    pub fn channel_mut(&mut self, kind: ChannelKind) -> &mut ChannelCounters {
+        &mut self.channels[kind.index()]
+    }
+
+    /// One channel's counter slice.
+    pub fn channel(&self, kind: ChannelKind) -> &ChannelCounters {
+        &self.channels[kind.index()]
+    }
+
+    /// True when any non-RSSI channel has counted anything — the
+    /// summary only prints the per-channel breakdown for deployments
+    /// that actually mix modalities, keeping pure-RSSI stdout
+    /// byte-identical to pre-fusion builds.
+    pub fn has_mixed_channels(&self) -> bool {
+        ChannelKind::ALL
+            .iter()
+            .any(|&k| k != ChannelKind::Rssi && !self.channel(k).is_empty())
+    }
     /// Total rejected frames across every cause — the headline number
     /// the summary and checkpoint layers have always reported, now
     /// derived from the per-reason counters.
@@ -180,6 +242,21 @@ impl RuntimeCounters {
             "sensors     quarantines {}  recoveries {}  watermark lag max {} ticks",
             self.quarantines, self.recoveries, self.watermark_lag_max
         ));
+        if self.has_mixed_channels() {
+            for kind in ChannelKind::ALL {
+                let c = self.channel(kind);
+                s.push_str(&format!(
+                    "\nchannel     {:<5}  frames {}  gap-fills {}  masked {}  \
+                     quarantines {}  recoveries {}",
+                    kind.label(),
+                    c.frames_in,
+                    c.gap_fills,
+                    c.masked_stream_ticks,
+                    c.quarantines,
+                    c.recoveries
+                ));
+            }
+        }
         s
     }
 
@@ -205,7 +282,7 @@ impl RuntimeCounters {
              \"corrupt_framing\":{},\"corrupt_unknown_sensor\":{},\"frames_duplicate\":{},\
              \"frames_late\":{},\"frames_reordered\":{},\"ticks_processed\":{},\"gap_fills\":{},\
              \"masked_stream_ticks\":{},\"quarantines\":{},\"recoveries\":{},\
-             \"watermark_lag_max\":{},\"decode\":{},\"step\":{}}}",
+             \"watermark_lag_max\":{},\"channels\":{{{}}},\"decode\":{},\"step\":{}}}",
             self.frames_in,
             self.bytes_in,
             self.frames_corrupt(),
@@ -221,6 +298,11 @@ impl RuntimeCounters {
             self.quarantines,
             self.recoveries,
             self.watermark_lag_max,
+            ChannelKind::ALL
+                .iter()
+                .map(|&k| format!("\"{}\":{}", k.label(), self.channel(k).json()))
+                .collect::<Vec<_>>()
+                .join(","),
             self.decode.json(),
             self.step.json()
         )
@@ -250,6 +332,22 @@ impl RuntimeCounters {
             ("runtime_recoveries", self.recoveries),
         ] {
             telemetry.counter_add(name, v);
+        }
+        for kind in ChannelKind::ALL {
+            let c = self.channel(kind);
+            if c.is_empty() {
+                continue;
+            }
+            let label = kind.label();
+            for (metric, v) in [
+                ("frames_in", c.frames_in),
+                ("gap_fills", c.gap_fills),
+                ("masked_stream_ticks", c.masked_stream_ticks),
+                ("quarantines", c.quarantines),
+                ("recoveries", c.recoveries),
+            ] {
+                telemetry.counter_add(&format!("runtime_channel_{label}_{metric}"), v);
+            }
         }
         let prev = telemetry
             .with_registry(|r| r.counter("runtime_watermark_lag_max"))
@@ -347,6 +445,43 @@ mod tests {
         assert!(j.contains("\"corrupt_crc\":3"));
         assert!(j.contains("\"corrupt_framing\":2"));
         assert!(j.contains("\"corrupt_unknown_sensor\":1"));
+    }
+
+    #[test]
+    fn channel_breakdown_only_prints_for_mixed_deployments() {
+        // Pure-RSSI runs (even busy ones) keep the exact 3-line
+        // summary — the serve/replay stdout-parity gate depends on it.
+        let mut c = RuntimeCounters::default();
+        c.frames_in = 100;
+        c.channel_mut(ChannelKind::Rssi).frames_in = 100;
+        assert!(!c.has_mixed_channels());
+        assert_eq!(c.deterministic_summary().lines().count(), 3);
+        assert!(!c.deterministic_summary().contains("channel"));
+        // One light frame flips the breakdown on, for every kind.
+        c.channel_mut(ChannelKind::AmbientLight).frames_in = 1;
+        assert!(c.has_mixed_channels());
+        let s = c.deterministic_summary();
+        assert_eq!(s.lines().count(), 3 + ChannelKind::COUNT);
+        assert!(s.contains("channel     rssi   frames 100"), "{s}");
+        assert!(s.contains("channel     light  frames 1"), "{s}");
+    }
+
+    #[test]
+    fn channel_counters_appear_in_json_and_registry() {
+        let mut c = RuntimeCounters::default();
+        c.channel_mut(ChannelKind::Rssi).gap_fills = 4;
+        c.channel_mut(ChannelKind::AmbientLight).quarantines = 2;
+        let j = c.to_json();
+        assert!(j.contains("\"channels\":{\"rssi\":{"), "{j}");
+        assert!(j.contains("\"light\":{"), "{j}");
+        assert!(j.contains("\"quarantines\":2"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let t = Telemetry::metrics_only();
+        c.export_into(&t);
+        t.with_registry(|r| {
+            assert_eq!(r.counter("runtime_channel_rssi_gap_fills"), 4);
+            assert_eq!(r.counter("runtime_channel_light_quarantines"), 2);
+        });
     }
 
     #[test]

@@ -19,13 +19,25 @@
 //! bit-for-bit and every tick closes unmasked, so decisions match the
 //! batch pipeline exactly — the parity test in `tests/parity.rs` holds
 //! the two byte-identical.
+//!
+//! The stream set is **channel-typed**: every sensor group carries a
+//! [`ChannelKind`], RSSI streams occupy the row prefix handed to
+//! MD/RE, and ambient-light streams occupy the suffix routed to the
+//! controller's light-detector bank each tick. The historical untyped
+//! constructors ([`StreamingEngine::new`] /
+//! [`StreamingEngine::restore`]) lift to the all-RSSI special case,
+//! which stays byte-identical to the pre-refactor engine; gap-fill
+//! staleness and sender quarantine deadlines are per channel kind
+//! (see [`EngineConfig::staleness_cap_ticks_for`]).
 
 use std::sync::Arc;
 
 use fadewich_core::config::FadewichParams;
 use fadewich_core::controller::{Action, Controller};
+use fadewich_core::fusion::FusionConfig;
 use fadewich_core::kma::Kma;
 use fadewich_core::re::RadioEnvironment;
+use fadewich_core::stream::{rssi_groups, ChannelKind, SensorGroup, StreamSchema};
 use fadewich_telemetry::{Clock, Telemetry, Value, WallClock};
 
 use crate::checkpoint::EngineSnapshot;
@@ -52,6 +64,15 @@ pub struct EngineConfig {
     /// How often `fadewichd serve` persists a crash-recovery
     /// checkpoint, in processed ticks.
     pub checkpoint_every_ticks: u64,
+    /// Ambient-light override of [`EngineConfig::staleness_cap_ticks`]
+    /// — light levels drift slowly, so a stale lux reading stays
+    /// usable longer than a stale RSSI sample. `None` inherits the
+    /// global cap.
+    pub light_staleness_cap_ticks: Option<u64>,
+    /// Ambient-light override of
+    /// [`EngineConfig::quarantine_after_ticks`]. `None` inherits the
+    /// global deadline.
+    pub light_quarantine_after_ticks: Option<u64>,
 }
 
 impl EngineConfig {
@@ -66,6 +87,30 @@ impl EngineConfig {
             quarantine_after_ticks: (5.0 * tick_hz).round() as u64,
             staleness_cap_ticks: (2.0 * tick_hz).round() as u64,
             checkpoint_every_ticks: (60.0 * tick_hz) as u64,
+            light_staleness_cap_ticks: None,
+            light_quarantine_after_ticks: None,
+        }
+    }
+
+    /// The gap-fill cap for one channel kind: the per-kind override
+    /// when set, the global knob otherwise.
+    pub fn staleness_cap_ticks_for(&self, kind: ChannelKind) -> u64 {
+        match kind {
+            ChannelKind::Rssi => self.staleness_cap_ticks,
+            ChannelKind::AmbientLight => {
+                self.light_staleness_cap_ticks.unwrap_or(self.staleness_cap_ticks)
+            }
+        }
+    }
+
+    /// The quarantine deadline for one channel kind: the per-kind
+    /// override when set, the global knob otherwise.
+    pub fn quarantine_after_ticks_for(&self, kind: ChannelKind) -> u64 {
+        match kind {
+            ChannelKind::Rssi => self.quarantine_after_ticks,
+            ChannelKind::AmbientLight => {
+                self.light_quarantine_after_ticks.unwrap_or(self.quarantine_after_ticks)
+            }
         }
     }
 
@@ -102,6 +147,18 @@ impl EngineConfig {
         if self.checkpoint_every_ticks == 0 {
             return Err("checkpoint_every_ticks must be at least 1".to_string());
         }
+        if self.light_staleness_cap_ticks == Some(0) {
+            return Err("light_staleness_cap_ticks must be at least 1".to_string());
+        }
+        if let Some(q) = self.light_quarantine_after_ticks {
+            if q <= self.jitter_ticks {
+                return Err(format!(
+                    "light_quarantine_after_ticks {q} must exceed jitter_ticks {} (healthy \
+                     senders may legitimately lag by the jitter bound)",
+                    self.jitter_ticks
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -132,12 +189,14 @@ pub enum EngineEvent {
     },
 }
 
-/// Validates the `(sensor, positions)` layout and returns the stream
-/// count it spans.
-fn check_layout(groups: &[(u16, Vec<usize>)]) -> Result<usize, String> {
-    let n_streams: usize = groups.iter().map(|(_, p)| p.len()).sum();
+/// Validates a typed sensor layout and returns the stream schema it
+/// spans: positions must partition `0..n`, `(kind, sensor)` ids must
+/// be unique, and the RSSI streams must occupy the row prefix so the
+/// engine can hand `row[..n_rssi]` to MD/RE untouched.
+fn check_layout(groups: &[SensorGroup]) -> Result<StreamSchema, String> {
+    let n_streams: usize = groups.iter().map(|g| g.positions.len()).sum();
     let mut seen = vec![false; n_streams];
-    for &p in groups.iter().flat_map(|(_, ps)| ps) {
+    for &p in groups.iter().flat_map(|g| &g.positions) {
         if p >= n_streams || seen[p] {
             return Err("receiver groups must partition the stream set".to_string());
         }
@@ -146,7 +205,18 @@ fn check_layout(groups: &[(u16, Vec<usize>)]) -> Result<usize, String> {
     if n_streams == 0 {
         return Err("engine needs at least one stream".to_string());
     }
-    Ok(n_streams)
+    for (i, g) in groups.iter().enumerate() {
+        if groups[..i].iter().any(|h| h.sensor == g.sensor && h.kind == g.kind) {
+            return Err(format!("duplicate {} sensor id {}", g.kind, g.sensor));
+        }
+    }
+    let schema = StreamSchema::from_groups(groups);
+    if !schema.rssi_is_prefix() {
+        return Err(
+            "RSSI streams must occupy the row prefix (other kinds the suffix)".to_string()
+        );
+    }
+    Ok(schema)
 }
 
 /// The station-side streaming engine. See the module docs.
@@ -155,10 +225,16 @@ pub struct StreamingEngine<'a> {
     cfg: EngineConfig,
     controller: Controller<'a>,
     reorder: ReorderBuffer,
-    /// `(sensor id, positions into the monitored stream set)` — the
-    /// frame layout contract from `Trace::receiver_groups`.
-    groups: Vec<(u16, Vec<usize>)>,
+    /// The typed sensor layout — which streams each sensor fills and
+    /// what channel they carry (`Trace::receiver_groups` lifts to the
+    /// all-RSSI case, `Trace::fused_groups` builds mixed ones).
+    groups: Vec<SensorGroup>,
     n_streams: usize,
+    /// Width of the RSSI row prefix handed to MD/RE; positions
+    /// `n_rssi..n_streams` are ambient-light streams routed to
+    /// [`Controller::observe_light`]. Equal to `n_streams` for the
+    /// all-RSSI layouts every pre-refactor deployment had.
+    n_rssi: usize,
     last_value: Vec<f64>,
     last_seen: Vec<Option<u64>>,
     row: Vec<f64>,
@@ -189,9 +265,14 @@ pub struct StreamingEngine<'a> {
 const MAX_BATCH_TICKS: usize = 1024;
 
 impl<'a> StreamingEngine<'a> {
-    /// Builds an engine for a deployment described by `groups` (the
-    /// per-sensor stream layout, e.g. from `Trace::receiver_groups`),
-    /// a trained RE classifier and the day's KMA source.
+    /// Builds an engine for an all-RSSI deployment described by the
+    /// legacy `(sensor, positions)` layout (e.g. from
+    /// `Trace::receiver_groups`), a trained RE classifier and the
+    /// day's KMA source. Exactly
+    /// [`StreamingEngine::with_layout`] over the lifted layout and an
+    /// RSSI-only fusion configuration — the pre-refactor behavior is
+    /// the all-RSSI special case of the typed path, and the parity
+    /// suite holds it byte-identical.
     ///
     /// # Errors
     ///
@@ -203,19 +284,46 @@ impl<'a> StreamingEngine<'a> {
         re: &'a RadioEnvironment,
         kma: Kma<'a>,
     ) -> Result<StreamingEngine<'a>, String> {
+        StreamingEngine::with_layout(cfg, rssi_groups(groups), FusionConfig::rssi_only(), re, kma)
+    }
+
+    /// Builds an engine over a typed sensor layout: the RSSI prefix
+    /// feeds MD/RE as always, ambient-light streams feed the
+    /// controller's light-detector bank, and `fusion.mode` arbitrates
+    /// who may deauthenticate.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty/inconsistent layout, a layout whose RSSI
+    /// streams are not the row prefix, a light-stream count
+    /// disagreeing with `fusion.light_workstations`, and propagates
+    /// config/controller construction errors.
+    pub fn with_layout(
+        cfg: EngineConfig,
+        groups: Vec<SensorGroup>,
+        fusion: FusionConfig,
+        re: &'a RadioEnvironment,
+        kma: Kma<'a>,
+    ) -> Result<StreamingEngine<'a>, String> {
         cfg.validate()?;
-        let n_streams = check_layout(&groups)?;
-        let controller = Controller::new(n_streams, cfg.tick_hz, cfg.params, re, kma)?;
-        let reorder = ReorderBuffer::new(ReorderConfig {
-            n_senders: groups.len(),
-            jitter_ticks: cfg.jitter_ticks,
-            quarantine_after_ticks: cfg.quarantine_after_ticks,
-        });
+        let schema = check_layout(&groups)?;
+        let n_streams = schema.n_streams();
+        let n_rssi = schema.count(ChannelKind::Rssi);
+        let n_light = schema.count(ChannelKind::AmbientLight);
+        if n_light != fusion.light_workstations.len() {
+            return Err(format!(
+                "layout has {n_light} light streams but the fusion config maps {}",
+                fusion.light_workstations.len()
+            ));
+        }
+        let controller = Controller::with_fusion(n_rssi, cfg.tick_hz, cfg.params, re, kma, fusion)?;
+        let reorder = Self::build_reorder(&cfg, &groups);
         Ok(StreamingEngine {
             cfg,
             controller,
             reorder,
             n_streams,
+            n_rssi,
             last_value: vec![0.0; n_streams],
             last_seen: vec![None; n_streams],
             row: vec![0.0; n_streams],
@@ -231,9 +339,31 @@ impl<'a> StreamingEngine<'a> {
         })
     }
 
-    /// Number of monitored streams.
+    /// A reorder buffer for this layout, with the per-kind quarantine
+    /// overrides applied per sender. Thresholds are config, not state:
+    /// restore rebuilds them through here too.
+    fn build_reorder(cfg: &EngineConfig, groups: &[SensorGroup]) -> ReorderBuffer {
+        let mut reorder = ReorderBuffer::new(ReorderConfig {
+            n_senders: groups.len(),
+            jitter_ticks: cfg.jitter_ticks,
+            quarantine_after_ticks: cfg.quarantine_after_ticks,
+        });
+        for (sender, g) in groups.iter().enumerate() {
+            reorder.set_sender_quarantine(sender, cfg.quarantine_after_ticks_for(g.kind));
+        }
+        reorder
+    }
+
+    /// Number of monitored streams (all channel kinds).
     pub fn n_streams(&self) -> usize {
         self.n_streams
+    }
+
+    /// Width of the RSSI row prefix MD/RE consume; the remaining
+    /// `n_streams() - n_rssi_streams()` positions are ambient-light
+    /// streams.
+    pub fn n_rssi_streams(&self) -> usize {
+        self.n_rssi
     }
 
     /// Attaches a telemetry handle. Spans and metrics flow through it
@@ -298,15 +428,22 @@ impl<'a> StreamingEngine<'a> {
     }
 
     fn ingest_frame_inner(&mut self, frame: Frame) {
-        let Some(sender) = self.groups.iter().position(|(s, _)| *s == frame.sensor) else {
+        // Sensor ids are namespaced per channel kind, so the lookup
+        // keys on the (kind, sensor) pair.
+        let Some(sender) = self
+            .groups
+            .iter()
+            .position(|g| g.sensor == frame.sensor && g.kind == frame.channel)
+        else {
             self.counters.corrupt_unknown_sensor += 1;
             return;
         };
-        if frame.values.len() != self.groups[sender].1.len() {
+        if frame.values.len() != self.groups[sender].positions.len() {
             self.counters.corrupt_unknown_sensor += 1;
             return;
         }
         self.counters.frames_in += 1;
+        self.counters.channel_mut(frame.channel).frames_in += 1;
         self.reorder.push(sender, frame.seq, frame.tick, frame.values);
         let bundles = self.reorder.poll();
         self.absorb_reorder_events();
@@ -345,27 +482,32 @@ impl<'a> StreamingEngine<'a> {
         self.counters.frames_late = late;
         self.counters.frames_reordered = reordered;
         for ev in self.reorder.take_events() {
+            // Telemetry events name the channel only for non-RSSI
+            // sensors, keeping all-RSSI traces byte-identical to the
+            // pre-refactor engine's.
             match ev {
                 SenderEvent::Quarantined { sender, at_tick } => {
                     self.counters.quarantines += 1;
-                    let sensor = self.groups[sender].0;
-                    self.telemetry.event(
-                        at_tick,
-                        "sensor_quarantined",
-                        None,
-                        &[("sensor", Value::U64(u64::from(sensor)))],
-                    );
+                    let kind = self.groups[sender].kind;
+                    self.counters.channel_mut(kind).quarantines += 1;
+                    let sensor = self.groups[sender].sensor;
+                    let mut attrs = vec![("sensor", Value::U64(u64::from(sensor)))];
+                    if kind != ChannelKind::Rssi {
+                        attrs.push(("channel", Value::Str(kind.label().to_string())));
+                    }
+                    self.telemetry.event(at_tick, "sensor_quarantined", None, &attrs);
                     self.events.push(EngineEvent::SensorQuarantined { sensor, tick: at_tick });
                 }
                 SenderEvent::Recovered { sender, at_tick } => {
                     self.counters.recoveries += 1;
-                    let sensor = self.groups[sender].0;
-                    self.telemetry.event(
-                        at_tick,
-                        "sensor_recovered",
-                        None,
-                        &[("sensor", Value::U64(u64::from(sensor)))],
-                    );
+                    let kind = self.groups[sender].kind;
+                    self.counters.channel_mut(kind).recoveries += 1;
+                    let sensor = self.groups[sender].sensor;
+                    let mut attrs = vec![("sensor", Value::U64(u64::from(sensor)))];
+                    if kind != ChannelKind::Rssi {
+                        attrs.push(("channel", Value::Str(kind.label().to_string())));
+                    }
+                    self.telemetry.event(at_tick, "sensor_recovered", None, &attrs);
                     self.events.push(EngineEvent::SensorRecovered { sensor, tick: at_tick });
                 }
             }
@@ -374,10 +516,10 @@ impl<'a> StreamingEngine<'a> {
 
     fn process_tick(&mut self, tick: u64, reports: &[Option<Vec<f32>>]) {
         let mut any_masked = false;
-        for (sender, (_, positions)) in self.groups.iter().enumerate() {
+        for (sender, g) in self.groups.iter().enumerate() {
             match &reports[sender] {
                 Some(values) => {
-                    for (&pos, &v) in positions.iter().zip(values) {
+                    for (&pos, &v) in g.positions.iter().zip(values) {
                         self.row[pos] = v as f64;
                         self.mask[pos] = false;
                         self.last_value[pos] = v as f64;
@@ -385,19 +527,22 @@ impl<'a> StreamingEngine<'a> {
                     }
                 }
                 None => {
-                    for &pos in positions {
+                    let cap = self.cfg.staleness_cap_ticks_for(g.kind);
+                    for &pos in &g.positions {
                         let age = self.last_seen[pos].map(|seen| tick.saturating_sub(seen));
                         match age {
-                            Some(age) if age <= self.cfg.staleness_cap_ticks => {
+                            Some(age) if age <= cap => {
                                 self.row[pos] = self.last_value[pos];
                                 self.mask[pos] = false;
                                 self.counters.gap_fills += 1;
+                                self.counters.channel_mut(g.kind).gap_fills += 1;
                             }
                             _ => {
                                 self.row[pos] = self.last_value[pos];
                                 self.mask[pos] = true;
                                 any_masked = true;
                                 self.counters.masked_stream_ticks += 1;
+                                self.counters.channel_mut(g.kind).masked_stream_ticks += 1;
                             }
                         }
                     }
@@ -406,6 +551,31 @@ impl<'a> StreamingEngine<'a> {
         }
         self.counters.watermark_lag_max =
             self.counters.watermark_lag_max.max(self.reorder.max_watermark_lag());
+        if self.n_rssi < self.n_streams {
+            // Typed path: the RSSI prefix steps MD/RE per tick (masked
+            // or not), then the light suffix feeds the detector bank.
+            // Batching is a pure-RSSI optimization; a fused layout
+            // takes the per-tick path so light observations interleave
+            // with RF steps in tick order.
+            let t0 = self.clock.now_ns();
+            let n_rf = self.controller.step_masked(
+                tick as usize,
+                &self.row[..self.n_rssi],
+                &self.mask[..self.n_rssi],
+            );
+            let n_light = self.controller.observe_light(
+                tick as usize,
+                &self.row[self.n_rssi..],
+                &self.mask[self.n_rssi..],
+            );
+            self.counters.step.record_ns(self.clock.now_ns().saturating_sub(t0));
+            self.counters.ticks_processed += 1;
+            let actions = self.controller.actions();
+            for action in &actions[actions.len() - (n_rf + n_light)..] {
+                self.events.push(EngineEvent::Decision { tick, action: *action });
+            }
+            return;
+        }
         if !any_masked {
             // Hot path: stage the tick for a batched controller advance
             // (MD sweeps the whole block, FSM replays per tick —
@@ -518,7 +688,9 @@ impl<'a> StreamingEngine<'a> {
 
     /// Rebuilds an engine from a checkpoint so that feeding it the
     /// remaining deliveries of the day reproduces an uninterrupted
-    /// run's decisions bit-for-bit.
+    /// run's decisions bit-for-bit. The all-RSSI counterpart of
+    /// [`StreamingEngine::restore_with_layout`], exactly as
+    /// [`StreamingEngine::new`] is of [`StreamingEngine::with_layout`].
     ///
     /// The restored event log starts **empty**: everything up to
     /// [`EngineSnapshot::events_emitted`] was already emitted before
@@ -538,17 +710,55 @@ impl<'a> StreamingEngine<'a> {
         kma: Kma<'a>,
         snap: &EngineSnapshot,
     ) -> Result<StreamingEngine<'a>, String> {
+        StreamingEngine::restore_with_layout(
+            cfg,
+            rssi_groups(groups),
+            FusionConfig::rssi_only(),
+            re,
+            kma,
+            snap,
+        )
+    }
+
+    /// [`StreamingEngine::restore`] over a typed layout and fusion
+    /// configuration: the light-detector bank resumes bit-exactly from
+    /// the snapshot alongside the RF state, so mixed-channel
+    /// deployments crash-recover with the same byte-identical
+    /// guarantee as all-RSSI ones.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`StreamingEngine::restore`] rejects, plus a
+    /// snapshot whose light-detector count disagrees with `fusion`.
+    pub fn restore_with_layout(
+        cfg: EngineConfig,
+        groups: Vec<SensorGroup>,
+        fusion: FusionConfig,
+        re: &'a RadioEnvironment,
+        kma: Kma<'a>,
+        snap: &EngineSnapshot,
+    ) -> Result<StreamingEngine<'a>, String> {
         cfg.validate()?;
-        let n_streams = check_layout(&groups)?;
+        let schema = check_layout(&groups)?;
+        let n_streams = schema.n_streams();
+        let n_rssi = schema.count(ChannelKind::Rssi);
+        let n_light = schema.count(ChannelKind::AmbientLight);
+        if n_light != fusion.light_workstations.len() {
+            return Err(format!(
+                "layout has {n_light} light streams but the fusion config maps {}",
+                fusion.light_workstations.len()
+            ));
+        }
         if snap.groups != groups {
             return Err("checkpoint sensor layout does not match this deployment".to_string());
         }
-        let controller = Controller::from_runtime_state(
-            n_streams,
+        let controller = Controller::from_runtime_state_fused(
+            n_rssi,
             cfg.tick_hz,
             cfg.params,
             re,
             kma,
+            fusion,
             &snap.controller,
         )?;
         // Compare the checkpointed KMA idle clocks against this
@@ -564,7 +774,7 @@ impl<'a> StreamingEngine<'a> {
                     .to_string(),
             );
         }
-        let reorder = ReorderBuffer::from_state(
+        let mut reorder = ReorderBuffer::from_state(
             ReorderConfig {
                 n_senders: groups.len(),
                 jitter_ticks: cfg.jitter_ticks,
@@ -572,6 +782,11 @@ impl<'a> StreamingEngine<'a> {
             },
             &snap.reorder,
         )?;
+        // Per-kind quarantine deadlines are config, not state — they
+        // are reapplied here exactly as construction applies them.
+        for (sender, g) in groups.iter().enumerate() {
+            reorder.set_sender_quarantine(sender, cfg.quarantine_after_ticks_for(g.kind));
+        }
         if snap.last_value.len() != n_streams || snap.last_seen.len() != n_streams {
             return Err(format!(
                 "checkpoint gap-fill state covers {} streams, deployment has {n_streams}",
@@ -586,6 +801,7 @@ impl<'a> StreamingEngine<'a> {
             controller,
             reorder,
             n_streams,
+            n_rssi,
             last_value: snap.last_value.clone(),
             last_seen: snap.last_seen.clone(),
             row: vec![0.0; n_streams],
@@ -649,6 +865,41 @@ mod tests {
         cfg
     }
 
+    /// Two RF sensors × two streams each, plus one light sensor on the
+    /// suffix position — the smallest mixed-channel deployment.
+    fn mixed_groups() -> Vec<SensorGroup> {
+        vec![
+            SensorGroup::rssi(0, vec![0, 1]),
+            SensorGroup::rssi(1, vec![2, 3]),
+            SensorGroup { sensor: 0, kind: ChannelKind::AmbientLight, positions: vec![4] },
+        ]
+    }
+
+    fn fusion_cfg(mode: fadewich_core::fusion::DecisionMode) -> FusionConfig {
+        FusionConfig { mode, light_workstations: vec![0], ..FusionConfig::rssi_only() }
+    }
+
+    /// One tick of frames for the mixed layout: RF rows plus a lux
+    /// sample (`None` skips the light sensor).
+    fn feed_mixed_tick(engine: &mut StreamingEngine<'_>, tick: u64, lux: Option<f64>) {
+        let mut rng = Rng::task_stream(99, tick);
+        for (sensor, positions) in groups() {
+            let values: Vec<f32> =
+                positions.iter().map(|_| -50.0 + rng.normal() as f32 * 0.6).collect();
+            engine.ingest_frame(Frame::rssi(sensor, tick as u32, tick, values));
+        }
+        if let Some(lux) = lux {
+            engine.ingest_frame(Frame {
+                office: 0,
+                channel: ChannelKind::AmbientLight,
+                sensor: 0,
+                seq: tick as u32,
+                tick,
+                values: vec![lux as f32],
+            });
+        }
+    }
+
     fn feed_tick(engine: &mut StreamingEngine<'_>, tick: u64, skip_sensor: Option<u16>) {
         let mut rng = Rng::task_stream(99, tick);
         for (sensor, positions) in groups() {
@@ -657,7 +908,7 @@ mod tests {
             }
             let values: Vec<f32> =
                 positions.iter().map(|_| -50.0 + rng.normal() as f32 * 0.6).collect();
-            engine.ingest_frame(Frame { office: 0, sensor, seq: tick as u32, tick, values });
+            engine.ingest_frame(Frame::rssi(sensor, tick as u32, tick, values));
         }
     }
 
@@ -676,7 +927,7 @@ mod tests {
         let inputs = quiet_inputs();
         let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
         let mut bytes =
-            Frame { office: 0, sensor: 0, seq: 0, tick: 0, values: vec![-50.0, -50.0] }.encode();
+            Frame::rssi(0, 0, 0, vec![-50.0, -50.0]).encode();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         e.ingest_bytes(&bytes);
@@ -691,7 +942,7 @@ mod tests {
         let inputs = quiet_inputs();
         let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
         // Bad CRC: flip a payload byte so the checksum disagrees.
-        let mut crc = Frame { office: 0, sensor: 0, seq: 0, tick: 0, values: vec![-50.0, -50.0] }.encode();
+        let mut crc = Frame::rssi(0, 0, 0, vec![-50.0, -50.0]).encode();
         let mid = crc.len() / 2;
         crc[mid] ^= 0xFF;
         e.ingest_bytes(&crc);
@@ -699,8 +950,8 @@ mod tests {
         e.ingest_bytes(&[0u8; 6]);
         // Unknown sensor id, and a known sensor with the wrong payload
         // width — both rejected at the engine boundary.
-        e.ingest_frame(Frame { office: 0, sensor: 77, seq: 0, tick: 0, values: vec![-50.0, -50.0] });
-        e.ingest_frame(Frame { office: 0, sensor: 0, seq: 0, tick: 0, values: vec![-50.0] });
+        e.ingest_frame(Frame::rssi(77, 0, 0, vec![-50.0, -50.0]));
+        e.ingest_frame(Frame::rssi(0, 0, 0, vec![-50.0]));
         let c = e.counters();
         assert_eq!(c.corrupt_crc, 1);
         assert_eq!(c.corrupt_framing, 1);
@@ -921,7 +1172,7 @@ mod tests {
             for (sensor, positions) in groups() {
                 let values: Vec<f32> =
                     positions.iter().map(|_| -50.0 + rng.normal() as f32 * 0.6).collect();
-                frames.push(Frame { office: 0, sensor, seq: t as u32, tick: t, values });
+                frames.push(Frame::rssi(sensor, t as u32, t, values));
             }
         }
         for f in &frames {
@@ -938,5 +1189,216 @@ mod tests {
         assert_eq!(a.counters().gap_fills, 0);
         assert_eq!(b.counters().gap_fills, 0);
         assert!(b.counters().frames_reordered > 0);
+    }
+
+    #[test]
+    fn mixed_layouts_are_validated() {
+        use fadewich_core::fusion::DecisionMode;
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        // A light stream inside the RSSI prefix is rejected.
+        let interleaved = vec![
+            SensorGroup { sensor: 0, kind: ChannelKind::AmbientLight, positions: vec![0] },
+            SensorGroup::rssi(0, vec![1, 2]),
+            SensorGroup::rssi(1, vec![3, 4]),
+        ];
+        let err = StreamingEngine::with_layout(
+            engine_cfg(),
+            interleaved,
+            fusion_cfg(DecisionMode::RssiOnly),
+            &re,
+            Kma::new(&inputs),
+        )
+        .unwrap_err();
+        assert!(err.contains("prefix"), "{err}");
+        // Light-stream count must match the fusion mapping.
+        let err = StreamingEngine::with_layout(
+            engine_cfg(),
+            mixed_groups(),
+            FusionConfig::rssi_only(),
+            &re,
+            Kma::new(&inputs),
+        )
+        .unwrap_err();
+        assert!(err.contains("light streams"), "{err}");
+        // Sensor ids are namespaced per kind: RF 0 and light 0 coexist,
+        // but two light sensors sharing an id are rejected.
+        assert!(StreamingEngine::with_layout(
+            engine_cfg(),
+            mixed_groups(),
+            fusion_cfg(DecisionMode::RssiOnly),
+            &re,
+            Kma::new(&inputs),
+        )
+        .is_ok());
+        let dup = vec![
+            SensorGroup::rssi(0, vec![0, 1, 2, 3]),
+            SensorGroup { sensor: 5, kind: ChannelKind::AmbientLight, positions: vec![4] },
+            SensorGroup { sensor: 5, kind: ChannelKind::AmbientLight, positions: vec![5] },
+        ];
+        let err = StreamingEngine::with_layout(
+            engine_cfg(),
+            dup,
+            FusionConfig {
+                mode: DecisionMode::RssiOnly,
+                light_workstations: vec![0, 1],
+                ..FusionConfig::rssi_only()
+            },
+            &re,
+            Kma::new(&inputs),
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn per_channel_knobs_gap_fill_and_quarantine_independently() {
+        // Satellite: staleness and quarantine deadlines are per channel
+        // kind. The light sensor goes silent mid-day; its stream must
+        // gap-fill for the *light* cap (6 ticks, not the RSSI 3) and
+        // quarantine at the *light* deadline (20 ticks, not 10), while
+        // the healthy RF sensors never trip either.
+        use fadewich_core::fusion::DecisionMode;
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let mut cfg = engine_cfg();
+        cfg.light_staleness_cap_ticks = Some(6);
+        cfg.light_quarantine_after_ticks = Some(20);
+        let mut e = StreamingEngine::with_layout(
+            cfg,
+            mixed_groups(),
+            fusion_cfg(DecisionMode::Fused),
+            &re,
+            Kma::new(&inputs),
+        )
+        .unwrap();
+        assert_eq!(e.n_streams(), 5);
+        assert_eq!(e.n_rssi_streams(), 4);
+        for t in 0..30 {
+            feed_mixed_tick(&mut e, t, Some(420.0));
+        }
+        for t in 30..60 {
+            feed_mixed_tick(&mut e, t, None);
+        }
+        e.finish(60);
+        let c = e.counters();
+        assert_eq!(c.ticks_processed, 60);
+        let light = c.channel(ChannelKind::AmbientLight);
+        let rssi = c.channel(ChannelKind::Rssi);
+        assert_eq!(rssi.frames_in, 2 * 60);
+        assert_eq!(light.frames_in, 30);
+        // Last genuine lux sample at tick 29: ticks 30..=35 gap-fill
+        // (age ≤ 6), ticks 36..59 mask.
+        assert_eq!(light.gap_fills, 6);
+        assert_eq!(light.masked_stream_ticks, 24);
+        assert_eq!(rssi.gap_fills, 0);
+        assert_eq!(rssi.masked_stream_ticks, 0);
+        assert_eq!(light.quarantines, 1);
+        assert_eq!(rssi.quarantines, 0);
+        // The global totals aggregate the per-channel view.
+        assert_eq!(c.gap_fills, 6);
+        assert_eq!(c.masked_stream_ticks, 24);
+        assert_eq!(c.quarantines, 1);
+        assert!(e
+            .events()
+            .iter()
+            .any(|ev| matches!(ev, EngineEvent::SensorQuarantined { sensor: 0, .. })));
+    }
+
+    #[test]
+    fn fused_snapshot_restore_resumes_bit_identically() {
+        // The mixed-channel analogue of
+        // `snapshot_restore_resumes_bit_identically`: a light occlusion
+        // spans the crash point, so the snapshot captures the detector
+        // bank mid-dip, and the resumed run must replay the rest of the
+        // day bit-for-bit.
+        use fadewich_core::fusion::DecisionMode;
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let mut cfg = engine_cfg();
+        cfg.light_staleness_cap_ticks = Some(6);
+        cfg.light_quarantine_after_ticks = Some(20);
+        let build = |re, inputs| {
+            StreamingEngine::with_layout(
+                cfg,
+                mixed_groups(),
+                fusion_cfg(DecisionMode::LightOnly),
+                re,
+                Kma::new(inputs),
+            )
+            .unwrap()
+        };
+        // Lux: occupied dip from tick 100 through 260, with a short
+        // light-sensor outage at 130..140 so gap-fill state is also in
+        // flight at the cut.
+        let lux_at = |t: u64| {
+            if (130..140).contains(&t) {
+                None
+            } else if (100..260).contains(&t) {
+                Some(230.0)
+            } else {
+                Some(420.0)
+            }
+        };
+        let mut full = build(&re, &inputs);
+        for t in 0..300 {
+            feed_mixed_tick(&mut full, t, lux_at(t));
+        }
+        full.finish(300);
+
+        let cut = 150u64;
+        let mut pre = build(&re, &inputs);
+        for t in 0..cut {
+            feed_mixed_tick(&mut pre, t, lux_at(t));
+        }
+        let snap = pre.snapshot(0, cut, 0);
+        assert!(!snap.controller.lights.is_empty(), "light bank missing from snapshot");
+        let events_before = snap.events_emitted as usize;
+        let mut post = StreamingEngine::restore_with_layout(
+            cfg,
+            mixed_groups(),
+            fusion_cfg(DecisionMode::LightOnly),
+            &re,
+            Kma::new(&inputs),
+            &snap,
+        )
+        .unwrap();
+        let mut roundtrip = post.snapshot(0, cut, 0);
+        roundtrip.events_emitted = snap.events_emitted;
+        roundtrip.controller.n_actions = snap.controller.n_actions;
+        assert_eq!(roundtrip, snap);
+        for t in cut..300 {
+            feed_mixed_tick(&mut post, t, lux_at(t));
+        }
+        post.finish(300);
+
+        let stitched_actions: Vec<_> = pre.actions()[..snap.controller.n_actions as usize]
+            .iter()
+            .chain(post.actions())
+            .copied()
+            .collect();
+        assert_eq!(full.actions(), &stitched_actions[..]);
+        let stitched: Vec<EngineEvent> = pre.events()[..events_before]
+            .iter()
+            .chain(post.events())
+            .cloned()
+            .collect();
+        assert_eq!(full.events(), &stitched[..]);
+        assert_eq!(
+            full.counters().deterministic_summary(),
+            post.counters().deterministic_summary()
+        );
+        // A restore under a different fusion mode is a different
+        // deployment: the detector bank still loads (mode is config,
+        // not state), but a mismatched light mapping is rejected.
+        assert!(StreamingEngine::restore_with_layout(
+            cfg,
+            mixed_groups(),
+            FusionConfig::rssi_only(),
+            &re,
+            Kma::new(&inputs),
+            &snap,
+        )
+        .is_err());
     }
 }

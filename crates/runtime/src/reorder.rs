@@ -12,7 +12,10 @@
 //! - a sender whose frontier lags the global frontier by more than
 //!   `quarantine_after_ticks` is **quarantined**: the buffer stops
 //!   waiting for it, so one dead sensor cannot stall the watermark. A
-//!   fresh frame from a quarantined sender recovers it.
+//!   fresh frame from a quarantined sender recovers it. The deadline
+//!   defaults to the config value but can be tightened or loosened per
+//!   sender ([`ReorderBuffer::set_sender_quarantine`]) — e.g. a slow
+//!   ambient-light sensor tolerating more silence than an RSSI link.
 //!
 //! The buffer reports duplicates, late frames and sequence-number
 //! regressions, plus the current watermark lag — everything the engine
@@ -30,7 +33,9 @@ pub struct ReorderConfig {
     /// `≥ T + jitter_ticks` from the same sender.
     pub jitter_ticks: u64,
     /// A sender lagging the global frontier by more than this many
-    /// ticks is quarantined.
+    /// ticks is quarantined (the default for every sender; see
+    /// [`ReorderBuffer::set_sender_quarantine`] for per-sender
+    /// overrides).
     pub quarantine_after_ticks: u64,
 }
 
@@ -115,6 +120,9 @@ pub struct ReorderBuffer {
     /// Highest sequence number seen per sender.
     max_seq: Vec<Option<u32>>,
     quarantined: Vec<bool>,
+    /// Per-sender quarantine deadlines; config-derived, not part of
+    /// [`ReorderState`] (the engine reapplies overrides on restore).
+    thresholds: Vec<u64>,
     events: Vec<SenderEvent>,
     duplicates: u64,
     late: u64,
@@ -136,6 +144,7 @@ impl ReorderBuffer {
             frontier: vec![None; cfg.n_senders],
             max_seq: vec![None; cfg.n_senders],
             quarantined: vec![false; cfg.n_senders],
+            thresholds: vec![cfg.quarantine_after_ticks; cfg.n_senders],
             events: Vec::new(),
             duplicates: 0,
             late: 0,
@@ -206,7 +215,7 @@ impl ReorderBuffer {
                 // Never heard from: lag measured from the stream start.
                 None => global + 1,
             };
-            if lag > self.cfg.quarantine_after_ticks {
+            if lag > self.thresholds[sender] {
                 self.quarantined[sender] = true;
                 self.events.push(SenderEvent::Quarantined { sender, at_tick: global });
             }
@@ -220,6 +229,28 @@ impl ReorderBuffer {
     /// Panics if `sender` is out of range.
     pub fn is_quarantined(&self, sender: usize) -> bool {
         self.quarantined[sender]
+    }
+
+    /// Overrides one sender's quarantine deadline (ticks of silence
+    /// tolerated past the global frontier). The override is part of
+    /// the configuration, not the checkpointable state: a restored
+    /// buffer starts from the config default and the engine reapplies
+    /// per-channel overrides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range.
+    pub fn set_sender_quarantine(&mut self, sender: usize, ticks: u64) {
+        self.thresholds[sender] = ticks;
+    }
+
+    /// The quarantine deadline currently applied to `sender`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range.
+    pub fn sender_quarantine(&self, sender: usize) -> u64 {
+        self.thresholds[sender]
     }
 
     /// Drains liveness transitions recorded since the last call.
@@ -331,6 +362,7 @@ impl ReorderBuffer {
             frontier: state.frontier.clone(),
             max_seq: state.max_seq.clone(),
             quarantined: state.quarantined.clone(),
+            thresholds: vec![cfg.quarantine_after_ticks; cfg.n_senders],
             events: Vec::new(),
             duplicates: state.duplicates,
             late: state.late,
@@ -437,6 +469,34 @@ mod tests {
         rb.push(1, 0, 6, payload(2.0));
         assert!(!rb.is_quarantined(1));
         assert_eq!(rb.take_events(), vec![SenderEvent::Recovered { sender: 1, at_tick: 6 }]);
+    }
+
+    #[test]
+    fn per_sender_quarantine_overrides_the_config_default() {
+        // Three senders; sender 1 gets a tight 2-tick deadline, sender
+        // 2 a loose 20-tick one (e.g. a slow light sensor). Only the
+        // tight one is quarantined when both go silent for 6 ticks.
+        let c = ReorderConfig { n_senders: 3, jitter_ticks: 0, quarantine_after_ticks: 5 };
+        let mut rb = ReorderBuffer::new(c);
+        assert_eq!(rb.sender_quarantine(1), 5);
+        rb.set_sender_quarantine(1, 2);
+        rb.set_sender_quarantine(2, 20);
+        for t in 0..7u64 {
+            rb.push(0, t as u32, t, payload(t as f32));
+        }
+        rb.poll();
+        assert!(rb.is_quarantined(1), "tight deadline must trip at lag 7");
+        assert!(!rb.is_quarantined(2), "loose deadline must hold at lag 7");
+        assert_eq!(
+            rb.take_events(),
+            vec![SenderEvent::Quarantined { sender: 1, at_tick: 6 }]
+        );
+        // The loose sender eventually trips too, at its own deadline.
+        for t in 7..22u64 {
+            rb.push(0, t as u32, t, payload(t as f32));
+        }
+        rb.poll();
+        assert!(rb.is_quarantined(2));
     }
 
     #[test]

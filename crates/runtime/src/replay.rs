@@ -17,7 +17,9 @@ use fadewich_core::features::{extract_features, TrainingSample, FEATURES_PER_STR
 use fadewich_core::kma::Kma;
 use fadewich_core::md::{run_md_over_day, MovementDetector};
 use fadewich_core::re::{auto_label, AutoLabelParams, RadioEnvironment};
-use fadewich_officesim::{Scenario, Trace};
+use fadewich_core::fusion::{DecisionMode, FusionConfig};
+use fadewich_core::stream::{ChannelKind, SensorGroup};
+use fadewich_officesim::{Scenario, StreamKind, Trace};
 use fadewich_stats::rng::Rng;
 
 use crate::checkpoint::{CheckpointStore, Checkpointer, EngineSnapshot};
@@ -29,6 +31,43 @@ use crate::wire::Frame;
 /// RE training seed — shared with the batch deployment experiment so
 /// both pipelines compare like for like.
 pub const TRAIN_SEED: u64 = 0xDE9107;
+
+/// Maps the simulator's native stream tag onto the canonical wire /
+/// engine channel kind. (`officesim` sits below `fadewich-core` in the
+/// dependency graph, so the conversion lives up here.)
+pub fn channel_kind_of(kind: StreamKind) -> ChannelKind {
+    match kind {
+        StreamKind::Rssi => ChannelKind::Rssi,
+        StreamKind::AmbientLight => ChannelKind::AmbientLight,
+    }
+}
+
+/// The typed sensor layout of a (possibly light-enabled) trace: the
+/// RF receiver groups on the row prefix, one ambient-light group per
+/// monitored workstation on the suffix.
+pub fn typed_groups(trace: &Trace, streams: &[usize]) -> Vec<SensorGroup> {
+    trace
+        .fused_groups(streams)
+        .into_iter()
+        .map(|(sensor, kind, positions)| SensorGroup {
+            sensor,
+            kind: channel_kind_of(kind),
+            positions,
+        })
+        .collect()
+}
+
+/// The fusion configuration a light-enabled trace implies: one light
+/// stream per recorded workstation photosensor, arbitrated by `mode`.
+/// For an RSSI-only trace this degenerates to
+/// [`FusionConfig::rssi_only`] with the requested mode.
+pub fn fusion_for_trace(trace: &Trace, mode: DecisionMode) -> FusionConfig {
+    FusionConfig {
+        mode,
+        light_workstations: trace.light_sensors().iter().map(|&w| w as usize).collect(),
+        ..FusionConfig::rssi_only()
+    }
+}
 
 /// Everything one streamed day produced.
 #[derive(Debug, Clone)]
@@ -120,11 +159,11 @@ pub fn train_model(
     }
     Ok(ModelBundle {
         params: *params,
-        schema: FeatureSchema {
-            tick_hz: hz,
-            stream_ids: streams.iter().map(|&s| s as u32).collect(),
-            features_per_stream: FEATURES_PER_STREAM,
-        },
+        schema: FeatureSchema::rssi(
+            hz,
+            streams.iter().map(|&s| s as u32).collect(),
+            FEATURES_PER_STREAM,
+        ),
         md: md.snapshot(),
         re,
     })
@@ -250,12 +289,217 @@ pub fn day_deliveries_for_office(
         let sender = groups.iter().position(|(s, _)| *s == r.sensor).ok_or_else(|| {
             format!("sensor {} reports frames but is not in the receiver layout", r.sensor)
         })?;
-        let frame = Frame { office, sensor: r.sensor, seq: seq[sender], tick: r.tick, values: r.values };
+        let frame = Frame {
+            office,
+            channel: channel_kind_of(r.kind),
+            sensor: r.sensor,
+            seq: seq[sender],
+            tick: r.tick,
+            values: r.values,
+        };
         seq[sender] = seq[sender].wrapping_add(1);
         frames.push((r.tick, frame.encode()));
     }
     let mut rng = Rng::task_stream(link_seed, day as u64);
     Ok(link.deliver(&frames, &mut rng))
+}
+
+/// [`day_deliveries`] over a channel-typed sensor layout: reports come
+/// from [`Trace::sensor_reports_fused`] (RF receivers then light
+/// sensors, tick-major), each framed with its channel kind, so the
+/// byte stream is what a fused deployment's radio would actually see.
+///
+/// Light-sensor and RF sensor ids share a number space but not a
+/// channel, so the sender lookup matches on `(sensor, kind)`.
+///
+/// # Errors
+///
+/// Rejects a report whose `(sensor, kind)` pair is absent from
+/// `groups` (the layout contract between
+/// [`Trace::sensor_reports_fused`] and [`typed_groups`] was broken).
+pub fn fused_day_deliveries(
+    trace: &Trace,
+    streams: &[usize],
+    groups: &[SensorGroup],
+    day: usize,
+    link: &LinkModel,
+    link_seed: u64,
+) -> Result<Vec<Vec<u8>>, String> {
+    let mut seq = vec![0u32; groups.len()];
+    let reports = trace.sensor_reports_fused(day, streams);
+    let mut frames: Vec<(u64, Vec<u8>)> = Vec::with_capacity(reports.len());
+    for r in reports {
+        let kind = channel_kind_of(r.kind);
+        let sender = groups
+            .iter()
+            .position(|g| g.sensor == r.sensor && g.kind == kind)
+            .ok_or_else(|| {
+                format!(
+                    "{} sensor {} reports frames but is not in the typed layout",
+                    kind.label(),
+                    r.sensor
+                )
+            })?;
+        let frame = Frame {
+            office: 0,
+            channel: kind,
+            sensor: r.sensor,
+            seq: seq[sender],
+            tick: r.tick,
+            values: r.values,
+        };
+        seq[sender] = seq[sender].wrapping_add(1);
+        frames.push((r.tick, frame.encode()));
+    }
+    let mut rng = Rng::task_stream(link_seed, day as u64);
+    Ok(link.deliver(&frames, &mut rng))
+}
+
+/// Streams one recorded day of a light-enabled trace through `link`
+/// into an engine built over the trace's typed layout, with decisions
+/// arbitrated by `fusion`. The link randomness is seeded exactly as
+/// [`stream_day`] seeds it, so an `fusion.mode == RssiOnly` replay of a
+/// light-free trace is byte-identical to the untyped path.
+///
+/// # Errors
+///
+/// Propagates engine construction and layout errors (including a
+/// fusion config whose workstation map disagrees with the trace).
+#[allow(clippy::too_many_arguments)]
+pub fn stream_day_fused(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    day: usize,
+    cfg: EngineConfig,
+    fusion: FusionConfig,
+    link: &LinkModel,
+    link_seed: u64,
+    telemetry: &fadewich_telemetry::Telemetry,
+) -> Result<DayReplay, String> {
+    let groups = typed_groups(trace, streams);
+    let inputs = scenario.input_trace(day, 0);
+    let kma = Kma::new(&inputs);
+    let mut engine = StreamingEngine::with_layout(cfg, groups.clone(), fusion, re, kma)?;
+    engine.set_telemetry(telemetry.clone());
+    for bytes in fused_day_deliveries(trace, streams, &groups, day, link, link_seed)? {
+        engine.ingest_bytes(&bytes);
+    }
+    engine.finish(trace.days()[day].n_ticks() as u64);
+    engine.counters().export_into(telemetry);
+    telemetry.counter_add("runtime_days_streamed", 1);
+
+    Ok(DayReplay {
+        day,
+        actions: engine.actions().to_vec(),
+        events: engine.events().to_vec(),
+        counters: engine.counters().clone(),
+    })
+}
+
+/// [`stream_day_checkpointed`] over a typed layout: checkpoints carry
+/// the channel-kind tags and the light detector bank, and a crash
+/// stops dead mid-delivery exactly as in the RSSI-only variant.
+///
+/// # Errors
+///
+/// Propagates engine construction, layout, and checkpoint-save errors.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_day_checkpointed_fused(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    day: usize,
+    cfg: EngineConfig,
+    fusion: FusionConfig,
+    link: &LinkModel,
+    link_seed: u64,
+    store: &mut CheckpointStore,
+    crash_after: Option<u64>,
+) -> Result<DayReplay, String> {
+    let groups = typed_groups(trace, streams);
+    let inputs = scenario.input_trace(day, 0);
+    let kma = Kma::new(&inputs);
+    let mut engine = StreamingEngine::with_layout(cfg, groups.clone(), fusion, re, kma)?;
+    let mut checkpointer = Checkpointer::new(cfg.checkpoint_every_ticks);
+    let deliveries = fused_day_deliveries(trace, streams, &groups, day, link, link_seed)?;
+    let mut crashed = false;
+    for (i, bytes) in deliveries.iter().enumerate() {
+        engine.ingest_bytes(bytes);
+        let stream_pos = (i + 1) as u64;
+        let ticks = engine.counters().ticks_processed;
+        if checkpointer.due(ticks) {
+            let snap = engine.snapshot(day as u32, stream_pos, 0);
+            store.save(ticks, &snap).map_err(|e| format!("checkpoint save failed: {e}"))?;
+            checkpointer.advance(ticks);
+        }
+        if crash_after.is_some_and(|n| stream_pos >= n) {
+            crashed = true;
+            break;
+        }
+    }
+    if !crashed {
+        engine.finish(trace.days()[day].n_ticks() as u64);
+    }
+    Ok(DayReplay {
+        day,
+        actions: engine.actions().to_vec(),
+        events: engine.events().to_vec(),
+        counters: engine.counters().clone(),
+    })
+}
+
+/// [`resume_day`] over a typed layout. The fusion config is deployment
+/// configuration, not checkpointed state, so the caller passes the same
+/// `fusion` the crashed process ran with; the restore rejects a
+/// snapshot whose light detector bank disagrees with it.
+///
+/// # Errors
+///
+/// Propagates engine restore, layout, and day-mismatch errors.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_day_fused(
+    scenario: &Scenario,
+    trace: &Trace,
+    streams: &[usize],
+    re: &RadioEnvironment,
+    cfg: EngineConfig,
+    fusion: FusionConfig,
+    link: &LinkModel,
+    link_seed: u64,
+    snap: &EngineSnapshot,
+) -> Result<DayReplay, String> {
+    let day = snap.day as usize;
+    if day >= trace.days().len() {
+        return Err(format!(
+            "checkpoint is for day {day} but the scenario has {} days",
+            trace.days().len()
+        ));
+    }
+    let groups = typed_groups(trace, streams);
+    let inputs = scenario.input_trace(day, 0);
+    let kma = Kma::new(&inputs);
+    let mut engine = StreamingEngine::restore_with_layout(cfg, groups.clone(), fusion, re, kma, snap)?;
+    let deliveries = fused_day_deliveries(trace, streams, &groups, day, link, link_seed)?;
+    if snap.stream_pos as usize > deliveries.len() {
+        return Err(format!(
+            "checkpoint claims {} ingested deliveries but the day only has {}",
+            snap.stream_pos,
+            deliveries.len()
+        ));
+    }
+    for bytes in &deliveries[snap.stream_pos as usize..] {
+        engine.ingest_bytes(bytes);
+    }
+    engine.finish(trace.days()[day].n_ticks() as u64);
+    Ok(DayReplay {
+        day,
+        actions: engine.actions().to_vec(),
+        events: engine.events().to_vec(),
+        counters: engine.counters().clone(),
+    })
 }
 
 /// Streams one recorded day through `link` into a fresh engine.

@@ -1,10 +1,10 @@
 //! The sensor wire codec.
 //!
-//! A live deployment's receiving sensors push their per-tick RSSI
+//! A live deployment's receiving sensors push their per-tick
 //! measurements to the central station over an unreliable transport
 //! (the paper's nodes used raw 2.4 GHz packets). Each report travels as
-//! one self-delimiting binary [`Frame`]. Two header versions are on the
-//! wire:
+//! one self-delimiting binary [`Frame`]. Three header versions are on
+//! the wire:
 //!
 //! ```text
 //! v1 (single-office deployments; office id is implicitly 0)
@@ -27,22 +27,40 @@
 //! 18      2     len          number of f32 samples (≤ MAX_PAYLOAD)
 //! 20      4·len payload      samples, f32 little-endian
 //! …       4     crc32        IEEE CRC-32 of all preceding bytes
+//!
+//! v3 (heterogeneous sensors; adds the channel kind)
+//! offset  size  field
+//! 0       2     magic        0xFAD7, little-endian
+//! 2       2     office       tenant (office) id — the fleet demux key
+//! 4       1     channel      ChannelKind tag (0 = RSSI, 1 = light)
+//! 5       2     sensor       receiving sensor id
+//! 7       4     seq          per-sensor send sequence number
+//! 11      8     tick         day-local tick timestamp
+//! 19      2     len          number of f32 samples (≤ MAX_PAYLOAD)
+//! 21      4·len payload      samples, f32 little-endian
+//! …       4     crc32        IEEE CRC-32 of all preceding bytes
 //! ```
 //!
-//! The two versions are distinguished by their magic, so a station can
-//! accept a mixed stream: a v1 frame decodes with `office = 0` (the
-//! single-office deployments of PR 2–6 are "office 0" of a fleet), and
-//! [`Frame::encode`] keeps emitting v1 bytes for office 0 so existing
-//! byte streams, checkpoint delivery positions and link-corruption
-//! draws are unchanged. Everything is little-endian. The checksum lets
-//! the station reject corrupted frames instead of feeding garbage RSSI
-//! into MD — the reorder buffer then treats the tick as missing, which
-//! downstream gap-fill handles gracefully.
+//! The versions are distinguished by their magic (any two magics are
+//! two bit-flips apart, so no single flip crosses versions), and a
+//! station accepts a mixed stream: v1 frames decode with `office = 0`
+//! (the single-office deployments of PR 2–6 are "office 0" of a
+//! fleet), v1 and v2 frames both decode with `channel = Rssi` (every
+//! pre-fusion sensor was an RSSI receiver), and [`Frame::encode`]
+//! always emits the **oldest version that can represent the frame** —
+//! v1 for office-0 RSSI, v2 for RSSI, v3 only for non-RSSI channels —
+//! so existing byte streams, checkpoint delivery positions and
+//! link-corruption draws are unchanged. Everything is little-endian.
+//! The checksum lets the station reject corrupted frames instead of
+//! feeding garbage samples into MD — the reorder buffer then treats
+//! the tick as missing, which downstream gap-fill handles gracefully.
 //!
 //! [`Frame::decode_borrowed`] is the zero-copy variant for the fleet
 //! demux hot path: it validates exactly like [`Frame::decode`] but
 //! returns a [`FrameView`] whose payload is a slice into the input
 //! buffer, so routing a frame by office id allocates nothing.
+
+use fadewich_core::stream::ChannelKind;
 
 /// v1 frame preamble, chosen to make byte-aligned garbage unlikely to
 /// parse.
@@ -51,11 +69,17 @@ pub const FRAME_MAGIC: u16 = 0xFADE;
 /// v2 frame preamble (header carries an office id).
 pub const FRAME_MAGIC_V2: u16 = 0xFAD2;
 
+/// v3 frame preamble (header carries an office id and a channel kind).
+pub const FRAME_MAGIC_V3: u16 = 0xFAD7;
+
 /// Bytes before the payload in a v1 frame.
 pub const HEADER_LEN: usize = 18;
 
 /// Bytes before the payload in a v2 frame (v1 plus the office id).
 pub const HEADER_LEN_V2: usize = 20;
+
+/// Bytes before the payload in a v3 frame (v2 plus the channel tag).
+pub const HEADER_LEN_V3: usize = 21;
 
 /// Hard cap on samples per frame (a 9-sensor office has at most 8
 /// streams per receiver; the cap only bounds hostile input).
@@ -67,13 +91,17 @@ pub struct Frame {
     /// Tenant (office) id; 0 for single-office deployments and for
     /// every v1 frame.
     pub office: u16,
+    /// Channel kind of the samples; [`ChannelKind::Rssi`] for every
+    /// v1 and v2 frame. Sensor ids are namespaced per kind.
+    pub channel: ChannelKind,
     /// Receiving sensor id.
     pub sensor: u16,
     /// Per-sensor send sequence number (monotone at the sender).
     pub seq: u32,
     /// Day-local tick the samples belong to.
     pub tick: u64,
-    /// RSSI samples in the sensor's `receiver_groups` order.
+    /// Samples in the sensor's group order (RSSI links for an RF
+    /// receiver, lux readings for a light sensor).
     pub values: Vec<f32>,
 }
 
@@ -87,6 +115,8 @@ pub struct Frame {
 pub struct FrameView<'a> {
     /// Tenant (office) id (0 for v1 frames).
     pub office: u16,
+    /// Channel kind ([`ChannelKind::Rssi`] for v1/v2 frames).
+    pub channel: ChannelKind,
     /// Receiving sensor id.
     pub sensor: u16,
     /// Per-sensor send sequence number.
@@ -138,6 +168,7 @@ impl<'a> FrameView<'a> {
     pub fn to_frame(&self) -> Frame {
         Frame {
             office: self.office,
+            channel: self.channel,
             sensor: self.sensor,
             seq: self.seq,
             tick: self.tick,
@@ -151,9 +182,11 @@ impl<'a> FrameView<'a> {
 pub enum WireError {
     /// Fewer bytes than the declared (or minimum) frame length.
     Truncated,
-    /// The first two bytes are neither [`FRAME_MAGIC`] nor
-    /// [`FRAME_MAGIC_V2`].
+    /// The first two bytes are none of [`FRAME_MAGIC`],
+    /// [`FRAME_MAGIC_V2`], or [`FRAME_MAGIC_V3`].
     BadMagic,
+    /// A v3 header carries an unknown [`ChannelKind`] tag.
+    BadChannel(u8),
     /// Declared payload length exceeds [`MAX_PAYLOAD`].
     BadLength(usize),
     /// The trailing CRC-32 does not match the frame contents.
@@ -170,6 +203,7 @@ impl std::fmt::Display for WireError {
         match *self {
             WireError::Truncated => write!(f, "truncated frame"),
             WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadChannel(t) => write!(f, "unknown channel kind tag {t}"),
             WireError::BadLength(n) => write!(f, "declared payload of {n} samples exceeds cap"),
             WireError::BadChecksum { computed, carried } => {
                 write!(f, "checksum mismatch: computed {computed:#010x}, carried {carried:#010x}")
@@ -183,22 +217,38 @@ impl std::error::Error for WireError {}
 pub use fadewich_stats::checksum::crc32;
 
 impl Frame {
-    /// Encoded size in bytes (v1 for office 0, v2 otherwise — the
-    /// format [`Frame::encode`] picks).
+    /// An office-0 RSSI frame — the shape every pre-fusion sender
+    /// produced. Spares single-office call sites the channel field.
+    pub fn rssi(sensor: u16, seq: u32, tick: u64, values: Vec<f32>) -> Frame {
+        Frame { office: 0, channel: ChannelKind::Rssi, sensor, seq, tick, values }
+    }
+
+    /// Encoded size in bytes for the version [`Frame::encode`] picks
+    /// (v1 for office-0 RSSI, v2 for RSSI, v3 otherwise).
     pub fn encoded_len(&self) -> usize {
-        let header = if self.office == 0 { HEADER_LEN } else { HEADER_LEN_V2 };
+        let header = if self.channel != ChannelKind::Rssi {
+            HEADER_LEN_V3
+        } else if self.office == 0 {
+            HEADER_LEN
+        } else {
+            HEADER_LEN_V2
+        };
         header + 4 * self.values.len() + 4
     }
 
-    /// Appends the encoded frame to `out`: v1 bytes for office 0 (so
+    /// Appends the encoded frame to `out`, picking the oldest header
+    /// version that can represent it: v1 for office-0 RSSI (so
     /// single-office streams are unchanged from the unversioned
-    /// codec), v2 bytes otherwise.
+    /// codec), v2 for RSSI from a nonzero office, v3 whenever the
+    /// channel is not RSSI.
     ///
     /// # Panics
     ///
     /// Panics if the payload exceeds [`MAX_PAYLOAD`] samples.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        if self.office == 0 {
+        if self.channel != ChannelKind::Rssi {
+            self.encode_v3_into(out);
+        } else if self.office == 0 {
             self.encode_v1_into(out);
         } else {
             self.encode_v2_into(out);
@@ -243,6 +293,30 @@ impl Frame {
         out.extend_from_slice(&crc.to_le_bytes());
     }
 
+    /// Appends the v3 encoding regardless of office or channel (an
+    /// RSSI v3 frame is legal; [`Frame::encode`] just never picks it,
+    /// for byte-compatibility with v1/v2 streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`] samples.
+    pub fn encode_v3_into(&self, out: &mut Vec<u8>) {
+        assert!(self.values.len() <= MAX_PAYLOAD, "payload too large");
+        let start = out.len();
+        out.extend_from_slice(&FRAME_MAGIC_V3.to_le_bytes());
+        out.extend_from_slice(&self.office.to_le_bytes());
+        out.push(self.channel.tag());
+        out.extend_from_slice(&self.sensor.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.tick.to_le_bytes());
+        out.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let crc = crc32(&out[start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
     /// Encodes the frame into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
@@ -276,15 +350,26 @@ impl Frame {
             return Err(WireError::Truncated);
         }
         let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
-        let (office, header_len) = match magic {
-            FRAME_MAGIC => (0u16, HEADER_LEN),
-            FRAME_MAGIC_V2 => (u16::from_le_bytes([bytes[2], bytes[3]]), HEADER_LEN_V2),
+        let (office, channel, header_len) = match magic {
+            FRAME_MAGIC => (0u16, ChannelKind::Rssi, HEADER_LEN),
+            FRAME_MAGIC_V2 => {
+                (u16::from_le_bytes([bytes[2], bytes[3]]), ChannelKind::Rssi, HEADER_LEN_V2)
+            }
+            FRAME_MAGIC_V3 => {
+                let office = u16::from_le_bytes([bytes[2], bytes[3]]);
+                let channel = match ChannelKind::from_tag(bytes[4]) {
+                    Some(k) => k,
+                    None => return Err(WireError::BadChannel(bytes[4])),
+                };
+                (office, channel, HEADER_LEN_V3)
+            }
             _ => return Err(WireError::BadMagic),
         };
         if bytes.len() < header_len + 4 {
             return Err(WireError::Truncated);
         }
-        // Past the (v1) or (v2, office) prefix the two layouts agree.
+        // Past the version-specific prefix all three layouts agree on
+        // their last 16 header bytes: sensor, seq, tick, len.
         let rest = &bytes[header_len - 16..];
         let sensor = u16::from_le_bytes([rest[0], rest[1]]);
         let seq = u32::from_le_bytes([rest[2], rest[3], rest[4], rest[5]]);
@@ -310,7 +395,7 @@ impl Frame {
             return Err(WireError::BadChecksum { computed, carried });
         }
         let payload = &bytes[header_len..total - 4];
-        Ok((FrameView { office, sensor, seq, tick, payload }, total))
+        Ok((FrameView { office, channel, sensor, seq, tick, payload }, total))
     }
 }
 
@@ -320,13 +405,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let f = Frame {
-            office: 0,
-            sensor: 3,
-            seq: 41,
-            tick: 123_456,
-            values: vec![-50.25, -61.5, 0.0],
-        };
+        let f = Frame::rssi(3, 41, 123_456, vec![-50.25, -61.5, 0.0]);
         let bytes = f.encode();
         assert_eq!(bytes.len(), f.encoded_len());
         let (back, used) = Frame::decode(&bytes).unwrap();
@@ -338,6 +417,7 @@ mod tests {
     fn round_trip_v2_office() {
         let f = Frame {
             office: 777,
+            channel: ChannelKind::Rssi,
             sensor: 3,
             seq: 41,
             tick: 123_456,
@@ -355,8 +435,7 @@ mod tests {
     fn v1_frames_decode_as_office_zero() {
         // The exact pre-fleet byte layout must still decode, with the
         // office defaulted to 0 — old sensors keep working unchanged.
-        let f =
-            Frame { office: 0, sensor: 5, seq: 9, tick: 1234, values: vec![-48.0, -52.5] };
+        let f = Frame::rssi(5, 9, 1234, vec![-48.0, -52.5]);
         let bytes = f.encode();
         assert_eq!(u16::from_le_bytes([bytes[0], bytes[1]]), FRAME_MAGIC);
         assert_eq!(bytes.len(), HEADER_LEN + 4 * 2 + 4);
@@ -369,7 +448,7 @@ mod tests {
     fn office_zero_also_round_trips_through_v2() {
         // encode() picks v1 for office 0, but an explicitly v2-encoded
         // office-0 frame is legal and decodes to the same Frame.
-        let f = Frame { office: 0, sensor: 2, seq: 7, tick: 99, values: vec![-44.0] };
+        let f = Frame::rssi(2, 7, 99, vec![-44.0]);
         let mut v2 = Vec::new();
         f.encode_v2_into(&mut v2);
         assert_ne!(v2, f.encode(), "v2 bytes differ from the v1 default encoding");
@@ -383,9 +462,16 @@ mod tests {
         // Differential: both paths must agree field-for-field and
         // byte-for-byte on every header version, and reject errors
         // identically (same variant, same consumed-nothing contract).
-        for office in [0u16, 1, 41, u16::MAX] {
+        let cases = [
+            (0u16, ChannelKind::Rssi),
+            (1, ChannelKind::Rssi),
+            (41, ChannelKind::AmbientLight),
+            (u16::MAX, ChannelKind::AmbientLight),
+        ];
+        for (office, channel) in cases {
             let f = Frame {
                 office,
+                channel,
                 sensor: 3,
                 seq: 10 + u32::from(office),
                 tick: 5_000 + u64::from(office),
@@ -417,20 +503,90 @@ mod tests {
 
     #[test]
     fn streams_from_concatenated_buffer() {
-        let a = Frame { office: 0, sensor: 0, seq: 0, tick: 0, values: vec![1.0] };
-        let b = Frame { office: 3, sensor: 1, seq: 0, tick: 0, values: vec![2.0, 3.0] };
+        let a = Frame::rssi(0, 0, 0, vec![1.0]);
+        let b = Frame { office: 3, ..Frame::rssi(1, 0, 0, vec![2.0, 3.0]) };
+        let c = Frame {
+            office: 3,
+            channel: ChannelKind::AmbientLight,
+            ..Frame::rssi(0, 0, 0, vec![415.0])
+        };
         let mut buf = a.encode();
         b.encode_into(&mut buf);
+        c.encode_into(&mut buf);
         let (fa, na) = Frame::decode(&buf).unwrap();
         let (fb, nb) = Frame::decode(&buf[na..]).unwrap();
-        assert_eq!((fa, fb), (a, b));
-        assert_eq!(na + nb, buf.len());
+        let (fc, nc) = Frame::decode(&buf[na + nb..]).unwrap();
+        assert_eq!((fa, fb, fc), (a, b, c));
+        assert_eq!(na + nb + nc, buf.len());
+    }
+
+    #[test]
+    fn round_trip_v3_light_channel() {
+        let f = Frame {
+            office: 12,
+            channel: ChannelKind::AmbientLight,
+            sensor: 2,
+            seq: 31,
+            tick: 9_876,
+            values: vec![407.0, 415.0],
+        };
+        let bytes = f.encode();
+        assert_eq!(u16::from_le_bytes([bytes[0], bytes[1]]), FRAME_MAGIC_V3);
+        assert_eq!(bytes.len(), f.encoded_len());
+        assert_eq!(bytes.len(), HEADER_LEN_V3 + 4 * 2 + 4);
+        let (back, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(used, bytes.len());
+        // An office-0 light frame still needs the v3 header: the
+        // channel, not the office, forces the version.
+        let zero = Frame { office: 0, ..f };
+        let zb = zero.encode();
+        assert_eq!(u16::from_le_bytes([zb[0], zb[1]]), FRAME_MAGIC_V3);
+        assert_eq!(Frame::decode(&zb).unwrap().0, zero);
+    }
+
+    #[test]
+    fn rssi_frames_never_pay_for_the_v3_header() {
+        // encode() picks the oldest representable version, but an
+        // explicitly v3-encoded RSSI frame is legal and decodes to the
+        // same Frame.
+        let f = Frame { office: 5, ..Frame::rssi(1, 2, 3, vec![-47.5]) };
+        assert_eq!(u16::from_le_bytes([f.encode()[0], f.encode()[1]]), FRAME_MAGIC_V2);
+        let mut v3 = Vec::new();
+        f.encode_v3_into(&mut v3);
+        assert_eq!(u16::from_le_bytes([v3[0], v3[1]]), FRAME_MAGIC_V3);
+        let (back, used) = Frame::decode(&v3).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(used, v3.len());
+    }
+
+    #[test]
+    fn unknown_channel_tag_rejected() {
+        let f = Frame {
+            office: 1,
+            channel: ChannelKind::AmbientLight,
+            ..Frame::rssi(1, 2, 3, vec![400.0])
+        };
+        let mut bytes = f.encode();
+        bytes[4] = 7; // no such ChannelKind
+        let crc = crc32(&bytes[..bytes.len() - 4]);
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(WireError::BadChannel(7)));
     }
 
     #[test]
     fn every_single_bit_flip_is_rejected() {
-        for office in [0u16, 6] {
-            let f = Frame { office, sensor: 7, seq: 9, tick: 77, values: vec![-48.0, -52.5] };
+        let frames = [
+            Frame::rssi(7, 9, 77, vec![-48.0, -52.5]),
+            Frame { office: 6, ..Frame::rssi(7, 9, 77, vec![-48.0, -52.5]) },
+            Frame {
+                office: 6,
+                channel: ChannelKind::AmbientLight,
+                ..Frame::rssi(7, 9, 77, vec![410.0, 395.5])
+            },
+        ];
+        for f in frames {
             let clean = f.encode();
             for byte in 0..clean.len() {
                 for bit in 0..8 {
@@ -439,9 +595,10 @@ mod tests {
                     match Frame::decode(&dirty) {
                         Err(_) => {}
                         // A flip in the `len` field can only make the frame
-                        // longer (or oversize), never decode cleanly. The
+                        // longer (or oversize), never decode cleanly. Any
                         // two magics differ in two bits, so no single flip
-                        // can turn one version header into the other.
+                        // can turn one version header into another, and a
+                        // flipped channel tag fails the CRC.
                         Ok((g, _)) => panic!("flip {byte}:{bit} decoded as {g:?}"),
                     }
                 }
@@ -451,7 +608,7 @@ mod tests {
 
     #[test]
     fn truncation_and_magic_errors() {
-        let f = Frame { office: 0, sensor: 1, seq: 2, tick: 3, values: vec![4.0] };
+        let f = Frame::rssi(1, 2, 3, vec![4.0]);
         let bytes = f.encode();
         assert_eq!(Frame::decode(&bytes[..10]), Err(WireError::Truncated));
         assert_eq!(Frame::decode(&bytes[..bytes.len() - 1]), Err(WireError::Truncated));
@@ -460,14 +617,21 @@ mod tests {
         assert_eq!(Frame::decode(&bad), Err(WireError::BadMagic));
         // A v2 frame truncated inside its office field is Truncated,
         // not misread as v1.
-        let g = Frame { office: 9, sensor: 1, seq: 2, tick: 3, values: vec![4.0] };
+        let g = Frame { office: 9, ..Frame::rssi(1, 2, 3, vec![4.0]) };
         let v2 = g.encode();
         assert_eq!(Frame::decode(&v2[..HEADER_LEN + 3]), Err(WireError::Truncated));
+        // Likewise a v3 frame truncated inside its channel/sensor area.
+        let h = Frame {
+            channel: ChannelKind::AmbientLight,
+            ..Frame::rssi(1, 2, 3, vec![4.0])
+        };
+        let v3 = h.encode();
+        assert_eq!(Frame::decode(&v3[..HEADER_LEN + 4]), Err(WireError::Truncated));
     }
 
     #[test]
     fn oversize_length_rejected_before_allocation() {
-        let f = Frame { office: 0, sensor: 1, seq: 2, tick: 3, values: vec![4.0] };
+        let f = Frame::rssi(1, 2, 3, vec![4.0]);
         let mut bytes = f.encode();
         let huge = (MAX_PAYLOAD as u16 + 1).to_le_bytes();
         bytes[16] = huge[0];

@@ -12,7 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use fadewich_core::config::FadewichParams;
-use fadewich_officesim::{Scenario, ScenarioConfig, ScheduleParams, Trace};
+use fadewich_core::fusion::{DecisionMode, FusionConfig};
+use fadewich_officesim::{LightSimParams, Scenario, ScenarioConfig, ScheduleParams, Trace};
 use fadewich_runtime::checkpoint::{CheckpointStore, EngineSnapshot};
 use fadewich_runtime::engine::EngineConfig;
 use fadewich_runtime::link::LinkModel;
@@ -311,6 +312,108 @@ fn torn_write_during_the_day_degrades_to_the_previous_checkpoint() {
         assert_stitches(fx, &crashed, &snap, &resumed);
     }
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fused_crash_resumes_byte_identically() {
+    // The same crash/resume contract over the typed layout: the
+    // checkpoint must carry the channel-kind tags, the light detector
+    // bank, and the per-channel counters, and the caller-supplied
+    // fusion config must be validated against the restored state.
+    let config = ScenarioConfig {
+        seed: 0xC4A5,
+        days: 2,
+        schedule: ScheduleParams {
+            day_seconds: 3600.0,
+            departures_choices: [2, 2, 3, 3],
+            min_seated_s: 300.0,
+            absence_bounds_s: (80.0, 240.0),
+            ..ScheduleParams::default()
+        },
+        light: Some(LightSimParams::default()),
+        ..ScenarioConfig::default()
+    };
+    let scenario = Scenario::generate(config).unwrap();
+    let trace = scenario.simulate().unwrap();
+    let subset = scenario.layout().sensor_subset(9);
+    let streams = trace.stream_indices_for_subset(&subset);
+    let params = FadewichParams::default();
+    let re = replay::train_re(&scenario, &trace, &streams, 1, &params).unwrap();
+    let link = LinkModel { drop_p: 0.02, dup_p: 0.02, corrupt_p: 0.0, jitter_ticks: 2 };
+    let mut cfg = EngineConfig::new(trace.tick_hz(), params);
+    cfg.jitter_ticks = 2;
+    cfg.checkpoint_every_ticks = 400;
+    let fusion = replay::fusion_for_trace(&trace, DecisionMode::Fused);
+    let telemetry = fadewich_telemetry::Telemetry::disabled();
+    let full = replay::stream_day_fused(
+        &scenario, &trace, &streams, &re, 1, cfg, fusion.clone(), &link, LINK_SEED, &telemetry,
+    )
+    .unwrap();
+    let groups = replay::typed_groups(&trace, &streams);
+    let n_deliveries = replay::fused_day_deliveries(&trace, &streams, &groups, 1, &link, LINK_SEED)
+        .unwrap()
+        .len() as u64;
+
+    for crash_after in [n_deliveries / 3, 2 * n_deliveries / 3] {
+        let dir = scratch_dir("fused");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let crashed = replay::stream_day_checkpointed_fused(
+            &scenario,
+            &trace,
+            &streams,
+            &re,
+            1,
+            cfg,
+            fusion.clone(),
+            &link,
+            LINK_SEED,
+            &mut store,
+            Some(crash_after),
+        )
+        .unwrap();
+        let mut reopened = CheckpointStore::open(&dir).unwrap();
+        let outcome = reopened.load_latest().unwrap();
+        assert!(outcome.rejected.is_empty(), "clean saves were rejected: {:?}", outcome.rejected);
+        let (_, snap) = outcome.snapshot.expect("mid-day crash must have a checkpoint");
+        assert!(snap.stream_pos <= crash_after);
+
+        // The fusion config is deployment config, not state: a resume
+        // with the pre-fusion (no light streams) config must be
+        // refused, not silently mis-shaped.
+        let err = replay::resume_day_fused(
+            &scenario, &trace, &streams, &re, cfg, FusionConfig::rssi_only(), &link, LINK_SEED,
+            &snap,
+        )
+        .unwrap_err();
+        assert!(err.contains("light"), "unhelpful fusion mismatch error: {err}");
+
+        let resumed = replay::resume_day_fused(
+            &scenario, &trace, &streams, &re, cfg, fusion.clone(), &link, LINK_SEED, &snap,
+        )
+        .unwrap();
+        let stitched_actions: Vec<_> = crashed.actions[..snap.controller.n_actions as usize]
+            .iter()
+            .chain(&resumed.actions)
+            .collect();
+        let full_actions: Vec<_> = full.actions.iter().collect();
+        assert_eq!(stitched_actions, full_actions, "fused stitched decisions diverged");
+        assert_eq!(
+            format!("{stitched_actions:?}"),
+            format!("{full_actions:?}"),
+            "fused decisions must match byte-for-byte"
+        );
+        let stitched_events: Vec<_> = crashed.events[..snap.events_emitted as usize]
+            .iter()
+            .chain(&resumed.events)
+            .collect();
+        assert_eq!(stitched_events, full.events.iter().collect::<Vec<_>>());
+        assert_eq!(
+            resumed.counters.deterministic_summary(),
+            full.counters.deterministic_summary(),
+            "fused resumed counters diverged (per-channel breakdown included)"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 #[test]

@@ -13,8 +13,9 @@
 use std::sync::OnceLock;
 
 use fadewich_core::config::FadewichParams;
+use fadewich_core::fusion::DecisionMode;
 use fadewich_core::kma::Kma;
-use fadewich_officesim::{Scenario, ScenarioConfig, ScheduleParams, Trace};
+use fadewich_officesim::{LightSimParams, Scenario, ScenarioConfig, ScheduleParams, Trace};
 use fadewich_runtime::checkpoint::EngineSnapshot;
 use fadewich_runtime::engine::EngineConfig;
 use fadewich_runtime::link::LinkModel;
@@ -55,6 +56,35 @@ fn fixture() -> &'static Fixture {
     })
 }
 
+/// The same office with one photosensor per workstation: the fused
+/// engine layout, for pinning the typed (RSSI-prefix + light-suffix)
+/// path against the reference arithmetic.
+fn fused_fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let config = ScenarioConfig {
+            seed: 0xD3B,
+            days: 2,
+            schedule: ScheduleParams {
+                day_seconds: 2.0 * 3600.0,
+                departures_choices: [3, 3, 4, 4],
+                min_seated_s: 400.0,
+                absence_bounds_s: (90.0, 300.0),
+                ..ScheduleParams::default()
+            },
+            light: Some(LightSimParams::default()),
+            ..ScenarioConfig::default()
+        };
+        let scenario = Scenario::generate(config).unwrap();
+        let trace = scenario.simulate().unwrap();
+        let subset = scenario.layout().sensor_subset(9);
+        let streams = trace.stream_indices_for_subset(&subset);
+        let params = FadewichParams::default();
+        let re = replay::train_re(&scenario, &trace, &streams, 1, &params).unwrap();
+        Fixture { scenario, trace, streams, re, params }
+    })
+}
+
 /// Everything one replay produced that must not depend on which
 /// arithmetic path computed it.
 struct Outcome {
@@ -80,6 +110,41 @@ fn run_day(fx: &Fixture, reference: bool, link: &LinkModel, instrument: bool) ->
     engine.set_telemetry(telemetry.clone());
     let deliveries =
         replay::day_deliveries(&fx.trace, &fx.streams, &groups, 1, link, 0xF10D).unwrap();
+    let snap_at = [deliveries.len() / 3, 2 * deliveries.len() / 3];
+    let mut snapshots = Vec::new();
+    for (i, bytes) in deliveries.iter().enumerate() {
+        engine.ingest_bytes(bytes);
+        if snap_at.contains(&(i + 1)) {
+            snapshots.push(engine.snapshot(1, (i + 1) as u64, 0));
+        }
+    }
+    engine.finish(fx.trace.days()[1].n_ticks() as u64);
+    Outcome {
+        actions_debug: format!("{:?}", engine.actions()),
+        events: engine.events().to_vec(),
+        counters_summary: engine.counters().deterministic_summary(),
+        snapshots,
+        trace_jsonl: telemetry.trace_string(),
+        metrics_json: if instrument { telemetry.metrics_json(false).unwrap() } else { String::new() },
+    }
+}
+
+/// Streams fused-fixture day 1 through the typed layout (RSSI prefix +
+/// light suffix, fused decision mode) with the chosen paths.
+fn run_fused_day(fx: &Fixture, reference: bool, link: &LinkModel, instrument: bool) -> Outcome {
+    let groups = replay::typed_groups(&fx.trace, &fx.streams);
+    let fusion = replay::fusion_for_trace(&fx.trace, DecisionMode::Fused);
+    let inputs = fx.scenario.input_trace(1, 0);
+    let kma = Kma::new(&inputs);
+    let mut cfg = EngineConfig::new(fx.trace.tick_hz(), fx.params);
+    cfg.jitter_ticks = 3;
+    let telemetry = if instrument { Telemetry::buffering() } else { Telemetry::disabled() };
+    let mut engine =
+        StreamingEngine::with_layout(cfg, groups.clone(), fusion, &fx.re, kma).unwrap();
+    engine.set_reference_paths(reference);
+    engine.set_telemetry(telemetry.clone());
+    let deliveries =
+        replay::fused_day_deliveries(&fx.trace, &fx.streams, &groups, 1, link, 0xF10D).unwrap();
     let snap_at = [deliveries.len() / 3, 2 * deliveries.len() / 3];
     let mut snapshots = Vec::new();
     for (i, bytes) in deliveries.iter().enumerate() {
@@ -149,6 +214,30 @@ fn fast_and_reference_paths_emit_identical_traces() {
     let reference = run_day(fx, true, &LinkModel::lossless(), true);
     assert!(!fast.trace_jsonl.is_empty(), "instrumented replay emitted no trace records");
     assert_outcomes_identical(&fast, &reference, "instrumented");
+}
+
+#[test]
+fn fused_fast_and_reference_paths_are_byte_identical() {
+    // The typed layout takes the per-tick step_masked + observe_light
+    // path instead of the pure-RSSI batch, but the arithmetic pin must
+    // hold there too: decisions, events, counters (including the
+    // per-channel breakdown) and mid-day checkpoints carrying the
+    // light detector bank.
+    let fx = fused_fixture();
+    let fast = run_fused_day(fx, false, &LinkModel::lossless(), false);
+    let reference = run_fused_day(fx, true, &LinkModel::lossless(), false);
+    assert!(fast.actions_debug != "[]", "fused fixture day produced no actions at all");
+    assert!(
+        fast.counters_summary.contains("channel     light"),
+        "fused run must print the per-channel breakdown: {}",
+        fast.counters_summary
+    );
+    assert_outcomes_identical(&fast, &reference, "fused lossless");
+
+    let link = LinkModel { drop_p: 0.05, dup_p: 0.02, corrupt_p: 0.01, jitter_ticks: 3 };
+    let fast = run_fused_day(fx, false, &link, false);
+    let reference = run_fused_day(fx, true, &link, false);
+    assert_outcomes_identical(&fast, &reference, "fused lossy");
 }
 
 #[test]

@@ -196,13 +196,7 @@ fn dead_sensor_is_quarantined_and_decisions_still_flow() {
             continue;
         }
         let sender = groups.iter().position(|(s, _)| *s == r.sensor).unwrap();
-        let frame = fadewich_runtime::Frame {
-            office: 0,
-            sensor: r.sensor,
-            seq: seqs[sender],
-            tick: r.tick,
-            values: r.values,
-        };
+        let frame = fadewich_runtime::Frame::rssi(r.sensor, seqs[sender], r.tick, r.values);
         seqs[sender] += 1;
         engine.ingest_bytes(&frame.encode());
     }

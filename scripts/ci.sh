@@ -47,6 +47,14 @@ cmp "$workdir/replay.out" "$workdir/serve.out"
 cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
     serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-ref" \
     > /dev/null
+
+# RSSI-parity gate: the channel-typed stream generalization must not
+# move a single byte of a pure-RSSI deployment's decision log. The
+# fixture was recorded from this exact train+serve flow before the
+# refactor landed; any drift here means the typed engine changed
+# RSSI-only behavior, which the refactor promises it never does.
+cmp fixtures/pre-refactor-rssi-decisions.log "$workdir/ckpt-ref/decisions.log"
+
 if cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
     serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-crash" \
     --crash-after-ticks 20000 > /dev/null 2>&1; then
@@ -156,6 +164,21 @@ for o in 00000 00001 00002 00003; do
     cmp "$workdir/fleet-ckpt/office-$o/decisions.log" \
         "$workdir/fleet-crash/office-$o/decisions.log"
 done
+
+# Fusion gates: the RSSI/light ablation must be seed-deterministic —
+# two `reproduce fusion` runs byte-identical on stdout (stage timings
+# go to stderr) — and the RSSI-only row must certify parity with the
+# legacy untyped engine on every scored day.
+for i in 1 2; do
+    cargo run -q --release --offline -p fadewich-bench --bin reproduce -- \
+        --quick fusion > "$workdir/fusion$i.out"
+done
+cmp "$workdir/fusion1.out" "$workdir/fusion2.out"
+grep -q "identical" "$workdir/fusion1.out"
+if grep -q "DIFFERS" "$workdir/fusion1.out"; then
+    echo "fusion RSSI-only mode diverged from the legacy engine" >&2
+    exit 1
+fi
 
 # Wall-clock lint: Instant::now() is allowed only inside the telemetry
 # Clock implementations and the vendored bench harness. Everything
