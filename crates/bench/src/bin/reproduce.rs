@@ -6,7 +6,7 @@
 //!
 //! Targets: `table2 table3 table4 table5 fig2 fig7 fig8 fig9 fig10
 //! fig11 fig12 fig13 ablations deployment streaming recovery
-//! artifact telemetry csi baseline attacks offices` (default: all).
+//! artifact telemetry csi baseline offices` (default: all).
 //! `--quick` runs a 1-day scenario instead of the paper's 5 days.
 //!
 //! The `bench` target is explicit-only (never part of the default
@@ -32,6 +32,15 @@
 //! deauth latency and FP/FN across the rssi-only / light-only / fused
 //! decision modes. Its table is fully seed-deterministic; CI diffs two
 //! runs. A fusion-only invocation skips scenario generation too.
+//!
+//! The `attacks` target is explicit-only as well: `reproduce attacks`
+//! runs the adversarial robustness suite — the §V-C jamming
+//! conditions on a small scenario, then the containment study (every
+//! seeded attacker family spliced into an authenticated day stream,
+//! scored on detection rate, time-to-quarantine, and decision-stream
+//! divergence, which containment pins at zero). Both tables are
+//! seed-deterministic; CI diffs two `--quick` runs. An attacks-only
+//! invocation skips the shared scenario and sweep.
 //! Like `deployment` and `streaming`, the `recovery`, `artifact` and
 //! `telemetry` targets need a >= 2-day trace (they train on the
 //! leading days, then crash/resume the stream, export the model
@@ -186,6 +195,37 @@ fn run_fusion_target(opts: &Options) {
     }
 }
 
+/// Runs the adversarial robustness suite: the §V-C jamming conditions
+/// on a dedicated small scenario, then the keyed-MAC containment
+/// study over every seeded attacker family.
+fn run_attacks_target(opts: &Options) {
+    let days = if opts.quick { 2 } else { 5 };
+    eprintln!(
+        "attacks: jamming + {days}-day containment suite (seed {:#x})...",
+        opts.seed
+    );
+    let experiment = timing::time_stage("attacks::jamming-scenario", || {
+        Experiment::small(opts.seed)
+    })
+    .expect("attacks scenario");
+    let (_, jamming) = fadewich_experiments::attacks::jamming_study(&experiment)
+        .expect("jamming study");
+    print!("{jamming}\n");
+    let rows = fadewich_experiments::attacks::containment_study(opts.seed, days)
+        .expect("containment study");
+    let table = fadewich_experiments::attacks::containment_table(&rows);
+    print!("{table}\n");
+    if let Some(dir) = &opts.csv_dir {
+        let _ = std::fs::create_dir_all(dir);
+        for (name, t) in [("attacks_jamming", &jamming), ("attacks_containment", &table)] {
+            let path = format!("{dir}/{name}.csv");
+            if let Err(err) = std::fs::write(&path, t.to_csv()) {
+                eprintln!("warning: could not write {path}: {err}");
+            }
+        }
+    }
+}
+
 fn wanted(opts: &Options, target: &str) -> bool {
     opts.targets.is_empty() || opts.targets.contains(target)
 }
@@ -231,6 +271,13 @@ fn main() {
         run_fusion_target(&opts);
         if opts.targets.is_empty() {
             // Fusion-only invocation: no scenario, no sweep, no jobs.
+            return;
+        }
+    }
+    if opts.targets.remove("attacks") {
+        run_attacks_target(&opts);
+        if opts.targets.is_empty() {
+            // Attacks-only invocation: no scenario, no sweep, no jobs.
             return;
         }
     }
@@ -621,16 +668,6 @@ fn main() {
                 )
                 .expect("baseline comparison");
                 vec![table_emission("baseline", &cmp.render())]
-            }),
-        ));
-    }
-    if wanted(&opts, "attacks") {
-        jobs.push((
-            "attacks",
-            Box::new(|| {
-                let (_, table) = fadewich_experiments::attacks::jamming_study(&experiment)
-                    .expect("jamming study");
-                vec![table_emission("attacks", &table)]
             }),
         ));
     }

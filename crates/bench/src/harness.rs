@@ -16,6 +16,7 @@
 
 use std::sync::Arc;
 
+use fadewich_core::auth::KeyTable;
 use fadewich_core::config::FadewichParams;
 use fadewich_core::controller::Controller;
 use fadewich_core::features::{extract_features, TrainingSample};
@@ -458,6 +459,55 @@ fn wire_decode_borrowed_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<Benc
     Ok(row)
 }
 
+/// Authenticated ingest's marginal cost: decode + SipHash-2-4 MAC
+/// verification of pre-encoded v4 frames against the per-sensor key
+/// table — the work `StreamingEngine::set_auth` adds per frame at the
+/// untrusted boundary.
+fn mac_verify_row(cfg: &BenchConfig, clock: &dyn Clock) -> Result<BenchRow, String> {
+    let keys = KeyTable::derive(cfg.seed ^ 0x3AC, N_STREAMS as u16);
+    // Same seeded frame stream as `wire_decode`, signed.
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xDEC);
+    let mut bytes = Vec::new();
+    for i in 0..cfg.n_frames {
+        let sensor = (i % 4) as u16;
+        let frame = Frame::rssi(
+            sensor,
+            i as u32,
+            i / 4,
+            (0..2).map(|_| (-60.0 + 20.0 * rng.f64()) as f32).collect(),
+        );
+        let key = keys.get(sensor).expect("derived table covers the bench sensors");
+        bytes.extend_from_slice(&frame.encode_auth(key));
+    }
+    let mut verified = 0u64;
+    let m = measure(clock, cfg.warmup_iters, cfg.iters, cfg.samples, cfg.n_frames, || {
+        let mut rest: &[u8] = &bytes;
+        verified = 0;
+        while !rest.is_empty() {
+            let (view, used) =
+                Frame::decode_borrowed(rest).expect("pre-encoded frames decode");
+            let key = keys.get(view.sensor).expect("key present for every sensor");
+            if view.verify_mac(key) {
+                verified += 1;
+            }
+            black_box(&view);
+            rest = &rest[used..];
+        }
+    })?;
+    if verified != cfg.n_frames {
+        return Err(format!(
+            "mac verify: only {verified}/{} genuine frames verified",
+            cfg.n_frames
+        ));
+    }
+    let mut row = BenchRow::new("mac_verify");
+    row.push("frames", FieldValue::U64(cfg.n_frames));
+    row.push("bytes", FieldValue::U64(bytes.len() as u64));
+    row.push("frames_verified", FieldValue::U64(verified));
+    row.push_measurement(&m);
+    Ok(row)
+}
+
 /// Digest of a verdict stream: enough to prove two MD runs made the
 /// same decisions without storing them.
 fn verdict_digest(digest: &mut u64, v: &MdVerdict) {
@@ -798,6 +848,7 @@ pub fn run(cfg: &BenchConfig, clock: &Arc<dyn Clock>) -> Result<BenchReport, Str
     rows.push(engine_row(cfg, clock)?);
     rows.push(wire_decode_row(cfg, clock)?);
     rows.push(wire_decode_borrowed_row(cfg, clock)?);
+    rows.push(mac_verify_row(cfg, clock)?);
     rows.extend(md_rows(cfg, clock)?);
     rows.extend(svm_rows_bench(cfg, clock)?);
     rows.push(kde_fit_row(cfg, clock)?);

@@ -114,6 +114,7 @@ fn manual_clock_report_is_fully_deterministic_and_parses() {
         "engine",
         "wire_decode",
         "wire_decode_borrowed",
+        "mac_verify",
         "md_step_reference",
         "md_step_fast",
         "svm_predict_scalar",
@@ -150,6 +151,15 @@ fn manual_clock_report_is_fully_deterministic_and_parses() {
         .find(|r| r.get("name") == Some(&Json::Str("fleet_demux".into())))
         .unwrap();
     assert_eq!(fleet.get("matches_single_office"), Some(&Json::Bool(true)));
+    let mac = rows
+        .iter()
+        .find(|r| r.get("name") == Some(&Json::Str("mac_verify".into())))
+        .unwrap();
+    assert_eq!(
+        mac.get("frames_verified").and_then(Json::as_num),
+        Some(tiny_config().n_frames as f64),
+        "every genuine signed frame must verify"
+    );
 
     // The in-memory accessors agree with the parsed document.
     let fast = a.row("md_step_fast").unwrap();

@@ -43,7 +43,10 @@
 //! 6. **machines** — `m: u32`, then per machine: `class_a: u64`,
 //!    `class_b: u64`, kernel tag `u8` (0 = linear, 1 = RBF followed by
 //!    `gamma: f64`), `bias: f64`, `n_sv: u32`, `sv_dim: u32`, the
-//!    `n_sv` coefficients, then the support vectors row-major.
+//!    `n_sv` coefficients, then the support vectors row-major;
+//! 7. **keys** *(v3 only)* — `n_keys: u32`, then per key: `sensor:
+//!    u16` (strictly ascending) + 16 raw key bytes. The sensor →
+//!    MAC-key table the wire v4 codec authenticates frames against.
 //!
 //! # Version / compatibility rules
 //!
@@ -55,10 +58,15 @@
 //!   section. Version-1 artifacts decode with every stream defaulting
 //!   to [`ChannelKind::Rssi`] — bundles trained before the fusion
 //!   refactor keep loading unchanged.
+//! - Version 3 adds the per-sensor key table and *always* carries the
+//!   channel tags (even when every stream is RSSI — the version choice
+//!   is driven by the keys, not the channels).
 //! - Encoding picks the **oldest version that can represent the
 //!   bundle**: an all-RSSI schema still writes version 1 byte-for-byte
 //!   identically to older builds, so pinned artifacts and their
-//!   checksums stay stable.
+//!   checksums stay stable. A bundle carries keys ⇒ version 3; mixed
+//!   channels without keys ⇒ version 2; all-RSSI without keys ⇒
+//!   version 1.
 //! - Decoding validates semantics, not just framing: parameters must
 //!   pass [`FadewichParams::validate`], the scaler/SVM parts must pass
 //!   their `from_parts` checks, and the scaler dimension must equal
@@ -70,6 +78,7 @@ use std::path::Path;
 use fadewich_stats::checksum::crc32;
 use fadewich_svm::{BinarySvm, Kernel, MultiClassSvm, StandardScaler};
 
+use crate::auth::{AuthKey, KeyTable};
 use crate::config::FadewichParams;
 use crate::md::MdSnapshot;
 use crate::re::RadioEnvironment;
@@ -84,6 +93,10 @@ pub const ARTIFACT_VERSION: u16 = 1;
 /// The channel-typed format version, written when any stream is not
 /// RSSI.
 pub const ARTIFACT_VERSION_V2: u16 = 2;
+
+/// The authenticated format version, written when the bundle carries a
+/// per-sensor MAC key table.
+pub const ARTIFACT_VERSION_V3: u16 = 3;
 
 /// Bytes before the body: magic + version + body length.
 pub const HEADER_LEN: usize = 10;
@@ -135,6 +148,11 @@ pub struct ModelBundle {
     pub md: MdSnapshot,
     /// The trained RE classifier (scaler + one-vs-one SVM ensemble).
     pub re: RadioEnvironment,
+    /// Per-sensor frame-authentication keys, when the deployment runs
+    /// the engine in authenticated mode. `None` keeps the artifact at
+    /// version 1/2, byte-identical to pre-auth builds. When present the
+    /// table must be non-empty.
+    pub keys: Option<KeyTable>,
 }
 
 /// Why a byte buffer failed to decode into a [`ModelBundle`].
@@ -170,7 +188,7 @@ impl std::fmt::Display for ArtifactError {
                 write!(
                     f,
                     "unsupported artifact version {v} (this build reads \
-                     {ARTIFACT_VERSION} and {ARTIFACT_VERSION_V2})"
+                     {ARTIFACT_VERSION}, {ARTIFACT_VERSION_V2} and {ARTIFACT_VERSION_V3})"
                 )
             }
             ArtifactError::TrailingBytes => write!(f, "trailing bytes after model artifact"),
@@ -258,15 +276,23 @@ impl ModelBundle {
     /// Serializes the bundle, picking the oldest format version that
     /// can represent it: version 1 for all-RSSI schemas (byte-identical
     /// to pre-fusion builds), version 2 whenever a non-RSSI channel is
-    /// monitored.
+    /// monitored, version 3 whenever the bundle carries MAC keys.
     pub fn encode(&self) -> Vec<u8> {
         assert_eq!(
             self.schema.channels.len(),
             self.schema.stream_ids.len(),
             "schema channels must parallel stream ids"
         );
-        let version =
-            if self.schema.is_all_rssi() { ARTIFACT_VERSION } else { ARTIFACT_VERSION_V2 };
+        if let Some(keys) = &self.keys {
+            assert!(!keys.is_empty(), "a key table, when present, must hold at least one key");
+        }
+        let version = if self.keys.is_some() {
+            ARTIFACT_VERSION_V3
+        } else if self.schema.is_all_rssi() {
+            ARTIFACT_VERSION
+        } else {
+            ARTIFACT_VERSION_V2
+        };
         let mut body = Vec::new();
 
         // 1. Params.
@@ -280,7 +306,7 @@ impl ModelBundle {
         for &id in &self.schema.stream_ids {
             push_u32(&mut body, id);
         }
-        if version == ARTIFACT_VERSION_V2 {
+        if version >= ARTIFACT_VERSION_V2 {
             for &kind in &self.schema.channels {
                 body.push(kind.tag());
             }
@@ -344,6 +370,15 @@ impl ModelBundle {
             }
         }
 
+        // 7. Keys (v3 only).
+        if let Some(keys) = &self.keys {
+            push_len(&mut body, keys.len(), "sensor key");
+            for (sensor, key) in keys.iter() {
+                body.extend_from_slice(&sensor.to_le_bytes());
+                body.extend_from_slice(&key.to_bytes());
+            }
+        }
+
         let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
         out.extend_from_slice(&ARTIFACT_MAGIC);
         out.extend_from_slice(&version.to_le_bytes());
@@ -370,7 +405,7 @@ impl ModelBundle {
             return Err(ArtifactError::BadMagic);
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != ARTIFACT_VERSION && version != ARTIFACT_VERSION_V2 {
+        if !(ARTIFACT_VERSION..=ARTIFACT_VERSION_V3).contains(&version) {
             return Err(ArtifactError::UnsupportedVersion(version));
         }
         let body_len = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
@@ -420,7 +455,7 @@ impl ModelBundle {
         for i in 0..n_streams {
             stream_ids.push(cur.u32(&format!("stream id {i}"))?);
         }
-        let channels = if version == ARTIFACT_VERSION_V2 {
+        let channels = if version >= ARTIFACT_VERSION_V2 {
             let tags = cur.take(n_streams, "channel kinds")?;
             let mut kinds = Vec::with_capacity(n_streams.min(4096));
             for (i, &t) in tags.iter().enumerate() {
@@ -444,7 +479,8 @@ impl ModelBundle {
         let schema = FeatureSchema { tick_hz, stream_ids, channels, features_per_stream };
         if version == ARTIFACT_VERSION_V2 && schema.is_all_rssi() {
             // Canonical-encoding invariant: an all-RSSI schema must
-            // have been written as version 1.
+            // have been written as version 1. (Version 3 is exempt —
+            // its version choice is driven by the key table.)
             return Err(ArtifactError::Malformed(
                 "version-2 artifact carries an all-RSSI schema (must be version 1)".to_string(),
             ));
@@ -533,11 +569,43 @@ impl ModelBundle {
         let svm = MultiClassSvm::from_parts(classes, machines, scaler)
             .map_err(|e| ArtifactError::Malformed(e.to_string()))?;
 
+        // 7. Keys (v3 only).
+        let keys = if version == ARTIFACT_VERSION_V3 {
+            let n_keys = cur.u32("sensor key count")? as usize;
+            if n_keys == 0 {
+                // Canonical-encoding invariant: a keyless bundle must
+                // have been written as version 1/2.
+                return Err(ArtifactError::Malformed(
+                    "version-3 artifact carries an empty key table".to_string(),
+                ));
+            }
+            let mut table = KeyTable::new();
+            let mut prev: Option<u16> = None;
+            for i in 0..n_keys {
+                let s = cur.take(2, &format!("key {i} sensor id"))?;
+                let sensor = u16::from_le_bytes([s[0], s[1]]);
+                if prev.is_some_and(|p| sensor <= p) {
+                    return Err(ArtifactError::Malformed(format!(
+                        "key table sensor ids not strictly ascending at {sensor}"
+                    )));
+                }
+                prev = Some(sensor);
+                let raw = cur.take(16, &format!("key {i} bytes"))?;
+                table.insert(
+                    sensor,
+                    AuthKey::from_bytes(raw.try_into().expect("16-byte key slice")),
+                );
+            }
+            Some(table)
+        } else {
+            None
+        };
+
         if !cur.done() {
             return Err(ArtifactError::Malformed("unconsumed bytes inside body".to_string()));
         }
 
-        Ok(ModelBundle { params, schema, md, re: RadioEnvironment::from_svm(svm) })
+        Ok(ModelBundle { params, schema, md, re: RadioEnvironment::from_svm(svm), keys })
     }
 
     /// Writes the encoded bundle to `path`.
@@ -601,6 +669,7 @@ mod tests {
                 threshold: Some(11.5),
             },
             re: RadioEnvironment::from_svm(svm),
+            keys: None,
         }
     }
 
@@ -762,6 +831,106 @@ mod tests {
         // The v1 exhaustive flip test lives in the property suite; the
         // v2 layout gets the same guarantee here over a compact bundle.
         let bytes = mixed_bundle().encode();
+        for byte in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    ModelBundle::decode(&flipped).is_err(),
+                    "flip byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+    }
+
+    /// The sample bundle with a derived key table — forces version 3.
+    fn keyed_bundle() -> ModelBundle {
+        let mut bundle = sample_bundle();
+        bundle.keys = Some(crate::auth::KeyTable::derive(0xD3B, 9));
+        bundle
+    }
+
+    #[test]
+    fn keyed_bundle_round_trips_as_version_3() {
+        let bundle = keyed_bundle();
+        let bytes = bundle.encode();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), ARTIFACT_VERSION_V3);
+        let back = ModelBundle::decode(&bytes).unwrap();
+        assert_eq!(back, bundle);
+        assert_eq!(back.encode(), bytes, "canonical encoding must hold for v3");
+        // Keys survive bit-exactly.
+        let keys = back.keys.unwrap();
+        for s in 0..9u16 {
+            assert_eq!(keys.get(s), Some(&crate::auth::AuthKey::derive(0xD3B, s)));
+        }
+    }
+
+    #[test]
+    fn keyed_mixed_channel_bundle_is_still_version_3() {
+        // Keys dominate the version choice: mixed channels + keys is
+        // one v3 artifact, not some v2/v3 hybrid.
+        let mut bundle = keyed_bundle();
+        bundle.schema.channels[1] = ChannelKind::AmbientLight;
+        let bytes = bundle.encode();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), ARTIFACT_VERSION_V3);
+        assert_eq!(ModelBundle::decode(&bytes).unwrap(), bundle);
+    }
+
+    #[test]
+    fn version_3_with_empty_key_table_is_rejected() {
+        // Hand-build a v3 artifact with n_keys = 0: one bundle, one
+        // encoding — keyless must be v1/v2.
+        let bundle = keyed_bundle();
+        let mut bytes = bundle.encode();
+        // The key count sits 4 bytes after the machines section, i.e.
+        // at (body end − 4 CRC − key payload − 4 count).
+        let n = bytes.len();
+        let key_payload = 9 * (2 + 16);
+        let count_off = n - 4 - key_payload - 4;
+        assert_eq!(
+            u32::from_le_bytes(bytes[count_off..count_off + 4].try_into().unwrap()),
+            9,
+            "key-count offset arithmetic drifted"
+        );
+        bytes[count_off..count_off + 4].copy_from_slice(&0u32.to_le_bytes());
+        // Shrink the body to match and re-frame.
+        bytes.drain(count_off + 4..n - 4);
+        let body_len = (bytes.len() - HEADER_LEN - 4) as u32;
+        bytes[6..10].copy_from_slice(&body_len.to_le_bytes());
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        match ModelBundle::decode(&bytes) {
+            Err(ArtifactError::Malformed(why)) => assert!(why.contains("empty key"), "{why}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsorted_key_table_is_rejected() {
+        let bundle = keyed_bundle();
+        let mut bytes = bundle.encode();
+        // Swap the sensor ids of the first two keys (0 and 1) so the
+        // stream reads 1, 0, 2, … — valid framing, broken ordering.
+        let n = bytes.len();
+        let first_key = n - 4 - 9 * (2 + 16);
+        bytes[first_key..first_key + 2].copy_from_slice(&1u16.to_le_bytes());
+        bytes[first_key + 18..first_key + 20].copy_from_slice(&0u16.to_le_bytes());
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        match ModelBundle::decode(&bytes) {
+            Err(ArtifactError::Malformed(why)) => {
+                assert!(why.contains("ascending"), "{why}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_v3_is_rejected() {
+        // Same exhaustive guarantee the v1/v2 layouts carry: no single
+        // bit flip of a keyed artifact decodes.
+        let bytes = keyed_bundle().encode();
         for byte in 0..bytes.len() {
             for bit in 0..8u8 {
                 let mut flipped = bytes.clone();

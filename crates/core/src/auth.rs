@@ -1,0 +1,205 @@
+//! Per-sensor frame-authentication keys.
+//!
+//! "Rejecting the Attack" (PAPERS.md) defends 802.11 management frames
+//! by authenticating their source; FADEWICH's sensor → station link
+//! needs the same defense, because a deployed station otherwise ingests
+//! unauthenticated RSSI frames straight off the air. This module holds
+//! the key material side of that defense:
+//!
+//! - [`AuthKey`] — one sensor's 128-bit SipHash-2-4 MAC key;
+//! - [`KeyTable`] — the station's sensor-id → key map, carried inside
+//!   the versioned model artifact (v3) so serving processes receive
+//!   keys through the same guarded channel as the model itself.
+//!
+//! Key hygiene is enforced by construction *and* by lint:
+//! [`AuthKey::derive`] is the blessed way to mint keys (a keyed
+//! derivation from a master seed, so two sensors never share a key and
+//! a leaked per-sensor key does not reveal the master);
+//! [`AuthKey::from_bytes`] exists for the artifact codec to
+//! reconstitute stored keys, and `scripts/ci.sh` greps that no other
+//! non-test code calls it — constants in source are how hardcoded
+//! credentials happen.
+
+use fadewich_stats::mac::{siphash24, SipHasher};
+
+/// A 128-bit per-sensor MAC key.
+///
+/// Deliberately *not* `Debug`-transparent, `Display`, or serialized by
+/// any derive: the only way bytes leave is [`AuthKey::to_bytes`], used
+/// by the artifact codec.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct AuthKey([u8; 16]);
+
+impl std::fmt::Debug for AuthKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material; a truncated digest is enough to
+        // tell two keys apart in test failures.
+        let digest = siphash24(&self.0, b"authkey-debug");
+        write!(f, "AuthKey(#{:04x})", digest as u16)
+    }
+}
+
+impl AuthKey {
+    /// Derives sensor `sensor_id`'s key from a deployment master seed.
+    ///
+    /// The derivation is itself a SipHash PRF keyed by the master seed
+    /// over a domain-separated message, so per-sensor keys are
+    /// pairwise independent and the master seed is not recoverable
+    /// from any of them.
+    pub fn derive(master_seed: u64, sensor_id: u16) -> AuthKey {
+        let master: [u8; 16] = {
+            let mut k = [0u8; 16];
+            k[..8].copy_from_slice(&master_seed.to_le_bytes());
+            k[8..].copy_from_slice(&master_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_le_bytes());
+            k
+        };
+        let mut key = [0u8; 16];
+        for (half, out) in key.chunks_exact_mut(8).enumerate() {
+            let mut h = SipHasher::new(&master);
+            h.write(b"fadewich-sensor-key");
+            h.write(&[half as u8]);
+            h.write(&sensor_id.to_le_bytes());
+            out.copy_from_slice(&h.finish().to_le_bytes());
+        }
+        AuthKey(key)
+    }
+
+    /// Reconstitutes a key from stored bytes. **Codec use only** — new
+    /// keys come from [`AuthKey::derive`]; CI lints that nothing else
+    /// calls this outside tests.
+    pub fn from_bytes(bytes: [u8; 16]) -> AuthKey {
+        AuthKey(bytes)
+    }
+
+    /// The raw key bytes, for the artifact codec.
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0
+    }
+
+    /// MACs a two-part message (header ‖ payload) without copying.
+    pub fn tag_parts(&self, head: &[u8], tail: &[u8]) -> u64 {
+        let mut h = SipHasher::new(&self.0);
+        h.write(head);
+        h.write(tail);
+        h.finish()
+    }
+}
+
+/// The station's sensor-id → key map.
+///
+/// Stored sorted by sensor id so the artifact encoding is canonical
+/// (same table ⇒ same bytes ⇒ same CRC).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KeyTable {
+    /// `(sensor id, key)` pairs, strictly ascending by sensor id.
+    entries: Vec<(u16, AuthKey)>,
+}
+
+impl KeyTable {
+    /// An empty table.
+    pub fn new() -> KeyTable {
+        KeyTable::default()
+    }
+
+    /// Derives a full table for sensors `0..n_sensors` from one master
+    /// seed — the normal deployment path.
+    pub fn derive(master_seed: u64, n_sensors: u16) -> KeyTable {
+        KeyTable {
+            entries: (0..n_sensors).map(|s| (s, AuthKey::derive(master_seed, s))).collect(),
+        }
+    }
+
+    /// Inserts or replaces one sensor's key.
+    pub fn insert(&mut self, sensor: u16, key: AuthKey) {
+        match self.entries.binary_search_by_key(&sensor, |&(s, _)| s) {
+            Ok(i) => self.entries[i].1 = key,
+            Err(i) => self.entries.insert(i, (sensor, key)),
+        }
+    }
+
+    /// Looks up one sensor's key.
+    pub fn get(&self, sensor: u16) -> Option<&AuthKey> {
+        self.entries
+            .binary_search_by_key(&sensor, |&(s, _)| s)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Number of keyed sensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(sensor id, key)` in ascending sensor order — the
+    /// canonical encoding order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &AuthKey)> {
+        self.entries.iter().map(|(s, k)| (*s, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic_and_per_sensor() {
+        let a = AuthKey::derive(0xD3B, 0);
+        assert_eq!(a, AuthKey::derive(0xD3B, 0), "same inputs must re-derive the same key");
+        assert_ne!(a, AuthKey::derive(0xD3B, 1), "sensors must not share keys");
+        assert_ne!(a, AuthKey::derive(0xD3C, 0), "master seeds must not share keys");
+        // Both key halves must depend on the inputs (a constant half
+        // would halve the effective key size).
+        let b = AuthKey::derive(0xD3B, 1).to_bytes();
+        let ab = a.to_bytes();
+        assert_ne!(ab[..8], b[..8]);
+        assert_ne!(ab[8..], b[8..]);
+    }
+
+    #[test]
+    fn tag_parts_matches_contiguous_mac() {
+        let key = AuthKey::derive(7, 3);
+        let head = b"header bytes";
+        let tail = b"payload bytes";
+        let mut joined = head.to_vec();
+        joined.extend_from_slice(tail);
+        assert_eq!(key.tag_parts(head, tail), siphash24(&key.to_bytes(), &joined));
+    }
+
+    #[test]
+    fn key_table_lookup_and_canonical_order() {
+        let mut table = KeyTable::new();
+        table.insert(5, AuthKey::derive(1, 5));
+        table.insert(2, AuthKey::derive(1, 2));
+        table.insert(5, AuthKey::derive(9, 5)); // replace
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(5), Some(&AuthKey::derive(9, 5)));
+        assert_eq!(table.get(2), Some(&AuthKey::derive(1, 2)));
+        assert_eq!(table.get(3), None);
+        let order: Vec<u16> = table.iter().map(|(s, _)| s).collect();
+        assert_eq!(order, vec![2, 5], "iteration must be ascending by sensor id");
+
+        let derived = KeyTable::derive(0xD3B, 4);
+        assert_eq!(derived.len(), 4);
+        for s in 0..4 {
+            assert_eq!(derived.get(s), Some(&AuthKey::derive(0xD3B, s)));
+        }
+        assert!(!derived.is_empty());
+        assert!(KeyTable::new().is_empty());
+    }
+
+    #[test]
+    fn debug_never_prints_key_bytes() {
+        let key = AuthKey::derive(0xFEED, 1);
+        let shown = format!("{key:?}");
+        for window in key.to_bytes().windows(2) {
+            let hex = format!("{:02x}{:02x}", window[0], window[1]);
+            assert!(!shown.to_lowercase().contains(&hex) || hex == "0000" || shown.len() < 4);
+        }
+        assert!(shown.starts_with("AuthKey(#"));
+    }
+}

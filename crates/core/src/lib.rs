@@ -30,6 +30,9 @@
 //! - [`artifact`] — the versioned, CRC-guarded model bundle that
 //!   carries a trained MD profile + RE classifier from a training run
 //!   to a serving process;
+//! - [`auth`] — per-sensor frame-authentication keys ([`auth::AuthKey`],
+//!   [`auth::KeyTable`]) carried by artifact v3 and verified by the
+//!   wire v4 codec;
 //! - [`stream`] — the channel-typed sensor-stream descriptors
 //!   ([`stream::ChannelKind`], [`stream::StreamSchema`]) that
 //!   generalize the pipeline beyond the RSSI link matrix;
@@ -60,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod auth;
 pub mod config;
 pub mod controller;
 pub mod features;
@@ -74,6 +78,7 @@ pub mod usability;
 pub mod windows;
 
 pub use artifact::{ArtifactError, FeatureSchema, ModelBundle};
+pub use auth::{AuthKey, KeyTable};
 pub use config::FadewichParams;
 pub use controller::{Action, ActionKind, Controller, SystemState};
 pub use features::TrainingSample;

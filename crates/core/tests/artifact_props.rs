@@ -8,6 +8,7 @@
 use std::sync::OnceLock;
 
 use fadewich_core::artifact::{FeatureSchema, ModelBundle};
+use fadewich_core::auth::KeyTable;
 use fadewich_core::config::FadewichParams;
 use fadewich_core::md::{MdSnapshot, MovementDetector};
 use fadewich_core::re::RadioEnvironment;
@@ -18,8 +19,9 @@ use fadewich_testkit::prop::u64s;
 
 /// Trains a small but fully random bundle: random stream/feature
 /// layout, channel kinds (so both the v1 all-RSSI and the v2 mixed
-/// encodings are exercised), class count, kernel, MD profile, and
-/// threshold.
+/// encodings are exercised), class count, kernel, MD profile,
+/// threshold, and — half the time — a per-sensor key table (forcing
+/// the v3 encoding).
 fn random_bundle(rng: &mut Rng) -> ModelBundle {
     let n_streams = 1 + rng.below(3);
     let features_per_stream = 1 + rng.below(3);
@@ -75,6 +77,11 @@ fn random_bundle(rng: &mut Rng) -> ModelBundle {
         },
         md: MdSnapshot { values, threshold },
         re: RadioEnvironment::from_svm(svm),
+        keys: if rng.bernoulli(0.5) {
+            Some(KeyTable::derive(rng.below(1 << 30) as u64, 1 + rng.below(8) as u16))
+        } else {
+            None
+        },
     }
 }
 
@@ -129,7 +136,8 @@ fadewich_testkit::property! {
 
 /// The random property samples flips; this nails the guarantee down
 /// exhaustively on bundles small enough to try every single bit — once
-/// per encoding version (all-RSSI → v1, mixed channels → v2).
+/// per encoding version (all-RSSI → v1, mixed channels → v2, keyed →
+/// v3).
 #[test]
 fn every_single_bit_flip_in_a_small_artifact_is_rejected() {
     let mut rng = Rng::seed_from_u64(7);
@@ -137,13 +145,18 @@ fn every_single_bit_flip_in_a_small_artifact_is_rejected() {
     bundle.md = MdSnapshot { values: vec![5.0, 6.0, 7.0], threshold: Some(8.0) };
     let n = bundle.schema.stream_ids.len();
     let layouts = [
-        vec![ChannelKind::Rssi; n],
-        (0..n)
-            .map(|i| if i == 0 { ChannelKind::AmbientLight } else { ChannelKind::Rssi })
-            .collect::<Vec<_>>(),
+        (vec![ChannelKind::Rssi; n], None),
+        (
+            (0..n)
+                .map(|i| if i == 0 { ChannelKind::AmbientLight } else { ChannelKind::Rssi })
+                .collect::<Vec<_>>(),
+            None,
+        ),
+        (vec![ChannelKind::Rssi; n], Some(KeyTable::derive(0xD3B, 3))),
     ];
-    for channels in layouts {
+    for (channels, keys) in layouts {
         bundle.schema.channels = channels;
+        bundle.keys = keys;
         let clean = bundle.encode();
         for byte in 0..clean.len() {
             for bit in 0..8 {

@@ -1,20 +1,40 @@
-//! Wireless physical attacks, measured (paper §V-C).
+//! Adversarial studies: physical-layer jamming (paper §V-C) and the
+//! sensor-plane containment suite (`reproduce attacks`).
 //!
-//! Three conditions over the *same* recorded day: no attack, a noise
-//! jammer, and a saturation jammer, each timed to cover one victim's
-//! departure. For every condition we report whether MD still detected
-//! the departure and whether the channel-integrity guard raised an
-//! alarm — turning §V-C's "we believe such attacks are ineffective /
-//! detectable" into numbers.
+//! Two complementary threat surfaces:
+//!
+//! * [`jamming_study`] — the paper's §V-C conditions over the *same*
+//!   recorded day: no attack, a noise jammer, and a saturation jammer,
+//!   each timed to cover one victim's departure. For every condition
+//!   we report whether MD still detected the departure and whether
+//!   the channel-integrity guard raised an alarm — turning §V-C's "we
+//!   believe such attacks are ineffective / detectable" into numbers.
+//!
+//! * [`containment_study`] — the digital adversary of DESIGN.md §15:
+//!   every seeded [`AttackKind`] family spliced into an authenticated
+//!   (keyed-MAC v4) day stream, scored on detection rate, rate
+//!   limiting, time-to-quarantine, and — the containment invariant —
+//!   decision-stream divergence against the clean run, which must be
+//!   **zero** for every contained family. A two-engine emulation of a
+//!   fleet shows per-office flood targeting leaves the co-tenant
+//!   untouched.
 
+use fadewich_core::auth::KeyTable;
+use fadewich_core::config::FadewichParams;
+use fadewich_core::controller::Action;
 use fadewich_core::guard::{GuardParams, IntegrityGuard};
+use fadewich_core::kma::Kma;
 use fadewich_core::md::run_md_over_day;
 use fadewich_geometry::Point;
-use fadewich_officesim::{DayTrace, MovementEvent};
+use fadewich_officesim::{DayTrace, MovementEvent, Scenario, ScenarioConfig, ScheduleParams};
 use fadewich_rfchannel::{Jammer, JammerKind};
+use fadewich_runtime::{
+    replay, AttackKind, AttackModel, EngineAuth, EngineConfig, EngineEvent, StreamingEngine,
+};
 use fadewich_stats::rng::Rng;
 
 use crate::experiment::Experiment;
+use crate::par::timing;
 use crate::report::TextTable;
 
 /// Result of one attack condition.
@@ -168,6 +188,215 @@ pub fn jamming_study(experiment: &Experiment) -> Result<(Vec<AttackConditionResu
     Ok((results, t))
 }
 
+/// One attacker family's containment scorecard over one attacked day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainmentRow {
+    /// Attack family (or baseline) label.
+    pub family: String,
+    /// Attacker frames spliced into the day's send stream.
+    pub frames_injected: usize,
+    /// Attacker frames the engine refused (MAC/downgrade rejections
+    /// plus anti-replay hits).
+    pub frames_rejected: u64,
+    /// `rejected / injected`; `None` for the no-attack rows.
+    pub detection_rate: Option<f64>,
+    /// Rejections past the per-sensor window budget.
+    pub rate_limited: u64,
+    /// Sensors pushed into attack-quarantine.
+    pub quarantines: u64,
+    /// Ticks from attack start to the first attack-quarantine event.
+    pub quarantine_after_ticks: Option<u64>,
+    /// Decisions differing from the clean run — the containment
+    /// invariant pins this to zero for every contained family.
+    pub diverged_decisions: usize,
+}
+
+/// The containment fixture: the streaming schedule, RSSI only — the
+/// adversary lives on the sensor uplink, not in the light fixtures.
+fn containment_scenario(seed: u64, days: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        days,
+        schedule: ScheduleParams {
+            day_seconds: 2.0 * 3600.0,
+            departures_choices: [3, 3, 4, 4],
+            min_seated_s: 400.0,
+            absence_bounds_s: (90.0, 300.0),
+            ..ScheduleParams::default()
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+/// What one engine pass under (possible) attack produced.
+struct AttackedRun {
+    actions: Vec<Action>,
+    events: Vec<EngineEvent>,
+    counters: fadewich_runtime::counters::RuntimeCounters,
+}
+
+/// Decisions differing from the clean reference, counted positionally
+/// (extra or missing trailing actions each count as one divergence).
+fn divergence(attacked: &[Action], clean: &[Action]) -> usize {
+    let shared = attacked.len().min(clean.len());
+    let mismatched = (0..shared)
+        .filter(|&i| format!("{:?}", attacked[i]) != format!("{:?}", clean[i]))
+        .count();
+    mismatched + attacked.len().max(clean.len()) - shared
+}
+
+/// Runs the containment suite: train on day 0 of a seeded scenario,
+/// then stream the first online day — clean, and once per
+/// [`AttackKind`] family — through an authenticated engine holding
+/// the deployment [`KeyTable`]. A final pair of rows emulates a
+/// two-tenant fleet (post-demux) under a flood targeting office 1
+/// only.
+///
+/// Everything is seeded: the scenario, the training pass, and each
+/// attacker's draws (`Rng::task_stream(seed, family index)`), so the
+/// table is byte-identical across runs and thread counts.
+///
+/// # Errors
+///
+/// Needs `days >= 2` (one training day plus the attacked online day);
+/// propagates scenario, training, and engine construction errors.
+pub fn containment_study(seed: u64, days: usize) -> Result<Vec<ContainmentRow>, String> {
+    if days < 2 {
+        return Err(format!("containment study needs >= 2 days, got {days}"));
+    }
+    let (scenario, trace) = timing::time_stage("attacks::scenario", || {
+        let scenario =
+            Scenario::generate(containment_scenario(seed, days)).map_err(|e| format!("{e}"))?;
+        let trace = scenario.simulate().map_err(|e| format!("{e}"))?;
+        Ok::<_, String>((scenario, trace))
+    })?;
+    let params = FadewichParams::default();
+    let subset = scenario.layout().sensor_subset(9);
+    let streams = trace.stream_indices_for_subset(&subset);
+    let re = timing::time_stage("attacks::train", || {
+        replay::train_re(&scenario, &trace, &streams, 1, &params)
+    })?;
+    let groups = trace.receiver_groups(&streams);
+    let n_keys = groups.iter().map(|(s, _)| *s).max().unwrap_or(0) + 1;
+    let keys = KeyTable::derive(seed ^ 0xA7_7AC4, n_keys);
+
+    let day = 1;
+    let n_ticks = trace.days()[day].n_ticks() as u64;
+    let run = |frames: &[(u64, Vec<u8>)]| -> Result<AttackedRun, String> {
+        let inputs = scenario.input_trace(day, 0);
+        let kma = Kma::new(&inputs);
+        let cfg = EngineConfig::new(trace.tick_hz(), params);
+        let mut engine = StreamingEngine::new(cfg, groups.clone(), &re, kma)?;
+        engine.set_auth(EngineAuth::new(keys.clone()));
+        for (_, bytes) in frames {
+            engine.ingest_bytes(bytes);
+        }
+        engine.finish(n_ticks);
+        Ok(AttackedRun {
+            actions: engine.actions().to_vec(),
+            events: engine.events().to_vec(),
+            counters: engine.counters().clone(),
+        })
+    };
+
+    // The clean reference: every genuine frame signed, none rejected.
+    let clean = replay::signed_day_frames(&trace, &streams, &groups, day, 0, &keys)?;
+    let clean_run = timing::time_stage("attacks::clean", || run(&clean))?;
+
+    // Attack window: a mid-day stretch long enough to exhaust several
+    // per-sensor budget windows; the claimed identity is a mid-layout
+    // sensor with that group's genuine payload width.
+    let from_tick = n_ticks / 3;
+    let to_tick = (from_tick + 240).min(n_ticks);
+    let target = groups[groups.len() / 2].0;
+    let width = groups[groups.len() / 2].1.len();
+    let model = |kind| AttackModel {
+        kind,
+        sensor: target,
+        payload_width: width,
+        from_tick,
+        to_tick,
+        target_office: None,
+    };
+    let families = [
+        ("forged-mac", model(AttackKind::ForgedMac { frames_per_tick: 2 })),
+        ("absent-mac", model(AttackKind::AbsentMac { frames_per_tick: 2 })),
+        ("replay", model(AttackKind::ReplayCapture { capture_p: 0.2, delay_ticks: 40 })),
+        ("deauth-storm", model(AttackKind::DeauthStorm { frames_per_tick: 6 })),
+    ];
+
+    let score = |family: &str, injected: usize, r: &AttackedRun| -> ContainmentRow {
+        let c = &r.counters;
+        let rejected = c.frames_unauthenticated + c.frames_replayed;
+        ContainmentRow {
+            family: family.to_string(),
+            frames_injected: injected,
+            frames_rejected: rejected,
+            detection_rate: (injected > 0).then(|| rejected as f64 / injected as f64),
+            rate_limited: c.frames_rate_limited,
+            quarantines: c.attack_quarantines,
+            quarantine_after_ticks: r.events.iter().find_map(|e| match e {
+                EngineEvent::SensorAttackQuarantined { tick, .. } => {
+                    Some(tick.saturating_sub(from_tick))
+                }
+                _ => None,
+            }),
+            diverged_decisions: divergence(&r.actions, &clean_run.actions),
+        }
+    };
+
+    let mut rows = vec![score("no attack", 0, &clean_run)];
+    for (i, (family, attack)) in families.iter().enumerate() {
+        let mut rng = Rng::task_stream(seed ^ 0x5A17, i as u64);
+        let merged = attack.apply(&clean, &mut rng);
+        let injected = merged.len() - clean.len();
+        let attacked = timing::time_stage(&format!("attacks::{family}"), || run(&merged))?;
+        rows.push(score(family, injected, &attacked));
+    }
+
+    // Fleet emulation: two tenants, post-demux, flood aimed at office
+    // 1 only. The bystander's stream is untouched by construction —
+    // the demux routes on the office id the storm stamps in — so its
+    // row is the clean run's scorecard under a second label.
+    let clean_office1 = replay::signed_day_frames(&trace, &streams, &groups, day, 1, &keys)?;
+    let storm = AttackModel {
+        target_office: Some(1),
+        ..model(AttackKind::DeauthStorm { frames_per_tick: 6 })
+    };
+    let mut rng = Rng::task_stream(seed ^ 0x5A17, families.len() as u64);
+    let merged = storm.apply(&clean_office1, &mut rng);
+    let injected = merged.len() - clean_office1.len();
+    let flooded = timing::time_stage("attacks::targeted-flood", || run(&merged))?;
+    rows.push(score("flood -> office 1 (target)", injected, &flooded));
+    rows.push(score("flood -> office 0 (bystander)", 0, &clean_run));
+    Ok(rows)
+}
+
+/// Renders the containment suite as the `reproduce attacks` table.
+#[must_use]
+pub fn containment_table(rows: &[ContainmentRow]) -> TextTable {
+    let mut t = TextTable::new(
+        "Containment: seeded attacker families vs the authenticated engine",
+        &[
+            "family", "injected", "rejected", "detection", "rate-limited", "quarantines",
+            "quarantine after (ticks)", "diverged decisions",
+        ],
+    );
+    for r in rows {
+        t.add_row(vec![
+            r.family.clone(),
+            r.frames_injected.to_string(),
+            r.frames_rejected.to_string(),
+            r.detection_rate.map_or("-".to_string(), |d| format!("{d:.3}")),
+            r.rate_limited.to_string(),
+            r.quarantines.to_string(),
+            r.quarantine_after_ticks.map_or("-".to_string(), |t| t.to_string()),
+            r.diverged_decisions.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +431,65 @@ mod tests {
             "alarm too slow: {saturate:?}"
         );
         assert_eq!(table.n_rows(), 3);
+    }
+
+    fn containment_rows() -> &'static Vec<ContainmentRow> {
+        static ROWS: OnceLock<Vec<ContainmentRow>> = OnceLock::new();
+        ROWS.get_or_init(|| containment_study(0xD3B, 2).unwrap())
+    }
+
+    #[test]
+    fn every_attack_family_is_fully_detected_and_contained() {
+        let rows = containment_rows();
+        assert_eq!(rows.len(), 7, "{rows:?}");
+        for r in rows.iter() {
+            // The containment invariant: no family moves a decision.
+            assert_eq!(r.diverged_decisions, 0, "{r:?}");
+        }
+        let baseline = &rows[0];
+        assert_eq!(baseline.frames_rejected, 0, "{baseline:?}");
+        assert_eq!(baseline.quarantines, 0, "{baseline:?}");
+        for r in rows.iter().filter(|r| r.frames_injected > 0) {
+            assert!(r.frames_injected > 100, "attack too small to exercise budgets: {r:?}");
+            assert_eq!(r.detection_rate, Some(1.0), "a frame slipped through: {r:?}");
+        }
+    }
+
+    #[test]
+    fn floods_exhaust_the_budget_and_quarantine_fast() {
+        for family in ["forged-mac", "absent-mac", "deauth-storm"] {
+            let r = containment_rows().iter().find(|r| r.family == family).unwrap();
+            assert!(r.rate_limited > 0, "{r:?}");
+            assert_eq!(r.quarantines, 1, "{r:?}");
+            // Budget 16 at >= 2 rejections/tick: quarantine lands well
+            // inside the first 64-tick window.
+            assert!(r.quarantine_after_ticks.unwrap() < 64, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn targeted_flood_leaves_the_bystander_office_untouched() {
+        let rows = containment_rows();
+        let target = rows.iter().find(|r| r.family.contains("office 1")).unwrap();
+        let bystander = rows.iter().find(|r| r.family.contains("office 0")).unwrap();
+        assert!(target.frames_injected > 1000, "{target:?}");
+        assert_eq!(target.detection_rate, Some(1.0), "{target:?}");
+        assert_eq!(target.quarantines, 1, "{target:?}");
+        assert_eq!(bystander.frames_rejected, 0, "{bystander:?}");
+        assert_eq!(bystander.quarantines, 0, "{bystander:?}");
+        assert_eq!(bystander.diverged_decisions, 0, "{bystander:?}");
+    }
+
+    #[test]
+    fn containment_study_is_deterministic_and_renders() {
+        let again = containment_study(0xD3B, 2).unwrap();
+        assert_eq!(
+            format!("{:?}", containment_rows()),
+            format!("{again:?}"),
+            "containment suite must be seed-deterministic"
+        );
+        let table = containment_table(containment_rows()).render();
+        assert!(table.contains("deauth-storm") && table.contains("bystander"), "{table}");
+        assert!(containment_study(0xD3B, 1).is_err(), "needs a training + online day");
     }
 }

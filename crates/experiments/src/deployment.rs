@@ -286,6 +286,7 @@ pub fn export_model(
         ),
         md: md.snapshot(),
         re,
+        keys: None,
     })
 }
 

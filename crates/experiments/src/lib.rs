@@ -10,7 +10,9 @@
 //! - [`csi`] — the RSSI-vs-CSI future-work comparison;
 //! - [`baseline`] — FADEWICH vs the RTI departure-detection baseline;
 //! - [`offices`] — generalization across office setups and ad-hoc devices;
-//! - [`attacks`] — jamming attacks and the integrity-guard response;
+//! - [`attacks`] — jamming attacks, the integrity-guard response, and
+//!   the `reproduce attacks` containment suite (seeded attacker
+//!   families vs the authenticated engine);
 //! - [`streaming`] — the live runtime replayed against the batch
 //!   controller, lossless (parity) and lossy (degradation);
 //! - [`fusion`] — the RSSI/light ablation: deauth latency and FP/FN

@@ -827,6 +827,19 @@ fn run_fleet(
                 );
             }
         }
+        if report.auth_totals.any() {
+            // Auth rollup — printed only when some engine counted
+            // spoof/replay/flood activity, so an unauthenticated fleet
+            // keeps its exact pre-auth stdout.
+            let a = &report.auth_totals;
+            println!(
+                "auth         unauthenticated {}  replayed {}  rate-limited {}  attack-quarantines {}",
+                a.frames_unauthenticated,
+                a.frames_replayed,
+                a.frames_rate_limited,
+                a.attack_quarantines
+            );
+        }
         base_ticks += n_ticks;
     }
     Ok(())

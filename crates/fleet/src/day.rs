@@ -44,7 +44,7 @@ use fadewich_runtime::checkpoint::{CheckpointStore, Checkpointer, EngineSnapshot
 use fadewich_runtime::counters::{ChannelCounters, RuntimeCounters};
 use fadewich_runtime::engine::{EngineConfig, EngineEvent, StreamingEngine};
 use fadewich_runtime::link::LinkModel;
-use fadewich_runtime::replay::day_deliveries_for_office;
+use fadewich_runtime::replay::{day_deliveries_for_office, day_deliveries_for_office_into};
 use fadewich_telemetry::Telemetry;
 
 use crate::runtime::{FleetCounters, FleetRuntime};
@@ -79,6 +79,9 @@ pub fn event_line(ev: &EngineEvent) -> String {
         }
         EngineEvent::SensorRecovered { sensor, tick } => {
             format!("tick {tick:>6}  sensor {sensor} recovered")
+        }
+        EngineEvent::SensorAttackQuarantined { sensor, tick } => {
+            format!("tick {tick:>6}  sensor {sensor} ATTACK-QUARANTINED")
         }
     }
 }
@@ -224,6 +227,39 @@ pub struct OfficeDay {
     pub counters: RuntimeCounters,
 }
 
+/// Fleet-wide totals of the per-engine authentication counters — the
+/// rollup of each office's spoof/replay/flood accounting. All zero for
+/// a legacy-unauthenticated fleet under no attack, in which case the
+/// stdout rollup and telemetry export stay byte-identical to the
+/// pre-auth output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuthTotals {
+    /// Frames rejected for a missing, forged, or mode-mismatched MAC.
+    pub frames_unauthenticated: u64,
+    /// Valid-MAC frames rejected by the anti-replay windows.
+    pub frames_replayed: u64,
+    /// Auth rejections beyond some sensor's per-window budget.
+    pub frames_rate_limited: u64,
+    /// Sensors attack-quarantined across the fleet.
+    pub attack_quarantines: u64,
+}
+
+impl AuthTotals {
+    /// Whether any engine anywhere counted authentication activity.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != AuthTotals::default()
+    }
+
+    /// Adds one office's counters into the rollup.
+    fn absorb(&mut self, c: &RuntimeCounters) {
+        self.frames_unauthenticated += c.frames_unauthenticated;
+        self.frames_replayed += c.frames_replayed;
+        self.frames_rate_limited += c.frames_rate_limited;
+        self.attack_quarantines += c.attack_quarantines;
+    }
+}
+
 /// Everything [`run_fleet_day`] produced.
 #[derive(Debug, Clone)]
 pub struct FleetDayReport {
@@ -237,6 +273,8 @@ pub struct FleetDayReport {
     /// channel kind (indexed by [`ChannelKind::index`]) — the fleet's
     /// rollup of each engine's [`RuntimeCounters::channel`] slices.
     pub channel_totals: [ChannelCounters; ChannelKind::COUNT],
+    /// Authentication-counter rollup over every office.
+    pub auth_totals: AuthTotals,
     /// True when `crash_after_ticks` stopped the day early.
     pub crashed: bool,
 }
@@ -301,17 +339,7 @@ pub fn run_fleet_day(
         let office = o as u16;
         let feed = match start {
             OfficeStart::Skip => OfficeFeed::empty(),
-            _ => OfficeFeed::build(
-                day_deliveries_for_office(
-                    env.trace,
-                    env.streams,
-                    &groups,
-                    day,
-                    env.link,
-                    office_link_seed(env.link_seed, office),
-                    office,
-                )?,
-            ),
+            _ => OfficeFeed::deliver(env, &groups, office)?,
         };
         let kma = Kma::new(&inputs);
         let engine = match start {
@@ -419,6 +447,7 @@ pub fn run_fleet_day(
     let mut active = 0u64;
     let mut quarantined = 0u64;
     let mut channel_totals = [ChannelCounters::default(); ChannelKind::COUNT];
+    let mut auth_totals = AuthTotals::default();
     for o in 0..n_offices {
         let office = o as u16;
         let Some(engine) = fleet.office_mut(office) else { continue };
@@ -436,6 +465,7 @@ pub fn run_fleet_day(
             }
         }
         let counters = engine.counters().clone();
+        auth_totals.absorb(&counters);
         for kind in ChannelKind::ALL {
             let (total, c) = (&mut channel_totals[kind.index()], counters.channel(kind));
             total.frames_in += c.frames_in;
@@ -481,6 +511,18 @@ pub fn run_fleet_day(
             telemetry.counter_add(&format!("fleet_channel_{label}_{metric}"), v);
         }
     }
+    // Auth rollups export only when some engine counted auth activity,
+    // so a legacy fleet's metric registry stays byte-identical.
+    if auth_totals.any() {
+        for (metric, v) in [
+            ("frames_unauthenticated", auth_totals.frames_unauthenticated),
+            ("frames_replayed", auth_totals.frames_replayed),
+            ("frames_rate_limited", auth_totals.frames_rate_limited),
+            ("attack_quarantines", auth_totals.attack_quarantines),
+        ] {
+            telemetry.counter_add(&format!("fleet_auth_{metric}"), v);
+        }
+    }
     let fleet_counters = fleet.counters().clone();
     telemetry.counter_add("fleet_frames_demuxed", fleet_counters.frames_demuxed);
     telemetry.counter_add("fleet_frames_unknown_office", fleet_counters.frames_unknown_office);
@@ -492,7 +534,14 @@ pub fn run_fleet_day(
     for (i, lag) in shard_tick_lags.iter().enumerate() {
         telemetry.gauge_set(&format!("fleet_shard_tick_lag{{shard=\"{i}\"}}"), *lag as f64);
     }
-    Ok(FleetDayReport { offices, fleet: fleet_counters, shard_tick_lags, channel_totals, crashed })
+    Ok(FleetDayReport {
+        offices,
+        fleet: fleet_counters,
+        shard_tick_lags,
+        channel_totals,
+        auth_totals,
+        crashed,
+    })
 }
 
 /// Runs office `office`'s day on a dedicated single-office engine —
@@ -540,15 +589,27 @@ impl OfficeFeed {
         OfficeFeed { bytes: Vec::new(), ends: Vec::new() }
     }
 
-    fn build(deliveries: Vec<Vec<u8>>) -> OfficeFeed {
-        let total: usize = deliveries.iter().map(Vec::len).sum();
-        let mut bytes = Vec::with_capacity(total);
-        let mut ends = Vec::with_capacity(deliveries.len());
-        for d in &deliveries {
-            bytes.extend_from_slice(d);
-            ends.push(bytes.len() as u32);
-        }
-        OfficeFeed { bytes, ends }
+    /// Builds office `office`'s feed straight through the link's
+    /// reusable-buffer path — no per-delivery `Vec` is ever allocated.
+    fn deliver(
+        env: &FleetDayEnv<'_>,
+        groups: &[(u16, Vec<usize>)],
+        office: u16,
+    ) -> Result<OfficeFeed, String> {
+        let mut bytes = Vec::new();
+        let mut ends = Vec::new();
+        day_deliveries_for_office_into(
+            env.trace,
+            env.streams,
+            groups,
+            env.day,
+            env.link,
+            office_link_seed(env.link_seed, office),
+            office,
+            &mut bytes,
+            &mut ends,
+        )?;
+        Ok(OfficeFeed { bytes, ends: ends.into_iter().map(|e| e as u32).collect() })
     }
 
     fn len(&self) -> usize {

@@ -38,6 +38,6 @@ pub mod runtime;
 pub mod scaling;
 pub mod shard;
 
-pub use day::{office_link_seed, run_fleet_day, FleetDayEnv, FleetDayReport, OfficeStart};
+pub use day::{office_link_seed, run_fleet_day, AuthTotals, FleetDayEnv, FleetDayReport, OfficeStart};
 pub use runtime::{FleetCounters, FleetRuntime};
 pub use shard::shard_of;

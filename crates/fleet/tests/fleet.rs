@@ -351,6 +351,102 @@ fn unknown_office_and_corrupt_frames_are_accounted() {
     assert_eq!(fleet.counters().corrupt_framing, 1);
 }
 
+/// Per-office flood targeting: a deauth storm aimed at office 1 of an
+/// authenticated fleet is rejected, rate-limited and attack-quarantined
+/// inside office 1's engine alone — office 0 counts zero auth activity
+/// and BOTH offices' decision streams stay byte-identical to their
+/// unattacked single-office references.
+#[test]
+fn fleet_contains_a_targeted_flood_without_cross_tenant_damage() {
+    use fadewich_core::auth::KeyTable;
+    use fadewich_runtime::attack::{AttackKind, AttackModel};
+    use fadewich_runtime::engine::EngineAuth;
+    use fadewich_stats::rng::Rng;
+
+    let fx = fixture();
+    let inputs = fx.scenario.input_trace(1, 0);
+    let groups = fx.trace.receiver_groups(&fx.streams);
+    let n_sensors = groups.iter().map(|(s, _)| *s).max().unwrap() + 1;
+    let keys = KeyTable::derive(0x5EC, n_sensors);
+    let n_ticks = 200u64;
+
+    // One tick of valid v4 frames for one office, seeded per office so
+    // the two tenants carry different (but reproducible) traffic.
+    let tick_blob = |office: u16, tick: u64| -> Vec<u8> {
+        let mut rng = Rng::task_stream(7 + u64::from(office), tick);
+        let mut blob = Vec::new();
+        for (sensor, positions) in &groups {
+            let values: Vec<f32> =
+                positions.iter().map(|_| -50.0 + rng.normal() as f32 * 0.6).collect();
+            let f = Frame { office, ..Frame::rssi(*sensor, tick as u32, tick, values) };
+            f.encode_auth_into(keys.get(*sensor).unwrap(), &mut blob);
+        }
+        blob
+    };
+
+    // Unattacked single-office references.
+    let mut refs = engines_for(fx, &inputs, 2);
+    for e in &mut refs {
+        e.set_auth(EngineAuth::new(keys.clone()));
+    }
+    for t in 0..n_ticks {
+        for (o, e) in refs.iter_mut().enumerate() {
+            e.ingest_bytes(&tick_blob(o as u16, t));
+        }
+        if t == n_ticks - 1 {
+            for e in &mut refs {
+                e.finish(n_ticks);
+            }
+        }
+    }
+
+    // The fleet under attack: a seq-sweeping storm stamped office 1.
+    let mut engines = engines_for(fx, &inputs, 2);
+    for e in &mut engines {
+        e.set_auth(EngineAuth::new(keys.clone()));
+    }
+    let mut fleet = FleetRuntime::new(2, engines).unwrap();
+    let (target_sensor, target_positions) = &groups[1];
+    let storm = AttackModel {
+        kind: AttackKind::DeauthStorm { frames_per_tick: 3 },
+        sensor: *target_sensor,
+        payload_width: target_positions.len(),
+        from_tick: 50,
+        to_tick: 70,
+        target_office: Some(1),
+    };
+    let hostile = storm.injected(&[], &mut Rng::seed_from_u64(0xA77));
+    assert_eq!(hostile.len(), 3 * 20);
+    let mut next = 0usize;
+    for t in 0..n_ticks {
+        let mut blob = tick_blob(0, t);
+        blob.extend_from_slice(&tick_blob(1, t));
+        while next < hostile.len() && hostile[next].0 <= t {
+            blob.extend_from_slice(&hostile[next].1);
+            next += 1;
+        }
+        fleet.ingest(&blob);
+        fleet.advance();
+    }
+    fleet.finish_per_office(&[n_ticks, n_ticks]);
+    assert_eq!(fleet.counters().frames_rejected(), 0, "the front routes storm frames by office");
+
+    let c1 = fleet.office_mut(1).unwrap().counters().clone();
+    assert_eq!(c1.frames_unauthenticated, hostile.len() as u64);
+    assert!(c1.frames_rate_limited > 0, "a 60-frame storm must blow the reject budget");
+    assert_eq!(c1.attack_quarantines, 1);
+    let c0 = fleet.office_mut(0).unwrap().counters().clone();
+    assert!(!c0.has_auth_activity(), "the flood must not bleed into office 0");
+
+    for o in 0..2u16 {
+        assert_eq!(
+            fleet.office_mut(o).unwrap().actions(),
+            refs[usize::from(o)].actions(),
+            "office {o} decision stream diverged under a contained attack"
+        );
+    }
+}
+
 /// The `reproduce fleet` study runs end to end on a small office
 /// count; its internal byte-identity proofs (1 vs 8 shards, fleet vs
 /// singles) are part of the run and fail it on any divergence.

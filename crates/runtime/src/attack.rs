@@ -1,0 +1,309 @@
+//! Seeded attacker models for the adversarial robustness suite.
+//!
+//! The threat model (DESIGN.md §15): an active adversary who can
+//! transmit on the sensor uplink — inject frames under a claimed
+//! sensor identity, replay byte-exact captures, and flood the station
+//! — but holds no per-sensor MAC key. An [`AttackModel`] splices an
+//! attacker's frames into a clean send stream exactly as
+//! [`LinkModel`](crate::link::LinkModel) perturbs one: seeded, so a
+//! run under attack is as reproducible as a clean one (callers draw
+//! the [`Rng`] from `Rng::task_stream`).
+//!
+//! The family mirrors the containment study
+//! (`fadewich-experiments::attacks`):
+//!
+//! - [`AttackKind::ForgedMac`] — low-rate spoofing under an
+//!   attacker-chosen key, plausible seq/tick/values;
+//! - [`AttackKind::AbsentMac`] — legacy (unauthenticated) frames
+//!   injected at an authenticated station, the downgrade probe;
+//! - [`AttackKind::ReplayCapture`] — byte-exact captures of genuine
+//!   frames re-sent after a delay (the MAC verifies — only the
+//!   anti-replay window catches these);
+//! - [`AttackKind::DeauthStorm`] — a high-rate forged flood sweeping
+//!   the sequence space with hostile RSSI values, the wireless
+//!   deauthentication storm transposed onto the sensor plane.
+
+use fadewich_core::auth::AuthKey;
+use fadewich_core::stream::ChannelKind;
+use fadewich_stats::rng::Rng;
+
+use crate::wire::Frame;
+
+/// What the attacker transmits while the attack window is open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackKind {
+    /// Spoofed v4 frames signed under a random attacker key, with
+    /// plausible sequence numbers and values — the quiet
+    /// impersonation attempt.
+    ForgedMac {
+        /// Forged frames injected per active tick.
+        frames_per_tick: u32,
+    },
+    /// Unauthenticated v1 frames claiming the target sensor — the
+    /// downgrade probe against an authenticated station.
+    AbsentMac {
+        /// Injected frames per active tick.
+        frames_per_tick: u32,
+    },
+    /// Captures each genuine frame sent inside the window with
+    /// probability `capture_p` and re-sends it byte-exact
+    /// `delay_ticks` later.
+    ReplayCapture {
+        /// Probability a passing frame is captured for replay.
+        capture_p: f64,
+        /// How many ticks after the original send the replay arrives.
+        delay_ticks: u64,
+    },
+    /// A deauth-storm flood: `frames_per_tick` forged frames per
+    /// active tick, sweeping the sequence space upward with hostile
+    /// (departure-shaped) RSSI values.
+    DeauthStorm {
+        /// Forged frames injected per active tick.
+        frames_per_tick: u32,
+    },
+}
+
+/// A seeded attacker: one [`AttackKind`] aimed at one claimed sensor
+/// identity over a tick window. [`AttackModel::apply`] splices the
+/// attack into a clean send stream deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackModel {
+    /// What the attacker transmits.
+    pub kind: AttackKind,
+    /// The claimed (spoofed) sensor identity.
+    pub sensor: u16,
+    /// Payload width of the forged frames — attackers mimic the
+    /// deployment's group width so rejection happens on
+    /// authentication, not on a trivial length check.
+    pub payload_width: usize,
+    /// First tick of the attack window.
+    pub from_tick: u64,
+    /// One past the last tick of the attack window.
+    pub to_tick: u64,
+    /// Office id stamped into forged frames; `None` forges office 0.
+    /// The fleet runtime routes by office id, so this is the
+    /// per-office targeting knob.
+    pub target_office: Option<u16>,
+}
+
+impl AttackModel {
+    /// Whether the attacker is transmitting at `tick`.
+    pub fn is_active(&self, tick: u64) -> bool {
+        (self.from_tick..self.to_tick).contains(&tick)
+    }
+
+    /// Frames the attacker would inject over the whole window, in
+    /// send order — before any splice with genuine traffic.
+    /// `clean` is the genuine `(send tick, bytes)` stream the
+    /// attacker can observe (replay capture draws from it; forgery
+    /// kinds ignore it).
+    pub fn injected(&self, clean: &[(u64, Vec<u8>)], rng: &mut Rng) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        match self.kind {
+            AttackKind::ReplayCapture { capture_p, delay_ticks } => {
+                for (tick, bytes) in clean {
+                    if self.is_active(*tick) && rng.bernoulli(capture_p) {
+                        out.push((tick + delay_ticks, bytes.clone()));
+                    }
+                }
+            }
+            AttackKind::AbsentMac { frames_per_tick } => {
+                for tick in self.from_tick..self.to_tick {
+                    for _ in 0..frames_per_tick {
+                        out.push((tick, self.forged_frame(tick, rng).encode()));
+                    }
+                }
+            }
+            AttackKind::ForgedMac { frames_per_tick } => {
+                // The attacker holds no deployment key; every forgery
+                // is signed under a freshly drawn one.
+                let key = AuthKey::derive(rng.next_u64(), self.sensor);
+                for tick in self.from_tick..self.to_tick {
+                    for _ in 0..frames_per_tick {
+                        out.push((tick, self.forged_frame(tick, rng).encode_auth(&key)));
+                    }
+                }
+            }
+            AttackKind::DeauthStorm { frames_per_tick } => {
+                let key = AuthKey::derive(rng.next_u64(), self.sensor);
+                let mut seq = (self.from_tick as u32).wrapping_mul(7);
+                for tick in self.from_tick..self.to_tick {
+                    for _ in 0..frames_per_tick {
+                        // Sweep the sequence space so no two flood
+                        // frames collide in the anti-replay window.
+                        seq = seq.wrapping_add(1);
+                        let mut frame = self.forged_frame(tick, rng);
+                        frame.seq = seq;
+                        // Departure-shaped hostile values: strong,
+                        // stable RSSI that would read as "left".
+                        for v in &mut frame.values {
+                            *v = -30.0 + rng.normal() as f32 * 0.2;
+                        }
+                        out.push((tick, frame.encode_auth(&key)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Splices the attack into a clean send stream: the result holds
+    /// every clean frame plus every injected one, sorted by send tick
+    /// with ties broken clean-first (the attacker cannot pre-empt a
+    /// frame already on the air at the same tick).
+    pub fn apply(&self, clean: &[(u64, Vec<u8>)], rng: &mut Rng) -> Vec<(u64, Vec<u8>)> {
+        let injected = self.injected(clean, rng);
+        // Stable two-way merge by tick: clean frames keep their
+        // relative order and precede injected frames of the same tick.
+        let mut merged: Vec<(u64, usize, Vec<u8>)> = Vec::with_capacity(clean.len() + injected.len());
+        for (tick, bytes) in clean {
+            merged.push((*tick, 0, bytes.clone()));
+        }
+        for (tick, bytes) in injected {
+            merged.push((tick, 1, bytes));
+        }
+        merged.sort_by_key(|&(tick, src, _)| (tick, src));
+        merged.into_iter().map(|(tick, _, bytes)| (tick, bytes)).collect()
+    }
+
+    /// A plausible-looking forged frame claiming the target identity.
+    fn forged_frame(&self, tick: u64, rng: &mut Rng) -> Frame {
+        Frame {
+            office: self.target_office.unwrap_or(0),
+            channel: ChannelKind::Rssi,
+            sensor: self.sensor,
+            seq: tick as u32,
+            tick,
+            values: (0..self.payload_width)
+                .map(|_| (-50.0 + rng.normal() * 0.6) as f32)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::FrameView;
+    use fadewich_core::auth::KeyTable;
+
+    fn clean_stream(keys: &KeyTable, ticks: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        for t in 0..ticks {
+            for sensor in 0..2u16 {
+                let f = Frame::rssi(sensor, t as u32, t, vec![-50.0, -50.0]);
+                out.push((t, f.encode_auth(keys.get(sensor).unwrap())));
+            }
+        }
+        out
+    }
+
+    fn storm(from: u64, to: u64) -> AttackModel {
+        AttackModel {
+            kind: AttackKind::DeauthStorm { frames_per_tick: 5 },
+            sensor: 1,
+            payload_width: 2,
+            from_tick: from,
+            to_tick: to,
+            target_office: None,
+        }
+    }
+
+    #[test]
+    fn attacks_are_deterministic_for_a_seed() {
+        let keys = KeyTable::derive(1, 2);
+        let clean = clean_stream(&keys, 20);
+        let a = storm(5, 10).apply(&clean, &mut Rng::seed_from_u64(3));
+        let b = storm(5, 10).apply(&clean, &mut Rng::seed_from_u64(3));
+        assert_eq!(a, b);
+        let c = storm(5, 10).apply(&clean, &mut Rng::seed_from_u64(4));
+        assert_ne!(a, c, "a different seed must redraw the forgeries");
+    }
+
+    #[test]
+    fn splice_preserves_clean_frames_and_window() {
+        let keys = KeyTable::derive(1, 2);
+        let clean = clean_stream(&keys, 20);
+        let out = storm(5, 10).apply(&clean, &mut Rng::seed_from_u64(3));
+        assert_eq!(out.len(), clean.len() + 5 * 5);
+        // Every clean frame survives the splice, in order.
+        let clean_survivors: Vec<&Vec<u8>> =
+            out.iter().map(|(_, b)| b).filter(|b| clean.iter().any(|(_, c)| &c == b)).collect();
+        assert_eq!(clean_survivors.len(), clean.len());
+        // Injected frames sit inside the window.
+        for (tick, bytes) in &out {
+            if !clean.iter().any(|(_, c)| c == bytes) {
+                assert!((5..10).contains(tick), "flood frame outside window at {tick}");
+            }
+        }
+        // Ticks are sorted.
+        assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn forged_frames_decode_but_never_verify_under_deployment_keys() {
+        let keys = KeyTable::derive(1, 2);
+        let atk = storm(0, 3);
+        let frames = atk.injected(&[], &mut Rng::seed_from_u64(9));
+        assert_eq!(frames.len(), 3 * 5);
+        let mut seqs = Vec::new();
+        for (_, bytes) in &frames {
+            let (view, _) = Frame::decode_borrowed(bytes).unwrap();
+            assert!(view.is_authenticated(), "storm frames must be v4");
+            assert_eq!(view.sensor, 1);
+            assert!(
+                !view.verify_mac(keys.get(1).unwrap()),
+                "an attacker forgery must not verify under the real key"
+            );
+            seqs.push(view.seq);
+        }
+        // The storm sweeps the seq space: no collisions.
+        let mut uniq = seqs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seqs.len(), "storm seqs must not collide");
+    }
+
+    #[test]
+    fn replay_capture_reemits_byte_exact_frames_delayed() {
+        let keys = KeyTable::derive(1, 2);
+        let clean = clean_stream(&keys, 30);
+        let atk = AttackModel {
+            kind: AttackKind::ReplayCapture { capture_p: 1.0, delay_ticks: 4 },
+            sensor: 0,
+            payload_width: 2,
+            from_tick: 10,
+            to_tick: 15,
+            target_office: None,
+        };
+        let injected = atk.injected(&clean, &mut Rng::seed_from_u64(2));
+        // capture_p = 1: every frame in the window is replayed.
+        assert_eq!(injected.len(), 2 * 5);
+        for (tick, bytes) in &injected {
+            let original = clean.iter().find(|(_, c)| c == bytes).expect("byte-exact capture");
+            assert_eq!(*tick, original.0 + 4);
+            // The replay still verifies — only anti-replay catches it.
+            let (view, _) = Frame::decode_borrowed(bytes).unwrap();
+            assert!(view.verify_mac(keys.get(view.sensor).unwrap()));
+        }
+    }
+
+    #[test]
+    fn absent_mac_frames_are_legacy_encoded() {
+        let atk = AttackModel {
+            kind: AttackKind::AbsentMac { frames_per_tick: 2 },
+            sensor: 1,
+            payload_width: 2,
+            from_tick: 0,
+            to_tick: 4,
+            target_office: Some(3),
+        };
+        let injected = atk.injected(&[], &mut Rng::seed_from_u64(5));
+        assert_eq!(injected.len(), 8);
+        for (_, bytes) in &injected {
+            let (view, _): (FrameView<'_>, usize) = Frame::decode_borrowed(bytes).unwrap();
+            assert!(!view.is_authenticated(), "downgrade frames must be legacy");
+            assert_eq!(view.office, 3, "office targeting must be stamped in");
+        }
+    }
+}

@@ -14,12 +14,12 @@
 //! single-bit-flipped image is rejected with a [`CheckpointError`]
 //! rather than a panic or a silently wrong resume.
 //!
-//! # Binary layout (version 3)
+//! # Binary layout (version 4)
 //!
 //! ```text
 //! offset  size      field
 //! 0       4         magic        "FWCP", byte-literal
-//! 4       2         version      u16 little-endian, currently 3
+//! 4       2         version      u16 little-endian, currently 4
 //! 6       8         stamp        u64 little-endian, monotonic tick stamp
 //! 14      4         body_len     u32 little-endian
 //! 18      body_len  body         see below
@@ -42,9 +42,15 @@
 //! (version 2 split the corrupt-frame total into its three per-reason
 //! counters — CRC, framing, unknown sensor) followed by the version-3
 //! per-channel counter blocks (five `u64`s per [`ChannelKind`], in tag
-//! order), the reorder state
+//! order) and the four version-4 authentication counters
+//! (unauthenticated, replayed, rate-limited, attack-quarantines), the
+//! reorder state
 //! (watermark, frontiers, sequence highs, quarantine flags, cumulative
-//! counts, pending payloads), the controller state (full MD runtime
+//! counts — version 4 adds the replay count and the per-sender
+//! anti-replay bitmaps — and pending payloads), the version-4
+//! per-sensor authentication state (reject-budget window start,
+//! rejections charged in the window, the sticky attack-quarantine
+//! flag), the controller state (full MD runtime
 //! state, FSM tag, per-session flag bytes, feature histories,
 //! `rule1_done`, `prev_t`, `n_actions`, and — new in version 3 — the
 //! ambient-light detector bank plus the fused-mode corroboration clock
@@ -76,6 +82,7 @@ use fadewich_stats::checksum::crc32;
 use fadewich_stats::rolling::{HistoryState, RollingStdState};
 
 use crate::counters::RuntimeCounters;
+use crate::engine::SensorAuthState;
 use crate::fault::{FaultInjector, FaultLog, WriteFault};
 use crate::reorder::ReorderState;
 
@@ -83,7 +90,7 @@ use crate::reorder::ReorderState;
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FWCP";
 
 /// The format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u16 = 3;
+pub const CHECKPOINT_VERSION: u16 = 4;
 
 /// Bytes before the body: magic + version + stamp + body length.
 pub const HEADER_LEN: usize = 18;
@@ -123,6 +130,11 @@ pub struct EngineSnapshot {
     pub counters: RuntimeCounters,
     /// Complete reorder-buffer state.
     pub reorder: ReorderState,
+    /// Per-sensor authentication/rate-limit state, indexed like
+    /// `groups`. All-default for legacy-unauthenticated engines (it is
+    /// encoded either way — the image layout does not depend on the
+    /// auth mode).
+    pub auth_state: Vec<SensorAuthState>,
     /// Complete controller state (including the MD runtime state).
     pub controller: ControllerState,
     /// Per-workstation KMA idle clocks at `controller.prev_t` — a
@@ -537,9 +549,13 @@ fn encode_reorder(body: &mut Vec<u8>, r: &ReorderState) {
     for &q in &r.quarantined {
         body.push(u8::from(q));
     }
+    for &w in &r.replay_seen {
+        push_u64(body, w);
+    }
     push_u64(body, r.duplicates);
     push_u64(body, r.late);
     push_u64(body, r.reordered);
+    push_u64(body, r.replayed);
     push_u64(body, r.max_lag);
     push_len(body, r.pending.len(), "pending tick");
     for (tick, reports) in &r.pending {
@@ -575,9 +591,14 @@ fn decode_reorder(cur: &mut Cursor<'_>) -> Result<ReorderState, CheckpointError>
     for i in 0..n_senders {
         quarantined.push(cur.flag(&format!("quarantine flag {i}"))?);
     }
+    let mut replay_seen = Vec::with_capacity(n_senders.min(4096));
+    for i in 0..n_senders {
+        replay_seen.push(cur.u64(&format!("replay bitmap {i}"))?);
+    }
     let duplicates = cur.u64("duplicates")?;
     let late = cur.u64("late frames")?;
     let reordered = cur.u64("reordered frames")?;
+    let replayed = cur.u64("replayed frames")?;
     let max_lag = cur.u64("max watermark lag")?;
     let n_pending = cur.u32("pending tick count")? as usize;
     let mut pending = Vec::with_capacity(n_pending.min(4096));
@@ -603,6 +624,8 @@ fn decode_reorder(cur: &mut Cursor<'_>) -> Result<ReorderState, CheckpointError>
         duplicates,
         late,
         reordered,
+        replayed,
+        replay_seen,
         max_lag,
         pending,
     })
@@ -660,8 +683,24 @@ impl EngineSnapshot {
                 push_u64(&mut body, v);
             }
         }
+        for v in [
+            c.frames_unauthenticated,
+            c.frames_replayed,
+            c.frames_rate_limited,
+            c.attack_quarantines,
+        ] {
+            push_u64(&mut body, v);
+        }
 
         encode_reorder(&mut body, &self.reorder);
+
+        push_len(&mut body, self.auth_state.len(), "auth state");
+        for st in &self.auth_state {
+            push_u64(&mut body, st.window_start_tick);
+            push_u32(&mut body, st.rejected_in_window);
+            body.push(u8::from(st.quarantined));
+        }
+
         encode_controller(&mut body, &self.controller);
 
         push_len(&mut body, self.kma_clocks.len(), "kma clock");
@@ -798,8 +837,28 @@ impl EngineSnapshot {
                 *slot = cur.u64("channel counter")?;
             }
         }
+        for slot in [
+            &mut counters.frames_unauthenticated,
+            &mut counters.frames_replayed,
+            &mut counters.frames_rate_limited,
+            &mut counters.attack_quarantines,
+        ] {
+            *slot = cur.u64("auth counter")?;
+        }
 
         let reorder = decode_reorder(&mut cur)?;
+
+        let n_auth = cur.u32("auth state count")? as usize;
+        let mut auth_state = Vec::with_capacity(n_auth.min(4096));
+        for i in 0..n_auth {
+            let what = format!("auth state {i}");
+            auth_state.push(SensorAuthState {
+                window_start_tick: cur.u64(&what)?,
+                rejected_in_window: cur.u32(&what)?,
+                quarantined: cur.flag(&what)?,
+            });
+        }
+
         let controller = decode_controller(&mut cur)?;
 
         let n_clocks = cur.u32("kma clock count")? as usize;
@@ -824,6 +883,7 @@ impl EngineSnapshot {
                 last_seen,
                 counters,
                 reorder,
+                auth_state,
                 controller,
                 kma_clocks,
             },
@@ -1089,6 +1149,10 @@ mod tests {
             gap_fills: 3,
             masked_stream_ticks: 2,
             quarantines: 1,
+            frames_unauthenticated: 5,
+            frames_replayed: 2,
+            frames_rate_limited: 1,
+            attack_quarantines: 1,
             watermark_lag_max: 4,
             ..Default::default()
         };
@@ -1121,12 +1185,18 @@ mod tests {
                 duplicates: 1,
                 late: 2,
                 reordered: 3,
+                replayed: 2,
+                replay_seen: vec![0b1011, 0],
                 max_lag: 4,
                 pending: vec![
                     (42, vec![Some(vec![-50.0, -49.0]), None]),
                     (43, vec![None, Some(vec![-48.5])]),
                 ],
             },
+            auth_state: vec![
+                SensorAuthState { window_start_tick: 0, rejected_in_window: 3, quarantined: false },
+                SensorAuthState { window_start_tick: 64, rejected_in_window: 17, quarantined: true },
+            ],
             controller: ControllerState {
                 md: MdRuntimeState {
                     snapshot: MdSnapshot { values: vec![1.0, 2.0], threshold: Some(4.0) },

@@ -175,6 +175,20 @@ pub struct RuntimeCounters {
     pub quarantines: u64,
     /// Quarantined sensors that came back.
     pub recoveries: u64,
+    /// Frames rejected for an authentication mismatch with the engine
+    /// mode: in an authenticated deployment, any v1–v3 frame and any
+    /// v4 frame whose MAC does not verify; in a legacy deployment, any
+    /// v4 frame (the station has no keys to verify it with).
+    pub frames_unauthenticated: u64,
+    /// Authenticated frames rejected by the sequence-space anti-replay
+    /// window (a captured-and-replayed frame carries a *valid* MAC).
+    pub frames_replayed: u64,
+    /// Auth rejections beyond a sensor's per-window reject budget —
+    /// the flood tail the containment layer stops attributing one by
+    /// one.
+    pub frames_rate_limited: u64,
+    /// Sensors attack-quarantined for exceeding their reject budget.
+    pub attack_quarantines: u64,
     /// Largest observed distance between ingest frontier and emission.
     pub watermark_lag_max: u64,
     /// Per-channel-kind slices of the stream-health counters, indexed
@@ -214,6 +228,17 @@ impl RuntimeCounters {
         self.corrupt_crc + self.corrupt_framing + self.corrupt_unknown_sensor
     }
 
+    /// True when any authentication counter is nonzero. The summary
+    /// only prints the auth line for deployments that actually saw
+    /// auth activity, keeping legacy-unauthenticated stdout
+    /// byte-identical to pre-auth builds.
+    pub fn has_auth_activity(&self) -> bool {
+        self.frames_unauthenticated != 0
+            || self.frames_replayed != 0
+            || self.frames_rate_limited != 0
+            || self.attack_quarantines != 0
+    }
+
     /// Multi-line human-readable summary.
     pub fn summary(&self) -> String {
         format!("{}\n{}", self.deterministic_summary(), self.latency_summary())
@@ -242,6 +267,16 @@ impl RuntimeCounters {
             "sensors     quarantines {}  recoveries {}  watermark lag max {} ticks",
             self.quarantines, self.recoveries, self.watermark_lag_max
         ));
+        if self.has_auth_activity() {
+            s.push_str(&format!(
+                "\nauth        unauthenticated {}  replayed {}  rate-limited {}  \
+                 attack-quarantines {}",
+                self.frames_unauthenticated,
+                self.frames_replayed,
+                self.frames_rate_limited,
+                self.attack_quarantines
+            ));
+        }
         if self.has_mixed_channels() {
             for kind in ChannelKind::ALL {
                 let c = self.channel(kind);
@@ -282,6 +317,8 @@ impl RuntimeCounters {
              \"corrupt_framing\":{},\"corrupt_unknown_sensor\":{},\"frames_duplicate\":{},\
              \"frames_late\":{},\"frames_reordered\":{},\"ticks_processed\":{},\"gap_fills\":{},\
              \"masked_stream_ticks\":{},\"quarantines\":{},\"recoveries\":{},\
+             \"frames_unauthenticated\":{},\"frames_replayed\":{},\"frames_rate_limited\":{},\
+             \"attack_quarantines\":{},\
              \"watermark_lag_max\":{},\"channels\":{{{}}},\"decode\":{},\"step\":{}}}",
             self.frames_in,
             self.bytes_in,
@@ -297,6 +334,10 @@ impl RuntimeCounters {
             self.masked_stream_ticks,
             self.quarantines,
             self.recoveries,
+            self.frames_unauthenticated,
+            self.frames_replayed,
+            self.frames_rate_limited,
+            self.attack_quarantines,
             self.watermark_lag_max,
             ChannelKind::ALL
                 .iter()
@@ -332,6 +373,18 @@ impl RuntimeCounters {
             ("runtime_recoveries", self.recoveries),
         ] {
             telemetry.counter_add(name, v);
+        }
+        // Auth counters only exist in the registry once auth activity
+        // happened — legacy runs keep their pre-auth metrics output.
+        if self.has_auth_activity() {
+            for (name, v) in [
+                ("runtime_frames_unauthenticated", self.frames_unauthenticated),
+                ("runtime_frames_replayed", self.frames_replayed),
+                ("runtime_frames_rate_limited", self.frames_rate_limited),
+                ("runtime_attack_quarantines", self.attack_quarantines),
+            ] {
+                telemetry.counter_add(name, v);
+            }
         }
         for kind in ChannelKind::ALL {
             let c = self.channel(kind);
@@ -464,6 +517,46 @@ mod tests {
         assert_eq!(s.lines().count(), 3 + ChannelKind::COUNT);
         assert!(s.contains("channel     rssi   frames 100"), "{s}");
         assert!(s.contains("channel     light  frames 1"), "{s}");
+    }
+
+    #[test]
+    fn auth_line_only_prints_for_authenticated_activity() {
+        // Legacy runs keep the exact 3-line summary and a registry
+        // without auth metrics — the serve/replay parity gates depend
+        // on pre-auth output staying byte-identical.
+        let mut c = RuntimeCounters::default();
+        c.frames_in = 50;
+        assert!(!c.has_auth_activity());
+        assert_eq!(c.deterministic_summary().lines().count(), 3);
+        assert!(!c.deterministic_summary().contains("auth"));
+        let t = Telemetry::metrics_only();
+        c.export_into(&t);
+        assert!(!t.metrics_json(false).unwrap().contains("unauthenticated"));
+        // One auth rejection flips the line (and the metrics) on.
+        c.frames_unauthenticated = 3;
+        c.frames_replayed = 2;
+        c.frames_rate_limited = 1;
+        c.attack_quarantines = 1;
+        assert!(c.has_auth_activity());
+        let s = c.deterministic_summary();
+        assert_eq!(s.lines().count(), 4);
+        assert!(
+            s.contains("auth        unauthenticated 3  replayed 2  rate-limited 1"),
+            "{s}"
+        );
+        assert!(s.contains("attack-quarantines 1"), "{s}");
+        let j = c.to_json();
+        assert!(j.contains("\"frames_unauthenticated\":3"), "{j}");
+        assert!(j.contains("\"frames_replayed\":2"), "{j}");
+        assert!(j.contains("\"attack_quarantines\":1"), "{j}");
+        let t = Telemetry::metrics_only();
+        c.export_into(&t);
+        t.with_registry(|r| {
+            assert_eq!(r.counter("runtime_frames_unauthenticated"), 3);
+            assert_eq!(r.counter("runtime_frames_replayed"), 2);
+            assert_eq!(r.counter("runtime_frames_rate_limited"), 1);
+            assert_eq!(r.counter("runtime_attack_quarantines"), 1);
+        });
     }
 
     #[test]

@@ -20,6 +20,19 @@
 //! batch pipeline exactly — the parity test in `tests/parity.rs` holds
 //! the two byte-identical.
 //!
+//! The engine has two **authentication modes**. By default it runs
+//! legacy-unauthenticated: v1–v3 frames are accepted exactly as every
+//! pre-auth deployment did (byte-identical decisions and stdout), and
+//! v4 authenticated frames are rejected — a station without keys
+//! cannot verify them. [`StreamingEngine::set_auth`] switches to
+//! authenticated mode: only v4 frames whose keyed MAC verifies are
+//! accepted, the reorder buffer's sequence-space anti-replay window is
+//! armed, and every auth rejection is charged to the claimed sensor's
+//! reject-budget window — a sensor flooded past its budget is
+//! **attack-quarantined** ([`EngineEvent::SensorAttackQuarantined`], a
+//! sticky observability flag that never drops valid frames, so a
+//! contained attack leaves the decision stream untouched).
+//!
 //! The stream set is **channel-typed**: every sensor group carries a
 //! [`ChannelKind`], RSSI streams occupy the row prefix handed to
 //! MD/RE, and ambient-light streams occupy the suffix routed to the
@@ -32,6 +45,7 @@
 
 use std::sync::Arc;
 
+use fadewich_core::auth::KeyTable;
 use fadewich_core::config::FadewichParams;
 use fadewich_core::controller::{Action, Controller};
 use fadewich_core::fusion::FusionConfig;
@@ -42,8 +56,8 @@ use fadewich_telemetry::{Clock, Telemetry, Value, WallClock};
 
 use crate::checkpoint::EngineSnapshot;
 use crate::counters::RuntimeCounters;
-use crate::reorder::{ReorderBuffer, ReorderConfig, SenderEvent};
-use crate::wire::{Frame, WireError};
+use crate::reorder::{PushOutcome, ReorderBuffer, ReorderConfig, SenderEvent};
+use crate::wire::{Frame, FrameView, WireError};
 
 /// Streaming-engine knobs on top of the core pipeline parameters.
 #[derive(Debug, Clone, Copy)]
@@ -187,6 +201,69 @@ pub enum EngineEvent {
         /// Tick of the frame that revived it.
         tick: u64,
     },
+    /// Authentication rejections charged to a sensor exceeded its
+    /// reject budget — someone is actively spoofing, replaying or
+    /// flooding under that identity. Distinct from
+    /// [`EngineEvent::SensorQuarantined`] (staleness): the attack
+    /// quarantine is a sticky observability flag and never drops the
+    /// sensor's valid frames, so a contained attack cannot perturb
+    /// decisions.
+    SensorAttackQuarantined {
+        /// The claimed sensor id the rejections were charged to.
+        sensor: u16,
+        /// Claimed tick of the rejection that tripped the budget.
+        tick: u64,
+    },
+}
+
+/// Per-sensor authentication/rate-limit state, checkpointed alongside
+/// the reorder state so a restored engine resumes mid-attack with the
+/// same budgets and quarantine flags. All-default for
+/// legacy-unauthenticated engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SensorAuthState {
+    /// Start tick of the current reject-budget window (aligned to
+    /// [`EngineAuth::window_ticks`] so bucketing is deterministic
+    /// regardless of when the first rejection lands).
+    pub window_start_tick: u64,
+    /// Authentication rejections charged to this sensor inside the
+    /// current window.
+    pub rejected_in_window: u32,
+    /// Sticky attack-quarantine flag — set once the budget is
+    /// exceeded, never cleared for the rest of the day.
+    pub quarantined: bool,
+}
+
+/// Authenticated-mode configuration: the per-sensor key table plus the
+/// reject-budget knobs that bound how loudly an attacker can knock
+/// before the engine flags the targeted identity.
+///
+/// Keys are keyed by **sensor id** alone (not `(kind, sensor)`): a
+/// deployment where an RF and a light sensor share an id shares the
+/// key between them, matching how
+/// [`KeyTable::derive`](fadewich_core::auth::KeyTable::derive) covers
+/// an id range.
+#[derive(Debug, Clone)]
+pub struct EngineAuth {
+    /// Per-sensor MAC keys (usually
+    /// [`ModelBundle::keys`](fadewich_core::artifact::ModelBundle)).
+    pub keys: KeyTable,
+    /// Width of the reject-budget window, in claimed-frame ticks.
+    /// Windows are aligned (`start = tick / window * window`).
+    pub window_ticks: u64,
+    /// Auth rejections tolerated per sensor per window before the
+    /// excess counts as rate-limited and the sensor is
+    /// attack-quarantined.
+    pub reject_budget: u32,
+}
+
+impl EngineAuth {
+    /// Auth config with the default containment knobs: a 64-tick
+    /// window (~13 s at 5 Hz) tolerating 16 rejections — far above
+    /// benign corruption rates, far below any useful flood.
+    pub fn new(keys: KeyTable) -> EngineAuth {
+        EngineAuth { keys, window_ticks: 64, reject_budget: 16 }
+    }
 }
 
 /// Validates a typed sensor layout and returns the stream schema it
@@ -241,6 +318,13 @@ pub struct StreamingEngine<'a> {
     mask: Vec<bool>,
     counters: RuntimeCounters,
     events: Vec<EngineEvent>,
+    /// Authenticated-mode configuration; `None` = legacy mode. Config,
+    /// not state — [`StreamingEngine::set_auth`] must be reapplied
+    /// after a restore, exactly like telemetry and the clock.
+    auth: Option<EngineAuth>,
+    /// Per-sensor reject budgets and attack-quarantine flags, indexed
+    /// like `groups`. This *is* state and rides the checkpoint.
+    auth_state: Vec<SensorAuthState>,
     /// Latency-stage time source. Wall clock by default; tests inject
     /// a [`fadewich_telemetry::ManualClock`] to make latency numbers
     /// deterministic. Never consulted on any decision path.
@@ -330,6 +414,8 @@ impl<'a> StreamingEngine<'a> {
             mask: vec![false; n_streams],
             counters: RuntimeCounters::default(),
             events: Vec::new(),
+            auth: None,
+            auth_state: vec![SensorAuthState::default(); groups.len()],
             clock: Arc::new(WallClock),
             telemetry: Telemetry::disabled(),
             groups,
@@ -392,20 +478,54 @@ impl<'a> StreamingEngine<'a> {
         self.controller.set_reference_paths(reference);
     }
 
+    /// Switches the engine into **authenticated mode**: from here on,
+    /// [`StreamingEngine::ingest_bytes`] accepts only v4 frames whose
+    /// keyed MAC verifies against `auth.keys`, the reorder buffer's
+    /// per-sensor anti-replay window is armed, and auth rejections are
+    /// charged against the claimed sensor's reject budget (see
+    /// [`EngineAuth`]). Call before ingesting any frames. Auth is
+    /// config, not state — reapply after
+    /// [`StreamingEngine::restore_with_layout`], exactly like
+    /// telemetry; the per-sensor budgets and quarantine flags
+    /// themselves ride the checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// If `auth.window_ticks` is zero (the budget window would never
+    /// advance).
+    pub fn set_auth(&mut self, auth: EngineAuth) {
+        assert!(auth.window_ticks > 0, "auth window_ticks must be at least 1");
+        self.reorder.set_anti_replay(true);
+        self.auth = Some(auth);
+    }
+
+    /// Whether the engine is in authenticated mode.
+    pub fn is_authenticated(&self) -> bool {
+        self.auth.is_some()
+    }
+
     /// Feeds raw wire bytes (one or more concatenated frames). Frames
     /// for unknown sensors are counted as corrupt and skipped; a
     /// decode error abandons the rest of the buffer (framing is lost).
+    ///
+    /// This is the **untrusted boundary**: in authenticated mode every
+    /// frame's MAC is verified here and rejects never reach engine
+    /// state ([`StreamingEngine::ingest_frame`] is the trusted,
+    /// already-decoded path and bypasses verification).
     pub fn ingest_bytes(&mut self, mut bytes: &[u8]) {
         while !bytes.is_empty() {
             self.counters.bytes_in += bytes.len() as u64;
             let t0 = self.clock.now_ns();
-            let decoded = Frame::decode(bytes);
+            let decoded = Frame::decode_borrowed(bytes);
             self.counters.decode.record_ns(self.clock.now_ns().saturating_sub(t0));
             match decoded {
-                Ok((frame, used)) => {
+                Ok((view, used)) => {
                     self.counters.bytes_in -= (bytes.len() - used) as u64;
+                    let frame = self.authenticate(&view).then(|| view.to_frame());
                     bytes = &bytes[used..];
-                    self.ingest_frame_inner(frame);
+                    if let Some(frame) = frame {
+                        self.ingest_frame_inner(frame);
+                    }
                 }
                 Err(WireError::BadChecksum { .. }) => {
                     self.counters.corrupt_crc += 1;
@@ -421,10 +541,81 @@ impl<'a> StreamingEngine<'a> {
         self.flush_batch();
     }
 
-    /// Feeds one already-decoded frame.
+    /// Feeds one already-decoded frame. This is the **trusted** path —
+    /// a [`Frame`] carries no MAC, so no verification happens here;
+    /// untrusted wire input must come through
+    /// [`StreamingEngine::ingest_bytes`].
     pub fn ingest_frame(&mut self, frame: Frame) {
         self.ingest_frame_inner(frame);
         self.flush_batch();
+    }
+
+    /// Authentication gate for one wire frame. Legacy mode: v1–v3 pass
+    /// untouched (byte-identical to the pre-auth engine), v4 is
+    /// rejected — no keys to verify with. Authenticated mode: only a
+    /// v4 frame whose MAC verifies under the claimed sensor's key
+    /// passes; legacy frames, unknown key ids and bad MACs are all
+    /// mode/auth mismatches. Every rejection increments
+    /// `frames_unauthenticated` and is charged to the claimed sensor's
+    /// reject budget.
+    fn authenticate(&mut self, view: &FrameView<'_>) -> bool {
+        let ok = match &self.auth {
+            None => !view.is_authenticated(),
+            Some(auth) => {
+                view.is_authenticated()
+                    && auth.keys.get(view.sensor).is_some_and(|key| view.verify_mac(key))
+            }
+        };
+        if !ok {
+            self.counters.frames_unauthenticated += 1;
+            self.auth_reject(view.channel, view.sensor, view.tick);
+        }
+        ok
+    }
+
+    /// Charges one authentication rejection (bad/missing MAC or
+    /// replay) to the claimed `(channel, sensor)` identity. Rejections
+    /// beyond the per-window budget count as rate-limited, and the
+    /// first over-budget window trips the sticky attack quarantine.
+    /// Unknown claimed identities are skipped — there is no budget row
+    /// to charge (the rejection itself was already counted).
+    ///
+    /// All bookkeeping: rejected frames were dropped *before* this
+    /// call, so the quarantine never suppresses valid frames and a
+    /// contained attack leaves the decision stream bit-identical to a
+    /// clean run.
+    fn auth_reject(&mut self, channel: ChannelKind, sensor: u16, tick: u64) {
+        let Some(auth) = &self.auth else {
+            return;
+        };
+        let (window_ticks, budget) = (auth.window_ticks, auth.reject_budget);
+        let Some(sender) =
+            self.groups.iter().position(|g| g.sensor == sensor && g.kind == channel)
+        else {
+            return;
+        };
+        let mut st = self.auth_state[sender];
+        let window_start = (tick / window_ticks) * window_ticks;
+        if window_start != st.window_start_tick {
+            st.window_start_tick = window_start;
+            st.rejected_in_window = 0;
+        }
+        st.rejected_in_window = st.rejected_in_window.saturating_add(1);
+        if st.rejected_in_window > budget {
+            self.counters.frames_rate_limited += 1;
+            if !st.quarantined {
+                st.quarantined = true;
+                self.counters.attack_quarantines += 1;
+                let kind = self.groups[sender].kind;
+                let mut attrs = vec![("sensor", Value::U64(u64::from(sensor)))];
+                if kind != ChannelKind::Rssi {
+                    attrs.push(("channel", Value::Str(kind.label().to_string())));
+                }
+                self.telemetry.event(tick, "sensor_attack_quarantined", None, &attrs);
+                self.events.push(EngineEvent::SensorAttackQuarantined { sensor, tick });
+            }
+        }
+        self.auth_state[sender] = st;
     }
 
     fn ingest_frame_inner(&mut self, frame: Frame) {
@@ -444,7 +635,14 @@ impl<'a> StreamingEngine<'a> {
         }
         self.counters.frames_in += 1;
         self.counters.channel_mut(frame.channel).frames_in += 1;
-        self.reorder.push(sender, frame.seq, frame.tick, frame.values);
+        let (channel, sensor, tick) = (frame.channel, frame.sensor, frame.tick);
+        let outcome = self.reorder.push(sender, frame.seq, frame.tick, frame.values);
+        if outcome == PushOutcome::Replayed {
+            // A byte-exact capture passes the MAC, so replay is the
+            // anti-replay window's catch: charge it to the sensor's
+            // reject budget like any other auth rejection.
+            self.auth_reject(channel, sensor, tick);
+        }
         let bundles = self.reorder.poll();
         self.absorb_reorder_events();
         for b in bundles {
@@ -481,6 +679,7 @@ impl<'a> StreamingEngine<'a> {
         self.counters.frames_duplicate = duplicates;
         self.counters.frames_late = late;
         self.counters.frames_reordered = reordered;
+        self.counters.frames_replayed = self.reorder.replayed();
         for ev in self.reorder.take_events() {
             // Telemetry events name the channel only for non-RSSI
             // sensors, keeping all-RSSI traces byte-identical to the
@@ -681,6 +880,7 @@ impl<'a> StreamingEngine<'a> {
                 ..self.counters.clone()
             },
             reorder: self.reorder.state(),
+            auth_state: self.auth_state.clone(),
             controller: self.controller.runtime_state(),
             kma_clocks: self.controller.kma_clock_state(),
         }
@@ -796,6 +996,13 @@ impl<'a> StreamingEngine<'a> {
         if snap.last_value.iter().any(|v| !v.is_finite()) {
             return Err("checkpoint last-value state contains non-finite samples".to_string());
         }
+        if snap.auth_state.len() != groups.len() {
+            return Err(format!(
+                "checkpoint auth state covers {} sensors, deployment has {}",
+                snap.auth_state.len(),
+                groups.len()
+            ));
+        }
         Ok(StreamingEngine {
             cfg,
             controller,
@@ -808,6 +1015,8 @@ impl<'a> StreamingEngine<'a> {
             mask: vec![false; n_streams],
             counters: snap.counters.clone(),
             events: Vec::new(),
+            auth: None,
+            auth_state: snap.auth_state.clone(),
             clock: Arc::new(WallClock),
             telemetry: Telemetry::disabled(),
             groups,
@@ -1400,5 +1609,193 @@ mod tests {
             &snap,
         )
         .is_err());
+    }
+
+    /// Keys for the two-sensor test deployment.
+    fn test_keys() -> KeyTable {
+        KeyTable::derive(0xD3B, 2)
+    }
+
+    /// One tick of authenticated v4 wire frames for `groups()`.
+    fn feed_tick_v4(engine: &mut StreamingEngine<'_>, tick: u64, keys: &KeyTable) {
+        let mut rng = Rng::task_stream(99, tick);
+        for (sensor, positions) in groups() {
+            let values: Vec<f32> =
+                positions.iter().map(|_| -50.0 + rng.normal() as f32 * 0.6).collect();
+            let frame = Frame::rssi(sensor, tick as u32, tick, values);
+            engine.ingest_bytes(&frame.encode_auth(keys.get(sensor).unwrap()));
+        }
+    }
+
+    #[test]
+    fn authenticated_engine_accepts_valid_v4_and_rejects_spoofs_and_replays() {
+        use fadewich_core::auth::AuthKey;
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let keys = test_keys();
+        let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        e.set_auth(EngineAuth::new(keys.clone()));
+        assert!(e.is_authenticated());
+        for t in 0..10 {
+            feed_tick_v4(&mut e, t, &keys);
+        }
+        assert_eq!(e.counters().frames_in, 20, "valid v4 frames must flow");
+        assert_eq!(e.counters().frames_unauthenticated, 0);
+
+        // A legacy (unauthenticated) frame is a mode mismatch.
+        e.ingest_bytes(&Frame::rssi(0, 10, 10, vec![-50.0, -50.0]).encode());
+        // A v4 frame forged under the wrong key.
+        let forged = Frame::rssi(1, 10, 10, vec![-50.0, -50.0]);
+        e.ingest_bytes(&forged.encode_auth(&AuthKey::derive(0xBAD, 1)));
+        // A v4 frame claiming a sensor id outside the key table.
+        let unknown = Frame::rssi(7, 10, 10, vec![-50.0, -50.0]);
+        e.ingest_bytes(&unknown.encode_auth(&AuthKey::derive(0xD3B, 7)));
+        assert_eq!(e.counters().frames_unauthenticated, 3);
+        assert_eq!(e.counters().frames_in, 20, "no rejected frame reached the engine");
+
+        // A byte-exact replayed capture passes the MAC; the anti-replay
+        // window armed by `set_auth` catches it.
+        let capture =
+            Frame::rssi(0, 10, 10, vec![-50.0, -50.0]).encode_auth(keys.get(0).unwrap());
+        e.ingest_bytes(&capture);
+        e.ingest_bytes(&capture);
+        let c = e.counters();
+        assert_eq!(c.frames_replayed, 1);
+        assert_eq!(c.frames_unauthenticated, 3, "a replay is not a MAC failure");
+        assert!(c.has_auth_activity());
+        assert_eq!(c.frames_rate_limited, 0, "4 rejections sit well inside the budget");
+    }
+
+    #[test]
+    fn legacy_engine_rejects_v4_frames_and_stays_byte_identical_otherwise() {
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let keys = test_keys();
+        let mut e = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        assert!(!e.is_authenticated());
+        // v4 frames are rejected without keys to verify them…
+        let f = Frame::rssi(0, 0, 0, vec![-50.0, -50.0]);
+        e.ingest_bytes(&f.encode_auth(keys.get(0).unwrap()));
+        assert_eq!(e.counters().frames_unauthenticated, 1);
+        assert_eq!(e.counters().frames_in, 0);
+        // …and rejections charge no budget in legacy mode.
+        assert_eq!(e.counters().frames_rate_limited, 0);
+        assert_eq!(e.counters().attack_quarantines, 0);
+        // Legacy frames flow exactly as before.
+        e.ingest_bytes(&f.encode());
+        assert_eq!(e.counters().frames_in, 1);
+    }
+
+    #[test]
+    fn flood_is_contained_rate_limited_and_quarantined_without_decision_divergence() {
+        use fadewich_core::auth::AuthKey;
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let keys = test_keys();
+        let build = |re, inputs| {
+            let mut e =
+                StreamingEngine::new(engine_cfg(), groups(), re, Kma::new(inputs)).unwrap();
+            e.set_auth(EngineAuth::new(keys.clone()));
+            e
+        };
+        let mut clean = build(&re, &inputs);
+        let mut attacked = build(&re, &inputs);
+        let wrong_key = AuthKey::derive(0xBAD, 1);
+        let mut injected = 0u64;
+        for t in 0..60u64 {
+            feed_tick_v4(&mut clean, t, &keys);
+            feed_tick_v4(&mut attacked, t, &keys);
+            if t == 5 {
+                // Deauth-storm flood: 30 forged frames claiming sensor
+                // 1, sweeping the sequence space.
+                for i in 0..30u32 {
+                    let forged = Frame::rssi(1, 1000 + i, t, vec![-30.0, -30.0]);
+                    attacked.ingest_bytes(&forged.encode_auth(&wrong_key));
+                    injected += 1;
+                }
+            }
+        }
+        clean.finish(60);
+        attacked.finish(60);
+        // Containment: every injected frame rejected, zero divergence.
+        assert_eq!(clean.actions(), attacked.actions());
+        let c = attacked.counters();
+        assert_eq!(c.frames_unauthenticated, injected);
+        assert_eq!(c.frames_in, clean.counters().frames_in);
+        // Budget 16: rejections 17..=30 count as rate-limited, and the
+        // first over-budget rejection trips the sticky quarantine once.
+        assert_eq!(c.frames_rate_limited, injected - 16);
+        assert_eq!(c.attack_quarantines, 1);
+        assert_eq!(
+            attacked
+                .events()
+                .iter()
+                .filter(
+                    |ev| matches!(ev, EngineEvent::SensorAttackQuarantined { sensor: 1, tick: 5 })
+                )
+                .count(),
+            1
+        );
+        // The attack quarantine is observability, not suppression: the
+        // decision stream already proved valid frames kept flowing.
+        let decisions = |e: &StreamingEngine<'_>| {
+            e.events()
+                .iter()
+                .filter(|ev| matches!(ev, EngineEvent::Decision { .. }))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(&clean), decisions(&attacked));
+    }
+
+    #[test]
+    fn auth_state_and_replay_windows_survive_checkpoint_restore() {
+        use fadewich_core::auth::AuthKey;
+        let re = tiny_re(4);
+        let inputs = quiet_inputs();
+        let keys = test_keys();
+        let mut pre = StreamingEngine::new(engine_cfg(), groups(), &re, Kma::new(&inputs)).unwrap();
+        pre.set_auth(EngineAuth::new(keys.clone()));
+        for t in 0..20 {
+            feed_tick_v4(&mut pre, t, &keys);
+        }
+        // Flood sensor 1 past the budget so the snapshot catches a
+        // tripped quarantine and a part-spent window.
+        let wrong_key = AuthKey::derive(0xBAD, 1);
+        for i in 0..20u32 {
+            let forged = Frame::rssi(1, 2000 + i, 19, vec![-30.0, -30.0]);
+            pre.ingest_bytes(&forged.encode_auth(&wrong_key));
+        }
+        assert_eq!(pre.counters().attack_quarantines, 1);
+        let replayable = Frame::rssi(0, 19, 19, vec![-50.0, -50.0]);
+        let capture = replayable.encode_auth(keys.get(0).unwrap());
+
+        let snap = pre.snapshot(0, 20, 0);
+        let mut post =
+            StreamingEngine::restore(engine_cfg(), groups(), &re, Kma::new(&inputs), &snap)
+                .unwrap();
+        // Auth is config: reapply after restore (state rode the snapshot).
+        post.set_auth(EngineAuth::new(keys.clone()));
+        // The replay window survived: a capture of a pre-crash frame is
+        // still rejected after the restore.
+        post.ingest_bytes(&capture);
+        assert_eq!(post.counters().frames_replayed, pre.counters().frames_replayed + 1);
+        // The quarantine flag is sticky across the crash: more flood
+        // rejections keep counting as rate-limited but never re-trip it.
+        for i in 0..4u32 {
+            let forged = Frame::rssi(1, 3000 + i, 20, vec![-30.0, -30.0]);
+            post.ingest_bytes(&forged.encode_auth(&wrong_key));
+        }
+        let c = post.counters();
+        assert_eq!(c.attack_quarantines, 1);
+        assert_eq!(c.frames_rate_limited, pre.counters().frames_rate_limited + 4);
+        assert!(post.events().is_empty(), "a restored sticky flag must not re-emit its event");
+        // A snapshot with a truncated auth-state table is rejected.
+        let mut bad = snap.clone();
+        bad.auth_state.pop();
+        assert!(
+            StreamingEngine::restore(engine_cfg(), groups(), &re, Kma::new(&inputs), &bad)
+                .is_err()
+        );
     }
 }

@@ -73,11 +73,22 @@ impl FaultPlan {
     /// `expected_saves` checkpoints: each save ordinal independently
     /// gets a torn write, a bit flip, or a transient error with the
     /// given probability (mutually exclusive, in that precedence).
+    ///
+    /// # Panics
+    ///
+    /// `fault_p` must be a probability in `[0, 1]`. An out-of-range
+    /// value is a caller bug — silently clamping it would make a
+    /// mistyped rate (say `10.0` for 10%) fault every single save and
+    /// still look like a valid plan.
     pub fn seeded(seed: u64, expected_saves: u64, fault_p: f64) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&fault_p),
+            "fault_p must be a probability in [0, 1], got {fault_p}"
+        );
         let mut rng = Rng::seed_from_u64(seed);
         let mut plan = FaultPlan::none();
         for save in 0..expected_saves {
-            if !rng.bernoulli(fault_p.clamp(0.0, 1.0)) {
+            if !rng.bernoulli(fault_p) {
                 continue;
             }
             match rng.below(3) {
@@ -229,5 +240,64 @@ mod tests {
         assert_eq!((flipped[diff[0]] ^ bytes[diff[0]]).count_ones(), 1);
         assert_eq!(FaultInjector::corrupt(WriteFault::None, &bytes), bytes);
         assert_eq!(FaultInjector::corrupt(WriteFault::Transient, &bytes), bytes);
+    }
+
+    #[test]
+    fn every_drawn_corruption_fault_actually_mutates_the_image() {
+        // A Torn{keep: len} or an out-of-range BitFlip would report a
+        // fault in the log while persisting a pristine image — the
+        // recovery tests would then "pass" without exercising the CRC
+        // rejection path at all. Sweep seeds and image sizes to prove
+        // every drawn fault changes the bytes that reach the disk.
+        let plan = FaultPlan {
+            crash_after_ticks: None,
+            torn_saves: vec![0],
+            bitflip_saves: vec![1],
+            transient_saves: vec![],
+        };
+        for seed in 0..100 {
+            for len in [2usize, 3, 64, 1031] {
+                let bytes: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+                let mut inj = FaultInjector::new(plan.clone(), seed);
+                let torn = inj.next_save(len);
+                assert!(matches!(torn, WriteFault::Torn { .. }), "{torn:?}");
+                let cut = FaultInjector::corrupt(torn, &bytes);
+                assert!(
+                    !cut.is_empty() && cut.len() < len && cut == bytes[..cut.len()],
+                    "torn write must persist a strict non-empty prefix (seed {seed}, len {len})"
+                );
+                let flip = inj.next_save(len);
+                assert!(matches!(flip, WriteFault::BitFlip { .. }), "{flip:?}");
+                let flipped = FaultInjector::corrupt(flip, &bytes);
+                assert_eq!(flipped.len(), len);
+                let changed: Vec<usize> =
+                    (0..len).filter(|&i| flipped[i] != bytes[i]).collect();
+                assert_eq!(changed.len(), 1, "seed {seed}, len {len}: {changed:?}");
+                assert_eq!((flipped[changed[0]] ^ bytes[changed[0]]).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault_p must be a probability")]
+    fn seeded_rejects_a_rate_above_one() {
+        let _ = FaultPlan::seeded(1, 10, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault_p must be a probability")]
+    fn seeded_rejects_a_negative_rate() {
+        let _ = FaultPlan::seeded(1, 10, -0.1);
+    }
+
+    #[test]
+    fn seeded_accepts_the_probability_endpoints() {
+        let never = FaultPlan::seeded(1, 20, 0.0);
+        assert_eq!(never, FaultPlan::none());
+        let always = FaultPlan::seeded(1, 20, 1.0);
+        let total = always.torn_saves.len()
+            + always.bitflip_saves.len()
+            + always.transient_saves.len();
+        assert_eq!(total, 20, "p = 1 must fault every save");
     }
 }

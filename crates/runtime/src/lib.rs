@@ -7,7 +7,8 @@
 //! the reproduction:
 //!
 //! - [`wire`] — the compact binary frame codec (seq, sensor, tick,
-//!   payload, CRC-32) sensors would speak;
+//!   payload, CRC-32) sensors would speak, including the v4
+//!   keyed-MAC authenticated framing;
 //! - [`reorder`] — watermark-based reassembly tolerating out-of-order
 //!   delivery, duplicates, jitter and bounded loss, with sensor
 //!   quarantine/recovery;
@@ -23,7 +24,10 @@
 //!   atomic writes, staleness enforcement and bounded retention;
 //! - [`fault`] — seeded, reproducible disk-fault schedules (torn
 //!   writes, bit flips, transient errors, crash ticks) that exercise
-//!   the recovery paths deterministically.
+//!   the recovery paths deterministically;
+//! - [`attack`] — seeded adversary models (forged/absent-MAC
+//!   injection, byte-exact replay, deauth-storm floods) that the
+//!   containment study splices into clean sensor streams.
 //!
 //! The load-bearing invariant: over a lossless link the engine's
 //! decisions are **byte-identical** to the batch pipeline's
@@ -53,6 +57,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod attack;
 pub mod checkpoint;
 pub mod counters;
 pub mod engine;
@@ -62,11 +67,12 @@ pub mod reorder;
 pub mod replay;
 pub mod wire;
 
+pub use attack::{AttackKind, AttackModel};
 pub use checkpoint::{
     CheckpointError, CheckpointStore, Checkpointer, EngineSnapshot, LoadOutcome, RetryPolicy,
 };
 pub use counters::{LatencyHisto, RuntimeCounters};
-pub use engine::{EngineConfig, EngineEvent, StreamingEngine};
+pub use engine::{EngineAuth, EngineConfig, EngineEvent, SensorAuthState, StreamingEngine};
 pub use fault::{FaultInjector, FaultLog, FaultPlan, WriteFault};
 pub use link::LinkModel;
 pub use reorder::{ReorderBuffer, ReorderConfig, ReorderState, TickBundle};

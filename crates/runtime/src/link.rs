@@ -42,11 +42,48 @@ impl LinkModel {
     /// broken by send order, so reordering never exceeds
     /// `jitter_ticks`.
     pub fn deliver(&self, frames: &[(u64, Vec<u8>)], rng: &mut Rng) -> Vec<Vec<u8>> {
-        if self.is_lossless() {
-            return frames.iter().map(|(_, b)| b.clone()).collect();
+        let mut bytes = Vec::new();
+        let mut ends = Vec::new();
+        self.deliver_into(frames, rng, &mut bytes, &mut ends);
+        let mut out = Vec::with_capacity(ends.len());
+        let mut start = 0;
+        for &end in &ends {
+            out.push(bytes[start..end].to_vec());
+            start = end;
         }
-        let mut in_flight: Vec<(u64, usize, Vec<u8>)> = Vec::with_capacity(frames.len());
-        for (idx, (tick, bytes)) in frames.iter().enumerate() {
+        out
+    }
+
+    /// The reusable-buffer form of [`LinkModel::deliver`] for hot
+    /// replay loops: delivered frames are appended back-to-back into
+    /// `bytes`, with `ends[i]` the exclusive end offset of frame `i`
+    /// (frame `i` spans `ends[i-1]..ends[i]`, the first starts at 0).
+    /// Both buffers are cleared first, so a caller can hoist them out
+    /// of a per-tick loop and amortize the allocations; the RNG draw
+    /// order is identical to `deliver`, so the two forms produce the
+    /// same arrival stream for the same seed.
+    pub fn deliver_into(
+        &self,
+        frames: &[(u64, Vec<u8>)],
+        rng: &mut Rng,
+        bytes: &mut Vec<u8>,
+        ends: &mut Vec<usize>,
+    ) {
+        bytes.clear();
+        ends.clear();
+        if self.is_lossless() {
+            for (_, b) in frames {
+                bytes.extend_from_slice(b);
+                ends.push(bytes.len());
+            }
+            return;
+        }
+        // (arrival tick, send idx, start, end) into a scratch copy of
+        // the perturbed frames; the sorted spans are then compacted
+        // into `bytes` in arrival order.
+        let mut staged: Vec<u8> = Vec::new();
+        let mut in_flight: Vec<(u64, usize, usize, usize)> = Vec::with_capacity(frames.len());
+        for (idx, (tick, frame)) in frames.iter().enumerate() {
             if rng.bernoulli(self.drop_p) {
                 continue;
             }
@@ -57,17 +94,21 @@ impl LinkModel {
                 } else {
                     rng.below(self.jitter_ticks as usize + 1) as u64
                 };
-                let mut payload = bytes.clone();
+                let start = staged.len();
+                staged.extend_from_slice(frame);
                 if rng.bernoulli(self.corrupt_p) {
-                    let byte = rng.below(payload.len());
+                    let byte = rng.below(frame.len());
                     let bit = rng.below(8) as u8;
-                    payload[byte] ^= 1 << bit;
+                    staged[start + byte] ^= 1 << bit;
                 }
-                in_flight.push((tick + delay, idx, payload));
+                in_flight.push((tick + delay, idx, start, staged.len()));
             }
         }
-        in_flight.sort_by_key(|&(arrival, idx, _)| (arrival, idx));
-        in_flight.into_iter().map(|(_, _, bytes)| bytes).collect()
+        in_flight.sort_by_key(|&(arrival, idx, _, _)| (arrival, idx));
+        for (_, _, start, end) in in_flight {
+            bytes.extend_from_slice(&staged[start..end]);
+            ends.push(bytes.len());
+        }
     }
 }
 
@@ -105,6 +146,29 @@ mod tests {
         let out = link.deliver(&fs, &mut Rng::seed_from_u64(7));
         let rate = 1.0 - out.len() as f64 / fs.len() as f64;
         assert!((rate - 0.25).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn deliver_into_matches_deliver_for_the_same_seed() {
+        // The reusable-buffer form must draw the RNG in the same order
+        // and reconstruct the same arrival stream, lossless and lossy.
+        let fs = frames(300);
+        let links = [
+            LinkModel::lossless(),
+            LinkModel { drop_p: 0.1, dup_p: 0.05, corrupt_p: 0.02, jitter_ticks: 3 },
+        ];
+        for link in links {
+            let owned = link.deliver(&fs, &mut Rng::seed_from_u64(42));
+            let (mut bytes, mut ends) = (vec![0xAAu8; 7], vec![9usize]);
+            link.deliver_into(&fs, &mut Rng::seed_from_u64(42), &mut bytes, &mut ends);
+            assert_eq!(ends.len(), owned.len(), "stale buffer contents must be cleared");
+            let mut start = 0;
+            for (frame, &end) in owned.iter().zip(&ends) {
+                assert_eq!(&bytes[start..end], &frame[..]);
+                start = end;
+            }
+            assert_eq!(start, bytes.len(), "spans must cover the whole buffer");
+        }
     }
 
     #[test]

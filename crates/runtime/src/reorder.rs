@@ -20,6 +20,21 @@
 //! The buffer reports duplicates, late frames and sequence-number
 //! regressions, plus the current watermark lag — everything the engine
 //! surfaces in its runtime counters.
+//!
+//! # Anti-replay windows
+//!
+//! When the engine runs authenticated, a captured-and-replayed frame
+//! carries a *valid* MAC — the replay defense is sequence-space, not
+//! cryptographic. [`ReorderBuffer::set_anti_replay`] arms a classic
+//! IPsec/DTLS-style sliding window per sender: a 64-bit bitmap over
+//! the sequence numbers at and below the sender's high-water mark.
+//! A frame whose seq was already accepted (or fell off the 64-seq
+//! window) returns [`PushOutcome::Replayed`] and touches **nothing** —
+//! not the frontier, not the quarantine state — so replayed captures
+//! can neither advance the watermark nor resurrect a quarantined
+//! sender. Like the per-sender quarantine deadline, the arm/disarm
+//! flag is configuration (the engine reapplies it on restore); the
+//! bitmaps themselves are state and checkpoint with the buffer.
 
 use std::collections::BTreeMap;
 
@@ -58,6 +73,10 @@ pub enum PushOutcome {
     Duplicate,
     /// The tick has already been emitted; the frame is dropped.
     Late,
+    /// Anti-replay is armed and this sequence number was already
+    /// accepted (or fell off the replay window); the frame is dropped
+    /// without touching frontier or quarantine state.
+    Replayed,
 }
 
 /// Sender liveness transitions, in occurrence order.
@@ -101,6 +120,11 @@ pub struct ReorderState {
     pub late: u64,
     /// Cumulative sequence regressions.
     pub reordered: u64,
+    /// Cumulative frames rejected by the anti-replay window.
+    pub replayed: u64,
+    /// Per-sender anti-replay bitmaps (bit `d` set ⇔ seq `max_seq − d`
+    /// was accepted). All zeros while anti-replay is disarmed.
+    pub replay_seen: Vec<u64>,
     /// Largest watermark lag ever observed.
     pub max_lag: u64,
     /// Buffered payloads, ticks strictly ascending, all `≥ next_emit`.
@@ -123,10 +147,16 @@ pub struct ReorderBuffer {
     /// Per-sender quarantine deadlines; config-derived, not part of
     /// [`ReorderState`] (the engine reapplies overrides on restore).
     thresholds: Vec<u64>,
+    /// Whether the sliding anti-replay window is armed; config-derived
+    /// like `thresholds` (the engine reapplies it on restore).
+    anti_replay: bool,
+    /// Per-sender anti-replay bitmaps (state; see [`ReorderState`]).
+    replay_seen: Vec<u64>,
     events: Vec<SenderEvent>,
     duplicates: u64,
     late: u64,
     reordered: u64,
+    replayed: u64,
     max_lag: u64,
 }
 
@@ -145,12 +175,59 @@ impl ReorderBuffer {
             max_seq: vec![None; cfg.n_senders],
             quarantined: vec![false; cfg.n_senders],
             thresholds: vec![cfg.quarantine_after_ticks; cfg.n_senders],
+            anti_replay: false,
+            replay_seen: vec![0; cfg.n_senders],
             events: Vec::new(),
             duplicates: 0,
             late: 0,
             reordered: 0,
+            replayed: 0,
             max_lag: 0,
             cfg,
+        }
+    }
+
+    /// Arms (or disarms) the sliding anti-replay window. Like the
+    /// per-sender quarantine deadline this is configuration, not
+    /// checkpointable state — the engine reapplies it on restore. The
+    /// bitmaps keep accumulating across disarm/re-arm.
+    pub fn set_anti_replay(&mut self, armed: bool) {
+        self.anti_replay = armed;
+    }
+
+    /// Whether the anti-replay window is armed.
+    pub fn anti_replay(&self) -> bool {
+        self.anti_replay
+    }
+
+    /// Sliding-window replay check: returns `true` when `seq` was
+    /// already accepted from `sender` (or is older than the 64-seq
+    /// window); otherwise records it and returns `false`.
+    fn is_replay(&mut self, sender: usize, seq: u32) -> bool {
+        let bitmap = &mut self.replay_seen[sender];
+        match self.max_seq[sender] {
+            None => {
+                *bitmap = 1;
+                false
+            }
+            Some(m) if seq > m => {
+                let shift = u64::from(seq - m);
+                *bitmap = if shift >= 64 { 0 } else { *bitmap << shift };
+                *bitmap |= 1;
+                false
+            }
+            Some(m) => {
+                let diff = u64::from(m - seq);
+                if diff >= 64 {
+                    return true;
+                }
+                let bit = 1u64 << diff;
+                if *bitmap & bit != 0 {
+                    return true;
+                }
+                *bitmap |= bit;
+                false
+            }
         }
     }
 
@@ -161,6 +238,13 @@ impl ReorderBuffer {
     /// Panics if `sender` is out of range.
     pub fn push(&mut self, sender: usize, seq: u32, tick: u64, values: Vec<f32>) -> PushOutcome {
         assert!(sender < self.cfg.n_senders, "sender out of range");
+        if self.anti_replay && self.is_replay(sender, seq) {
+            // Rejected before frontier/quarantine updates: a replayed
+            // capture must not advance the watermark or recover a
+            // quarantined sender.
+            self.replayed += 1;
+            return PushOutcome::Replayed;
+        }
         match self.max_seq[sender] {
             Some(m) if seq < m => self.reordered += 1,
             _ => self.max_seq[sender] = Some(seq.max(self.max_seq[sender].unwrap_or(0))),
@@ -263,6 +347,11 @@ impl ReorderBuffer {
         (self.duplicates, self.late, self.reordered)
     }
 
+    /// Cumulative frames rejected by the anti-replay window.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
     fn closeable(&self, tick: u64) -> bool {
         let bundle = self.pending.get(&tick);
         (0..self.cfg.n_senders).all(|s| {
@@ -303,6 +392,8 @@ impl ReorderBuffer {
             duplicates: self.duplicates,
             late: self.late,
             reordered: self.reordered,
+            replayed: self.replayed,
+            replay_seen: self.replay_seen.clone(),
             max_lag: self.max_lag,
             pending: self.pending.iter().map(|(&t, b)| (t, b.clone())).collect(),
         }
@@ -326,6 +417,7 @@ impl ReorderBuffer {
             ("frontier", state.frontier.len()),
             ("max_seq", state.max_seq.len()),
             ("quarantined", state.quarantined.len()),
+            ("replay_seen", state.replay_seen.len()),
         ] {
             if len != cfg.n_senders {
                 return Err(format!(
@@ -363,10 +455,13 @@ impl ReorderBuffer {
             max_seq: state.max_seq.clone(),
             quarantined: state.quarantined.clone(),
             thresholds: vec![cfg.quarantine_after_ticks; cfg.n_senders],
+            anti_replay: false,
+            replay_seen: state.replay_seen.clone(),
             events: Vec::new(),
             duplicates: state.duplicates,
             late: state.late,
             reordered: state.reordered,
+            replayed: state.replayed,
             max_lag: state.max_lag,
             cfg,
         })
@@ -571,6 +666,9 @@ mod tests {
         let mut bad = good.clone();
         bad.quarantined.push(false);
         assert!(ReorderBuffer::from_state(c, &bad).is_err());
+        let mut bad = good.clone();
+        bad.replay_seen.pop();
+        assert!(ReorderBuffer::from_state(c, &bad).is_err());
         // Pending tick behind the watermark.
         let mut bad = good.clone();
         bad.next_emit = 5;
@@ -583,6 +681,90 @@ mod tests {
         let mut bad = good.clone();
         bad.pending = vec![(0, vec![None])];
         assert!(ReorderBuffer::from_state(c, &bad).is_err());
+    }
+
+    #[test]
+    fn replay_window_rejects_repeats_and_stale_seqs() {
+        let mut rb = ReorderBuffer::new(cfg(1, 4));
+        rb.set_anti_replay(true);
+        assert!(rb.anti_replay());
+        // Fresh seqs accept, including out-of-order within the window.
+        assert_eq!(rb.push(0, 5, 5, payload(1.0)), PushOutcome::Buffered);
+        assert_eq!(rb.push(0, 3, 3, payload(1.0)), PushOutcome::Buffered);
+        // Exact repeats are replays, whether of the max or an in-window seq.
+        assert_eq!(rb.push(0, 5, 5, payload(1.0)), PushOutcome::Replayed);
+        assert_eq!(rb.push(0, 3, 3, payload(1.0)), PushOutcome::Replayed);
+        // Advance far; everything ≥ 64 behind the new max is too old.
+        assert_eq!(rb.push(0, 100, 100, payload(1.0)), PushOutcome::Buffered);
+        assert_eq!(rb.push(0, 36, 36, payload(1.0)), PushOutcome::Replayed);
+        assert_eq!(rb.push(0, 37, 37, payload(1.0)), PushOutcome::Buffered);
+        assert_eq!(rb.replayed(), 3);
+        // Duplicate/late accounting is untouched by replay rejections:
+        // only the two genuine seq regressions (3 after 5, 37 after
+        // 100) count as reordered; the three replays count nowhere else.
+        assert_eq!(rb.counters(), (0, 0, 2), "replays must not leak into legacy counters");
+    }
+
+    #[test]
+    fn replayed_frames_do_not_recover_quarantine_or_advance_the_frontier() {
+        let c = ReorderConfig { n_senders: 2, jitter_ticks: 0, quarantine_after_ticks: 3 };
+        let mut rb = ReorderBuffer::new(c);
+        rb.set_anti_replay(true);
+        rb.push(1, 0, 0, payload(9.0));
+        for t in 0..6u64 {
+            rb.push(0, t as u32, t, payload(1.0));
+        }
+        rb.poll();
+        assert!(rb.is_quarantined(1));
+        rb.take_events();
+        let frontier_before = rb.global_frontier();
+        // Replaying sender 1's captured frame must not resurrect it.
+        assert_eq!(rb.push(1, 0, 0, payload(9.0)), PushOutcome::Replayed);
+        assert!(rb.is_quarantined(1), "a replayed capture must not recover the sender");
+        assert!(rb.take_events().is_empty());
+        assert_eq!(rb.global_frontier(), frontier_before);
+        // A genuinely fresh frame still recovers it.
+        assert_eq!(rb.push(1, 1, 6, payload(9.5)), PushOutcome::Buffered);
+        assert!(!rb.is_quarantined(1));
+    }
+
+    #[test]
+    fn disarmed_buffer_is_byte_identical_to_the_legacy_behavior() {
+        // With anti-replay off (the default), a replayed seq is just a
+        // duplicate/late frame exactly as before the window landed.
+        let mut rb = ReorderBuffer::new(cfg(1, 0));
+        rb.push(0, 0, 0, payload(1.0));
+        assert_eq!(rb.push(0, 0, 0, payload(1.0)), PushOutcome::Duplicate);
+        assert_eq!(rb.replayed(), 0);
+        assert!(rb.state().replay_seen.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn replay_state_survives_checkpoint_round_trip() {
+        let c = cfg(2, 2);
+        let mut rb = ReorderBuffer::new(c);
+        rb.set_anti_replay(true);
+        for t in 0..10u64 {
+            rb.push(0, t as u32, t, payload(t as f32));
+            rb.push(1, (t * 2) as u32, t, payload(t as f32));
+        }
+        rb.push(0, 4, 4, payload(0.0)); // one replay on the books
+        rb.poll();
+        rb.take_events();
+        let state = rb.state();
+        assert_eq!(state.replayed, 1);
+        let mut restored = ReorderBuffer::from_state(c, &state).unwrap();
+        restored.set_anti_replay(true); // config reapplied, like quarantine overrides
+        assert_eq!(restored.state(), state);
+        // Both continue identically, including replay verdicts.
+        for (seq, tick) in [(4u32, 4u64), (10, 10), (10, 10), (9, 9)] {
+            assert_eq!(
+                rb.push(0, seq, tick, payload(1.0)),
+                restored.push(0, seq, tick, payload(1.0)),
+                "diverged at seq {seq}"
+            );
+        }
+        assert_eq!(rb.replayed(), restored.replayed());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! decisions — the invariant `tests/parity.rs` enforces.
 
 use fadewich_core::artifact::{FeatureSchema, ModelBundle};
+use fadewich_core::auth::KeyTable;
 use fadewich_core::config::FadewichParams;
 use fadewich_core::controller::{Action, Controller};
 use fadewich_core::features::{extract_features, TrainingSample, FEATURES_PER_STREAM};
@@ -166,6 +167,10 @@ pub fn train_model(
         ),
         md: md.snapshot(),
         re,
+        // Training stays keyless: authenticated deployments attach a
+        // derived KeyTable explicitly, so pre-auth artifacts (and their
+        // pinned fixtures) keep encoding byte-identically.
+        keys: None,
     })
 }
 
@@ -282,6 +287,55 @@ pub fn day_deliveries_for_office(
     link_seed: u64,
     office: u16,
 ) -> Result<Vec<Vec<u8>>, String> {
+    let frames = framed_day(trace, streams, groups, day, office)?;
+    let mut rng = Rng::task_stream(link_seed, day as u64);
+    Ok(link.deliver(&frames, &mut rng))
+}
+
+/// The reusable-buffer form of [`day_deliveries_for_office`]: the
+/// day's arrival stream lands back-to-back in `bytes`, with `ends[i]`
+/// the exclusive end offset of delivery `i` (see
+/// [`LinkModel::deliver_into`]). Byte-for-byte the same deliveries in
+/// the same order as the owned form — the fleet feed builder uses
+/// this to skip the per-delivery allocations.
+///
+/// # Errors
+///
+/// Same layout contract as [`day_deliveries`].
+#[allow(clippy::too_many_arguments)]
+pub fn day_deliveries_for_office_into(
+    trace: &Trace,
+    streams: &[usize],
+    groups: &[(u16, Vec<usize>)],
+    day: usize,
+    link: &LinkModel,
+    link_seed: u64,
+    office: u16,
+    bytes: &mut Vec<u8>,
+    ends: &mut Vec<usize>,
+) -> Result<(), String> {
+    let frames = framed_day(trace, streams, groups, day, office)?;
+    let mut rng = Rng::task_stream(link_seed, day as u64);
+    link.deliver_into(&frames, &mut rng, bytes, ends);
+    Ok(())
+}
+
+/// One day's encoded send stream before the link: `(send tick, bytes)`
+/// in send order with per-sensor sequence numbers. The framing half of
+/// [`day_deliveries_for_office`]; hot streaming paths feed it through
+/// [`LinkModel::deliver_into`] instead of materializing owned
+/// deliveries.
+///
+/// # Errors
+///
+/// Same layout contract as [`day_deliveries`].
+fn framed_day(
+    trace: &Trace,
+    streams: &[usize],
+    groups: &[(u16, Vec<usize>)],
+    day: usize,
+    office: u16,
+) -> Result<Vec<(u64, Vec<u8>)>, String> {
     let mut seq = vec![0u32; groups.len()];
     let reports = trace.sensor_reports(day, streams);
     let mut frames: Vec<(u64, Vec<u8>)> = Vec::with_capacity(reports.len());
@@ -300,8 +354,51 @@ pub fn day_deliveries_for_office(
         seq[sender] = seq[sender].wrapping_add(1);
         frames.push((r.tick, frame.encode()));
     }
-    let mut rng = Rng::task_stream(link_seed, day as u64);
-    Ok(link.deliver(&frames, &mut rng))
+    Ok(frames)
+}
+
+/// [`framed_day`]'s authenticated form: one day's send stream with
+/// every report encoded as a v4 frame signed under the sender's key
+/// from `keys` — what an authenticated deployment's radio actually
+/// puts on the air. The attack studies splice
+/// [`AttackModel`](crate::attack::AttackModel) forgeries into this
+/// stream; an engine running [`set_auth`](crate::engine::StreamingEngine::set_auth)
+/// with the same table accepts exactly the genuine frames.
+///
+/// # Errors
+///
+/// Same layout contract as [`day_deliveries`], plus every reporting
+/// sensor must have a key in `keys`.
+pub fn signed_day_frames(
+    trace: &Trace,
+    streams: &[usize],
+    groups: &[(u16, Vec<usize>)],
+    day: usize,
+    office: u16,
+    keys: &KeyTable,
+) -> Result<Vec<(u64, Vec<u8>)>, String> {
+    let mut seq = vec![0u32; groups.len()];
+    let reports = trace.sensor_reports(day, streams);
+    let mut frames: Vec<(u64, Vec<u8>)> = Vec::with_capacity(reports.len());
+    for r in reports {
+        let sender = groups.iter().position(|(s, _)| *s == r.sensor).ok_or_else(|| {
+            format!("sensor {} reports frames but is not in the receiver layout", r.sensor)
+        })?;
+        let key = keys
+            .get(r.sensor)
+            .ok_or_else(|| format!("sensor {} has no key in the deployment table", r.sensor))?;
+        let frame = Frame {
+            office,
+            channel: channel_kind_of(r.kind),
+            sensor: r.sensor,
+            seq: seq[sender],
+            tick: r.tick,
+            values: r.values,
+        };
+        seq[sender] = seq[sender].wrapping_add(1);
+        frames.push((r.tick, frame.encode_auth(key)));
+    }
+    Ok(frames)
 }
 
 /// [`day_deliveries`] over a channel-typed sensor layout: reports come
@@ -325,6 +422,23 @@ pub fn fused_day_deliveries(
     link: &LinkModel,
     link_seed: u64,
 ) -> Result<Vec<Vec<u8>>, String> {
+    let frames = framed_day_fused(trace, streams, groups, day)?;
+    let mut rng = Rng::task_stream(link_seed, day as u64);
+    Ok(link.deliver(&frames, &mut rng))
+}
+
+/// The framing half of [`fused_day_deliveries`], mirroring
+/// [`framed_day`] over a channel-typed layout.
+///
+/// # Errors
+///
+/// Same layout contract as [`fused_day_deliveries`].
+fn framed_day_fused(
+    trace: &Trace,
+    streams: &[usize],
+    groups: &[SensorGroup],
+    day: usize,
+) -> Result<Vec<(u64, Vec<u8>)>, String> {
     let mut seq = vec![0u32; groups.len()];
     let reports = trace.sensor_reports_fused(day, streams);
     let mut frames: Vec<(u64, Vec<u8>)> = Vec::with_capacity(reports.len());
@@ -351,8 +465,7 @@ pub fn fused_day_deliveries(
         seq[sender] = seq[sender].wrapping_add(1);
         frames.push((r.tick, frame.encode()));
     }
-    let mut rng = Rng::task_stream(link_seed, day as u64);
-    Ok(link.deliver(&frames, &mut rng))
+    Ok(frames)
 }
 
 /// Streams one recorded day of a light-enabled trace through `link`
@@ -383,8 +496,16 @@ pub fn stream_day_fused(
     let kma = Kma::new(&inputs);
     let mut engine = StreamingEngine::with_layout(cfg, groups.clone(), fusion, re, kma)?;
     engine.set_telemetry(telemetry.clone());
-    for bytes in fused_day_deliveries(trace, streams, &groups, day, link, link_seed)? {
-        engine.ingest_bytes(&bytes);
+    // Hot path: one flat arrival buffer for the whole day instead of
+    // an owned Vec per delivery. Same RNG stream, same byte stream.
+    let frames = framed_day_fused(trace, streams, &groups, day)?;
+    let mut rng = Rng::task_stream(link_seed, day as u64);
+    let (mut arrivals, mut ends) = (Vec::new(), Vec::new());
+    link.deliver_into(&frames, &mut rng, &mut arrivals, &mut ends);
+    let mut start = 0;
+    for &end in &ends {
+        engine.ingest_bytes(&arrivals[start..end]);
+        start = end;
     }
     engine.finish(trace.days()[day].n_ticks() as u64);
     engine.counters().export_into(telemetry);
@@ -562,8 +683,16 @@ pub fn stream_day_with_telemetry(
     let kma = Kma::new(&inputs);
     let mut engine = StreamingEngine::new(cfg, groups.clone(), re, kma)?;
     engine.set_telemetry(telemetry.clone());
-    for bytes in day_deliveries(trace, streams, &groups, day, link, link_seed)? {
-        engine.ingest_bytes(&bytes);
+    // Hot path: one flat arrival buffer for the whole day instead of
+    // an owned Vec per delivery. Same RNG stream, same byte stream.
+    let frames = framed_day(trace, streams, &groups, day, 0)?;
+    let mut rng = Rng::task_stream(link_seed, day as u64);
+    let (mut arrivals, mut ends) = (Vec::new(), Vec::new());
+    link.deliver_into(&frames, &mut rng, &mut arrivals, &mut ends);
+    let mut start = 0;
+    for &end in &ends {
+        engine.ingest_bytes(&arrivals[start..end]);
+        start = end;
     }
     engine.finish(trace.days()[day].n_ticks() as u64);
     engine.counters().export_into(telemetry);

@@ -39,27 +39,60 @@
 //! 19      2     len          number of f32 samples (≤ MAX_PAYLOAD)
 //! 21      4·len payload      samples, f32 little-endian
 //! …       4     crc32        IEEE CRC-32 of all preceding bytes
+//!
+//! v4 (authenticated deployments; adds a keyed-MAC tag)
+//! offset  size  field
+//! 0       2     magic        0xFAD9, little-endian
+//! 2       2     office       tenant (office) id — the fleet demux key
+//! 4       1     channel      ChannelKind tag (0 = RSSI, 1 = light)
+//! 5       8     mac          SipHash-2-4 tag over every other frame
+//!                            byte except the CRC (see below)
+//! 13      2     sensor       receiving sensor id
+//! 15      4     seq          per-sensor send sequence number
+//! 19      8     tick         day-local tick timestamp
+//! 27      2     len          number of f32 samples (≤ MAX_PAYLOAD)
+//! 29      4·len payload      samples, f32 little-endian
+//! …       4     crc32        IEEE CRC-32 of all preceding bytes
 //! ```
 //!
-//! The versions are distinguished by their magic (any two magics are
-//! two bit-flips apart, so no single flip crosses versions), and a
-//! station accepts a mixed stream: v1 frames decode with `office = 0`
-//! (the single-office deployments of PR 2–6 are "office 0" of a
-//! fleet), v1 and v2 frames both decode with `channel = Rssi` (every
-//! pre-fusion sensor was an RSSI receiver), and [`Frame::encode`]
-//! always emits the **oldest version that can represent the frame** —
-//! v1 for office-0 RSSI, v2 for RSSI, v3 only for non-RSSI channels —
-//! so existing byte streams, checkpoint delivery positions and
-//! link-corruption draws are unchanged. Everything is little-endian.
-//! The checksum lets the station reject corrupted frames instead of
-//! feeding garbage samples into MD — the reorder buffer then treats
-//! the tick as missing, which downstream gap-fill handles gracefully.
+//! The versions are distinguished by their magic (the three legacy
+//! magics are pairwise two bit-flips apart, and the v4 magic is at
+//! least *three* flips from each of them, so no ≤2-bit corruption can
+//! move a frame across the authenticated/unauthenticated boundary),
+//! and a station accepts a mixed stream: v1 frames decode with
+//! `office = 0` (the single-office deployments of PR 2–6 are "office
+//! 0" of a fleet), v1 and v2 frames both decode with `channel = Rssi`
+//! (every pre-fusion sensor was an RSSI receiver), and
+//! [`Frame::encode`] always emits the **oldest version that can
+//! represent the frame** — v1 for office-0 RSSI, v2 for RSSI, v3 only
+//! for non-RSSI channels — so existing byte streams, checkpoint
+//! delivery positions and link-corruption draws are unchanged. v4 is
+//! never picked implicitly: senders opt into authentication with
+//! [`Frame::encode_auth`], which needs the sensor's key. Everything is
+//! little-endian. The checksum lets the station reject corrupted
+//! frames instead of feeding garbage samples into MD — the reorder
+//! buffer then treats the tick as missing, which downstream gap-fill
+//! handles gracefully.
+//!
+//! The v4 MAC is SipHash-2-4 under the sensor's 128-bit key
+//! (`fadewich_core::auth`), computed over the frame bytes *minus* the
+//! tag field and the trailing CRC — i.e. over `bytes[0..5] ‖
+//! bytes[13..total−4]`: magic, office, channel, sensor, seq, tick,
+//! len, payload. The CRC is then computed over the whole frame
+//! including the tag, so the integrity check still covers every byte
+//! on the wire. CRC answers "was this frame damaged?"; the MAC answers
+//! "did a keyed sensor send it?" — an attacker without the key can
+//! fabricate a frame that passes CRC (it is not a secret), but not one
+//! that verifies (see [`FrameView::verify_mac`]).
 //!
 //! [`Frame::decode_borrowed`] is the zero-copy variant for the fleet
 //! demux hot path: it validates exactly like [`Frame::decode`] but
 //! returns a [`FrameView`] whose payload is a slice into the input
 //! buffer, so routing a frame by office id allocates nothing.
+//! Decoding checks framing and CRC only — MAC verification is a
+//! separate, keyed step the engine performs per its auth mode.
 
+use fadewich_core::auth::AuthKey;
 use fadewich_core::stream::ChannelKind;
 
 /// v1 frame preamble, chosen to make byte-aligned garbage unlikely to
@@ -72,6 +105,11 @@ pub const FRAME_MAGIC_V2: u16 = 0xFAD2;
 /// v3 frame preamble (header carries an office id and a channel kind).
 pub const FRAME_MAGIC_V3: u16 = 0xFAD7;
 
+/// v4 frame preamble (header carries a keyed-MAC tag). Chosen at
+/// Hamming distance ≥ 3 from every legacy magic so no ≤2-bit flip
+/// crosses the authenticated/unauthenticated boundary.
+pub const FRAME_MAGIC_V4: u16 = 0xFAD9;
+
 /// Bytes before the payload in a v1 frame.
 pub const HEADER_LEN: usize = 18;
 
@@ -80,6 +118,13 @@ pub const HEADER_LEN_V2: usize = 20;
 
 /// Bytes before the payload in a v3 frame (v2 plus the channel tag).
 pub const HEADER_LEN_V3: usize = 21;
+
+/// Bytes before the payload in a v4 frame (v3 plus the 8-byte MAC tag).
+pub const HEADER_LEN_V4: usize = 29;
+
+/// Byte offset of the MAC tag inside a v4 frame (after magic, office,
+/// channel).
+const MAC_TAG_OFFSET: usize = 5;
 
 /// Hard cap on samples per frame (a 9-sensor office has at most 8
 /// streams per receiver; the cap only bounds hostile input).
@@ -124,6 +169,11 @@ pub struct FrameView<'a> {
     /// Day-local tick the samples belong to.
     pub tick: u64,
     payload: &'a [u8],
+    /// The carried MAC tag for v4 frames; `None` for v1–v3.
+    mac: Option<u64>,
+    /// The whole encoded frame (`bytes[..total]`), kept for keyed MAC
+    /// verification without re-slicing at the call site.
+    raw: &'a [u8],
 }
 
 impl<'a> FrameView<'a> {
@@ -164,6 +214,34 @@ impl<'a> FrameView<'a> {
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
     }
 
+    /// Whether the frame arrived with a v4 authenticated header.
+    pub fn is_authenticated(&self) -> bool {
+        self.mac.is_some()
+    }
+
+    /// The carried MAC tag (v4 frames only). Carrying a tag does not
+    /// mean the tag is *valid* — see [`FrameView::verify_mac`].
+    pub fn mac_tag(&self) -> Option<u64> {
+        self.mac
+    }
+
+    /// Verifies the v4 MAC tag under `key`: recomputes SipHash-2-4
+    /// over the frame bytes minus the tag field and CRC, and compares
+    /// against the carried tag. Returns `false` for v1–v3 frames
+    /// (nothing to verify) and for any tag mismatch.
+    pub fn verify_mac(&self, key: &AuthKey) -> bool {
+        match self.mac {
+            Some(carried) => {
+                let computed = key.tag_parts(
+                    &self.raw[..MAC_TAG_OFFSET],
+                    &self.raw[MAC_TAG_OFFSET + 8..self.raw.len() - 4],
+                );
+                computed == carried
+            }
+            None => false,
+        }
+    }
+
     /// Materializes an owned [`Frame`] (allocates the payload `Vec`).
     pub fn to_frame(&self) -> Frame {
         Frame {
@@ -183,7 +261,7 @@ pub enum WireError {
     /// Fewer bytes than the declared (or minimum) frame length.
     Truncated,
     /// The first two bytes are none of [`FRAME_MAGIC`],
-    /// [`FRAME_MAGIC_V2`], or [`FRAME_MAGIC_V3`].
+    /// [`FRAME_MAGIC_V2`], [`FRAME_MAGIC_V3`], or [`FRAME_MAGIC_V4`].
     BadMagic,
     /// A v3 header carries an unknown [`ChannelKind`] tag.
     BadChannel(u8),
@@ -324,6 +402,52 @@ impl Frame {
         out
     }
 
+    /// Encoded size in bytes of the authenticated (v4) representation.
+    pub fn encoded_len_auth(&self) -> usize {
+        HEADER_LEN_V4 + 4 * self.values.len() + 4
+    }
+
+    /// Appends the authenticated v4 encoding: the header carries a
+    /// SipHash-2-4 tag under the sensor's `key` over every frame byte
+    /// except the tag field itself and the trailing CRC (which is then
+    /// computed over the whole frame, tag included). Never picked by
+    /// [`Frame::encode`] — authentication is an explicit sender
+    /// decision, not a fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`] samples.
+    pub fn encode_auth_into(&self, key: &AuthKey, out: &mut Vec<u8>) {
+        assert!(self.values.len() <= MAX_PAYLOAD, "payload too large");
+        let start = out.len();
+        out.extend_from_slice(&FRAME_MAGIC_V4.to_le_bytes());
+        out.extend_from_slice(&self.office.to_le_bytes());
+        out.push(self.channel.tag());
+        out.extend_from_slice(&[0u8; 8]); // MAC tag, patched below
+        out.extend_from_slice(&self.sensor.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.tick.to_le_bytes());
+        out.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let tag = {
+            let frame = &out[start..];
+            key.tag_parts(&frame[..MAC_TAG_OFFSET], &frame[MAC_TAG_OFFSET + 8..])
+        };
+        let tag_at = start + MAC_TAG_OFFSET;
+        out[tag_at..tag_at + 8].copy_from_slice(&tag.to_le_bytes());
+        let crc = crc32(&out[start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Encodes the authenticated v4 frame into a fresh buffer.
+    pub fn encode_auth(&self, key: &AuthKey) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len_auth());
+        self.encode_auth_into(key, &mut out);
+        out
+    }
+
     /// Decodes one frame (either header version) from the start of
     /// `bytes`, returning it and the number of bytes consumed (so
     /// frames can be streamed from a concatenated buffer).
@@ -355,13 +479,15 @@ impl Frame {
             FRAME_MAGIC_V2 => {
                 (u16::from_le_bytes([bytes[2], bytes[3]]), ChannelKind::Rssi, HEADER_LEN_V2)
             }
-            FRAME_MAGIC_V3 => {
+            FRAME_MAGIC_V3 | FRAME_MAGIC_V4 => {
                 let office = u16::from_le_bytes([bytes[2], bytes[3]]);
                 let channel = match ChannelKind::from_tag(bytes[4]) {
                     Some(k) => k,
                     None => return Err(WireError::BadChannel(bytes[4])),
                 };
-                (office, channel, HEADER_LEN_V3)
+                let header_len =
+                    if magic == FRAME_MAGIC_V4 { HEADER_LEN_V4 } else { HEADER_LEN_V3 };
+                (office, channel, header_len)
             }
             _ => return Err(WireError::BadMagic),
         };
@@ -395,7 +521,12 @@ impl Frame {
             return Err(WireError::BadChecksum { computed, carried });
         }
         let payload = &bytes[header_len..total - 4];
-        Ok((FrameView { office, channel, sensor, seq, tick, payload }, total))
+        let mac = (magic == FRAME_MAGIC_V4).then(|| {
+            u64::from_le_bytes(
+                bytes[MAC_TAG_OFFSET..MAC_TAG_OFFSET + 8].try_into().expect("8-byte tag"),
+            )
+        });
+        Ok((FrameView { office, channel, sensor, seq, tick, payload, mac, raw: &bytes[..total] }, total))
     }
 }
 
@@ -643,5 +774,154 @@ mod tests {
     fn crc32_known_vector() {
         // The classic zlib check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    fn test_key(sensor: u16) -> AuthKey {
+        AuthKey::derive(0xD3B, sensor)
+    }
+
+    #[test]
+    fn authenticated_round_trip_and_verify() {
+        let f = Frame {
+            office: 7,
+            channel: ChannelKind::Rssi,
+            sensor: 3,
+            seq: 41,
+            tick: 123_456,
+            values: vec![-50.25, -61.5, 0.0],
+        };
+        let key = test_key(3);
+        let bytes = f.encode_auth(&key);
+        assert_eq!(bytes.len(), f.encoded_len_auth());
+        assert_eq!(bytes.len(), HEADER_LEN_V4 + 4 * 3 + 4);
+        assert_eq!(u16::from_le_bytes([bytes[0], bytes[1]]), FRAME_MAGIC_V4);
+        let (view, used) = Frame::decode_borrowed(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(view.to_frame(), f);
+        assert!(view.is_authenticated());
+        assert!(view.mac_tag().is_some());
+        assert!(view.verify_mac(&key), "a clean frame must verify under its own key");
+        assert!(!view.verify_mac(&test_key(4)), "the wrong key must not verify");
+        // The owned decode path agrees.
+        let (owned, n) = Frame::decode(&bytes).unwrap();
+        assert_eq!((owned, n), (f, bytes.len()));
+    }
+
+    #[test]
+    fn legacy_frames_never_verify() {
+        let f = Frame::rssi(3, 41, 77, vec![-50.0]);
+        let key = test_key(3);
+        for bytes in [f.encode(), {
+            let mut b = Vec::new();
+            f.encode_v2_into(&mut b);
+            b
+        }, {
+            let mut b = Vec::new();
+            f.encode_v3_into(&mut b);
+            b
+        }] {
+            let (view, _) = Frame::decode_borrowed(&bytes).unwrap();
+            assert!(!view.is_authenticated());
+            assert_eq!(view.mac_tag(), None);
+            assert!(!view.verify_mac(&key), "v1–v3 frames carry nothing to verify");
+        }
+    }
+
+    #[test]
+    fn encode_never_picks_v4_implicitly() {
+        // Authentication is opt-in: encode() still emits the oldest
+        // legacy version, so pre-auth byte streams are untouched.
+        for f in [
+            Frame::rssi(1, 2, 3, vec![-47.0]),
+            Frame { office: 9, ..Frame::rssi(1, 2, 3, vec![-47.0]) },
+            Frame {
+                office: 9,
+                channel: ChannelKind::AmbientLight,
+                ..Frame::rssi(1, 2, 3, vec![410.0])
+            },
+        ] {
+            let magic = u16::from_le_bytes([f.encode()[0], f.encode()[1]]);
+            assert_ne!(magic, FRAME_MAGIC_V4);
+        }
+    }
+
+    #[test]
+    fn tampered_authenticated_frames_fail_verification() {
+        // Flip each payload/header byte, repair the CRC so framing
+        // passes, and require the MAC to catch the change (the CRC is
+        // not a defense — anyone can recompute it).
+        let f = Frame {
+            office: 2,
+            channel: ChannelKind::Rssi,
+            sensor: 1,
+            seq: 5,
+            tick: 900,
+            values: vec![-42.0, -55.5],
+        };
+        let key = test_key(1);
+        let clean = f.encode_auth(&key);
+        let n = clean.len();
+        for byte in 2..n - 4 {
+            let mut forged = clean.clone();
+            forged[byte] ^= 0x04;
+            let crc = crc32(&forged[..n - 4]);
+            forged[n - 4..].copy_from_slice(&crc.to_le_bytes());
+            match Frame::decode_borrowed(&forged) {
+                // Framing may still reject (e.g. a flip in len or the
+                // channel tag); that is an acceptable rejection too.
+                Err(_) => {}
+                Ok((view, _)) => {
+                    assert!(
+                        !view.verify_mac(&key),
+                        "tampered byte {byte} still verified"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v4_magic_is_three_flips_from_every_legacy_magic() {
+        for legacy in [FRAME_MAGIC, FRAME_MAGIC_V2, FRAME_MAGIC_V3] {
+            let dist = (legacy ^ FRAME_MAGIC_V4).count_ones();
+            assert!(dist >= 3, "magic {legacy:#06x} is only {dist} flips from v4");
+        }
+    }
+
+    #[test]
+    fn no_two_bit_flip_of_a_v4_frame_decodes_as_any_valid_frame() {
+        // The adversarial version-negotiation property: corrupting an
+        // authenticated frame by ≤2 bit flips must never yield a
+        // *decodable* frame of any version. Magic distance ≥3 blocks
+        // version crossings; CRC-32 (Hamming distance 4 at these
+        // lengths) blocks everything else; a flip in `len` only makes
+        // the frame longer or oversize under exact framing.
+        let f = Frame {
+            office: 3,
+            channel: ChannelKind::Rssi,
+            sensor: 2,
+            seq: 9,
+            tick: 1234,
+            values: vec![-48.5, -51.0],
+        };
+        let clean = f.encode_auth(&test_key(2));
+        let n_bits = clean.len() * 8;
+        let flip = |buf: &mut [u8], bit: usize| buf[bit / 8] ^= 1 << (bit % 8);
+        for a in 0..n_bits {
+            // Single flips...
+            let mut dirty = clean.clone();
+            flip(&mut dirty, a);
+            assert!(Frame::decode(&dirty).is_err(), "1-flip at bit {a} decoded");
+            // ...and every pair containing `a`.
+            for b in a + 1..n_bits {
+                let mut dirty = clean.clone();
+                flip(&mut dirty, a);
+                flip(&mut dirty, b);
+                assert!(
+                    Frame::decode(&dirty).is_err(),
+                    "2-flip at bits {a},{b} decoded"
+                );
+            }
+        }
     }
 }

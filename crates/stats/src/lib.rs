@@ -17,6 +17,7 @@
 //! - [`rolling`] — O(1) rolling-window statistics and history buffers
 //! - [`histogram`] — fixed-bin histograms and Shannon entropy
 //! - [`kde`] — Gaussian kernel density estimation with exact CDF/quantile
+//! - [`mac`] — streaming SipHash-2-4 keyed MAC for frame authentication
 //! - [`autocorr`] — autocorrelation features
 //! - [`corr`] — Pearson correlation matrices (paper Fig. 11)
 //! - [`rmi`] — relative mutual information ranking (paper Table V, Fig. 12)
@@ -49,6 +50,7 @@ pub mod corr;
 pub mod descriptive;
 pub mod histogram;
 pub mod kde;
+pub mod mac;
 pub mod metrics;
 pub mod rmi;
 pub mod rolling;

@@ -48,11 +48,14 @@ cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
     serve --model "$workdir/model.fwmb" --checkpoint-dir "$workdir/ckpt-ref" \
     > /dev/null
 
-# RSSI-parity gate: the channel-typed stream generalization must not
-# move a single byte of a pure-RSSI deployment's decision log. The
-# fixture was recorded from this exact train+serve flow before the
-# refactor landed; any drift here means the typed engine changed
-# RSSI-only behavior, which the refactor promises it never does.
+# Legacy-parity gate: a legacy (unauthenticated, pure-RSSI) deployment
+# must keep producing the decision log recorded before the later
+# refactors landed. The fixture pins two promises at once: the
+# channel-typed stream generalization does not move a byte of
+# RSSI-only behavior, and the frame-authentication layer leaves an
+# engine without `set_auth` byte-identical on v1–v3 traffic. Any
+# drift here means legacy mode changed, which both refactors promise
+# never happens.
 cmp fixtures/pre-refactor-rssi-decisions.log "$workdir/ckpt-ref/decisions.log"
 
 if cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
@@ -118,7 +121,8 @@ done
 grep -q '"schema": "fadewich-bench-v1"' "$workdir/bench1.json"
 grep -q '"matches_reference": true' "$workdir/bench1.json"
 grep -q '"matches_owned": true' "$workdir/bench1.json"
-for name in engine wire_decode wire_decode_borrowed md_step_reference md_step_fast \
+for name in engine wire_decode wire_decode_borrowed mac_verify \
+    md_step_reference md_step_fast \
     svm_predict_scalar svm_predict_batch kde_fit fleet_demux \
     controller_tick_allocs; do
     grep -q "\"name\": \"$name\"" "$workdir/bench1.json"
@@ -177,6 +181,35 @@ cmp "$workdir/fusion1.out" "$workdir/fusion2.out"
 grep -q "identical" "$workdir/fusion1.out"
 if grep -q "DIFFERS" "$workdir/fusion1.out"; then
     echo "fusion RSSI-only mode diverged from the legacy engine" >&2
+    exit 1
+fi
+
+# Attacks gate: the adversarial robustness suite must be
+# seed-deterministic — two `reproduce --quick attacks` runs
+# byte-identical on stdout — and the containment table must show zero
+# decision divergence on every row (the last column; any contained
+# attack that moved a decision is a containment failure).
+for i in 1 2; do
+    cargo run -q --release --offline -p fadewich-bench --bin reproduce -- \
+        --quick attacks > "$workdir/attacks$i.out"
+done
+cmp "$workdir/attacks1.out" "$workdir/attacks2.out"
+grep -q "deauth-storm" "$workdir/attacks1.out"
+if sed -n '/Containment:/,$p' "$workdir/attacks1.out" \
+    | awk 'NF > 3 && $NF ~ /^[0-9]+$/ && $NF != 0 { found = 1 } END { exit !found }'; then
+    echo "containment failure: an attack family diverged the decision stream" >&2
+    exit 1
+fi
+
+# Key-hygiene lint: AuthKey::from_bytes is the artifact codec's escape
+# hatch, nothing else's. Deployment keys must come from
+# AuthKey::derive / KeyTable::derive, so no non-test code may
+# construct a key from constant bytes.
+if grep -rn "AuthKey::from_bytes" --include='*.rs' crates/ src/ 2>/dev/null \
+    | grep -v "crates/core/src/auth.rs" \
+    | grep -v "crates/core/src/artifact.rs" \
+    | grep -v "tests/"; then
+    echo "AuthKey::from_bytes outside the artifact codec (see above); derive keys instead" >&2
     exit 1
 fi
 
