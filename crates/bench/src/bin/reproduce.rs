@@ -41,6 +41,13 @@
 //! divergence, which containment pins at zero). Both tables are
 //! seed-deterministic; CI diffs two `--quick` runs. An attacks-only
 //! invocation skips the shared scenario and sweep.
+//!
+//! The `profile` target is explicit-only too: `reproduce profile`
+//! replays the online days of its own multi-day scenario with the
+//! audit trail enabled and folds the tick-stamped spans into
+//! per-stage self/total-time tables plus flamegraph collapsed stacks.
+//! Everything in the report is logical-tick arithmetic, so it is
+//! byte-identical across same-seed runs — CI `cmp`s two of them.
 //! Like `deployment` and `streaming`, the `recovery`, `artifact` and
 //! `telemetry` targets need a >= 2-day trace (they train on the
 //! leading days, then crash/resume the stream, export the model
@@ -226,6 +233,23 @@ fn run_attacks_target(opts: &Options) {
     }
 }
 
+/// Runs the span-profile study: replay the online days of a dedicated
+/// scenario with the audit trail enabled and fold the tick-stamped
+/// spans into per-stage self/total tables plus collapsed stacks. The
+/// whole report is logical-tick arithmetic — no `wall_` lines — so CI
+/// compares two runs with `cmp`.
+fn run_profile_target(opts: &Options) {
+    let days = if opts.quick { 2 } else { 3 };
+    eprintln!(
+        "profile: {days}-day span-profile study (seed {:#x}, {} threads)...",
+        opts.seed,
+        par::thread_count()
+    );
+    let study = fadewich_experiments::profile::profile_study_standalone(opts.seed, days, 9)
+        .expect("profile study");
+    print!("{}", fadewich_experiments::profile::profile_report(&study));
+}
+
 fn wanted(opts: &Options, target: &str) -> bool {
     opts.targets.is_empty() || opts.targets.contains(target)
 }
@@ -278,6 +302,13 @@ fn main() {
         run_attacks_target(&opts);
         if opts.targets.is_empty() {
             // Attacks-only invocation: no scenario, no sweep, no jobs.
+            return;
+        }
+    }
+    if opts.targets.remove("profile") {
+        run_profile_target(&opts);
+        if opts.targets.is_empty() {
+            // Profile-only invocation: no scenario, no sweep, no jobs.
             return;
         }
     }

@@ -36,6 +36,7 @@ pub mod fusion;
 pub mod offices;
 pub mod par;
 pub mod pipeline;
+pub mod profile;
 pub mod recovery;
 pub mod report;
 pub mod streaming;

@@ -33,7 +33,21 @@
 //! produce byte-identical files, which `scripts/ci.sh` enforces with
 //! `cmp`. Wall-clock latency histograms are deliberately excluded from
 //! the dump. `fadewichd stats PATH` pretty-prints a previously written
-//! metrics dump.
+//! metrics dump; `fadewichd stats --profile TRACE [--collapsed]` folds
+//! a trace JSONL into the per-stage span profile (or flamegraph
+//! collapsed stacks).
+//!
+//! # Ops plane
+//!
+//! `--metrics-addr HOST:PORT` (serve, fleet, replay) starts the
+//! in-process HTTP scrape server: `/metrics` (Prometheus text),
+//! `/metrics.json`, `/healthz` (503 once any attack-quarantine
+//! signal is nonzero), and `/slo` (the standard SLO report, fed from
+//! the decision audit trail). `--metrics-addr-file PATH` writes the
+//! bound address (useful with port 0); `--hold-secs N` keeps the
+//! endpoint up after the run so it can be scraped. The server reads
+//! wall time only through the telemetry `Clock` seam and its scrape
+//! counters stay out of the deterministic registry.
 //!
 //! # Crash recovery (serve only)
 //!
@@ -83,7 +97,7 @@ use fadewich_runtime::checkpoint::{CheckpointStore, Checkpointer, EngineSnapshot
 use fadewich_runtime::engine::{EngineConfig, EngineEvent, StreamingEngine};
 use fadewich_runtime::link::LinkModel;
 use fadewich_runtime::replay;
-use fadewich_telemetry::{json, Telemetry, Value};
+use fadewich_telemetry::{json, OpsServer, Profile, SloEngine, Telemetry, Value, WallClock};
 
 /// Everything that can take the daemon down, with a distinct exit
 /// code per failure class so supervisors can tell a bad flag from a
@@ -135,7 +149,7 @@ enum Command {
     Serve { model: PathBuf },
     Fleet { model: PathBuf },
     Replay { model: Option<PathBuf> },
-    Stats { path: PathBuf },
+    Stats { path: PathBuf, profile: bool, collapsed: bool },
 }
 
 struct Args {
@@ -154,6 +168,9 @@ struct Args {
     crash_after_ticks: Option<u64>,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    metrics_addr: Option<String>,
+    metrics_addr_file: Option<PathBuf>,
+    hold_secs: u64,
 }
 
 impl Args {
@@ -174,28 +191,41 @@ impl Args {
             crash_after_ticks: None,
             trace_out: None,
             metrics_out: None,
+            metrics_addr: None,
+            metrics_addr_file: None,
+            hold_secs: 0,
         }
     }
 }
 
-const USAGE: &str = "usage: fadewichd <train --out PATH | serve --model PATH | fleet --model PATH | replay [--model PATH] | stats PATH> \
+const USAGE: &str = "usage: fadewichd <train --out PATH | serve --model PATH | fleet --model PATH | replay [--model PATH] | stats PATH | stats --profile TRACE [--collapsed]> \
 [--days N] [--seed N] [--sensors N] [--train-days N] \
 [--offices N] [--shards N] \
 [--drop P] [--dup P] [--corrupt P] [--jitter TICKS] [--link-seed N] [--json] \
 [--checkpoint-dir PATH] [--checkpoint-every TICKS] [--crash-after-ticks N] \
-[--trace-out PATH] [--metrics-out PATH]";
+[--trace-out PATH] [--metrics-out PATH] \
+[--metrics-addr HOST:PORT] [--metrics-addr-file PATH] [--hold-secs N]";
 
 fn parse_args() -> Result<Args, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("stats") {
-        let path = raw
-            .get(1)
-            .filter(|p| !p.starts_with('-'))
-            .ok_or_else(|| format!("stats needs a metrics JSON path\n{USAGE}"))?;
-        if raw.len() > 2 {
-            return Err(format!("stats takes exactly one path\n{USAGE}"));
+        let mut profile = false;
+        let mut collapsed = false;
+        let mut path: Option<PathBuf> = None;
+        for a in &raw[1..] {
+            match a.as_str() {
+                "--profile" => profile = true,
+                "--collapsed" => collapsed = true,
+                p if !p.starts_with('-') && path.is_none() => path = Some(PathBuf::from(p)),
+                other => return Err(format!("stats: unexpected argument {other}\n{USAGE}")),
+            }
         }
-        return Ok(Args::default_args(Command::Stats { path: PathBuf::from(path) }));
+        let what = if profile { "a trace JSONL" } else { "a metrics JSON" };
+        let path = path.ok_or_else(|| format!("stats needs {what} path\n{USAGE}"))?;
+        if collapsed && !profile {
+            return Err(format!("--collapsed only applies to stats --profile\n{USAGE}"));
+        }
+        return Ok(Args::default_args(Command::Stats { path, profile, collapsed }));
     }
     let (command_word, flag_start) = match raw.first().map(String::as_str) {
         Some("train") | Some("serve") | Some("fleet") | Some("replay") => (raw[0].clone(), 1),
@@ -243,6 +273,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--metrics-addr-file" => {
+                args.metrics_addr_file = Some(PathBuf::from(value("--metrics-addr-file")?))
+            }
+            "--hold-secs" => args.hold_secs = parse(&value("--hold-secs")?)?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -282,6 +317,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if matches!(args.command, Command::Fleet { .. }) && (args.offices == 0 || args.shards == 0) {
         return Err(format!("fleet needs at least one office and one shard\n{USAGE}"));
+    }
+    if args.metrics_addr.is_some() && matches!(args.command, Command::Train { .. }) {
+        return Err(format!("--metrics-addr only applies to serve, fleet, and replay\n{USAGE}"));
+    }
+    if (args.metrics_addr_file.is_some() || args.hold_secs > 0) && args.metrics_addr.is_none() {
+        return Err(format!("--metrics-addr-file/--hold-secs need --metrics-addr\n{USAGE}"));
     }
     Ok(args)
 }
@@ -546,8 +587,32 @@ fn open_telemetry(args: &Args) -> Result<Telemetry, DaemonError> {
             Ok(Telemetry::to_writer(Box::new(std::io::BufWriter::new(f))))
         }
         (None, Some(_)) => Ok(Telemetry::metrics_only()),
+        // A scrape endpoint needs a live registry even when nothing is
+        // written to disk.
+        (None, None) if args.metrics_addr.is_some() => Ok(Telemetry::metrics_only()),
         (None, None) => Ok(Telemetry::disabled()),
     }
+}
+
+/// Starts the ops-plane scrape server when `--metrics-addr` was
+/// given: attaches the standard SLO set (fed from the audit trail as
+/// the run emits it) and publishes the bound address for scripts that
+/// asked for an ephemeral port.
+fn open_ops_server(
+    args: &Args,
+    telemetry: &Telemetry,
+    tick_hz: f64,
+) -> Result<Option<OpsServer>, DaemonError> {
+    let Some(addr) = &args.metrics_addr else { return Ok(None) };
+    telemetry.set_slo(SloEngine::standard(tick_hz));
+    let server = OpsServer::bind(addr, telemetry.clone(), std::sync::Arc::new(WallClock))
+        .map_err(|e| DaemonError::Io(format!("binding {addr}: {e}")))?;
+    eprintln!("fadewichd: ops server on http://{}/", server.local_addr());
+    if let Some(path) = &args.metrics_addr_file {
+        std::fs::write(path, format!("{}\n", server.local_addr()))
+            .map_err(|e| DaemonError::Io(format!("writing {}: {e}", path.display())))?;
+    }
+    Ok(Some(server))
 }
 
 /// End-of-run telemetry commit: flush the trace writer (surfacing any
@@ -560,6 +625,27 @@ fn finish_telemetry(args: &Args, telemetry: &Telemetry) -> Result<(), DaemonErro
         let body = telemetry.metrics_json(false).unwrap_or_default();
         std::fs::write(path, body + "\n")
             .map_err(|e| DaemonError::Io(format!("writing {}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
+/// `fadewichd stats --profile TRACE`: folds a `--trace-out` JSONL into
+/// the per-stage span profile — self/total tick tables, or collapsed
+/// stacks (one `path self_ticks` line per call path, the flamegraph
+/// input format) with `--collapsed`.
+fn run_profile_stats(path: &std::path::Path, collapsed: bool) -> Result<(), DaemonError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DaemonError::Io(format!("reading {}: {e}", path.display())))?;
+    let profile = Profile::from_jsonl(&text)
+        .map_err(|e| DaemonError::Usage(format!("{} is not a trace JSONL: {e}", path.display())))?;
+    if profile.is_empty() {
+        println!("(no spans in trace)");
+        return Ok(());
+    }
+    if collapsed {
+        print!("{}", profile.collapsed());
+    } else {
+        print!("{}", profile.table());
     }
     Ok(())
 }
@@ -810,6 +896,7 @@ fn run_fleet(
             "offices {n}  active {active}  quarantined {quarantined}  decisions {decisions}"
         );
         println!("max shard tick lag {max_lag}  shards {}", args.shards);
+        println!("{}", report.health.summary_line());
         if report.has_mixed_channels() {
             // Per-channel fleet rollup — printed only for mixed
             // deployments so RSSI-only fleets keep their exact
@@ -847,8 +934,8 @@ fn run_fleet(
 
 fn run() -> Result<(), DaemonError> {
     let args = parse_args().map_err(DaemonError::Usage)?;
-    if let Command::Stats { path } = &args.command {
-        return run_stats(path);
+    if let Command::Stats { path, profile, collapsed } = &args.command {
+        return if *profile { run_profile_stats(path, *collapsed) } else { run_stats(path) };
     }
     let config = ScenarioConfig {
         seed: args.seed,
@@ -876,8 +963,9 @@ fn run() -> Result<(), DaemonError> {
     }
     cfg.validate().map_err(DaemonError::Engine)?;
     let telemetry = open_telemetry(&args)?;
+    let ops = open_ops_server(&args, &telemetry, trace.tick_hz())?;
 
-    match &args.command {
+    let result = match &args.command {
         Command::Stats { .. } => unreachable!("handled before scenario generation"),
         Command::Train { out } => {
             eprintln!(
@@ -965,7 +1053,17 @@ fn run() -> Result<(), DaemonError> {
             stream_days(&scenario, &trace, &streams, &re, cfg, &args, None, None, &telemetry)?;
             finish_telemetry(&args, &telemetry)
         }
+    };
+    if let Some(server) = ops {
+        if result.is_ok() && args.hold_secs > 0 {
+            // Keep the scrape endpoint up after the run so operators
+            // (and the CI curl smoke) can read the final registry.
+            eprintln!("fadewichd: holding ops server for {}s (--hold-secs)", args.hold_secs);
+            std::thread::sleep(std::time::Duration::from_secs(args.hold_secs));
+        }
+        server.shutdown();
     }
+    result
 }
 
 fn main() {

@@ -47,6 +47,7 @@ use fadewich_runtime::link::LinkModel;
 use fadewich_runtime::replay::{day_deliveries_for_office, day_deliveries_for_office_into};
 use fadewich_telemetry::Telemetry;
 
+use crate::health::{export_health, FleetHealth, OfficeStat};
 use crate::runtime::{FleetCounters, FleetRuntime};
 
 /// Rounds between parallel queue drains when the caller has no
@@ -275,6 +276,8 @@ pub struct FleetDayReport {
     pub channel_totals: [ChannelCounters; ChannelKind::COUNT],
     /// Authentication-counter rollup over every office.
     pub auth_totals: AuthTotals,
+    /// Per-office health rollup (bounded-cardinality telemetry view).
+    pub health: FleetHealth,
     /// True when `crash_after_ticks` stopped the day early.
     pub crashed: bool,
 }
@@ -444,6 +447,7 @@ pub fn run_fleet_day(
 
     // Day end (or crash point): final event flush, summaries, report.
     let mut offices = Vec::with_capacity(n_offices);
+    let mut office_stats: Vec<OfficeStat> = Vec::with_capacity(n_offices);
     let mut active = 0u64;
     let mut quarantined = 0u64;
     let mut channel_totals = [ChannelCounters::default(); ChannelKind::COUNT];
@@ -480,15 +484,15 @@ pub fn run_fleet_day(
         if counters.quarantines > counters.recoveries {
             quarantined += 1;
         }
-        telemetry.counter_add(
-            &format!("office_ticks_processed{{office=\"{o}\"}}"),
-            counters.ticks_processed,
-        );
-        telemetry.counter_add(&format!("office_frames_in{{office=\"{o}\"}}"), counters.frames_in);
-        telemetry.counter_add(
-            &format!("office_quarantines{{office=\"{o}\"}}"),
-            counters.quarantines,
-        );
+        // Per-office telemetry goes through the bounded health rollup
+        // below instead of one labeled series per office — at the
+        // ROADMAP's 10k-office scale the old `office_*{office="…"}`
+        // counters made the registry render O(fleet size).
+        office_stats.push(OfficeStat::from_counters(
+            office,
+            if participating[o] { n_ticks } else { 0 },
+            &counters,
+        ));
         offices.push(OfficeDay {
             events: engine.events().to_vec(),
             summary,
@@ -534,12 +538,14 @@ pub fn run_fleet_day(
     for (i, lag) in shard_tick_lags.iter().enumerate() {
         telemetry.gauge_set(&format!("fleet_shard_tick_lag{{shard=\"{i}\"}}"), *lag as f64);
     }
+    let health = export_health(&office_stats, telemetry);
     Ok(FleetDayReport {
         offices,
         fleet: fleet_counters,
         shard_tick_lags,
         channel_totals,
         auth_totals,
+        health,
         crashed,
     })
 }

@@ -1,0 +1,329 @@
+//! Fleet health rollup: classify every office into a small state
+//! machine and export a **bounded** telemetry footprint regardless of
+//! fleet size.
+//!
+//! The first fleet PR exported three counters *per office*
+//! (`office_ticks_processed{office="…"}` and friends). At the
+//! ROADMAP's 10k-office target that is 30k Prometheus series from one
+//! process — the registry render dwarfs the data it describes and
+//! every scrape ships it again. This module replaces the per-office
+//! series with:
+//!
+//! - four rollup gauges, one per [`HealthState`]
+//!   (`fleet_health_offices{state="healthy"}` …);
+//! - at most [`TOP_K_OFFICES`] per-office gauges for the *worst* tick
+//!   lags (`fleet_office_tick_lag{office="…"}`) — the offices an
+//!   operator would page on, by name, and nothing else;
+//! - unlabeled fleet totals (`fleet_office_ticks_processed_total` …)
+//!   that preserve the aggregate the old series summed to;
+//! - one log-linear histogram of the per-office lag distribution
+//!   (`fleet_office_tick_lag_ticks`), whose bucket count is bounded by
+//!   the value range, never the office count.
+//!
+//! Everything here is a pure function of the per-office
+//! [`RuntimeCounters`], so the export stays byte-identical across
+//! replays; the cap is pinned by a regression test rendering a
+//! synthetic multi-thousand-office fleet.
+
+use fadewich_runtime::counters::RuntimeCounters;
+use fadewich_telemetry::Telemetry;
+
+/// How many worst-lag offices keep an `{office="…"}`-labeled series.
+pub const TOP_K_OFFICES: usize = 8;
+
+/// Upper bound on the number of Prometheus text lines the health
+/// export may add to a registry render, for **any** fleet size. The
+/// dominant term is the lag histogram, whose log-linear bucket count
+/// is bounded by the `u64` value range (~250 buckets), not by the
+/// office count. Pinned by `health_export_is_cardinality_bounded` in
+/// `tests/fleet.rs`.
+pub const MAX_HEALTH_RENDER_LINES: usize = 300;
+
+/// One office's health classification, worst first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// A sensor crossed its authentication reject budget — active
+    /// adversarial traffic, not a fault.
+    UnderAttack,
+    /// More silence quarantines than recoveries: some sensor is down
+    /// right now.
+    Quarantined,
+    /// Behind the tick frontier or serving masked stream ticks —
+    /// degraded coverage, decisions still flowing.
+    Degraded,
+    /// Keeping up, unmasked, nothing quarantined.
+    Healthy,
+}
+
+impl HealthState {
+    /// All states, worst first (display and export order).
+    pub const ALL: [HealthState; 4] = [
+        HealthState::UnderAttack,
+        HealthState::Quarantined,
+        HealthState::Degraded,
+        HealthState::Healthy,
+    ];
+
+    /// Dense index into per-state arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            HealthState::UnderAttack => 0,
+            HealthState::Quarantined => 1,
+            HealthState::Degraded => 2,
+            HealthState::Healthy => 3,
+        }
+    }
+
+    /// The `state="…"` label value.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::UnderAttack => "under_attack",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Degraded => "degraded",
+            HealthState::Healthy => "healthy",
+        }
+    }
+}
+
+/// The slice of one office's counters the health model reads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OfficeStat {
+    /// Office id.
+    pub office: u16,
+    /// Ticks the office's engine advanced through.
+    pub ticks_processed: u64,
+    /// Ticks the day would have given a keeping-up office.
+    pub expected_ticks: u64,
+    /// Frames the engine accepted.
+    pub frames_in: u64,
+    /// Silence quarantines counted.
+    pub quarantines: u64,
+    /// Quarantine recoveries counted.
+    pub recoveries: u64,
+    /// Authentication attack-quarantines counted.
+    pub attack_quarantines: u64,
+    /// Stream-ticks masked out of the decision statistic.
+    pub masked_stream_ticks: u64,
+}
+
+impl OfficeStat {
+    /// Extracts the health-relevant slice of one engine's counters.
+    #[must_use]
+    pub fn from_counters(office: u16, expected_ticks: u64, c: &RuntimeCounters) -> OfficeStat {
+        OfficeStat {
+            office,
+            ticks_processed: c.ticks_processed,
+            expected_ticks,
+            frames_in: c.frames_in,
+            quarantines: c.quarantines,
+            recoveries: c.recoveries,
+            attack_quarantines: c.attack_quarantines,
+            masked_stream_ticks: c.masked_stream_ticks,
+        }
+    }
+
+    /// How far behind the day's tick frontier this office ended.
+    #[must_use]
+    pub fn tick_lag(&self) -> u64 {
+        self.expected_ticks.saturating_sub(self.ticks_processed)
+    }
+
+    /// Classifies the office, worst signal wins: under-attack beats
+    /// quarantined beats degraded.
+    #[must_use]
+    pub fn classify(&self) -> HealthState {
+        if self.attack_quarantines > 0 {
+            HealthState::UnderAttack
+        } else if self.quarantines > self.recoveries {
+            HealthState::Quarantined
+        } else if self.tick_lag() > 0 || self.masked_stream_ticks > 0 {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        }
+    }
+}
+
+/// The fleet-wide rollup: per-state counts, the top-K worst lags, and
+/// the aggregate totals the retired per-office series used to sum to.
+#[derive(Debug, Clone, Default)]
+pub struct FleetHealth {
+    /// Office counts indexed by [`HealthState::index`].
+    pub counts: [u64; 4],
+    /// Worst offices by tick lag (lag desc, office asc; lag > 0 only),
+    /// at most [`TOP_K_OFFICES`] entries of `(office, lag)`.
+    pub worst: Vec<(u16, u64)>,
+    /// Sum of every office's `ticks_processed`.
+    pub total_ticks_processed: u64,
+    /// Sum of every office's `frames_in`.
+    pub total_frames_in: u64,
+    /// Sum of every office's silence quarantines.
+    pub total_quarantines: u64,
+}
+
+impl FleetHealth {
+    /// Rolls `stats` up into counts, totals, and the top-`top_k` worst
+    /// lag list.
+    #[must_use]
+    pub fn assess(stats: &[OfficeStat], top_k: usize) -> FleetHealth {
+        let mut health = FleetHealth::default();
+        let mut lagged: Vec<(u16, u64)> = Vec::new();
+        for s in stats {
+            health.counts[s.classify().index()] += 1;
+            health.total_ticks_processed += s.ticks_processed;
+            health.total_frames_in += s.frames_in;
+            health.total_quarantines += s.quarantines;
+            let lag = s.tick_lag();
+            if lag > 0 {
+                lagged.push((s.office, lag));
+            }
+        }
+        lagged.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        lagged.truncate(top_k);
+        health.worst = lagged;
+        health
+    }
+
+    /// Offices in `state`.
+    #[must_use]
+    pub fn count(&self, state: HealthState) -> u64 {
+        self.counts[state.index()]
+    }
+
+    /// Total offices assessed.
+    #[must_use]
+    pub fn offices(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The one-line rollup `fadewichd fleet` prints and the day report
+    /// carries — deterministic, logical-tick-only.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let mut line = format!(
+            "health  healthy {}  degraded {}  quarantined {}  under_attack {}",
+            self.count(HealthState::Healthy),
+            self.count(HealthState::Degraded),
+            self.count(HealthState::Quarantined),
+            self.count(HealthState::UnderAttack),
+        );
+        if let Some(&(office, lag)) = self.worst.first() {
+            line.push_str(&format!("  worst_lag {lag} (office {office})"));
+        }
+        line
+    }
+
+    /// Exports the rollup into `telemetry` with a render footprint
+    /// bounded by [`MAX_HEALTH_RENDER_LINES`]: four state gauges, the
+    /// top-K lag gauges, the unlabeled totals, and one lag histogram
+    /// fed from `stats` (bucket count bounded by the value range).
+    pub fn export_into(&self, stats: &[OfficeStat], telemetry: &Telemetry) {
+        for state in HealthState::ALL {
+            telemetry.gauge_set(
+                &format!("fleet_health_offices{{state=\"{}\"}}", state.label()),
+                self.count(state) as f64,
+            );
+        }
+        for &(office, lag) in &self.worst {
+            telemetry
+                .gauge_set(&format!("fleet_office_tick_lag{{office=\"{office}\"}}"), lag as f64);
+        }
+        telemetry.counter_add("fleet_office_ticks_processed_total", self.total_ticks_processed);
+        telemetry.counter_add("fleet_office_frames_in_total", self.total_frames_in);
+        telemetry.counter_add("fleet_office_quarantines_total", self.total_quarantines);
+        for s in stats {
+            telemetry.histo_record("fleet_office_tick_lag_ticks", s.tick_lag());
+        }
+    }
+}
+
+/// Assesses `stats` with the standard top-K and exports the rollup —
+/// the one call the day driver makes.
+#[must_use]
+pub fn export_health(stats: &[OfficeStat], telemetry: &Telemetry) -> FleetHealth {
+    let health = FleetHealth::assess(stats, TOP_K_OFFICES);
+    health.export_into(stats, telemetry);
+    health
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(office: u16, processed: u64, expected: u64) -> OfficeStat {
+        OfficeStat {
+            office,
+            ticks_processed: processed,
+            expected_ticks: expected,
+            ..OfficeStat::default()
+        }
+    }
+
+    #[test]
+    fn classification_precedence_is_worst_first() {
+        let mut s = stat(0, 100, 100);
+        assert_eq!(s.classify(), HealthState::Healthy);
+        s.masked_stream_ticks = 3;
+        assert_eq!(s.classify(), HealthState::Degraded);
+        s.quarantines = 2;
+        s.recoveries = 1;
+        assert_eq!(s.classify(), HealthState::Quarantined);
+        s.attack_quarantines = 1;
+        assert_eq!(s.classify(), HealthState::UnderAttack);
+        // Recovered quarantines alone are not an active outage.
+        let recovered =
+            OfficeStat { quarantines: 2, recoveries: 2, ..stat(1, 50, 50) };
+        assert_eq!(recovered.classify(), HealthState::Healthy);
+        // Lag alone degrades.
+        assert_eq!(stat(2, 40, 50).classify(), HealthState::Degraded);
+    }
+
+    #[test]
+    fn assess_ranks_worst_lag_with_stable_ties() {
+        let stats = vec![
+            stat(0, 100, 100),
+            stat(1, 90, 100),  // lag 10
+            stat(2, 80, 100),  // lag 20
+            stat(3, 90, 100),  // lag 10, ties office 1 — office asc
+            stat(4, 100, 100),
+        ];
+        let health = FleetHealth::assess(&stats, 2);
+        assert_eq!(health.worst, vec![(2, 20), (1, 10)]);
+        assert_eq!(health.count(HealthState::Healthy), 2);
+        assert_eq!(health.count(HealthState::Degraded), 3);
+        assert_eq!(health.offices(), 5);
+        assert_eq!(health.total_ticks_processed, 460);
+        assert_eq!(
+            health.summary_line(),
+            "health  healthy 2  degraded 3  quarantined 0  under_attack 0  worst_lag 20 (office 2)"
+        );
+        let calm = FleetHealth::assess(&stats[..1], 2);
+        assert_eq!(
+            calm.summary_line(),
+            "health  healthy 1  degraded 0  quarantined 0  under_attack 0"
+        );
+    }
+
+    #[test]
+    fn export_emits_bounded_series() {
+        // Far more offices than TOP_K, all lagging differently.
+        let stats: Vec<OfficeStat> =
+            (0..100).map(|o| stat(o, u64::from(1000 - o), 1000)).collect();
+        let telemetry = Telemetry::metrics_only();
+        let health = export_health(&stats, &telemetry);
+        assert_eq!(health.worst.len(), TOP_K_OFFICES);
+        let text = telemetry.prometheus_text(false).unwrap();
+        let labeled = text
+            .lines()
+            .filter(|l| l.starts_with("fleet_office_tick_lag{office="))
+            .count();
+        assert_eq!(labeled, TOP_K_OFFICES);
+        assert!(text.contains("fleet_health_offices{state=\"healthy\"} 1\n"), "{text}");
+        assert!(text.contains("fleet_health_offices{state=\"degraded\"} 99\n"), "{text}");
+        assert!(text.contains("fleet_office_ticks_processed_total"), "{text}");
+        assert!(text.contains("fleet_office_tick_lag_ticks_count 100"), "{text}");
+        assert!(text.lines().count() <= MAX_HEALTH_RENDER_LINES, "{text}");
+    }
+}

@@ -17,7 +17,10 @@
 //!   and the single-office reference the fleet is byte-compared to;
 //! - [`scaling`] — the `reproduce fleet` study: an N-office scaling
 //!   table whose per-office decision streams are proven identical to
-//!   N independent single-office runs.
+//!   N independent single-office runs;
+//! - [`health`] — the per-office health rollup
+//!   (healthy/degraded/quarantined/under-attack) exported with a
+//!   bounded telemetry footprint at any fleet size.
 //!
 //! The headline invariant, enforced end to end by `tests/fleet.rs`
 //! and `scripts/ci.sh`: **a fleet of N offices produces, for every
@@ -34,10 +37,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod day;
+pub mod health;
 pub mod runtime;
 pub mod scaling;
 pub mod shard;
 
 pub use day::{office_link_seed, run_fleet_day, AuthTotals, FleetDayEnv, FleetDayReport, OfficeStart};
+pub use health::{FleetHealth, HealthState, OfficeStat};
 pub use runtime::{FleetCounters, FleetRuntime};
 pub use shard::shard_of;

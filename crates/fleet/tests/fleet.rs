@@ -459,3 +459,88 @@ fn scaling_study_smoke() {
     assert_eq!(scaling.wall_lines.len(), 1);
     assert!(scaling.wall_lines[0].starts_with("wall_fleet_4_"));
 }
+
+/// PR 10 cardinality fix: the per-office `office_*{office="…"}` series
+/// are gone; a fleet day exports the bounded health rollup instead,
+/// and the whole Prometheus render stays under the pinned cap at a
+/// multi-thousand-office scale.
+#[test]
+fn health_export_is_cardinality_bounded() {
+    use fadewich_fleet::health::{
+        export_health, HealthState, OfficeStat, MAX_HEALTH_RENDER_LINES, TOP_K_OFFICES,
+    };
+
+    // A synthetic 2048-office fleet with a messy mix of states: most
+    // healthy, a band of laggards, some quarantines, a few under
+    // attack. Building real engines at this scale is a bench concern;
+    // the export path only reads counters.
+    let stats: Vec<OfficeStat> = (0..2048u16)
+        .map(|o| {
+            let mut s = OfficeStat {
+                office: o,
+                ticks_processed: 36_000,
+                expected_ticks: 36_000,
+                frames_in: 9 * 36_000,
+                ..OfficeStat::default()
+            };
+            if o % 97 == 0 {
+                s.ticks_processed -= u64::from(o) % 500 + 1; // laggards
+            }
+            if o % 401 == 0 {
+                s.quarantines = 2;
+                s.recoveries = 1;
+            }
+            if o == 77 || o == 1900 {
+                s.attack_quarantines = 1;
+            }
+            s
+        })
+        .collect();
+    let telemetry = Telemetry::metrics_only();
+    let health = export_health(&stats, &telemetry);
+    assert_eq!(health.offices(), 2048);
+    assert_eq!(health.count(HealthState::UnderAttack), 2);
+    assert!(health.worst.len() <= TOP_K_OFFICES);
+
+    let text = telemetry.prometheus_text(false).unwrap();
+    let lines = text.lines().count();
+    assert!(
+        lines <= MAX_HEALTH_RENDER_LINES,
+        "render blew the cardinality cap: {lines} lines > {MAX_HEALTH_RENDER_LINES}"
+    );
+    assert!(
+        !text.contains("office_ticks_processed{"),
+        "per-office labeled counters must not come back: {text}"
+    );
+    let labeled =
+        text.lines().filter(|l| l.starts_with("fleet_office_tick_lag{office=")).count();
+    assert!(labeled <= TOP_K_OFFICES, "{text}");
+    // The aggregate the old series summed to is preserved.
+    assert!(text.contains("fleet_office_frames_in_total"), "{text}");
+}
+
+/// A real fleet day exports the health rollup: state gauges, the
+/// aggregate totals, and the lag histogram — and no `{office="…"}`
+/// counter series.
+#[test]
+fn fleet_day_exports_health_rollup() {
+    let fx = fixture();
+    let env = fx.env(&fx.link);
+    let n = 6usize;
+    let telemetry = Telemetry::metrics_only();
+    let mut sink = BufferSink::new(n);
+    let report = run_fleet_day(&env, fresh_starts(n), 3, None, &mut sink, &telemetry).unwrap();
+    assert_eq!(report.health.offices(), n as u64);
+    assert_eq!(
+        report.health.total_ticks_processed,
+        report.offices.iter().map(|o| o.counters.ticks_processed).sum::<u64>()
+    );
+    let summary = report.health.summary_line();
+    assert!(summary.starts_with("health  healthy "), "{summary}");
+
+    let text = telemetry.prometheus_text(false).unwrap();
+    assert!(text.contains("fleet_health_offices{state=\"healthy\"}"), "{text}");
+    assert!(text.contains("fleet_office_ticks_processed_total"), "{text}");
+    assert!(text.contains(&format!("fleet_office_tick_lag_ticks_count {n}")), "{text}");
+    assert!(!text.contains("office_ticks_processed{office="), "{text}");
+}

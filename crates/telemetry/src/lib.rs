@@ -43,10 +43,16 @@
 
 pub mod clock;
 pub mod json;
+pub mod profile;
 pub mod registry;
 mod render;
+pub mod serve;
+pub mod slo;
 pub mod trace;
 
 pub use clock::{Clock, ManualClock, WallClock};
+pub use profile::Profile;
 pub use registry::{Histogram, MetricsRegistry};
+pub use serve::OpsServer;
+pub use slo::{LatencyStats, SloEngine, SloKind, SloSpec, SloStatus};
 pub use trace::{Record, RecordKind, SpanId, Telemetry, Value};

@@ -1,0 +1,349 @@
+//! Span profiler: aggregates tick-stamped tracing spans into
+//! per-stage self-time/total-time tables and a collapsed-stack
+//! (flamegraph-compatible) text export.
+//!
+//! The trace layer (PR 5) already stamps every span with the logical
+//! tick it opened and closed at; this module folds a record stream
+//! into where those ticks actually went. Total time of a span is
+//! `close tick − open tick`; self time subtracts the total time of
+//! its direct children, so a stage that merely contains an expensive
+//! sub-stage doesn't double-bill. Both are logical-tick durations —
+//! seed-deterministic, byte-identical across replays — which is what
+//! lets `scripts/ci.sh` gate `reproduce profile` with a plain `cmp`.
+//!
+//! The collapsed-stack export is one line per unique span path,
+//! `root;child;leaf <self_ticks>`, the text format flamegraph tooling
+//! consumes directly.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::json::{self, Json};
+use crate::trace::{Record, RecordKind, SpanId};
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Closed spans with this name.
+    pub count: u64,
+    /// Summed `close − open` ticks.
+    pub total_ticks: u64,
+    /// Summed total minus direct-children total.
+    pub self_ticks: u64,
+    /// Smallest single-span total (0 when no spans closed).
+    pub min_ticks: u64,
+    /// Largest single-span total.
+    pub max_ticks: u64,
+}
+
+impl StageStats {
+    fn absorb(&mut self, total: u64) {
+        if self.count == 0 {
+            self.min_ticks = total;
+        } else {
+            self.min_ticks = self.min_ticks.min(total);
+        }
+        self.count += 1;
+        self.total_ticks += total;
+        self.max_ticks = self.max_ticks.max(total);
+    }
+}
+
+/// One open span being tracked during the fold.
+struct OpenSpan {
+    name: String,
+    path: String,
+    open_tick: u64,
+    child_total: u64,
+    parent: Option<SpanId>,
+}
+
+/// An aggregated profile over one or more trace record streams.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// Per-span-name timing, keyed by name (sorted).
+    stages: BTreeMap<String, StageStats>,
+    /// Collapsed-stack self ticks, keyed by `a;b;c` path (sorted).
+    stacks: BTreeMap<String, u64>,
+    /// Point-event counts by name.
+    events: BTreeMap<String, u64>,
+    /// Close records that referenced no open span.
+    pub dropped_closes: u64,
+    /// Spans still open when the stream ended.
+    pub unclosed: u64,
+}
+
+impl Profile {
+    /// Folds a record stream (as produced by
+    /// [`Telemetry::records`](crate::trace::Telemetry::records)) into
+    /// a profile.
+    pub fn from_records(records: &[Record]) -> Profile {
+        let mut p = Profile::default();
+        let mut open: HashMap<u64, OpenSpan> = HashMap::new();
+        for rec in records {
+            match rec.kind {
+                RecordKind::Open => {
+                    let Some(SpanId(id)) = rec.span else { continue };
+                    let path = match rec.parent.and_then(|SpanId(pid)| open.get(&pid)) {
+                        Some(parent) => format!("{};{}", parent.path, rec.name),
+                        None => rec.name.clone(),
+                    };
+                    open.insert(
+                        id,
+                        OpenSpan {
+                            name: rec.name.clone(),
+                            path,
+                            open_tick: rec.tick,
+                            child_total: 0,
+                            parent: rec.parent,
+                        },
+                    );
+                }
+                RecordKind::Close => {
+                    let Some(SpanId(id)) = rec.span else { continue };
+                    let Some(span) = open.remove(&id) else {
+                        p.dropped_closes += 1;
+                        continue;
+                    };
+                    let total = rec.tick.saturating_sub(span.open_tick);
+                    let self_ticks = total.saturating_sub(span.child_total);
+                    let stage = p.stages.entry(span.name).or_insert_with(|| StageStats {
+                        count: 0,
+                        total_ticks: 0,
+                        self_ticks: 0,
+                        min_ticks: 0,
+                        max_ticks: 0,
+                    });
+                    stage.absorb(total);
+                    stage.self_ticks += self_ticks;
+                    *p.stacks.entry(span.path).or_insert(0) += self_ticks;
+                    if let Some(parent) =
+                        span.parent.and_then(|SpanId(pid)| open.get_mut(&pid))
+                    {
+                        parent.child_total += total;
+                    }
+                }
+                RecordKind::Event => {
+                    *p.events.entry(rec.name.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        p.unclosed += open.len() as u64;
+        p
+    }
+
+    /// Parses a `--trace-out` JSONL file back into records and folds
+    /// it — the `fadewichd stats --profile` path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn from_jsonl(text: &str) -> Result<Profile, String> {
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let j = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let num = |key: &str| j.get(key).and_then(Json::as_num).map(|n| n as u64);
+            let tick = num("tick").ok_or_else(|| format!("line {}: no tick", i + 1))?;
+            let kind = match j.get("ev") {
+                Some(Json::Str(s)) if s == "open" => RecordKind::Open,
+                Some(Json::Str(s)) if s == "close" => RecordKind::Close,
+                Some(Json::Str(s)) if s == "event" => RecordKind::Event,
+                _ => return Err(format!("line {}: bad ev", i + 1)),
+            };
+            let name = match j.get("name") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => String::new(),
+            };
+            records.push(Record {
+                tick,
+                kind,
+                name,
+                span: num("span").map(SpanId),
+                parent: num("parent").map(SpanId),
+                attrs: Vec::new(),
+            });
+        }
+        Ok(Profile::from_records(&records))
+    }
+
+    /// Folds another profile's aggregates into this one (stage stats
+    /// add, stacks add, events add).
+    pub fn merge_from(&mut self, other: &Profile) {
+        for (name, s) in &other.stages {
+            let mine = self.stages.entry(name.clone()).or_insert_with(|| StageStats {
+                count: 0,
+                total_ticks: 0,
+                self_ticks: 0,
+                min_ticks: 0,
+                max_ticks: 0,
+            });
+            if mine.count == 0 {
+                mine.min_ticks = s.min_ticks;
+            } else if s.count > 0 {
+                mine.min_ticks = mine.min_ticks.min(s.min_ticks);
+            }
+            mine.count += s.count;
+            mine.total_ticks += s.total_ticks;
+            mine.self_ticks += s.self_ticks;
+            mine.max_ticks = mine.max_ticks.max(s.max_ticks);
+        }
+        for (path, v) in &other.stacks {
+            *self.stacks.entry(path.clone()).or_insert(0) += v;
+        }
+        for (name, c) in &other.events {
+            *self.events.entry(name.clone()).or_insert(0) += c;
+        }
+        self.dropped_closes += other.dropped_closes;
+        self.unclosed += other.unclosed;
+    }
+
+    /// Whether anything was aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty() && self.events.is_empty()
+    }
+
+    /// Stage stats by name.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.get(name)
+    }
+
+    /// Event count by name.
+    pub fn event_count(&self, name: &str) -> u64 {
+        self.events.get(name).copied().unwrap_or(0)
+    }
+
+    /// The per-stage table, sorted by self ticks descending (name
+    /// ascending on ties), followed by event counts. Deterministic.
+    pub fn table(&self) -> String {
+        let mut rows: Vec<(&String, &StageStats)> = self.stages.iter().collect();
+        rows.sort_by(|a, b| b.1.self_ticks.cmp(&a.1.self_ticks).then(a.0.cmp(b.0)));
+        let name_w = rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.events.keys().map(String::len))
+            .max()
+            .unwrap_or(4)
+            .max("span".len());
+        let mut out = format!(
+            "{:<name_w$}  {:>8}  {:>12}  {:>11}  {:>8}  {:>8}  {:>8}\n",
+            "span", "count", "total_ticks", "self_ticks", "min", "max", "mean"
+        );
+        for (name, s) in rows {
+            let mean = if s.count == 0 { 0 } else { s.total_ticks / s.count };
+            out.push_str(&format!(
+                "{name:<name_w$}  {:>8}  {:>12}  {:>11}  {:>8}  {:>8}  {mean:>8}\n",
+                s.count, s.total_ticks, s.self_ticks, s.min_ticks, s.max_ticks
+            ));
+        }
+        if !self.events.is_empty() {
+            out.push_str(&format!("{:<name_w$}  {:>8}\n", "event", "count"));
+            for (name, c) in &self.events {
+                out.push_str(&format!("{name:<name_w$}  {c:>8}\n"));
+            }
+        }
+        if self.dropped_closes > 0 || self.unclosed > 0 {
+            out.push_str(&format!(
+                "(dropped closes {}, unclosed spans {})\n",
+                self.dropped_closes, self.unclosed
+            ));
+        }
+        out
+    }
+
+    /// The collapsed-stack export: one `path self_ticks` line per
+    /// unique span path, sorted by path — the format flamegraph
+    /// tooling consumes.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, v) in &self.stacks {
+            out.push_str(&format!("{path} {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Telemetry;
+
+    fn sample_trace() -> Telemetry {
+        let t = Telemetry::buffering();
+        let day = t.span_open(0, "day", None, &[]).unwrap();
+        let w1 = t.span_open(10, "md_window", Some(day), &[]).unwrap();
+        let r1 = t.span_open(40, "rule1_eval", Some(w1), &[]).unwrap();
+        t.event(42, "rule1_verdict", Some(r1), &[]);
+        t.span_close(42, r1);
+        t.span_close(50, w1);
+        let w2 = t.span_open(60, "md_window", Some(day), &[]).unwrap();
+        t.span_close(80, w2);
+        t.span_close(100, day);
+        t
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let p = Profile::from_records(&sample_trace().records());
+        let day = p.stage("day").unwrap();
+        assert_eq!(day.count, 1);
+        assert_eq!(day.total_ticks, 100);
+        // Two md_window children total 40 + 20 = 60 ticks.
+        assert_eq!(day.self_ticks, 40);
+        let w = p.stage("md_window").unwrap();
+        assert_eq!((w.count, w.total_ticks, w.min_ticks, w.max_ticks), (2, 60, 20, 40));
+        // rule1_eval (2 ticks) is md_window's child, not day's.
+        assert_eq!(w.self_ticks, 58);
+        assert_eq!(p.event_count("rule1_verdict"), 1);
+        assert_eq!((p.dropped_closes, p.unclosed), (0, 0));
+    }
+
+    #[test]
+    fn collapsed_stacks_carry_full_paths() {
+        let p = Profile::from_records(&sample_trace().records());
+        let c = p.collapsed();
+        assert!(c.contains("day 40\n"), "{c}");
+        assert!(c.contains("day;md_window 58\n"), "{c}");
+        assert!(c.contains("day;md_window;rule1_eval 2\n"), "{c}");
+        assert_eq!(c.lines().count(), 3);
+    }
+
+    #[test]
+    fn jsonl_round_trip_matches_in_memory_fold() {
+        let t = sample_trace();
+        let direct = Profile::from_records(&t.records());
+        let parsed = Profile::from_jsonl(&t.trace_string()).unwrap();
+        assert_eq!(direct, parsed);
+        assert_eq!(direct.table(), parsed.table());
+        assert_eq!(direct.collapsed(), parsed.collapsed());
+        assert!(Profile::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn merge_accumulates_and_orphans_are_counted() {
+        let mut a = Profile::from_records(&sample_trace().records());
+        let b = Profile::from_records(&sample_trace().records());
+        a.merge_from(&b);
+        assert_eq!(a.stage("md_window").unwrap().count, 4);
+        assert_eq!(a.event_count("rule1_verdict"), 2);
+
+        let t = Telemetry::buffering();
+        let s = t.span_open(0, "lost", None, &[]).unwrap();
+        t.span_close(5, SpanId(s.0 + 7)); // close of a span never opened
+        let p = Profile::from_records(&t.records());
+        assert_eq!(p.dropped_closes, 1);
+        assert_eq!(p.unclosed, 1);
+        assert!(p.table().contains("dropped closes 1"), "{}", p.table());
+    }
+
+    #[test]
+    fn table_sorts_by_self_ticks() {
+        let p = Profile::from_records(&sample_trace().records());
+        let table = p.table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("span"), "{table}");
+        assert!(lines[1].starts_with("md_window"), "md_window has most self time: {table}");
+        assert!(lines[2].starts_with("day"), "{table}");
+    }
+}

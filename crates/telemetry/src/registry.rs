@@ -178,6 +178,11 @@ impl MetricsRegistry {
         self.gauges.insert(name.to_string(), v);
     }
 
+    /// Reads back a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
     /// Records a sample into a deterministic (tick-domain) histogram.
     pub fn histo_record(&mut self, name: &str, v: u64) {
         self.entry(name, false).h.record(v);

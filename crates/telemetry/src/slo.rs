@@ -1,0 +1,523 @@
+//! Windowed service-level objectives with error-budget burn-rate math.
+//!
+//! FADEWICH's headline claim is a latency budget — deauthenticate a
+//! departed user within ~4 s (6 s worst case) — so the natural way to
+//! watch a deployment is as an SLO: over a rolling window of logical
+//! ticks, at least `objective` of the tracked events must be good.
+//! The error budget is the tolerated bad fraction (`1 − objective`);
+//! the burn rate is how fast the deployment is eating it
+//! (`bad_ratio / (1 − objective)`, so burn rate 1.0 exactly exhausts
+//! the budget at the window edge).
+//!
+//! An [`SloEngine`] is fed from the existing decision audit trail: the
+//! [`Telemetry`](crate::trace::Telemetry) handle routes every span,
+//! event and counter increment into an attached engine, so the same
+//! replay that produces the JSONL trace also evaluates its SLOs —
+//! deterministically, because everything here lives on the logical
+//! tick clock. Latency samples are extracted from `rule1_verdict`
+//! events exactly the way `experiments::telemetry::latency_study`
+//! extracts them (`verdict tick − window_start_tick`, deauths only),
+//! so the `/slo` endpoint and the `reproduce telemetry` table agree to
+//! the tick.
+//!
+//! Budget exhaustion is edge-triggered: crossing from inside the
+//! budget to outside counts one transition, staying outside counts
+//! nothing more, and recovering re-arms the trigger.
+
+use std::collections::VecDeque;
+
+use crate::trace::Value;
+
+/// What one SLO measures and where its samples come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloKind {
+    /// Deauth decision latency in logical ticks, extracted from
+    /// `rule1_verdict` audit events (deauths only, `verdict tick −
+    /// window_start_tick`). A sample is good when it is at most
+    /// `threshold_ticks`.
+    DeauthLatency {
+        /// Largest latency (ticks) still counted as within budget.
+        threshold_ticks: u64,
+    },
+    /// A ratio objective fed by registry counter increments: every
+    /// delta on a counter named in `total` contributes to the event
+    /// total, every delta on a counter named in `bad` contributes to
+    /// the bad count. A name may appear in both lists (a rejected
+    /// frame is both an offered frame and a bad one).
+    CounterRatio {
+        /// Counter names whose deltas count toward the total.
+        total: Vec<String>,
+        /// Counter names whose deltas count as bad events.
+        bad: Vec<String>,
+    },
+}
+
+/// One windowed objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Stable identifier, used in renders and lookups.
+    pub name: String,
+    /// Required good fraction over the window, in `(0, 1)`.
+    pub objective: f64,
+    /// Rolling window length in logical ticks.
+    pub window_ticks: u64,
+    /// Measurement kind and sample source.
+    pub kind: SloKind,
+}
+
+/// Exact latency statistics over the in-window samples, with the same
+/// definitions `experiments::telemetry::latency_study` uses: sort the
+/// samples, `median = sorted[len / 2]`, min/max are the ends. The p95
+/// is conservative — the smallest in-window sample with at least 95%
+/// of samples at or below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of in-window samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min_ticks: u64,
+    /// Upper median (0 when empty).
+    pub median_ticks: u64,
+    /// Conservative 95th percentile (0 when empty).
+    pub p95_ticks: u64,
+    /// Largest sample (0 when empty).
+    pub max_ticks: u64,
+}
+
+/// A point-in-time evaluation of one SLO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The spec's name.
+    pub name: String,
+    /// The spec's objective.
+    pub objective: f64,
+    /// The spec's window.
+    pub window_ticks: u64,
+    /// In-window events.
+    pub total: u64,
+    /// In-window bad events.
+    pub bad: u64,
+    /// `1 − bad/total` (1.0 when no events).
+    pub compliance: f64,
+    /// `(bad/total) / (1 − objective)` — 1.0 exactly exhausts the
+    /// error budget.
+    pub burn_rate: f64,
+    /// `max(0, 1 − burn_rate)` — the unspent budget fraction.
+    pub budget_remaining: f64,
+    /// Whether the window is currently past its budget.
+    pub exhausted: bool,
+    /// How many times the window *entered* exhaustion (edge-triggered).
+    pub exhausted_transitions: u64,
+    /// Present for latency SLOs: exact in-window sample statistics
+    /// plus the good/bad threshold.
+    pub latency: Option<(LatencyStats, u64)>,
+}
+
+/// One SLO's live state: the spec plus its in-window samples.
+#[derive(Debug, Clone)]
+struct Slo {
+    spec: SloSpec,
+    /// `(tick, bad, latency_sample)` per event for latency SLOs;
+    /// `(tick, total_delta, bad_delta)` per counter batch for ratios.
+    window: VecDeque<(u64, u64, u64)>,
+    exhausted: bool,
+    exhausted_transitions: u64,
+}
+
+impl Slo {
+    fn prune(&mut self, now: u64) {
+        let floor = now.saturating_sub(self.spec.window_ticks.saturating_sub(1));
+        while self.window.front().is_some_and(|&(t, _, _)| t < floor) {
+            self.window.pop_front();
+        }
+    }
+
+    fn totals(&self) -> (u64, u64) {
+        match self.spec.kind {
+            SloKind::DeauthLatency { threshold_ticks } => {
+                let total = self.window.len() as u64;
+                let bad =
+                    self.window.iter().filter(|&&(_, _, s)| s > threshold_ticks).count() as u64;
+                (total, bad)
+            }
+            SloKind::CounterRatio { .. } => self
+                .window
+                .iter()
+                .fold((0, 0), |(t, b), &(_, dt, db)| (t + dt, b + db)),
+        }
+    }
+
+    /// Recomputes exhaustion after new samples; the transition counter
+    /// moves only on the inside→outside edge.
+    fn retrigger(&mut self) {
+        let (total, bad) = self.totals();
+        let allowed = 1.0 - self.spec.objective;
+        let bad_ratio = if total == 0 { 0.0 } else { bad as f64 / total as f64 };
+        let now_exhausted = allowed > 0.0 && bad_ratio > allowed;
+        if now_exhausted && !self.exhausted {
+            self.exhausted_transitions += 1;
+        }
+        self.exhausted = now_exhausted;
+    }
+
+    fn status(&self) -> SloStatus {
+        let (total, bad) = self.totals();
+        let allowed = 1.0 - self.spec.objective;
+        let bad_ratio = if total == 0 { 0.0 } else { bad as f64 / total as f64 };
+        let burn_rate = if allowed > 0.0 { bad_ratio / allowed } else { 0.0 };
+        let latency = match self.spec.kind {
+            SloKind::DeauthLatency { threshold_ticks } => {
+                let mut samples: Vec<u64> = self.window.iter().map(|&(_, _, s)| s).collect();
+                samples.sort_unstable();
+                let n = samples.len();
+                let p95_idx = (((0.95 * n as f64).ceil() as usize).max(1)).saturating_sub(1);
+                Some((
+                    LatencyStats {
+                        count: n as u64,
+                        min_ticks: samples.first().copied().unwrap_or(0),
+                        median_ticks: samples.get(n / 2).copied().unwrap_or(0),
+                        p95_ticks: samples.get(p95_idx).copied().unwrap_or(0),
+                        max_ticks: samples.last().copied().unwrap_or(0),
+                    },
+                    threshold_ticks,
+                ))
+            }
+            SloKind::CounterRatio { .. } => None,
+        };
+        SloStatus {
+            name: self.spec.name.clone(),
+            objective: self.spec.objective,
+            window_ticks: self.spec.window_ticks,
+            total,
+            bad,
+            compliance: 1.0 - bad_ratio,
+            burn_rate,
+            budget_remaining: (1.0 - burn_rate).max(0.0),
+            exhausted: self.exhausted,
+            exhausted_transitions: self.exhausted_transitions,
+            latency,
+        }
+    }
+}
+
+/// Evaluates a set of [`SloSpec`]s against the telemetry stream.
+///
+/// Attach one to a [`Telemetry`](crate::trace::Telemetry) handle with
+/// [`set_slo`](crate::trace::Telemetry::set_slo); the handle then
+/// routes every span tick, event and counter increment here. All
+/// state lives on the logical tick clock, so a seeded replay always
+/// produces the same statuses.
+#[derive(Debug, Clone)]
+pub struct SloEngine {
+    now: u64,
+    slos: Vec<Slo>,
+}
+
+impl SloEngine {
+    /// An engine over the given specs.
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        Self {
+            now: 0,
+            slos: specs
+                .into_iter()
+                .map(|spec| Slo {
+                    spec,
+                    window: VecDeque::new(),
+                    exhausted: false,
+                    exhausted_transitions: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// The standard FADEWICH objectives at `tick_hz` ticks per second:
+    ///
+    /// - `deauth_latency` — p95 of the audit-trail decision latency
+    ///   within the paper's 4 s budget (objective 0.95; the 6 s worst
+    ///   case is the burn-rate headroom).
+    /// - `frame_corrupt_ratio` — at most 0.1% of offered frames
+    ///   rejected as corrupt.
+    /// - `checkpoint_save_success` — at most 0.1% of checkpoint images
+    ///   lost to corruption.
+    ///
+    /// Windows cover four hours of ticks — longer than a simulated
+    /// office day, so a day replay evaluates over its whole trail.
+    pub fn standard(tick_hz: f64) -> Self {
+        let hz = if tick_hz.is_finite() && tick_hz > 0.0 { tick_hz } else { 1.0 };
+        let window_ticks = (4.0 * 3600.0 * hz).ceil() as u64;
+        Self::new(vec![
+            SloSpec {
+                name: "deauth_latency".to_string(),
+                objective: 0.95,
+                window_ticks,
+                kind: SloKind::DeauthLatency { threshold_ticks: (4.0 * hz).ceil() as u64 },
+            },
+            SloSpec {
+                name: "frame_corrupt_ratio".to_string(),
+                objective: 0.999,
+                window_ticks,
+                kind: SloKind::CounterRatio {
+                    total: vec![
+                        "runtime_frames_in".to_string(),
+                        "runtime_frames_corrupt".to_string(),
+                        "fleet_frames_demuxed".to_string(),
+                        "fleet_frames_corrupt".to_string(),
+                    ],
+                    bad: vec![
+                        "runtime_frames_corrupt".to_string(),
+                        "fleet_frames_corrupt".to_string(),
+                    ],
+                },
+            },
+            SloSpec {
+                name: "checkpoint_save_success".to_string(),
+                objective: 0.999,
+                window_ticks,
+                kind: SloKind::CounterRatio {
+                    total: vec![
+                        "checkpoint_saves".to_string(),
+                        "checkpoint_corrupt_skipped".to_string(),
+                    ],
+                    bad: vec!["checkpoint_corrupt_skipped".to_string()],
+                },
+            },
+        ])
+    }
+
+    /// Moves the engine's notion of "now" forward (never backward) and
+    /// ages out-of-window samples off every SLO.
+    pub fn advance(&mut self, tick: u64) {
+        if tick <= self.now {
+            return;
+        }
+        self.now = tick;
+        for slo in &mut self.slos {
+            slo.prune(tick);
+            slo.retrigger();
+        }
+    }
+
+    /// The engine's current logical tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Routes one audit-trail event. Only `rule1_verdict` deauth
+    /// events carry SLO samples today; everything else just advances
+    /// the clock.
+    pub fn ingest_event(&mut self, tick: u64, name: &str, attrs: &[(&str, Value)]) {
+        self.advance(tick);
+        if name != "rule1_verdict" {
+            return;
+        }
+        let attr = |key: &str| attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v);
+        if !matches!(attr("deauth"), Some(Value::Bool(true))) {
+            return;
+        }
+        let Some(Value::U64(start)) = attr("window_start_tick") else { return };
+        self.observe_latency(tick, tick.saturating_sub(*start));
+    }
+
+    /// Records one decision-latency sample directly (tests and
+    /// non-event feeds).
+    pub fn observe_latency(&mut self, tick: u64, sample_ticks: u64) {
+        self.advance(tick);
+        for slo in &mut self.slos {
+            if matches!(slo.spec.kind, SloKind::DeauthLatency { .. }) {
+                slo.window.push_back((tick, 0, sample_ticks));
+                slo.prune(self.now);
+                slo.retrigger();
+            }
+        }
+    }
+
+    /// Routes one counter increment. Counter deltas carry no tick of
+    /// their own, so they are stamped with the engine's current tick.
+    pub fn ingest_counter(&mut self, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let now = self.now;
+        for slo in &mut self.slos {
+            let SloKind::CounterRatio { total, bad } = &slo.spec.kind else { continue };
+            let dt = if total.iter().any(|t| t == name) { delta } else { 0 };
+            let db = if bad.iter().any(|b| b == name) { delta } else { 0 };
+            if dt == 0 && db == 0 {
+                continue;
+            }
+            slo.window.push_back((now, dt, db));
+            slo.prune(now);
+            slo.retrigger();
+        }
+    }
+
+    /// Evaluates every SLO at the current tick.
+    pub fn statuses(&self) -> Vec<SloStatus> {
+        self.slos.iter().map(Slo::status).collect()
+    }
+
+    /// Deterministic text render — the `/slo` endpoint body. Pure
+    /// tick-domain data: two replays of one seeded scenario produce
+    /// byte-identical output.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("slo report at tick {}\n", self.now);
+        for s in self.statuses() {
+            out.push_str(&format!(
+                "slo {}  objective {:.3}  window {} ticks\n",
+                s.name, s.objective, s.window_ticks
+            ));
+            out.push_str(&format!(
+                "  events {}  bad {}  compliance {:.6}\n",
+                s.total, s.bad, s.compliance
+            ));
+            out.push_str(&format!(
+                "  burn_rate {:.4}  budget_remaining {:.4}  exhausted {}  transitions {}\n",
+                s.burn_rate, s.budget_remaining, s.exhausted, s.exhausted_transitions
+            ));
+            if let Some((l, threshold)) = s.latency {
+                out.push_str(&format!(
+                    "  latency ticks  count {}  min {}  median {}  p95 {}  max {}  threshold {}\n",
+                    l.count, l.min_ticks, l.median_ticks, l.p95_ticks, l.max_ticks, threshold
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency_engine(threshold: u64, window: u64, objective: f64) -> SloEngine {
+        SloEngine::new(vec![SloSpec {
+            name: "lat".to_string(),
+            objective,
+            window_ticks: window,
+            kind: SloKind::DeauthLatency { threshold_ticks: threshold },
+        }])
+    }
+
+    #[test]
+    fn latency_stats_match_latency_study_definitions() {
+        let mut e = latency_engine(100, 10_000, 0.95);
+        for (i, s) in [7u64, 3, 9, 1, 5].iter().enumerate() {
+            e.observe_latency(10 + i as u64, *s);
+        }
+        let st = &e.statuses()[0];
+        let (l, _) = st.latency.unwrap();
+        // sorted = [1,3,5,7,9]: min first, median at len/2, max last.
+        assert_eq!((l.min_ticks, l.median_ticks, l.max_ticks), (1, 5, 9));
+        assert_eq!(l.count, 5);
+        assert_eq!(l.p95_ticks, 9);
+        assert_eq!(st.bad, 0);
+        assert!((st.compliance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_prunes_exactly() {
+        // Window of 10 ticks keeps samples with tick in [now-9, now].
+        let mut e = latency_engine(100, 10, 0.95);
+        e.observe_latency(1, 5);
+        e.observe_latency(5, 5);
+        e.observe_latency(10, 5);
+        assert_eq!(e.statuses()[0].total, 3, "tick 1 still in [1, 10]");
+        e.advance(11);
+        assert_eq!(e.statuses()[0].total, 2, "tick 1 aged out at now=11");
+        e.advance(14);
+        assert_eq!(e.statuses()[0].total, 2, "tick 5 still in [5, 14]");
+        e.advance(15);
+        assert_eq!(e.statuses()[0].total, 1);
+        e.advance(20);
+        assert_eq!(e.statuses()[0].total, 0);
+        // Clock never runs backward.
+        e.advance(3);
+        assert_eq!(e.now(), 20);
+    }
+
+    #[test]
+    fn burn_rate_math() {
+        let mut e = SloEngine::new(vec![SloSpec {
+            name: "ratio".to_string(),
+            objective: 0.9,
+            window_ticks: 1_000,
+            kind: SloKind::CounterRatio {
+                total: vec!["total".to_string(), "bad".to_string()],
+                bad: vec!["bad".to_string()],
+            },
+        }]);
+        e.advance(1);
+        e.ingest_counter("total", 95);
+        e.ingest_counter("bad", 5);
+        let s = &e.statuses()[0];
+        assert_eq!((s.total, s.bad), (100, 5));
+        // bad_ratio 0.05 against allowed 0.1 → burn rate 0.5.
+        assert!((s.burn_rate - 0.5).abs() < 1e-12, "{}", s.burn_rate);
+        assert!((s.budget_remaining - 0.5).abs() < 1e-12);
+        assert!(!s.exhausted);
+    }
+
+    #[test]
+    fn exhaustion_is_edge_triggered_once() {
+        let mut e = latency_engine(10, 100, 0.5);
+        e.observe_latency(1, 5); // good
+        e.observe_latency(2, 50); // bad: ratio 0.5, allowed 0.5 → not over
+        assert!(!e.statuses()[0].exhausted);
+        e.observe_latency(3, 60); // bad: ratio 2/3 > 0.5 → edge
+        assert!(e.statuses()[0].exhausted);
+        assert_eq!(e.statuses()[0].exhausted_transitions, 1);
+        e.observe_latency(4, 70); // still exhausted: no new transition
+        e.observe_latency(5, 80);
+        assert_eq!(e.statuses()[0].exhausted_transitions, 1);
+        // Recover: good samples push the ratio back under budget.
+        for t in 6..14 {
+            e.observe_latency(t, 1);
+        }
+        assert!(!e.statuses()[0].exhausted);
+        // A second excursion re-triggers exactly once more.
+        for t in 14..40 {
+            e.observe_latency(t, 99);
+        }
+        assert!(e.statuses()[0].exhausted);
+        assert_eq!(e.statuses()[0].exhausted_transitions, 2);
+    }
+
+    #[test]
+    fn event_routing_mirrors_audit_trail_extraction() {
+        let mut e = latency_engine(60, 100_000, 0.95);
+        e.ingest_event(
+            500,
+            "rule1_verdict",
+            &[("deauth", Value::Bool(true)), ("window_start_tick", Value::U64(450))],
+        );
+        // Non-deauth verdicts and unrelated events contribute nothing.
+        e.ingest_event(
+            600,
+            "rule1_verdict",
+            &[("deauth", Value::Bool(false)), ("window_start_tick", Value::U64(590))],
+        );
+        e.ingest_event(700, "md_window", &[]);
+        let (l, _) = e.statuses()[0].latency.unwrap();
+        assert_eq!((l.count, l.min_ticks, l.max_ticks), (1, 50, 50));
+        assert_eq!(e.now(), 700, "every event advances the clock");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let mut e = SloEngine::standard(20.0);
+        e.ingest_event(
+            100,
+            "rule1_verdict",
+            &[("deauth", Value::Bool(true)), ("window_start_tick", Value::U64(40))],
+        );
+        e.ingest_counter("runtime_frames_in", 1_000);
+        e.ingest_counter("checkpoint_saves", 10);
+        let a = e.render_text();
+        let b = e.render_text();
+        assert_eq!(a, b);
+        for needle in ["deauth_latency", "frame_corrupt_ratio", "checkpoint_save_success"] {
+            assert!(a.contains(needle), "{a}");
+        }
+        assert!(a.contains("threshold 80"), "4 s at 20 Hz: {a}");
+    }
+}

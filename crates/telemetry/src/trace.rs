@@ -27,6 +27,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::registry::MetricsRegistry;
 use crate::render::{escape_json, fmt_f64};
+use crate::slo::SloEngine;
 
 /// Identifier of an open span, unique within one run.
 ///
@@ -155,6 +156,9 @@ struct Inner {
     sink: Sink,
     next_span: u64,
     write_error: Option<io::Error>,
+    /// An attached SLO engine sees every span tick, event and counter
+    /// increment ([`Telemetry::set_slo`]).
+    slo: Option<SloEngine>,
 }
 
 /// The shared telemetry capability. See the module docs.
@@ -198,6 +202,7 @@ impl Telemetry {
                 sink,
                 next_span: 1,
                 write_error: None,
+                slo: None,
             }))),
         }
     }
@@ -237,6 +242,9 @@ impl Telemetry {
         attrs: &[(&str, Value)],
     ) -> Option<SpanId> {
         let mut inner = self.lock()?;
+        if let Some(slo) = inner.slo.as_mut() {
+            slo.advance(tick);
+        }
         let id = SpanId(inner.next_span);
         inner.next_span += 1;
         let record = Record {
@@ -254,6 +262,9 @@ impl Telemetry {
     /// Closes a previously opened span at `tick`.
     pub fn span_close(&self, tick: u64, span: SpanId) {
         if let Some(mut inner) = self.lock() {
+            if let Some(slo) = inner.slo.as_mut() {
+                slo.advance(tick);
+            }
             let record = Record {
                 tick,
                 kind: RecordKind::Close,
@@ -269,6 +280,9 @@ impl Telemetry {
     /// Emits a point event at `tick`.
     pub fn event(&self, tick: u64, name: &str, parent: Option<SpanId>, attrs: &[(&str, Value)]) {
         if let Some(mut inner) = self.lock() {
+            if let Some(slo) = inner.slo.as_mut() {
+                slo.ingest_event(tick, name, attrs);
+            }
             let record = Record {
                 tick,
                 kind: RecordKind::Event,
@@ -285,6 +299,9 @@ impl Telemetry {
     pub fn counter_add(&self, name: &str, n: u64) {
         if let Some(mut inner) = self.lock() {
             inner.registry.counter_add(name, n);
+            if let Some(slo) = inner.slo.as_mut() {
+                slo.ingest_counter(name, n);
+            }
         }
     }
 
@@ -315,6 +332,27 @@ impl Telemetry {
     pub fn with_registry<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
         let inner = self.lock()?;
         Some(f(&inner.registry))
+    }
+
+    /// Attaches an SLO engine: from now on every span tick, event and
+    /// counter increment is routed into it. No-op when disabled.
+    pub fn set_slo(&self, engine: SloEngine) {
+        if let Some(mut inner) = self.lock() {
+            inner.slo = Some(engine);
+        }
+    }
+
+    /// Runs `f` against the attached SLO engine; `None` when disabled
+    /// or no engine is attached.
+    pub fn with_slo<R>(&self, f: impl FnOnce(&SloEngine) -> R) -> Option<R> {
+        let inner = self.lock()?;
+        inner.slo.as_ref().map(f)
+    }
+
+    /// The attached SLO engine's deterministic report; `None` when
+    /// disabled or no engine is attached.
+    pub fn slo_text(&self) -> Option<String> {
+        self.with_slo(SloEngine::render_text)
     }
 
     /// JSON metrics dump; `None` when disabled.

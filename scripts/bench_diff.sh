@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Diff two fadewich-bench JSON result files (BENCH_*.json or ad-hoc
+# --bench-out captures).
+#
+# The bench schema splits every row into two kinds of fields:
+#
+#   - non-`wall_` fields (tick counts, frame counts, verdict digests,
+#     action totals …) are deterministic workload outputs. Two runs of
+#     the same configuration must agree exactly; any drift is a
+#     correctness regression and fails the diff with exit 1.
+#   - `wall_*` fields are host timing and are expected to wobble. A
+#     >10% regression of `wall_median_ns_per_unit` on a named row is
+#     reported as a warning by default, and only fails the diff when
+#     `--fail-on-wall` is given (back-to-back runs on a shared CI box
+#     can easily swing more than 10% for innocent reasons).
+#
+# Usage: bench_diff.sh [--fail-on-wall] [--rows-only] OLD.json NEW.json
+#
+#   --rows-only     only check row-name compatibility: every row named
+#                   in OLD must still exist in NEW. Use this against a
+#                   committed full-size baseline, whose workload sizes
+#                   (and therefore non-wall fields) legitimately differ
+#                   from a --quick smoke run.
+#   --fail-on-wall  treat wall regressions as fatal too.
+
+set -euo pipefail
+
+usage() {
+    echo "usage: bench_diff.sh [--fail-on-wall] [--rows-only] OLD.json NEW.json" >&2
+}
+
+fail_on_wall=0
+rows_only=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+    --fail-on-wall) fail_on_wall=1 ;;
+    --rows-only) rows_only=1 ;;
+    -h | --help)
+        usage
+        exit 0
+        ;;
+    --*)
+        echo "bench_diff: unknown flag $1" >&2
+        usage
+        exit 2
+        ;;
+    *) break ;;
+    esac
+    shift
+done
+
+if [ $# -ne 2 ]; then
+    usage
+    exit 2
+fi
+
+old_json=$1
+new_json=$2
+for f in "$old_json" "$new_json"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_diff: no such file: $f" >&2
+        exit 2
+    fi
+done
+
+python3 - "$old_json" "$new_json" "$rows_only" "$fail_on_wall" <<'PY'
+import json
+import sys
+
+old_path, new_path, rows_only, fail_on_wall = sys.argv[1:5]
+rows_only = rows_only == "1"
+fail_on_wall = fail_on_wall == "1"
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "fadewich-bench-v1":
+        sys.exit(f"bench_diff: {path}: unexpected schema {doc.get('schema')!r}")
+    rows = {}
+    for row in doc.get("rows", []):
+        name = row.get("name")
+        if not isinstance(name, str):
+            sys.exit(f"bench_diff: {path}: row without a name: {row!r}")
+        if name in rows:
+            sys.exit(f"bench_diff: {path}: duplicate row {name!r}")
+        rows[name] = row
+    return doc, rows
+
+old_doc, old_rows = load(old_path)
+new_doc, new_rows = load(new_path)
+
+errors = []
+warnings = []
+
+missing = sorted(set(old_rows) - set(new_rows))
+if missing:
+    errors.append(f"rows missing from {new_path}: {', '.join(missing)}")
+added = sorted(set(new_rows) - set(old_rows))
+if added:
+    warnings.append(f"new rows not in {old_path}: {', '.join(added)}")
+
+if not rows_only:
+    for name in sorted(set(old_rows) & set(new_rows)):
+        old_row, new_row = old_rows[name], new_rows[name]
+        keys = set(old_row) | set(new_row)
+        for key in sorted(keys):
+            wall = key.startswith("wall_")
+            if key not in old_row or key not in new_row:
+                where = new_path if key not in new_row else old_path
+                msg = f"row {name}: field {key} missing from {where}"
+                (warnings if wall else errors).append(msg)
+                continue
+            if wall:
+                continue
+            if old_row[key] != new_row[key]:
+                errors.append(
+                    f"row {name}: non-wall field {key} drifted: "
+                    f"{old_row[key]!r} -> {new_row[key]!r}"
+                )
+        old_ns = old_row.get("wall_median_ns_per_unit")
+        new_ns = new_row.get("wall_median_ns_per_unit")
+        if isinstance(old_ns, (int, float)) and isinstance(new_ns, (int, float)) and old_ns > 0:
+            ratio = new_ns / old_ns
+            if ratio > 1.10:
+                warnings.append(
+                    f"row {name}: wall regression {ratio:.2f}x "
+                    f"({old_ns:.1f} -> {new_ns:.1f} ns/unit)"
+                )
+
+for w in warnings:
+    print(f"bench_diff: warning: {w}")
+for e in errors:
+    print(f"bench_diff: error: {e}")
+
+wall_regressions = [w for w in warnings if "wall regression" in w]
+if errors or (fail_on_wall and wall_regressions):
+    sys.exit(1)
+mode = "rows-only" if rows_only else "full"
+print(
+    f"bench_diff: ok ({mode}): {len(set(old_rows) & set(new_rows))} rows compared, "
+    f"{len(wall_regressions)} wall warning(s)"
+)
+PY

@@ -131,6 +131,56 @@ grep -v '"wall_' "$workdir/bench1.json" > "$workdir/bench1.nowall"
 grep -v '"wall_' "$workdir/bench2.json" > "$workdir/bench2.nowall"
 cmp "$workdir/bench1.nowall" "$workdir/bench2.nowall"
 
+# The bench diff tool must agree with the raw cmp: a full diff of the
+# two smoke runs (any non-wall drift is fatal), plus row-name
+# compatibility against the committed baseline — the baseline's
+# full-size workload fields legitimately differ from a smoke run's,
+# so that leg only checks no benchmark row silently disappeared.
+scripts/bench_diff.sh "$workdir/bench1.json" "$workdir/bench2.json"
+scripts/bench_diff.sh --rows-only BENCH_2026-08-09.json "$workdir/bench1.json"
+
+# Span-profile gate: `reproduce profile` folds tick-stamped spans, so
+# the whole report is logical-time only and must be byte-identical
+# across same-seed runs (`wall_` lines stripped defensively — the
+# report must not carry any to begin with).
+for i in 1 2; do
+    cargo run -q --release --offline -p fadewich-bench --bin reproduce -- \
+        --quick profile | grep -v '^wall_' > "$workdir/profile$i.out"
+done
+cmp "$workdir/profile1.out" "$workdir/profile2.out"
+grep -q "md_window;rule1_eval" "$workdir/profile1.out"
+if grep -q "wall_" "$workdir/profile1.out"; then
+    echo "reproduce profile leaked a wall_ line into the deterministic report" >&2
+    exit 1
+fi
+
+# Ops-plane smoke: serve with the scrape server bound to an ephemeral
+# port, wait for the post-replay hold, then curl the three endpoints.
+# The healthz body must be "ok" (no attack in the clean scenario) with
+# the wall_-quarantined scrape counters appended, and /slo must carry
+# the standard deauth-latency objective.
+cargo run -q --release --offline -p fadewich-fleet --bin fadewichd -- \
+    serve --model "$workdir/model.fwmb" --metrics-addr 127.0.0.1:0 \
+    --metrics-addr-file "$workdir/ops.addr" --hold-secs 60 \
+    > /dev/null 2> "$workdir/ops.err" &
+ops_pid=$!
+for _ in $(seq 1 300); do
+    grep -q "holding ops server" "$workdir/ops.err" 2>/dev/null && break
+    sleep 0.2
+done
+grep -q "holding ops server" "$workdir/ops.err"
+addr="$(cat "$workdir/ops.addr")"
+curl -fsS "http://$addr/metrics" > "$workdir/ops.metrics"
+grep -q "^runtime_frames_in " "$workdir/ops.metrics"
+grep -q "^runtime_ticks_processed " "$workdir/ops.metrics"
+curl -fsS "http://$addr/healthz" > "$workdir/ops.healthz"
+grep -q "^ok$" "$workdir/ops.healthz"
+grep -q "^wall_scrapes " "$workdir/ops.healthz"
+curl -fsS "http://$addr/slo" > "$workdir/ops.slo"
+grep -q "deauth_latency" "$workdir/ops.slo"
+kill "$ops_pid" 2>/dev/null || true
+wait "$ops_pid" 2>/dev/null || true
+
 # Fleet gates. First the scaling study at CI size: the deterministic
 # table (everything but the `wall_` throughput lines) must be
 # byte-identical between a 1-thread and an 8-thread run, and the study
@@ -222,5 +272,26 @@ if grep -rn "Instant::now" --include='*.rs' crates/ src/ 2>/dev/null \
     | grep -v "crates/testkit/src/bench.rs" \
     | grep -v "^[^:]*:[0-9]*: *//"; then
     echo "Instant::now() outside the Clock seam (see above); use fadewich_telemetry::Clock" >&2
+    exit 1
+fi
+
+# Wall-metric-name lint: every histogram recorded through the
+# wall-time APIs (histo_record_wall, WallHisto::export_into) must
+# carry the `_ns` suffix so deterministic renders can exclude it, and
+# conversely no logical-tick metric may squat on a `_ns` name. This
+# keeps the wall_ / _ns quarantine a grep-enforceable convention
+# instead of a code-review hope.
+if grep -rn 'histo_record("[^"]*_ns"' --include='*.rs' crates/ src/ 2>/dev/null; then
+    echo "logical-time histo_record() with a wall-suffixed _ns name (see above)" >&2
+    exit 1
+fi
+if grep -rn 'histo_record_wall("[^"]*"' --include='*.rs' crates/ src/ 2>/dev/null \
+    | grep -v '_ns"'; then
+    echo "histo_record_wall() name without the _ns suffix (see above)" >&2
+    exit 1
+fi
+if grep -rn 'export_into(telemetry, "[^"]*"' --include='*.rs' crates/ src/ 2>/dev/null \
+    | grep -v '_ns"'; then
+    echo "wall histogram export name without the _ns suffix (see above)" >&2
     exit 1
 fi
